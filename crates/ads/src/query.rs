@@ -1,0 +1,175 @@
+//! SIMS-style serial exact query answering.
+
+use crate::build::AdsIndex;
+use dsidx_isax::MindistTable;
+use dsidx_series::distance::{euclidean_sq, euclidean_sq_bounded};
+use dsidx_series::Match;
+use dsidx_storage::{RawSource, StorageError};
+
+/// Counters from one exact query (pruning-effectiveness reporting).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct AdsQueryStats {
+    /// Lower bounds evaluated over the SAX array.
+    pub lb_computed: u64,
+    /// Candidates whose lower bound beat the BSF.
+    pub candidates: u64,
+    /// Real distances fully evaluated (not early-abandoned).
+    pub real_computed: u64,
+}
+
+/// Exact 1-NN via the serial index path: approximate descent for an
+/// initial best-so-far, then a serial SAX-array scan with lower-bound
+/// pruning, reading raw values for survivors.
+///
+/// Returns `None` for an empty index.
+///
+/// # Errors
+/// Propagates raw-source I/O failures.
+///
+/// # Panics
+/// Panics if the query length differs from the configured series length.
+pub fn exact_nn(
+    ads: &AdsIndex,
+    source: &impl RawSource,
+    query: &[f32],
+) -> Result<Option<(Match, AdsQueryStats)>, StorageError> {
+    let config = ads.index.config();
+    assert_eq!(query.len(), config.series_len(), "query length mismatch");
+    if ads.index.is_empty() {
+        return Ok(None);
+    }
+    let quantizer = config.quantizer();
+    let mut paa = vec![0.0f32; config.segments()];
+    quantizer.paa_into(query, &mut paa);
+    let query_word = quantizer.word_from_paa(&paa);
+    let mut stats = AdsQueryStats::default();
+    let mut scratch = vec![0.0f32; config.series_len()];
+    let memory = source.as_memory();
+
+    // Step 1: approximate answer from the closest leaf.
+    let leaf = ads
+        .index
+        .non_empty_leaf_for(&query_word)
+        .or_else(|| ads.index.any_leaf())
+        .expect("non-empty index has a non-empty leaf");
+    let mut best = Match::new(u32::MAX, f32::INFINITY);
+    for e in leaf.entries().expect("serial leaves are resident") {
+        let d = if let Some(ds) = memory {
+            euclidean_sq(query, ds.get(e.pos as usize))
+        } else {
+            source.read_into(e.pos as usize, &mut scratch)?;
+            euclidean_sq(query, &scratch)
+        };
+        stats.real_computed += 1;
+        if d < best.dist_sq || (d == best.dist_sq && e.pos < best.pos) {
+            best = Match::new(e.pos, d);
+        }
+    }
+
+    // Step 2: SIMS — serial scan of the SAX array with lower-bound pruning.
+    let table = MindistTable::new_point(&paa, quantizer.segment_lens());
+    for (pos, word) in ads.sax.words().iter().enumerate() {
+        stats.lb_computed += 1;
+        let lb = table.lookup(word);
+        if lb >= best.dist_sq {
+            continue;
+        }
+        stats.candidates += 1;
+        let d = if let Some(ds) = memory {
+            euclidean_sq_bounded(query, ds.get(pos), best.dist_sq)
+        } else {
+            source.read_into(pos, &mut scratch)?;
+            euclidean_sq_bounded(query, &scratch, best.dist_sq)
+        };
+        if let Some(d) = d {
+            stats.real_computed += 1;
+            if d < best.dist_sq || (d == best.dist_sq && (pos as u32) < best.pos) {
+                best = Match::new(pos as u32, d);
+            }
+        }
+    }
+    Ok(Some((best, stats)))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::build::{build_from_dataset, build_from_file};
+    use dsidx_series::gen::DatasetKind;
+    use dsidx_storage::{write_dataset, DatasetFile, Device};
+    use dsidx_tree::TreeConfig;
+    use dsidx_ucr::brute_force;
+    use std::sync::Arc;
+
+    fn config() -> TreeConfig {
+        TreeConfig::new(64, 8, 16).unwrap()
+    }
+
+    #[test]
+    fn exact_on_all_dataset_kinds() {
+        for kind in DatasetKind::ALL {
+            let data = kind.generate(500, 64, 23);
+            let (ads, _) = build_from_dataset(&data, &config());
+            let queries = kind.queries(10, 64, 23);
+            for q in queries.iter() {
+                let (got, stats) = exact_nn(&ads, &data, q).unwrap().unwrap();
+                let want = brute_force(&data, q).unwrap();
+                assert_eq!(got.pos, want.pos, "{}", kind.name());
+                assert!((got.dist_sq - want.dist_sq).abs() <= want.dist_sq * 1e-4 + 1e-4);
+                assert!(stats.lb_computed == 500);
+                assert!(stats.candidates <= 500);
+            }
+        }
+    }
+
+    #[test]
+    fn pruning_actually_happens_on_clusterable_data() {
+        let data = dsidx_series::gen::sines(800, 64, 3);
+        let (ads, _) = build_from_dataset(&data, &config());
+        let queries = dsidx_series::gen::sines(5, 64, 999);
+        let mut pruned_everything = true;
+        for q in queries.iter() {
+            let (_, stats) = exact_nn(&ads, &data, q).unwrap().unwrap();
+            if stats.candidates > 400 {
+                pruned_everything = false;
+            }
+        }
+        assert!(pruned_everything, "lower bounds should prune most sines candidates");
+    }
+
+    #[test]
+    fn on_disk_query_matches_in_memory() {
+        let dir = std::env::temp_dir().join(format!("dsidx-adsq-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("q.dsidx");
+        let data = DatasetKind::Seismic.generate(300, 64, 8);
+        write_dataset(&path, &data, Arc::new(Device::unthrottled())).unwrap();
+        let file = DatasetFile::open(&path, Arc::new(Device::unthrottled())).unwrap();
+        let (ads, _) = build_from_file(&file, &config(), 64).unwrap();
+        let queries = DatasetKind::Seismic.queries(5, 64, 8);
+        for q in queries.iter() {
+            let (mem, _) = exact_nn(&ads, &data, q).unwrap().unwrap();
+            let (disk, _) = exact_nn(&ads, &file, q).unwrap().unwrap();
+            assert_eq!(mem.pos, disk.pos);
+            assert!((mem.dist_sq - disk.dist_sq).abs() <= mem.dist_sq * 1e-4 + 1e-4);
+        }
+    }
+
+    #[test]
+    fn empty_index_returns_none() {
+        let data = dsidx_series::Dataset::new(64).unwrap();
+        let (ads, _) = build_from_dataset(&data, &config());
+        assert!(exact_nn(&ads, &data, &vec![0.0; 64]).unwrap().is_none());
+    }
+
+    #[test]
+    fn query_for_indexed_series_returns_it() {
+        let data = DatasetKind::Synthetic.generate(200, 64, 4);
+        let (ads, _) = build_from_dataset(&data, &config());
+        for pos in [0usize, 99, 199] {
+            let (m, _) = exact_nn(&ads, &data, data.get(pos)).unwrap().unwrap();
+            assert_eq!(m.pos as usize, pos);
+            assert_eq!(m.dist_sq, 0.0);
+        }
+    }
+}

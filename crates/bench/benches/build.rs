@@ -1,0 +1,36 @@
+//! Index construction benchmarks: the serial baseline vs the parallel
+//! engines (laptop-scale slice of Figs. 5 and 7).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use dsidx::messi::{build as messi_build, MessiConfig};
+use dsidx::paris::{build_in_memory, ParisConfig};
+use dsidx::prelude::*;
+use std::time::Duration;
+
+fn bench_build(c: &mut Criterion) {
+    let mut group = c.benchmark_group("build");
+    group
+        .sample_size(10)
+        .measurement_time(Duration::from_secs(2))
+        .warm_up_time(Duration::from_millis(300));
+    let data = DatasetKind::Synthetic.generate(20_000, 128, 3);
+    let tree = Options::default().tree_config(128).expect("valid");
+    let threads = std::thread::available_parallelism().map_or(4, std::num::NonZeroUsize::get);
+    dsidx::sync::pool::global(threads).broadcast(&|_| {});
+
+    group.bench_function("ads_serial_20k", |b| {
+        b.iter(|| dsidx::ads::build_from_dataset(&data, &tree));
+    });
+    group.bench_with_input(BenchmarkId::new("paris_in_memory_20k", threads), &threads, |b, &t| {
+        let cfg = ParisConfig::new(tree.clone(), t);
+        b.iter(|| build_in_memory(&data, &cfg));
+    });
+    group.bench_with_input(BenchmarkId::new("messi_20k", threads), &threads, |b, &t| {
+        let cfg = MessiConfig::new(tree.clone(), t);
+        b.iter(|| messi_build(&data, &cfg));
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_build);
+criterion_main!(benches);

@@ -1,0 +1,51 @@
+//! Microbenchmarks for the distance kernels (the query-time inner loops).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use dsidx::series::distance::{
+    abandon_order, dtw, euclidean_sq, euclidean_sq_bounded, euclidean_sq_ordered,
+};
+use dsidx::series::gen::random_walk;
+use std::hint::black_box;
+use std::time::Duration;
+
+fn bench_distance(c: &mut Criterion) {
+    let mut group = c.benchmark_group("distance");
+    group.sample_size(20).measurement_time(Duration::from_millis(600)).warm_up_time(Duration::from_millis(150));
+    for len in [128usize, 256, 1024] {
+        let data = random_walk(2, len, 7);
+        let (a, b) = (data.get(0), data.get(1));
+        group.bench_with_input(BenchmarkId::new("euclidean_sq", len), &len, |bench, _| {
+            bench.iter(|| euclidean_sq(black_box(a), black_box(b)));
+        });
+        let full = euclidean_sq(a, b);
+        group.bench_with_input(BenchmarkId::new("bounded_tight", len), &len, |bench, _| {
+            // Tight limit: abandons quickly (the common BSF-loop case).
+            bench.iter(|| euclidean_sq_bounded(black_box(a), black_box(b), full * 0.1));
+        });
+        let order = abandon_order(a);
+        group.bench_with_input(BenchmarkId::new("ordered_tight", len), &len, |bench, _| {
+            bench.iter(|| euclidean_sq_ordered(black_box(a), black_box(b), &order, full * 0.1));
+        });
+    }
+    group.finish();
+
+    let mut group = c.benchmark_group("dtw");
+    group.sample_size(15).measurement_time(Duration::from_millis(600)).warm_up_time(Duration::from_millis(150));
+    let data = random_walk(2, 256, 9);
+    let (a, b) = (data.get(0), data.get(1));
+    for band in [5usize, 13, 26] {
+        group.bench_with_input(BenchmarkId::new("banded", band), &band, |bench, &band| {
+            bench.iter(|| dtw::dtw_sq(black_box(a), black_box(b), band));
+        });
+    }
+    let mut lo = Vec::new();
+    let mut hi = Vec::new();
+    dtw::envelope(a, 13, &mut lo, &mut hi);
+    group.bench_function("lb_keogh", |bench| {
+        bench.iter(|| dtw::lb_keogh_sq(black_box(b), &lo, &hi));
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_distance);
+criterion_main!(benches);

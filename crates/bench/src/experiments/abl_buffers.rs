@@ -1,0 +1,44 @@
+//! Ablation (paper footnote 2) — iSAX buffer layout during MESSI
+//! construction: per-thread buffer parts (MESSI's design) vs one locked
+//! buffer per subtree shared by all workers (the rejected alternative:
+//! "this resulted in worse performance due to contention").
+//!
+//! Expected shape: per-thread parts at least as fast everywhere, with the
+//! gap widening as the core count grows (contention scales with threads).
+
+use crate::{core_ladder, f, mem_dataset, ms, Scale, Table};
+use dsidx::messi::{build, BufferMode, MessiConfig};
+use dsidx::prelude::*;
+
+pub fn run(scale: &Scale) {
+    let kind = DatasetKind::Synthetic;
+    let data = mem_dataset(kind, scale);
+    let tree = Options::default().tree_config(data.series_len()).expect("valid config");
+
+    let mut table = Table::new(
+        "abl-buffers",
+        &["cores", "per_thread_ms", "locked_ms", "locked_slowdown"],
+    );
+    for &cores in &core_ladder(&[2, 4, 8, 12, 24]) {
+        dsidx::sync::pool::global(cores).broadcast(&|_| {});
+        let per_thread = {
+            let cfg = MessiConfig::new(tree.clone(), cores);
+            let (_, phases) = build(&data, &cfg);
+            phases.summarize
+        };
+        let locked = {
+            let cfg = MessiConfig::new(tree.clone(), cores)
+                .with_buffer_mode(BufferMode::LockedShared);
+            let (_, phases) = build(&data, &cfg);
+            phases.summarize
+        };
+        table.row(&[
+            cores.to_string(),
+            f(ms(per_thread)),
+            f(ms(locked)),
+            f(locked.as_secs_f64() / per_thread.as_secs_f64()),
+        ]);
+    }
+    table.finish();
+    println!("shape check: locked_slowdown >= ~1 and generally grows with cores.");
+}

@@ -1,0 +1,52 @@
+//! Ablation — how many priority queues should MESSI query answering use?
+//!
+//! The paper motivates multiple queues for load balancing (one shared
+//! queue contends; too many weaken the best-first order and its pruning).
+//! Sweeps the queue count at full cores and reports wall time plus the
+//! pruning counters.
+
+use crate::{core_ladder, f, mem_dataset, ms, queries, time_queries, Scale, Table};
+use dsidx::messi::{build, MessiConfig};
+use dsidx::prelude::*;
+
+pub fn run(scale: &Scale) {
+    let cores = *core_ladder(&[24]).last().expect("non-empty");
+    dsidx::sync::pool::global(cores).broadcast(&|_| {});
+    let kind = DatasetKind::Synthetic;
+    let data = mem_dataset(kind, scale);
+    let len = data.series_len();
+    let tree = Options::default().tree_config(len).expect("valid config");
+    let qs = queries(kind, scale.mem_queries, len);
+    let (messi, _) = build(&data, &MessiConfig::new(tree.clone(), cores));
+
+    let mut table = Table::new(
+        "abl-queues",
+        &["queues", "avg_query_ms", "leaves_processed", "real_computed"],
+    );
+    for queues in [1usize, cores.div_ceil(2), cores, 2 * cores, 4 * cores] {
+        let cfg = MessiConfig::new(tree.clone(), cores).with_queues(queues);
+        let _ = dsidx::messi::exact_nn(&messi, &data, qs.get(0), &cfg); // warm
+        let avg = time_queries(&qs, |q| {
+            let _ = dsidx::messi::exact_nn(&messi, &data, q, &cfg);
+        });
+        let mut processed = 0u64;
+        let mut real = 0u64;
+        for q in qs.iter() {
+            let (_, st) = dsidx::messi::exact_nn(&messi, &data, q, &cfg).unwrap();
+            processed += st.leaves_processed;
+            real += st.real_computed;
+        }
+        let nq = qs.len() as u64;
+        table.row(&[
+            queues.to_string(),
+            f(ms(avg)),
+            (processed / nq).to_string(),
+            (real / nq).to_string(),
+        ]);
+    }
+    table.finish();
+    println!(
+        "shape check: a single queue pays contention; queue counts near the core\n\
+         count balance load while keeping the best-first order's pruning power."
+    );
+}

@@ -1,0 +1,72 @@
+//! Fig. 10 — exact query answering on HDD across datasets: UCR Suite
+//! (serial scan) vs ADS+ vs ParIS+.
+//!
+//! Expected shape: ParIS+ fastest on every dataset; ADS+ between; the
+//! serial scan slowest (the paper reports ParIS+ up to an order of
+//! magnitude over ADS+ and >2 orders over UCR Suite at 100 GB).
+
+use crate::{disk_dataset, f, ms, time_queries, Scale, Table};
+use dsidx::paris::{build_on_disk, Overlap, ParisConfig};
+use dsidx::prelude::*;
+use dsidx::storage::DatasetFile;
+use std::sync::Arc;
+
+pub fn run(scale: &Scale) {
+    run_profile(scale, DeviceProfile::HDD, "fig10");
+}
+
+pub(crate) fn run_profile(scale: &Scale, profile: DeviceProfile, table_name: &str) {
+    let cores = *crate::core_ladder(&[24]).last().expect("non-empty");
+    dsidx::sync::pool::global(cores).broadcast(&|_| {});
+    let mut table =
+        Table::new(table_name, &["dataset", "engine", "avg_query_ms", "vs_parisplus"]);
+    for kind in DatasetKind::ALL {
+        let len = scale.len_for(kind);
+        let path = disk_dataset(kind, scale.disk_series, len);
+        let tree = Options::default().with_leaf_capacity(20).tree_config(len).expect("valid config");
+        let qs = crate::queries_planted(kind, scale.disk_queries, scale);
+
+        // UCR Suite: serial sequential scan over the file.
+        let device = Arc::new(Device::new(profile));
+        let file = DatasetFile::open(&path, device).expect("open dataset");
+        let ucr = time_queries(&qs, |q| {
+            let _ = dsidx::ucr::scan_ed_file(&file, q, 4096).expect("scan");
+        });
+
+        // ADS+: serial index query (index built unthrottled; Fig. 10
+        // measures query answering).
+        let device = Arc::new(Device::new(profile));
+        let file = DatasetFile::open(&path, device).expect("open dataset");
+        let (ads, _) = {
+            let unthrottled =
+                DatasetFile::open(&path, Arc::new(Device::unthrottled())).expect("open");
+            dsidx::ads::build_from_file(&unthrottled, &tree, 4096).expect("ads build")
+        };
+        let ads_t = time_queries(&qs, |q| {
+            let _ = dsidx::ads::exact_nn(&ads, &file, q).expect("query");
+        });
+
+        // ParIS+: parallel index query.
+        let device = Arc::new(Device::new(profile));
+        let file = DatasetFile::open(&path, device).expect("open dataset");
+        let cfg = ParisConfig::new(tree.clone(), cores)
+            .with_block_series(1024.min(scale.disk_series))
+            .with_generation_series((scale.disk_series / 4).max(1024));
+        let store = crate::data_dir().join(format!("{table_name}-{}.leaf", kind.name()));
+        let (paris, _) = {
+            let unthrottled =
+                DatasetFile::open(&path, Arc::new(Device::unthrottled())).expect("open");
+            build_on_disk(&unthrottled, &store, &cfg, Overlap::ParisPlus).expect("build")
+        };
+        let paris_t = time_queries(&qs, |q| {
+            let _ = dsidx::paris::exact_nn(&paris, &file, q, cores).expect("query");
+        });
+
+        let ratio = |d: std::time::Duration| d.as_secs_f64() / paris_t.as_secs_f64();
+        table.row(&[kind.name().into(), "UCR Suite".into(), f(ms(ucr)), f(ratio(ucr))]);
+        table.row(&[kind.name().into(), "ADS+".into(), f(ms(ads_t)), f(ratio(ads_t))]);
+        table.row(&[kind.name().into(), "ParIS+".into(), f(ms(paris_t)), "1.00".into()]);
+    }
+    table.finish();
+    println!("shape check: per dataset, ParIS+ < ADS+ < UCR Suite in avg_query_ms.");
+}

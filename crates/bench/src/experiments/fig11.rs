@@ -1,0 +1,13 @@
+//! Fig. 11 — the Fig. 10 comparison on SSD: low random-access latency
+//! helps both index engines; the paper reports ParIS+ 15x over ADS+ and
+//! ~2000x over the serial scan.
+//!
+//! Expected shape: same ordering as Fig. 10 with every index row much
+//! faster than its HDD counterpart.
+
+use crate::Scale;
+use dsidx::prelude::DeviceProfile;
+
+pub fn run(scale: &Scale) {
+    super::fig10::run_profile(scale, DeviceProfile::SSD, "fig11");
+}

@@ -1,0 +1,70 @@
+//! Fig. 4 — ParIS/ParIS+ index creation time vs cores on HDD, decomposed
+//! into Read / Write / CPU, with serial ADS+ as the 1-core reference.
+//!
+//! Expected shape: ADS+'s bar is tallest (serial CPU on top of reads);
+//! ParIS shrinks the CPU component as cores grow but keeps a visible
+//! stall; ParIS+'s visible CPU+write goes to ~zero beyond a few cores —
+//! "completely removes the (visible) CPU cost when we use more than 6
+//! cores".
+
+use crate::{core_ladder, disk_dataset, f, ms, Scale, Table};
+use dsidx::paris::{build_on_disk, Overlap, ParisConfig};
+use dsidx::prelude::*;
+use dsidx::storage::DatasetFile;
+use std::sync::Arc;
+
+pub fn run(scale: &Scale) {
+    let kind = DatasetKind::Synthetic;
+    let len = scale.len_for(kind);
+    let path = disk_dataset(kind, scale.disk_series, len);
+    let tree = Options::default().with_leaf_capacity(20).tree_config(len).expect("valid config");
+    let generation = (scale.disk_series / 8).max(1024);
+
+    let mut table = Table::new(
+        "fig4",
+        &["engine", "cores", "total_ms", "read_ms", "cpu_ms", "write_ms", "generations"],
+    );
+
+    // ADS+ reference at one core.
+    {
+        let device = Arc::new(Device::new(DeviceProfile::HDD));
+        let file = DatasetFile::open(&path, device).expect("open dataset");
+        let (_, rep) =
+            dsidx::ads::build_from_file(&file, &tree, 1024).expect("ads build");
+        table.row(&[
+            "ADS+".into(),
+            "1".into(),
+            f(ms(rep.total)),
+            f(ms(rep.read)),
+            f(ms(rep.cpu)),
+            f(0.0),
+            "1".into(),
+        ]);
+    }
+
+    for mode in [Overlap::Paris, Overlap::ParisPlus] {
+        for &cores in &core_ladder(&[4, 6, 12, 24]) {
+            let device = Arc::new(Device::new(DeviceProfile::HDD));
+            let file = DatasetFile::open(&path, device).expect("open dataset");
+            let cfg = ParisConfig::new(tree.clone(), cores)
+                .with_block_series(1024.min(scale.disk_series))
+                .with_generation_series(generation);
+            let store = crate::data_dir().join(format!("fig4-{}-{cores}.leaf", mode.name()));
+            let (_, rep) = build_on_disk(&file, &store, &cfg, mode).expect("paris build");
+            table.row(&[
+                mode.name().into(),
+                cores.to_string(),
+                f(ms(rep.total)),
+                f(ms(rep.read)),
+                f(ms(rep.visible_cpu())),
+                f(ms(rep.visible_write())),
+                rep.generations.to_string(),
+            ]);
+        }
+    }
+    table.finish();
+    println!(
+        "shape check: ParIS+ cpu+write columns should collapse towards 0 as cores grow,\n\
+         while ParIS keeps a visible stall and ADS+ pays full serial CPU."
+    );
+}

@@ -1,0 +1,37 @@
+//! Fig. 5 — MESSI index creation time vs cores, split into its two phases
+//! ("Calculate iSAX Representations" and "Tree Index Construction").
+//!
+//! Expected shape: total time drops ~linearly with the core count.
+
+use crate::{core_ladder, f, mem_dataset, ms, Scale, Table};
+use dsidx::messi::{build, MessiConfig};
+use dsidx::prelude::*;
+
+pub fn run(scale: &Scale) {
+    let kind = DatasetKind::Synthetic;
+    let data = mem_dataset(kind, scale);
+    let tree = Options::default()
+        .tree_config(data.series_len())
+        .expect("valid config");
+
+    let mut table =
+        Table::new("fig5", &["cores", "total_ms", "summarize_ms", "tree_ms", "speedup"]);
+    let mut base = None;
+    for &cores in &core_ladder(&[1, 4, 6, 12, 24]) {
+        let cfg = MessiConfig::new(tree.clone(), cores);
+        // Warm the pool so the first build is not charged thread spawns.
+        dsidx::sync::pool::global(cores).broadcast(&|_| {});
+        let (_, phases) = build(&data, &cfg);
+        let total = ms(phases.total);
+        let base_total = *base.get_or_insert(total);
+        table.row(&[
+            cores.to_string(),
+            f(total),
+            f(ms(phases.summarize)),
+            f(ms(phases.tree_build)),
+            f(base_total / total),
+        ]);
+    }
+    table.finish();
+    println!("shape check: total_ms should fall near-linearly with cores (speedup ~ cores).");
+}

@@ -1,0 +1,47 @@
+//! Fig. 6 — on-disk index creation time across datasets: ADS+ vs ParIS vs
+//! ParIS+ (all at full cores, HDD profile).
+//!
+//! Expected shape: ParIS+ fastest on every dataset (the paper reports
+//! 2.3x-3.2x over ADS+), ParIS between the two.
+
+use crate::{core_ladder, disk_dataset, f, ms, Scale, Table};
+use dsidx::paris::{build_on_disk, Overlap, ParisConfig};
+use dsidx::prelude::*;
+use dsidx::storage::DatasetFile;
+use std::sync::Arc;
+
+pub fn run(scale: &Scale) {
+    let cores = *core_ladder(&[24]).last().expect("non-empty ladder");
+    let mut table = Table::new("fig6", &["dataset", "engine", "cores", "total_ms"]);
+    for kind in DatasetKind::ALL {
+        let len = scale.len_for(kind);
+        let path = disk_dataset(kind, scale.disk_series, len);
+        let tree = Options::default().with_leaf_capacity(20).tree_config(len).expect("valid config");
+        let generation = (scale.disk_series / 8).max(1024);
+
+        // ADS+ (serial).
+        let device = Arc::new(Device::new(DeviceProfile::HDD));
+        let file = DatasetFile::open(&path, device).expect("open dataset");
+        let (_, rep) = dsidx::ads::build_from_file(&file, &tree, 1024).expect("ads build");
+        table.row(&[kind.name().into(), "ADS+".into(), "1".into(), f(ms(rep.total))]);
+
+        for mode in [Overlap::Paris, Overlap::ParisPlus] {
+            let device = Arc::new(Device::new(DeviceProfile::HDD));
+            let file = DatasetFile::open(&path, device).expect("open dataset");
+            let cfg = ParisConfig::new(tree.clone(), cores)
+                .with_block_series(1024.min(scale.disk_series))
+                .with_generation_series(generation);
+            let store =
+                crate::data_dir().join(format!("fig6-{}-{}.leaf", kind.name(), mode.name()));
+            let (_, rep) = build_on_disk(&file, &store, &cfg, mode).expect("paris build");
+            table.row(&[
+                kind.name().into(),
+                mode.name().into(),
+                cores.to_string(),
+                f(ms(rep.total)),
+            ]);
+        }
+    }
+    table.finish();
+    println!("shape check: on every dataset ParIS+ < ParIS < ADS+ in total_ms.");
+}

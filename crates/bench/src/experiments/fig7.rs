@@ -1,0 +1,43 @@
+//! Fig. 7 — in-memory index creation across datasets: ParIS (in-memory,
+//! locked RecBufs) vs MESSI (per-thread buffer parts).
+//!
+//! Expected shape: MESSI faster on every dataset (the paper reports
+//! ~3.6x); the gap is the synchronization cost of the shared buffers plus
+//! ParIS's separate stage-3 pass.
+
+use crate::{core_ladder, f, mem_dataset, ms, time, Scale, Table};
+use dsidx::messi::{build as messi_build, MessiConfig};
+use dsidx::paris::{build_in_memory, ParisConfig};
+use dsidx::prelude::*;
+
+pub fn run(scale: &Scale) {
+    let cores = *core_ladder(&[24]).last().expect("non-empty ladder");
+    dsidx::sync::pool::global(cores).broadcast(&|_| {});
+    let mut table = Table::new("fig7", &["dataset", "engine", "cores", "total_ms", "messi_speedup"]);
+    for kind in DatasetKind::ALL {
+        let data = mem_dataset(kind, scale);
+        let tree = Options::default().tree_config(data.series_len()).expect("valid config");
+
+        let pcfg = ParisConfig::new(tree.clone(), cores);
+        let (_, paris_t) = time(|| build_in_memory(&data, &pcfg));
+        let mcfg = MessiConfig::new(tree.clone(), cores);
+        let (_, messi_t) = time(|| messi_build(&data, &mcfg));
+
+        table.row(&[
+            kind.name().into(),
+            "ParIS".into(),
+            cores.to_string(),
+            f(ms(paris_t)),
+            String::new(),
+        ]);
+        table.row(&[
+            kind.name().into(),
+            "MESSI".into(),
+            cores.to_string(),
+            f(ms(messi_t)),
+            f(paris_t.as_secs_f64() / messi_t.as_secs_f64()),
+        ]);
+    }
+    table.finish();
+    println!("shape check: MESSI total_ms below ParIS on every dataset (speedup > 1).");
+}

@@ -1,0 +1,40 @@
+//! Fig. 9 — in-memory exact query answering vs cores: parallel UCR Suite
+//! vs (in-memory) ParIS vs MESSI.
+//!
+//! Expected shape: MESSI below ParIS below UCR Suite-p at every core
+//! count, all three improving with cores (log-scale y-axis in the paper).
+
+use crate::{core_ladder, f, mem_dataset, ms, queries, time_queries, Scale, Table};
+use dsidx::messi::MessiConfig;
+use dsidx::paris::ParisConfig;
+use dsidx::prelude::*;
+
+pub fn run(scale: &Scale) {
+    let kind = DatasetKind::Synthetic;
+    let data = mem_dataset(kind, scale);
+    let len = data.series_len();
+    let tree = Options::default().tree_config(len).expect("valid config");
+    let qs = queries(kind, scale.mem_queries, len);
+
+    let build_cores = *core_ladder(&[24]).last().expect("non-empty");
+    let (paris, _) = dsidx::paris::build_in_memory(&data, &ParisConfig::new(tree.clone(), build_cores));
+    let (messi, _) = dsidx::messi::build(&data, &MessiConfig::new(tree.clone(), build_cores));
+
+    let mut table = Table::new("fig9", &["cores", "ucr_p_ms", "paris_ms", "messi_ms"]);
+    for &cores in &core_ladder(&[2, 4, 6, 8, 12, 18, 24]) {
+        dsidx::sync::pool::global(cores).broadcast(&|_| {});
+        let ucr = time_queries(&qs, |q| {
+            let _ = dsidx::ucr::scan_ed_parallel(&data, q, cores);
+        });
+        let paris_t = time_queries(&qs, |q| {
+            let _ = dsidx::paris::exact_nn(&paris, &data, q, cores).expect("query");
+        });
+        let mcfg = MessiConfig::new(tree.clone(), cores);
+        let messi_t = time_queries(&qs, |q| {
+            let _ = dsidx::messi::exact_nn(&messi, &data, q, &mcfg);
+        });
+        table.row(&[cores.to_string(), f(ms(ucr)), f(ms(paris_t)), f(ms(messi_t))]);
+    }
+    table.finish();
+    println!("shape check: per row, messi_ms < paris_ms < ucr_p_ms.");
+}

@@ -1,0 +1,343 @@
+//! The unified engine API: build once, query many.
+
+use crate::error::Error;
+use crate::options::Options;
+use dsidx_series::{Dataset, Match};
+use dsidx_storage::{DatasetFile, Device, DeviceProfile};
+use dsidx_tree::stats::{index_stats, IndexStats};
+use std::path::{Path, PathBuf};
+use std::sync::Arc;
+
+/// Which indexing engine to use.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Engine {
+    /// ADS+-style serial baseline.
+    Ads,
+    /// ParIS (parallel, stop-the-world stage 3).
+    Paris,
+    /// ParIS+ (parallel, fully overlapped construction). On-disk only;
+    /// in-memory builds fall back to ParIS, which the paper itself uses
+    /// for in-memory comparisons.
+    ParisPlus,
+    /// MESSI (parallel, in-memory). In-memory only.
+    Messi,
+}
+
+impl Engine {
+    /// All engines.
+    pub const ALL: [Engine; 4] = [Engine::Ads, Engine::Paris, Engine::ParisPlus, Engine::Messi];
+
+    /// Display name matching the paper.
+    #[must_use]
+    pub fn name(self) -> &'static str {
+        match self {
+            Engine::Ads => "ADS+",
+            Engine::Paris => "ParIS",
+            Engine::ParisPlus => "ParIS+",
+            Engine::Messi => "MESSI",
+        }
+    }
+}
+
+impl std::str::FromStr for Engine {
+    type Err = String;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        match s.to_ascii_lowercase().as_str() {
+            "ads" | "ads+" => Ok(Engine::Ads),
+            "paris" => Ok(Engine::Paris),
+            "paris+" | "parisplus" => Ok(Engine::ParisPlus),
+            "messi" => Ok(Engine::Messi),
+            other => Err(format!("unknown engine: {other}")),
+        }
+    }
+}
+
+enum MemoryInner {
+    Ads(dsidx_ads::AdsIndex),
+    Paris(dsidx_paris::ParisIndex),
+    Messi(dsidx_messi::MessiIndex),
+}
+
+/// An index over an in-memory dataset (owned via `Arc`, so clones of the
+/// handle share both data and index).
+pub struct MemoryIndex {
+    data: Arc<Dataset>,
+    engine: Engine,
+    options: Options,
+    inner: MemoryInner,
+}
+
+impl MemoryIndex {
+    /// Builds an index over `data` with the chosen engine.
+    ///
+    /// `Engine::ParisPlus` builds with the ParIS in-memory path (see
+    /// [`Engine::ParisPlus`] docs).
+    ///
+    /// # Errors
+    /// Configuration errors (series length vs segments etc.).
+    pub fn build(
+        data: impl Into<Arc<Dataset>>,
+        engine: Engine,
+        options: &Options,
+    ) -> Result<Self, Error> {
+        let data = data.into();
+        let series_len = data.series_len();
+        let inner = match engine {
+            Engine::Ads => {
+                let (ads, _) = dsidx_ads::build_from_dataset(&data, &options.tree_config(series_len)?);
+                MemoryInner::Ads(ads)
+            }
+            Engine::Paris | Engine::ParisPlus => {
+                let (paris, _) =
+                    dsidx_paris::build_in_memory(&data, &options.paris_config(series_len)?);
+                MemoryInner::Paris(paris)
+            }
+            Engine::Messi => {
+                let (messi, _) = dsidx_messi::build(&data, &options.messi_config(series_len)?);
+                MemoryInner::Messi(messi)
+            }
+        };
+        Ok(Self { data, engine, options: options.clone(), inner })
+    }
+
+    /// The engine this index was built with.
+    #[must_use]
+    pub fn engine(&self) -> Engine {
+        self.engine
+    }
+
+    /// The indexed dataset.
+    #[must_use]
+    pub fn data(&self) -> &Dataset {
+        &self.data
+    }
+
+    /// Exact 1-NN under Euclidean distance. `None` for an empty dataset.
+    ///
+    /// # Errors
+    /// Propagates engine failures (none occur for in-memory sources, but
+    /// the signature is uniform with [`DiskIndex::nn`]).
+    pub fn nn(&self, query: &[f32]) -> Result<Option<Match>, Error> {
+        let threads = self.options.effective_threads();
+        match &self.inner {
+            MemoryInner::Ads(ads) => {
+                Ok(dsidx_ads::exact_nn(ads, &*self.data, query)?.map(|(m, _)| m))
+            }
+            MemoryInner::Paris(paris) => {
+                Ok(dsidx_paris::exact_nn(paris, &*self.data, query, threads)?.map(|(m, _)| m))
+            }
+            MemoryInner::Messi(messi) => {
+                let cfg = self.options.messi_config(self.data.series_len())?;
+                Ok(dsidx_messi::exact_nn(messi, &self.data, query, &cfg).map(|(m, _)| m))
+            }
+        }
+    }
+
+    /// Exact 1-NN under banded DTW — answered from the *same* index (§V of
+    /// the paper). Supported by the MESSI engine; other engines fall back
+    /// to the parallel UCR-DTW scan (still exact, just index-free).
+    ///
+    /// # Errors
+    /// Configuration errors.
+    pub fn nn_dtw(&self, query: &[f32], band: usize) -> Result<Option<Match>, Error> {
+        match &self.inner {
+            MemoryInner::Messi(messi) => {
+                let cfg = self.options.messi_config(self.data.series_len())?;
+                Ok(dsidx_messi::exact_nn_dtw(messi, &self.data, query, band, &cfg))
+            }
+            _ => Ok(dsidx_ucr::scan_dtw_parallel(
+                &self.data,
+                query,
+                band,
+                self.options.effective_threads(),
+            )),
+        }
+    }
+
+    /// Structural statistics of the underlying tree.
+    #[must_use]
+    pub fn stats(&self) -> IndexStats {
+        match &self.inner {
+            MemoryInner::Ads(ads) => index_stats(&ads.index),
+            MemoryInner::Paris(paris) => index_stats(&paris.index),
+            MemoryInner::Messi(messi) => index_stats(&messi.index),
+        }
+    }
+}
+
+enum DiskInner {
+    Ads(dsidx_ads::AdsIndex),
+    Paris(dsidx_paris::ParisIndex),
+}
+
+/// An index over an on-disk dataset file; raw values are fetched (and
+/// charged to the device) at query time.
+pub struct DiskIndex {
+    file: DatasetFile,
+    engine: Engine,
+    options: Options,
+    inner: DiskInner,
+    build_report: Option<dsidx_paris::BuildReport>,
+    #[allow(dead_code)] // held so the leaf store file outlives the index
+    store_path: Option<PathBuf>,
+}
+
+impl DiskIndex {
+    /// Builds an index over the dataset file at `dataset_path`, modeling
+    /// the given device profile. `workdir` receives the leaf store.
+    ///
+    /// `Engine::Messi` is in-memory only and is rejected here.
+    ///
+    /// # Errors
+    /// I/O and configuration failures.
+    pub fn build(
+        dataset_path: &Path,
+        workdir: &Path,
+        engine: Engine,
+        options: &Options,
+        profile: DeviceProfile,
+    ) -> Result<Self, Error> {
+        let device = Arc::new(Device::new(profile));
+        let file = DatasetFile::open(dataset_path, device)?;
+        let series_len = file.series_len();
+        let (inner, build_report, store_path) = match engine {
+            Engine::Ads => {
+                let (ads, _) = dsidx_ads::build_from_file(
+                    &file,
+                    &options.tree_config(series_len)?,
+                    options.block_series,
+                )?;
+                (DiskInner::Ads(ads), None, None)
+            }
+            Engine::Paris | Engine::ParisPlus => {
+                let mode = if engine == Engine::Paris {
+                    dsidx_paris::Overlap::Paris
+                } else {
+                    dsidx_paris::Overlap::ParisPlus
+                };
+                std::fs::create_dir_all(workdir).map_err(dsidx_storage::StorageError::from)?;
+                let store_path = workdir.join(format!(
+                    "dsidx-leaves-{}.store",
+                    std::process::id()
+                ));
+                let (paris, report) = dsidx_paris::build_on_disk(
+                    &file,
+                    &store_path,
+                    &options.paris_config(series_len)?,
+                    mode,
+                )?;
+                (DiskInner::Paris(paris), Some(report), Some(store_path))
+            }
+            Engine::Messi => {
+                return Err(Error::Unsupported("MESSI is an in-memory index"));
+            }
+        };
+        Ok(Self { file, engine, options: options.clone(), inner, build_report, store_path })
+    }
+
+    /// The engine this index was built with.
+    #[must_use]
+    pub fn engine(&self) -> Engine {
+        self.engine
+    }
+
+    /// The dataset file the index answers from.
+    #[must_use]
+    pub fn file(&self) -> &DatasetFile {
+        &self.file
+    }
+
+    /// Build time decomposition (ParIS/ParIS+ only).
+    #[must_use]
+    pub fn build_report(&self) -> Option<&dsidx_paris::BuildReport> {
+        self.build_report.as_ref()
+    }
+
+    /// Exact 1-NN under Euclidean distance; raw reads go to the modeled
+    /// device. `None` for an empty dataset.
+    ///
+    /// # Errors
+    /// Propagates I/O failures.
+    pub fn nn(&self, query: &[f32]) -> Result<Option<Match>, Error> {
+        match &self.inner {
+            DiskInner::Ads(ads) => Ok(dsidx_ads::exact_nn(ads, &self.file, query)?.map(|(m, _)| m)),
+            DiskInner::Paris(paris) => Ok(dsidx_paris::exact_nn(
+                paris,
+                &self.file,
+                query,
+                self.options.effective_threads(),
+            )?
+            .map(|(m, _)| m)),
+        }
+    }
+
+    /// Structural statistics of the underlying tree.
+    #[must_use]
+    pub fn stats(&self) -> IndexStats {
+        match &self.inner {
+            DiskInner::Ads(ads) => index_stats(&ads.index),
+            DiskInner::Paris(paris) => index_stats(&paris.index),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dsidx_series::gen::DatasetKind;
+
+    #[test]
+    fn engine_parsing_and_names() {
+        assert_eq!("messi".parse::<Engine>().unwrap(), Engine::Messi);
+        assert_eq!("ParIS+".parse::<Engine>().unwrap(), Engine::ParisPlus);
+        assert_eq!("ads+".parse::<Engine>().unwrap(), Engine::Ads);
+        assert!("foo".parse::<Engine>().is_err());
+        assert_eq!(Engine::Messi.name(), "MESSI");
+    }
+
+    #[test]
+    fn all_memory_engines_agree() {
+        let data = DatasetKind::Synthetic.generate(400, 64, 77);
+        let opts = Options::default().with_threads(4).with_leaf_capacity(16);
+        let queries = DatasetKind::Synthetic.queries(5, 64, 77);
+        let indexes: Vec<MemoryIndex> = Engine::ALL
+            .iter()
+            .map(|&e| MemoryIndex::build(data.clone(), e, &opts).unwrap())
+            .collect();
+        for q in queries.iter() {
+            let want = dsidx_ucr::brute_force(&data, q).unwrap();
+            for idx in &indexes {
+                let got = idx.nn(q).unwrap().unwrap();
+                assert_eq!(got.pos, want.pos, "{}", idx.engine().name());
+            }
+        }
+    }
+
+    #[test]
+    fn messi_is_rejected_on_disk() {
+        let dir = std::env::temp_dir().join(format!("dsidx-core-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("m.dsidx");
+        let data = DatasetKind::Synthetic.generate(10, 64, 1);
+        dsidx_storage::write_dataset(&path, &data, Arc::new(Device::unthrottled())).unwrap();
+        let e = DiskIndex::build(
+            &path,
+            &dir,
+            Engine::Messi,
+            &Options::default(),
+            DeviceProfile::UNTHROTTLED,
+        );
+        assert!(matches!(e, Err(Error::Unsupported(_))));
+    }
+
+    #[test]
+    fn stats_are_available() {
+        let data = DatasetKind::Sald.generate(200, 64, 5);
+        let opts = Options::default().with_threads(2).with_leaf_capacity(10);
+        let idx = MemoryIndex::build(data, Engine::Messi, &opts).unwrap();
+        let st = idx.stats();
+        assert_eq!(st.entry_count, 200);
+        assert!(st.leaf_count > 0);
+    }
+}

@@ -1,0 +1,76 @@
+//! The facade error type.
+
+use std::fmt;
+
+/// Any error the facade can surface.
+#[derive(Debug)]
+pub enum Error {
+    /// Invalid iSAX / index configuration.
+    Config(dsidx_isax::IsaxError),
+    /// Storage-layer failure (I/O, format, device).
+    Storage(dsidx_storage::StorageError),
+    /// Series-level validation failure.
+    Series(dsidx_series::SeriesError),
+    /// The requested operation does not apply to the chosen engine.
+    Unsupported(&'static str),
+}
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Error::Config(e) => write!(f, "configuration error: {e}"),
+            Error::Storage(e) => write!(f, "storage error: {e}"),
+            Error::Series(e) => write!(f, "series error: {e}"),
+            Error::Unsupported(what) => write!(f, "unsupported operation: {what}"),
+        }
+    }
+}
+
+impl std::error::Error for Error {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            Error::Config(e) => Some(e),
+            Error::Storage(e) => Some(e),
+            Error::Series(e) => Some(e),
+            Error::Unsupported(_) => None,
+        }
+    }
+}
+
+impl From<dsidx_isax::IsaxError> for Error {
+    fn from(e: dsidx_isax::IsaxError) -> Self {
+        Error::Config(e)
+    }
+}
+
+impl From<dsidx_storage::StorageError> for Error {
+    fn from(e: dsidx_storage::StorageError) -> Self {
+        Error::Storage(e)
+    }
+}
+
+impl From<dsidx_series::SeriesError> for Error {
+    fn from(e: dsidx_series::SeriesError) -> Self {
+        Error::Series(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn displays_and_sources() {
+        use std::error::Error as _;
+        let e: Error = dsidx_isax::IsaxError::BadSegmentCount { requested: 0 }.into();
+        assert!(e.to_string().contains("configuration"));
+        assert!(e.source().is_some());
+        let e = Error::Unsupported("dtw on this engine");
+        assert!(e.to_string().contains("dtw"));
+        assert!(e.source().is_none());
+        let e: Error = dsidx_series::SeriesError::EmptySeries.into();
+        assert!(e.to_string().contains("series"));
+        let e: Error = dsidx_storage::StorageError::BadMagic.into();
+        assert!(e.to_string().contains("storage"));
+    }
+}

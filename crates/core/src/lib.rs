@@ -1,0 +1,62 @@
+//! # dsidx — parallel data series indexing
+//!
+//! A from-scratch Rust implementation of the systems in *“Data Series
+//! Indexing Gone Parallel”* (Peng, ICDE 2020 PhD Symposium): the **ParIS**
+//! and **ParIS+** on-disk parallel iSAX indices, the **MESSI** in-memory
+//! parallel index, and their evaluation baselines (**ADS+**-style serial
+//! index, **UCR Suite** serial/parallel scans), over a storage substrate
+//! with simulated HDD/SSD device profiles.
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use dsidx::prelude::*;
+//!
+//! // 100K random-walk series of length 256 at paper scale; small here.
+//! let data = DatasetKind::Synthetic.generate(2_000, 128, 42);
+//! let query = DatasetKind::Synthetic.queries(1, 128, 42);
+//!
+//! // Build an in-memory MESSI index and answer an exact 1-NN query.
+//! let index = MemoryIndex::build(data, Engine::Messi, &Options::default()).unwrap();
+//! let hit = index.nn(query.get(0)).unwrap().expect("non-empty");
+//! println!("nearest series: #{} at distance {}", hit.pos, hit.dist());
+//!
+//! // The same index answers DTW queries (Sakoe-Chiba band of 5%).
+//! let warped = index.nn_dtw(query.get(0), 128 / 20).unwrap().expect("non-empty");
+//! assert!(warped.dist_sq <= hit.dist_sq + 1e-3);
+//! ```
+//!
+//! ## Crate map
+//!
+//! The facade re-exports the underlying crates as modules:
+//!
+//! * [`series`] — datasets, z-normalization, distances (SIMD ED, DTW),
+//!   generators for the paper's dataset families;
+//! * [`isax`] — PAA, breakpoints, iSAX words, MINDIST lower bounds;
+//! * [`tree`] — the shared iSAX tree index structure;
+//! * [`storage`] — dataset files, device throttling profiles, leaf store;
+//! * [`ads`], [`ucr`], [`paris`], [`messi`] — the engines;
+//! * [`sync`] — the concurrency substrate (atomic BSF, Fetch&Inc claims).
+//!
+//! Use the facade types ([`MemoryIndex`], [`DiskIndex`]) for application
+//! code and the engine crates directly for experiments that need full
+//! control (the `dsidx-bench` harness does the latter).
+
+pub mod engine;
+pub mod error;
+pub mod options;
+pub mod prelude;
+
+pub use engine::{DiskIndex, Engine, MemoryIndex};
+pub use error::Error;
+pub use options::Options;
+
+pub use dsidx_ads as ads;
+pub use dsidx_isax as isax;
+pub use dsidx_messi as messi;
+pub use dsidx_paris as paris;
+pub use dsidx_series as series;
+pub use dsidx_storage as storage;
+pub use dsidx_sync as sync;
+pub use dsidx_tree as tree;
+pub use dsidx_ucr as ucr;

@@ -1,0 +1,8 @@
+//! Convenience re-exports for application code.
+
+pub use crate::engine::{DiskIndex, Engine, MemoryIndex};
+pub use crate::error::Error;
+pub use crate::options::Options;
+pub use dsidx_series::gen::DatasetKind;
+pub use dsidx_series::{Dataset, DataSeries, Match};
+pub use dsidx_storage::{Device, DeviceProfile};

@@ -1,0 +1,50 @@
+//! Error type for iSAX configuration.
+
+use std::fmt;
+
+/// Errors produced when configuring the iSAX quantizer.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum IsaxError {
+    /// `segments` was zero or exceeded [`crate::MAX_SEGMENTS`].
+    BadSegmentCount {
+        /// The requested segment count.
+        requested: usize,
+    },
+    /// The series length is smaller than the number of segments.
+    SeriesTooShort {
+        /// The series length.
+        series_len: usize,
+        /// The requested segment count.
+        segments: usize,
+    },
+}
+
+impl fmt::Display for IsaxError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match *self {
+            IsaxError::BadSegmentCount { requested } => write!(
+                f,
+                "segment count must be in 1..={}, got {requested}",
+                crate::MAX_SEGMENTS
+            ),
+            IsaxError::SeriesTooShort { series_len, segments } => write!(
+                f,
+                "series length {series_len} is shorter than {segments} segments"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for IsaxError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn messages() {
+        assert!(IsaxError::BadSegmentCount { requested: 99 }.to_string().contains("99"));
+        let e = IsaxError::SeriesTooShort { series_len: 4, segments: 16 };
+        assert!(e.to_string().contains('4'));
+    }
+}

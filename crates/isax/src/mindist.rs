@@ -1,0 +1,462 @@
+//! MINDIST lower-bound distances between query summaries and iSAX words.
+//!
+//! Soundness requirement (the index is exact only because of this): for any
+//! query `q` and candidate series `c`,
+//!
+//! ```text
+//! mindist_paa_node_sq(PAA(q), node_word(c)) <= ED(q, c)^2
+//! ```
+//!
+//! The per-segment argument: all points of `c` in segment `i` average to a
+//! value inside the region `[lo_i, hi_i)` encoded by the word, and
+//! `sum_{j in seg}(q_j - c_j)^2 >= len_i * (paa(q)_i - paa(c)_i)^2 >=
+//! len_i * d(paa(q)_i, [lo_i, hi_i))^2`.
+//!
+//! For query scans over the SAX array (ParIS stage 4), [`MindistTable`]
+//! precomputes the per-(segment, symbol) contribution once per query, so
+//! each array entry costs `w` table lookups and adds — the Rust counterpart
+//! of the paper's SIMD lower-bound kernel.
+
+use crate::breakpoints::breakpoints;
+use crate::word::{NodeWord, Word, MAX_BITS, MAX_CARDINALITY};
+
+/// Squared distance from a point to an interval (0 inside).
+#[inline]
+fn interval_dist_sq(v: f32, lo: f32, hi: f32) -> f32 {
+    if v < lo {
+        let d = lo - v;
+        d * d
+    } else if v > hi {
+        let d = v - hi;
+        d * d
+    } else {
+        0.0
+    }
+}
+
+/// Squared distance between two intervals (0 if they overlap).
+#[inline]
+fn interval_gap_sq(alo: f32, ahi: f32, blo: f32, bhi: f32) -> f32 {
+    if alo > bhi {
+        let d = alo - bhi;
+        d * d
+    } else if bhi >= alo && blo <= ahi {
+        0.0
+    } else {
+        let d = blo - ahi;
+        d * d
+    }
+}
+
+/// Squared MINDIST between a query PAA and a node's variable-cardinality
+/// word.
+///
+/// `seg_lens[i]` is the number of raw points in segment `i` (from
+/// [`crate::Quantizer::segment_lens`]).
+#[must_use]
+pub fn mindist_paa_node_sq(paa: &[f32], node: &NodeWord, seg_lens: &[u32]) -> f32 {
+    debug_assert_eq!(paa.len(), node.segments());
+    debug_assert_eq!(paa.len(), seg_lens.len());
+    let table = breakpoints();
+    let mut sum = 0.0f32;
+    for seg in 0..node.segments() {
+        let (lo, hi) = table.region(node.prefix(seg), node.bits(seg));
+        sum += seg_lens[seg] as f32 * interval_dist_sq(paa[seg], lo, hi);
+    }
+    sum
+}
+
+/// Squared MINDIST between a query PAA and a full-cardinality word (a SAX
+/// array entry or leaf entry).
+#[must_use]
+pub fn mindist_paa_word_sq(paa: &[f32], word: &Word, seg_lens: &[u32]) -> f32 {
+    debug_assert_eq!(paa.len(), word.segments());
+    debug_assert_eq!(paa.len(), seg_lens.len());
+    let table = breakpoints();
+    let mut sum = 0.0f32;
+    for seg in 0..word.segments() {
+        let (lo, hi) = table.region(word.symbol(seg), MAX_BITS);
+        sum += seg_lens[seg] as f32 * interval_dist_sq(paa[seg], lo, hi);
+    }
+    sum
+}
+
+/// Squared DTW MINDIST between a query's PAA envelope bounds
+/// (see [`crate::paa::envelope_paa_bounds`]) and a node word.
+///
+/// Lower-bounds `DTW(q, c)` for every `c` under the node, because every
+/// warped query point aligned with segment `i` lies within
+/// `[env_lo[i], env_hi[i]]`.
+#[must_use]
+pub fn mindist_envelope_node_sq(
+    env_lo: &[f32],
+    env_hi: &[f32],
+    node: &NodeWord,
+    seg_lens: &[u32],
+) -> f32 {
+    debug_assert_eq!(env_lo.len(), node.segments());
+    let table = breakpoints();
+    let mut sum = 0.0f32;
+    for seg in 0..node.segments() {
+        let (lo, hi) = table.region(node.prefix(seg), node.bits(seg));
+        sum += seg_lens[seg] as f32 * interval_gap_sq(env_lo[seg], env_hi[seg], lo, hi);
+    }
+    sum
+}
+
+/// A per-query lookup table for full-cardinality MINDIST evaluations.
+///
+/// `table[seg * 256 + symbol]` holds that segment's weighted squared
+/// contribution, so `lookup` is `w` gathers and adds per word.
+#[derive(Debug, Clone)]
+pub struct MindistTable {
+    table: Vec<f32>,
+    segments: usize,
+}
+
+impl MindistTable {
+    /// Builds the table for an ED query with PAA `paa`.
+    #[must_use]
+    pub fn new_point(paa: &[f32], seg_lens: &[u32]) -> Self {
+        Self::build(paa.len(), seg_lens, |seg, lo, hi| interval_dist_sq(paa[seg], lo, hi))
+    }
+
+    /// Builds the table for a DTW query with PAA envelope bounds.
+    #[must_use]
+    pub fn new_interval(env_lo: &[f32], env_hi: &[f32], seg_lens: &[u32]) -> Self {
+        Self::build(env_lo.len(), seg_lens, |seg, lo, hi| {
+            interval_gap_sq(env_lo[seg], env_hi[seg], lo, hi)
+        })
+    }
+
+    fn build(segments: usize, seg_lens: &[u32], dist: impl Fn(usize, f32, f32) -> f32) -> Self {
+        assert_eq!(segments, seg_lens.len());
+        let bp = breakpoints();
+        let mut table = vec![0.0f32; segments * MAX_CARDINALITY];
+        for seg in 0..segments {
+            let weight = seg_lens[seg] as f32;
+            let row = &mut table[seg * MAX_CARDINALITY..(seg + 1) * MAX_CARDINALITY];
+            for (symbol, slot) in row.iter_mut().enumerate() {
+                let (lo, hi) = bp.region(symbol as u8, MAX_BITS);
+                *slot = weight * dist(seg, lo, hi);
+            }
+        }
+        Self { table, segments }
+    }
+
+    /// Squared MINDIST to a full-cardinality word.
+    #[inline]
+    #[must_use]
+    pub fn lookup(&self, word: &Word) -> f32 {
+        debug_assert_eq!(word.segments(), self.segments);
+        let mut sum = 0.0f32;
+        for seg in 0..self.segments {
+            // SAFETY-free indexing: symbol is u8, rows are 256 wide.
+            sum += self.table[seg * MAX_CARDINALITY + word.symbol(seg) as usize];
+        }
+        sum
+    }
+}
+
+/// A per-query lookup table for *node-level* MINDIST evaluations at every
+/// cardinality.
+///
+/// `table[seg][bits-1][prefix]` holds the weighted squared contribution of
+/// segment `seg` when its region is the `prefix` region at `2^bits`
+/// cardinality. Tree traversal (MESSI) evaluates tens of thousands of node
+/// bounds per query; this reduces each to `w` lookups and adds, like
+/// [`MindistTable`] does for full-cardinality words.
+#[derive(Debug, Clone)]
+pub struct NodeMindistTable {
+    /// Flat layout: `seg * (MAX_BITS * MAX_CARDINALITY) + (bits-1) * MAX_CARDINALITY + prefix`.
+    table: Vec<f32>,
+    segments: usize,
+}
+
+impl NodeMindistTable {
+    /// Builds the table for an ED query with PAA `paa`.
+    #[must_use]
+    pub fn new_point(paa: &[f32], seg_lens: &[u32]) -> Self {
+        Self::build(paa.len(), seg_lens, |seg, lo, hi| interval_dist_sq(paa[seg], lo, hi))
+    }
+
+    /// Builds the table for a DTW query with PAA envelope bounds.
+    #[must_use]
+    pub fn new_interval(env_lo: &[f32], env_hi: &[f32], seg_lens: &[u32]) -> Self {
+        Self::build(env_lo.len(), seg_lens, |seg, lo, hi| {
+            interval_gap_sq(env_lo[seg], env_hi[seg], lo, hi)
+        })
+    }
+
+    fn build(segments: usize, seg_lens: &[u32], dist: impl Fn(usize, f32, f32) -> f32) -> Self {
+        assert_eq!(segments, seg_lens.len());
+        let bp = breakpoints();
+        let stride_seg = MAX_BITS as usize * MAX_CARDINALITY;
+        let mut table = vec![0.0f32; segments * stride_seg];
+        for seg in 0..segments {
+            let weight = seg_lens[seg] as f32;
+            for bits in 1..=MAX_BITS {
+                let row_base = seg * stride_seg + (bits as usize - 1) * MAX_CARDINALITY;
+                for prefix in 0..(1usize << bits) {
+                    let (lo, hi) = bp.region(prefix as u8, bits);
+                    table[row_base + prefix] = weight * dist(seg, lo, hi);
+                }
+            }
+        }
+        Self { table, segments }
+    }
+
+    /// The contribution of segment `seg` at one-bit cardinality, for both
+    /// prefixes `(bit 0, bit 1)`.
+    ///
+    /// Root subtrees all have one-bit words derived from their key, so the
+    /// engines scan root keys with these 2-entry rows instead of touching
+    /// tree nodes — the root level is by far the widest.
+    #[inline]
+    #[must_use]
+    pub fn root_pair(&self, seg: usize) -> (f32, f32) {
+        debug_assert!(seg < self.segments);
+        let base = seg * MAX_BITS as usize * MAX_CARDINALITY;
+        (self.table[base], self.table[base + 1])
+    }
+
+    /// Squared MINDIST to a variable-cardinality node word.
+    #[inline]
+    #[must_use]
+    pub fn lookup(&self, node: &NodeWord) -> f32 {
+        debug_assert_eq!(node.segments(), self.segments);
+        let stride_seg = MAX_BITS as usize * MAX_CARDINALITY;
+        let mut sum = 0.0f32;
+        for seg in 0..self.segments {
+            let idx = seg * stride_seg
+                + (node.bits(seg) as usize - 1) * MAX_CARDINALITY
+                + node.prefix(seg) as usize;
+            sum += self.table[idx];
+        }
+        sum
+    }
+
+    /// Squared MINDIST from raw `(bits, prefix)` arrays (used by the
+    /// flattened tree, which stores node words as plain byte arrays).
+    ///
+    /// Only the first `segments` entries of each slice are read.
+    #[inline]
+    #[must_use]
+    pub fn lookup_parts(&self, bits: &[u8], prefixes: &[u8]) -> f32 {
+        debug_assert!(bits.len() >= self.segments && prefixes.len() >= self.segments);
+        let stride_seg = MAX_BITS as usize * MAX_CARDINALITY;
+        let mut sum = 0.0f32;
+        for seg in 0..self.segments {
+            let idx = seg * stride_seg
+                + (bits[seg] as usize - 1) * MAX_CARDINALITY
+                + prefixes[seg] as usize;
+            sum += self.table[idx];
+        }
+        sum
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::quantizer::Quantizer;
+
+    fn series(seed: u64, n: usize) -> Vec<f32> {
+        let mut state = seed.wrapping_mul(0x9E37_79B9_7F4A_7C15) | 1;
+        let mut v: Vec<f32> = (0..n)
+            .map(|_| {
+                state ^= state << 13;
+                state ^= state >> 7;
+                state ^= state << 17;
+                ((state >> 40) as f32 / 16_777_216.0) * 4.0 - 2.0
+            })
+            .collect();
+        // z-normalize so values sit in breakpoint territory
+        let mean = v.iter().sum::<f32>() / n as f32;
+        let var = v.iter().map(|x| (x - mean) * (x - mean)).sum::<f32>() / n as f32;
+        let inv = 1.0 / var.sqrt().max(1e-6);
+        for x in &mut v {
+            *x = (*x - mean) * inv;
+        }
+        v
+    }
+
+    fn euclidean_sq(a: &[f32], b: &[f32]) -> f32 {
+        a.iter().zip(b).map(|(x, y)| (x - y) * (x - y)).sum()
+    }
+
+    #[test]
+    fn interval_dist_behaviour() {
+        assert_eq!(interval_dist_sq(0.5, 0.0, 1.0), 0.0);
+        assert_eq!(interval_dist_sq(-1.0, 0.0, 1.0), 1.0);
+        assert_eq!(interval_dist_sq(3.0, 0.0, 1.0), 4.0);
+        assert_eq!(interval_dist_sq(0.0, f32::NEG_INFINITY, 0.5), 0.0);
+    }
+
+    #[test]
+    fn interval_gap_behaviour() {
+        assert_eq!(interval_gap_sq(0.0, 1.0, 0.5, 2.0), 0.0, "overlap");
+        assert_eq!(interval_gap_sq(2.0, 3.0, 0.0, 1.0), 1.0, "a above b");
+        assert_eq!(interval_gap_sq(0.0, 1.0, 3.0, 4.0), 4.0, "a below b");
+        assert_eq!(interval_gap_sq(1.0, 2.0, 2.0, 3.0), 0.0, "touching");
+    }
+
+    #[test]
+    fn mindist_lower_bounds_euclidean() {
+        // The crate's central invariant, exercised over many random pairs.
+        let n = 64;
+        let q = Quantizer::new(n, 16).unwrap();
+        for seed in 0..200u64 {
+            let a = series(seed * 2 + 1, n);
+            let b = series(seed * 2 + 2, n);
+            let word_b = q.word(&b);
+            let paa_a = crate::paa::paa(&a, 16);
+            let ed = euclidean_sq(&a, &b);
+            let md = mindist_paa_word_sq(&paa_a, &word_b, q.segment_lens());
+            assert!(
+                md <= ed + ed.abs() * 1e-4 + 1e-4,
+                "seed={seed}: mindist {md} > ed {ed}"
+            );
+        }
+    }
+
+    #[test]
+    fn node_mindist_never_exceeds_word_mindist() {
+        // Coarser cardinality -> wider regions -> smaller (or equal) bound.
+        let n = 32;
+        let q = Quantizer::new(n, 8).unwrap();
+        for seed in 0..50u64 {
+            let a = series(seed + 1000, n);
+            let b = series(seed + 2000, n);
+            let word_b = q.word(&b);
+            let paa_a = crate::paa::paa(&a, 8);
+            let wd = mindist_paa_word_sq(&paa_a, &word_b, q.segment_lens());
+            // Build node words of decreasing precision containing b.
+            let root = NodeWord::root(word_b.root_key(), 8);
+            let nd = mindist_paa_node_sq(&paa_a, &root, q.segment_lens());
+            assert!(nd <= wd + wd.abs() * 1e-5 + 1e-6, "node bound must be looser");
+        }
+    }
+
+    #[test]
+    fn mindist_of_own_word_is_zero() {
+        let n = 64;
+        let q = Quantizer::new(n, 16).unwrap();
+        let a = series(77, n);
+        let w = q.word(&a);
+        let paa_a = crate::paa::paa(&a, 16);
+        assert_eq!(mindist_paa_word_sq(&paa_a, &w, q.segment_lens()), 0.0);
+        let root = NodeWord::root(w.root_key(), 16);
+        assert_eq!(mindist_paa_node_sq(&paa_a, &root, q.segment_lens()), 0.0);
+    }
+
+    #[test]
+    fn table_matches_direct_computation() {
+        let n = 128;
+        let q = Quantizer::new(n, 16).unwrap();
+        let a = series(5, n);
+        let paa_a = crate::paa::paa(&a, 16);
+        let table = MindistTable::new_point(&paa_a, q.segment_lens());
+        for seed in 0..50u64 {
+            let b = series(seed + 1, n);
+            let w = q.word(&b);
+            let direct = mindist_paa_word_sq(&paa_a, &w, q.segment_lens());
+            let looked = table.lookup(&w);
+            assert!(
+                (direct - looked).abs() <= direct.abs() * 1e-5 + 1e-6,
+                "direct {direct} vs table {looked}"
+            );
+        }
+    }
+
+    #[test]
+    fn envelope_mindist_is_zero_when_regions_overlap() {
+        let n = 32;
+        let q = Quantizer::new(n, 8).unwrap();
+        let a = series(9, n);
+        let w = q.word(&a);
+        let node = NodeWord::root(w.root_key(), 8);
+        let paa_a = crate::paa::paa(&a, 8);
+        // Envelope that covers the PAA exactly: bound must be <= point bound.
+        let env_md = mindist_envelope_node_sq(&paa_a, &paa_a, &node, q.segment_lens());
+        let pt_md = mindist_paa_node_sq(&paa_a, &node, q.segment_lens());
+        assert!(env_md <= pt_md + 1e-6);
+        // A wider envelope can only shrink the bound.
+        let lo: Vec<f32> = paa_a.iter().map(|v| v - 0.5).collect();
+        let hi: Vec<f32> = paa_a.iter().map(|v| v + 0.5).collect();
+        let wide = mindist_envelope_node_sq(&lo, &hi, &node, q.segment_lens());
+        assert!(wide <= env_md + 1e-6);
+    }
+
+    #[test]
+    fn node_table_matches_direct_node_mindist() {
+        let n = 64;
+        let q = Quantizer::new(n, 16).unwrap();
+        let a = series(21, n);
+        let paa_a = crate::paa::paa(&a, 16);
+        let table = NodeMindistTable::new_point(&paa_a, q.segment_lens());
+        for seed in 0..40u64 {
+            let b = series(seed + 300, n);
+            let word_b = q.word(&b);
+            // Walk a refinement path, checking the table at every level.
+            let mut node = NodeWord::root(word_b.root_key(), 16);
+            for k in 0..24 {
+                let direct = mindist_paa_node_sq(&paa_a, &node, q.segment_lens());
+                let looked = table.lookup(&node);
+                assert!(
+                    (direct - looked).abs() <= direct.abs() * 1e-5 + 1e-6,
+                    "seed={seed} k={k}: direct {direct} vs table {looked}"
+                );
+                let seg = k % 16;
+                if !node.can_split(seg) {
+                    continue;
+                }
+                let (zero, one) = node.split(seg);
+                node = if node.split_bit(&word_b, seg) { one } else { zero };
+            }
+        }
+    }
+
+    #[test]
+    fn node_interval_table_matches_direct() {
+        let n = 64;
+        let q = Quantizer::new(n, 8).unwrap();
+        let a = series(33, n);
+        let paa_a = crate::paa::paa(&a, 8);
+        let lo: Vec<f32> = paa_a.iter().map(|v| v - 0.4).collect();
+        let hi: Vec<f32> = paa_a.iter().map(|v| v + 0.4).collect();
+        let table = NodeMindistTable::new_interval(&lo, &hi, q.segment_lens());
+        for seed in 0..30u64 {
+            let b = series(seed + 900, n);
+            let word_b = q.word(&b);
+            let node = NodeWord::root(word_b.root_key(), 8);
+            let direct = mindist_envelope_node_sq(&lo, &hi, &node, q.segment_lens());
+            assert!((direct - table.lookup(&node)).abs() <= direct.abs() * 1e-5 + 1e-6);
+        }
+    }
+
+    #[test]
+    fn interval_table_matches_direct() {
+        let n = 64;
+        let q = Quantizer::new(n, 16).unwrap();
+        let a = series(13, n);
+        let paa_a = crate::paa::paa(&a, 16);
+        let lo: Vec<f32> = paa_a.iter().map(|v| v - 0.3).collect();
+        let hi: Vec<f32> = paa_a.iter().map(|v| v + 0.3).collect();
+        let table = MindistTable::new_interval(&lo, &hi, q.segment_lens());
+        for seed in 0..30u64 {
+            let b = series(seed + 500, n);
+            let w = q.word(&b);
+            // Direct: full-cardinality node word equivalent.
+            let mut direct = 0.0f32;
+            let bp = breakpoints();
+            for seg in 0..16 {
+                let (rlo, rhi) = bp.region(w.symbol(seg), MAX_BITS);
+                direct +=
+                    q.segment_lens()[seg] as f32 * interval_gap_sq(lo[seg], hi[seg], rlo, rhi);
+            }
+            let looked = table.lookup(&w);
+            assert!((direct - looked).abs() <= direct.abs() * 1e-5 + 1e-6);
+        }
+    }
+}

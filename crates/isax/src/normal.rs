@@ -1,0 +1,129 @@
+//! Inverse standard-normal CDF (quantile function).
+//!
+//! iSAX breakpoints are N(0, 1) quantiles. We implement Peter Acklam's
+//! rational approximation (relative error < 1.15e-9 over (0, 1)) rather
+//! than pulling in a stats crate; breakpoints are computed once per process
+//! and cached, so speed is irrelevant but determinism matters.
+
+/// Acklam's rational approximation of `Phi^{-1}(p)`.
+///
+/// # Panics
+/// Panics unless `0 < p < 1`.
+#[must_use]
+pub fn inv_norm_cdf(p: f64) -> f64 {
+    assert!(p > 0.0 && p < 1.0, "inv_norm_cdf requires 0 < p < 1, got {p}");
+
+    const A: [f64; 6] = [
+        -3.969_683_028_665_376e1,
+        2.209_460_984_245_205e2,
+        -2.759_285_104_469_687e2,
+        1.383_577_518_672_69e2,
+        -3.066_479_806_614_716e1,
+        2.506_628_277_459_239,
+    ];
+    const B: [f64; 5] = [
+        -5.447_609_879_822_406e1,
+        1.615_858_368_580_409e2,
+        -1.556_989_798_598_866e2,
+        6.680_131_188_771_972e1,
+        -1.328_068_155_288_572e1,
+    ];
+    const C: [f64; 6] = [
+        -7.784_894_002_430_293e-3,
+        -3.223_964_580_411_365e-1,
+        -2.400_758_277_161_838,
+        -2.549_732_539_343_734,
+        4.374_664_141_464_968,
+        2.938_163_982_698_783,
+    ];
+    const D: [f64; 4] = [
+        7.784_695_709_041_462e-3,
+        3.224_671_290_700_398e-1,
+        2.445_134_137_142_996,
+        3.754_408_661_907_416,
+    ];
+    const P_LOW: f64 = 0.02425;
+
+    if p < P_LOW {
+        // Lower tail.
+        let q = (-2.0 * p.ln()).sqrt();
+        (((((C[0] * q + C[1]) * q + C[2]) * q + C[3]) * q + C[4]) * q + C[5])
+            / ((((D[0] * q + D[1]) * q + D[2]) * q + D[3]) * q + 1.0)
+    } else if p <= 1.0 - P_LOW {
+        // Central region.
+        let q = p - 0.5;
+        let r = q * q;
+        (((((A[0] * r + A[1]) * r + A[2]) * r + A[3]) * r + A[4]) * r + A[5]) * q
+            / (((((B[0] * r + B[1]) * r + B[2]) * r + B[3]) * r + B[4]) * r + 1.0)
+    } else {
+        // Upper tail: symmetric to the lower tail.
+        let q = (-2.0 * (1.0 - p).ln()).sqrt();
+        -((((((C[0] * q + C[1]) * q + C[2]) * q + C[3]) * q + C[4]) * q + C[5])
+            / ((((D[0] * q + D[1]) * q + D[2]) * q + D[3]) * q + 1.0))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn median_is_zero() {
+        assert!(inv_norm_cdf(0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn known_quantiles() {
+        // Reference values from standard normal tables.
+        let cases = [
+            (0.975, 1.959_963_984_540_054),
+            (0.95, 1.644_853_626_951_472),
+            (0.841_344_746_068_543, 1.0),
+            (0.99, 2.326_347_874_040_841),
+            (0.999, 3.090_232_306_167_813),
+        ];
+        for (p, want) in cases {
+            let got = inv_norm_cdf(p);
+            assert!((got - want).abs() < 1e-7, "p={p}: got {got}, want {want}");
+        }
+    }
+
+    #[test]
+    fn symmetry() {
+        for p in [0.001, 0.01, 0.1, 0.25, 0.4, 0.49] {
+            let lo = inv_norm_cdf(p);
+            let hi = inv_norm_cdf(1.0 - p);
+            assert!((lo + hi).abs() < 1e-9, "p={p}: {lo} vs {hi}");
+        }
+    }
+
+    #[test]
+    fn strictly_increasing() {
+        let mut prev = f64::NEG_INFINITY;
+        let mut p = 1e-6;
+        while p < 1.0 - 1e-6 {
+            let v = inv_norm_cdf(p);
+            assert!(v > prev, "not increasing at p={p}");
+            prev = v;
+            p += 1e-3;
+        }
+    }
+
+    #[test]
+    fn tails_are_large() {
+        assert!(inv_norm_cdf(1e-10) < -6.0);
+        assert!(inv_norm_cdf(1.0 - 1e-10) > 6.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "requires 0 < p < 1")]
+    fn rejects_zero() {
+        let _ = inv_norm_cdf(0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "requires 0 < p < 1")]
+    fn rejects_one() {
+        let _ = inv_norm_cdf(1.0);
+    }
+}

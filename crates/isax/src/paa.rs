@@ -1,0 +1,127 @@
+//! Piecewise Aggregate Approximation.
+//!
+//! A series of length `n` is cut into `w` contiguous segments; segment `i`
+//! covers positions `[i*n/w, (i+1)*n/w)` (integer division), so lengths
+//! differ by at most one when `w` does not divide `n`. Each segment is
+//! summarized by its mean.
+
+/// Returns the start offsets of each segment plus the final end offset
+/// (`w + 1` entries).
+#[must_use]
+pub fn segment_bounds(series_len: usize, segments: usize) -> Vec<usize> {
+    assert!(segments > 0 && segments <= series_len, "invalid segmentation");
+    (0..=segments).map(|i| i * series_len / segments).collect()
+}
+
+/// Computes the PAA of `series` into `out` (`out.len()` segments).
+///
+/// # Panics
+/// Panics if `out` is empty or longer than `series`.
+pub fn paa_into(series: &[f32], out: &mut [f32]) {
+    let w = out.len();
+    assert!(w > 0 && w <= series.len(), "invalid segmentation");
+    let n = series.len();
+    let mut start = 0;
+    for (i, o) in out.iter_mut().enumerate() {
+        let end = (i + 1) * n / w;
+        let seg = &series[start..end];
+        let sum: f32 = seg.iter().sum();
+        *o = sum / seg.len() as f32;
+        start = end;
+    }
+}
+
+/// Allocating convenience wrapper around [`paa_into`].
+#[must_use]
+pub fn paa(series: &[f32], segments: usize) -> Vec<f32> {
+    let mut out = vec![0.0; segments];
+    paa_into(series, &mut out);
+    out
+}
+
+/// Per-segment PAA bounds of a DTW envelope: segment-max of the upper
+/// envelope and segment-min of the lower envelope.
+///
+/// Using max/min (rather than means) keeps the PAA-level DTW lower bound
+/// sound: every warped alignment of the query stays inside
+/// `[lower_out[i], upper_out[i]]` for each candidate point of segment `i`.
+pub fn envelope_paa_bounds(
+    lower_env: &[f32],
+    upper_env: &[f32],
+    lower_out: &mut [f32],
+    upper_out: &mut [f32],
+) {
+    assert_eq!(lower_env.len(), upper_env.len(), "envelope length mismatch");
+    assert_eq!(lower_out.len(), upper_out.len(), "output length mismatch");
+    let w = lower_out.len();
+    let n = lower_env.len();
+    assert!(w > 0 && w <= n, "invalid segmentation");
+    let mut start = 0;
+    for i in 0..w {
+        let end = (i + 1) * n / w;
+        lower_out[i] = lower_env[start..end].iter().copied().fold(f32::INFINITY, f32::min);
+        upper_out[i] = upper_env[start..end].iter().copied().fold(f32::NEG_INFINITY, f32::max);
+        start = end;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn exact_division() {
+        let s = [1.0, 1.0, 2.0, 2.0, 3.0, 3.0, 4.0, 4.0];
+        assert_eq!(paa(&s, 4), vec![1.0, 2.0, 3.0, 4.0]);
+    }
+
+    #[test]
+    fn single_segment_is_mean() {
+        let s = [1.0, 2.0, 3.0, 4.0];
+        assert_eq!(paa(&s, 1), vec![2.5]);
+    }
+
+    #[test]
+    fn segments_equal_length_is_identity() {
+        let s = [3.0, -1.0, 2.0];
+        assert_eq!(paa(&s, 3), s.to_vec());
+    }
+
+    #[test]
+    fn uneven_division_covers_everything() {
+        // n=10, w=3 -> bounds 0,3,6,10 -> segments of 3,3,4.
+        let bounds = segment_bounds(10, 3);
+        assert_eq!(bounds, vec![0, 3, 6, 10]);
+        let s: Vec<f32> = (0..10).map(|i| i as f32).collect();
+        let p = paa(&s, 3);
+        assert_eq!(p, vec![1.0, 4.0, 7.5]);
+    }
+
+    #[test]
+    fn paa_preserves_global_mean_when_even() {
+        let s: Vec<f32> = (0..64).map(|i| ((i * 37) % 13) as f32).collect();
+        let p = paa(&s, 16);
+        let series_mean: f32 = s.iter().sum::<f32>() / 64.0;
+        let paa_mean: f32 = p.iter().sum::<f32>() / 16.0;
+        assert!((series_mean - paa_mean).abs() < 1e-4);
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid segmentation")]
+    fn more_segments_than_points_panics() {
+        let _ = paa(&[1.0, 2.0], 3);
+    }
+
+    #[test]
+    fn envelope_paa_bounds_bracket_paa() {
+        let s: Vec<f32> = (0..32).map(|i| (i as f32 * 0.3).sin()).collect();
+        // Degenerate envelope (radius 0) -> bounds bracket the PAA means.
+        let mut lo = vec![0.0; 8];
+        let mut hi = vec![0.0; 8];
+        envelope_paa_bounds(&s, &s, &mut lo, &mut hi);
+        let p = paa(&s, 8);
+        for i in 0..8 {
+            assert!(lo[i] <= p[i] && p[i] <= hi[i]);
+        }
+    }
+}

@@ -1,0 +1,326 @@
+//! iSAX words: full-cardinality summaries and variable-cardinality node
+//! words.
+//!
+//! A [`Word`] is the summary stored per series (in leaves and in the SAX
+//! array): every segment quantized at the maximum cardinality
+//! (`2^MAX_BITS = 256`). A [`NodeWord`] describes an index node: each
+//! segment keeps only a *prefix* of `bits[i]` bits, so a node covers every
+//! word whose symbols start with those prefixes.
+
+/// Maximum number of segments a word can hold (the paper uses exactly 16).
+pub const MAX_SEGMENTS: usize = 16;
+/// Maximum cardinality in bits per segment.
+pub const MAX_BITS: u8 = 8;
+/// Maximum cardinality (`2^MAX_BITS`).
+pub const MAX_CARDINALITY: usize = 1 << MAX_BITS;
+
+/// A full-cardinality iSAX word: one 8-bit symbol per segment.
+///
+/// `Copy` and 17 bytes — the tree and the SAX array store these by value in
+/// flat arrays.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Word {
+    symbols: [u8; MAX_SEGMENTS],
+    segments: u8,
+}
+
+impl Word {
+    /// Builds a word from one symbol per segment.
+    ///
+    /// # Panics
+    /// Panics if `symbols` is empty or longer than [`MAX_SEGMENTS`].
+    #[must_use]
+    pub fn new(symbols: &[u8]) -> Self {
+        assert!(
+            !symbols.is_empty() && symbols.len() <= MAX_SEGMENTS,
+            "segment count must be in 1..={MAX_SEGMENTS}"
+        );
+        let mut arr = [0u8; MAX_SEGMENTS];
+        arr[..symbols.len()].copy_from_slice(symbols);
+        Self { symbols: arr, segments: symbols.len() as u8 }
+    }
+
+    /// Number of segments.
+    #[inline]
+    #[must_use]
+    pub fn segments(&self) -> usize {
+        self.segments as usize
+    }
+
+    /// The full-cardinality symbol of segment `seg`.
+    #[inline]
+    #[must_use]
+    pub fn symbol(&self, seg: usize) -> u8 {
+        debug_assert!(seg < self.segments());
+        self.symbols[seg]
+    }
+
+    /// The symbols as a slice (`segments` bytes).
+    #[inline]
+    #[must_use]
+    pub fn symbols(&self) -> &[u8] {
+        &self.symbols[..self.segments()]
+    }
+
+    /// The `bits`-bit prefix of segment `seg`'s symbol — i.e. the symbol at
+    /// cardinality `2^bits`.
+    #[inline]
+    #[must_use]
+    pub fn prefix(&self, seg: usize, bits: u8) -> u8 {
+        debug_assert!((1..=MAX_BITS).contains(&bits));
+        self.symbol(seg) >> (MAX_BITS - bits)
+    }
+
+    /// The root key: the most significant bit of every segment, packed with
+    /// segment 0 at the most significant position.
+    ///
+    /// This is what Stage 1/2 of the pipelines use to route a series to its
+    /// root subtree (and its receiving buffer).
+    #[inline]
+    #[must_use]
+    pub fn root_key(&self) -> u16 {
+        let mut key = 0u16;
+        for seg in 0..self.segments() {
+            key = (key << 1) | u16::from(self.symbols[seg] >> (MAX_BITS - 1));
+        }
+        key
+    }
+}
+
+/// A variable-cardinality word describing an index node.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct NodeWord {
+    /// Per-segment prefix, stored right-aligned (the symbol at `2^bits[i]`).
+    prefixes: [u8; MAX_SEGMENTS],
+    /// Per-segment cardinality in bits, each in `1..=MAX_BITS`.
+    bits: [u8; MAX_SEGMENTS],
+    segments: u8,
+}
+
+impl NodeWord {
+    /// The word of a root subtree: one bit per segment, taken from `key`
+    /// (as produced by [`Word::root_key`]).
+    #[must_use]
+    pub fn root(key: u16, segments: usize) -> Self {
+        assert!((1..=MAX_SEGMENTS).contains(&segments));
+        let mut prefixes = [0u8; MAX_SEGMENTS];
+        for seg in 0..segments {
+            prefixes[seg] = ((key >> (segments - 1 - seg)) & 1) as u8;
+        }
+        Self { prefixes, bits: [1; MAX_SEGMENTS], segments: segments as u8 }
+    }
+
+    /// Number of segments.
+    #[inline]
+    #[must_use]
+    pub fn segments(&self) -> usize {
+        self.segments as usize
+    }
+
+    /// Cardinality (in bits) of segment `seg`.
+    #[inline]
+    #[must_use]
+    pub fn bits(&self, seg: usize) -> u8 {
+        debug_assert!(seg < self.segments());
+        self.bits[seg]
+    }
+
+    /// Prefix (symbol at this node's cardinality) of segment `seg`.
+    #[inline]
+    #[must_use]
+    pub fn prefix(&self, seg: usize) -> u8 {
+        debug_assert!(seg < self.segments());
+        self.prefixes[seg]
+    }
+
+    /// `true` iff `word` falls under this node (every segment's symbol
+    /// starts with the node's prefix).
+    #[inline]
+    #[must_use]
+    pub fn contains(&self, word: &Word) -> bool {
+        debug_assert_eq!(self.segments(), word.segments());
+        for seg in 0..self.segments() {
+            if word.prefix(seg, self.bits[seg]) != self.prefixes[seg] {
+                return false;
+            }
+        }
+        true
+    }
+
+    /// `true` if segment `seg` can still be refined.
+    #[inline]
+    #[must_use]
+    pub fn can_split(&self, seg: usize) -> bool {
+        self.bits(seg) < MAX_BITS
+    }
+
+    /// The two child words obtained by refining segment `seg` with one more
+    /// bit (`0` child first).
+    ///
+    /// # Panics
+    /// Panics if the segment is already at maximum cardinality.
+    #[must_use]
+    pub fn split(&self, seg: usize) -> (NodeWord, NodeWord) {
+        assert!(self.can_split(seg), "segment {seg} already at max cardinality");
+        let mut zero = *self;
+        zero.bits[seg] += 1;
+        zero.prefixes[seg] <<= 1;
+        let mut one = zero;
+        one.prefixes[seg] |= 1;
+        (zero, one)
+    }
+
+    /// Which child of a split on `seg` the given word belongs to
+    /// (`false` = zero child).
+    #[inline]
+    #[must_use]
+    pub fn split_bit(&self, word: &Word, seg: usize) -> bool {
+        debug_assert!(self.can_split(seg));
+        // The bit right below the current prefix.
+        (word.symbol(seg) >> (MAX_BITS - self.bits(seg) - 1)) & 1 == 1
+    }
+
+    /// Sum of all segment cardinalities in bits (a depth measure).
+    #[must_use]
+    pub fn total_bits(&self) -> u32 {
+        (0..self.segments()).map(|s| u32::from(self.bits[s])).sum()
+    }
+}
+
+impl std::fmt::Display for NodeWord {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        // Formats like the literature: 10_2 01_2 1_1 ... (prefix_bits).
+        for seg in 0..self.segments() {
+            if seg > 0 {
+                write!(f, " ")?;
+            }
+            let bits = self.bits(seg);
+            write!(f, "{:0width$b}", self.prefix(seg), width = bits as usize)?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn word_basics() {
+        let w = Word::new(&[1, 2, 3, 255]);
+        assert_eq!(w.segments(), 4);
+        assert_eq!(w.symbol(3), 255);
+        assert_eq!(w.symbols(), &[1, 2, 3, 255]);
+    }
+
+    #[test]
+    #[should_panic(expected = "segment count")]
+    fn word_rejects_empty() {
+        let _ = Word::new(&[]);
+    }
+
+    #[test]
+    #[should_panic(expected = "segment count")]
+    fn word_rejects_too_many_segments() {
+        let _ = Word::new(&[0u8; 17]);
+    }
+
+    #[test]
+    fn prefix_extraction() {
+        let w = Word::new(&[0b1011_0110]);
+        assert_eq!(w.prefix(0, 1), 0b1);
+        assert_eq!(w.prefix(0, 3), 0b101);
+        assert_eq!(w.prefix(0, 8), 0b1011_0110);
+    }
+
+    #[test]
+    fn root_key_packs_msbs() {
+        let w = Word::new(&[0b1000_0000, 0b0111_1111, 0b1100_0000]);
+        assert_eq!(w.root_key(), 0b101);
+    }
+
+    #[test]
+    fn root_word_round_trips_key() {
+        for segments in [1usize, 3, 8, 16] {
+            let max_key = (1u32 << segments) - 1;
+            for key in [0u32, 1, max_key / 2, max_key] {
+                let node = NodeWord::root(key as u16, segments);
+                for seg in 0..segments {
+                    assert_eq!(node.bits(seg), 1);
+                    let expect = ((key >> (segments - 1 - seg)) & 1) as u8;
+                    assert_eq!(node.prefix(seg), expect);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn root_contains_words_with_matching_msbs() {
+        let w = Word::new(&[0b1010_1010, 0b0101_0101]);
+        let node = NodeWord::root(w.root_key(), 2);
+        assert!(node.contains(&w));
+        let other = Word::new(&[0b0010_1010, 0b0101_0101]); // first MSB differs
+        assert!(!node.contains(&other));
+    }
+
+    #[test]
+    fn split_partitions_containment() {
+        let w0 = Word::new(&[0b1000_0000, 0b0100_0000]);
+        let w1 = Word::new(&[0b1100_0000, 0b0100_0000]);
+        let node = NodeWord::root(w0.root_key(), 2);
+        assert!(node.contains(&w0) && node.contains(&w1));
+        let (zero, one) = node.split(0);
+        assert!(zero.contains(&w0) && !zero.contains(&w1));
+        assert!(!one.contains(&w0) && one.contains(&w1));
+        assert_eq!(zero.bits(0), 2);
+        assert_eq!(zero.bits(1), 1);
+        // split_bit agrees with child containment.
+        assert!(!node.split_bit(&w0, 0));
+        assert!(node.split_bit(&w1, 0));
+    }
+
+    #[test]
+    fn split_to_max_bits_then_refuses() {
+        let mut node = NodeWord::root(0, 1);
+        for _ in 1..MAX_BITS {
+            let (zero, _) = node.split(0);
+            node = zero;
+        }
+        assert_eq!(node.bits(0), MAX_BITS);
+        assert!(!node.can_split(0));
+    }
+
+    #[test]
+    #[should_panic(expected = "max cardinality")]
+    fn split_at_max_panics() {
+        let mut node = NodeWord::root(0, 1);
+        for _ in 1..MAX_BITS {
+            node = node.split(0).0;
+        }
+        let _ = node.split(0);
+    }
+
+    #[test]
+    fn total_bits_counts() {
+        let node = NodeWord::root(0, 4);
+        assert_eq!(node.total_bits(), 4);
+        let (zero, _) = node.split(2);
+        assert_eq!(zero.total_bits(), 5);
+    }
+
+    #[test]
+    fn display_formats_prefix_bits() {
+        let node = NodeWord::root(0b10, 2);
+        let (zero, one) = node.split(1);
+        assert_eq!(format!("{node}"), "1 0");
+        assert_eq!(format!("{zero}"), "1 00");
+        assert_eq!(format!("{one}"), "1 01");
+    }
+
+    #[test]
+    fn words_are_small() {
+        // The SAX array stores millions of these; keep them compact.
+        assert!(std::mem::size_of::<Word>() <= 20);
+        assert!(std::mem::size_of::<NodeWord>() <= 36);
+    }
+}

@@ -1,0 +1,143 @@
+//! Property-based tests for the iSAX substrate — centered on the soundness
+//! invariant that makes every engine's pruning exact.
+
+use dsidx_isax::breakpoints::breakpoints;
+use dsidx_isax::mindist::{
+    mindist_envelope_node_sq, mindist_paa_node_sq, mindist_paa_word_sq, MindistTable,
+};
+use dsidx_isax::paa::{envelope_paa_bounds, paa};
+use dsidx_isax::word::{NodeWord, MAX_BITS};
+use dsidx_isax::Quantizer;
+use dsidx_series::distance::{dtw, euclidean_sq};
+use dsidx_series::znorm::znormalize;
+use proptest::prelude::*;
+
+/// A pair of z-normalized series of equal length plus a segment count.
+fn config_and_pair() -> impl Strategy<Value = (usize, Vec<f32>, Vec<f32>)> {
+    (1usize..=16).prop_flat_map(|w| {
+        (w..=256usize).prop_flat_map(move |n| {
+            (
+                Just(w),
+                prop::collection::vec(-5.0f32..5.0, n).prop_map(|mut v| {
+                    znormalize(&mut v);
+                    v
+                }),
+                prop::collection::vec(-5.0f32..5.0, n).prop_map(|mut v| {
+                    znormalize(&mut v);
+                    v
+                }),
+            )
+        })
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// THE invariant: MINDIST(PAA(q), word(c)) <= ED(q, c)^2.
+    #[test]
+    fn word_mindist_lower_bounds_euclidean((w, q, c) in config_and_pair()) {
+        let quant = Quantizer::new(q.len(), w).unwrap();
+        let word_c = quant.word(&c);
+        let paa_q = paa(&q, w);
+        let ed = euclidean_sq(&q, &c);
+        let md = mindist_paa_word_sq(&paa_q, &word_c, quant.segment_lens());
+        prop_assert!(md <= ed + ed.abs() * 1e-3 + 1e-3, "mindist {md} > ed {ed}");
+    }
+
+    /// Node-level bound is looser than (or equal to) the word-level bound,
+    /// and still lower-bounds ED — at every refinement level along the path.
+    #[test]
+    fn node_mindist_chain((w, q, c) in config_and_pair(), splits in 0usize..20) {
+        let quant = Quantizer::new(q.len(), w).unwrap();
+        let word_c = quant.word(&c);
+        let paa_q = paa(&q, w);
+        let ed = euclidean_sq(&q, &c);
+        let wd = mindist_paa_word_sq(&paa_q, &word_c, quant.segment_lens());
+
+        let mut node = NodeWord::root(word_c.root_key(), w);
+        let mut prev = mindist_paa_node_sq(&paa_q, &node, quant.segment_lens());
+        prop_assert!(prev <= ed + ed.abs() * 1e-3 + 1e-3);
+        // Refine along c's path; the bound must be monotone non-decreasing.
+        for k in 0..splits {
+            let seg = k % w;
+            if !node.can_split(seg) {
+                continue;
+            }
+            let (zero, one) = node.split(seg);
+            node = if node.split_bit(&word_c, seg) { one } else { zero };
+            prop_assert!(node.contains(&word_c), "containment along path");
+            let cur = mindist_paa_node_sq(&paa_q, &node, quant.segment_lens());
+            prop_assert!(cur + 1e-5 >= prev, "refinement loosened the bound");
+            prop_assert!(cur <= wd + wd.abs() * 1e-5 + 1e-5, "node bound above word bound");
+            prev = cur;
+        }
+    }
+
+    /// The per-query lookup table is exactly the direct computation.
+    #[test]
+    fn table_lookup_equals_direct((w, q, c) in config_and_pair()) {
+        let quant = Quantizer::new(q.len(), w).unwrap();
+        let word_c = quant.word(&c);
+        let paa_q = paa(&q, w);
+        let table = MindistTable::new_point(&paa_q, quant.segment_lens());
+        let direct = mindist_paa_word_sq(&paa_q, &word_c, quant.segment_lens());
+        let looked = table.lookup(&word_c);
+        prop_assert!((direct - looked).abs() <= direct.abs() * 1e-5 + 1e-6);
+    }
+
+    /// DTW envelope MINDIST lower-bounds the true banded DTW.
+    #[test]
+    fn envelope_mindist_lower_bounds_dtw((w, q, c) in config_and_pair(), band_frac in 0.0f64..0.2) {
+        let band = ((q.len() as f64) * band_frac) as usize;
+        let quant = Quantizer::new(q.len(), w).unwrap();
+        let word_c = quant.word(&c);
+        let node = NodeWord::root(word_c.root_key(), w);
+
+        let mut lo_env = Vec::new();
+        let mut hi_env = Vec::new();
+        dtw::envelope(&q, band, &mut lo_env, &mut hi_env);
+        let mut lo_paa = vec![0.0; w];
+        let mut hi_paa = vec![0.0; w];
+        envelope_paa_bounds(&lo_env, &hi_env, &mut lo_paa, &mut hi_paa);
+
+        let d = dtw::dtw_sq(&q, &c, band);
+        let md_node = mindist_envelope_node_sq(&lo_paa, &hi_paa, &node, quant.segment_lens());
+        prop_assert!(md_node <= d + d.abs() * 1e-3 + 1e-3, "node dtw bound {md_node} > dtw {d}");
+        let table = MindistTable::new_interval(&lo_paa, &hi_paa, quant.segment_lens());
+        let md_word = table.lookup(&word_c);
+        prop_assert!(md_word <= d + d.abs() * 1e-3 + 1e-3, "word dtw bound {md_word} > dtw {d}");
+    }
+
+    /// Quantization/prefix coherence for arbitrary values.
+    #[test]
+    fn symbol_prefix_coherence(v in -10.0f32..10.0) {
+        let t = breakpoints();
+        let full = t.symbol(v, MAX_BITS);
+        for bits in 1..MAX_BITS {
+            prop_assert_eq!(t.symbol(v, bits), full >> (MAX_BITS - bits));
+        }
+        // Value lies in its region at every cardinality.
+        for bits in 1..=MAX_BITS {
+            let s = t.symbol(v, bits);
+            let (lo, hi) = t.region(s, bits);
+            prop_assert!(lo <= v && v < hi);
+        }
+    }
+
+    /// After a split, a contained word lands in exactly one child.
+    #[test]
+    fn split_is_a_partition((w, q, _c) in config_and_pair(), seg_pick in 0usize..16) {
+        let quant = Quantizer::new(q.len(), w).unwrap();
+        let word = quant.word(&q);
+        let node = NodeWord::root(word.root_key(), w);
+        let seg = seg_pick % w;
+        if node.can_split(seg) {
+            let (zero, one) = node.split(seg);
+            let in_zero = zero.contains(&word);
+            let in_one = one.contains(&word);
+            prop_assert!(in_zero ^ in_one, "must land in exactly one child");
+            prop_assert_eq!(in_one, node.split_bit(&word, seg));
+        }
+    }
+}

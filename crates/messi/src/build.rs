@@ -1,0 +1,249 @@
+//! MESSI index construction (stages 1–2 of Fig. 3).
+
+use crate::config::{BufferMode, MessiConfig};
+use dsidx_isax::Word;
+use dsidx_series::Dataset;
+use dsidx_sync::{SyncSlice, WorkQueue};
+use dsidx_tree::{FlatTree, Index, LeafEntry, Node, NodeWord, SaxArray};
+use parking_lot::Mutex;
+use std::time::{Duration, Instant};
+
+/// A built MESSI index.
+#[derive(Debug)]
+pub struct MessiIndex {
+    /// The iSAX tree (fully resident).
+    pub index: Index,
+    /// Cache-conscious flattened view of the tree — what query answering
+    /// actually traverses (see [`dsidx_tree::flat`]).
+    pub flat: FlatTree,
+    /// Position-ordered iSAX words (not used by MESSI's own query path,
+    /// which reads summaries from the leaves, but kept for cross-engine
+    /// tooling and ablations).
+    pub sax: SaxArray,
+}
+
+/// Wall-clock phase breakdown (Fig. 5's two stacked components).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct BuildPhases {
+    /// Stage 1: "Calculate iSAX Representations".
+    pub summarize: Duration,
+    /// Stage 2: "Tree Index Construction".
+    pub tree_build: Duration,
+    /// Total wall time.
+    pub total: Duration,
+}
+
+/// Builds a MESSI index over an in-memory dataset.
+///
+/// # Panics
+/// Panics on configuration mismatches (series length, zero threads).
+#[must_use]
+pub fn build(data: &Dataset, cfg: &MessiConfig) -> (MessiIndex, BuildPhases) {
+    cfg.validate();
+    assert_eq!(data.series_len(), cfg.tree.series_len(), "series length mismatch");
+    let t0 = Instant::now();
+    let (words, parts) = match cfg.buffer_mode {
+        BufferMode::PerThreadParts => summarize_per_thread(data, cfg),
+        BufferMode::LockedShared => summarize_locked(data, cfg),
+    };
+    let summarize = t0.elapsed();
+
+    let t1 = Instant::now();
+    let index = build_tree(cfg, &parts);
+    let flat = FlatTree::from_index(&index);
+    let tree_build = t1.elapsed();
+
+    (
+        MessiIndex { index, flat, sax: SaxArray::new(words) },
+        BuildPhases { summarize, tree_build, total: t0.elapsed() },
+    )
+}
+
+/// Per-subtree buffers: `buffers[key]` holds one or more parts, each the
+/// private output of one worker (one part total in locked mode).
+type Buffers = Vec<Vec<Vec<LeafEntry>>>;
+
+/// Stage 1, MESSI layout: every worker owns a full array of buffer parts.
+fn summarize_per_thread(data: &Dataset, cfg: &MessiConfig) -> (Vec<Word>, Buffers) {
+    let segments = cfg.tree.segments();
+    let root_count = cfg.tree.root_count();
+    let quantizer = cfg.tree.quantizer();
+    let filler = Word::new(&vec![0u8; segments]);
+    let sax = SyncSlice::new(vec![filler; data.len()]);
+    let queue = WorkQueue::new(data.len());
+
+    let pool = dsidx_sync::pool::global(cfg.threads);
+    let mut slots: Vec<Mutex<Vec<Vec<LeafEntry>>>> = Vec::new();
+    slots.resize_with(cfg.threads, || Mutex::new(Vec::new()));
+    pool.broadcast(&|worker| {
+        let mut paa = vec![0.0f32; segments];
+        let mut parts: Vec<Vec<LeafEntry>> = Vec::new();
+        parts.resize_with(root_count, Vec::new);
+        while let Some(range) = queue.claim_chunk(cfg.chunk_series) {
+            for pos in range {
+                let word = quantizer.word_into(data.get(pos), &mut paa);
+                // SAFETY: chunk claims are disjoint; each position is
+                // written exactly once.
+                unsafe { sax.write(pos, word) };
+                parts[word.root_key() as usize].push(LeafEntry::new(word, pos as u32));
+            }
+        }
+        *slots[worker].lock() = parts;
+    });
+    let per_worker: Vec<Vec<Vec<LeafEntry>>> =
+        slots.into_iter().map(parking_lot::Mutex::into_inner).collect();
+
+    // Regroup: buffers[key] = the workers' parts for that subtree.
+    let mut buffers: Buffers = Vec::new();
+    buffers.resize_with(root_count, Vec::new);
+    for worker_parts in per_worker {
+        for (key, part) in worker_parts.into_iter().enumerate() {
+            if !part.is_empty() {
+                buffers[key].push(part);
+            }
+        }
+    }
+    (sax.into_inner(), buffers)
+}
+
+/// Stage 1, rejected layout (paper footnote 2): one locked buffer per
+/// subtree, contended by all workers.
+fn summarize_locked(data: &Dataset, cfg: &MessiConfig) -> (Vec<Word>, Buffers) {
+    let segments = cfg.tree.segments();
+    let root_count = cfg.tree.root_count();
+    let quantizer = cfg.tree.quantizer();
+    let filler = Word::new(&vec![0u8; segments]);
+    let sax = SyncSlice::new(vec![filler; data.len()]);
+    let queue = WorkQueue::new(data.len());
+    let mut locked: Vec<Mutex<Vec<LeafEntry>>> = Vec::new();
+    locked.resize_with(root_count, || Mutex::new(Vec::new()));
+
+    let pool = dsidx_sync::pool::global(cfg.threads);
+    pool.broadcast(&|_worker| {
+        let mut paa = vec![0.0f32; segments];
+        while let Some(range) = queue.claim_chunk(cfg.chunk_series) {
+            for pos in range {
+                let word = quantizer.word_into(data.get(pos), &mut paa);
+                // SAFETY: chunk claims are disjoint.
+                unsafe { sax.write(pos, word) };
+                locked[word.root_key() as usize].lock().push(LeafEntry::new(word, pos as u32));
+            }
+        }
+    });
+
+    let mut buffers: Buffers = Vec::new();
+    buffers.resize_with(root_count, Vec::new);
+    for (key, m) in locked.into_iter().enumerate() {
+        let part = m.into_inner();
+        if !part.is_empty() {
+            buffers[key].push(part);
+        }
+    }
+    (sax.into_inner(), buffers)
+}
+
+/// Stage 2: workers claim subtrees by Fetch&Inc and build them
+/// independently ("all index workers process distinct subtrees of the
+/// index ... with no need for synchronization").
+fn build_tree(cfg: &MessiConfig, buffers: &Buffers) -> Index {
+    let segments = cfg.tree.segments();
+    let occupied: Vec<u16> = buffers
+        .iter()
+        .enumerate()
+        .filter(|(_, parts)| !parts.is_empty())
+        .map(|(key, _)| key as u16)
+        .collect();
+    let roots: SyncSlice<Option<Box<Node>>> =
+        SyncSlice::new((0..cfg.tree.root_count()).map(|_| None).collect());
+    let queue = WorkQueue::new(occupied.len());
+    let tree_cfg = &cfg.tree;
+    let pool = dsidx_sync::pool::global(cfg.threads);
+    pool.broadcast(&|_worker| {
+        while let Some(i) = queue.claim() {
+            let key = occupied[i];
+            let mut node = Box::new(Node::new_leaf(NodeWord::root(key, segments)));
+            for part in &buffers[key as usize] {
+                for e in part {
+                    node.insert(*e, tree_cfg);
+                }
+            }
+            // SAFETY: each occupied key is claimed exactly once.
+            unsafe { roots.write(key as usize, Some(node)) };
+        }
+    });
+    Index::from_roots(cfg.tree.clone(), roots.into_inner())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dsidx_series::gen::DatasetKind;
+    use dsidx_tree::stats::{index_stats, validate};
+    use dsidx_tree::TreeConfig;
+
+    fn cfg(threads: usize) -> MessiConfig {
+        MessiConfig::new(TreeConfig::new(64, 8, 16).unwrap(), threads).with_chunk_series(50)
+    }
+
+    #[test]
+    fn build_indexes_every_series() {
+        let data = DatasetKind::Synthetic.generate(700, 64, 2);
+        let (messi, phases) = build(&data, &cfg(4));
+        assert_eq!(messi.index.len(), 700);
+        assert_eq!(messi.sax.len(), 700);
+        validate(&messi.index);
+        assert!(phases.total >= phases.summarize);
+        let q = cfg(1).tree;
+        for (pos, series) in data.iter().enumerate() {
+            assert_eq!(messi.sax.word(pos), &q.quantizer().word(series));
+        }
+    }
+
+    #[test]
+    fn both_buffer_modes_build_identical_trees() {
+        let data = DatasetKind::Sald.generate(500, 64, 9);
+        let (a, _) = build(&data, &cfg(4));
+        let (b, _) = build(&data, &cfg(4).with_buffer_mode(BufferMode::LockedShared));
+        assert_eq!(a.index.len(), b.index.len());
+        assert_eq!(a.sax.words(), b.sax.words());
+        assert_eq!(a.index.occupied_roots(), b.index.occupied_roots());
+        // Same entries per leaf region even if insertion order differed:
+        // compare leaf-count and entry totals.
+        let sa = index_stats(&a.index);
+        let sb = index_stats(&b.index);
+        assert_eq!(sa.entry_count, sb.entry_count);
+        assert_eq!(sa.root_subtrees, sb.root_subtrees);
+    }
+
+    #[test]
+    fn matches_serial_baseline_structure() {
+        let data = DatasetKind::Seismic.generate(400, 64, 21);
+        let (messi, _) = build(&data, &cfg(6));
+        let (ads, _) = dsidx_ads::build_from_dataset(&data, &cfg(1).tree);
+        assert_eq!(messi.index.len(), ads.index.len());
+        assert_eq!(messi.index.occupied_roots(), ads.index.occupied_roots());
+        assert_eq!(messi.sax.words(), ads.sax.words());
+    }
+
+    #[test]
+    fn single_thread_build_works() {
+        let data = DatasetKind::Synthetic.generate(100, 64, 4);
+        let (messi, _) = build(&data, &cfg(1));
+        assert_eq!(messi.index.len(), 100);
+        validate(&messi.index);
+    }
+
+    #[test]
+    fn empty_dataset() {
+        let data = Dataset::new(64).unwrap();
+        let (messi, _) = build(&data, &cfg(4));
+        assert!(messi.index.is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "series length mismatch")]
+    fn wrong_series_length_panics() {
+        let data = DatasetKind::Synthetic.generate(10, 32, 1);
+        let _ = build(&data, &cfg(2));
+    }
+}

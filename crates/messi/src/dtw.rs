@@ -1,0 +1,195 @@
+//! DTW exact query answering over the MESSI index — the paper's "current
+//! work" extension (§V): "no changes are required in the index structure:
+//! we can index a dataset once, and then use this index to answer both
+//! Euclidean and DTW similarity search queries."
+//!
+//! The pruning cascade per candidate: iSAX-envelope lower bound (node and
+//! entry level) → LB_Keogh on the raw series → early-abandoned banded DTW.
+
+use crate::build::MessiIndex;
+use crate::config::MessiConfig;
+use crate::pqueue::MinQueues;
+use dsidx_isax::paa::envelope_paa_bounds;
+use dsidx_isax::{MindistTable, NodeMindistTable};
+use dsidx_series::distance::dtw::{dtw_sq, dtw_sq_bounded, envelope, lb_keogh_sq_bounded};
+use dsidx_series::{Dataset, Match};
+use dsidx_sync::{AtomicBest, SpinBarrier};
+
+/// Exact 1-NN under banded DTW through the MESSI index.
+///
+/// Returns `None` for an empty index.
+///
+/// # Panics
+/// Panics if the query length differs from the configured series length.
+#[must_use]
+pub fn exact_nn_dtw(
+    messi: &MessiIndex,
+    data: &Dataset,
+    query: &[f32],
+    band: usize,
+    cfg: &MessiConfig,
+) -> Option<Match> {
+    let config = messi.index.config();
+    assert_eq!(query.len(), config.series_len(), "query length mismatch");
+    cfg.validate();
+    let flat = &messi.flat;
+    if flat.entry_count() == 0 {
+        return None;
+    }
+    let quantizer = config.quantizer();
+    let seg_lens = quantizer.segment_lens();
+    let segments = config.segments();
+
+    // Query envelope and its PAA bounds.
+    let mut lo_env = Vec::new();
+    let mut hi_env = Vec::new();
+    envelope(query, band, &mut lo_env, &mut hi_env);
+    let mut lo_paa = vec![0.0f32; segments];
+    let mut hi_paa = vec![0.0f32; segments];
+    envelope_paa_bounds(&lo_env, &hi_env, &mut lo_paa, &mut hi_paa);
+    let table = MindistTable::new_interval(&lo_paa, &hi_paa, seg_lens);
+    let node_table = NodeMindistTable::new_interval(&lo_paa, &hi_paa, seg_lens);
+    let pool = dsidx_sync::pool::global(cfg.threads);
+
+    // Initial BSF from the query's own leaf (approximate answer).
+    let mut paa = vec![0.0f32; segments];
+    quantizer.paa_into(query, &mut paa);
+    let query_word = quantizer.word_from_paa(&paa);
+    let best = AtomicBest::new();
+    let roots = flat.roots();
+    let start_root = match roots.binary_search_by_key(&query_word.root_key(), |&(k, _)| k) {
+        Ok(i) => i,
+        Err(i) => i.min(roots.len() - 1),
+    };
+    let approx_idx = flat
+        .descend_non_empty(roots[start_root].1, &query_word)
+        .or_else(|| roots.iter().find_map(|&(_, r)| flat.descend_non_empty(r, &query_word)))
+        .expect("non-empty index has a non-empty leaf");
+    for e in flat.leaf_entries(flat.node(approx_idx)) {
+        best.update(dtw_sq(query, data.get(e.pos as usize), band), e.pos);
+    }
+
+    let queues: MinQueues<u32> = MinQueues::new(cfg.effective_queues());
+    let traversal = crate::traverse::Traversal::new(flat, &node_table, &best, &queues);
+    let phase_barrier = SpinBarrier::new(cfg.threads);
+
+    pool.broadcast(&|worker| {
+        // Traversal phase (cooperative; see `crate::traverse`).
+        let _ = traversal.run_worker();
+        phase_barrier.wait();
+
+        // Processing phase.
+        let n = queues.shard_count();
+        let mut shard = worker % n;
+        let mut idle_cycles = 0u32;
+        loop {
+            if queues.all_closed() {
+                return;
+            }
+            if !queues.is_open(shard) {
+                shard = (shard + 1) % n;
+                idle_cycles += 1;
+                if idle_cycles > n as u32 {
+                    std::thread::yield_now();
+                } else {
+                    std::hint::spin_loop();
+                }
+                continue;
+            }
+            idle_cycles = 0;
+            match queues.pop_min(shard) {
+                None => {
+                    queues.close(shard);
+                    shard = (shard + 1) % n;
+                }
+                Some((lb, idx)) => {
+                    if lb >= best.dist_sq() {
+                        queues.close(shard);
+                        shard = (shard + 1) % n;
+                        continue;
+                    }
+                    for e in flat.leaf_entries(flat.node(idx)) {
+                        let limit = best.dist_sq();
+                        if table.lookup(&e.word) >= limit {
+                            continue;
+                        }
+                        let series = data.get(e.pos as usize);
+                        if lb_keogh_sq_bounded(series, &lo_env, &hi_env, limit).is_none() {
+                            continue;
+                        }
+                        if let Some(d) = dtw_sq_bounded(query, series, band, limit) {
+                            best.update(d, e.pos);
+                        }
+                    }
+                }
+            }
+        }
+    });
+
+    let (dist_sq, pos) = best.get();
+    Some(Match::new(pos, dist_sq))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::build::build;
+    use crate::config::MessiConfig;
+    use dsidx_series::gen::DatasetKind;
+    use dsidx_tree::TreeConfig;
+    use dsidx_ucr::dtw::brute_force_dtw;
+
+    fn cfg(threads: usize) -> MessiConfig {
+        MessiConfig::new(TreeConfig::new(64, 8, 16).unwrap(), threads).with_chunk_series(64)
+    }
+
+    #[test]
+    fn dtw_exact_on_all_dataset_kinds() {
+        for kind in DatasetKind::ALL {
+            let data = kind.generate(300, 64, 61);
+            let (messi, _) = build(&data, &cfg(4));
+            let queries = kind.queries(4, 64, 61);
+            for band in [0usize, 3, 6] {
+                for q in queries.iter() {
+                    let want = brute_force_dtw(&data, q, band).unwrap();
+                    let got = exact_nn_dtw(&messi, &data, q, band, &cfg(4)).unwrap();
+                    assert_eq!(got.pos, want.pos, "{} band={band}", kind.name());
+                    assert!(
+                        (got.dist_sq - want.dist_sq).abs() <= want.dist_sq * 1e-4 + 1e-4
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn same_index_answers_both_measures() {
+        // "Index a dataset once, answer both ED and DTW."
+        let data = DatasetKind::Synthetic.generate(400, 64, 71);
+        let (messi, _) = build(&data, &cfg(4));
+        let q = DatasetKind::Synthetic.queries(1, 64, 71);
+        let ed = crate::query::exact_nn(&messi, &data, q.get(0), &cfg(4)).unwrap().0;
+        let dtw = exact_nn_dtw(&messi, &data, q.get(0), 5, &cfg(4)).unwrap();
+        // DTW distance never exceeds ED distance.
+        assert!(dtw.dist_sq <= ed.dist_sq + ed.dist_sq * 1e-4 + 1e-4);
+    }
+
+    #[test]
+    fn empty_index_returns_none() {
+        let data = Dataset::new(64).unwrap();
+        let (messi, _) = build(&data, &cfg(2));
+        assert!(exact_nn_dtw(&messi, &data, &vec![0.0; 64], 3, &cfg(2)).is_none());
+    }
+
+    #[test]
+    fn band_zero_matches_ed_answer() {
+        let data = DatasetKind::Seismic.generate(250, 64, 19);
+        let (messi, _) = build(&data, &cfg(3));
+        let queries = DatasetKind::Seismic.queries(3, 64, 19);
+        for q in queries.iter() {
+            let ed = crate::query::exact_nn(&messi, &data, q, &cfg(3)).unwrap().0;
+            let dtw = exact_nn_dtw(&messi, &data, q, 0, &cfg(3)).unwrap();
+            assert_eq!(ed.pos, dtw.pos);
+        }
+    }
+}

@@ -1,0 +1,31 @@
+//! MESSI: the paper's in-memory parallel data series index.
+//!
+//! MESSI differs from ParIS/ParIS+ in both phases (§III):
+//!
+//! * **Construction** — raw data lives in an in-memory array split into
+//!   chunks claimed by Fetch&Inc; workers store iSAX summaries in *their
+//!   own parts* of the per-subtree buffers ("to reduce synchronization
+//!   cost, each iSAX buffer is split into parts and each worker works on
+//!   its own part"), then build distinct subtrees in parallel with no
+//!   synchronization. The locked-buffer alternative the paper rejected in
+//!   footnote 2 is kept as [`config::BufferMode::LockedShared`] for the
+//!   ablation.
+//! * **Query answering** — tree-based, not scan-based: workers traverse
+//!   subtrees pruning with node-level lower bounds against a shared BSF,
+//!   insert surviving leaves into a set of minimum priority queues
+//!   (round-robin, for load balancing), then repeatedly pop the most
+//!   promising leaves; a popped bound above the BSF abandons the whole
+//!   queue. This ordering is why MESSI computes far fewer real distances
+//!   than ParIS — the effect Fig. 12 quantifies.
+
+pub mod build;
+pub mod config;
+pub mod dtw;
+pub mod pqueue;
+pub mod query;
+pub mod traverse;
+
+pub use build::{build, BuildPhases, MessiIndex};
+pub use config::{BufferMode, MessiConfig};
+pub use dtw::exact_nn_dtw;
+pub use query::{exact_nn, MessiQueryStats};

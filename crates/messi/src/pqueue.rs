@@ -1,0 +1,184 @@
+//! Sharded minimum priority queues for MESSI query answering.
+//!
+//! Leaves are inserted round-robin across shards ("each thread inserts
+//! elements in the priority queues in a round-robin fashion so that load
+//! balancing is achieved"); each worker then pops from one shard at a
+//! time. A shard whose minimum exceeds the BSF is *closed* — every
+//! remaining element is provably prunable.
+
+use parking_lot::Mutex;
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+
+/// Heap item ordered by a non-negative `f32` key via its bit pattern
+/// (valid because non-negative IEEE-754 floats order like their bits).
+struct Item<T> {
+    key_bits: u32,
+    payload: T,
+}
+
+impl<T> PartialEq for Item<T> {
+    fn eq(&self, other: &Self) -> bool {
+        self.key_bits == other.key_bits
+    }
+}
+impl<T> Eq for Item<T> {}
+impl<T> PartialOrd for Item<T> {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl<T> Ord for Item<T> {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        self.key_bits.cmp(&other.key_bits)
+    }
+}
+
+/// A fixed set of sharded min-queues with round-robin insertion.
+pub struct MinQueues<T> {
+    shards: Vec<Mutex<BinaryHeap<Reverse<Item<T>>>>>,
+    open: Vec<AtomicBool>,
+    open_count: AtomicUsize,
+    rr: AtomicUsize,
+}
+
+impl<T> MinQueues<T> {
+    /// Creates `n` empty open shards (`n >= 1`).
+    #[must_use]
+    pub fn new(n: usize) -> Self {
+        assert!(n > 0, "need at least one queue");
+        let mut shards = Vec::with_capacity(n);
+        shards.resize_with(n, || Mutex::new(BinaryHeap::new()));
+        let mut open = Vec::with_capacity(n);
+        open.resize_with(n, || AtomicBool::new(true));
+        Self { shards, open, open_count: AtomicUsize::new(n), rr: AtomicUsize::new(0) }
+    }
+
+    /// Number of shards.
+    #[must_use]
+    pub fn shard_count(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// Inserts into the next shard round-robin.
+    ///
+    /// # Panics
+    /// Panics if `key` is negative (lower bounds are non-negative).
+    pub fn push_rr(&self, key: f32, payload: T) {
+        assert!(key >= 0.0, "queue keys are non-negative lower bounds");
+        let shard = self.rr.fetch_add(1, Ordering::Relaxed) % self.shards.len();
+        self.shards[shard].lock().push(Reverse(Item { key_bits: key.to_bits(), payload }));
+    }
+
+    /// Pops the minimum of one shard, or `None` if it is empty.
+    pub fn pop_min(&self, shard: usize) -> Option<(f32, T)> {
+        let Reverse(item) = self.shards[shard].lock().pop()?;
+        Some((f32::from_bits(item.key_bits), item.payload))
+    }
+
+    /// Marks a shard closed (exhausted or abandoned). Returns `true` if
+    /// this call closed it.
+    pub fn close(&self, shard: usize) -> bool {
+        if self.open[shard].swap(false, Ordering::AcqRel) {
+            self.open_count.fetch_sub(1, Ordering::AcqRel);
+            true
+        } else {
+            false
+        }
+    }
+
+    /// `true` while the shard has not been closed.
+    #[must_use]
+    pub fn is_open(&self, shard: usize) -> bool {
+        self.open[shard].load(Ordering::Acquire)
+    }
+
+    /// `true` once every shard is closed.
+    #[must_use]
+    pub fn all_closed(&self) -> bool {
+        self.open_count.load(Ordering::Acquire) == 0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pops_in_ascending_key_order() {
+        let q: MinQueues<u32> = MinQueues::new(1);
+        for (k, v) in [(3.0, 30), (1.0, 10), (2.0, 20), (0.5, 5)] {
+            q.push_rr(k, v);
+        }
+        let mut keys = Vec::new();
+        while let Some((k, _)) = q.pop_min(0) {
+            keys.push(k);
+        }
+        assert_eq!(keys, vec![0.5, 1.0, 2.0, 3.0]);
+    }
+
+    #[test]
+    fn round_robin_balances_shards() {
+        let q: MinQueues<usize> = MinQueues::new(4);
+        for i in 0..40 {
+            q.push_rr(i as f32, i);
+        }
+        for shard in 0..4 {
+            let mut n = 0;
+            while q.pop_min(shard).is_some() {
+                n += 1;
+            }
+            assert_eq!(n, 10, "shard {shard} imbalance");
+        }
+    }
+
+    #[test]
+    fn close_is_idempotent_and_counted() {
+        let q: MinQueues<u8> = MinQueues::new(2);
+        assert!(!q.all_closed());
+        assert!(q.close(0));
+        assert!(!q.close(0), "second close is a no-op");
+        assert!(q.is_open(1));
+        assert!(!q.all_closed());
+        assert!(q.close(1));
+        assert!(q.all_closed());
+    }
+
+    #[test]
+    fn zero_key_allowed() {
+        let q: MinQueues<u8> = MinQueues::new(1);
+        q.push_rr(0.0, 1);
+        assert_eq!(q.pop_min(0), Some((0.0, 1)));
+    }
+
+    #[test]
+    #[should_panic(expected = "non-negative")]
+    fn negative_key_panics() {
+        let q: MinQueues<u8> = MinQueues::new(1);
+        q.push_rr(-1.0, 0);
+    }
+
+    #[test]
+    fn concurrent_push_pop_preserves_items() {
+        let q: MinQueues<usize> = MinQueues::new(3);
+        std::thread::scope(|s| {
+            for t in 0..6usize {
+                let q = &q;
+                s.spawn(move || {
+                    for i in 0..500 {
+                        q.push_rr((t * 500 + i) as f32, t * 500 + i);
+                    }
+                });
+            }
+        });
+        let mut seen = vec![false; 3000];
+        for shard in 0..3 {
+            while let Some((_, v)) = q.pop_min(shard) {
+                assert!(!seen[v], "duplicate {v}");
+                seen[v] = true;
+            }
+        }
+        assert!(seen.iter().all(|&b| b));
+    }
+}

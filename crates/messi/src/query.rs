@@ -1,0 +1,301 @@
+//! MESSI exact query answering (stage 3 of Fig. 3).
+//!
+//! Two phases, executed by one pool broadcast with a spin-barrier between:
+//!
+//! * **Traversal** — workers claim root subtrees by Fetch&Inc and prune
+//!   with node-level lower bounds against the shared BSF; the root level
+//!   (tens of thousands of one-bit words) is scanned flat from the key
+//!   bits alone, without touching tree memory. Surviving leaves enter the
+//!   minimum priority queues round-robin.
+//! * **Processing** — workers pop leaves best-bound-first; a popped bound
+//!   above the BSF abandons the whole queue (everything behind it is
+//!   farther). Surviving entries pay an entry-level lower bound, then an
+//!   early-abandoned real distance.
+//!
+//! All tree reads go through the flattened view ([`dsidx_tree::flat`]).
+
+use crate::build::MessiIndex;
+use crate::config::MessiConfig;
+use crate::pqueue::MinQueues;
+use dsidx_isax::{MindistTable, NodeMindistTable};
+use dsidx_series::distance::{euclidean_sq, euclidean_sq_bounded};
+use dsidx_series::{Dataset, Match};
+use dsidx_sync::{AtomicBest, SpinBarrier};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Counters from one exact query.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct MessiQueryStats {
+    /// Nodes (roots included) pruned during traversal.
+    pub nodes_pruned: u64,
+    /// Leaves inserted into the priority queues.
+    pub leaves_enqueued: u64,
+    /// Leaves actually examined (popped and below the BSF).
+    pub leaves_processed: u64,
+    /// Leaves discarded by queue abandonment at pop time.
+    pub leaves_discarded: u64,
+    /// Entry-level lower bounds computed.
+    pub lb_entry_computed: u64,
+    /// Real distances fully evaluated (not abandoned).
+    pub real_computed: u64,
+}
+
+#[derive(Default)]
+struct Counters {
+    nodes_pruned: AtomicU64,
+    leaves_enqueued: AtomicU64,
+    leaves_processed: AtomicU64,
+    leaves_discarded: AtomicU64,
+    lb_entry_computed: AtomicU64,
+    real_computed: AtomicU64,
+}
+
+/// Exact 1-NN through the MESSI index over its in-memory dataset.
+///
+/// Returns `None` for an empty index.
+///
+/// # Panics
+/// Panics if the query length differs from the configured series length.
+#[must_use]
+pub fn exact_nn(
+    messi: &MessiIndex,
+    data: &Dataset,
+    query: &[f32],
+    cfg: &MessiConfig,
+) -> Option<(Match, MessiQueryStats)> {
+    let config = messi.index.config();
+    assert_eq!(query.len(), config.series_len(), "query length mismatch");
+    cfg.validate();
+    let flat = &messi.flat;
+    if flat.entry_count() == 0 {
+        return None;
+    }
+    let quantizer = config.quantizer();
+    let segments = config.segments();
+    let mut paa = vec![0.0f32; segments];
+    quantizer.paa_into(query, &mut paa);
+    let query_word = quantizer.word_from_paa(&paa);
+    let table = MindistTable::new_point(&paa, quantizer.segment_lens());
+    let node_table = NodeMindistTable::new_point(&paa, quantizer.segment_lens());
+    let pool = dsidx_sync::pool::global(cfg.threads);
+
+    // Initial BSF from the query's own leaf (approximate answer), routing
+    // around empty subtrees.
+    let best = AtomicBest::new();
+    let roots = flat.roots();
+    let start_root = match roots.binary_search_by_key(&query_word.root_key(), |&(k, _)| k) {
+        Ok(i) => i,
+        Err(i) => i.min(roots.len() - 1), // absent subtree: nearest key
+    };
+    let approx_idx = flat
+        .descend_non_empty(roots[start_root].1, &query_word)
+        .or_else(|| roots.iter().find_map(|&(_, r)| flat.descend_non_empty(r, &query_word)))
+        .expect("non-empty index has a non-empty leaf");
+    for e in flat.leaf_entries(flat.node(approx_idx)) {
+        best.update(euclidean_sq(query, data.get(e.pos as usize)), e.pos);
+    }
+
+    // Phase A: cooperative parallel traversal — the root level is scanned
+    // flat from the key bits alone, large subtrees are split via work
+    // donation (see [`crate::traverse`]); surviving leaves enter the
+    // queues with their node-level lower bound. Phase B: pop best-first; a
+    // popped minimum above the BSF closes its whole queue; each worker
+    // migrates to the next open queue. One broadcast, phases separated by
+    // a spin barrier.
+    let counters = Counters::default();
+    let queues: MinQueues<u32> = MinQueues::new(cfg.effective_queues());
+    let traversal = crate::traverse::Traversal::new(flat, &node_table, &best, &queues);
+    let phase_barrier = SpinBarrier::new(cfg.threads);
+
+    pool.broadcast(&|worker| {
+        let st = traversal.run_worker();
+        counters.nodes_pruned.fetch_add(st.pruned, Ordering::Relaxed);
+        counters.leaves_enqueued.fetch_add(st.enqueued, Ordering::Relaxed);
+        phase_barrier.wait();
+
+        // Phase B: best-bound-first processing. Counters stay worker-local
+        // until the end — shared fetch_adds per leaf would bounce one cache
+        // line across every core and dominate these sub-ms phases.
+        let mut processed = 0u64;
+        let mut discarded = 0u64;
+        let mut entry_lbs = 0u64;
+        let mut reals = 0u64;
+        let n = queues.shard_count();
+        let mut shard = worker % n;
+        let mut idle_cycles = 0u32;
+        loop {
+            if queues.all_closed() {
+                break;
+            }
+            if !queues.is_open(shard) {
+                shard = (shard + 1) % n;
+                idle_cycles += 1;
+                if idle_cycles > n as u32 {
+                    // Every shard is closed or being drained by another
+                    // worker; yield instead of hammering shared lines.
+                    std::thread::yield_now();
+                } else {
+                    std::hint::spin_loop();
+                }
+                continue;
+            }
+            idle_cycles = 0;
+            match queues.pop_min(shard) {
+                None => {
+                    queues.close(shard);
+                    shard = (shard + 1) % n;
+                }
+                Some((lb, idx)) => {
+                    if lb >= best.dist_sq() {
+                        // Everything left in this queue is at least as
+                        // far: abandon it wholesale.
+                        discarded += 1;
+                        queues.close(shard);
+                        shard = (shard + 1) % n;
+                        continue;
+                    }
+                    processed += 1;
+                    let entries = flat.leaf_entries(flat.node(idx));
+                    entry_lbs += entries.len() as u64;
+                    let mut limit = best.dist_sq();
+                    for e in entries {
+                        if table.lookup(&e.word) >= limit {
+                            continue;
+                        }
+                        if let Some(d) =
+                            euclidean_sq_bounded(query, data.get(e.pos as usize), limit)
+                        {
+                            reals += 1;
+                            best.update(d, e.pos);
+                        }
+                        limit = best.dist_sq();
+                    }
+                }
+            }
+        }
+        counters.leaves_processed.fetch_add(processed, Ordering::Relaxed);
+        counters.leaves_discarded.fetch_add(discarded, Ordering::Relaxed);
+        counters.lb_entry_computed.fetch_add(entry_lbs, Ordering::Relaxed);
+        counters.real_computed.fetch_add(reals, Ordering::Relaxed);
+    });
+
+    let (dist_sq, pos) = best.get();
+    let stats = MessiQueryStats {
+        nodes_pruned: counters.nodes_pruned.load(Ordering::Relaxed),
+        leaves_enqueued: counters.leaves_enqueued.load(Ordering::Relaxed),
+        leaves_processed: counters.leaves_processed.load(Ordering::Relaxed),
+        leaves_discarded: counters.leaves_discarded.load(Ordering::Relaxed),
+        lb_entry_computed: counters.lb_entry_computed.load(Ordering::Relaxed),
+        real_computed: counters.real_computed.load(Ordering::Relaxed),
+    };
+    Some((Match::new(pos, dist_sq), stats))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::build::build;
+    use crate::config::MessiConfig;
+    use dsidx_series::gen::DatasetKind;
+    use dsidx_tree::TreeConfig;
+    use dsidx_ucr::brute_force;
+
+    fn cfg(threads: usize) -> MessiConfig {
+        MessiConfig::new(TreeConfig::new(64, 8, 16).unwrap(), threads).with_chunk_series(64)
+    }
+
+    #[test]
+    fn exact_on_all_dataset_kinds() {
+        for kind in DatasetKind::ALL {
+            let data = kind.generate(700, 64, 51);
+            let (messi, _) = build(&data, &cfg(4));
+            let queries = kind.queries(8, 64, 51);
+            for q in queries.iter() {
+                let want = brute_force(&data, q).unwrap();
+                for threads in [1usize, 4] {
+                    let c = cfg(threads);
+                    let (got, _) = exact_nn(&messi, &data, q, &c).unwrap();
+                    assert_eq!(got.pos, want.pos, "{} x{threads}", kind.name());
+                    assert!(
+                        (got.dist_sq - want.dist_sq).abs() <= want.dist_sq * 1e-4 + 1e-4
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn queue_count_does_not_change_the_answer() {
+        let data = DatasetKind::Synthetic.generate(500, 64, 8);
+        let (messi, _) = build(&data, &cfg(4));
+        let queries = DatasetKind::Synthetic.queries(4, 64, 8);
+        for q in queries.iter() {
+            let want = brute_force(&data, q).unwrap();
+            for queues in [1usize, 2, 8, 32] {
+                let c = cfg(4).with_queues(queues);
+                let (got, _) = exact_nn(&messi, &data, q, &c).unwrap();
+                assert_eq!(got.pos, want.pos, "queues={queues}");
+            }
+        }
+    }
+
+    #[test]
+    fn stats_show_pruning() {
+        let data = dsidx_series::gen::sines(1000, 64, 3);
+        let (messi, _) = build(&data, &cfg(4));
+        let queries = dsidx_series::gen::sines(3, 64, 77);
+        for q in queries.iter() {
+            let (_, stats) = exact_nn(&messi, &data, q, &cfg(4)).unwrap();
+            // On clusterable data the queues + tree bounds must discard
+            // most real-distance work.
+            assert!(
+                stats.real_computed < 500,
+                "expected strong pruning, computed {} real distances",
+                stats.real_computed
+            );
+            assert!(stats.leaves_processed + stats.leaves_discarded <= stats.leaves_enqueued);
+        }
+    }
+
+    #[test]
+    fn query_for_indexed_series_finds_itself() {
+        let data = DatasetKind::Sald.generate(300, 64, 6);
+        let (messi, _) = build(&data, &cfg(3));
+        for pos in [0usize, 123, 299] {
+            let (m, _) = exact_nn(&messi, &data, data.get(pos), &cfg(3)).unwrap();
+            assert_eq!(m.pos as usize, pos);
+            assert_eq!(m.dist_sq, 0.0);
+        }
+    }
+
+    #[test]
+    fn empty_index_returns_none() {
+        let data = Dataset::new(64).unwrap();
+        let (messi, _) = build(&data, &cfg(2));
+        assert!(exact_nn(&messi, &data, &vec![0.0; 64], &cfg(2)).is_none());
+    }
+
+    #[test]
+    fn deterministic_across_runs() {
+        let data = DatasetKind::Seismic.generate(600, 64, 13);
+        let (messi, _) = build(&data, &cfg(8));
+        let q = DatasetKind::Seismic.queries(1, 64, 13);
+        let (first, _) = exact_nn(&messi, &data, q.get(0), &cfg(1)).unwrap();
+        for _ in 0..5 {
+            let (m, _) = exact_nn(&messi, &data, q.get(0), &cfg(8)).unwrap();
+            assert_eq!(m, first);
+        }
+    }
+
+    #[test]
+    fn query_with_missing_root_subtree_still_exact() {
+        // Construct a dataset occupying few subtrees, query from a pattern
+        // whose root key is absent.
+        let data = dsidx_series::gen::sines(100, 64, 5);
+        let (messi, _) = build(&data, &cfg(2));
+        let q = DatasetKind::Seismic.queries(1, 64, 123);
+        let want = brute_force(&data, q.get(0)).unwrap();
+        let (got, _) = exact_nn(&messi, &data, q.get(0), &cfg(2)).unwrap();
+        assert_eq!(got.pos, want.pos);
+    }
+}

@@ -1,0 +1,213 @@
+//! Cooperative index traversal (phase A of query answering).
+//!
+//! Work units are root subtrees, claimed by Fetch&Inc as in the paper. The
+//! paper keeps subtree granularity because *construction* inside a subtree
+//! would need synchronization; query-time traversal is read-only, so a
+//! worker whose depth-first stack grows large **donates** half of it to a
+//! shared overflow stack that idle workers drain. Without this, one giant
+//! root subtree (random-walk data clusters heavily on first bits) sets the
+//! whole phase's critical path.
+
+use crate::pqueue::MinQueues;
+use dsidx_isax::NodeMindistTable;
+use dsidx_sync::{AtomicBest, WorkQueue};
+use dsidx_tree::FlatTree;
+use parking_lot::Mutex;
+
+/// Tuning: local stack size beyond which half is donated.
+const DONATE_ABOVE: usize = 32;
+/// Tuning: how often (in node visits) the donation check runs.
+const DONATE_CHECK_MASK: u64 = 0x3F;
+
+/// Per-worker traversal outcome counters.
+#[derive(Debug, Default, Clone, Copy)]
+pub struct TraverseStats {
+    /// Nodes (roots included) pruned by their lower bound.
+    pub pruned: u64,
+    /// Leaves pushed into the queues.
+    pub enqueued: u64,
+}
+
+/// Shared state for one traversal phase.
+pub struct Traversal<'a> {
+    flat: &'a FlatTree,
+    node_table: &'a NodeMindistTable,
+    /// Root-level contribution per segment for key bits 0/1.
+    root_contrib: Vec<(f32, f32)>,
+    best: &'a AtomicBest,
+    queues: &'a MinQueues<u32>,
+    root_queue: WorkQueue,
+    /// Overflow work: node indices donated by overloaded workers.
+    shared: Mutex<Vec<u32>>,
+}
+
+impl<'a> Traversal<'a> {
+    /// Prepares a traversal over `flat`'s occupied roots.
+    #[must_use]
+    pub fn new(
+        flat: &'a FlatTree,
+        node_table: &'a NodeMindistTable,
+        best: &'a AtomicBest,
+        queues: &'a MinQueues<u32>,
+    ) -> Self {
+        let segments = flat.segments();
+        let root_contrib = (0..segments).map(|s| node_table.root_pair(s)).collect();
+        Self {
+            flat,
+            node_table,
+            root_contrib,
+            best,
+            queues,
+            root_queue: WorkQueue::new(flat.roots().len()),
+            shared: Mutex::new(Vec::new()),
+        }
+    }
+
+    #[inline]
+    fn root_lb(&self, key: u16) -> f32 {
+        let segments = self.root_contrib.len();
+        let mut sum = 0.0f32;
+        for (seg, &(zero, one)) in self.root_contrib.iter().enumerate() {
+            let bit = (key >> (segments - 1 - seg)) & 1;
+            sum += if bit == 0 { zero } else { one };
+        }
+        sum
+    }
+
+    /// Runs one worker's share of the traversal. Returns when every root
+    /// has been claimed and every donated item drained (see module docs for
+    /// why that is sound: the holder of remaining work drains the shared
+    /// stack before returning).
+    pub fn run_worker(&self) -> TraverseStats {
+        let mut stats = TraverseStats::default();
+        let mut stack: Vec<u32> = Vec::new();
+        let mut visits = 0u64;
+        // Claim root chunks first.
+        while let Some(range) = self.root_queue.claim_chunk(64) {
+            for i in range {
+                let (key, root_idx) = self.flat.roots()[i];
+                if self.root_lb(key) >= self.best.dist_sq() {
+                    stats.pruned += 1;
+                    continue;
+                }
+                stack.push(root_idx);
+                self.drain_stack(&mut stack, &mut visits, &mut stats);
+            }
+        }
+        // Help with donated work until none remains anywhere.
+        loop {
+            let item = self.shared.lock().pop();
+            match item {
+                Some(idx) => {
+                    stack.push(idx);
+                    self.drain_stack(&mut stack, &mut visits, &mut stats);
+                }
+                None => return stats,
+            }
+        }
+    }
+
+    fn drain_stack(&self, stack: &mut Vec<u32>, visits: &mut u64, stats: &mut TraverseStats) {
+        while let Some(idx) = stack.pop() {
+            *visits += 1;
+            if *visits & DONATE_CHECK_MASK == 0 && stack.len() > DONATE_ABOVE {
+                // Donate the shallow half (closer to the root => bigger
+                // subtrees) to whoever is idle.
+                let keep = stack.len() / 2;
+                let mut shared = self.shared.lock();
+                shared.extend(stack.drain(..keep));
+            }
+            let node = self.flat.node(idx);
+            let lb = node.mindist_sq(self.node_table);
+            if lb >= self.best.dist_sq() {
+                stats.pruned += 1;
+                continue;
+            }
+            if node.is_leaf() {
+                if !node.entry_range().is_empty() {
+                    stats.enqueued += 1;
+                    self.queues.push_rr(lb, idx);
+                }
+            } else {
+                let (zero, one) = node.children(idx);
+                stack.push(one);
+                stack.push(zero);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::build::build;
+    use crate::config::MessiConfig;
+    use dsidx_isax::paa::paa;
+    use dsidx_series::gen::DatasetKind;
+    use dsidx_tree::TreeConfig;
+
+    #[test]
+    fn cooperative_traversal_enqueues_same_leaves_as_serial() {
+        let data = DatasetKind::Synthetic.generate(2000, 64, 3);
+        let cfg = MessiConfig::new(TreeConfig::new(64, 8, 16).unwrap(), 4);
+        let (messi, _) = build(&data, &cfg);
+        let q = DatasetKind::Synthetic.queries(1, 64, 3);
+        let paa_q = paa(q.get(0), 8);
+        let node_table =
+            NodeMindistTable::new_point(&paa_q, cfg.tree.quantizer().segment_lens());
+
+        // With an infinite BSF nothing is pruned, so every non-empty leaf
+        // must be enqueued exactly once no matter how many workers help.
+        let total_leaves = messi
+            .flat
+            .nodes()
+            .iter()
+            .filter(|n| n.is_leaf() && !n.entry_range().is_empty())
+            .count() as u64;
+        for threads in [1usize, 4, 8] {
+            let best = AtomicBest::new();
+            let queues: MinQueues<u32> = MinQueues::new(threads);
+            let traversal = Traversal::new(&messi.flat, &node_table, &best, &queues);
+            let enqueued = std::sync::atomic::AtomicU64::new(0);
+            std::thread::scope(|s| {
+                for _ in 0..threads {
+                    let traversal = &traversal;
+                    let enqueued = &enqueued;
+                    s.spawn(move || {
+                        let st = traversal.run_worker();
+                        enqueued.fetch_add(st.enqueued, std::sync::atomic::Ordering::Relaxed);
+                    });
+                }
+            });
+            assert_eq!(
+                enqueued.load(std::sync::atomic::Ordering::Relaxed),
+                total_leaves,
+                "threads={threads}"
+            );
+            // And every queued index is a distinct leaf.
+            let mut seen = std::collections::HashSet::new();
+            for shard in 0..threads {
+                while let Some((_, idx)) = queues.pop_min(shard) {
+                    assert!(seen.insert(idx), "leaf {idx} enqueued twice");
+                }
+            }
+            assert_eq!(seen.len() as u64, total_leaves);
+        }
+    }
+
+    #[test]
+    fn tight_bsf_prunes_everything() {
+        let data = DatasetKind::Synthetic.generate(500, 64, 9);
+        let cfg = MessiConfig::new(TreeConfig::new(64, 8, 16).unwrap(), 2);
+        let (messi, _) = build(&data, &cfg);
+        let q = DatasetKind::Synthetic.queries(1, 64, 9);
+        let paa_q = paa(q.get(0), 8);
+        let node_table =
+            NodeMindistTable::new_point(&paa_q, cfg.tree.quantizer().segment_lens());
+        let best = AtomicBest::with_initial(0.0, 0); // perfect BSF
+        let queues: MinQueues<u32> = MinQueues::new(2);
+        let traversal = Traversal::new(&messi.flat, &node_table, &best, &queues);
+        let st = traversal.run_worker();
+        assert_eq!(st.enqueued, 0, "zero BSF must prune every subtree");
+    }
+}

@@ -1,0 +1,589 @@
+//! The ParIS/ParIS+ index-construction pipeline (stages 1–3 of Fig. 2).
+//!
+//! Thread roles and synchronization, mirroring the paper:
+//!
+//! * the **coordinator** (caller thread) reads sequential blocks and feeds
+//!   them to a bounded MPMC channel sized to hold a full generation — the
+//!   "raw data buffer in main memory";
+//! * `threads` **workers** summarize blocks into per-subtree RecBufs and
+//!   the SAX array; at each generation boundary the coordinator enqueues
+//!   one `EndGen` marker per worker (channel FIFO guarantees every worker
+//!   sees all of the generation's blocks first), the workers barrier, then
+//!   claim dirty RecBufs by Fetch&Inc and grow the corresponding subtrees;
+//! * in **ParIS** mode the coordinator blocks until the generation's
+//!   growth *and* leaf flushing finish (the visible stage-3 stall of
+//!   Fig. 4); in **ParIS+** mode it keeps reading the next generation while
+//!   dedicated **flusher** threads materialize the finished subtrees'
+//!   leaves — growth of generation `g+1` waits until generation `g` is
+//!   fully flushed, which is the only ordering the shared subtrees need.
+
+use crate::config::{Overlap, ParisConfig};
+use crate::recbuf::RecBufs;
+use crate::report::BuildReport;
+use dsidx_isax::Word;
+use dsidx_series::Dataset;
+use dsidx_storage::{DatasetFile, LeafStoreReader, LeafStoreWriter, StorageError};
+use dsidx_sync::{SyncSlice, WorkQueue};
+use dsidx_tree::{Index, LeafChunk, LeafEntry, Node, NodeWord, SaxArray};
+use parking_lot::{Condvar, Mutex};
+use std::path::Path;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Barrier;
+use std::time::{Duration, Instant};
+
+/// A built ParIS/ParIS+ index.
+#[derive(Debug)]
+pub struct ParisIndex {
+    /// The iSAX tree (all subtrees resident; leaves carry flush chunks in
+    /// on-disk mode).
+    pub index: Index,
+    /// Position-ordered iSAX words — what stage 4 scans.
+    pub sax: SaxArray,
+    /// The materialized leaf store (on-disk builds only).
+    pub leaves: Option<LeafStoreReader>,
+}
+
+enum Feed {
+    Block { first_pos: usize, parity: usize, data: Vec<f32> },
+    EndGen { parity: usize },
+}
+
+/// Counts leaf-store flushes still in flight (ParIS+).
+struct FlushTracker {
+    pending: Mutex<usize>,
+    cv: Condvar,
+}
+
+impl FlushTracker {
+    fn new() -> Self {
+        Self { pending: Mutex::new(0), cv: Condvar::new() }
+    }
+
+    fn add(&self) {
+        *self.pending.lock() += 1;
+    }
+
+    fn done(&self) {
+        let mut p = self.pending.lock();
+        *p -= 1;
+        if *p == 0 {
+            self.cv.notify_all();
+        }
+    }
+
+    fn wait_zero(&self) {
+        let mut p = self.pending.lock();
+        while *p > 0 {
+            self.cv.wait(&mut p);
+        }
+    }
+}
+
+/// Shared error slot: first storage error wins, the pipeline drains.
+#[derive(Default)]
+struct ErrorSlot(Mutex<Option<StorageError>>);
+
+impl ErrorSlot {
+    fn set(&self, e: StorageError) {
+        let mut slot = self.0.lock();
+        if slot.is_none() {
+            *slot = Some(e);
+        }
+    }
+
+    fn take(&self) -> Option<StorageError> {
+        self.0.lock().take()
+    }
+}
+
+fn flush_subtree(node: &mut Node, store: &LeafStoreWriter, errors: &ErrorSlot) {
+    node.for_each_leaf_mut(&mut |leaf| {
+        let unflushed = leaf.unflushed_entries();
+        if unflushed.is_empty() {
+            return;
+        }
+        let records: Vec<(Word, u32)> = unflushed.iter().map(|e| (e.word, e.pos)).collect();
+        match store.append(&records) {
+            Ok(h) => leaf.mark_flushed(LeafChunk { offset: h.offset, count: h.count }),
+            Err(e) => errors.set(e),
+        }
+    });
+}
+
+/// Builds a ParIS or ParIS+ index from an on-disk dataset, materializing
+/// leaves into a leaf store created at `store_path`.
+///
+/// # Errors
+/// Propagates I/O failures from the dataset file and the leaf store.
+///
+/// # Panics
+/// Panics on configuration mismatches (series length, zero threads).
+pub fn build_on_disk(
+    file: &DatasetFile,
+    store_path: &Path,
+    cfg: &ParisConfig,
+    mode: Overlap,
+) -> Result<(ParisIndex, BuildReport), StorageError> {
+    cfg.validate();
+    assert_eq!(file.series_len(), cfg.tree.series_len(), "series length mismatch");
+    let store = LeafStoreWriter::create(store_path, cfg.tree.segments(), file.device().clone())?;
+    let (index, sax, report) = run_pipeline(
+        cfg,
+        mode,
+        file.count(),
+        Some(&store),
+        |start, count, out| file.read_block(start, count, out),
+    )?;
+    let leaves = store.finish()?;
+    Ok((ParisIndex { index, sax, leaves: Some(leaves) }, report))
+}
+
+/// Builds an in-memory ParIS index (the paper's "in-memory implementation
+/// of ParIS" used in Figs. 7, 9 and 12): same locked RecBufs and stage-3
+/// structure, no disk at all.
+///
+/// # Panics
+/// Panics on configuration mismatches.
+#[must_use]
+pub fn build_in_memory(data: &Dataset, cfg: &ParisConfig) -> (ParisIndex, BuildReport) {
+    cfg.validate();
+    assert_eq!(data.series_len(), cfg.tree.series_len(), "series length mismatch");
+    let series_len = data.series_len();
+    let (index, sax, report) = run_pipeline(
+        cfg,
+        Overlap::Paris,
+        data.len(),
+        None,
+        |start, count, out: &mut Vec<f32>| {
+            out.clear();
+            out.extend_from_slice(&data.as_flat()[start * series_len..(start + count) * series_len]);
+            Ok(())
+        },
+    )
+    .expect("in-memory build performs no I/O");
+    (ParisIndex { index, sax, leaves: None }, report)
+}
+
+#[allow(clippy::too_many_lines)]
+fn run_pipeline(
+    cfg: &ParisConfig,
+    mode: Overlap,
+    total: usize,
+    store: Option<&LeafStoreWriter>,
+    mut read_block: impl FnMut(usize, usize, &mut Vec<f32>) -> Result<(), StorageError>,
+) -> Result<(Index, SaxArray, BuildReport), StorageError> {
+    let tree_cfg = &cfg.tree;
+    let quantizer = tree_cfg.quantizer().clone();
+    let segments = tree_cfg.segments();
+    let series_len = tree_cfg.series_len();
+    let threads = cfg.threads;
+
+    let recbufs = [RecBufs::new(tree_cfg.root_count()), RecBufs::new(tree_cfg.root_count())];
+    let filler = Word::new(&vec![0u8; segments]);
+    let sax = SyncSlice::new(vec![filler; total]);
+    let roots: SyncSlice<Option<Box<Node>>> =
+        SyncSlice::new((0..tree_cfg.root_count()).map(|_| None).collect());
+    let errors = ErrorSlot::default();
+
+    // Channel capacity: a full generation plus markers — the raw buffer.
+    let blocks_per_gen = cfg.generation_series.div_ceil(cfg.block_series);
+    let (block_tx, block_rx) =
+        crossbeam_channel::bounded::<Feed>(2 * blocks_per_gen + threads + 1);
+    let (flush_tx, flush_rx) = crossbeam_channel::unbounded::<u16>();
+    let (gen_done_tx, gen_done_rx) = crossbeam_channel::unbounded::<()>();
+    let flush_tracker = FlushTracker::new();
+    let barrier = Barrier::new(threads);
+    let grow_nanos = AtomicU64::new(0);
+    let flush_nanos = AtomicU64::new(0);
+
+    let t0 = Instant::now();
+    let mut read_time = Duration::ZERO;
+    let mut stall_waits = Duration::ZERO;
+    let mut generations = 0usize;
+    let mut t_read_done = t0;
+
+    let coordinator_error: Option<StorageError> = std::thread::scope(|s| {
+        // IndexBulkLoading workers (who also construct subtrees at
+        // generation boundaries; in ParIS+ that is exactly the paper's
+        // redesign, in ParIS it is equivalent to a distinct construction
+        // pool because the coordinator is stopped anyway).
+        for _ in 0..threads {
+            let block_rx = block_rx.clone();
+            let flush_tx = flush_tx.clone();
+            let quantizer = quantizer.clone();
+            let recbufs = &recbufs;
+            let sax = &sax;
+            let roots = &roots;
+            let errors = &errors;
+            let barrier = &barrier;
+            let flush_tracker = &flush_tracker;
+            let grow_nanos = &grow_nanos;
+            let flush_nanos = &flush_nanos;
+            let gen_done_tx = gen_done_tx.clone();
+            s.spawn(move || {
+                let mut paa = vec![0.0f32; segments];
+                while let Ok(feed) = block_rx.recv() {
+                    match feed {
+                        Feed::Block { first_pos, parity, data } => {
+                            for (i, series) in data.chunks_exact(series_len).enumerate() {
+                                let word = quantizer.word_into(series, &mut paa);
+                                let pos = first_pos + i;
+                                // SAFETY: block ranges are disjoint and each
+                                // position is summarized exactly once.
+                                unsafe { sax.write(pos, word) };
+                                recbufs[parity]
+                                    .push(word.root_key(), LeafEntry::new(word, pos as u32));
+                            }
+                        }
+                        Feed::EndGen { parity } => {
+                            // B1: every worker finished summarizing this
+                            // generation (each consumes exactly one marker).
+                            barrier.wait();
+                            if mode == Overlap::ParisPlus {
+                                // Previous generation's leaves must be fully
+                                // materialized before we mutate subtrees.
+                                flush_tracker.wait_zero();
+                            }
+                            let tg = Instant::now();
+                            let mut flush_local = Duration::ZERO;
+                            while let Some(key) = recbufs[parity].claim_dirty() {
+                                let entries = recbufs[parity].drain(key);
+                                // SAFETY: each dirty key is claimed by one
+                                // worker; flushers only touch keys handed to
+                                // them after growth, never concurrently.
+                                let slot = unsafe { roots.get_mut(key as usize) };
+                                let node = slot.get_or_insert_with(|| {
+                                    Box::new(Node::new_leaf(NodeWord::root(key, segments)))
+                                });
+                                for e in entries {
+                                    node.insert(e, tree_cfg);
+                                }
+                                if let Some(store) = store {
+                                    match mode {
+                                        Overlap::Paris => {
+                                            let tf = Instant::now();
+                                            flush_subtree(node, store, errors);
+                                            flush_local += tf.elapsed();
+                                        }
+                                        Overlap::ParisPlus => {
+                                            flush_tracker.add();
+                                            // Receiver outlives senders by
+                                            // construction.
+                                            let _ = flush_tx.send(key);
+                                        }
+                                    }
+                                }
+                            }
+                            let grow_local = tg.elapsed().saturating_sub(flush_local);
+                            grow_nanos.fetch_add(grow_local.as_nanos() as u64, Ordering::Relaxed);
+                            flush_nanos
+                                .fetch_add(flush_local.as_nanos() as u64, Ordering::Relaxed);
+                            // B2: all subtrees of this generation grown.
+                            if barrier.wait().is_leader() {
+                                recbufs[parity].reset_generation();
+                            }
+                            // B3: reset visible to everyone; signal the
+                            // coordinator (ParIS waits on this).
+                            if barrier.wait().is_leader() {
+                                let _ = gen_done_tx.send(());
+                            }
+                        }
+                    }
+                }
+            });
+        }
+        drop(gen_done_tx);
+        drop(flush_tx);
+
+        // Flusher pool (ParIS+ on-disk only): materializes leaves while the
+        // coordinator keeps reading.
+        if mode == Overlap::ParisPlus && store.is_some() {
+            for _ in 0..2usize {
+                let flush_rx = flush_rx.clone();
+                let roots = &roots;
+                let errors = &errors;
+                let flush_tracker = &flush_tracker;
+                let flush_nanos = &flush_nanos;
+                s.spawn(move || {
+                    while let Ok(key) = flush_rx.recv() {
+                        let tf = Instant::now();
+                        // SAFETY: the key was handed over after growth
+                        // finished; no grower touches it until the tracker
+                        // hits zero, and each key is in flight at most once.
+                        let slot = unsafe { roots.get_mut(key as usize) };
+                        if let Some(node) = slot.as_mut() {
+                            flush_subtree(node, store.expect("flushers imply a store"), errors);
+                        }
+                        flush_nanos.fetch_add(tf.elapsed().as_nanos() as u64, Ordering::Relaxed);
+                        flush_tracker.done();
+                    }
+                });
+            }
+        }
+        drop(flush_rx);
+
+        // Coordinator (stage 1).
+        let result = (|| -> Result<(), StorageError> {
+            let mut buf: Vec<f32> = Vec::new();
+            let mut pos = 0usize;
+            let mut in_gen = 0usize;
+            let mut parity = 0usize;
+            while pos < total {
+                let gen_left = cfg.generation_series - in_gen;
+                let count = cfg.block_series.min(total - pos).min(gen_left);
+                let tr = Instant::now();
+                read_block(pos, count, &mut buf)?;
+                read_time += tr.elapsed();
+                let data = std::mem::take(&mut buf);
+                block_tx
+                    .send(Feed::Block { first_pos: pos, parity, data })
+                    .expect("workers outlive the coordinator");
+                pos += count;
+                in_gen += count;
+                if in_gen >= cfg.generation_series || pos == total {
+                    for _ in 0..threads {
+                        block_tx
+                            .send(Feed::EndGen { parity })
+                            .expect("workers outlive the coordinator");
+                    }
+                    generations += 1;
+                    if mode == Overlap::Paris {
+                        let tw = Instant::now();
+                        gen_done_rx.recv().expect("workers signal every generation");
+                        stall_waits += tw.elapsed();
+                    }
+                    in_gen = 0;
+                    parity ^= 1;
+                }
+            }
+            Ok(())
+        })();
+        t_read_done = Instant::now();
+        drop(block_tx); // workers drain and exit; flushers follow
+        result.err()
+    });
+
+    if let Some(e) = coordinator_error {
+        return Err(e);
+    }
+    if let Some(e) = errors.take() {
+        return Err(e);
+    }
+
+    let total_time = t0.elapsed();
+    let report = BuildReport {
+        total: total_time,
+        read: read_time,
+        stall: stall_waits + total_time.saturating_sub(t_read_done - t0),
+        grow_cpu: Duration::from_nanos(grow_nanos.load(Ordering::Relaxed)),
+        flush_io: Duration::from_nanos(flush_nanos.load(Ordering::Relaxed)),
+        generations,
+    };
+    let index = Index::from_roots(tree_cfg.clone(), roots.into_inner());
+    let sax = SaxArray::new(sax.into_inner());
+    Ok((index, sax, report))
+}
+
+/// Parallel in-memory summarization used by ablations and tests: fills only
+/// the SAX array (no tree), via Fetch&Inc position chunks.
+#[must_use]
+pub fn summarize_parallel(data: &Dataset, cfg: &ParisConfig) -> SaxArray {
+    let quantizer = cfg.tree.quantizer().clone();
+    let segments = cfg.tree.segments();
+    let filler = Word::new(&vec![0u8; segments]);
+    let sax = SyncSlice::new(vec![filler; data.len()]);
+    let queue = WorkQueue::new(data.len());
+    std::thread::scope(|s| {
+        for _ in 0..cfg.threads {
+            let quantizer = quantizer.clone();
+            let sax = &sax;
+            let queue = &queue;
+            s.spawn(move || {
+                let mut paa = vec![0.0f32; segments];
+                while let Some(range) = queue.claim_chunk(cfg.block_series) {
+                    for pos in range {
+                        let word = quantizer.word_into(data.get(pos), &mut paa);
+                        // SAFETY: chunk claims are disjoint.
+                        unsafe { sax.write(pos, word) };
+                    }
+                }
+            });
+        }
+    });
+    SaxArray::new(sax.into_inner())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dsidx_series::gen::DatasetKind;
+    use dsidx_storage::{write_dataset, Device, DeviceProfile};
+    use dsidx_tree::stats::{index_stats, validate};
+    use dsidx_tree::TreeConfig;
+    use std::sync::Arc;
+
+    fn tree_cfg() -> TreeConfig {
+        TreeConfig::new(64, 8, 16).unwrap()
+    }
+
+    fn tmp(name: &str) -> std::path::PathBuf {
+        let dir = std::env::temp_dir().join(format!("dsidx-paris-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        dir.join(name)
+    }
+
+    fn on_disk_fixture(n: usize, seed: u64, name: &str) -> DatasetFile {
+        let data = DatasetKind::Synthetic.generate(n, 64, seed);
+        let path = tmp(name);
+        write_dataset(&path, &data, Arc::new(Device::unthrottled())).unwrap();
+        DatasetFile::open(&path, Arc::new(Device::unthrottled())).unwrap()
+    }
+
+    #[test]
+    fn in_memory_build_matches_serial_reference() {
+        let data = DatasetKind::Synthetic.generate(600, 64, 42);
+        let cfg = ParisConfig::new(tree_cfg(), 4)
+            .with_block_series(64)
+            .with_generation_series(256);
+        let (paris, report) = build_in_memory(&data, &cfg);
+        assert_eq!(paris.index.len(), 600);
+        assert_eq!(paris.sax.len(), 600);
+        validate(&paris.index);
+        assert!(report.generations >= 2, "600/256 needs >= 3 generations");
+        // SAX words match direct computation.
+        let q = cfg.tree.quantizer();
+        for (pos, series) in data.iter().enumerate() {
+            assert_eq!(paris.sax.word(pos), &q.word(series), "pos {pos}");
+        }
+        // Same leaf structure as the serial baseline build.
+        let (ads, _) = dsidx_ads::build_from_dataset(&data, &cfg.tree);
+        assert_eq!(
+            index_stats(&paris.index).entry_count,
+            index_stats(&ads.index).entry_count
+        );
+        assert_eq!(paris.index.occupied_roots(), ads.index.occupied_roots());
+    }
+
+    #[test]
+    fn on_disk_paris_and_plus_build_identical_indexes() {
+        let file = on_disk_fixture(500, 7, "build.dsidx");
+        let cfg = ParisConfig::new(tree_cfg(), 3)
+            .with_block_series(50)
+            .with_generation_series(150);
+        let (paris, rep_a) =
+            build_on_disk(&file, &tmp("a.leaf"), &cfg, Overlap::Paris).unwrap();
+        let (plus, rep_b) =
+            build_on_disk(&file, &tmp("b.leaf"), &cfg, Overlap::ParisPlus).unwrap();
+        assert_eq!(paris.index.len(), 500);
+        assert_eq!(plus.index.len(), 500);
+        validate(&paris.index);
+        validate(&plus.index);
+        assert_eq!(paris.sax.words(), plus.sax.words());
+        assert_eq!(paris.index.occupied_roots(), plus.index.occupied_roots());
+        assert!(rep_a.generations >= 3);
+        assert_eq!(rep_a.generations, rep_b.generations);
+        assert!(paris.leaves.is_some());
+        // Every leaf is fully flushed at the end of both builds.
+        for idx in [&paris.index, &plus.index] {
+            idx.for_each_leaf(&mut |leaf| {
+                assert!(leaf.unflushed_entries().is_empty(), "leaf left unflushed");
+            });
+        }
+    }
+
+    #[test]
+    fn flushed_leaves_read_back_correctly() {
+        let file = on_disk_fixture(300, 9, "roundtrip.dsidx");
+        let cfg = ParisConfig::new(tree_cfg(), 2)
+            .with_block_series(64)
+            .with_generation_series(128);
+        let (paris, _) =
+            build_on_disk(&file, &tmp("rt.leaf"), &cfg, Overlap::ParisPlus).unwrap();
+        let reader = paris.leaves.as_ref().unwrap();
+        let mut records = Vec::new();
+        let mut checked = 0;
+        paris.index.for_each_leaf(&mut |leaf| {
+            let payload = leaf.payload().unwrap();
+            let mut from_store = Vec::new();
+            for chunk in &payload.chunks {
+                reader
+                    .read(
+                        dsidx_storage::LeafHandle { offset: chunk.offset, count: chunk.count },
+                        &mut records,
+                    )
+                    .unwrap();
+                from_store.extend(records.iter().copied());
+            }
+            let resident: Vec<(Word, u32)> =
+                payload.entries.iter().map(|e| (e.word, e.pos)).collect();
+            assert_eq!(from_store, resident, "store contents must mirror leaf");
+            checked += 1;
+        });
+        assert!(checked > 0);
+    }
+
+    #[test]
+    fn single_generation_and_single_thread_work() {
+        let file = on_disk_fixture(100, 3, "small.dsidx");
+        let cfg = ParisConfig::new(tree_cfg(), 1)
+            .with_block_series(100)
+            .with_generation_series(1000);
+        let (paris, report) =
+            build_on_disk(&file, &tmp("small.leaf"), &cfg, Overlap::Paris).unwrap();
+        assert_eq!(paris.index.len(), 100);
+        assert_eq!(report.generations, 1);
+        validate(&paris.index);
+    }
+
+    #[test]
+    fn empty_dataset_builds_empty_index() {
+        let data = dsidx_series::Dataset::new(64).unwrap();
+        let cfg = ParisConfig::new(tree_cfg(), 4);
+        let (paris, report) = build_in_memory(&data, &cfg);
+        assert!(paris.index.is_empty());
+        assert!(paris.sax.is_empty());
+        assert_eq!(report.generations, 0);
+    }
+
+    #[test]
+    fn paris_plus_hides_cpu_under_reads_on_hdd() {
+        // The Fig. 4 effect, miniaturized: with a throttled HDD, ParIS's
+        // visible stall must be a significantly larger share of the build
+        // than ParIS+'s.
+        let data = DatasetKind::Synthetic.generate(3000, 64, 5);
+        let path = tmp("hdd.dsidx");
+        write_dataset(&path, &data, Arc::new(Device::unthrottled())).unwrap();
+        let cfg = ParisConfig::new(TreeConfig::new(64, 8, 20).unwrap(), 4)
+            .with_block_series(250)
+            .with_generation_series(750);
+
+        let dev_a = Arc::new(Device::new(DeviceProfile::HDD));
+        let file_a = DatasetFile::open(&path, dev_a).unwrap();
+        let (_, rep_paris) =
+            build_on_disk(&file_a, &tmp("hdd_a.leaf"), &cfg, Overlap::Paris).unwrap();
+
+        let dev_b = Arc::new(Device::new(DeviceProfile::HDD));
+        let file_b = DatasetFile::open(&path, dev_b).unwrap();
+        let (_, rep_plus) =
+            build_on_disk(&file_b, &tmp("hdd_b.leaf"), &cfg, Overlap::ParisPlus).unwrap();
+
+        let frac = |r: &BuildReport| r.stall.as_secs_f64() / r.total.as_secs_f64();
+        assert!(
+            frac(&rep_plus) < frac(&rep_paris),
+            "ParIS+ stall fraction {:.3} should be below ParIS {:.3}",
+            frac(&rep_plus),
+            frac(&rep_paris)
+        );
+    }
+
+    #[test]
+    fn summarize_parallel_matches_sequential() {
+        let data = DatasetKind::Sald.generate(400, 64, 12);
+        let cfg = ParisConfig::new(tree_cfg(), 6).with_block_series(32);
+        let sax = summarize_parallel(&data, &cfg);
+        let q = cfg.tree.quantizer();
+        for (pos, series) in data.iter().enumerate() {
+            assert_eq!(sax.word(pos), &q.word(series));
+        }
+    }
+}

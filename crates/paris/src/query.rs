@@ -1,0 +1,260 @@
+//! ParIS/ParIS+ exact query answering (stage 4 of Fig. 2).
+//!
+//! Identical for ParIS and ParIS+ ("for query answering, ParIS and ParIS+
+//! are the same"): compute an approximate best-so-far from the most
+//! promising leaf, prune over the SAX array with lower-bound distances in
+//! parallel, collect the survivors in a candidate list, then compute real
+//! distances for the candidates in parallel with early abandoning.
+//!
+//! Unlike MESSI, candidates are processed in position order, not
+//! best-bound-first — the paper attributes part of MESSI's speedup to
+//! exactly that difference, which the `abl-queues` ablation measures.
+
+use crate::build::ParisIndex;
+use dsidx_isax::MindistTable;
+use dsidx_series::distance::{euclidean_sq, euclidean_sq_bounded};
+use dsidx_series::Match;
+use dsidx_storage::{LeafHandle, RawSource, StorageError};
+use dsidx_sync::{AtomicBest, WorkQueue};
+use parking_lot::Mutex;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Counters from one exact query.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct QueryStats {
+    /// Lower bounds evaluated over the SAX array.
+    pub lb_computed: u64,
+    /// Positions whose lower bound beat the BSF (candidate list size).
+    pub candidates: u64,
+    /// Real distances fully evaluated (not early-abandoned).
+    pub real_computed: u64,
+}
+
+/// SAX-array positions per Fetch&Inc claim in the lower-bound phase.
+const LB_CHUNK: usize = 4096;
+/// Candidates per Fetch&Inc claim in the real-distance phase.
+const REAL_CHUNK: usize = 16;
+
+/// Exact 1-NN through the ParIS index.
+///
+/// `source` supplies raw series (the dataset file for on-disk operation —
+/// reads are charged to its device — or the in-memory dataset).
+///
+/// Returns `None` for an empty index.
+///
+/// # Errors
+/// Propagates raw-source and leaf-store I/O failures.
+///
+/// # Panics
+/// Panics if the query length differs from the configured series length or
+/// `threads == 0`.
+pub fn exact_nn(
+    paris: &ParisIndex,
+    source: &impl RawSource,
+    query: &[f32],
+    threads: usize,
+) -> Result<Option<(Match, QueryStats)>, StorageError> {
+    let config = paris.index.config();
+    assert_eq!(query.len(), config.series_len(), "query length mismatch");
+    assert!(threads > 0, "thread count must be non-zero");
+    if paris.index.is_empty() {
+        return Ok(None);
+    }
+    let quantizer = config.quantizer();
+    let mut paa = vec![0.0f32; config.segments()];
+    quantizer.paa_into(query, &mut paa);
+    let query_word = quantizer.word_from_paa(&paa);
+    let table = MindistTable::new_point(&paa, quantizer.segment_lens());
+    let memory = source.as_memory();
+    let mut scratch = vec![0.0f32; config.series_len()];
+
+    // Step 1: approximate answer — descend to the query's leaf, compute
+    // real distances for its entries. In on-disk mode the leaf was
+    // materialized, so charge its read-back from the leaf store.
+    let leaf = paris
+        .index
+        .non_empty_leaf_for(&query_word)
+        .or_else(|| paris.index.any_leaf())
+        .expect("non-empty index has a non-empty leaf");
+    if let Some(reader) = &paris.leaves {
+        let mut records = Vec::new();
+        for chunk in &leaf.payload().expect("leaf payload").chunks {
+            reader.read(LeafHandle { offset: chunk.offset, count: chunk.count }, &mut records)?;
+        }
+    }
+    let best = AtomicBest::new();
+    let mut approx_real = 0u64;
+    for e in leaf.entries().expect("leaves are resident") {
+        let d = if let Some(ds) = memory {
+            euclidean_sq(query, ds.get(e.pos as usize))
+        } else {
+            source.read_into(e.pos as usize, &mut scratch)?;
+            euclidean_sq(query, &scratch)
+        };
+        approx_real += 1;
+        best.update(d, e.pos);
+    }
+
+    // Step 2: parallel lower-bound pruning over the SAX array.
+    let pool = dsidx_sync::pool::global(threads);
+    let words = paris.sax.words();
+    let lb_queue = WorkQueue::new(words.len());
+    let candidates: Mutex<Vec<(u32, f32)>> = Mutex::new(Vec::new());
+    pool.broadcast(&|_worker| {
+        let mut local: Vec<(u32, f32)> = Vec::new();
+        while let Some(range) = lb_queue.claim_chunk(LB_CHUNK) {
+            let limit = best.dist_sq();
+            for pos in range {
+                let lb = table.lookup(&words[pos]);
+                if lb < limit {
+                    local.push((pos as u32, lb));
+                }
+            }
+        }
+        if !local.is_empty() {
+            candidates.lock().extend_from_slice(&local);
+        }
+    });
+    let candidates = candidates.into_inner();
+
+    // Step 3: parallel real distances over the candidate list.
+    let real_queue = WorkQueue::new(candidates.len());
+    let real_computed = AtomicU64::new(0);
+    let errors: Mutex<Option<StorageError>> = Mutex::new(None);
+    pool.broadcast(&|_worker| {
+        let mut scratch = vec![0.0f32; query.len()];
+        while let Some(range) = real_queue.claim_chunk(REAL_CHUNK) {
+            for i in range {
+                let (pos, lb) = candidates[i];
+                let limit = best.dist_sq();
+                if lb >= limit {
+                    continue; // pruned by a BSF that improved since
+                }
+                let d = if let Some(ds) = memory {
+                    euclidean_sq_bounded(query, ds.get(pos as usize), limit)
+                } else {
+                    match source.read_into(pos as usize, &mut scratch) {
+                        Ok(()) => euclidean_sq_bounded(query, &scratch, limit),
+                        Err(e) => {
+                            let mut slot = errors.lock();
+                            if slot.is_none() {
+                                *slot = Some(e);
+                            }
+                            return;
+                        }
+                    }
+                };
+                if let Some(d) = d {
+                    real_computed.fetch_add(1, Ordering::Relaxed);
+                    best.update(d, pos);
+                }
+            }
+        }
+    });
+    if let Some(e) = errors.into_inner() {
+        return Err(e);
+    }
+
+    let (dist_sq, pos) = best.get();
+    let stats = QueryStats {
+        lb_computed: words.len() as u64,
+        candidates: candidates.len() as u64,
+        real_computed: real_computed.load(Ordering::Relaxed) + approx_real,
+    };
+    Ok(Some((Match::new(pos, dist_sq), stats)))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::build::{build_in_memory, build_on_disk};
+    use crate::config::{Overlap, ParisConfig};
+    use dsidx_series::gen::DatasetKind;
+    use dsidx_storage::{write_dataset, DatasetFile, Device};
+    use dsidx_tree::TreeConfig;
+    use dsidx_ucr::brute_force;
+    use std::sync::Arc;
+
+    fn cfg(threads: usize) -> ParisConfig {
+        ParisConfig::new(TreeConfig::new(64, 8, 16).unwrap(), threads)
+            .with_block_series(64)
+            .with_generation_series(256)
+    }
+
+    fn tmp(name: &str) -> std::path::PathBuf {
+        let dir = std::env::temp_dir().join(format!("dsidx-parisq-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        dir.join(name)
+    }
+
+    #[test]
+    fn exact_on_all_dataset_kinds_in_memory() {
+        for kind in DatasetKind::ALL {
+            let data = kind.generate(600, 64, 37);
+            let (paris, _) = build_in_memory(&data, &cfg(4));
+            let queries = kind.queries(8, 64, 37);
+            for q in queries.iter() {
+                let want = brute_force(&data, q).unwrap();
+                for threads in [1usize, 4] {
+                    let (got, stats) =
+                        exact_nn(&paris, &data, q, threads).unwrap().unwrap();
+                    assert_eq!(got.pos, want.pos, "{} x{threads}", kind.name());
+                    assert!(
+                        (got.dist_sq - want.dist_sq).abs() <= want.dist_sq * 1e-4 + 1e-4
+                    );
+                    assert_eq!(stats.lb_computed, 600);
+                    assert!(stats.candidates <= 600);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn exact_on_disk_matches_memory() {
+        let data = DatasetKind::Seismic.generate(400, 64, 5);
+        let path = tmp("q.dsidx");
+        write_dataset(&path, &data, Arc::new(Device::unthrottled())).unwrap();
+        let file = DatasetFile::open(&path, Arc::new(Device::unthrottled())).unwrap();
+        let (paris, _) =
+            build_on_disk(&file, &tmp("q.leaf"), &cfg(3), Overlap::ParisPlus).unwrap();
+        let queries = DatasetKind::Seismic.queries(6, 64, 5);
+        for q in queries.iter() {
+            let want = brute_force(&data, q).unwrap();
+            let (got, _) = exact_nn(&paris, &file, q, 4).unwrap().unwrap();
+            assert_eq!(got.pos, want.pos);
+            assert!((got.dist_sq - want.dist_sq).abs() <= want.dist_sq * 1e-4 + 1e-4);
+        }
+    }
+
+    #[test]
+    fn query_for_indexed_series_finds_itself() {
+        let data = DatasetKind::Synthetic.generate(300, 64, 11);
+        let (paris, _) = build_in_memory(&data, &cfg(4));
+        for pos in [0usize, 150, 299] {
+            let (m, _) = exact_nn(&paris, &data, data.get(pos), 4).unwrap().unwrap();
+            assert_eq!(m.pos as usize, pos);
+            assert_eq!(m.dist_sq, 0.0);
+        }
+    }
+
+    #[test]
+    fn empty_index_returns_none() {
+        let data = dsidx_series::Dataset::new(64).unwrap();
+        let (paris, _) = build_in_memory(&data, &cfg(2));
+        assert!(exact_nn(&paris, &data, &vec![0.0; 64], 2).unwrap().is_none());
+    }
+
+    #[test]
+    fn deterministic_answer_across_runs_and_threads() {
+        let data = DatasetKind::Sald.generate(800, 64, 3);
+        let (paris, _) = build_in_memory(&data, &cfg(6));
+        let q = DatasetKind::Sald.queries(1, 64, 3);
+        let (first, _) = exact_nn(&paris, &data, q.get(0), 1).unwrap().unwrap();
+        for threads in [2usize, 4, 8] {
+            for _ in 0..3 {
+                let (m, _) = exact_nn(&paris, &data, q.get(0), threads).unwrap().unwrap();
+                assert_eq!(m, first);
+            }
+        }
+    }
+}

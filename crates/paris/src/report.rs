@@ -1,0 +1,77 @@
+//! Build-time accounting (the data behind Fig. 4).
+
+use std::time::Duration;
+
+/// Wall-clock decomposition of a ParIS/ParIS+ build.
+///
+/// `read` and `stall` are coordinator-visible wall time: what the paper's
+/// stacked bars show. For ParIS the stall spans are the stop-the-world
+/// stage-3 phases; for ParIS+ the stall is only the final tail after the
+/// last byte was read (everything else is hidden under reading). The
+/// cumulative `grow_cpu`/`flush_io` worker totals split the stall into its
+/// CPU and Write components proportionally.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct BuildReport {
+    /// Total wall time of the build.
+    pub total: Duration,
+    /// Coordinator wall time spent reading raw data.
+    pub read: Duration,
+    /// Coordinator wall time stalled on stage-3 work.
+    pub stall: Duration,
+    /// Cumulative worker time growing subtrees (across threads).
+    pub grow_cpu: Duration,
+    /// Cumulative time materializing leaves (across threads).
+    pub flush_io: Duration,
+    /// Number of generations (memory-budget refills).
+    pub generations: usize,
+}
+
+impl BuildReport {
+    /// The stall time attributable to CPU (tree growth).
+    #[must_use]
+    pub fn visible_cpu(&self) -> Duration {
+        self.split_stall().0
+    }
+
+    /// The stall time attributable to leaf materialization.
+    #[must_use]
+    pub fn visible_write(&self) -> Duration {
+        self.split_stall().1
+    }
+
+    fn split_stall(&self) -> (Duration, Duration) {
+        let grow = self.grow_cpu.as_secs_f64();
+        let flush = self.flush_io.as_secs_f64();
+        if grow + flush <= f64::EPSILON {
+            return (self.stall, Duration::ZERO);
+        }
+        let cpu = self.stall.mul_f64(grow / (grow + flush));
+        (cpu, self.stall.saturating_sub(cpu))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn stall_split_is_proportional() {
+        let r = BuildReport {
+            total: Duration::from_secs(10),
+            read: Duration::from_secs(6),
+            stall: Duration::from_secs(4),
+            grow_cpu: Duration::from_secs(3),
+            flush_io: Duration::from_secs(1),
+            generations: 2,
+        };
+        assert_eq!(r.visible_cpu(), Duration::from_secs(3));
+        assert_eq!(r.visible_write(), Duration::from_secs(1));
+    }
+
+    #[test]
+    fn zero_work_attributes_stall_to_cpu() {
+        let r = BuildReport { stall: Duration::from_secs(1), ..Default::default() };
+        assert_eq!(r.visible_cpu(), Duration::from_secs(1));
+        assert_eq!(r.visible_write(), Duration::ZERO);
+    }
+}

@@ -1,0 +1,358 @@
+//! Dynamic Time Warping with a Sakoe-Chiba band, plus the LB_Keogh lower
+//! bound and its envelope.
+//!
+//! This implements the paper's "current work" extension (§V): the iSAX index
+//! is built once and can then answer both Euclidean and DTW queries. DTW
+//! query answering uses the classic cascade: envelope → LB_Keogh → exact
+//! banded DTW with early abandoning.
+//!
+//! All costs are **squared** point differences, so DTW values compare
+//! directly against squared Euclidean BSFs (for band 0, DTW == squared ED).
+
+/// Computes the lower/upper envelope of `series` for warping radius `r`.
+///
+/// `lower[i] = min(series[i-r ..= i+r])`, `upper[i] = max(...)` (clamped at
+/// the boundaries), computed in O(n) with monotonic deques (Lemire's
+/// streaming min-max).
+///
+/// The output vectors are cleared and refilled, so they can be reused across
+/// calls to avoid allocation.
+pub fn envelope(series: &[f32], r: usize, lower: &mut Vec<f32>, upper: &mut Vec<f32>) {
+    let n = series.len();
+    lower.clear();
+    upper.clear();
+    lower.reserve(n);
+    upper.reserve(n);
+    if n == 0 {
+        return;
+    }
+    // Deques hold indices; front is the extremum of the current window.
+    let mut min_dq: std::collections::VecDeque<usize> = std::collections::VecDeque::new();
+    let mut max_dq: std::collections::VecDeque<usize> = std::collections::VecDeque::new();
+    // Window for output i is [i-r, i+r]; we push index j when it enters any
+    // window (j <= i+r) and pop when it leaves (j < i-r).
+    let mut j = 0; // next index to insert
+    for i in 0..n {
+        let hi = (i + r).min(n - 1);
+        while j <= hi {
+            while min_dq.back().is_some_and(|&k| series[k] >= series[j]) {
+                min_dq.pop_back();
+            }
+            min_dq.push_back(j);
+            while max_dq.back().is_some_and(|&k| series[k] <= series[j]) {
+                max_dq.pop_back();
+            }
+            max_dq.push_back(j);
+            j += 1;
+        }
+        let lo = i.saturating_sub(r);
+        while min_dq.front().is_some_and(|&k| k < lo) {
+            min_dq.pop_front();
+        }
+        while max_dq.front().is_some_and(|&k| k < lo) {
+            max_dq.pop_front();
+        }
+        lower.push(series[*min_dq.front().expect("window non-empty")]);
+        upper.push(series[*max_dq.front().expect("window non-empty")]);
+    }
+}
+
+/// LB_Keogh lower bound (squared) of DTW(query, candidate) given the
+/// query's envelope.
+///
+/// # Panics
+/// Panics if the lengths differ.
+#[must_use]
+pub fn lb_keogh_sq(candidate: &[f32], lower: &[f32], upper: &[f32]) -> f32 {
+    assert_eq!(candidate.len(), lower.len(), "lb_keogh_sq length mismatch");
+    assert_eq!(candidate.len(), upper.len(), "lb_keogh_sq length mismatch");
+    let mut sum = 0.0f32;
+    for i in 0..candidate.len() {
+        let c = candidate[i];
+        if c > upper[i] {
+            let d = c - upper[i];
+            sum += d * d;
+        } else if c < lower[i] {
+            let d = lower[i] - c;
+            sum += d * d;
+        }
+    }
+    sum
+}
+
+/// Early-abandoning LB_Keogh: returns `Some(lb)` iff `lb < limit`.
+#[must_use]
+pub fn lb_keogh_sq_bounded(
+    candidate: &[f32],
+    lower: &[f32],
+    upper: &[f32],
+    limit: f32,
+) -> Option<f32> {
+    assert_eq!(candidate.len(), lower.len(), "lb_keogh_sq length mismatch");
+    assert_eq!(candidate.len(), upper.len(), "lb_keogh_sq length mismatch");
+    let mut sum = 0.0f32;
+    for (chunk_c, (chunk_l, chunk_u)) in
+        candidate.chunks(16).zip(lower.chunks(16).zip(upper.chunks(16)))
+    {
+        for i in 0..chunk_c.len() {
+            let c = chunk_c[i];
+            if c > chunk_u[i] {
+                let d = c - chunk_u[i];
+                sum += d * d;
+            } else if c < chunk_l[i] {
+                let d = chunk_l[i] - c;
+                sum += d * d;
+            }
+        }
+        if sum >= limit {
+            return None;
+        }
+    }
+    Some(sum)
+}
+
+/// Exact DTW (squared costs) between equal-length series with a Sakoe-Chiba
+/// band of radius `band`.
+///
+/// `band == 0` degenerates to the squared Euclidean distance.
+///
+/// # Panics
+/// Panics if the lengths differ.
+#[must_use]
+pub fn dtw_sq(a: &[f32], b: &[f32], band: usize) -> f32 {
+    dtw_sq_bounded(a, b, band, f32::INFINITY).expect("infinite limit never abandons")
+}
+
+/// Early-abandoning banded DTW: returns `Some(d)` iff the exact banded DTW
+/// cost `d` is strictly below `limit`; abandons as soon as an entire DP row
+/// exceeds `limit`.
+///
+/// # Panics
+/// Panics if the lengths differ.
+#[must_use]
+pub fn dtw_sq_bounded(a: &[f32], b: &[f32], band: usize, limit: f32) -> Option<f32> {
+    assert_eq!(a.len(), b.len(), "dtw_sq length mismatch");
+    let n = a.len();
+    if n == 0 {
+        return if 0.0 < limit { Some(0.0) } else { None };
+    }
+    let r = band.min(n - 1);
+    let inf = f32::INFINITY;
+    let mut prev = vec![inf; n];
+    let mut curr = vec![inf; n];
+    for i in 0..n {
+        let lo = i.saturating_sub(r);
+        let hi = (i + r).min(n - 1);
+        curr[lo..=hi].fill(inf);
+        let mut row_min = inf;
+        for j in lo..=hi {
+            let av = a[i];
+            let bv = b[j];
+            let d = (av - bv) * (av - bv);
+            let best = if i == 0 && j == 0 {
+                0.0
+            } else {
+                let up = if i > 0 { prev[j] } else { inf };
+                let diag = if i > 0 && j > 0 { prev[j - 1] } else { inf };
+                let left = if j > lo { curr[j - 1] } else { inf };
+                up.min(diag).min(left)
+            };
+            let cost = best + d;
+            curr[j] = cost;
+            row_min = row_min.min(cost);
+        }
+        if row_min >= limit {
+            return None;
+        }
+        std::mem::swap(&mut prev, &mut curr);
+    }
+    let result = prev[n - 1];
+    if result < limit {
+        Some(result)
+    } else {
+        None
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::distance::scalar::euclidean_sq;
+
+    fn env_of(s: &[f32], r: usize) -> (Vec<f32>, Vec<f32>) {
+        let mut lo = Vec::new();
+        let mut up = Vec::new();
+        envelope(s, r, &mut lo, &mut up);
+        (lo, up)
+    }
+
+    fn series(seed: u64, n: usize) -> Vec<f32> {
+        let mut state = seed.wrapping_mul(0x2545_F491_4F6C_DD1D) | 1;
+        (0..n)
+            .map(|_| {
+                state ^= state << 13;
+                state ^= state >> 7;
+                state ^= state << 17;
+                ((state >> 40) as f32 / 16_777_216.0) * 2.0 - 1.0
+            })
+            .collect()
+    }
+
+    /// Naive O(n^2 * r) DTW oracle with explicit DP table.
+    fn dtw_naive(a: &[f32], b: &[f32], r: usize) -> f32 {
+        let n = a.len();
+        let mut dp = vec![vec![f32::INFINITY; n]; n];
+        for i in 0..n {
+            for j in 0..n {
+                if i.abs_diff(j) > r {
+                    continue;
+                }
+                let d = (a[i] - b[j]) * (a[i] - b[j]);
+                let best = if i == 0 && j == 0 {
+                    0.0
+                } else {
+                    let up = if i > 0 { dp[i - 1][j] } else { f32::INFINITY };
+                    let left = if j > 0 { dp[i][j - 1] } else { f32::INFINITY };
+                    let diag =
+                        if i > 0 && j > 0 { dp[i - 1][j - 1] } else { f32::INFINITY };
+                    up.min(left).min(diag)
+                };
+                dp[i][j] = best + d;
+            }
+        }
+        dp[n - 1][n - 1]
+    }
+
+    #[test]
+    fn envelope_radius_zero_is_identity() {
+        let s = series(1, 50);
+        let (lo, up) = env_of(&s, 0);
+        assert_eq!(lo, s);
+        assert_eq!(up, s);
+    }
+
+    #[test]
+    fn envelope_bounds_series() {
+        let s = series(2, 100);
+        for r in [1usize, 3, 10, 99, 200] {
+            let (lo, up) = env_of(&s, r);
+            assert_eq!(lo.len(), s.len());
+            for i in 0..s.len() {
+                assert!(lo[i] <= s[i] && s[i] <= up[i], "r={r} i={i}");
+                // Check against naive window min/max.
+                let a = i.saturating_sub(r);
+                let b = (i + r).min(s.len() - 1);
+                let w = &s[a..=b];
+                let wmin = w.iter().copied().fold(f32::INFINITY, f32::min);
+                let wmax = w.iter().copied().fold(f32::NEG_INFINITY, f32::max);
+                assert_eq!(lo[i], wmin);
+                assert_eq!(up[i], wmax);
+            }
+        }
+    }
+
+    #[test]
+    fn envelope_empty_series() {
+        let (lo, up) = env_of(&[], 5);
+        assert!(lo.is_empty() && up.is_empty());
+    }
+
+    #[test]
+    fn dtw_band_zero_equals_euclidean() {
+        let a = series(3, 64);
+        let b = series(4, 64);
+        let d = dtw_sq(&a, &b, 0);
+        let e = euclidean_sq(&a, &b);
+        assert!((d - e).abs() <= e * 1e-4 + 1e-5);
+    }
+
+    #[test]
+    fn dtw_identical_series_is_zero() {
+        let a = series(5, 48);
+        for band in [0usize, 2, 10] {
+            assert_eq!(dtw_sq(&a, &a, band), 0.0);
+        }
+    }
+
+    #[test]
+    fn dtw_matches_naive_oracle() {
+        for n in [1usize, 2, 8, 21, 40] {
+            for r in [0usize, 1, 3, 7, 40] {
+                let a = series(n as u64 * 7 + 1, n);
+                let b = series(n as u64 * 7 + 2, n);
+                let got = dtw_sq(&a, &b, r);
+                let want = dtw_naive(&a, &b, r.min(n - 1));
+                assert!(
+                    (got - want).abs() <= want.abs() * 1e-4 + 1e-5,
+                    "n={n} r={r}: got {got} want {want}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn wider_band_never_increases_cost() {
+        let a = series(11, 60);
+        let b = series(12, 60);
+        let mut last = f32::INFINITY;
+        for r in [0usize, 1, 2, 4, 8, 16, 59] {
+            let d = dtw_sq(&a, &b, r);
+            assert!(d <= last + 1e-4, "band {r} increased cost: {d} > {last}");
+            last = d;
+        }
+    }
+
+    #[test]
+    fn dtw_shifted_sine_much_smaller_than_euclidean() {
+        let n = 128;
+        let a: Vec<f32> = (0..n).map(|i| (i as f32 * 0.2).sin()).collect();
+        let b: Vec<f32> = (0..n).map(|i| ((i + 3) as f32 * 0.2).sin()).collect();
+        let ed = euclidean_sq(&a, &b);
+        let dtw = dtw_sq(&a, &b, 8);
+        assert!(dtw < ed * 0.1, "dtw {dtw} should be far below ed {ed}");
+    }
+
+    #[test]
+    fn lb_keogh_lower_bounds_dtw() {
+        for seed in 0..20u64 {
+            let n = 50;
+            let q = series(seed * 2 + 1, n);
+            let c = series(seed * 2 + 2, n);
+            for r in [0usize, 1, 5, 12] {
+                let (lo, up) = env_of(&q, r);
+                let lb = lb_keogh_sq(&c, &lo, &up);
+                let d = dtw_sq(&q, &c, r);
+                assert!(
+                    lb <= d + d.abs() * 1e-4 + 1e-4,
+                    "seed={seed} r={r}: lb {lb} > dtw {d}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn lb_keogh_bounded_matches_full() {
+        let q = series(31, 80);
+        let c = series(32, 80);
+        let (lo, up) = env_of(&q, 4);
+        let full = lb_keogh_sq(&c, &lo, &up);
+        assert_eq!(lb_keogh_sq_bounded(&c, &lo, &up, full + 1.0), Some(full));
+        assert_eq!(lb_keogh_sq_bounded(&c, &lo, &up, full * 0.5), None);
+    }
+
+    #[test]
+    fn dtw_bounded_decision_is_exact() {
+        let a = series(41, 64);
+        let b = series(42, 64);
+        let full = dtw_sq(&a, &b, 5);
+        assert_eq!(dtw_sq_bounded(&a, &b, 5, full * 1.01), Some(full));
+        assert_eq!(dtw_sq_bounded(&a, &b, 5, full * 0.99), None);
+        assert_eq!(dtw_sq_bounded(&a, &b, 5, full), None, "strict");
+    }
+
+    #[test]
+    fn dtw_empty_series() {
+        assert_eq!(dtw_sq(&[], &[], 3), 0.0);
+        assert_eq!(dtw_sq_bounded(&[], &[], 3, 0.0), None);
+    }
+}

@@ -1,0 +1,144 @@
+//! Portable scalar distance kernels.
+//!
+//! Written so LLVM can auto-vectorize the main loops (`chunks_exact`,
+//! no early exits inside the unrolled body). These are both the fallback
+//! for non-x86 targets and the differential-testing oracle for the SIMD
+//! kernels.
+
+/// Number of points accumulated between early-abandon checks.
+///
+/// Checking every point defeats vectorization; every 16 points keeps the
+/// abandon granularity fine enough for the BSF loop while letting the body
+/// vectorize.
+const ABANDON_STRIDE: usize = 16;
+
+/// Squared Euclidean distance, scalar.
+#[must_use]
+pub fn euclidean_sq(a: &[f32], b: &[f32]) -> f32 {
+    debug_assert_eq!(a.len(), b.len());
+    let mut acc = [0.0f32; 8];
+    let chunks_a = a.chunks_exact(8);
+    let chunks_b = b.chunks_exact(8);
+    let rem_a = chunks_a.remainder();
+    let rem_b = chunks_b.remainder();
+    for (ca, cb) in chunks_a.zip(chunks_b) {
+        for i in 0..8 {
+            let d = ca[i] - cb[i];
+            acc[i] += d * d;
+        }
+    }
+    let mut sum: f32 = acc.iter().sum();
+    for (x, y) in rem_a.iter().zip(rem_b) {
+        let d = x - y;
+        sum += d * d;
+    }
+    sum
+}
+
+/// Early-abandoning squared Euclidean distance, scalar.
+///
+/// Returns `Some(d2)` iff `d2 < limit`; `None` otherwise (may abandon).
+#[must_use]
+pub fn euclidean_sq_bounded(a: &[f32], b: &[f32], limit: f32) -> Option<f32> {
+    debug_assert_eq!(a.len(), b.len());
+    let mut sum = 0.0f32;
+    let mut i = 0;
+    while i + ABANDON_STRIDE <= a.len() {
+        let mut partial = 0.0f32;
+        for k in i..i + ABANDON_STRIDE {
+            let d = a[k] - b[k];
+            partial += d * d;
+        }
+        sum += partial;
+        if sum >= limit {
+            return None;
+        }
+        i += ABANDON_STRIDE;
+    }
+    for k in i..a.len() {
+        let d = a[k] - b[k];
+        sum += d * d;
+    }
+    if sum < limit {
+        Some(sum)
+    } else {
+        None
+    }
+}
+
+/// Early-abandoning squared distance with caller-chosen visit order.
+#[must_use]
+pub fn euclidean_sq_ordered(a: &[f32], b: &[f32], order: &[u32], limit: f32) -> Option<f32> {
+    debug_assert_eq!(a.len(), b.len());
+    debug_assert_eq!(a.len(), order.len());
+    let mut sum = 0.0f32;
+    for chunk in order.chunks(ABANDON_STRIDE) {
+        for &idx in chunk {
+            let idx = idx as usize;
+            let d = a[idx] - b[idx];
+            sum += d * d;
+        }
+        if sum >= limit {
+            return None;
+        }
+    }
+    if sum < limit {
+        Some(sum)
+    } else {
+        None
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn matches_naive() {
+        let a: Vec<f32> = (0..37).map(|i| i as f32 * 0.5).collect();
+        let b: Vec<f32> = (0..37).map(|i| (36 - i) as f32 * 0.25).collect();
+        let want: f32 = a.iter().zip(&b).map(|(x, y)| (x - y) * (x - y)).sum();
+        let got = euclidean_sq(&a, &b);
+        assert!((got - want).abs() < want * 1e-5 + 1e-6);
+    }
+
+    #[test]
+    fn bounded_abandons_at_limit_boundary() {
+        // Distance contribution of 1.0 per point.
+        let a = vec![1.0f32; 64];
+        let b = vec![0.0f32; 64];
+        assert_eq!(euclidean_sq_bounded(&a, &b, 64.5), Some(64.0));
+        assert_eq!(euclidean_sq_bounded(&a, &b, 64.0), None, "strict limit");
+        assert_eq!(euclidean_sq_bounded(&a, &b, 10.0), None);
+    }
+
+    #[test]
+    fn bounded_handles_short_series() {
+        // Shorter than the abandon stride: only the tail loop runs.
+        let a = [1.0f32, 2.0, 3.0];
+        let b = [1.0f32, 0.0, 0.0];
+        assert_eq!(euclidean_sq_bounded(&a, &b, 100.0), Some(13.0));
+        assert_eq!(euclidean_sq_bounded(&a, &b, 13.0), None);
+    }
+
+    #[test]
+    fn ordered_visits_all_points() {
+        let a = [1.0f32, 2.0, 3.0, 4.0];
+        let b = [0.0f32; 4];
+        let order = [3u32, 2, 1, 0];
+        assert_eq!(euclidean_sq_ordered(&a, &b, &order, 1e9), Some(30.0));
+    }
+
+    #[test]
+    fn ordered_abandons_early_with_big_points_first() {
+        let mut a = vec![0.01f32; 100];
+        a[99] = 100.0; // one huge point
+        let b = vec![0.0f32; 100];
+        // Visiting index 99 first exceeds the limit in the first chunk.
+        let mut order: Vec<u32> = (0..100).rev().collect();
+        assert_eq!(euclidean_sq_ordered(&a, &b, &order, 50.0), None);
+        // Natural order also abandons (sum eventually exceeds), same result.
+        order.reverse();
+        assert_eq!(euclidean_sq_ordered(&a, &b, &order, 50.0), None);
+    }
+}

@@ -1,0 +1,170 @@
+//! In-repo pseudo-random number generation.
+//!
+//! SplitMix64 is tiny, fast, passes BigCrush, and — unlike `rand`'s `StdRng`
+//! — its stream is ours to keep stable forever, so generated datasets are
+//! reproducible across toolchain and dependency upgrades.
+
+/// SplitMix64 generator (Steele, Lea, Flood 2014).
+#[derive(Debug, Clone)]
+pub struct SplitMix64 {
+    state: u64,
+}
+
+impl SplitMix64 {
+    /// Creates a generator from a seed; distinct seeds give independent-ish
+    /// streams.
+    #[must_use]
+    pub fn new(seed: u64) -> Self {
+        Self { state: seed }
+    }
+
+    /// Next raw 64-bit output.
+    #[inline]
+    pub fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    /// Uniform `f64` in `[0, 1)`.
+    #[inline]
+    pub fn next_f64(&mut self) -> f64 {
+        // 53 high bits -> [0, 1) with full double precision.
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+
+    /// Uniform `f32` in `[0, 1)`.
+    #[inline]
+    pub fn next_f32(&mut self) -> f32 {
+        (self.next_u64() >> 40) as f32 * (1.0 / (1u64 << 24) as f32)
+    }
+
+    /// Uniform `f64` in `[lo, hi)`.
+    #[inline]
+    pub fn range_f64(&mut self, lo: f64, hi: f64) -> f64 {
+        lo + self.next_f64() * (hi - lo)
+    }
+
+    /// Uniform integer in `[0, n)`; `n` must be non-zero.
+    #[inline]
+    pub fn below(&mut self, n: usize) -> usize {
+        debug_assert!(n > 0);
+        // Modulo bias is negligible for the small n used here (n << 2^64).
+        (self.next_u64() % n as u64) as usize
+    }
+
+    /// Derives an independent child generator (for per-series streams).
+    #[must_use]
+    pub fn fork(&mut self) -> SplitMix64 {
+        SplitMix64::new(self.next_u64())
+    }
+}
+
+/// Standard-normal sampler over SplitMix64 (Box-Muller, caches the spare).
+#[derive(Debug, Clone)]
+pub struct NormalGen {
+    rng: SplitMix64,
+    spare: Option<f64>,
+}
+
+impl NormalGen {
+    /// Creates a sampler from a seed.
+    #[must_use]
+    pub fn new(seed: u64) -> Self {
+        Self { rng: SplitMix64::new(seed), spare: None }
+    }
+
+    /// Wraps an existing generator.
+    #[must_use]
+    pub fn from_rng(rng: SplitMix64) -> Self {
+        Self { rng, spare: None }
+    }
+
+    /// Next N(0, 1) sample.
+    #[allow(clippy::should_implement_trait)] // not an Iterator: infinite, never None
+    pub fn next(&mut self) -> f64 {
+        if let Some(z) = self.spare.take() {
+            return z;
+        }
+        // Box-Muller on (0, 1] uniforms (avoid ln(0)).
+        let u1 = 1.0 - self.rng.next_f64();
+        let u2 = self.rng.next_f64();
+        let r = (-2.0 * u1.ln()).sqrt();
+        let theta = std::f64::consts::TAU * u2;
+        self.spare = Some(r * theta.sin());
+        r * theta.cos()
+    }
+
+    /// Next N(0, 1) sample as `f32`.
+    #[inline]
+    pub fn next_f32(&mut self) -> f32 {
+        self.next() as f32
+    }
+
+    /// Access to the underlying uniform generator.
+    pub fn rng(&mut self) -> &mut SplitMix64 {
+        &mut self.rng
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn splitmix_is_deterministic_and_nontrivial() {
+        let mut a = SplitMix64::new(1234);
+        let mut b = SplitMix64::new(1234);
+        let xs: Vec<u64> = (0..8).map(|_| a.next_u64()).collect();
+        let ys: Vec<u64> = (0..8).map(|_| b.next_u64()).collect();
+        assert_eq!(xs, ys);
+        assert!(xs.windows(2).any(|w| w[0] != w[1]));
+    }
+
+    #[test]
+    fn uniforms_in_range() {
+        let mut r = SplitMix64::new(99);
+        for _ in 0..10_000 {
+            let f = r.next_f64();
+            assert!((0.0..1.0).contains(&f));
+            let f = r.next_f32();
+            assert!((0.0..1.0).contains(&f));
+            let v = r.range_f64(-3.0, 5.0);
+            assert!((-3.0..5.0).contains(&v));
+            let k = r.below(7);
+            assert!(k < 7);
+        }
+    }
+
+    #[test]
+    fn uniform_mean_is_half() {
+        let mut r = SplitMix64::new(5);
+        let n = 100_000;
+        let mean: f64 = (0..n).map(|_| r.next_f64()).sum::<f64>() / f64::from(n);
+        assert!((mean - 0.5).abs() < 0.01, "mean {mean}");
+    }
+
+    #[test]
+    fn normal_moments_are_standard() {
+        let mut g = NormalGen::new(7);
+        let n = 200_000;
+        let samples: Vec<f64> = (0..n).map(|_| g.next()).collect();
+        let mean = samples.iter().sum::<f64>() / n as f64;
+        let var = samples.iter().map(|x| (x - mean) * (x - mean)).sum::<f64>() / n as f64;
+        assert!(mean.abs() < 0.02, "mean {mean}");
+        assert!((var - 1.0).abs() < 0.03, "var {var}");
+        // Roughly 68% within one sigma.
+        let within = samples.iter().filter(|x| x.abs() < 1.0).count() as f64 / n as f64;
+        assert!((within - 0.6827).abs() < 0.02, "within-1sigma {within}");
+    }
+
+    #[test]
+    fn fork_produces_distinct_streams() {
+        let mut parent = SplitMix64::new(42);
+        let mut c1 = parent.fork();
+        let mut c2 = parent.fork();
+        assert_ne!(c1.next_u64(), c2.next_u64());
+    }
+}

@@ -1,0 +1,231 @@
+//! The generative processes behind each dataset family.
+
+use super::rng::{NormalGen, SplitMix64};
+use crate::dataset::Dataset;
+use crate::znorm::znormalize;
+
+/// Random-walk series (the paper's Synthetic collection): cumulative sums of
+/// N(0, 1) steps, z-normalized per series.
+#[must_use]
+pub fn random_walk(count: usize, len: usize, seed: u64) -> Dataset {
+    generate_with(count, len, seed, |normal, _rng, out| {
+        let mut level = 0.0f64;
+        for v in out.iter_mut() {
+            level += normal.next();
+            *v = level as f32;
+        }
+    })
+}
+
+/// EEG-like series (SALD surrogate): a sum of band-limited sinusoids with
+/// random phases plus AR(1) noise.
+///
+/// Frequencies are drawn from narrow shared bands, so series resemble each
+/// other far more than random walks do — which is exactly what makes real
+/// EEG data hard to prune (small lower-bound gaps between candidates).
+#[must_use]
+pub fn eeg_like(count: usize, len: usize, seed: u64) -> Dataset {
+    // Normalized per-point angular frequency bands, loosely mimicking
+    // theta/alpha/beta rhythm proportions after sampling.
+    const BANDS: [(f64, f64); 3] = [(0.04, 0.08), (0.09, 0.14), (0.18, 0.30)];
+    generate_with(count, len, seed, |normal, rng, out| {
+        let mut comps = [(0.0f64, 0.0f64, 0.0f64); 3]; // (omega, phase, amp)
+        for (k, &(lo, hi)) in BANDS.iter().enumerate() {
+            comps[k] = (
+                rng.range_f64(lo, hi) * std::f64::consts::TAU,
+                rng.range_f64(0.0, std::f64::consts::TAU),
+                rng.range_f64(0.5, 1.0) / (k + 1) as f64,
+            );
+        }
+        let mut ar = 0.0f64; // AR(1) noise state
+        for (t, v) in out.iter_mut().enumerate() {
+            let tf = t as f64;
+            let mut x = 0.0;
+            for &(omega, phase, amp) in &comps {
+                x += amp * (omega * tf + phase).sin();
+            }
+            ar = 0.9 * ar + 0.1 * normal.next();
+            *v = (x + ar) as f32;
+        }
+    })
+}
+
+/// Seismic-like series (Seismic surrogate): a Gaussian noise floor with
+/// two to four exponentially decaying oscillatory bursts, the first of
+/// which is guaranteed to be strong and to land inside the window.
+///
+/// Real seismic collections are event-aligned waveforms: every trace
+/// carries a dominant arrival. A pure-noise trace would have a flat PAA
+/// (all segment means ≈ 0), making iSAX lower bounds vacuous for it; the
+/// guaranteed main event keeps the family indexable, like its real
+/// counterpart.
+#[must_use]
+pub fn seismic_like(count: usize, len: usize, seed: u64) -> Dataset {
+    generate_with(count, len, seed, |normal, rng, out| {
+        for v in out.iter_mut() {
+            *v = (0.1 * normal.next()) as f32;
+        }
+        let bursts = 2 + rng.below(3);
+        for b in 0..bursts {
+            // The main arrival: strong, early enough to develop fully.
+            let (onset, amp) = if b == 0 {
+                (rng.below((out.len() * 3 / 4).max(1)), rng.range_f64(3.0, 6.0))
+            } else {
+                (rng.below(out.len().max(1)), rng.range_f64(0.8, 3.0))
+            };
+            let omega = rng.range_f64(0.3, 1.2);
+            let decay = rng.range_f64(0.015, 0.08);
+            let phase = rng.range_f64(0.0, std::f64::consts::TAU);
+            for t in onset..out.len() {
+                let dt = (t - onset) as f64;
+                let burst = amp * (-decay * dt).exp() * (omega * dt + phase).sin();
+                out[t] += burst as f32;
+            }
+        }
+    })
+}
+
+/// Pure sinusoids with random frequency/phase — a highly clusterable family
+/// used by tests and examples.
+#[must_use]
+pub fn sines(count: usize, len: usize, seed: u64) -> Dataset {
+    generate_with(count, len, seed, |_normal, rng, out| {
+        let omega = rng.range_f64(0.02, 0.12) * std::f64::consts::TAU;
+        let phase = rng.range_f64(0.0, std::f64::consts::TAU);
+        for (t, v) in out.iter_mut().enumerate() {
+            *v = (omega * t as f64 + phase).sin() as f32;
+        }
+    })
+}
+
+/// Independent N(0, 1) points — the least structured (and least indexable)
+/// family; useful as a worst case in tests.
+#[must_use]
+pub fn white_noise(count: usize, len: usize, seed: u64) -> Dataset {
+    generate_with(count, len, seed, |normal, _rng, out| {
+        for v in out.iter_mut() {
+            *v = normal.next_f32();
+        }
+    })
+}
+
+/// Shared scaffolding: one forked RNG per series (so `count` does not change
+/// the content of earlier series), z-normalization applied at the end.
+fn generate_with(
+    count: usize,
+    len: usize,
+    seed: u64,
+    fill: impl Fn(&mut NormalGen, &mut SplitMix64, &mut [f32]),
+) -> Dataset {
+    assert!(len > 0, "series length must be non-zero");
+    let mut root = SplitMix64::new(seed);
+    let mut flat = vec![0.0f32; count * len];
+    for series in flat.chunks_exact_mut(len) {
+        let mut child = root.fork();
+        let mut normal = NormalGen::from_rng(child.fork());
+        fill(&mut normal, &mut child, series);
+        znormalize(series);
+    }
+    Dataset::from_flat(flat, len).expect("generated buffer is rectangular")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn prefix_stability_under_count_growth() {
+        // Generating more series must not change the earlier ones.
+        let small = random_walk(3, 32, 5);
+        let big = random_walk(10, 32, 5);
+        for i in 0..3 {
+            assert_eq!(small.get(i), big.get(i));
+        }
+    }
+
+    #[test]
+    fn families_are_distinguishable() {
+        // Random walks have (much) higher lag-1 autocorrelation than white
+        // noise; seismic has outlier bursts. Loose sanity checks that each
+        // generator produces its intended character.
+        let rw = random_walk(20, 128, 1);
+        let wn = white_noise(20, 128, 1);
+        let lag1 = |ds: &Dataset| -> f64 {
+            let mut acc = 0.0;
+            for s in ds.iter() {
+                let mut c = 0.0;
+                for w in s.windows(2) {
+                    c += f64::from(w[0]) * f64::from(w[1]);
+                }
+                acc += c / (s.len() - 1) as f64;
+            }
+            acc / ds.len() as f64
+        };
+        assert!(lag1(&rw) > 0.7, "random walk lag-1 {}", lag1(&rw));
+        assert!(lag1(&wn).abs() < 0.3, "white noise lag-1 {}", lag1(&wn));
+    }
+
+    #[test]
+    fn eeg_concentrates_less_energy_in_segment_means_than_walks() {
+        // The mechanism behind the paper's "real data prunes worse than
+        // random" observation: PAA segment means capture most of a random
+        // walk's energy (smooth, low-frequency) but much less of EEG-like
+        // data's (beta-band oscillations live *within* a segment). Less
+        // captured energy -> looser iSAX lower bounds -> worse pruning.
+        let n = 30;
+        let len = 128;
+        let seg = 8; // 16 segments of 8 points
+        let energy_fraction = |ds: &Dataset| -> f64 {
+            let mut acc = 0.0;
+            for s in ds.iter() {
+                let total: f64 = s.iter().map(|&v| f64::from(v) * f64::from(v)).sum();
+                let mut captured = 0.0;
+                for chunk in s.chunks_exact(seg) {
+                    let m: f64 = chunk.iter().map(|&v| f64::from(v)).sum::<f64>() / seg as f64;
+                    captured += m * m * seg as f64;
+                }
+                acc += captured / total.max(1e-12);
+            }
+            acc / ds.len() as f64
+        };
+        let eeg = energy_fraction(&eeg_like(n, len, 3));
+        let rw = energy_fraction(&random_walk(n, len, 3));
+        assert!(rw > eeg, "rw fraction {rw} should exceed eeg fraction {eeg}");
+        assert!(rw > 0.5, "random walks should be mostly low-frequency: {rw}");
+    }
+
+    #[test]
+    fn seismic_has_bursts() {
+        let ds = seismic_like(10, 256, 11);
+        // After z-normalization a bursty series has max |value| well above
+        // what a flat noise series would have.
+        let mut maxes = Vec::new();
+        for s in ds.iter() {
+            maxes.push(s.iter().fold(0.0f32, |m, v| m.max(v.abs())));
+        }
+        let avg_max: f32 = maxes.iter().sum::<f32>() / maxes.len() as f32;
+        assert!(avg_max > 2.0, "avg max abs {avg_max}");
+    }
+
+    #[test]
+    fn sines_are_smooth() {
+        let ds = sines(5, 64, 9);
+        for s in ds.iter() {
+            for w in s.windows(2) {
+                assert!((w[0] - w[1]).abs() < 1.5);
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "non-zero")]
+    fn zero_length_panics() {
+        let _ = random_walk(1, 0, 0);
+    }
+
+    #[test]
+    fn zero_count_is_empty() {
+        let ds = eeg_like(0, 16, 1);
+        assert!(ds.is_empty());
+    }
+}

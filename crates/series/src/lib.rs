@@ -1,0 +1,29 @@
+//! Data series primitives for the `dsidx` workspace.
+//!
+//! A *data series* is a fixed-length ordered sequence of real values
+//! (`&[f32]`). This crate provides the substrate every other `dsidx` crate
+//! builds on:
+//!
+//! * [`Dataset`] — a flat, cache-friendly collection of equal-length series,
+//! * [`znorm`] — z-normalization (the similarity-search convention),
+//! * [`distance`] — Euclidean distance kernels (scalar and runtime-detected
+//!   AVX2/FMA), early-abandoning variants, and banded DTW with LB_Keogh,
+//! * [`gen`] — deterministic dataset generators standing in for the paper's
+//!   Synthetic (random walk), SALD (EEG) and Seismic collections.
+//!
+//! All distances in hot paths are *squared* Euclidean distances; take a
+//! square root only at API boundaries.
+
+pub mod dataset;
+pub mod distance;
+pub mod error;
+pub mod gen;
+pub mod nn;
+pub mod series;
+pub mod stats;
+pub mod znorm;
+
+pub use dataset::Dataset;
+pub use error::SeriesError;
+pub use nn::Match;
+pub use series::DataSeries;

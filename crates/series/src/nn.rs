@@ -1,0 +1,36 @@
+//! Nearest-neighbor query results.
+
+/// The answer to an exact 1-NN query.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Match {
+    /// Position of the nearest series in its collection.
+    pub pos: u32,
+    /// Squared distance to the query (Euclidean or DTW, per the query).
+    pub dist_sq: f32,
+}
+
+impl Match {
+    /// Bundles a position and a squared distance.
+    #[must_use]
+    pub fn new(pos: u32, dist_sq: f32) -> Self {
+        Self { pos, dist_sq }
+    }
+
+    /// The (non-squared) distance.
+    #[must_use]
+    pub fn dist(&self) -> f32 {
+        self.dist_sq.sqrt()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn dist_is_sqrt() {
+        let m = Match::new(3, 25.0);
+        assert_eq!(m.pos, 3);
+        assert_eq!(m.dist(), 5.0);
+    }
+}

@@ -1,0 +1,152 @@
+//! Owned, validated data series.
+
+use crate::error::SeriesError;
+use std::ops::Deref;
+
+/// An owned data series: a non-empty, finite sequence of `f32` points.
+///
+/// Most APIs in this workspace take `&[f32]` directly; `DataSeries` is the
+/// validated owner you use at trust boundaries (file ingestion, user
+/// queries). It dereferences to `[f32]`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DataSeries {
+    points: Box<[f32]>,
+}
+
+impl DataSeries {
+    /// Validates and wraps a vector of points.
+    ///
+    /// # Errors
+    /// Returns [`SeriesError::EmptySeries`] for an empty input and
+    /// [`SeriesError::NonFinite`] if any point is NaN or infinite.
+    pub fn new(points: Vec<f32>) -> Result<Self, SeriesError> {
+        validate(&points)?;
+        Ok(Self { points: points.into_boxed_slice() })
+    }
+
+    /// Validates and copies a slice of points.
+    pub fn from_slice(points: &[f32]) -> Result<Self, SeriesError> {
+        Self::new(points.to_vec())
+    }
+
+    /// Number of points in the series.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.points.len()
+    }
+
+    /// Always `false`: construction rejects empty series.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        false
+    }
+
+    /// The points as a slice.
+    #[must_use]
+    pub fn as_slice(&self) -> &[f32] {
+        &self.points
+    }
+
+    /// Consumes the series, returning its points.
+    #[must_use]
+    pub fn into_vec(self) -> Vec<f32> {
+        self.points.into_vec()
+    }
+
+    /// Returns a z-normalized copy of this series (mean 0, stddev 1).
+    #[must_use]
+    pub fn znormalized(&self) -> DataSeries {
+        let mut v = self.points.to_vec();
+        crate::znorm::znormalize(&mut v);
+        DataSeries { points: v.into_boxed_slice() }
+    }
+}
+
+impl Deref for DataSeries {
+    type Target = [f32];
+
+    fn deref(&self) -> &[f32] {
+        &self.points
+    }
+}
+
+impl AsRef<[f32]> for DataSeries {
+    fn as_ref(&self) -> &[f32] {
+        &self.points
+    }
+}
+
+impl TryFrom<Vec<f32>> for DataSeries {
+    type Error = SeriesError;
+
+    fn try_from(points: Vec<f32>) -> Result<Self, Self::Error> {
+        Self::new(points)
+    }
+}
+
+/// Validates that a slice is a legal data series (non-empty, all finite).
+///
+/// # Errors
+/// See [`DataSeries::new`].
+pub fn validate(points: &[f32]) -> Result<(), SeriesError> {
+    if points.is_empty() {
+        return Err(SeriesError::EmptySeries);
+    }
+    for (index, &value) in points.iter().enumerate() {
+        if !value.is_finite() {
+            return Err(SeriesError::NonFinite { index, value });
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn new_accepts_finite_series() {
+        let s = DataSeries::new(vec![1.0, -2.0, 3.5]).unwrap();
+        assert_eq!(s.len(), 3);
+        assert_eq!(s.as_slice(), &[1.0, -2.0, 3.5]);
+        assert!(!s.is_empty());
+    }
+
+    #[test]
+    fn new_rejects_empty() {
+        assert_eq!(DataSeries::new(vec![]), Err(SeriesError::EmptySeries));
+    }
+
+    #[test]
+    fn new_rejects_nan_and_inf() {
+        let err = DataSeries::new(vec![0.0, f32::NAN]).unwrap_err();
+        assert!(matches!(err, SeriesError::NonFinite { index: 1, .. }));
+        let err = DataSeries::new(vec![f32::INFINITY]).unwrap_err();
+        assert!(matches!(err, SeriesError::NonFinite { index: 0, .. }));
+        let err = DataSeries::new(vec![1.0, 2.0, f32::NEG_INFINITY]).unwrap_err();
+        assert!(matches!(err, SeriesError::NonFinite { index: 2, .. }));
+    }
+
+    #[test]
+    fn deref_and_indexing_work() {
+        let s = DataSeries::new(vec![5.0, 6.0]).unwrap();
+        assert_eq!(s[0], 5.0);
+        assert_eq!(s.iter().sum::<f32>(), 11.0);
+    }
+
+    #[test]
+    fn znormalized_has_zero_mean_unit_std() {
+        let s = DataSeries::new(vec![1.0, 2.0, 3.0, 4.0]).unwrap();
+        let z = s.znormalized();
+        let mean: f32 = z.iter().sum::<f32>() / z.len() as f32;
+        assert!(mean.abs() < 1e-6);
+        let var: f32 = z.iter().map(|v| (v - mean) * (v - mean)).sum::<f32>() / z.len() as f32;
+        assert!((var - 1.0).abs() < 1e-5);
+    }
+
+    #[test]
+    fn try_from_round_trips() {
+        let s: DataSeries = vec![1.0, 2.0].try_into().unwrap();
+        assert_eq!(s.into_vec(), vec![1.0, 2.0]);
+    }
+}

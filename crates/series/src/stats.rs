@@ -1,0 +1,182 @@
+//! Small statistics helpers used across the workspace.
+
+/// Running mean/variance via Welford's algorithm.
+///
+/// Used by instrumentation (e.g. per-query timing summaries in the bench
+/// harness) where we cannot afford to keep every sample.
+#[derive(Debug, Clone, Default)]
+pub struct OnlineStats {
+    count: u64,
+    mean: f64,
+    m2: f64,
+    min: f64,
+    max: f64,
+}
+
+impl OnlineStats {
+    /// Creates an empty accumulator.
+    #[must_use]
+    pub fn new() -> Self {
+        Self { count: 0, mean: 0.0, m2: 0.0, min: f64::INFINITY, max: f64::NEG_INFINITY }
+    }
+
+    /// Adds one observation.
+    pub fn push(&mut self, x: f64) {
+        self.count += 1;
+        let delta = x - self.mean;
+        self.mean += delta / self.count as f64;
+        self.m2 += delta * (x - self.mean);
+        self.min = self.min.min(x);
+        self.max = self.max.max(x);
+    }
+
+    /// Number of observations so far.
+    #[must_use]
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Mean of the observations (0 when empty).
+    #[must_use]
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.mean
+        }
+    }
+
+    /// Population variance (0 when fewer than two observations).
+    #[must_use]
+    pub fn variance(&self) -> f64 {
+        if self.count < 2 {
+            0.0
+        } else {
+            self.m2 / self.count as f64
+        }
+    }
+
+    /// Population standard deviation.
+    #[must_use]
+    pub fn std(&self) -> f64 {
+        self.variance().sqrt()
+    }
+
+    /// Smallest observation (`+inf` when empty).
+    #[must_use]
+    pub fn min(&self) -> f64 {
+        self.min
+    }
+
+    /// Largest observation (`-inf` when empty).
+    #[must_use]
+    pub fn max(&self) -> f64 {
+        self.max
+    }
+
+    /// Merges another accumulator into this one (parallel reduction).
+    pub fn merge(&mut self, other: &OnlineStats) {
+        if other.count == 0 {
+            return;
+        }
+        if self.count == 0 {
+            *self = other.clone();
+            return;
+        }
+        let total = self.count + other.count;
+        let delta = other.mean - self.mean;
+        let total_f = total as f64;
+        self.m2 += other.m2 + delta * delta * (self.count as f64) * (other.count as f64) / total_f;
+        self.mean += delta * (other.count as f64) / total_f;
+        self.count = total;
+        self.min = self.min.min(other.min);
+        self.max = self.max.max(other.max);
+    }
+}
+
+/// Index of the minimum value in a non-empty slice (first on ties).
+///
+/// # Panics
+/// Panics on an empty slice.
+#[must_use]
+pub fn argmin(values: &[f32]) -> usize {
+    assert!(!values.is_empty(), "argmin of empty slice");
+    let mut best = 0;
+    for (i, &v) in values.iter().enumerate().skip(1) {
+        if v < values[best] {
+            best = i;
+        }
+    }
+    best
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn online_stats_matches_direct_computation() {
+        let xs = [3.0, 1.0, 4.0, 1.0, 5.0, 9.0, 2.0, 6.0];
+        let mut st = OnlineStats::new();
+        for &x in &xs {
+            st.push(x);
+        }
+        let mean = xs.iter().sum::<f64>() / xs.len() as f64;
+        let var = xs.iter().map(|x| (x - mean) * (x - mean)).sum::<f64>() / xs.len() as f64;
+        assert!((st.mean() - mean).abs() < 1e-12);
+        assert!((st.variance() - var).abs() < 1e-12);
+        assert_eq!(st.min(), 1.0);
+        assert_eq!(st.max(), 9.0);
+        assert_eq!(st.count(), 8);
+    }
+
+    #[test]
+    fn empty_stats_are_neutral() {
+        let st = OnlineStats::new();
+        assert_eq!(st.mean(), 0.0);
+        assert_eq!(st.variance(), 0.0);
+        assert_eq!(st.count(), 0);
+    }
+
+    #[test]
+    fn merge_equals_sequential() {
+        let xs: Vec<f64> = (0..100).map(|i| f64::from(i) * 0.77 - 20.0).collect();
+        let mut whole = OnlineStats::new();
+        for &x in &xs {
+            whole.push(x);
+        }
+        let mut a = OnlineStats::new();
+        let mut b = OnlineStats::new();
+        for &x in &xs[..37] {
+            a.push(x);
+        }
+        for &x in &xs[37..] {
+            b.push(x);
+        }
+        a.merge(&b);
+        assert!((a.mean() - whole.mean()).abs() < 1e-9);
+        assert!((a.variance() - whole.variance()).abs() < 1e-9);
+        assert_eq!(a.count(), whole.count());
+
+        // Merging into empty adopts the other side.
+        let mut empty = OnlineStats::new();
+        empty.merge(&whole);
+        assert!((empty.mean() - whole.mean()).abs() < 1e-12);
+        // Merging empty is a no-op.
+        let before = whole.mean();
+        whole.merge(&OnlineStats::new());
+        assert_eq!(whole.mean(), before);
+    }
+
+    #[test]
+    fn argmin_finds_first_minimum() {
+        assert_eq!(argmin(&[3.0, 1.0, 1.0, 2.0]), 1);
+        assert_eq!(argmin(&[0.5]), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "empty")]
+    fn argmin_empty_panics() {
+        let _ = argmin(&[]);
+    }
+}

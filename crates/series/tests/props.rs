@@ -1,0 +1,131 @@
+//! Property-based tests for the series substrate.
+
+use dsidx_series::distance::{
+    abandon_order, dtw, euclidean, euclidean_sq, euclidean_sq_bounded, euclidean_sq_ordered,
+};
+use dsidx_series::znorm::{is_znormalized, znormalize, STD_EPSILON};
+use proptest::prelude::*;
+
+fn finite_series(max_len: usize) -> impl Strategy<Value = Vec<f32>> {
+    prop::collection::vec(-100.0f32..100.0, 1..max_len)
+}
+
+fn series_pair(max_len: usize) -> impl Strategy<Value = (Vec<f32>, Vec<f32>)> {
+    (1..max_len).prop_flat_map(|n| {
+        (
+            prop::collection::vec(-100.0f32..100.0, n),
+            prop::collection::vec(-100.0f32..100.0, n),
+        )
+    })
+}
+
+proptest! {
+    #[test]
+    fn znormalize_always_yields_znormalized_or_zero(mut s in finite_series(300)) {
+        znormalize(&mut s);
+        prop_assert!(s.iter().all(|v| v.is_finite()));
+        // Either properly normalized or the constant-series zero vector.
+        let (mean, std) = dsidx_series::znorm::mean_std(&s);
+        if std < STD_EPSILON {
+            prop_assert!(s.iter().all(|&v| v == 0.0));
+        } else {
+            prop_assert!(is_znormalized(&s, 1e-3), "mean={mean} std={std}");
+        }
+    }
+
+    #[test]
+    fn euclidean_is_symmetric_and_nonnegative((a, b) in series_pair(256)) {
+        let ab = euclidean_sq(&a, &b);
+        let ba = euclidean_sq(&b, &a);
+        prop_assert!(ab >= 0.0);
+        prop_assert!((ab - ba).abs() <= ab.abs() * 1e-5 + 1e-5);
+    }
+
+    #[test]
+    fn euclidean_self_distance_is_zero(a in finite_series(256)) {
+        prop_assert_eq!(euclidean_sq(&a, &a), 0.0);
+    }
+
+    #[test]
+    fn triangle_inequality_on_unsquared_distance(
+        (a, b) in series_pair(64),
+        c_seed in 0u64..1000,
+    ) {
+        // Third series derived deterministically with the same length.
+        let c: Vec<f32> = a
+            .iter()
+            .enumerate()
+            .map(|(i, &v)| v * 0.5 + ((i as u64 + c_seed) % 17) as f32 - 8.0)
+            .collect();
+        let ab = euclidean(&a, &b);
+        let ac = euclidean(&a, &c);
+        let cb = euclidean(&c, &b);
+        prop_assert!(ab <= ac + cb + 1e-3, "ab={ab} ac={ac} cb={cb}");
+    }
+
+    #[test]
+    fn bounded_distance_decision_matches_full(
+        (a, b) in series_pair(256),
+        frac in 0.0f32..2.0,
+    ) {
+        let full = euclidean_sq(&a, &b);
+        let limit = full * frac + 0.001;
+        let got = euclidean_sq_bounded(&a, &b, limit);
+        // Strictly-below semantics, with float tolerance at the boundary.
+        let near_boundary = (full - limit).abs() <= full * 1e-4 + 1e-4;
+        match got {
+            Some(d) => prop_assert!(
+                near_boundary || ((d - full).abs() <= full * 1e-4 + 1e-5 && full < limit)
+            ),
+            None => prop_assert!(near_boundary || full >= limit),
+        }
+    }
+
+    #[test]
+    fn ordered_distance_agrees_with_plain((a, b) in series_pair(200)) {
+        let order = abandon_order(&a);
+        let full = euclidean_sq(&a, &b);
+        let got = euclidean_sq_ordered(&a, &b, &order, full + 1.0);
+        prop_assert!(got.is_some());
+        let d = got.unwrap();
+        prop_assert!((d - full).abs() <= full * 1e-4 + 1e-4);
+    }
+
+    #[test]
+    fn dtw_never_exceeds_euclidean((a, b) in series_pair(128), band in 0usize..32) {
+        let ed = euclidean_sq(&a, &b);
+        let d = dtw::dtw_sq(&a, &b, band);
+        prop_assert!(d <= ed + ed.abs() * 1e-4 + 1e-4, "dtw={d} ed={ed}");
+    }
+
+    #[test]
+    fn lb_keogh_lower_bounds_dtw((q, c) in series_pair(96), band in 0usize..16) {
+        let mut lo = Vec::new();
+        let mut up = Vec::new();
+        dtw::envelope(&q, band, &mut lo, &mut up);
+        let lb = dtw::lb_keogh_sq(&c, &lo, &up);
+        let d = dtw::dtw_sq(&q, &c, band);
+        prop_assert!(lb <= d + d.abs() * 1e-4 + 1e-3, "lb={lb} dtw={d}");
+    }
+
+    #[test]
+    fn envelope_contains_series(s in finite_series(200), band in 0usize..24) {
+        let mut lo = Vec::new();
+        let mut up = Vec::new();
+        dtw::envelope(&s, band, &mut lo, &mut up);
+        for i in 0..s.len() {
+            prop_assert!(lo[i] <= s[i] && s[i] <= up[i]);
+        }
+    }
+
+    #[test]
+    fn abandon_order_is_a_permutation(q in finite_series(200)) {
+        let order = abandon_order(&q);
+        let mut seen = vec![false; q.len()];
+        for &i in &order {
+            prop_assert!(!seen[i as usize]);
+            seen[i as usize] = true;
+        }
+        prop_assert!(seen.iter().all(|&b| b));
+    }
+}

@@ -1,0 +1,86 @@
+//! Error type for storage operations.
+
+use std::fmt;
+
+/// Errors produced by dataset files, leaf stores and devices.
+#[derive(Debug)]
+pub enum StorageError {
+    /// An underlying I/O failure.
+    Io(std::io::Error),
+    /// The file does not start with the expected magic bytes.
+    BadMagic,
+    /// The file's format version is not supported.
+    BadVersion(u32),
+    /// The file is structurally inconsistent (e.g. truncated payload).
+    Corrupt(String),
+    /// A series index beyond the file's series count was requested.
+    OutOfBounds {
+        /// Requested position.
+        index: u64,
+        /// Number of series in the file.
+        len: u64,
+    },
+    /// A series-level validation error.
+    Series(dsidx_series::SeriesError),
+}
+
+impl fmt::Display for StorageError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            StorageError::Io(e) => write!(f, "I/O error: {e}"),
+            StorageError::BadMagic => write!(f, "not a dsidx dataset file (bad magic)"),
+            StorageError::BadVersion(v) => write!(f, "unsupported dataset format version {v}"),
+            StorageError::Corrupt(msg) => write!(f, "corrupt dataset file: {msg}"),
+            StorageError::OutOfBounds { index, len } => {
+                write!(f, "series {index} out of bounds for file of {len}")
+            }
+            StorageError::Series(e) => write!(f, "series error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for StorageError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            StorageError::Io(e) => Some(e),
+            StorageError::Series(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<std::io::Error> for StorageError {
+    fn from(e: std::io::Error) -> Self {
+        StorageError::Io(e)
+    }
+}
+
+impl From<dsidx_series::SeriesError> for StorageError {
+    fn from(e: dsidx_series::SeriesError) -> Self {
+        StorageError::Series(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn displays() {
+        let e = StorageError::BadVersion(9);
+        assert!(e.to_string().contains('9'));
+        let e = StorageError::OutOfBounds { index: 7, len: 3 };
+        assert!(e.to_string().contains('7'));
+        let e: StorageError = std::io::Error::other("boom").into();
+        assert!(e.to_string().contains("boom"));
+        assert!(StorageError::BadMagic.to_string().contains("magic"));
+    }
+
+    #[test]
+    fn source_chains() {
+        use std::error::Error;
+        let e: StorageError = std::io::Error::other("inner").into();
+        assert!(e.source().is_some());
+        assert!(StorageError::BadMagic.source().is_none());
+    }
+}

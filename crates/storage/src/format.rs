@@ -1,0 +1,430 @@
+//! The raw dataset file format.
+//!
+//! A dataset file is a 32-byte header followed by `count * series_len`
+//! little-endian `f32` values (the same "flat binary of floats" layout the
+//! paper's C implementations consume):
+//!
+//! ```text
+//! offset  size  field
+//! 0       8     magic  b"DSIDXSE1"
+//! 8       4     format version (u32 LE) = 1
+//! 12      4     series_len (u32 LE)
+//! 16      8     count (u64 LE)
+//! 24      8     reserved (zeros)
+//! 32      ...   payload: f32 LE, series-major
+//! ```
+
+use crate::device::Device;
+use crate::error::StorageError;
+use crate::raw::RawSource;
+use dsidx_series::Dataset;
+use std::fs::File;
+use std::io::{BufWriter, Read, Seek, SeekFrom, Write};
+use std::os::unix::fs::FileExt;
+use std::path::{Path, PathBuf};
+use std::sync::Arc;
+
+const MAGIC: [u8; 8] = *b"DSIDXSE1";
+const VERSION: u32 = 1;
+/// Size of the file header in bytes.
+pub const HEADER_LEN: u64 = 32;
+
+fn encode_header(series_len: u32, count: u64) -> [u8; HEADER_LEN as usize] {
+    let mut h = [0u8; HEADER_LEN as usize];
+    h[0..8].copy_from_slice(&MAGIC);
+    h[8..12].copy_from_slice(&VERSION.to_le_bytes());
+    h[12..16].copy_from_slice(&series_len.to_le_bytes());
+    h[16..24].copy_from_slice(&count.to_le_bytes());
+    h
+}
+
+fn decode_header(h: &[u8; HEADER_LEN as usize]) -> Result<(u32, u64), StorageError> {
+    if h[0..8] != MAGIC {
+        return Err(StorageError::BadMagic);
+    }
+    let version = u32::from_le_bytes(h[8..12].try_into().expect("slice of 4"));
+    if version != VERSION {
+        return Err(StorageError::BadVersion(version));
+    }
+    let series_len = u32::from_le_bytes(h[12..16].try_into().expect("slice of 4"));
+    let count = u64::from_le_bytes(h[16..24].try_into().expect("slice of 8"));
+    if series_len == 0 {
+        return Err(StorageError::Corrupt("series_len is zero".into()));
+    }
+    Ok((series_len, count))
+}
+
+/// Streaming dataset writer (use for datasets too large to build in memory).
+#[derive(Debug)]
+pub struct DatasetWriter {
+    out: BufWriter<File>,
+    device: Arc<Device>,
+    series_len: u32,
+    count: u64,
+    byte_buf: Vec<u8>,
+}
+
+impl DatasetWriter {
+    /// Creates/truncates a dataset file with the given series length.
+    ///
+    /// # Errors
+    /// I/O failures; `series_len` must be non-zero.
+    pub fn create(
+        path: &Path,
+        series_len: usize,
+        device: Arc<Device>,
+    ) -> Result<Self, StorageError> {
+        if series_len == 0 || series_len > u32::MAX as usize {
+            return Err(StorageError::Corrupt(format!("bad series_len {series_len}")));
+        }
+        let mut out = BufWriter::new(File::create(path)?);
+        // Placeholder header; `finish` writes the real count.
+        out.write_all(&encode_header(series_len as u32, 0))?;
+        Ok(Self {
+            out,
+            device,
+            series_len: series_len as u32,
+            count: 0,
+            byte_buf: Vec::with_capacity(series_len * 4),
+        })
+    }
+
+    /// Appends one series.
+    ///
+    /// # Errors
+    /// Length mismatches and I/O failures.
+    pub fn push(&mut self, series: &[f32]) -> Result<(), StorageError> {
+        if series.len() != self.series_len as usize {
+            return Err(StorageError::Series(dsidx_series::SeriesError::LengthMismatch {
+                expected: self.series_len as usize,
+                actual: series.len(),
+            }));
+        }
+        self.byte_buf.clear();
+        for v in series {
+            self.byte_buf.extend_from_slice(&v.to_le_bytes());
+        }
+        self.out.write_all(&self.byte_buf)?;
+        self.device.charge_append(self.byte_buf.len() as u64);
+        self.count += 1;
+        Ok(())
+    }
+
+    /// Number of series written so far.
+    #[must_use]
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Finalizes the header and flushes.
+    ///
+    /// # Errors
+    /// I/O failures.
+    pub fn finish(mut self) -> Result<(), StorageError> {
+        self.out.flush()?;
+        let file = self.out.get_mut();
+        file.seek(SeekFrom::Start(0))?;
+        file.write_all(&encode_header(self.series_len, self.count))?;
+        file.flush()?;
+        Ok(())
+    }
+}
+
+/// Writes a whole in-memory dataset to `path`.
+///
+/// # Errors
+/// I/O failures.
+pub fn write_dataset(path: &Path, dataset: &Dataset, device: Arc<Device>) -> Result<(), StorageError> {
+    let mut w = DatasetWriter::create(path, dataset.series_len(), device)?;
+    for s in dataset.iter() {
+        w.push(s)?;
+    }
+    w.finish()
+}
+
+/// Reads a whole dataset file into memory.
+///
+/// # Errors
+/// Format violations and I/O failures.
+pub fn read_dataset(path: &Path, device: Arc<Device>) -> Result<Dataset, StorageError> {
+    let file = DatasetFile::open(path, device)?;
+    let mut flat = vec![0.0f32; file.count() * file.series_len()];
+    let series_len = file.series_len();
+    for (pos, chunk) in flat.chunks_exact_mut(series_len).enumerate() {
+        file.read_into(pos, chunk)?;
+    }
+    Dataset::from_flat(flat, series_len).map_err(StorageError::from)
+}
+
+/// A dataset file opened for positioned (query-time) and block (build-time)
+/// reads. All reads are charged to the device. Shareable across threads.
+#[derive(Debug)]
+pub struct DatasetFile {
+    file: File,
+    path: PathBuf,
+    device: Arc<Device>,
+    series_len: usize,
+    count: usize,
+}
+
+impl DatasetFile {
+    /// Opens and validates a dataset file.
+    ///
+    /// # Errors
+    /// [`StorageError::BadMagic`]/[`StorageError::BadVersion`] for foreign
+    /// files, [`StorageError::Corrupt`] if the payload length does not match
+    /// the header (e.g. truncation).
+    pub fn open(path: &Path, device: Arc<Device>) -> Result<Self, StorageError> {
+        let mut file = File::open(path)?;
+        let mut h = [0u8; HEADER_LEN as usize];
+        file.read_exact(&mut h).map_err(|e| {
+            if e.kind() == std::io::ErrorKind::UnexpectedEof {
+                StorageError::Corrupt("file shorter than header".into())
+            } else {
+                StorageError::Io(e)
+            }
+        })?;
+        let (series_len, count) = decode_header(&h)?;
+        let expect = HEADER_LEN + count * u64::from(series_len) * 4;
+        let actual = file.metadata()?.len();
+        if actual != expect {
+            return Err(StorageError::Corrupt(format!(
+                "payload length mismatch: header implies {expect} bytes, file has {actual}"
+            )));
+        }
+        Ok(Self {
+            file,
+            path: path.to_path_buf(),
+            device,
+            series_len: series_len as usize,
+            count: count as usize,
+        })
+    }
+
+    /// The file's path.
+    #[must_use]
+    pub fn path(&self) -> &Path {
+        &self.path
+    }
+
+    /// The device reads are charged to.
+    #[must_use]
+    pub fn device(&self) -> &Arc<Device> {
+        &self.device
+    }
+
+    /// Number of series.
+    #[must_use]
+    pub fn count(&self) -> usize {
+        self.count
+    }
+
+    /// Length of each series.
+    #[must_use]
+    pub fn series_len(&self) -> usize {
+        self.series_len
+    }
+
+    fn series_offset(&self, pos: usize) -> u64 {
+        HEADER_LEN + (pos as u64) * (self.series_len as u64) * 4
+    }
+
+    /// Reads series `pos` into `out` (positioned read; thread-safe).
+    ///
+    /// # Errors
+    /// Out-of-bounds positions and I/O failures.
+    ///
+    /// # Panics
+    /// Panics if `out.len() != self.series_len()`.
+    pub fn read_series_into(&self, pos: usize, out: &mut [f32]) -> Result<(), StorageError> {
+        assert_eq!(out.len(), self.series_len, "output buffer length mismatch");
+        if pos >= self.count {
+            return Err(StorageError::OutOfBounds { index: pos as u64, len: self.count as u64 });
+        }
+        let bytes = self.series_len * 4;
+        let mut buf = vec![0u8; bytes];
+        let offset = self.series_offset(pos);
+        self.device.charge_read(offset, bytes as u64);
+        self.file.read_exact_at(&mut buf, offset)?;
+        decode_f32s(&buf, out);
+        Ok(())
+    }
+
+    /// Reads `count` series starting at `start` into `out` (resized), for
+    /// the sequential build path.
+    ///
+    /// # Errors
+    /// Out-of-bounds ranges and I/O failures.
+    pub fn read_block(
+        &self,
+        start: usize,
+        count: usize,
+        out: &mut Vec<f32>,
+    ) -> Result<(), StorageError> {
+        if start + count > self.count {
+            return Err(StorageError::OutOfBounds {
+                index: (start + count) as u64,
+                len: self.count as u64,
+            });
+        }
+        let floats = count * self.series_len;
+        let bytes = floats * 4;
+        let mut buf = vec![0u8; bytes];
+        let offset = self.series_offset(start);
+        self.device.charge_read(offset, bytes as u64);
+        self.file.read_exact_at(&mut buf, offset)?;
+        out.resize(floats, 0.0);
+        decode_f32s(&buf, out);
+        Ok(())
+    }
+}
+
+impl RawSource for DatasetFile {
+    fn count(&self) -> usize {
+        self.count
+    }
+
+    fn series_len(&self) -> usize {
+        self.series_len
+    }
+
+    fn read_into(&self, pos: usize, out: &mut [f32]) -> Result<(), StorageError> {
+        self.read_series_into(pos, out)
+    }
+}
+
+fn decode_f32s(bytes: &[u8], out: &mut [f32]) {
+    debug_assert_eq!(bytes.len(), out.len() * 4);
+    for (chunk, v) in bytes.chunks_exact(4).zip(out.iter_mut()) {
+        *v = f32::from_le_bytes(chunk.try_into().expect("chunk of 4"));
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dsidx_series::gen::random_walk;
+
+    fn tmpdir() -> PathBuf {
+        let dir = std::env::temp_dir().join(format!(
+            "dsidx-fmt-{}-{:?}",
+            std::process::id(),
+            std::thread::current().id()
+        ));
+        std::fs::create_dir_all(&dir).unwrap();
+        dir
+    }
+
+    fn dev() -> Arc<Device> {
+        Arc::new(Device::unthrottled())
+    }
+
+    #[test]
+    fn round_trip_whole_dataset() {
+        let dir = tmpdir();
+        let path = dir.join("round.dsidx");
+        let ds = random_walk(50, 64, 7);
+        write_dataset(&path, &ds, dev()).unwrap();
+        let back = read_dataset(&path, dev()).unwrap();
+        assert_eq!(ds, back);
+    }
+
+    #[test]
+    fn positioned_reads_match_memory() {
+        let dir = tmpdir();
+        let path = dir.join("pos.dsidx");
+        let ds = random_walk(20, 32, 9);
+        write_dataset(&path, &ds, dev()).unwrap();
+        let f = DatasetFile::open(&path, dev()).unwrap();
+        assert_eq!(f.count(), 20);
+        assert_eq!(f.series_len(), 32);
+        let mut buf = vec![0.0f32; 32];
+        for pos in [0usize, 7, 19] {
+            f.read_series_into(pos, &mut buf).unwrap();
+            assert_eq!(&buf[..], ds.get(pos));
+        }
+        assert!(matches!(
+            f.read_series_into(20, &mut buf),
+            Err(StorageError::OutOfBounds { .. })
+        ));
+    }
+
+    #[test]
+    fn block_reads_match_memory() {
+        let dir = tmpdir();
+        let path = dir.join("block.dsidx");
+        let ds = random_walk(30, 16, 3);
+        write_dataset(&path, &ds, dev()).unwrap();
+        let f = DatasetFile::open(&path, dev()).unwrap();
+        let mut out = Vec::new();
+        f.read_block(5, 10, &mut out).unwrap();
+        assert_eq!(out.len(), 160);
+        for i in 0..10 {
+            assert_eq!(&out[i * 16..(i + 1) * 16], ds.get(5 + i));
+        }
+        assert!(f.read_block(25, 10, &mut out).is_err());
+    }
+
+    #[test]
+    fn rejects_foreign_and_truncated_files() {
+        let dir = tmpdir();
+        // Bad magic.
+        let path = dir.join("foreign.bin");
+        std::fs::write(&path, b"NOTDSIDXAAAAAAAAAAAAAAAAAAAAAAAAAAAA").unwrap();
+        assert!(matches!(DatasetFile::open(&path, dev()), Err(StorageError::BadMagic)));
+        // Too short for a header.
+        let path = dir.join("short.bin");
+        std::fs::write(&path, b"DS").unwrap();
+        assert!(matches!(DatasetFile::open(&path, dev()), Err(StorageError::Corrupt(_))));
+        // Truncated payload.
+        let path = dir.join("trunc.dsidx");
+        let ds = random_walk(10, 8, 1);
+        write_dataset(&path, &ds, dev()).unwrap();
+        let full = std::fs::read(&path).unwrap();
+        std::fs::write(&path, &full[..full.len() - 5]).unwrap();
+        assert!(matches!(DatasetFile::open(&path, dev()), Err(StorageError::Corrupt(_))));
+        // Bad version.
+        let path = dir.join("vers.dsidx");
+        let mut bytes = full.clone();
+        bytes[8] = 99;
+        std::fs::write(&path, &bytes).unwrap();
+        assert!(matches!(DatasetFile::open(&path, dev()), Err(StorageError::BadVersion(99))));
+    }
+
+    #[test]
+    fn writer_rejects_wrong_length() {
+        let dir = tmpdir();
+        let path = dir.join("w.dsidx");
+        let mut w = DatasetWriter::create(&path, 8, dev()).unwrap();
+        assert!(w.push(&[0.0; 8]).is_ok());
+        assert!(w.push(&[0.0; 7]).is_err());
+        assert_eq!(w.count(), 1);
+        w.finish().unwrap();
+        let f = DatasetFile::open(&path, dev()).unwrap();
+        assert_eq!(f.count(), 1);
+    }
+
+    #[test]
+    fn empty_dataset_round_trips() {
+        let dir = tmpdir();
+        let path = dir.join("empty.dsidx");
+        let ds = Dataset::new(16).unwrap();
+        write_dataset(&path, &ds, dev()).unwrap();
+        let back = read_dataset(&path, dev()).unwrap();
+        assert!(back.is_empty());
+        assert_eq!(back.series_len(), 16);
+    }
+
+    #[test]
+    fn reads_are_charged_to_device() {
+        let dir = tmpdir();
+        let path = dir.join("charge.dsidx");
+        let ds = random_walk(10, 16, 2);
+        write_dataset(&path, &ds, dev()).unwrap();
+        let device = dev();
+        let f = DatasetFile::open(&path, Arc::clone(&device)).unwrap();
+        let mut buf = vec![0.0f32; 16];
+        f.read_series_into(3, &mut buf).unwrap();
+        assert_eq!(device.stats().bytes_read, 64);
+    }
+}

@@ -1,0 +1,27 @@
+//! Storage substrate: the raw dataset file format, positioned and block
+//! readers, the leaf store ParIS flushes subtree leaves into, and the
+//! *device model* that stands in for the paper's HDD and SSD testbeds.
+//!
+//! # The device model
+//!
+//! The paper's on-disk results (Figs. 4, 8, 10, 11) hinge on device
+//! characteristics: ParIS/ParIS+ exist to overlap CPU work with disk I/O,
+//! and the HDD→SSD switch shifts query answering by an order of magnitude.
+//! Re-running on arbitrary hardware (often with the dataset in page cache)
+//! would erase exactly those effects, so all file I/O in this workspace is
+//! charged to a [`device::Device`] with a configurable
+//! [`device::DeviceProfile`]: a seek latency, read/write bandwidths, and
+//! whether concurrent I/O serializes (HDD) or proceeds in parallel (SSD).
+//! `DeviceProfile::UNTHROTTLED` turns the model off.
+
+pub mod device;
+pub mod error;
+pub mod format;
+pub mod leafstore;
+pub mod raw;
+
+pub use device::{Device, DeviceProfile};
+pub use error::StorageError;
+pub use format::{read_dataset, write_dataset, DatasetFile, DatasetWriter};
+pub use leafstore::{LeafHandle, LeafStoreReader, LeafStoreWriter};
+pub use raw::RawSource;

@@ -1,0 +1,96 @@
+//! The [`RawSource`] abstraction: where engines fetch raw series from at
+//! query time.
+//!
+//! ParIS/ParIS+ read non-pruned candidates from disk ("for which the raw
+//! values need to be read from disk", §III); MESSI points into an in-memory
+//! array. Engines are generic over this trait so the same query code runs
+//! in both modes; `as_memory` exposes the zero-copy fast path.
+
+use crate::error::StorageError;
+use dsidx_series::Dataset;
+
+/// A positionally addressable collection of equal-length raw series.
+pub trait RawSource: Sync {
+    /// Number of series.
+    fn count(&self) -> usize;
+
+    /// Length of each series.
+    fn series_len(&self) -> usize;
+
+    /// Copies series `pos` into `out` (`out.len() == series_len`).
+    ///
+    /// # Errors
+    /// Out-of-bounds positions and I/O failures.
+    fn read_into(&self, pos: usize, out: &mut [f32]) -> Result<(), StorageError>;
+
+    /// Zero-copy access when the source is an in-memory dataset.
+    fn as_memory(&self) -> Option<&Dataset> {
+        None
+    }
+}
+
+impl RawSource for Dataset {
+    fn count(&self) -> usize {
+        self.len()
+    }
+
+    fn series_len(&self) -> usize {
+        self.series_len()
+    }
+
+    fn read_into(&self, pos: usize, out: &mut [f32]) -> Result<(), StorageError> {
+        let s = self.try_get(pos)?;
+        out.copy_from_slice(s);
+        Ok(())
+    }
+
+    fn as_memory(&self) -> Option<&Dataset> {
+        Some(self)
+    }
+}
+
+impl<S: RawSource> RawSource for &S {
+    fn count(&self) -> usize {
+        (**self).count()
+    }
+
+    fn series_len(&self) -> usize {
+        (**self).series_len()
+    }
+
+    fn read_into(&self, pos: usize, out: &mut [f32]) -> Result<(), StorageError> {
+        (**self).read_into(pos, out)
+    }
+
+    fn as_memory(&self) -> Option<&Dataset> {
+        (**self).as_memory()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dsidx_series::gen::sines;
+
+    #[test]
+    fn dataset_is_a_raw_source() {
+        let ds = sines(4, 16, 1);
+        let src: &dyn RawSource = &ds;
+        assert_eq!(src.count(), 4);
+        assert_eq!(src.series_len(), 16);
+        let mut buf = vec![0.0; 16];
+        src.read_into(2, &mut buf).unwrap();
+        assert_eq!(&buf[..], ds.get(2));
+        assert!(src.as_memory().is_some());
+        assert!(src.read_into(4, &mut buf).is_err());
+    }
+
+    #[test]
+    fn reference_forwarding_works() {
+        let ds = sines(2, 8, 5);
+        fn takes_source<S: RawSource>(s: S) -> usize {
+            s.count()
+        }
+        assert_eq!(takes_source(&ds), 2);
+    }
+}

@@ -1,0 +1,105 @@
+//! A reusable spin barrier for short phase hand-offs inside one broadcast.
+//!
+//! Query phases are sub-millisecond; parking threads on an OS barrier
+//! between them costs more than the phases themselves on slow-wakeup
+//! kernels. This barrier spins — only use it between phases that are both
+//! short and CPU-bound, with at most one waiter per core.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+/// A cyclic spin barrier for exactly `size` participants.
+#[derive(Debug)]
+pub struct SpinBarrier {
+    size: usize,
+    arrived: AtomicUsize,
+    generation: AtomicUsize,
+}
+
+impl SpinBarrier {
+    /// A barrier for `size` participants (`size >= 1`).
+    #[must_use]
+    pub fn new(size: usize) -> Self {
+        assert!(size > 0, "barrier needs at least one participant");
+        Self { size, arrived: AtomicUsize::new(0), generation: AtomicUsize::new(0) }
+    }
+
+    /// Blocks until all `size` participants have called `wait`. Returns
+    /// `true` for exactly one participant per cycle (the leader).
+    ///
+    /// Spins briefly, then yields: on machines where logical cores share
+    /// execution units (or the sandbox oversubscribes vCPUs), a hot spin
+    /// by finished workers measurably slows the stragglers it waits for.
+    pub fn wait(&self) -> bool {
+        let generation = self.generation.load(Ordering::Acquire);
+        if self.arrived.fetch_add(1, Ordering::AcqRel) + 1 == self.size {
+            // Last to arrive: reset and release the others.
+            self.arrived.store(0, Ordering::Relaxed);
+            self.generation.fetch_add(1, Ordering::Release);
+            true
+        } else {
+            let mut spins = 0u32;
+            while self.generation.load(Ordering::Acquire) == generation {
+                if spins < 64 {
+                    std::hint::spin_loop();
+                    spins += 1;
+                } else {
+                    std::thread::yield_now();
+                }
+            }
+            false
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::AtomicU64;
+
+    #[test]
+    fn single_participant_never_blocks() {
+        let b = SpinBarrier::new(1);
+        assert!(b.wait());
+        assert!(b.wait());
+    }
+
+    #[test]
+    fn phases_are_totally_ordered() {
+        let threads = 8;
+        let b = SpinBarrier::new(threads);
+        let phase_a = AtomicU64::new(0);
+        let phase_b = AtomicU64::new(0);
+        std::thread::scope(|s| {
+            for _ in 0..threads {
+                s.spawn(|| {
+                    phase_a.fetch_add(1, Ordering::Relaxed);
+                    b.wait();
+                    // Every A increment must be visible before any B runs.
+                    assert_eq!(phase_a.load(Ordering::Relaxed), threads as u64);
+                    phase_b.fetch_add(1, Ordering::Relaxed);
+                });
+            }
+        });
+        assert_eq!(phase_b.load(Ordering::Relaxed), threads as u64);
+    }
+
+    #[test]
+    fn exactly_one_leader_per_cycle() {
+        let threads = 6;
+        let cycles = 50;
+        let b = SpinBarrier::new(threads);
+        let leaders = AtomicU64::new(0);
+        std::thread::scope(|s| {
+            for _ in 0..threads {
+                s.spawn(|| {
+                    for _ in 0..cycles {
+                        if b.wait() {
+                            leaders.fetch_add(1, Ordering::Relaxed);
+                        }
+                    }
+                });
+            }
+        });
+        assert_eq!(leaders.load(Ordering::Relaxed), cycles as u64);
+    }
+}

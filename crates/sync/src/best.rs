@@ -1,0 +1,160 @@
+//! The shared best-so-far (BSF) variable.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// A lock-free minimum over `(squared distance, position)` pairs.
+///
+/// Packs `f32::to_bits(dist)` into the high 32 bits and the series position
+/// into the low 32 bits of one `AtomicU64`. Distances are non-negative, and
+/// for non-negative IEEE-754 floats the bit pattern order equals numeric
+/// order, so an integer `fetch_min`-style CAS loop implements the float
+/// minimum — including a consistent winner for exact ties (lowest
+/// position).
+#[derive(Debug)]
+pub struct AtomicBest {
+    packed: AtomicU64,
+}
+
+/// Position stored before any real candidate is recorded.
+pub const NO_POSITION: u32 = u32::MAX;
+
+#[inline]
+fn pack(dist_sq: f32, pos: u32) -> u64 {
+    debug_assert!(dist_sq >= 0.0, "distances are non-negative");
+    (u64::from(dist_sq.to_bits()) << 32) | u64::from(pos)
+}
+
+impl AtomicBest {
+    /// Creates a BSF holding `+inf` and no position.
+    #[must_use]
+    pub fn new() -> Self {
+        Self { packed: AtomicU64::new(pack(f32::INFINITY, NO_POSITION)) }
+    }
+
+    /// Creates a BSF seeded with an initial candidate.
+    #[must_use]
+    pub fn with_initial(dist_sq: f32, pos: u32) -> Self {
+        Self { packed: AtomicU64::new(pack(dist_sq, pos)) }
+    }
+
+    /// Current best squared distance (cheap; used as the pruning threshold).
+    #[inline]
+    #[must_use]
+    pub fn dist_sq(&self) -> f32 {
+        f32::from_bits((self.packed.load(Ordering::Acquire) >> 32) as u32)
+    }
+
+    /// Current `(squared distance, position)`.
+    #[inline]
+    #[must_use]
+    pub fn get(&self) -> (f32, u32) {
+        let v = self.packed.load(Ordering::Acquire);
+        (f32::from_bits((v >> 32) as u32), v as u32)
+    }
+
+    /// Records a candidate; keeps the minimum. Returns `true` if this call
+    /// improved the BSF.
+    ///
+    /// Ties on distance prefer the lower position, so concurrent executions
+    /// converge to a deterministic answer.
+    pub fn update(&self, dist_sq: f32, pos: u32) -> bool {
+        let new = pack(dist_sq, pos);
+        let mut cur = self.packed.load(Ordering::Relaxed);
+        loop {
+            if new >= cur {
+                return false;
+            }
+            match self.packed.compare_exchange_weak(
+                cur,
+                new,
+                Ordering::AcqRel,
+                Ordering::Relaxed,
+            ) {
+                Ok(_) => return true,
+                Err(actual) => cur = actual,
+            }
+        }
+    }
+}
+
+impl Default for AtomicBest {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn starts_at_infinity() {
+        let b = AtomicBest::new();
+        assert_eq!(b.dist_sq(), f32::INFINITY);
+        assert_eq!(b.get().1, NO_POSITION);
+    }
+
+    #[test]
+    fn update_keeps_minimum() {
+        let b = AtomicBest::new();
+        assert!(b.update(5.0, 1));
+        assert!(!b.update(6.0, 2));
+        assert!(b.update(2.5, 3));
+        assert_eq!(b.get(), (2.5, 3));
+    }
+
+    #[test]
+    fn tie_prefers_lower_position() {
+        let b = AtomicBest::with_initial(1.0, 10);
+        assert!(b.update(1.0, 4), "same distance, lower pos wins");
+        assert!(!b.update(1.0, 7));
+        assert_eq!(b.get(), (1.0, 4));
+    }
+
+    #[test]
+    fn zero_distance_works() {
+        let b = AtomicBest::new();
+        assert!(b.update(0.0, 9));
+        assert_eq!(b.get(), (0.0, 9));
+        assert!(!b.update(0.5, 1));
+    }
+
+    #[test]
+    fn concurrent_updates_converge_to_global_min() {
+        let b = AtomicBest::new();
+        let threads = 8;
+        let per_thread = 10_000u32;
+        std::thread::scope(|s| {
+            for t in 0..threads {
+                let b = &b;
+                s.spawn(move || {
+                    // Deterministic pseudo-random distances per thread.
+                    let mut state = (t as u64 + 1).wrapping_mul(0x9E37_79B9_7F4A_7C15);
+                    for i in 0..per_thread {
+                        state ^= state << 13;
+                        state ^= state >> 7;
+                        state ^= state << 17;
+                        let d = ((state >> 40) as f32 / 16_777_216.0) * 100.0;
+                        b.update(d, t as u32 * per_thread + i);
+                    }
+                });
+            }
+        });
+        // Recompute the expected global minimum sequentially.
+        let mut best = (f32::INFINITY, NO_POSITION);
+        for t in 0..threads {
+            let mut state = (t as u64 + 1).wrapping_mul(0x9E37_79B9_7F4A_7C15);
+            for i in 0..per_thread {
+                state ^= state << 13;
+                state ^= state >> 7;
+                state ^= state << 17;
+                let d = ((state >> 40) as f32 / 16_777_216.0) * 100.0;
+                let pos = t as u32 * per_thread + i;
+                if d < best.0 || (d == best.0 && pos < best.1) {
+                    best = (d, pos);
+                }
+            }
+        }
+        assert_eq!(b.get(), best);
+    }
+}

@@ -1,0 +1,25 @@
+//! Concurrency substrate for the parallel engines.
+//!
+//! The paper's algorithms rest on three tiny synchronization devices, all
+//! implemented (and stress-tested) here:
+//!
+//! * [`AtomicBest`] — the shared BSF ("best-so-far") variable: a lock-free
+//!   minimum over `(squared distance, position)` pairs, updated by every
+//!   worker that finds a closer candidate.
+//! * [`WorkQueue`] — Fetch&Inc work claiming: "chunks are assigned to index
+//!   workers one after the other (using Fetch&Inc)" (§III).
+//! * [`SyncSlice`] — a shared slice written at *disjoint* indices by many
+//!   threads without locks, used for the SAX array whose entry `i` is owned
+//!   by whichever worker summarizes series `i`.
+
+pub mod barrier;
+pub mod best;
+pub mod pool;
+pub mod queue;
+pub mod slice;
+
+pub use barrier::SpinBarrier;
+pub use best::AtomicBest;
+pub use pool::WorkerPool;
+pub use queue::WorkQueue;
+pub use slice::SyncSlice;

@@ -1,0 +1,279 @@
+//! A persistent worker pool with scoped broadcasts.
+//!
+//! The paper's engines create their worker threads once and reuse them for
+//! every query; spawning OS threads per query would dominate millisecond
+//! query times (on some sandboxed kernels a single spawn costs ~0.5 ms).
+//! [`WorkerPool::broadcast`] runs one closure on every worker and returns
+//! when all of them finish — the moral equivalent of `std::thread::scope`,
+//! but against long-lived threads.
+
+use parking_lot::{Condvar, Mutex};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::{Arc, OnceLock};
+
+/// A lifetime-erased `Fn(usize worker_id)` pointer plus completion state.
+struct Job {
+    /// Type- and lifetime-erased pointer to the caller's closure. Valid for
+    /// the duration of the broadcast because `broadcast` blocks until
+    /// `remaining == 0`.
+    task: *const (dyn Fn(usize) + Sync),
+    remaining: AtomicUsize,
+    panicked: AtomicBool,
+    done: Mutex<bool>,
+    cv: Condvar,
+}
+
+// SAFETY: the raw pointer is only dereferenced while the owning `broadcast`
+// call is blocked, and the pointee is `Sync`.
+unsafe impl Send for Job {}
+unsafe impl Sync for Job {}
+
+/// A fixed-size pool of persistent worker threads.
+pub struct WorkerPool {
+    senders: Vec<crossbeam_channel::Sender<Arc<Job>>>,
+    handles: Vec<std::thread::JoinHandle<()>>,
+    /// Serializes broadcasts: tasks may contain cross-worker phase barriers
+    /// (see `SpinBarrier`), and two interleaved broadcasts would then each
+    /// hold some workers at their own barrier — a deadlock. One broadcast
+    /// at a time makes every worker run the same task to completion.
+    run_lock: Mutex<()>,
+}
+
+impl WorkerPool {
+    /// Spawns `threads` workers (`threads >= 1`).
+    #[must_use]
+    pub fn new(threads: usize) -> Self {
+        assert!(threads > 0, "pool needs at least one worker");
+        let mut senders = Vec::with_capacity(threads);
+        let mut handles = Vec::with_capacity(threads);
+        for worker_id in 0..threads {
+            let (tx, rx) = crossbeam_channel::unbounded::<Arc<Job>>();
+            senders.push(tx);
+            handles.push(std::thread::spawn(move || {
+                loop {
+                    // Fast path: after finishing a job, poll briefly before
+                    // parking. Waking a parked thread costs tens of
+                    // microseconds here, and broadcasts wake workers one by
+                    // one — for back-to-back queries that stagger would
+                    // dominate sub-millisecond latencies.
+                    let mut job = None;
+                    for spin in 0..4096u32 {
+                        match rx.try_recv() {
+                            Ok(j) => {
+                                job = Some(j);
+                                break;
+                            }
+                            Err(crossbeam_channel::TryRecvError::Empty) => {
+                                if spin % 64 == 63 {
+                                    std::thread::yield_now();
+                                } else {
+                                    std::hint::spin_loop();
+                                }
+                            }
+                            Err(crossbeam_channel::TryRecvError::Disconnected) => return,
+                        }
+                    }
+                    let job = match job {
+                        Some(j) => j,
+                        None => match rx.recv() {
+                            Ok(j) => j,
+                            Err(_) => return,
+                        },
+                    };
+                    // SAFETY: see `Job.task` — the broadcaster keeps the
+                    // closure alive until every worker is done.
+                    let task = unsafe { &*job.task };
+                    let result =
+                        std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| task(worker_id)));
+                    if result.is_err() {
+                        job.panicked.store(true, Ordering::Release);
+                    }
+                    if job.remaining.fetch_sub(1, Ordering::AcqRel) == 1 {
+                        *job.done.lock() = true;
+                        job.cv.notify_all();
+                    }
+                }
+            }));
+        }
+        Self { senders, handles, run_lock: Mutex::new(()) }
+    }
+
+    /// Number of workers.
+    #[must_use]
+    pub fn size(&self) -> usize {
+        self.senders.len()
+    }
+
+    /// Runs `task(worker_id)` on every worker and returns when all have
+    /// finished. `task` may borrow from the caller's stack.
+    ///
+    /// Broadcasts serialize: concurrent callers queue behind each other.
+    /// Never call `broadcast` from inside a task running on the same pool —
+    /// that self-deadlocks (the task would wait for its own pool).
+    ///
+    /// # Panics
+    /// Panics if any worker's task panicked (after all workers finished).
+    pub fn broadcast(&self, task: &(dyn Fn(usize) + Sync)) {
+        let _serial = self.run_lock.lock();
+        let n = self.senders.len();
+        // Erase the lifetime: justified because we block below until every
+        // worker has dropped its use of the pointer.
+        let erased: *const (dyn Fn(usize) + Sync) =
+            unsafe { std::mem::transmute::<&(dyn Fn(usize) + Sync), &'static (dyn Fn(usize) + Sync)>(task) };
+        let job = Arc::new(Job {
+            task: erased,
+            remaining: AtomicUsize::new(n),
+            panicked: AtomicBool::new(false),
+            done: Mutex::new(false),
+            cv: Condvar::new(),
+        });
+        for tx in &self.senders {
+            tx.send(Arc::clone(&job)).expect("workers live as long as the pool");
+        }
+        let mut done = job.done.lock();
+        while !*done {
+            job.cv.wait(&mut done);
+        }
+        drop(done);
+        assert!(
+            !job.panicked.load(Ordering::Acquire),
+            "a worker task panicked during broadcast"
+        );
+    }
+}
+
+impl Drop for WorkerPool {
+    fn drop(&mut self) {
+        self.senders.clear(); // disconnect: workers exit their recv loops
+        for h in self.handles.drain(..) {
+            let _ = h.join();
+        }
+    }
+}
+
+/// Returns the process-wide pool with exactly `threads` workers, creating
+/// it on first use. Pools are cached per size (queries sweeping core
+/// counts, as in the paper's figures, reuse them).
+#[must_use]
+pub fn global(threads: usize) -> Arc<WorkerPool> {
+    static POOLS: OnceLock<Mutex<Vec<(usize, Arc<WorkerPool>)>>> = OnceLock::new();
+    let pools = POOLS.get_or_init(|| Mutex::new(Vec::new()));
+    let mut pools = pools.lock();
+    if let Some((_, pool)) = pools.iter().find(|(n, _)| *n == threads) {
+        return Arc::clone(pool);
+    }
+    let pool = Arc::new(WorkerPool::new(threads));
+    pools.push((threads, Arc::clone(&pool)));
+    pool
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::AtomicU64;
+
+    #[test]
+    fn broadcast_runs_every_worker_once() {
+        let pool = WorkerPool::new(8);
+        let seen = [const { AtomicU64::new(0) }; 8];
+        pool.broadcast(&|id| {
+            seen[id].fetch_add(1, Ordering::Relaxed);
+        });
+        for s in &seen {
+            assert_eq!(s.load(Ordering::Relaxed), 1);
+        }
+    }
+
+    #[test]
+    fn broadcast_can_borrow_stack_data() {
+        let pool = WorkerPool::new(4);
+        let data: Vec<u64> = (0..1000).collect();
+        let total = AtomicU64::new(0);
+        pool.broadcast(&|id| {
+            let part: u64 = data.iter().skip(id).step_by(4).sum();
+            total.fetch_add(part, Ordering::Relaxed);
+        });
+        assert_eq!(total.load(Ordering::Relaxed), 1000 * 999 / 2);
+    }
+
+    #[test]
+    fn sequential_broadcasts_reuse_workers() {
+        let pool = WorkerPool::new(6);
+        let counter = AtomicU64::new(0);
+        for _ in 0..50 {
+            pool.broadcast(&|_| {
+                counter.fetch_add(1, Ordering::Relaxed);
+            });
+        }
+        assert_eq!(counter.load(Ordering::Relaxed), 300);
+    }
+
+    #[test]
+    fn single_worker_pool_works() {
+        let pool = WorkerPool::new(1);
+        let hit = AtomicU64::new(0);
+        pool.broadcast(&|id| {
+            assert_eq!(id, 0);
+            hit.fetch_add(1, Ordering::Relaxed);
+        });
+        assert_eq!(hit.load(Ordering::Relaxed), 1);
+    }
+
+    #[test]
+    fn concurrent_broadcasts_with_internal_barriers_do_not_deadlock() {
+        // Regression test: interleaved broadcasts once deadlocked tasks
+        // that synchronize across workers (each broadcast held a subset of
+        // workers at its own barrier). Broadcast serialization fixes it.
+        let pool = WorkerPool::new(4);
+        std::thread::scope(|s| {
+            for _ in 0..3 {
+                let pool = &pool;
+                s.spawn(move || {
+                    for _ in 0..20 {
+                        let barrier = crate::SpinBarrier::new(4);
+                        let after = AtomicU64::new(0);
+                        pool.broadcast(&|_| {
+                            barrier.wait();
+                            after.fetch_add(1, Ordering::Relaxed);
+                        });
+                        assert_eq!(after.load(Ordering::Relaxed), 4);
+                    }
+                });
+            }
+        });
+    }
+
+    #[test]
+    fn global_pools_are_cached_per_size() {
+        let a = global(3);
+        let b = global(3);
+        assert!(Arc::ptr_eq(&a, &b));
+        let c = global(5);
+        assert_eq!(c.size(), 5);
+        assert!(!Arc::ptr_eq(&a, &c));
+    }
+
+    #[test]
+    #[should_panic(expected = "worker task panicked")]
+    fn worker_panic_propagates() {
+        let pool = WorkerPool::new(4);
+        pool.broadcast(&|id| {
+            assert!(id != 2, "boom");
+        });
+    }
+
+    #[test]
+    fn pool_survives_a_panicked_broadcast() {
+        let pool = WorkerPool::new(4);
+        let r = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            pool.broadcast(&|_| panic!("first broadcast fails"));
+        }));
+        assert!(r.is_err());
+        // Workers are still alive and usable.
+        let counter = AtomicU64::new(0);
+        pool.broadcast(&|_| {
+            counter.fetch_add(1, Ordering::Relaxed);
+        });
+        assert_eq!(counter.load(Ordering::Relaxed), 4);
+    }
+}

@@ -1,0 +1,122 @@
+//! Fetch&Inc work claiming.
+
+use std::ops::Range;
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+/// A counter over `0..total` from which workers claim items or chunks with
+/// a single atomic `fetch_add` — the paper's Fetch&Inc idiom for assigning
+/// raw-data chunks, iSAX buffers and priority queues to workers.
+#[derive(Debug)]
+pub struct WorkQueue {
+    next: AtomicUsize,
+    total: usize,
+}
+
+impl WorkQueue {
+    /// A queue over `0..total`.
+    #[must_use]
+    pub fn new(total: usize) -> Self {
+        Self { next: AtomicUsize::new(0), total }
+    }
+
+    /// Total number of items.
+    #[must_use]
+    pub fn total(&self) -> usize {
+        self.total
+    }
+
+    /// Claims the next single item, or `None` when exhausted.
+    #[inline]
+    pub fn claim(&self) -> Option<usize> {
+        let i = self.next.fetch_add(1, Ordering::Relaxed);
+        (i < self.total).then_some(i)
+    }
+
+    /// Claims the next chunk of up to `chunk` items, or `None` when
+    /// exhausted. `chunk` must be non-zero.
+    #[inline]
+    pub fn claim_chunk(&self, chunk: usize) -> Option<Range<usize>> {
+        assert!(chunk > 0, "chunk size must be non-zero");
+        let start = self.next.fetch_add(chunk, Ordering::Relaxed);
+        if start >= self.total {
+            return None;
+        }
+        Some(start..(start + chunk).min(self.total))
+    }
+
+    /// Resets the queue for reuse (callers must ensure no concurrent claims).
+    pub fn reset(&self) {
+        self.next.store(0, Ordering::Release);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::HashSet;
+    use std::sync::Mutex;
+
+    #[test]
+    fn claims_every_item_exactly_once() {
+        let q = WorkQueue::new(10);
+        let mut got = Vec::new();
+        while let Some(i) = q.claim() {
+            got.push(i);
+        }
+        assert_eq!(got, (0..10).collect::<Vec<_>>());
+        assert_eq!(q.claim(), None);
+    }
+
+    #[test]
+    fn chunk_claims_cover_range_without_overlap() {
+        let q = WorkQueue::new(100);
+        let mut covered = Vec::new();
+        while let Some(r) = q.claim_chunk(7) {
+            covered.extend(r);
+        }
+        assert_eq!(covered, (0..100).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn zero_total_yields_nothing() {
+        let q = WorkQueue::new(0);
+        assert_eq!(q.claim(), None);
+        assert_eq!(q.claim_chunk(5), None);
+    }
+
+    #[test]
+    #[should_panic(expected = "non-zero")]
+    fn zero_chunk_panics() {
+        let q = WorkQueue::new(5);
+        let _ = q.claim_chunk(0);
+    }
+
+    #[test]
+    fn reset_allows_reuse() {
+        let q = WorkQueue::new(3);
+        while q.claim().is_some() {}
+        q.reset();
+        assert_eq!(q.claim(), Some(0));
+    }
+
+    #[test]
+    fn concurrent_claims_partition_the_work() {
+        let q = WorkQueue::new(100_000);
+        let seen = Mutex::new(HashSet::new());
+        std::thread::scope(|s| {
+            for _ in 0..8 {
+                s.spawn(|| {
+                    let mut local = Vec::new();
+                    while let Some(r) = q.claim_chunk(13) {
+                        local.extend(r);
+                    }
+                    let mut set = seen.lock().unwrap();
+                    for i in local {
+                        assert!(set.insert(i), "item {i} claimed twice");
+                    }
+                });
+            }
+        });
+        assert_eq!(seen.into_inner().unwrap().len(), 100_000);
+    }
+}

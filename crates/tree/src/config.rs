@@ -1,0 +1,93 @@
+//! Index configuration.
+
+use dsidx_isax::{IsaxError, Quantizer};
+
+/// Configuration shared by every engine building or querying an index.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TreeConfig {
+    quantizer: Quantizer,
+    leaf_capacity: usize,
+}
+
+impl TreeConfig {
+    /// Validates a configuration.
+    ///
+    /// # Errors
+    /// Propagates [`Quantizer::new`] errors; `leaf_capacity` must be
+    /// non-zero (reported as a `BadSegmentCount`-free panic-less error via
+    /// `IsaxError` is wrong domain — we use a panic for this programmer
+    /// error instead).
+    ///
+    /// # Panics
+    /// Panics if `leaf_capacity == 0`.
+    pub fn new(
+        series_len: usize,
+        segments: usize,
+        leaf_capacity: usize,
+    ) -> Result<Self, IsaxError> {
+        assert!(leaf_capacity > 0, "leaf capacity must be non-zero");
+        Ok(Self { quantizer: Quantizer::new(series_len, segments)?, leaf_capacity })
+    }
+
+    /// The quantizer (series length, segmentation, conversion routines).
+    #[inline]
+    #[must_use]
+    pub fn quantizer(&self) -> &Quantizer {
+        &self.quantizer
+    }
+
+    /// Series length.
+    #[inline]
+    #[must_use]
+    pub fn series_len(&self) -> usize {
+        self.quantizer.series_len()
+    }
+
+    /// Number of iSAX segments (`w`).
+    #[inline]
+    #[must_use]
+    pub fn segments(&self) -> usize {
+        self.quantizer.segments()
+    }
+
+    /// Maximum entries a leaf holds before splitting.
+    #[inline]
+    #[must_use]
+    pub fn leaf_capacity(&self) -> usize {
+        self.leaf_capacity
+    }
+
+    /// Number of root slots (`2^w`).
+    #[inline]
+    #[must_use]
+    pub fn root_count(&self) -> usize {
+        self.quantizer.root_count()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn construction_and_accessors() {
+        let c = TreeConfig::new(256, 16, 100).unwrap();
+        assert_eq!(c.series_len(), 256);
+        assert_eq!(c.segments(), 16);
+        assert_eq!(c.leaf_capacity(), 100);
+        assert_eq!(c.root_count(), 65536);
+        assert_eq!(c.quantizer().segment_lens().len(), 16);
+    }
+
+    #[test]
+    fn propagates_quantizer_errors() {
+        assert!(TreeConfig::new(4, 16, 10).is_err());
+        assert!(TreeConfig::new(16, 0, 10).is_err());
+    }
+
+    #[test]
+    #[should_panic(expected = "leaf capacity")]
+    fn zero_capacity_panics() {
+        let _ = TreeConfig::new(64, 8, 0);
+    }
+}

@@ -1,0 +1,43 @@
+//! Leaf entries: what the index stores per series.
+
+use dsidx_isax::Word;
+
+/// One indexed series: its full-cardinality iSAX word and its position in
+/// the raw data (file or in-memory array).
+///
+/// 24 bytes, `Copy` — receiving buffers, leaves and candidate lists store
+/// these in flat `Vec`s.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct LeafEntry {
+    /// Full-cardinality iSAX summary of the series.
+    pub word: Word,
+    /// Position of the series in its raw source.
+    pub pos: u32,
+}
+
+impl LeafEntry {
+    /// Bundles a word and a position.
+    #[inline]
+    #[must_use]
+    pub fn new(word: Word, pos: u32) -> Self {
+        Self { word, pos }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn entry_is_compact() {
+        assert!(std::mem::size_of::<LeafEntry>() <= 24);
+    }
+
+    #[test]
+    fn construction() {
+        let w = Word::new(&[1, 2, 3]);
+        let e = LeafEntry::new(w, 42);
+        assert_eq!(e.pos, 42);
+        assert_eq!(e.word.symbol(1), 2);
+    }
+}

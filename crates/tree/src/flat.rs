@@ -1,0 +1,357 @@
+//! A cache-conscious flattened view of a built index.
+//!
+//! The boxed [`Node`](crate::Node) graph is ideal for construction
+//! (independent subtrees, in-place splits) but miserable for traversal:
+//! every node visit is a pointer chase. Query answering in MESSI touches
+//! tens of thousands of nodes per query, so after construction the tree is
+//! *flattened* once into three dense arrays — nodes (depth-first), leaf
+//! entries (leaf-contiguous), and occupied roots — and queries walk those.
+//! The paper's C implementation gets the same effect for free by storing
+//! nodes in preallocated arrays.
+
+use crate::entry::LeafEntry;
+use crate::index::Index;
+use crate::node::Node;
+use dsidx_isax::{NodeMindistTable, MAX_SEGMENTS};
+
+/// A node in the flattened tree.
+///
+/// Children are laid out depth-first, so an inner node's zero child sits
+/// at `self_index + 1` and only the one child's index is stored. The
+/// depth-first layout also makes every *subtree's* entries contiguous, so
+/// each node records its subtree's entry range — leaves use it as their
+/// content, inner nodes use it for O(1) emptiness checks during guided
+/// descents.
+#[derive(Debug, Clone, Copy)]
+pub struct FlatNode {
+    prefixes: [u8; MAX_SEGMENTS],
+    bits: [u8; MAX_SEGMENTS],
+    /// Start of this subtree's entry range.
+    entry_start: u32,
+    /// End of this subtree's entry range.
+    entry_end: u32,
+    /// Index of the one-child; `NO_CHILD` for leaves.
+    one_child: u32,
+}
+
+const NO_CHILD: u32 = u32::MAX;
+
+impl FlatNode {
+    /// `true` if this is a leaf.
+    #[inline]
+    #[must_use]
+    pub fn is_leaf(&self) -> bool {
+        self.one_child == NO_CHILD
+    }
+
+    /// The subtree's entry range within [`FlatTree::entries`] (for leaves:
+    /// exactly their own entries).
+    #[inline]
+    #[must_use]
+    pub fn entry_range(&self) -> std::ops::Range<usize> {
+        self.entry_start as usize..self.entry_end as usize
+    }
+
+    /// Number of entries below this node.
+    #[inline]
+    #[must_use]
+    pub fn subtree_len(&self) -> usize {
+        (self.entry_end - self.entry_start) as usize
+    }
+
+    /// An inner node's children: `(zero_child, one_child)` node indices.
+    /// The zero child always directly follows its parent (depth-first
+    /// layout), so descents towards it stay sequential in memory.
+    #[inline]
+    #[must_use]
+    pub fn children(&self, self_index: u32) -> (u32, u32) {
+        debug_assert!(!self.is_leaf());
+        (self_index + 1, self.one_child)
+    }
+
+    /// Looks up this node's lower bound in a per-query table.
+    #[inline]
+    #[must_use]
+    pub fn mindist_sq(&self, table: &NodeMindistTable) -> f32 {
+        table.lookup_parts(&self.bits, &self.prefixes)
+    }
+}
+
+/// The flattened index: dense arrays for traversal.
+#[derive(Debug, Clone, Default)]
+pub struct FlatTree {
+    /// All nodes, subtree by subtree, each subtree depth-first
+    /// (zero-child-adjacent).
+    nodes: Vec<FlatNode>,
+    /// `(root key, node index)` for every occupied root, key-ascending.
+    roots: Vec<(u16, u32)>,
+    /// Every leaf's entries, leaf-contiguous.
+    entries: Vec<LeafEntry>,
+    segments: usize,
+}
+
+impl FlatTree {
+    /// Flattens a built index (O(nodes + entries)).
+    #[must_use]
+    pub fn from_index(index: &Index) -> Self {
+        let mut flat = FlatTree {
+            nodes: Vec::new(),
+            roots: Vec::with_capacity(index.occupied_roots().len()),
+            entries: Vec::with_capacity(index.len()),
+            segments: index.config().segments(),
+        };
+        for &key in index.occupied_roots() {
+            let root = index.root(key).expect("occupied root exists");
+            let idx = flat.push_subtree(root);
+            flat.roots.push((key, idx));
+        }
+        flat
+    }
+
+    fn push_subtree(&mut self, node: &Node) -> u32 {
+        let my_index = self.nodes.len() as u32;
+        let word = node.word();
+        let mut prefixes = [0u8; MAX_SEGMENTS];
+        let mut bits = [0u8; MAX_SEGMENTS];
+        for seg in 0..word.segments() {
+            prefixes[seg] = word.prefix(seg);
+            bits[seg] = word.bits(seg);
+        }
+        let entry_start = self.entries.len() as u32;
+        self.nodes.push(FlatNode {
+            prefixes,
+            bits,
+            entry_start,
+            entry_end: entry_start,
+            one_child: NO_CHILD,
+        });
+        if let Some((_, zero, one)) = node.children() {
+            let zero_idx = self.push_subtree(zero);
+            debug_assert_eq!(zero_idx, my_index + 1, "zero child is adjacent");
+            let one_idx = self.push_subtree(one);
+            self.nodes[my_index as usize].one_child = one_idx;
+        } else {
+            self.entries
+                .extend_from_slice(node.entries().expect("resident leaf"));
+        }
+        self.nodes[my_index as usize].entry_end = self.entries.len() as u32;
+        my_index
+    }
+
+    /// Occupied `(root key, node index)` pairs, key-ascending.
+    #[inline]
+    #[must_use]
+    pub fn roots(&self) -> &[(u16, u32)] {
+        &self.roots
+    }
+
+    /// The node at `idx`.
+    #[inline]
+    #[must_use]
+    pub fn node(&self, idx: u32) -> &FlatNode {
+        &self.nodes[idx as usize]
+    }
+
+    /// All nodes.
+    #[inline]
+    #[must_use]
+    pub fn nodes(&self) -> &[FlatNode] {
+        &self.nodes
+    }
+
+    /// A leaf's entries.
+    ///
+    /// # Panics
+    /// Debug-asserts the node is a leaf (an inner node's range spans its
+    /// whole subtree).
+    #[inline]
+    #[must_use]
+    pub fn leaf_entries(&self, node: &FlatNode) -> &[LeafEntry] {
+        debug_assert!(node.is_leaf());
+        &self.entries[node.entry_range()]
+    }
+
+    /// Total number of entries.
+    #[inline]
+    #[must_use]
+    pub fn entry_count(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Number of iSAX segments.
+    #[inline]
+    #[must_use]
+    pub fn segments(&self) -> usize {
+        self.segments
+    }
+
+    /// Descends from node `idx` towards `word`, returning the leaf index.
+    #[must_use]
+    pub fn descend(&self, mut idx: u32, word: &dsidx_isax::Word) -> u32 {
+        loop {
+            let node = self.node(idx);
+            if node.is_leaf() {
+                return idx;
+            }
+            // The split segment is the one where the children carry one
+            // more bit; recover the branch from the word's next bit.
+            let (zero, one) = node.children(idx);
+            let zero_node = self.node(zero);
+            let seg = (0..self.segments)
+                .find(|&s| zero_node.bits[s] == node.bits[s] + 1)
+                .expect("inner node has a refined segment");
+            let bit = (word.symbol(seg) >> (dsidx_isax::MAX_BITS - node.bits[seg] - 1)) & 1;
+            idx = if bit == 1 { one } else { zero };
+        }
+    }
+
+    /// Like [`FlatTree::descend`], but detours around empty subtrees so
+    /// the returned leaf always holds at least one entry. Returns `None`
+    /// when the subtree at `idx` is entirely empty.
+    #[must_use]
+    pub fn descend_non_empty(&self, mut idx: u32, word: &dsidx_isax::Word) -> Option<u32> {
+        if self.node(idx).subtree_len() == 0 {
+            return None;
+        }
+        loop {
+            let node = self.node(idx);
+            if node.is_leaf() {
+                return Some(idx);
+            }
+            let (zero, one) = node.children(idx);
+            let zero_node = self.node(zero);
+            let seg = (0..self.segments)
+                .find(|&s| zero_node.bits[s] == node.bits[s] + 1)
+                .expect("inner node has a refined segment");
+            let bit = (word.symbol(seg) >> (dsidx_isax::MAX_BITS - node.bits[seg] - 1)) & 1;
+            let (matching, sibling) = if bit == 1 { (one, zero) } else { (zero, one) };
+            idx = if self.node(matching).subtree_len() > 0 { matching } else { sibling };
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::TreeConfig;
+    use dsidx_isax::Quantizer;
+
+    fn build_index(n: u64, cap: usize) -> (TreeConfig, Index, Vec<LeafEntry>) {
+        let cfg = TreeConfig::new(64, 8, cap).unwrap();
+        let mut idx = Index::new(cfg.clone());
+        let mut entries = Vec::new();
+        for seed in 0..n {
+            let mut state = seed.wrapping_mul(0x9E37_79B9_7F4A_7C15) | 1;
+            let s: Vec<f32> = (0..64)
+                .map(|_| {
+                    state ^= state << 13;
+                    state ^= state >> 7;
+                    state ^= state << 17;
+                    ((state >> 40) as f32 / 16_777_216.0) * 4.0 - 2.0
+                })
+                .collect();
+            let e = LeafEntry::new(cfg.quantizer().word(&s), seed as u32);
+            idx.insert(e);
+            entries.push(e);
+        }
+        (cfg, idx, entries)
+    }
+
+    #[test]
+    fn flattening_preserves_every_entry() {
+        let (_, idx, entries) = build_index(500, 8);
+        let flat = FlatTree::from_index(&idx);
+        assert_eq!(flat.entry_count(), 500);
+        assert_eq!(flat.roots().len(), idx.occupied_roots().len());
+        let mut seen: Vec<u32> = flat
+            .nodes()
+            .iter()
+            .filter(|n| n.is_leaf())
+            .flat_map(|n| flat.leaf_entries(n).iter().map(|e| e.pos))
+            .collect();
+        seen.sort_unstable();
+        let mut want: Vec<u32> = entries.iter().map(|e| e.pos).collect();
+        want.sort_unstable();
+        assert_eq!(seen, want);
+    }
+
+    #[test]
+    fn flat_structure_mirrors_boxed_structure() {
+        let (_, idx, _) = build_index(400, 4);
+        let flat = FlatTree::from_index(&idx);
+        // Walk both trees in lockstep.
+        fn check(flat: &FlatTree, fidx: u32, node: &Node) {
+            let fnode = flat.node(fidx);
+            assert_eq!(fnode.is_leaf(), node.is_leaf());
+            if let Some((_, zero, one)) = node.children() {
+                let (fz, fo) = fnode.children(fidx);
+                check(flat, fz, zero);
+                check(flat, fo, one);
+            } else {
+                let want: Vec<u32> = node.entries().unwrap().iter().map(|e| e.pos).collect();
+                let got: Vec<u32> = flat.leaf_entries(fnode).iter().map(|e| e.pos).collect();
+                assert_eq!(got, want);
+            }
+        }
+        for (i, &key) in idx.occupied_roots().iter().enumerate() {
+            let (fkey, fidx) = flat.roots()[i];
+            assert_eq!(fkey, key);
+            check(&flat, fidx, idx.root(key).unwrap());
+        }
+    }
+
+    #[test]
+    fn descend_agrees_with_boxed_descend() {
+        let (cfg, idx, entries) = build_index(600, 4);
+        let flat = FlatTree::from_index(&idx);
+        let q = Quantizer::new(64, 8).unwrap();
+        assert_eq!(q.segments(), cfg.segments());
+        for e in entries.iter().step_by(7) {
+            let boxed_leaf = idx.leaf_for(&e.word).unwrap();
+            let root_pos = idx.occupied_roots().binary_search(&e.word.root_key()).unwrap();
+            let (_, root_idx) = flat.roots()[root_pos];
+            let flat_leaf = flat.node(flat.descend(root_idx, &e.word));
+            let want: Vec<u32> = boxed_leaf.entries().unwrap().iter().map(|x| x.pos).collect();
+            let got: Vec<u32> = flat.leaf_entries(flat_leaf).iter().map(|x| x.pos).collect();
+            assert_eq!(got, want);
+        }
+    }
+
+    #[test]
+    fn mindist_matches_node_word_lookup() {
+        let (cfg, idx, _) = build_index(300, 4);
+        let flat = FlatTree::from_index(&idx);
+        let q = cfg.quantizer();
+        let paa: Vec<f32> = (0..8).map(|i| i as f32 * 0.2 - 0.8).collect();
+        let table = NodeMindistTable::new_point(&paa, q.segment_lens());
+        fn check(
+            flat: &FlatTree,
+            fidx: u32,
+            node: &Node,
+            table: &NodeMindistTable,
+        ) {
+            let direct = table.lookup(node.word());
+            let got = flat.node(fidx).mindist_sq(table);
+            assert!((direct - got).abs() <= direct.abs() * 1e-6 + 1e-7);
+            if let Some((_, zero, one)) = node.children() {
+                let (fz, fo) = flat.node(fidx).children(fidx);
+                check(flat, fz, zero, table);
+                check(flat, fo, one, table);
+            }
+        }
+        for (i, &key) in idx.occupied_roots().iter().enumerate() {
+            let (_, fidx) = flat.roots()[i];
+            check(&flat, fidx, idx.root(key).unwrap(), &table);
+        }
+    }
+
+    #[test]
+    fn empty_index_flattens_empty() {
+        let cfg = TreeConfig::new(64, 8, 4).unwrap();
+        let idx = Index::new(cfg);
+        let flat = FlatTree::from_index(&idx);
+        assert_eq!(flat.entry_count(), 0);
+        assert!(flat.roots().is_empty());
+        assert!(flat.nodes().is_empty());
+    }
+}

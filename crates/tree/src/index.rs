@@ -1,0 +1,270 @@
+//! The index: root slot table + configuration.
+
+use crate::config::TreeConfig;
+use crate::entry::LeafEntry;
+use crate::node::Node;
+use dsidx_isax::{NodeWord, Word};
+
+/// An iSAX tree index over a raw data source.
+///
+/// Holds one optional subtree per root key. Engines build the subtrees —
+/// serially ([`Index::insert`]) or in parallel (building `Node`s for
+/// disjoint keys and assembling with [`Index::from_roots`]) — and queries
+/// read them through [`Index::root`]/[`Index::occupied_roots`].
+#[derive(Debug)]
+pub struct Index {
+    config: TreeConfig,
+    roots: Vec<Option<Box<Node>>>,
+    /// Keys of non-empty root slots, ascending.
+    occupied: Vec<u16>,
+    len: usize,
+}
+
+impl Index {
+    /// An empty index.
+    #[must_use]
+    pub fn new(config: TreeConfig) -> Self {
+        let roots = (0..config.root_count()).map(|_| None).collect();
+        Self { config, roots, occupied: Vec::new(), len: 0 }
+    }
+
+    /// Assembles an index from subtrees built in parallel.
+    ///
+    /// `roots` must have exactly `config.root_count()` slots.
+    ///
+    /// # Panics
+    /// Panics on a slot-count mismatch.
+    #[must_use]
+    pub fn from_roots(config: TreeConfig, roots: Vec<Option<Box<Node>>>) -> Self {
+        assert_eq!(roots.len(), config.root_count(), "root slot count mismatch");
+        let occupied: Vec<u16> =
+            roots.iter().enumerate().filter(|(_, r)| r.is_some()).map(|(k, _)| k as u16).collect();
+        let len = occupied.iter().map(|&k| roots[k as usize].as_ref().map_or(0, |n| n.entry_count())).sum();
+        Self { config, roots, occupied, len }
+    }
+
+    /// Decomposes the index into its root slots (for staged parallel
+    /// builds that grow subtrees across generations).
+    #[must_use]
+    pub fn into_roots(self) -> (TreeConfig, Vec<Option<Box<Node>>>) {
+        (self.config, self.roots)
+    }
+
+    /// The configuration.
+    #[inline]
+    #[must_use]
+    pub fn config(&self) -> &TreeConfig {
+        &self.config
+    }
+
+    /// Total number of indexed entries.
+    #[inline]
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// `true` when nothing has been indexed.
+    #[inline]
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Inserts one entry (serial engines).
+    pub fn insert(&mut self, entry: LeafEntry) {
+        let key = entry.word.root_key();
+        let slot = &mut self.roots[key as usize];
+        match slot {
+            Some(node) => node.insert(entry, &self.config),
+            None => {
+                let mut node = Box::new(Node::new_leaf(NodeWord::root(
+                    key,
+                    self.config.segments(),
+                )));
+                node.insert(entry, &self.config);
+                *slot = Some(node);
+                let at = self.occupied.partition_point(|&k| k < key);
+                self.occupied.insert(at, key);
+            }
+        }
+        self.len += 1;
+    }
+
+    /// The subtree for a root key, if any.
+    #[inline]
+    #[must_use]
+    pub fn root(&self, key: u16) -> Option<&Node> {
+        self.roots[key as usize].as_deref()
+    }
+
+    /// Mutable access to a subtree slot (serial maintenance paths, e.g.
+    /// leaf flushing).
+    #[inline]
+    pub fn root_mut(&mut self, key: u16) -> Option<&mut Node> {
+        self.roots[key as usize].as_deref_mut()
+    }
+
+    /// Keys of the non-empty root subtrees, ascending.
+    #[inline]
+    #[must_use]
+    pub fn occupied_roots(&self) -> &[u16] {
+        &self.occupied
+    }
+
+    /// Descends to the leaf whose word region contains `word`.
+    ///
+    /// Returns `None` when the word's root subtree does not exist (the
+    /// caller falls back to another subtree for its approximate answer).
+    #[must_use]
+    pub fn leaf_for(&self, word: &Word) -> Option<&Node> {
+        self.root(word.root_key()).map(|n| n.descend(word))
+    }
+
+    /// Like [`Index::leaf_for`], but detours around empty subtrees so the
+    /// result (if any) always holds at least one entry — what engines seed
+    /// their approximate answers from.
+    #[must_use]
+    pub fn non_empty_leaf_for(&self, word: &Word) -> Option<&Node> {
+        self.root(word.root_key()).and_then(|n| n.descend_non_empty(word))
+    }
+
+    /// Some non-empty leaf, when the index is non-empty (fallback for
+    /// approximate answers on missing root subtrees).
+    #[must_use]
+    pub fn any_leaf(&self) -> Option<&Node> {
+        for &key in &self.occupied {
+            let mut found = None;
+            self.root(key)?.for_each_leaf(&mut |leaf| {
+                if found.is_none() && leaf.entry_count() > 0 {
+                    found = Some(leaf);
+                }
+            });
+            if found.is_some() {
+                return found;
+            }
+        }
+        None
+    }
+
+    /// Visits every leaf in the index.
+    pub fn for_each_leaf<'a>(&'a self, f: &mut impl FnMut(&'a Node)) {
+        for &key in &self.occupied {
+            if let Some(node) = self.root(key) {
+                node.for_each_leaf(f);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dsidx_isax::Quantizer;
+
+    fn config() -> TreeConfig {
+        TreeConfig::new(32, 4, 8).unwrap()
+    }
+
+    fn entry(q: &Quantizer, seed: u64) -> LeafEntry {
+        let mut state = seed.wrapping_mul(0x2545_F491_4F6C_DD1D) | 1;
+        let s: Vec<f32> = (0..32)
+            .map(|_| {
+                state ^= state << 13;
+                state ^= state >> 7;
+                state ^= state << 17;
+                ((state >> 40) as f32 / 16_777_216.0) * 4.0 - 2.0
+            })
+            .collect();
+        LeafEntry::new(q.word(&s), seed as u32)
+    }
+
+    #[test]
+    fn empty_index() {
+        let idx = Index::new(config());
+        assert!(idx.is_empty());
+        assert_eq!(idx.len(), 0);
+        assert!(idx.occupied_roots().is_empty());
+        assert!(idx.any_leaf().is_none());
+    }
+
+    #[test]
+    fn serial_inserts_are_all_findable() {
+        let cfg = config();
+        let mut idx = Index::new(cfg.clone());
+        let entries: Vec<LeafEntry> = (0..500).map(|i| entry(cfg.quantizer(), i)).collect();
+        for e in &entries {
+            idx.insert(*e);
+        }
+        assert_eq!(idx.len(), 500);
+        for e in &entries {
+            let leaf = idx.leaf_for(&e.word).expect("subtree exists");
+            assert!(leaf.entries().unwrap().iter().any(|x| x.pos == e.pos));
+        }
+        // occupied_roots is sorted and deduplicated.
+        let occ = idx.occupied_roots();
+        assert!(occ.windows(2).all(|w| w[0] < w[1]));
+        // Total across leaves equals len.
+        let mut total = 0;
+        idx.for_each_leaf(&mut |leaf| total += leaf.entry_count());
+        assert_eq!(total, 500);
+    }
+
+    #[test]
+    fn from_roots_matches_serial_build() {
+        let cfg = config();
+        let entries: Vec<LeafEntry> = (0..300).map(|i| entry(cfg.quantizer(), i)).collect();
+        // Serial reference.
+        let mut serial = Index::new(cfg.clone());
+        for e in &entries {
+            serial.insert(*e);
+        }
+        // Partitioned build.
+        let mut slots: Vec<Option<Box<Node>>> = (0..cfg.root_count()).map(|_| None).collect();
+        for e in &entries {
+            let key = e.word.root_key() as usize;
+            let node = slots[key].get_or_insert_with(|| {
+                Box::new(Node::new_leaf(NodeWord::root(key as u16, cfg.segments())))
+            });
+            node.insert(*e, &cfg);
+        }
+        let built = Index::from_roots(cfg, slots);
+        assert_eq!(built.len(), serial.len());
+        assert_eq!(built.occupied_roots(), serial.occupied_roots());
+    }
+
+    #[test]
+    fn leaf_for_missing_root_is_none() {
+        let cfg = config();
+        let mut idx = Index::new(cfg.clone());
+        let e = entry(cfg.quantizer(), 1);
+        idx.insert(e);
+        // A word with a different root key than anything inserted.
+        let mut symbols = [0u8; 4];
+        for (i, s) in symbols.iter_mut().enumerate() {
+            *s = if e.word.symbol(i) >= 128 { 0 } else { 255 };
+        }
+        let other = Word::new(&symbols);
+        assert_ne!(other.root_key(), e.word.root_key());
+        assert!(idx.leaf_for(&other).is_none());
+        assert!(idx.any_leaf().is_some());
+    }
+
+    #[test]
+    #[should_panic(expected = "slot count mismatch")]
+    fn from_roots_validates_slot_count() {
+        let _ = Index::from_roots(config(), vec![]);
+    }
+
+    #[test]
+    fn into_roots_round_trips() {
+        let cfg = config();
+        let mut idx = Index::new(cfg.clone());
+        for i in 0..50 {
+            idx.insert(entry(cfg.quantizer(), i));
+        }
+        let (cfg2, roots) = idx.into_roots();
+        let idx2 = Index::from_roots(cfg2, roots);
+        assert_eq!(idx2.len(), 50);
+    }
+}

@@ -1,0 +1,33 @@
+//! The iSAX tree index structure shared by ADS+, ParIS, ParIS+ and MESSI.
+//!
+//! The structure follows §II of the paper exactly:
+//!
+//! * the **root** fans out to up to `2^w` subtrees, one per combination of
+//!   the first bit of each of the `w` segments (the *root key*);
+//! * **inner nodes** carry a variable-cardinality [`NodeWord`] and exactly
+//!   two children, distinguished by one extra bit on one segment;
+//! * **leaf nodes** hold `(iSAX word, raw-series position)` entries up to a
+//!   capacity; an overflowing leaf splits on the segment that yields the
+//!   most balanced partition of its contents.
+//!
+//! The engines differ only in *how* they fill this structure (serially,
+//! via receiving buffers, via per-thread buffer parts) and *how* they walk
+//! it at query time — which is the paper's point, and why they share this
+//! crate.
+
+pub mod config;
+pub mod entry;
+pub mod flat;
+pub mod index;
+pub mod node;
+pub mod sax;
+pub mod stats;
+
+pub use config::TreeConfig;
+pub use entry::LeafEntry;
+pub use flat::{FlatNode, FlatTree};
+pub use index::Index;
+pub use node::{LeafChunk, LeafPayload, Node};
+pub use sax::SaxArray;
+
+pub use dsidx_isax::{NodeWord, Quantizer, Word};

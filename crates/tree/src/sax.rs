@@ -1,0 +1,70 @@
+//! The SAX array: the iSAX summary of every series, in position order.
+//!
+//! ParIS/ParIS+ keep this array in memory and answer queries by scanning it
+//! with SIMD lower-bound computations ("the iSAX summarizations are also
+//! stored in the array SAX (used during query answering)", §III).
+
+use dsidx_isax::Word;
+
+/// Position-indexed iSAX words for an entire collection.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SaxArray {
+    words: Vec<Word>,
+}
+
+impl SaxArray {
+    /// Wraps a fully populated word vector (index `i` = series `i`).
+    #[must_use]
+    pub fn new(words: Vec<Word>) -> Self {
+        Self { words }
+    }
+
+    /// Number of summarized series.
+    #[inline]
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.words.len()
+    }
+
+    /// `true` when empty.
+    #[inline]
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.words.is_empty()
+    }
+
+    /// The word of series `pos`.
+    #[inline]
+    #[must_use]
+    pub fn word(&self, pos: usize) -> &Word {
+        &self.words[pos]
+    }
+
+    /// All words, position-ordered.
+    #[inline]
+    #[must_use]
+    pub fn words(&self) -> &[Word] {
+        &self.words
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn wraps_and_indexes() {
+        let words = vec![Word::new(&[1, 2]), Word::new(&[3, 4])];
+        let sax = SaxArray::new(words.clone());
+        assert_eq!(sax.len(), 2);
+        assert!(!sax.is_empty());
+        assert_eq!(sax.word(1), &words[1]);
+        assert_eq!(sax.words(), &words[..]);
+    }
+
+    #[test]
+    fn empty() {
+        let sax = SaxArray::new(Vec::new());
+        assert!(sax.is_empty());
+    }
+}

@@ -1,0 +1,184 @@
+//! UCR-style scans under Dynamic Time Warping (the paper's §V extension).
+
+use dsidx_series::distance::dtw::{dtw_sq_bounded, envelope, lb_keogh_sq_bounded};
+use dsidx_series::{Dataset, Match};
+use dsidx_sync::{AtomicBest, WorkQueue};
+
+/// Exact 1-NN under banded DTW by serial scan with the LB_Keogh cascade.
+///
+/// For each candidate: LB_Keogh against the query envelope first (cheap,
+/// early-abandoning); only survivors pay for the banded DTW, itself
+/// early-abandoned row-wise against the best-so-far.
+///
+/// Returns `None` for an empty dataset.
+///
+/// # Panics
+/// Panics if the query length differs from the dataset's series length.
+#[must_use]
+pub fn scan_dtw(data: &Dataset, query: &[f32], band: usize) -> Option<Match> {
+    assert_eq!(query.len(), data.series_len(), "query length mismatch");
+    let mut lower = Vec::new();
+    let mut upper = Vec::new();
+    envelope(query, band, &mut lower, &mut upper);
+    let mut best: Option<Match> = None;
+    for (pos, series) in data.iter().enumerate() {
+        let limit = best.map_or(f32::INFINITY, |b| b.dist_sq);
+        if lb_keogh_sq_bounded(series, &lower, &upper, limit).is_none() {
+            continue;
+        }
+        if let Some(d) = dtw_sq_bounded(query, series, band, limit) {
+            best = Some(Match::new(pos as u32, d));
+        } else if best.is_none() {
+            // Degenerate: +inf limit only fails for non-finite costs, which
+            // finite inputs never produce — but keep an explicit fallback.
+            best = Some(Match::new(
+                pos as u32,
+                dsidx_series::distance::dtw::dtw_sq(query, series, band),
+            ));
+        }
+    }
+    best
+}
+
+/// Parallel variant of [`scan_dtw`] with a shared best-so-far.
+///
+/// Returns `None` for an empty dataset.
+///
+/// # Panics
+/// Panics if the query length differs from the dataset's series length or
+/// `threads == 0`.
+#[must_use]
+pub fn scan_dtw_parallel(
+    data: &Dataset,
+    query: &[f32],
+    band: usize,
+    threads: usize,
+) -> Option<Match> {
+    assert_eq!(query.len(), data.series_len(), "query length mismatch");
+    assert!(threads > 0, "thread count must be non-zero");
+    if data.is_empty() {
+        return None;
+    }
+    let mut lower = Vec::new();
+    let mut upper = Vec::new();
+    envelope(query, band, &mut lower, &mut upper);
+    let first = dsidx_series::distance::dtw::dtw_sq(query, data.get(0), band);
+    let best = AtomicBest::with_initial(first, 0);
+    let queue = WorkQueue::new(data.len());
+    let pool = dsidx_sync::pool::global(threads);
+    pool.broadcast(&|_worker| {
+        while let Some(range) = queue.claim_chunk(64) {
+            for pos in range {
+                let limit = best.dist_sq();
+                let series = data.get(pos);
+                if lb_keogh_sq_bounded(series, &lower, &upper, limit).is_none() {
+                    continue;
+                }
+                if let Some(d) = dtw_sq_bounded(query, series, band, limit) {
+                    best.update(d, pos as u32);
+                }
+            }
+        }
+    });
+    let (dist_sq, pos) = best.get();
+    Some(Match::new(pos, dist_sq))
+}
+
+/// Brute-force banded DTW scan (test oracle; no lower bounds, no abandons).
+#[must_use]
+pub fn brute_force_dtw(data: &Dataset, query: &[f32], band: usize) -> Option<Match> {
+    assert_eq!(query.len(), data.series_len(), "query length mismatch");
+    let mut best: Option<Match> = None;
+    for (pos, series) in data.iter().enumerate() {
+        let d = dsidx_series::distance::dtw::dtw_sq(query, series, band);
+        if best.is_none_or(|b| d < b.dist_sq) {
+            best = Some(Match::new(pos as u32, d));
+        }
+    }
+    best
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dsidx_series::gen::DatasetKind;
+
+    #[test]
+    fn scan_matches_brute_force() {
+        for kind in DatasetKind::ALL {
+            let data = kind.generate(150, 48, 31);
+            let queries = kind.queries(5, 48, 31);
+            for band in [0usize, 2, 5] {
+                for q in queries.iter() {
+                    let want = brute_force_dtw(&data, q, band).unwrap();
+                    let got = scan_dtw(&data, q, band).unwrap();
+                    assert_eq!(got.pos, want.pos, "{} band={band}", kind.name());
+                    assert!(
+                        (got.dist_sq - want.dist_sq).abs() <= want.dist_sq * 1e-4 + 1e-4
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn parallel_matches_serial() {
+        let data = DatasetKind::Sald.generate(200, 64, 13);
+        let queries = DatasetKind::Sald.queries(4, 64, 13);
+        for q in queries.iter() {
+            let want = scan_dtw(&data, q, 6).unwrap();
+            for threads in [1usize, 3, 8] {
+                let got = scan_dtw_parallel(&data, q, 6, threads).unwrap();
+                assert_eq!(got.pos, want.pos);
+                assert!((got.dist_sq - want.dist_sq).abs() <= want.dist_sq * 1e-4 + 1e-4);
+            }
+        }
+    }
+
+    #[test]
+    fn dtw_finds_warped_copy_that_ed_misses() {
+        // Plant a time-shifted copy of the query; DTW should match it with
+        // near-zero distance.
+        let base = DatasetKind::Synthetic.generate(50, 64, 3);
+        let mut flat = Vec::new();
+        let shifted: Vec<f32> = {
+            let orig = base.get(7);
+            let mut s = orig.to_vec();
+            s.rotate_right(2);
+            s
+        };
+        for (i, series) in base.iter().enumerate() {
+            if i == 20 {
+                flat.extend_from_slice(&shifted);
+            } else {
+                flat.extend_from_slice(series);
+            }
+        }
+        let data = Dataset::from_flat(flat, 64).unwrap();
+        let q = base.get(7);
+        let dtw_match = scan_dtw(&data, q, 4).unwrap();
+        // Positions 7 (original) and 20 (shifted) are both near-perfect under
+        // DTW; either is acceptable, but the distance must be tiny.
+        assert!(dtw_match.pos == 7 || dtw_match.pos == 20, "pos={}", dtw_match.pos);
+        assert!(dtw_match.dist_sq < 1.0, "dist_sq={}", dtw_match.dist_sq);
+    }
+
+    #[test]
+    fn empty_dataset_returns_none() {
+        let data = Dataset::new(8).unwrap();
+        assert!(scan_dtw(&data, &[0.0; 8], 2).is_none());
+        assert!(scan_dtw_parallel(&data, &[0.0; 8], 2, 4).is_none());
+    }
+
+    #[test]
+    fn band_zero_equals_euclidean_scan() {
+        let data = DatasetKind::Seismic.generate(100, 32, 17);
+        let queries = DatasetKind::Seismic.queries(3, 32, 17);
+        for q in queries.iter() {
+            let ed = crate::ed::scan_ed(&data, q).unwrap();
+            let dtw = scan_dtw(&data, q, 0).unwrap();
+            assert_eq!(ed.pos, dtw.pos);
+            assert!((ed.dist_sq - dtw.dist_sq).abs() <= ed.dist_sq * 1e-3 + 1e-3);
+        }
+    }
+}

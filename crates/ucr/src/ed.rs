@@ -1,0 +1,168 @@
+//! Serial UCR-style scans under Euclidean distance.
+
+use dsidx_series::distance::{abandon_order, euclidean_sq_ordered};
+use dsidx_series::{Dataset, Match};
+use dsidx_storage::{DatasetFile, StorageError};
+
+/// Exact 1-NN by serial scan over an in-memory dataset.
+///
+/// Applies the UCR Suite optimizations applicable to whole matching:
+/// early abandoning against the best-so-far, visiting points in decreasing
+/// `|query|` order.
+///
+/// Returns `None` for an empty dataset.
+///
+/// # Panics
+/// Panics if the query length differs from the dataset's series length.
+#[must_use]
+pub fn scan_ed(data: &Dataset, query: &[f32]) -> Option<Match> {
+    assert_eq!(query.len(), data.series_len(), "query length mismatch");
+    let order = abandon_order(query);
+    let mut best = Match::new(0, f32::INFINITY);
+    let mut found = false;
+    for (pos, series) in data.iter().enumerate() {
+        if let Some(d) = euclidean_sq_ordered(query, series, &order, best.dist_sq) {
+            best = Match::new(pos as u32, d);
+            found = true;
+        } else if !found {
+            // First series may tie the +inf limit (e.g. identical); keep a
+            // valid answer for the degenerate case below.
+            found = true;
+            best = Match::new(
+                pos as u32,
+                dsidx_series::distance::euclidean_sq(query, series),
+            );
+        }
+    }
+    found.then_some(best)
+}
+
+/// Exact 1-NN by serial block scan over an on-disk dataset file; reads are
+/// charged to the file's device.
+///
+/// `block_series` controls the sequential read granularity.
+///
+/// # Errors
+/// Propagates I/O failures.
+///
+/// # Panics
+/// Panics if the query length differs from the file's series length, or if
+/// `block_series == 0`.
+pub fn scan_ed_file(
+    file: &DatasetFile,
+    query: &[f32],
+    block_series: usize,
+) -> Result<Option<Match>, StorageError> {
+    assert_eq!(query.len(), file.series_len(), "query length mismatch");
+    assert!(block_series > 0, "block size must be non-zero");
+    let order = abandon_order(query);
+    let series_len = file.series_len();
+    let mut best = Match::new(0, f32::INFINITY);
+    let mut found = false;
+    let mut block = Vec::new();
+    let mut start = 0;
+    while start < file.count() {
+        let count = block_series.min(file.count() - start);
+        file.read_block(start, count, &mut block)?;
+        for (i, series) in block.chunks_exact(series_len).enumerate() {
+            let pos = (start + i) as u32;
+            if let Some(d) = euclidean_sq_ordered(query, series, &order, best.dist_sq) {
+                best = Match::new(pos, d);
+                found = true;
+            } else if !found {
+                found = true;
+                best = Match::new(pos, dsidx_series::distance::euclidean_sq(query, series));
+            }
+        }
+        start += count;
+    }
+    Ok(found.then_some(best))
+}
+
+/// Reference brute-force scan without any optimization (test oracle).
+#[must_use]
+pub fn brute_force(data: &Dataset, query: &[f32]) -> Option<Match> {
+    assert_eq!(query.len(), data.series_len(), "query length mismatch");
+    let mut best: Option<Match> = None;
+    for (pos, series) in data.iter().enumerate() {
+        let d = dsidx_series::distance::euclidean_sq(query, series);
+        if best.is_none_or(|b| d < b.dist_sq) {
+            best = Some(Match::new(pos as u32, d));
+        }
+    }
+    best
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dsidx_series::gen::{random_walk, DatasetKind};
+    use dsidx_storage::{write_dataset, Device};
+    use std::sync::Arc;
+
+    fn dev() -> Arc<Device> {
+        Arc::new(Device::unthrottled())
+    }
+
+    #[test]
+    fn scan_matches_brute_force() {
+        for kind in DatasetKind::ALL {
+            let data = kind.generate(300, 64, 11);
+            let queries = kind.queries(10, 64, 11);
+            for q in queries.iter() {
+                let got = scan_ed(&data, q).unwrap();
+                let want = brute_force(&data, q).unwrap();
+                assert_eq!(got.pos, want.pos, "{}", kind.name());
+                assert!((got.dist_sq - want.dist_sq).abs() <= want.dist_sq * 1e-4 + 1e-4);
+            }
+        }
+    }
+
+    #[test]
+    fn finds_exact_copy() {
+        let data = random_walk(100, 32, 5);
+        let q = data.get(37).to_vec();
+        let m = scan_ed(&data, &q).unwrap();
+        assert_eq!(m.pos, 37);
+        assert_eq!(m.dist_sq, 0.0);
+    }
+
+    #[test]
+    fn empty_dataset_returns_none() {
+        let data = Dataset::new(16).unwrap();
+        assert!(scan_ed(&data, &[0.0; 16]).is_none());
+    }
+
+    #[test]
+    fn single_series_dataset() {
+        let data = random_walk(1, 32, 9);
+        let q = random_walk(1, 32, 10);
+        let m = scan_ed(&data, q.get(0)).unwrap();
+        assert_eq!(m.pos, 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "query length mismatch")]
+    fn wrong_query_length_panics() {
+        let data = random_walk(5, 32, 1);
+        let _ = scan_ed(&data, &[0.0; 16]);
+    }
+
+    #[test]
+    fn file_scan_matches_memory_scan() {
+        let dir = std::env::temp_dir().join(format!("dsidx-ucr-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("scan.dsidx");
+        let data = random_walk(200, 48, 3);
+        write_dataset(&path, &data, dev()).unwrap();
+        let file = DatasetFile::open(&path, dev()).unwrap();
+        let queries = random_walk(5, 48, 99);
+        for q in queries.iter() {
+            let mem = scan_ed(&data, q).unwrap();
+            // Block size that does not divide the count exercises the tail.
+            let disk = scan_ed_file(&file, q, 37).unwrap().unwrap();
+            assert_eq!(mem.pos, disk.pos);
+            assert!((mem.dist_sq - disk.dist_sq).abs() <= mem.dist_sq * 1e-4 + 1e-4);
+        }
+    }
+}

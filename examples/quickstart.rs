@@ -1,0 +1,60 @@
+//! Quickstart: generate a collection, build each engine's index, answer
+//! exact nearest-neighbor queries.
+//!
+//! Run with: `cargo run --release --example quickstart`
+
+use dsidx::prelude::*;
+use std::time::Instant;
+
+fn main() -> Result<(), Error> {
+    // A synthetic collection in the style of the paper's evaluation:
+    // random-walk series (here 20K x 256 instead of 100M x 256).
+    let n = 20_000;
+    let len = 256;
+    println!("generating {n} random-walk series of length {len}...");
+    let data = DatasetKind::Synthetic.generate(n, len, 42);
+    let queries = DatasetKind::Synthetic.queries(5, len, 42);
+
+    let options = Options::default().with_leaf_capacity(100);
+
+    // Build with every engine and compare answers: all four are *exact*,
+    // so they must agree.
+    for engine in [Engine::Ads, Engine::Paris, Engine::Messi] {
+        let t0 = Instant::now();
+        let index = MemoryIndex::build(data.clone(), engine, &options)?;
+        let build = t0.elapsed();
+
+        let t1 = Instant::now();
+        let mut answers = Vec::new();
+        for q in queries.iter() {
+            answers.push(index.nn(q)?.expect("non-empty dataset"));
+        }
+        let query = t1.elapsed();
+
+        let stats = index.stats();
+        println!(
+            "{:<7} build {:>8.1?}  {} queries {:>8.1?}  ({} subtrees, {} leaves, depth {})",
+            engine.name(),
+            build,
+            answers.len(),
+            query,
+            stats.root_subtrees,
+            stats.leaf_count,
+            stats.max_depth,
+        );
+        for (i, m) in answers.iter().enumerate() {
+            println!("    query {i}: nearest #{:<6} dist {:.4}", m.pos, m.dist());
+        }
+    }
+
+    // The MESSI index also answers DTW queries without rebuilding (§V).
+    let index = MemoryIndex::build(data, Engine::Messi, &options)?;
+    let band = len / 20; // 5% Sakoe-Chiba band
+    let q = queries.get(0);
+    let ed = index.nn(q)?.expect("non-empty");
+    let dtw = index.nn_dtw(q, band)?.expect("non-empty");
+    println!("\nsame index, both measures (query 0):");
+    println!("    ED : #{:<6} dist {:.4}", ed.pos, ed.dist());
+    println!("    DTW: #{:<6} dist {:.4} (band {band})", dtw.pos, dtw.dist());
+    Ok(())
+}

@@ -1,0 +1,6 @@
+//! Workspace root package: hosts the cross-crate integration tests
+//! (`tests/`) and the runnable examples (`examples/`).
+//!
+//! The library users adopt is the [`dsidx`] crate (`crates/core`).
+
+pub use dsidx;

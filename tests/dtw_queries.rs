@@ -1,0 +1,71 @@
+//! The §V extension end to end: one index, two distance measures.
+
+use dsidx::prelude::*;
+use dsidx::ucr::dtw::brute_force_dtw;
+
+fn opts() -> Options {
+    Options::default().with_threads(4).with_leaf_capacity(20)
+}
+
+#[test]
+fn messi_dtw_matches_brute_force_on_all_families() {
+    for kind in DatasetKind::ALL {
+        let data = kind.generate(350, 64, 4242);
+        let queries = kind.queries(4, 64, 4242);
+        let idx = MemoryIndex::build(data.clone(), Engine::Messi, &opts()).unwrap();
+        for band in [0usize, 3, 8] {
+            for q in queries.iter() {
+                let want = brute_force_dtw(&data, q, band).unwrap();
+                let got = idx.nn_dtw(q, band).unwrap().unwrap();
+                assert_eq!(got.pos, want.pos, "{} band={band}", kind.name());
+                assert!((got.dist_sq - want.dist_sq).abs() <= want.dist_sq * 1e-4 + 1e-4);
+            }
+        }
+    }
+}
+
+#[test]
+fn non_messi_engines_fall_back_to_exact_parallel_scan() {
+    let data = DatasetKind::Sald.generate(200, 64, 99);
+    let queries = DatasetKind::Sald.queries(3, 64, 99);
+    for engine in [Engine::Ads, Engine::Paris] {
+        let idx = MemoryIndex::build(data.clone(), engine, &opts()).unwrap();
+        for q in queries.iter() {
+            let want = brute_force_dtw(&data, q, 5).unwrap();
+            let got = idx.nn_dtw(q, 5).unwrap().unwrap();
+            assert_eq!(got.pos, want.pos, "{} fallback", engine.name());
+        }
+    }
+}
+
+#[test]
+fn dtw_recovers_time_shifted_template_that_ed_misses() {
+    let data = DatasetKind::Seismic.generate(400, 128, 11);
+    let idx = MemoryIndex::build(data.clone(), Engine::Messi, &opts()).unwrap();
+    // A shifted replay of series 200.
+    let mut q = data.get(200).to_vec();
+    q.rotate_right(6);
+    dsidx::series::znorm::znormalize(&mut q);
+    let dtw_hit = idx.nn_dtw(&q, 10).unwrap().unwrap();
+    let ed_hit = idx.nn(&q).unwrap().unwrap();
+    assert_eq!(dtw_hit.pos, 200, "DTW must absorb the shift");
+    assert!(
+        dtw_hit.dist_sq < ed_hit.dist_sq * 0.5,
+        "DTW distance {} should be far below ED {}",
+        dtw_hit.dist_sq,
+        ed_hit.dist_sq
+    );
+}
+
+#[test]
+fn dtw_band_zero_equals_euclidean_answer() {
+    let data = DatasetKind::Synthetic.generate(300, 64, 17);
+    let queries = DatasetKind::Synthetic.queries(4, 64, 17);
+    let idx = MemoryIndex::build(data, Engine::Messi, &opts()).unwrap();
+    for q in queries.iter() {
+        let ed = idx.nn(q).unwrap().unwrap();
+        let dtw = idx.nn_dtw(q, 0).unwrap().unwrap();
+        assert_eq!(ed.pos, dtw.pos);
+        assert!((ed.dist_sq - dtw.dist_sq).abs() <= ed.dist_sq * 1e-3 + 1e-3);
+    }
+}

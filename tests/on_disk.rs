@@ -1,0 +1,146 @@
+//! End-to-end on-disk behaviour: the facade's `DiskIndex` over real files
+//! with modeled devices, failure injection, device accounting.
+
+use dsidx::prelude::*;
+use dsidx::storage::write_dataset;
+use dsidx::ucr::brute_force;
+use std::sync::Arc;
+
+fn tmpdir(name: &str) -> std::path::PathBuf {
+    let dir = std::env::temp_dir().join(format!("dsidx-it-{}-{name}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    dir
+}
+
+fn opts() -> Options {
+    Options::default().with_threads(4).with_leaf_capacity(20)
+}
+
+#[test]
+fn disk_engines_agree_with_brute_force() {
+    let dir = tmpdir("agree");
+    let data = DatasetKind::Synthetic.generate(600, 64, 42);
+    let path = dir.join("data.dsidx");
+    write_dataset(&path, &data, Arc::new(Device::unthrottled())).unwrap();
+    let queries = DatasetKind::Synthetic.queries(4, 64, 42);
+    for engine in [Engine::Ads, Engine::Paris, Engine::ParisPlus] {
+        let o = Options {
+            block_series: 64,
+            generation_series: 128,
+            ..opts()
+        };
+        let idx =
+            DiskIndex::build(&path, &dir, engine, &o, DeviceProfile::UNTHROTTLED).unwrap();
+        for q in queries.iter() {
+            let want = brute_force(&data, q).unwrap();
+            let got = idx.nn(q).unwrap().unwrap();
+            assert_eq!(got.pos, want.pos, "{}", engine.name());
+        }
+    }
+}
+
+#[test]
+fn build_report_reflects_overlap() {
+    let dir = tmpdir("report");
+    let n = 8000;
+    let data = DatasetKind::Synthetic.generate(n, 64, 7);
+    let path = dir.join("data.dsidx");
+    write_dataset(&path, &data, Arc::new(Device::unthrottled())).unwrap();
+    let o = Options {
+        block_series: 250,
+        generation_series: 1000,
+        leaf_capacity: 10, // more split work per generation
+        ..opts()
+    };
+    // min-of-2 damps scheduler noise in the tiny per-phase spans.
+    let stall_of = |engine: Engine| {
+        let mut best: Option<(std::time::Duration, usize, usize)> = None;
+        for _ in 0..2 {
+            let idx = DiskIndex::build(&path, &dir, engine, &o, DeviceProfile::HDD).unwrap();
+            let r = idx.build_report().expect("pipeline engines report");
+            assert_eq!(idx.stats().entry_count, n);
+            let candidate = (r.stall, r.generations, idx.stats().entry_count);
+            if best.as_ref().is_none_or(|b| candidate.0 < b.0) {
+                best = Some(candidate);
+            }
+        }
+        best.expect("two builds ran")
+    };
+    let (stall_paris, gens, _) = stall_of(Engine::Paris);
+    let (stall_plus, _, _) = stall_of(Engine::ParisPlus);
+    assert!(gens >= 5, "want several generations, got {gens}");
+    assert!(
+        stall_plus < stall_paris,
+        "ParIS+ stall ({stall_plus:?}) must be below ParIS stall ({stall_paris:?})"
+    );
+}
+
+#[test]
+fn queries_charge_the_device() {
+    let dir = tmpdir("charge");
+    let data = DatasetKind::Seismic.generate(400, 64, 3);
+    let path = dir.join("data.dsidx");
+    write_dataset(&path, &data, Arc::new(Device::unthrottled())).unwrap();
+    let idx =
+        DiskIndex::build(&path, &dir, Engine::ParisPlus, &opts(), DeviceProfile::UNTHROTTLED)
+            .unwrap();
+    idx.file().device().reset_stats();
+    let q = DatasetKind::Seismic.queries(1, 64, 3);
+    let _ = idx.nn(q.get(0)).unwrap().unwrap();
+    let stats = idx.file().device().stats();
+    assert!(stats.bytes_read > 0, "query must read raw values through the device");
+}
+
+#[test]
+fn corrupt_files_error_cleanly() {
+    let dir = tmpdir("corrupt");
+    // Not a dataset at all.
+    let bogus = dir.join("bogus.dsidx");
+    std::fs::write(&bogus, b"this is not a dataset file at all........").unwrap();
+    let e = DiskIndex::build(&bogus, &dir, Engine::Paris, &opts(), DeviceProfile::UNTHROTTLED);
+    assert!(e.is_err());
+    // Truncated payload.
+    let data = DatasetKind::Synthetic.generate(50, 32, 5);
+    let path = dir.join("trunc.dsidx");
+    write_dataset(&path, &data, Arc::new(Device::unthrottled())).unwrap();
+    let bytes = std::fs::read(&path).unwrap();
+    std::fs::write(&path, &bytes[..bytes.len() - 9]).unwrap();
+    let e = DiskIndex::build(&path, &dir, Engine::Ads, &opts(), DeviceProfile::UNTHROTTLED);
+    assert!(e.is_err(), "truncated file must be rejected");
+}
+
+#[test]
+fn wrong_length_query_errors_or_panics_contained() {
+    let dir = tmpdir("wrongq");
+    let data = DatasetKind::Synthetic.generate(50, 64, 5);
+    let path = dir.join("data.dsidx");
+    write_dataset(&path, &data, Arc::new(Device::unthrottled())).unwrap();
+    let idx =
+        DiskIndex::build(&path, &dir, Engine::Ads, &opts(), DeviceProfile::UNTHROTTLED).unwrap();
+    let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| idx.nn(&[0.0; 16])));
+    assert!(result.is_err(), "length mismatch is a programming error and panics");
+}
+
+#[test]
+fn hdd_queries_slower_than_ssd_queries() {
+    let dir = tmpdir("devices");
+    let data = DatasetKind::Synthetic.generate(3000, 64, 21);
+    let path = dir.join("data.dsidx");
+    write_dataset(&path, &data, Arc::new(Device::unthrottled())).unwrap();
+    let mut times = Vec::new();
+    let queries = DatasetKind::Synthetic.queries(3, 64, 21);
+    for profile in [DeviceProfile::HDD, DeviceProfile::SSD] {
+        let idx = DiskIndex::build(&path, &dir, Engine::ParisPlus, &opts(), profile).unwrap();
+        let t = std::time::Instant::now();
+        for q in queries.iter() {
+            let _ = idx.nn(q).unwrap().unwrap();
+        }
+        times.push(t.elapsed());
+    }
+    assert!(
+        times[0] > times[1],
+        "HDD ({:?}) should be slower than SSD ({:?})",
+        times[0],
+        times[1]
+    );
+}

@@ -1,0 +1,82 @@
+//! Cross-crate property tests: for arbitrary (small) collections and
+//! queries, every engine's answer equals brute force — the system-level
+//! statement of the lower-bound soundness invariant.
+
+use dsidx::prelude::*;
+use dsidx::ucr::{brute_force, dtw::brute_force_dtw};
+use proptest::prelude::*;
+
+/// A z-normalized collection plus one query, as flat data.
+fn collection() -> impl Strategy<Value = (usize, Vec<f32>, Vec<f32>)> {
+    (8usize..64).prop_flat_map(|len| {
+        (1usize..60).prop_flat_map(move |count| {
+            (
+                Just(len),
+                prop::collection::vec(-10.0f32..10.0, count * len),
+                prop::collection::vec(-10.0f32..10.0, len),
+            )
+        })
+    })
+}
+
+fn normalize(len: usize, flat: Vec<f32>) -> Dataset {
+    let mut ds = Dataset::from_flat(flat, len).unwrap();
+    ds.znormalize_all();
+    ds
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn engines_equal_brute_force((len, flat, mut q) in collection(), leaf in 1usize..40) {
+        let data = normalize(len, flat);
+        dsidx::series::znorm::znormalize(&mut q);
+        let want = brute_force(&data, &q).unwrap();
+        let opts = Options::default()
+            .with_threads(3)
+            .with_leaf_capacity(leaf)
+            .with_segments(8.min(len));
+        for engine in Engine::ALL {
+            let idx = MemoryIndex::build(data.clone(), engine, &opts).unwrap();
+            let got = idx.nn(&q).unwrap().unwrap();
+            // Positions may differ only on exact distance ties.
+            if got.pos != want.pos {
+                prop_assert!((got.dist_sq - want.dist_sq).abs() <= want.dist_sq * 1e-4 + 1e-4,
+                    "{}: pos {} vs {} with dists {} vs {}",
+                    engine.name(), got.pos, want.pos, got.dist_sq, want.dist_sq);
+            } else {
+                prop_assert!((got.dist_sq - want.dist_sq).abs() <= want.dist_sq * 1e-4 + 1e-4);
+            }
+        }
+    }
+
+    #[test]
+    fn messi_dtw_equals_brute_force((len, flat, mut q) in collection(), band in 0usize..8) {
+        let data = normalize(len, flat);
+        dsidx::series::znorm::znormalize(&mut q);
+        let want = brute_force_dtw(&data, &q, band).unwrap();
+        let opts = Options::default()
+            .with_threads(2)
+            .with_leaf_capacity(10)
+            .with_segments(8.min(len));
+        let idx = MemoryIndex::build(data, Engine::Messi, &opts).unwrap();
+        let got = idx.nn_dtw(&q, band).unwrap().unwrap();
+        prop_assert!((got.dist_sq - want.dist_sq).abs() <= want.dist_sq * 1e-4 + 1e-4,
+            "dtw dist mismatch: {} vs {}", got.dist_sq, want.dist_sq);
+    }
+
+    #[test]
+    fn index_structure_is_valid_for_any_input((len, flat, _q) in collection(), leaf in 1usize..20) {
+        let data = normalize(len, flat);
+        let opts = Options::default()
+            .with_threads(2)
+            .with_leaf_capacity(leaf)
+            .with_segments(8.min(len));
+        let tree = opts.tree_config(len).unwrap();
+        let (ads, _) = dsidx::ads::build_from_dataset(&data, &tree);
+        dsidx::tree::stats::validate(&ads.index);
+        let stats = dsidx::tree::stats::index_stats(&ads.index);
+        prop_assert_eq!(stats.entry_count, data.len());
+    }
+}
