@@ -30,8 +30,15 @@ pub struct AdsBuildReport {
 /// # Panics
 /// Panics if the dataset's series length differs from the configuration's.
 #[must_use]
-pub fn build_from_dataset(data: &dsidx_series::Dataset, config: &TreeConfig) -> (AdsIndex, AdsBuildReport) {
-    assert_eq!(data.series_len(), config.series_len(), "series length mismatch");
+pub fn build_from_dataset(
+    data: &dsidx_series::Dataset,
+    config: &TreeConfig,
+) -> (AdsIndex, AdsBuildReport) {
+    assert_eq!(
+        data.series_len(),
+        config.series_len(),
+        "series length mismatch"
+    );
     let t0 = Instant::now();
     let quantizer = config.quantizer();
     let mut paa = vec![0.0f32; config.segments()];
@@ -40,8 +47,18 @@ pub fn build_from_dataset(data: &dsidx_series::Dataset, config: &TreeConfig) -> 
         words.push(quantizer.word_into(series, &mut paa));
     }
     let index = bulk_build(&words, config);
-    let report = AdsBuildReport { read: Duration::ZERO, cpu: t0.elapsed(), total: t0.elapsed() };
-    (AdsIndex { index, sax: SaxArray::new(words) }, report)
+    let report = AdsBuildReport {
+        read: Duration::ZERO,
+        cpu: t0.elapsed(),
+        total: t0.elapsed(),
+    };
+    (
+        AdsIndex {
+            index,
+            sax: SaxArray::new(words),
+        },
+        report,
+    )
 }
 
 /// Builds serially from an on-disk dataset file, reading sequential blocks
@@ -57,7 +74,11 @@ pub fn build_from_file(
     config: &TreeConfig,
     block_series: usize,
 ) -> Result<(AdsIndex, AdsBuildReport), StorageError> {
-    assert_eq!(file.series_len(), config.series_len(), "series length mismatch");
+    assert_eq!(
+        file.series_len(),
+        config.series_len(),
+        "series length mismatch"
+    );
     assert!(block_series > 0, "block size must be non-zero");
     let t0 = Instant::now();
     let mut read = Duration::ZERO;
@@ -83,8 +104,18 @@ pub fn build_from_file(
     let tc = Instant::now();
     let index = bulk_build(&words, config);
     cpu += tc.elapsed();
-    let report = AdsBuildReport { read, cpu, total: t0.elapsed() };
-    Ok((AdsIndex { index, sax: SaxArray::new(words) }, report))
+    let report = AdsBuildReport {
+        read,
+        cpu,
+        total: t0.elapsed(),
+    };
+    Ok((
+        AdsIndex {
+            index,
+            sax: SaxArray::new(words),
+        },
+        report,
+    ))
 }
 
 /// ADS+-style buffered bulk load: group entries per root subtree first,

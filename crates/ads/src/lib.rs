@@ -17,4 +17,5 @@ pub mod build;
 pub mod query;
 
 pub use build::{build_from_dataset, build_from_file, AdsBuildReport, AdsIndex};
-pub use query::{exact_nn, AdsQueryStats};
+pub use dsidx_query::QueryStats;
+pub use query::exact_nn;

@@ -1,21 +1,17 @@
 //! SIMS-style serial exact query answering.
+//!
+//! All heavy lifting comes from the shared kernel (`dsidx-query`): query
+//! preparation, approximate-descent seeding, and the interleaved
+//! lower-bound/verify scan. ADS+ contributes only the scheduling — one
+//! thread, position order.
 
 use crate::build::AdsIndex;
-use dsidx_isax::MindistTable;
-use dsidx_series::distance::{euclidean_sq, euclidean_sq_bounded};
+use dsidx_query::{
+    approx_leaf, scan_sax_serial, seed_from_entries, PreparedQuery, QueryStats, SeriesFetcher,
+};
 use dsidx_series::Match;
 use dsidx_storage::{RawSource, StorageError};
-
-/// Counters from one exact query (pruning-effectiveness reporting).
-#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
-pub struct AdsQueryStats {
-    /// Lower bounds evaluated over the SAX array.
-    pub lb_computed: u64,
-    /// Candidates whose lower bound beat the BSF.
-    pub candidates: u64,
-    /// Real distances fully evaluated (not early-abandoned).
-    pub real_computed: u64,
-}
+use dsidx_sync::AtomicBest;
 
 /// Exact 1-NN via the serial index path: approximate descent for an
 /// initial best-so-far, then a serial SAX-array scan with lower-bound
@@ -32,63 +28,34 @@ pub fn exact_nn(
     ads: &AdsIndex,
     source: &impl RawSource,
     query: &[f32],
-) -> Result<Option<(Match, AdsQueryStats)>, StorageError> {
+) -> Result<Option<(Match, QueryStats)>, StorageError> {
     let config = ads.index.config();
     assert_eq!(query.len(), config.series_len(), "query length mismatch");
     if ads.index.is_empty() {
         return Ok(None);
     }
-    let quantizer = config.quantizer();
-    let mut paa = vec![0.0f32; config.segments()];
-    quantizer.paa_into(query, &mut paa);
-    let query_word = quantizer.word_from_paa(&paa);
-    let mut stats = AdsQueryStats::default();
-    let mut scratch = vec![0.0f32; config.series_len()];
-    let memory = source.as_memory();
+    let prep = PreparedQuery::new(config.quantizer(), query);
+    let mut fetcher = SeriesFetcher::new(source);
+    let best = AtomicBest::new();
+    let mut stats = QueryStats::default();
 
     // Step 1: approximate answer from the closest leaf.
-    let leaf = ads
-        .index
-        .non_empty_leaf_for(&query_word)
-        .or_else(|| ads.index.any_leaf())
-        .expect("non-empty index has a non-empty leaf");
-    let mut best = Match::new(u32::MAX, f32::INFINITY);
-    for e in leaf.entries().expect("serial leaves are resident") {
-        let d = if let Some(ds) = memory {
-            euclidean_sq(query, ds.get(e.pos as usize))
-        } else {
-            source.read_into(e.pos as usize, &mut scratch)?;
-            euclidean_sq(query, &scratch)
-        };
-        stats.real_computed += 1;
-        if d < best.dist_sq || (d == best.dist_sq && e.pos < best.pos) {
-            best = Match::new(e.pos, d);
-        }
-    }
+    let leaf = approx_leaf(&ads.index, &prep.word).expect("non-empty index has a non-empty leaf");
+    let entries = leaf.entries().expect("serial leaves are resident");
+    stats.real_computed += seed_from_entries(entries, &mut fetcher, query, &best)?;
 
     // Step 2: SIMS — serial scan of the SAX array with lower-bound pruning.
-    let table = MindistTable::new_point(&paa, quantizer.segment_lens());
-    for (pos, word) in ads.sax.words().iter().enumerate() {
-        stats.lb_computed += 1;
-        let lb = table.lookup(word);
-        if lb >= best.dist_sq {
-            continue;
-        }
-        stats.candidates += 1;
-        let d = if let Some(ds) = memory {
-            euclidean_sq_bounded(query, ds.get(pos), best.dist_sq)
-        } else {
-            source.read_into(pos, &mut scratch)?;
-            euclidean_sq_bounded(query, &scratch, best.dist_sq)
-        };
-        if let Some(d) = d {
-            stats.real_computed += 1;
-            if d < best.dist_sq || (d == best.dist_sq && (pos as u32) < best.pos) {
-                best = Match::new(pos as u32, d);
-            }
-        }
-    }
-    Ok(Some((best, stats)))
+    scan_sax_serial(
+        ads.sax.words(),
+        &prep.table,
+        &mut fetcher,
+        query,
+        &best,
+        &mut stats,
+    )?;
+
+    let (dist_sq, pos) = best.get();
+    Ok(Some((Match::new(pos, dist_sq), stats)))
 }
 
 #[cfg(test)]
@@ -134,7 +101,10 @@ mod tests {
                 pruned_everything = false;
             }
         }
-        assert!(pruned_everything, "lower bounds should prune most sines candidates");
+        assert!(
+            pruned_everything,
+            "lower bounds should prune most sines candidates"
+        );
     }
 
     #[test]
@@ -171,5 +141,23 @@ mod tests {
             assert_eq!(m.pos as usize, pos);
             assert_eq!(m.dist_sq, 0.0);
         }
+    }
+
+    #[test]
+    fn stats_account_seeding_and_scan_uniformly() {
+        // The unified QueryStats semantics: real_computed includes the
+        // seeding pass (every leaf entry pays a full distance) plus the
+        // non-abandoned scan survivors; tree-only counters stay zero for
+        // this scan-based engine.
+        let data = DatasetKind::Synthetic.generate(150, 64, 17);
+        let (ads, _) = build_from_dataset(&data, &config());
+        let q = DatasetKind::Synthetic.queries(1, 64, 17);
+        let (_, stats) = exact_nn(&ads, &data, q.get(0)).unwrap().unwrap();
+        assert_eq!(stats.lb_computed, 150);
+        assert!(stats.real_computed >= 1, "seeding pays at least one real");
+        assert_eq!(stats.nodes_pruned, 0);
+        assert_eq!(stats.leaves_enqueued, 0);
+        assert_eq!(stats.lb_entry_computed, 0);
+        assert_eq!(stats.lb_total(), 150);
     }
 }

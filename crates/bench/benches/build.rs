@@ -21,10 +21,14 @@ fn bench_build(c: &mut Criterion) {
     group.bench_function("ads_serial_20k", |b| {
         b.iter(|| dsidx::ads::build_from_dataset(&data, &tree));
     });
-    group.bench_with_input(BenchmarkId::new("paris_in_memory_20k", threads), &threads, |b, &t| {
-        let cfg = ParisConfig::new(tree.clone(), t);
-        b.iter(|| build_in_memory(&data, &cfg));
-    });
+    group.bench_with_input(
+        BenchmarkId::new("paris_in_memory_20k", threads),
+        &threads,
+        |b, &t| {
+            let cfg = ParisConfig::new(tree.clone(), t);
+            b.iter(|| build_in_memory(&data, &cfg));
+        },
+    );
     group.bench_with_input(BenchmarkId::new("messi_20k", threads), &threads, |b, &t| {
         let cfg = MessiConfig::new(tree.clone(), t);
         b.iter(|| messi_build(&data, &cfg));

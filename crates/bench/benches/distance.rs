@@ -10,7 +10,10 @@ use std::time::Duration;
 
 fn bench_distance(c: &mut Criterion) {
     let mut group = c.benchmark_group("distance");
-    group.sample_size(20).measurement_time(Duration::from_millis(600)).warm_up_time(Duration::from_millis(150));
+    group
+        .sample_size(20)
+        .measurement_time(Duration::from_millis(600))
+        .warm_up_time(Duration::from_millis(150));
     for len in [128usize, 256, 1024] {
         let data = random_walk(2, len, 7);
         let (a, b) = (data.get(0), data.get(1));
@@ -30,7 +33,10 @@ fn bench_distance(c: &mut Criterion) {
     group.finish();
 
     let mut group = c.benchmark_group("dtw");
-    group.sample_size(15).measurement_time(Duration::from_millis(600)).warm_up_time(Duration::from_millis(150));
+    group
+        .sample_size(15)
+        .measurement_time(Duration::from_millis(600))
+        .warm_up_time(Duration::from_millis(150));
     let data = random_walk(2, 256, 9);
     let (a, b) = (data.get(0), data.get(1));
     for band in [5usize, 13, 26] {

@@ -10,7 +10,10 @@ use std::time::Duration;
 
 fn bench_isax(c: &mut Criterion) {
     let mut group = c.benchmark_group("isax");
-    group.sample_size(20).measurement_time(Duration::from_millis(600)).warm_up_time(Duration::from_millis(150));
+    group
+        .sample_size(20)
+        .measurement_time(Duration::from_millis(600))
+        .warm_up_time(Duration::from_millis(150));
     let len = 256;
     let quantizer = Quantizer::new(len, 16).unwrap();
     let data = random_walk(1024, len, 5);

@@ -19,7 +19,9 @@ fn main() {
     while let Some(arg) = iter.next() {
         match arg.as_str() {
             "--scale" => {
-                let value = iter.next().unwrap_or_else(|| usage("missing value for --scale"));
+                let value = iter
+                    .next()
+                    .unwrap_or_else(|| usage("missing value for --scale"));
                 scale = Scale::parse(value).unwrap_or_else(|e| usage(&e));
             }
             "--list" => {
@@ -37,7 +39,10 @@ fn main() {
         usage("no experiment selected");
     }
     if selected.iter().any(|s| s == "all") {
-        selected = experiments::ALL.iter().map(|(id, _, _)| (*id).to_owned()).collect();
+        selected = experiments::ALL
+            .iter()
+            .map(|(id, _, _)| (*id).to_owned())
+            .collect();
     }
 
     println!(

@@ -10,10 +10,13 @@ use crate::{core_ladder, f, mem_dataset, ms, Scale, Table};
 use dsidx::messi::{build, BufferMode, MessiConfig};
 use dsidx::prelude::*;
 
+/// Runs this experiment at the given scale, printing its table and CSV.
 pub fn run(scale: &Scale) {
     let kind = DatasetKind::Synthetic;
     let data = mem_dataset(kind, scale);
-    let tree = Options::default().tree_config(data.series_len()).expect("valid config");
+    let tree = Options::default()
+        .tree_config(data.series_len())
+        .expect("valid config");
 
     let mut table = Table::new(
         "abl-buffers",
@@ -27,8 +30,8 @@ pub fn run(scale: &Scale) {
             phases.summarize
         };
         let locked = {
-            let cfg = MessiConfig::new(tree.clone(), cores)
-                .with_buffer_mode(BufferMode::LockedShared);
+            let cfg =
+                MessiConfig::new(tree.clone(), cores).with_buffer_mode(BufferMode::LockedShared);
             let (_, phases) = build(&data, &cfg);
             phases.summarize
         };

@@ -9,6 +9,7 @@ use crate::{core_ladder, f, mem_dataset, ms, queries, time_queries, Scale, Table
 use dsidx::messi::{build, MessiConfig};
 use dsidx::prelude::*;
 
+/// Runs this experiment at the given scale, printing its table and CSV.
 pub fn run(scale: &Scale) {
     let cores = *core_ladder(&[24]).last().expect("non-empty");
     dsidx::sync::pool::global(cores).broadcast(&|_| {});
@@ -21,7 +22,12 @@ pub fn run(scale: &Scale) {
 
     let mut table = Table::new(
         "abl-queues",
-        &["queues", "avg_query_ms", "leaves_processed", "real_computed"],
+        &[
+            "queues",
+            "avg_query_ms",
+            "leaves_processed",
+            "real_computed",
+        ],
     );
     for queues in [1usize, cores.div_ceil(2), cores, 2 * cores, 4 * cores] {
         let cfg = MessiConfig::new(tree.clone(), cores).with_queues(queues);

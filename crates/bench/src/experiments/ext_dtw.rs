@@ -9,12 +9,16 @@ use crate::{core_ladder, f, mem_dataset, ms, queries, time_queries, Scale, Table
 use dsidx::messi::MessiConfig;
 use dsidx::prelude::*;
 
+/// Runs this experiment at the given scale, printing its table and CSV.
 pub fn run(scale: &Scale) {
     let cores = *core_ladder(&[24]).last().expect("non-empty");
     dsidx::sync::pool::global(cores).broadcast(&|_| {});
     let kind = DatasetKind::Synthetic;
     // DTW is O(n * band) per candidate; keep the collection smaller.
-    let reduced = Scale { mem_series: scale.mem_series / 5, ..*scale };
+    let reduced = Scale {
+        mem_series: scale.mem_series / 5,
+        ..*scale
+    };
     let data = mem_dataset(kind, &reduced);
     let len = data.series_len();
     let tree = Options::default().tree_config(len).expect("valid config");
@@ -24,7 +28,12 @@ pub fn run(scale: &Scale) {
 
     let mut table = Table::new(
         "ext-dtw",
-        &["band_pct", "ucr_dtw_serial_ms", "ucr_dtw_p_ms", "messi_dtw_ms"],
+        &[
+            "band_pct",
+            "ucr_dtw_serial_ms",
+            "ucr_dtw_p_ms",
+            "messi_dtw_ms",
+        ],
     );
     for band_pct in [2usize, 5, 10] {
         let band = len * band_pct / 100;

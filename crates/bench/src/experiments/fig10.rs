@@ -11,6 +11,7 @@ use dsidx::prelude::*;
 use dsidx::storage::DatasetFile;
 use std::sync::Arc;
 
+/// Runs this experiment at the given scale, printing its table and CSV.
 pub fn run(scale: &Scale) {
     run_profile(scale, DeviceProfile::HDD, "fig10");
 }
@@ -18,12 +19,17 @@ pub fn run(scale: &Scale) {
 pub(crate) fn run_profile(scale: &Scale, profile: DeviceProfile, table_name: &str) {
     let cores = *crate::core_ladder(&[24]).last().expect("non-empty");
     dsidx::sync::pool::global(cores).broadcast(&|_| {});
-    let mut table =
-        Table::new(table_name, &["dataset", "engine", "avg_query_ms", "vs_parisplus"]);
+    let mut table = Table::new(
+        table_name,
+        &["dataset", "engine", "avg_query_ms", "vs_parisplus"],
+    );
     for kind in DatasetKind::ALL {
         let len = scale.len_for(kind);
         let path = disk_dataset(kind, scale.disk_series, len);
-        let tree = Options::default().with_leaf_capacity(20).tree_config(len).expect("valid config");
+        let tree = Options::default()
+            .with_leaf_capacity(20)
+            .tree_config(len)
+            .expect("valid config");
         let qs = crate::queries_planted(kind, scale.disk_queries, scale);
 
         // UCR Suite: serial sequential scan over the file.
@@ -63,9 +69,24 @@ pub(crate) fn run_profile(scale: &Scale, profile: DeviceProfile, table_name: &st
         });
 
         let ratio = |d: std::time::Duration| d.as_secs_f64() / paris_t.as_secs_f64();
-        table.row(&[kind.name().into(), "UCR Suite".into(), f(ms(ucr)), f(ratio(ucr))]);
-        table.row(&[kind.name().into(), "ADS+".into(), f(ms(ads_t)), f(ratio(ads_t))]);
-        table.row(&[kind.name().into(), "ParIS+".into(), f(ms(paris_t)), "1.00".into()]);
+        table.row(&[
+            kind.name().into(),
+            "UCR Suite".into(),
+            f(ms(ucr)),
+            f(ratio(ucr)),
+        ]);
+        table.row(&[
+            kind.name().into(),
+            "ADS+".into(),
+            f(ms(ads_t)),
+            f(ratio(ads_t)),
+        ]);
+        table.row(&[
+            kind.name().into(),
+            "ParIS+".into(),
+            f(ms(paris_t)),
+            "1.00".into(),
+        ]);
     }
     table.finish();
     println!("shape check: per dataset, ParIS+ < ADS+ < UCR Suite in avg_query_ms.");

@@ -8,6 +8,7 @@
 use crate::Scale;
 use dsidx::prelude::DeviceProfile;
 
+/// Runs this experiment at the given scale, printing its table and CSV.
 pub fn run(scale: &Scale) {
     super::fig10::run_profile(scale, DeviceProfile::SSD, "fig11");
 }

@@ -14,12 +14,19 @@ use dsidx::messi::MessiConfig;
 use dsidx::paris::ParisConfig;
 use dsidx::prelude::*;
 
+/// Runs this experiment at the given scale, printing its table and CSV.
 pub fn run(scale: &Scale) {
     let cores = *core_ladder(&[24]).last().expect("non-empty");
     dsidx::sync::pool::global(cores).broadcast(&|_| {});
     let mut table = Table::new(
         "fig12",
-        &["dataset", "engine", "avg_query_ms", "lb_computed", "real_computed"],
+        &[
+            "dataset",
+            "engine",
+            "avg_query_ms",
+            "lb_computed",
+            "real_computed",
+        ],
     );
     for kind in DatasetKind::ALL {
         let data = mem_dataset(kind, scale);
@@ -27,7 +34,8 @@ pub fn run(scale: &Scale) {
         let tree = Options::default().tree_config(len).expect("valid config");
         let qs = queries(kind, scale.mem_queries, len);
 
-        let (paris, _) = dsidx::paris::build_in_memory(&data, &ParisConfig::new(tree.clone(), cores));
+        let (paris, _) =
+            dsidx::paris::build_in_memory(&data, &ParisConfig::new(tree.clone(), cores));
         let mcfg = MessiConfig::new(tree.clone(), cores);
         let (messi, _) = dsidx::messi::build(&data, &mcfg);
 
@@ -47,19 +55,20 @@ pub fn run(scale: &Scale) {
             let _ = dsidx::messi::exact_nn(&messi, &data, q, &mcfg);
         });
 
-        // Work counters, averaged over the workload.
-        let mut p_lb = 0u64;
-        let mut p_real = 0u64;
-        let mut m_lb = 0u64;
-        let mut m_real = 0u64;
+        // Work counters, averaged over the workload — both engines report
+        // through the unified `QueryStats`, so aggregation is uniform.
+        let mut paris_stats = dsidx::query::QueryStats::default();
+        let mut messi_stats = dsidx::query::QueryStats::default();
         for q in qs.iter() {
-            let (_, ps) = dsidx::paris::exact_nn(&paris, &data, q, cores).expect("query").unwrap();
-            p_lb += ps.lb_computed;
-            p_real += ps.real_computed;
+            let (_, ps) = dsidx::paris::exact_nn(&paris, &data, q, cores)
+                .expect("query")
+                .unwrap();
+            paris_stats = paris_stats.merged(&ps);
             let (_, ms_) = dsidx::messi::exact_nn(&messi, &data, q, &mcfg).unwrap();
-            m_lb += ms_.lb_entry_computed + ms_.nodes_pruned + ms_.leaves_enqueued;
-            m_real += ms_.real_computed;
+            messi_stats = messi_stats.merged(&ms_);
         }
+        let (p_lb, p_real) = (paris_stats.lb_total(), paris_stats.real_computed);
+        let (m_lb, m_real) = (messi_stats.lb_total(), messi_stats.real_computed);
         let nq = qs.len() as u64;
         table.row(&[
             kind.name().into(),

@@ -13,24 +13,35 @@ use dsidx::prelude::*;
 use dsidx::storage::DatasetFile;
 use std::sync::Arc;
 
+/// Runs this experiment at the given scale, printing its table and CSV.
 pub fn run(scale: &Scale) {
     let kind = DatasetKind::Synthetic;
     let len = scale.len_for(kind);
     let path = disk_dataset(kind, scale.disk_series, len);
-    let tree = Options::default().with_leaf_capacity(20).tree_config(len).expect("valid config");
+    let tree = Options::default()
+        .with_leaf_capacity(20)
+        .tree_config(len)
+        .expect("valid config");
     let generation = (scale.disk_series / 8).max(1024);
 
     let mut table = Table::new(
         "fig4",
-        &["engine", "cores", "total_ms", "read_ms", "cpu_ms", "write_ms", "generations"],
+        &[
+            "engine",
+            "cores",
+            "total_ms",
+            "read_ms",
+            "cpu_ms",
+            "write_ms",
+            "generations",
+        ],
     );
 
     // ADS+ reference at one core.
     {
         let device = Arc::new(Device::new(DeviceProfile::HDD));
         let file = DatasetFile::open(&path, device).expect("open dataset");
-        let (_, rep) =
-            dsidx::ads::build_from_file(&file, &tree, 1024).expect("ads build");
+        let (_, rep) = dsidx::ads::build_from_file(&file, &tree, 1024).expect("ads build");
         table.row(&[
             "ADS+".into(),
             "1".into(),

@@ -7,6 +7,7 @@ use crate::{core_ladder, f, mem_dataset, ms, Scale, Table};
 use dsidx::messi::{build, MessiConfig};
 use dsidx::prelude::*;
 
+/// Runs this experiment at the given scale, printing its table and CSV.
 pub fn run(scale: &Scale) {
     let kind = DatasetKind::Synthetic;
     let data = mem_dataset(kind, scale);
@@ -14,8 +15,10 @@ pub fn run(scale: &Scale) {
         .tree_config(data.series_len())
         .expect("valid config");
 
-    let mut table =
-        Table::new("fig5", &["cores", "total_ms", "summarize_ms", "tree_ms", "speedup"]);
+    let mut table = Table::new(
+        "fig5",
+        &["cores", "total_ms", "summarize_ms", "tree_ms", "speedup"],
+    );
     let mut base = None;
     for &cores in &core_ladder(&[1, 4, 6, 12, 24]) {
         let cfg = MessiConfig::new(tree.clone(), cores);

@@ -10,20 +10,29 @@ use dsidx::prelude::*;
 use dsidx::storage::DatasetFile;
 use std::sync::Arc;
 
+/// Runs this experiment at the given scale, printing its table and CSV.
 pub fn run(scale: &Scale) {
     let cores = *core_ladder(&[24]).last().expect("non-empty ladder");
     let mut table = Table::new("fig6", &["dataset", "engine", "cores", "total_ms"]);
     for kind in DatasetKind::ALL {
         let len = scale.len_for(kind);
         let path = disk_dataset(kind, scale.disk_series, len);
-        let tree = Options::default().with_leaf_capacity(20).tree_config(len).expect("valid config");
+        let tree = Options::default()
+            .with_leaf_capacity(20)
+            .tree_config(len)
+            .expect("valid config");
         let generation = (scale.disk_series / 8).max(1024);
 
         // ADS+ (serial).
         let device = Arc::new(Device::new(DeviceProfile::HDD));
         let file = DatasetFile::open(&path, device).expect("open dataset");
         let (_, rep) = dsidx::ads::build_from_file(&file, &tree, 1024).expect("ads build");
-        table.row(&[kind.name().into(), "ADS+".into(), "1".into(), f(ms(rep.total))]);
+        table.row(&[
+            kind.name().into(),
+            "ADS+".into(),
+            "1".into(),
+            f(ms(rep.total)),
+        ]);
 
         for mode in [Overlap::Paris, Overlap::ParisPlus] {
             let device = Arc::new(Device::new(DeviceProfile::HDD));

@@ -10,13 +10,19 @@ use dsidx::messi::{build as messi_build, MessiConfig};
 use dsidx::paris::{build_in_memory, ParisConfig};
 use dsidx::prelude::*;
 
+/// Runs this experiment at the given scale, printing its table and CSV.
 pub fn run(scale: &Scale) {
     let cores = *core_ladder(&[24]).last().expect("non-empty ladder");
     dsidx::sync::pool::global(cores).broadcast(&|_| {});
-    let mut table = Table::new("fig7", &["dataset", "engine", "cores", "total_ms", "messi_speedup"]);
+    let mut table = Table::new(
+        "fig7",
+        &["dataset", "engine", "cores", "total_ms", "messi_speedup"],
+    );
     for kind in DatasetKind::ALL {
         let data = mem_dataset(kind, scale);
-        let tree = Options::default().tree_config(data.series_len()).expect("valid config");
+        let tree = Options::default()
+            .tree_config(data.series_len())
+            .expect("valid config");
 
         let pcfg = ParisConfig::new(tree.clone(), cores);
         let (_, paris_t) = time(|| build_in_memory(&data, &pcfg));

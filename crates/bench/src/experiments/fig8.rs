@@ -11,11 +11,15 @@ use dsidx::prelude::*;
 use dsidx::storage::DatasetFile;
 use std::sync::Arc;
 
+/// Runs this experiment at the given scale, printing its table and CSV.
 pub fn run(scale: &Scale) {
     let kind = DatasetKind::Synthetic;
     let len = scale.len_for(kind);
     let path = disk_dataset(kind, scale.disk_series, len);
-    let tree = Options::default().with_leaf_capacity(20).tree_config(len).expect("valid config");
+    let tree = Options::default()
+        .with_leaf_capacity(20)
+        .tree_config(len)
+        .expect("valid config");
     let qs = crate::queries_planted(kind, scale.disk_queries, scale);
 
     let mut table = Table::new("fig8", &["device", "cores", "avg_query_ms"]);
@@ -26,8 +30,8 @@ pub fn run(scale: &Scale) {
             .with_block_series(1024.min(scale.disk_series))
             .with_generation_series((scale.disk_series / 4).max(1024));
         let store = crate::data_dir().join(format!("fig8-{}.leaf", profile.name));
-        let (paris, _) = build_on_disk(&file, &store, &cfg, Overlap::ParisPlus)
-            .expect("paris build");
+        let (paris, _) =
+            build_on_disk(&file, &store, &cfg, Overlap::ParisPlus).expect("paris build");
         for &cores in &core_ladder(&[2, 4, 6, 12, 24]) {
             dsidx::sync::pool::global(cores).broadcast(&|_| {});
             let avg = time_queries(&qs, |q| {

@@ -9,6 +9,7 @@ use dsidx::messi::MessiConfig;
 use dsidx::paris::ParisConfig;
 use dsidx::prelude::*;
 
+/// Runs this experiment at the given scale, printing its table and CSV.
 pub fn run(scale: &Scale) {
     let kind = DatasetKind::Synthetic;
     let data = mem_dataset(kind, scale);
@@ -17,7 +18,8 @@ pub fn run(scale: &Scale) {
     let qs = queries(kind, scale.mem_queries, len);
 
     let build_cores = *core_ladder(&[24]).last().expect("non-empty");
-    let (paris, _) = dsidx::paris::build_in_memory(&data, &ParisConfig::new(tree.clone(), build_cores));
+    let (paris, _) =
+        dsidx::paris::build_in_memory(&data, &ParisConfig::new(tree.clone(), build_cores));
     let (messi, _) = dsidx::messi::build(&data, &MessiConfig::new(tree.clone(), build_cores));
 
     let mut table = Table::new("fig9", &["cores", "ucr_p_ms", "paris_ms", "messi_ms"]);
@@ -33,7 +35,12 @@ pub fn run(scale: &Scale) {
         let messi_t = time_queries(&qs, |q| {
             let _ = dsidx::messi::exact_nn(&messi, &data, q, &mcfg);
         });
-        table.row(&[cores.to_string(), f(ms(ucr)), f(ms(paris_t)), f(ms(messi_t))]);
+        table.row(&[
+            cores.to_string(),
+            f(ms(ucr)),
+            f(ms(paris_t)),
+            f(ms(messi_t)),
+        ]);
     }
     table.finish();
     println!("shape check: per row, messi_ms < paris_ms < ucr_p_ms.");

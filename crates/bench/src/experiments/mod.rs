@@ -15,24 +15,75 @@ pub mod fig9;
 
 use crate::Scale;
 
-/// Experiment registry: `(id, paper figure, runner)`.
-pub const ALL: &[(&str, &str, fn(&Scale))] = &[
-    ("fig4", "Fig. 4: ParIS/ParIS+ index creation vs cores (HDD), read/write/CPU breakdown", fig4::run),
-    ("fig5", "Fig. 5: MESSI index creation vs cores, phase breakdown", fig5::run),
-    ("fig6", "Fig. 6: on-disk index creation across datasets (ADS+/ParIS/ParIS+)", fig6::run),
-    ("fig7", "Fig. 7: in-memory index creation across datasets (ParIS/MESSI)", fig7::run),
-    ("fig8", "Fig. 8: ParIS+ query answering vs cores on HDD & SSD", fig8::run),
-    ("fig9", "Fig. 9: in-memory query answering vs cores (UCR-p/ParIS/MESSI)", fig9::run),
-    ("fig10", "Fig. 10: on-disk query answering per dataset, HDD (UCR/ADS+/ParIS+)", fig10::run),
-    ("fig11", "Fig. 11: on-disk query answering per dataset, SSD (UCR/ADS+/ParIS+)", fig11::run),
-    ("fig12", "Fig. 12: in-memory query answering per dataset (UCR-p/ParIS/MESSI)", fig12::run),
-    ("ext-dtw", "§V extension: DTW query answering on the ED-built index", ext_dtw::run),
-    ("abl-buffers", "Ablation (footnote 2): locked shared buffers vs per-thread parts", abl_buffers::run),
-    ("abl-queues", "Ablation: number of priority queues in MESSI query answering", abl_queues::run),
+/// One registry entry: `(id, paper figure, runner)`.
+pub type Experiment = (&'static str, &'static str, fn(&Scale));
+
+/// Experiment registry.
+pub const ALL: &[Experiment] = &[
+    (
+        "fig4",
+        "Fig. 4: ParIS/ParIS+ index creation vs cores (HDD), read/write/CPU breakdown",
+        fig4::run,
+    ),
+    (
+        "fig5",
+        "Fig. 5: MESSI index creation vs cores, phase breakdown",
+        fig5::run,
+    ),
+    (
+        "fig6",
+        "Fig. 6: on-disk index creation across datasets (ADS+/ParIS/ParIS+)",
+        fig6::run,
+    ),
+    (
+        "fig7",
+        "Fig. 7: in-memory index creation across datasets (ParIS/MESSI)",
+        fig7::run,
+    ),
+    (
+        "fig8",
+        "Fig. 8: ParIS+ query answering vs cores on HDD & SSD",
+        fig8::run,
+    ),
+    (
+        "fig9",
+        "Fig. 9: in-memory query answering vs cores (UCR-p/ParIS/MESSI)",
+        fig9::run,
+    ),
+    (
+        "fig10",
+        "Fig. 10: on-disk query answering per dataset, HDD (UCR/ADS+/ParIS+)",
+        fig10::run,
+    ),
+    (
+        "fig11",
+        "Fig. 11: on-disk query answering per dataset, SSD (UCR/ADS+/ParIS+)",
+        fig11::run,
+    ),
+    (
+        "fig12",
+        "Fig. 12: in-memory query answering per dataset (UCR-p/ParIS/MESSI)",
+        fig12::run,
+    ),
+    (
+        "ext-dtw",
+        "§V extension: DTW query answering on the ED-built index",
+        ext_dtw::run,
+    ),
+    (
+        "abl-buffers",
+        "Ablation (footnote 2): locked shared buffers vs per-thread parts",
+        abl_buffers::run,
+    ),
+    (
+        "abl-queues",
+        "Ablation: number of priority queues in MESSI query answering",
+        abl_queues::run,
+    ),
 ];
 
 /// Looks up an experiment by id.
 #[must_use]
-pub fn find(id: &str) -> Option<&'static (&'static str, &'static str, fn(&Scale))> {
+pub fn find(id: &str) -> Option<&'static Experiment> {
     ALL.iter().find(|(name, _, _)| *name == id)
 }

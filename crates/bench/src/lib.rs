@@ -131,9 +131,16 @@ pub fn results_dir() -> PathBuf {
 /// Returns (writing if missing) the cached dataset file for a family/size.
 #[must_use]
 pub fn disk_dataset(kind: DatasetKind, count: usize, len: usize) -> PathBuf {
-    let path = data_dir().join(format!("{}-{count}x{len}.dsidx", kind.name().to_lowercase()));
+    let path = data_dir().join(format!(
+        "{}-{count}x{len}.dsidx",
+        kind.name().to_lowercase()
+    ));
     if !path.exists() {
-        eprintln!("  [gen] writing {} ({count} x {len}) to {}", kind.name(), path.display());
+        eprintln!(
+            "  [gen] writing {} ({count} x {len}) to {}",
+            kind.name(),
+            path.display()
+        );
         let data = kind.generate(count, len, dataset_seed(kind));
         dsidx::storage::write_dataset(&path, &data, Arc::new(Device::unthrottled()))
             .expect("write cached dataset");
@@ -154,7 +161,12 @@ pub fn dataset_seed(kind: DatasetKind) -> u64 {
 /// Generates the in-memory dataset for a family at a scale.
 #[must_use]
 pub fn mem_dataset(kind: DatasetKind, scale: &Scale) -> Dataset {
-    eprintln!("  [gen] {} in memory ({} x {})", kind.name(), scale.mem_series, scale.len_for(kind));
+    eprintln!(
+        "  [gen] {} in memory ({} x {})",
+        kind.name(),
+        scale.mem_series,
+        scale.len_for(kind)
+    );
     kind.generate(scale.mem_series, scale.len_for(kind), dataset_seed(kind))
 }
 
@@ -258,7 +270,14 @@ impl Table {
                 .join("  ")
         };
         println!("{}", line(&self.headers));
-        println!("{}", widths.iter().map(|w| "-".repeat(*w)).collect::<Vec<_>>().join("  "));
+        println!(
+            "{}",
+            widths
+                .iter()
+                .map(|w| "-".repeat(*w))
+                .collect::<Vec<_>>()
+                .join("  ")
+        );
         for row in &self.rows {
             println!("{}", line(row));
         }

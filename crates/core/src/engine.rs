@@ -2,6 +2,7 @@
 
 use crate::error::Error;
 use crate::options::Options;
+use dsidx_query::QueryStats;
 use dsidx_series::{Dataset, Match};
 use dsidx_storage::{DatasetFile, Device, DeviceProfile};
 use dsidx_tree::stats::{index_stats, IndexStats};
@@ -85,7 +86,8 @@ impl MemoryIndex {
         let series_len = data.series_len();
         let inner = match engine {
             Engine::Ads => {
-                let (ads, _) = dsidx_ads::build_from_dataset(&data, &options.tree_config(series_len)?);
+                let (ads, _) =
+                    dsidx_ads::build_from_dataset(&data, &options.tree_config(series_len)?);
                 MemoryInner::Ads(ads)
             }
             Engine::Paris | Engine::ParisPlus => {
@@ -98,7 +100,12 @@ impl MemoryIndex {
                 MemoryInner::Messi(messi)
             }
         };
-        Ok(Self { data, engine, options: options.clone(), inner })
+        Ok(Self {
+            data,
+            engine,
+            options: options.clone(),
+            inner,
+        })
     }
 
     /// The engine this index was built with.
@@ -119,17 +126,25 @@ impl MemoryIndex {
     /// Propagates engine failures (none occur for in-memory sources, but
     /// the signature is uniform with [`DiskIndex::nn`]).
     pub fn nn(&self, query: &[f32]) -> Result<Option<Match>, Error> {
+        Ok(self.nn_with_stats(query)?.map(|(m, _)| m))
+    }
+
+    /// Exact 1-NN plus the unified per-query work counters — the same
+    /// [`QueryStats`] type whichever engine answers, so callers compare
+    /// engines without per-engine stat plumbing.
+    ///
+    /// # Errors
+    /// Propagates engine failures.
+    pub fn nn_with_stats(&self, query: &[f32]) -> Result<Option<(Match, QueryStats)>, Error> {
         let threads = self.options.effective_threads();
         match &self.inner {
-            MemoryInner::Ads(ads) => {
-                Ok(dsidx_ads::exact_nn(ads, &*self.data, query)?.map(|(m, _)| m))
-            }
+            MemoryInner::Ads(ads) => Ok(dsidx_ads::exact_nn(ads, &*self.data, query)?),
             MemoryInner::Paris(paris) => {
-                Ok(dsidx_paris::exact_nn(paris, &*self.data, query, threads)?.map(|(m, _)| m))
+                Ok(dsidx_paris::exact_nn(paris, &*self.data, query, threads)?)
             }
             MemoryInner::Messi(messi) => {
                 let cfg = self.options.messi_config(self.data.series_len())?;
-                Ok(dsidx_messi::exact_nn(messi, &self.data, query, &cfg).map(|(m, _)| m))
+                Ok(dsidx_messi::exact_nn(messi, &self.data, query, &cfg))
             }
         }
     }
@@ -144,7 +159,9 @@ impl MemoryIndex {
         match &self.inner {
             MemoryInner::Messi(messi) => {
                 let cfg = self.options.messi_config(self.data.series_len())?;
-                Ok(dsidx_messi::exact_nn_dtw(messi, &self.data, query, band, &cfg))
+                Ok(dsidx_messi::exact_nn_dtw(
+                    messi, &self.data, query, band, &cfg,
+                ))
             }
             _ => Ok(dsidx_ucr::scan_dtw_parallel(
                 &self.data,
@@ -217,10 +234,7 @@ impl DiskIndex {
                     dsidx_paris::Overlap::ParisPlus
                 };
                 std::fs::create_dir_all(workdir).map_err(dsidx_storage::StorageError::from)?;
-                let store_path = workdir.join(format!(
-                    "dsidx-leaves-{}.store",
-                    std::process::id()
-                ));
+                let store_path = workdir.join(format!("dsidx-leaves-{}.store", std::process::id()));
                 let (paris, report) = dsidx_paris::build_on_disk(
                     &file,
                     &store_path,
@@ -233,7 +247,14 @@ impl DiskIndex {
                 return Err(Error::Unsupported("MESSI is an in-memory index"));
             }
         };
-        Ok(Self { file, engine, options: options.clone(), inner, build_report, store_path })
+        Ok(Self {
+            file,
+            engine,
+            options: options.clone(),
+            inner,
+            build_report,
+            store_path,
+        })
     }
 
     /// The engine this index was built with.
@@ -260,15 +281,23 @@ impl DiskIndex {
     /// # Errors
     /// Propagates I/O failures.
     pub fn nn(&self, query: &[f32]) -> Result<Option<Match>, Error> {
+        Ok(self.nn_with_stats(query)?.map(|(m, _)| m))
+    }
+
+    /// Exact 1-NN plus the unified per-query work counters (see
+    /// [`MemoryIndex::nn_with_stats`]).
+    ///
+    /// # Errors
+    /// Propagates I/O failures.
+    pub fn nn_with_stats(&self, query: &[f32]) -> Result<Option<(Match, QueryStats)>, Error> {
         match &self.inner {
-            DiskInner::Ads(ads) => Ok(dsidx_ads::exact_nn(ads, &self.file, query)?.map(|(m, _)| m)),
+            DiskInner::Ads(ads) => Ok(dsidx_ads::exact_nn(ads, &self.file, query)?),
             DiskInner::Paris(paris) => Ok(dsidx_paris::exact_nn(
                 paris,
                 &self.file,
                 query,
                 self.options.effective_threads(),
-            )?
-            .map(|(m, _)| m)),
+            )?),
         }
     }
 
@@ -329,6 +358,22 @@ mod tests {
             DeviceProfile::UNTHROTTLED,
         );
         assert!(matches!(e, Err(Error::Unsupported(_))));
+    }
+
+    #[test]
+    fn unified_query_stats_across_engines() {
+        let data = DatasetKind::Synthetic.generate(300, 64, 21);
+        let opts = Options::default().with_threads(2).with_leaf_capacity(16);
+        let q = DatasetKind::Synthetic.queries(1, 64, 21);
+        for engine in Engine::ALL {
+            let idx = MemoryIndex::build(data.clone(), engine, &opts).unwrap();
+            let (_, stats): (Match, QueryStats) =
+                idx.nn_with_stats(q.get(0)).unwrap().expect("non-empty");
+            // Every engine pays real distances (at least the seeding pass)
+            // and reports lower-bound work through the same accessor.
+            assert!(stats.real_computed > 0, "{}", engine.name());
+            assert!(stats.lb_total() > 0, "{}", engine.name());
+        }
     }
 
     #[test]

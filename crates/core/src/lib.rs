@@ -35,6 +35,8 @@
 //! * [`isax`] — PAA, breakpoints, iSAX words, MINDIST lower bounds;
 //! * [`tree`] — the shared iSAX tree index structure;
 //! * [`storage`] — dataset files, device throttling profiles, leaf store;
+//! * [`query`] — the shared exact-NN query kernel (preparation, BSF
+//!   seeding, early-abandoned candidate scans, unified [`QueryStats`]);
 //! * [`ads`], [`ucr`], [`paris`], [`messi`] — the engines;
 //! * [`sync`] — the concurrency substrate (atomic BSF, Fetch&Inc claims).
 //!
@@ -55,8 +57,11 @@ pub use dsidx_ads as ads;
 pub use dsidx_isax as isax;
 pub use dsidx_messi as messi;
 pub use dsidx_paris as paris;
+pub use dsidx_query as query;
 pub use dsidx_series as series;
 pub use dsidx_storage as storage;
 pub use dsidx_sync as sync;
 pub use dsidx_tree as tree;
 pub use dsidx_ucr as ucr;
+
+pub use dsidx_query::QueryStats;

@@ -70,21 +70,32 @@ impl Options {
     /// # Errors
     /// Propagates configuration validation errors.
     pub fn tree_config(&self, series_len: usize) -> Result<TreeConfig, Error> {
-        Ok(TreeConfig::new(series_len, self.segments, self.leaf_capacity)?)
+        Ok(TreeConfig::new(
+            series_len,
+            self.segments,
+            self.leaf_capacity,
+        )?)
     }
 
-    pub(crate) fn paris_config(&self, series_len: usize) -> Result<dsidx_paris::ParisConfig, Error> {
-        Ok(dsidx_paris::ParisConfig::new(self.tree_config(series_len)?, self.effective_threads())
-            .with_block_series(self.block_series)
-            .with_generation_series(self.generation_series.max(self.block_series)))
-    }
-
-    pub(crate) fn messi_config(&self, series_len: usize) -> Result<dsidx_messi::MessiConfig, Error> {
-        Ok(dsidx_messi::MessiConfig::new(
-            self.tree_config(series_len)?,
-            self.effective_threads(),
+    pub(crate) fn paris_config(
+        &self,
+        series_len: usize,
+    ) -> Result<dsidx_paris::ParisConfig, Error> {
+        Ok(
+            dsidx_paris::ParisConfig::new(self.tree_config(series_len)?, self.effective_threads())
+                .with_block_series(self.block_series)
+                .with_generation_series(self.generation_series.max(self.block_series)),
         )
-        .with_queues(self.queues))
+    }
+
+    pub(crate) fn messi_config(
+        &self,
+        series_len: usize,
+    ) -> Result<dsidx_messi::MessiConfig, Error> {
+        Ok(
+            dsidx_messi::MessiConfig::new(self.tree_config(series_len)?, self.effective_threads())
+                .with_queues(self.queues),
+        )
     }
 }
 
@@ -101,7 +112,10 @@ mod tests {
 
     #[test]
     fn builders_apply() {
-        let o = Options::default().with_threads(3).with_leaf_capacity(7).with_segments(8);
+        let o = Options::default()
+            .with_threads(3)
+            .with_leaf_capacity(7)
+            .with_segments(8);
         assert_eq!(o.effective_threads(), 3);
         assert_eq!(o.leaf_capacity, 7);
         let tc = o.tree_config(64).unwrap();

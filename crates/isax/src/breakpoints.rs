@@ -60,9 +60,20 @@ impl BreakpointTable {
     pub fn region(&self, symbol: u8, bits: u8) -> (f32, f32) {
         let bps = self.for_bits(bits);
         let s = symbol as usize;
-        debug_assert!(s < (1usize << bits), "symbol {s} out of range for {bits} bits");
-        let lower = if s == 0 { f32::NEG_INFINITY } else { bps[s - 1] };
-        let upper = if s == bps.len() { f32::INFINITY } else { bps[s] };
+        debug_assert!(
+            s < (1usize << bits),
+            "symbol {s} out of range for {bits} bits"
+        );
+        let lower = if s == 0 {
+            f32::NEG_INFINITY
+        } else {
+            bps[s - 1]
+        };
+        let upper = if s == bps.len() {
+            f32::INFINITY
+        } else {
+            bps[s]
+        };
         (lower, upper)
     }
 }

@@ -27,7 +27,10 @@ impl fmt::Display for IsaxError {
                 "segment count must be in 1..={}, got {requested}",
                 crate::MAX_SEGMENTS
             ),
-            IsaxError::SeriesTooShort { series_len, segments } => write!(
+            IsaxError::SeriesTooShort {
+                series_len,
+                segments,
+            } => write!(
                 f,
                 "series length {series_len} is shorter than {segments} segments"
             ),
@@ -43,8 +46,13 @@ mod tests {
 
     #[test]
     fn messages() {
-        assert!(IsaxError::BadSegmentCount { requested: 99 }.to_string().contains("99"));
-        let e = IsaxError::SeriesTooShort { series_len: 4, segments: 16 };
+        assert!(IsaxError::BadSegmentCount { requested: 99 }
+            .to_string()
+            .contains("99"));
+        let e = IsaxError::SeriesTooShort {
+            series_len: 4,
+            segments: 16,
+        };
         assert!(e.to_string().contains('4'));
     }
 }

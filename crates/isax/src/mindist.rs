@@ -118,7 +118,9 @@ impl MindistTable {
     /// Builds the table for an ED query with PAA `paa`.
     #[must_use]
     pub fn new_point(paa: &[f32], seg_lens: &[u32]) -> Self {
-        Self::build(paa.len(), seg_lens, |seg, lo, hi| interval_dist_sq(paa[seg], lo, hi))
+        Self::build(paa.len(), seg_lens, |seg, lo, hi| {
+            interval_dist_sq(paa[seg], lo, hi)
+        })
     }
 
     /// Builds the table for a DTW query with PAA envelope bounds.
@@ -133,8 +135,8 @@ impl MindistTable {
         assert_eq!(segments, seg_lens.len());
         let bp = breakpoints();
         let mut table = vec![0.0f32; segments * MAX_CARDINALITY];
-        for seg in 0..segments {
-            let weight = seg_lens[seg] as f32;
+        for (seg, &seg_len) in seg_lens.iter().enumerate() {
+            let weight = seg_len as f32;
             let row = &mut table[seg * MAX_CARDINALITY..(seg + 1) * MAX_CARDINALITY];
             for (symbol, slot) in row.iter_mut().enumerate() {
                 let (lo, hi) = bp.region(symbol as u8, MAX_BITS);
@@ -177,7 +179,9 @@ impl NodeMindistTable {
     /// Builds the table for an ED query with PAA `paa`.
     #[must_use]
     pub fn new_point(paa: &[f32], seg_lens: &[u32]) -> Self {
-        Self::build(paa.len(), seg_lens, |seg, lo, hi| interval_dist_sq(paa[seg], lo, hi))
+        Self::build(paa.len(), seg_lens, |seg, lo, hi| {
+            interval_dist_sq(paa[seg], lo, hi)
+        })
     }
 
     /// Builds the table for a DTW query with PAA envelope bounds.
@@ -193,8 +197,8 @@ impl NodeMindistTable {
         let bp = breakpoints();
         let stride_seg = MAX_BITS as usize * MAX_CARDINALITY;
         let mut table = vec![0.0f32; segments * stride_seg];
-        for seg in 0..segments {
-            let weight = seg_lens[seg] as f32;
+        for (seg, &seg_len) in seg_lens.iter().enumerate() {
+            let weight = seg_len as f32;
             for bits in 1..=MAX_BITS {
                 let row_base = seg * stride_seg + (bits as usize - 1) * MAX_CARDINALITY;
                 for prefix in 0..(1usize << bits) {
@@ -334,7 +338,10 @@ mod tests {
             // Build node words of decreasing precision containing b.
             let root = NodeWord::root(word_b.root_key(), 8);
             let nd = mindist_paa_node_sq(&paa_a, &root, q.segment_lens());
-            assert!(nd <= wd + wd.abs() * 1e-5 + 1e-6, "node bound must be looser");
+            assert!(
+                nd <= wd + wd.abs() * 1e-5 + 1e-6,
+                "node bound must be looser"
+            );
         }
     }
 
@@ -412,7 +419,11 @@ mod tests {
                     continue;
                 }
                 let (zero, one) = node.split(seg);
-                node = if node.split_bit(&word_b, seg) { one } else { zero };
+                node = if node.split_bit(&word_b, seg) {
+                    one
+                } else {
+                    zero
+                };
             }
         }
     }

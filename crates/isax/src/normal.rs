@@ -11,7 +11,10 @@
 /// Panics unless `0 < p < 1`.
 #[must_use]
 pub fn inv_norm_cdf(p: f64) -> f64 {
-    assert!(p > 0.0 && p < 1.0, "inv_norm_cdf requires 0 < p < 1, got {p}");
+    assert!(
+        p > 0.0 && p < 1.0,
+        "inv_norm_cdf requires 0 < p < 1, got {p}"
+    );
 
     const A: [f64; 6] = [
         -3.969_683_028_665_376e1,

@@ -9,7 +9,10 @@
 /// (`w + 1` entries).
 #[must_use]
 pub fn segment_bounds(series_len: usize, segments: usize) -> Vec<usize> {
-    assert!(segments > 0 && segments <= series_len, "invalid segmentation");
+    assert!(
+        segments > 0 && segments <= series_len,
+        "invalid segmentation"
+    );
     (0..=segments).map(|i| i * series_len / segments).collect()
 }
 
@@ -59,8 +62,14 @@ pub fn envelope_paa_bounds(
     let mut start = 0;
     for i in 0..w {
         let end = (i + 1) * n / w;
-        lower_out[i] = lower_env[start..end].iter().copied().fold(f32::INFINITY, f32::min);
-        upper_out[i] = upper_env[start..end].iter().copied().fold(f32::NEG_INFINITY, f32::max);
+        lower_out[i] = lower_env[start..end]
+            .iter()
+            .copied()
+            .fold(f32::INFINITY, f32::min);
+        upper_out[i] = upper_env[start..end]
+            .iter()
+            .copied()
+            .fold(f32::NEG_INFINITY, f32::max);
         start = end;
     }
 }

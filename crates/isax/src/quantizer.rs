@@ -26,14 +26,23 @@ impl Quantizer {
     /// [`IsaxError::SeriesTooShort`] unless `series_len >= segments`.
     pub fn new(series_len: usize, segments: usize) -> Result<Self, IsaxError> {
         if segments == 0 || segments > MAX_SEGMENTS {
-            return Err(IsaxError::BadSegmentCount { requested: segments });
+            return Err(IsaxError::BadSegmentCount {
+                requested: segments,
+            });
         }
         if series_len < segments {
-            return Err(IsaxError::SeriesTooShort { series_len, segments });
+            return Err(IsaxError::SeriesTooShort {
+                series_len,
+                segments,
+            });
         }
         let bounds = segment_bounds(series_len, segments);
         let seg_lens = bounds.windows(2).map(|w| (w[1] - w[0]) as u32).collect();
-        Ok(Self { series_len, segments, seg_lens })
+        Ok(Self {
+            series_len,
+            segments,
+            seg_lens,
+        })
     }
 
     /// Series length this quantizer was configured for.
@@ -123,7 +132,10 @@ mod tests {
         ));
         assert!(matches!(
             Quantizer::new(8, 16),
-            Err(IsaxError::SeriesTooShort { series_len: 8, segments: 16 })
+            Err(IsaxError::SeriesTooShort {
+                series_len: 8,
+                segments: 16
+            })
         ));
         // Equal lengths are allowed (each point its own segment).
         assert!(Quantizer::new(16, 16).is_ok());
@@ -145,7 +157,10 @@ mod tests {
         let s = [-2.0f32, -2.0, -2.0, -2.0, 2.0, 2.0, 2.0, 2.0];
         let w = q.word(&s);
         assert!(w.symbol(0) < 128, "negative segment quantizes below median");
-        assert!(w.symbol(1) >= 128, "positive segment quantizes above median");
+        assert!(
+            w.symbol(1) >= 128,
+            "positive segment quantizes above median"
+        );
         assert_eq!(w.root_key(), 0b01);
     }
 

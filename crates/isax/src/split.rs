@@ -21,7 +21,10 @@ pub fn choose_split_segment<'a>(
     let mut ones = vec![0u32; segments];
     let mut total = 0u32;
     for w in words {
-        debug_assert!(node.contains(w), "word outside node cannot vote on its split");
+        debug_assert!(
+            node.contains(w),
+            "word outside node cannot vote on its split"
+        );
         for (seg, count) in ones.iter_mut().enumerate() {
             if node.can_split(seg) && node.split_bit(w, seg) {
                 *count += 1;
@@ -30,11 +33,11 @@ pub fn choose_split_segment<'a>(
         total += 1;
     }
     let mut best: Option<(u32, u8, usize)> = None; // (imbalance, bits, seg)
-    for seg in 0..segments {
+    for (seg, &seg_ones) in ones.iter().enumerate() {
         if !node.can_split(seg) {
             continue;
         }
-        let imbalance = (2 * ones[seg]).abs_diff(total);
+        let imbalance = (2 * seg_ones).abs_diff(total);
         let key = (imbalance, node.bits(seg), seg);
         if best.is_none_or(|b| key < b) {
             best = Some(key);
@@ -101,8 +104,11 @@ mod tests {
     #[test]
     fn split_actually_separates_on_chosen_segment() {
         let node = NodeWord::root(0b0, 1);
-        let words =
-            [Word::new(&[0b0000_0000]), Word::new(&[0b0111_1111]), Word::new(&[0b0100_0000])];
+        let words = [
+            Word::new(&[0b0000_0000]),
+            Word::new(&[0b0111_1111]),
+            Word::new(&[0b0100_0000]),
+        ];
         let seg = choose_split_segment(words.iter(), &node).unwrap();
         let (zero, one) = node.split(seg);
         let zeros = words.iter().filter(|w| zero.contains(w)).count();

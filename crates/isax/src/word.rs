@@ -37,7 +37,10 @@ impl Word {
         );
         let mut arr = [0u8; MAX_SEGMENTS];
         arr[..symbols.len()].copy_from_slice(symbols);
-        Self { symbols: arr, segments: symbols.len() as u8 }
+        Self {
+            symbols: arr,
+            segments: symbols.len() as u8,
+        }
     }
 
     /// Number of segments.
@@ -104,10 +107,14 @@ impl NodeWord {
     pub fn root(key: u16, segments: usize) -> Self {
         assert!((1..=MAX_SEGMENTS).contains(&segments));
         let mut prefixes = [0u8; MAX_SEGMENTS];
-        for seg in 0..segments {
-            prefixes[seg] = ((key >> (segments - 1 - seg)) & 1) as u8;
+        for (seg, prefix) in prefixes.iter_mut().enumerate().take(segments) {
+            *prefix = ((key >> (segments - 1 - seg)) & 1) as u8;
         }
-        Self { prefixes, bits: [1; MAX_SEGMENTS], segments: segments as u8 }
+        Self {
+            prefixes,
+            bits: [1; MAX_SEGMENTS],
+            segments: segments as u8,
+        }
     }
 
     /// Number of segments.
@@ -161,7 +168,10 @@ impl NodeWord {
     /// Panics if the segment is already at maximum cardinality.
     #[must_use]
     pub fn split(&self, seg: usize) -> (NodeWord, NodeWord) {
-        assert!(self.can_split(seg), "segment {seg} already at max cardinality");
+        assert!(
+            self.can_split(seg),
+            "segment {seg} already at max cardinality"
+        );
         let mut zero = *self;
         zero.bits[seg] += 1;
         zero.prefixes[seg] <<= 1;

@@ -40,7 +40,11 @@ pub struct BuildPhases {
 #[must_use]
 pub fn build(data: &Dataset, cfg: &MessiConfig) -> (MessiIndex, BuildPhases) {
     cfg.validate();
-    assert_eq!(data.series_len(), cfg.tree.series_len(), "series length mismatch");
+    assert_eq!(
+        data.series_len(),
+        cfg.tree.series_len(),
+        "series length mismatch"
+    );
     let t0 = Instant::now();
     let (words, parts) = match cfg.buffer_mode {
         BufferMode::PerThreadParts => summarize_per_thread(data, cfg),
@@ -54,8 +58,16 @@ pub fn build(data: &Dataset, cfg: &MessiConfig) -> (MessiIndex, BuildPhases) {
     let tree_build = t1.elapsed();
 
     (
-        MessiIndex { index, flat, sax: SaxArray::new(words) },
-        BuildPhases { summarize, tree_build, total: t0.elapsed() },
+        MessiIndex {
+            index,
+            flat,
+            sax: SaxArray::new(words),
+        },
+        BuildPhases {
+            summarize,
+            tree_build,
+            total: t0.elapsed(),
+        },
     )
 }
 
@@ -90,8 +102,10 @@ fn summarize_per_thread(data: &Dataset, cfg: &MessiConfig) -> (Vec<Word>, Buffer
         }
         *slots[worker].lock() = parts;
     });
-    let per_worker: Vec<Vec<Vec<LeafEntry>>> =
-        slots.into_iter().map(parking_lot::Mutex::into_inner).collect();
+    let per_worker: Vec<Vec<Vec<LeafEntry>>> = slots
+        .into_iter()
+        .map(parking_lot::Mutex::into_inner)
+        .collect();
 
     // Regroup: buffers[key] = the workers' parts for that subtree.
     let mut buffers: Buffers = Vec::new();
@@ -126,7 +140,9 @@ fn summarize_locked(data: &Dataset, cfg: &MessiConfig) -> (Vec<Word>, Buffers) {
                 let word = quantizer.word_into(data.get(pos), &mut paa);
                 // SAFETY: chunk claims are disjoint.
                 unsafe { sax.write(pos, word) };
-                locked[word.root_key() as usize].lock().push(LeafEntry::new(word, pos as u32));
+                locked[word.root_key() as usize]
+                    .lock()
+                    .push(LeafEntry::new(word, pos as u32));
             }
         }
     });

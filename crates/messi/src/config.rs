@@ -89,7 +89,10 @@ mod tests {
         let tree = TreeConfig::new(64, 8, 10).unwrap();
         let cfg = MessiConfig::new(tree, 8);
         assert_eq!(cfg.effective_queues(), 8);
-        let cfg = cfg.with_queues(3).with_chunk_series(64).with_buffer_mode(BufferMode::LockedShared);
+        let cfg = cfg
+            .with_queues(3)
+            .with_chunk_series(64)
+            .with_buffer_mode(BufferMode::LockedShared);
         assert_eq!(cfg.effective_queues(), 3);
         assert_eq!(cfg.chunk_series, 64);
         assert_eq!(cfg.buffer_mode, BufferMode::LockedShared);

@@ -51,19 +51,13 @@ pub fn exact_nn_dtw(
     let node_table = NodeMindistTable::new_interval(&lo_paa, &hi_paa, seg_lens);
     let pool = dsidx_sync::pool::global(cfg.threads);
 
-    // Initial BSF from the query's own leaf (approximate answer).
+    // Initial BSF from the query's own leaf (approximate answer): the
+    // kernel's ED descent locates the leaf, seeding pays DTW distances.
     let mut paa = vec![0.0f32; segments];
     quantizer.paa_into(query, &mut paa);
     let query_word = quantizer.word_from_paa(&paa);
     let best = AtomicBest::new();
-    let roots = flat.roots();
-    let start_root = match roots.binary_search_by_key(&query_word.root_key(), |&(k, _)| k) {
-        Ok(i) => i,
-        Err(i) => i.min(roots.len() - 1),
-    };
-    let approx_idx = flat
-        .descend_non_empty(roots[start_root].1, &query_word)
-        .or_else(|| roots.iter().find_map(|&(_, r)| flat.descend_non_empty(r, &query_word)))
+    let approx_idx = dsidx_query::approx_leaf_flat(flat, &query_word)
         .expect("non-empty index has a non-empty leaf");
     for e in flat.leaf_entries(flat.node(approx_idx)) {
         best.update(dtw_sq(query, data.get(e.pos as usize), band), e.pos);
@@ -154,9 +148,7 @@ mod tests {
                     let want = brute_force_dtw(&data, q, band).unwrap();
                     let got = exact_nn_dtw(&messi, &data, q, band, &cfg(4)).unwrap();
                     assert_eq!(got.pos, want.pos, "{} band={band}", kind.name());
-                    assert!(
-                        (got.dist_sq - want.dist_sq).abs() <= want.dist_sq * 1e-4 + 1e-4
-                    );
+                    assert!((got.dist_sq - want.dist_sq).abs() <= want.dist_sq * 1e-4 + 1e-4);
                 }
             }
         }
@@ -168,7 +160,9 @@ mod tests {
         let data = DatasetKind::Synthetic.generate(400, 64, 71);
         let (messi, _) = build(&data, &cfg(4));
         let q = DatasetKind::Synthetic.queries(1, 64, 71);
-        let ed = crate::query::exact_nn(&messi, &data, q.get(0), &cfg(4)).unwrap().0;
+        let ed = crate::query::exact_nn(&messi, &data, q.get(0), &cfg(4))
+            .unwrap()
+            .0;
         let dtw = exact_nn_dtw(&messi, &data, q.get(0), 5, &cfg(4)).unwrap();
         // DTW distance never exceeds ED distance.
         assert!(dtw.dist_sq <= ed.dist_sq + ed.dist_sq * 1e-4 + 1e-4);

@@ -27,5 +27,6 @@ pub mod traverse;
 
 pub use build::{build, BuildPhases, MessiIndex};
 pub use config::{BufferMode, MessiConfig};
+pub use dsidx_query::QueryStats;
 pub use dtw::exact_nn_dtw;
-pub use query::{exact_nn, MessiQueryStats};
+pub use query::exact_nn;

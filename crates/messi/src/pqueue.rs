@@ -52,7 +52,12 @@ impl<T> MinQueues<T> {
         shards.resize_with(n, || Mutex::new(BinaryHeap::new()));
         let mut open = Vec::with_capacity(n);
         open.resize_with(n, || AtomicBool::new(true));
-        Self { shards, open, open_count: AtomicUsize::new(n), rr: AtomicUsize::new(0) }
+        Self {
+            shards,
+            open,
+            open_count: AtomicUsize::new(n),
+            rr: AtomicUsize::new(0),
+        }
     }
 
     /// Number of shards.
@@ -68,7 +73,10 @@ impl<T> MinQueues<T> {
     pub fn push_rr(&self, key: f32, payload: T) {
         assert!(key >= 0.0, "queue keys are non-negative lower bounds");
         let shard = self.rr.fetch_add(1, Ordering::Relaxed) % self.shards.len();
-        self.shards[shard].lock().push(Reverse(Item { key_bits: key.to_bits(), payload }));
+        self.shards[shard].lock().push(Reverse(Item {
+            key_bits: key.to_bits(),
+            payload,
+        }));
     }
 
     /// Pops the minimum of one shard, or `None` if it is empty.

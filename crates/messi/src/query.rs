@@ -12,43 +12,21 @@
 //!   farther). Surviving entries pay an entry-level lower bound, then an
 //!   early-abandoned real distance.
 //!
-//! All tree reads go through the flattened view ([`dsidx_tree::flat`]).
+//! Query preparation, approximate-descent seeding and the per-entry
+//! verify loop come from the shared kernel (`dsidx-query`); this module
+//! contributes the MESSI scheduling — cooperative traversal plus
+//! best-bound-first queue draining. All tree reads go through the
+//! flattened view ([`dsidx_tree::flat`]).
 
 use crate::build::MessiIndex;
 use crate::config::MessiConfig;
 use crate::pqueue::MinQueues;
-use dsidx_isax::{MindistTable, NodeMindistTable};
-use dsidx_series::distance::{euclidean_sq, euclidean_sq_bounded};
+use dsidx_query::{
+    approx_leaf_flat, process_leaf_entries, seed_from_entries, AtomicQueryStats, PreparedQuery,
+    QueryStats, SeriesFetcher,
+};
 use dsidx_series::{Dataset, Match};
 use dsidx_sync::{AtomicBest, SpinBarrier};
-use std::sync::atomic::{AtomicU64, Ordering};
-
-/// Counters from one exact query.
-#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
-pub struct MessiQueryStats {
-    /// Nodes (roots included) pruned during traversal.
-    pub nodes_pruned: u64,
-    /// Leaves inserted into the priority queues.
-    pub leaves_enqueued: u64,
-    /// Leaves actually examined (popped and below the BSF).
-    pub leaves_processed: u64,
-    /// Leaves discarded by queue abandonment at pop time.
-    pub leaves_discarded: u64,
-    /// Entry-level lower bounds computed.
-    pub lb_entry_computed: u64,
-    /// Real distances fully evaluated (not abandoned).
-    pub real_computed: u64,
-}
-
-#[derive(Default)]
-struct Counters {
-    nodes_pruned: AtomicU64,
-    leaves_enqueued: AtomicU64,
-    leaves_processed: AtomicU64,
-    leaves_discarded: AtomicU64,
-    lb_entry_computed: AtomicU64,
-    real_computed: AtomicU64,
-}
 
 /// Exact 1-NN through the MESSI index over its in-memory dataset.
 ///
@@ -62,7 +40,7 @@ pub fn exact_nn(
     data: &Dataset,
     query: &[f32],
     cfg: &MessiConfig,
-) -> Option<(Match, MessiQueryStats)> {
+) -> Option<(Match, QueryStats)> {
     let config = messi.index.config();
     assert_eq!(query.len(), config.series_len(), "query length mismatch");
     cfg.validate();
@@ -71,29 +49,23 @@ pub fn exact_nn(
         return None;
     }
     let quantizer = config.quantizer();
-    let segments = config.segments();
-    let mut paa = vec![0.0f32; segments];
-    quantizer.paa_into(query, &mut paa);
-    let query_word = quantizer.word_from_paa(&paa);
-    let table = MindistTable::new_point(&paa, quantizer.segment_lens());
-    let node_table = NodeMindistTable::new_point(&paa, quantizer.segment_lens());
+    let prep = PreparedQuery::new(quantizer, query);
+    let node_table = prep.node_table(quantizer);
     let pool = dsidx_sync::pool::global(cfg.threads);
 
     // Initial BSF from the query's own leaf (approximate answer), routing
     // around empty subtrees.
     let best = AtomicBest::new();
-    let roots = flat.roots();
-    let start_root = match roots.binary_search_by_key(&query_word.root_key(), |&(k, _)| k) {
-        Ok(i) => i,
-        Err(i) => i.min(roots.len() - 1), // absent subtree: nearest key
-    };
-    let approx_idx = flat
-        .descend_non_empty(roots[start_root].1, &query_word)
-        .or_else(|| roots.iter().find_map(|&(_, r)| flat.descend_non_empty(r, &query_word)))
-        .expect("non-empty index has a non-empty leaf");
-    for e in flat.leaf_entries(flat.node(approx_idx)) {
-        best.update(euclidean_sq(query, data.get(e.pos as usize)), e.pos);
-    }
+    let approx_idx =
+        approx_leaf_flat(flat, &prep.word).expect("non-empty index has a non-empty leaf");
+    let mut fetcher = SeriesFetcher::new(data);
+    let approx_real = seed_from_entries(
+        flat.leaf_entries(flat.node(approx_idx)),
+        &mut fetcher,
+        query,
+        &best,
+    )
+    .expect("in-memory sources do not fail");
 
     // Phase A: cooperative parallel traversal — the root level is scanned
     // flat from the key bits alone, large subtrees are split via work
@@ -102,24 +74,22 @@ pub fn exact_nn(
     // popped minimum above the BSF closes its whole queue; each worker
     // migrates to the next open queue. One broadcast, phases separated by
     // a spin barrier.
-    let counters = Counters::default();
+    let shared = AtomicQueryStats::new();
     let queues: MinQueues<u32> = MinQueues::new(cfg.effective_queues());
     let traversal = crate::traverse::Traversal::new(flat, &node_table, &best, &queues);
     let phase_barrier = SpinBarrier::new(cfg.threads);
 
     pool.broadcast(&|worker| {
+        // Workers accumulate locally and merge once per phase — shared
+        // fetch_adds per leaf would bounce one cache line across every
+        // core and dominate these sub-ms phases.
+        let mut local = QueryStats::default();
         let st = traversal.run_worker();
-        counters.nodes_pruned.fetch_add(st.pruned, Ordering::Relaxed);
-        counters.leaves_enqueued.fetch_add(st.enqueued, Ordering::Relaxed);
+        local.nodes_pruned = st.pruned;
+        local.leaves_enqueued = st.enqueued;
         phase_barrier.wait();
 
-        // Phase B: best-bound-first processing. Counters stay worker-local
-        // until the end — shared fetch_adds per leaf would bounce one cache
-        // line across every core and dominate these sub-ms phases.
-        let mut processed = 0u64;
-        let mut discarded = 0u64;
-        let mut entry_lbs = 0u64;
-        let mut reals = 0u64;
+        // Phase B: best-bound-first processing.
         let n = queues.shard_count();
         let mut shard = worker % n;
         let mut idle_cycles = 0u32;
@@ -149,45 +119,25 @@ pub fn exact_nn(
                     if lb >= best.dist_sq() {
                         // Everything left in this queue is at least as
                         // far: abandon it wholesale.
-                        discarded += 1;
+                        local.leaves_discarded += 1;
                         queues.close(shard);
                         shard = (shard + 1) % n;
                         continue;
                     }
-                    processed += 1;
+                    local.leaves_processed += 1;
                     let entries = flat.leaf_entries(flat.node(idx));
-                    entry_lbs += entries.len() as u64;
-                    let mut limit = best.dist_sq();
-                    for e in entries {
-                        if table.lookup(&e.word) >= limit {
-                            continue;
-                        }
-                        if let Some(d) =
-                            euclidean_sq_bounded(query, data.get(e.pos as usize), limit)
-                        {
-                            reals += 1;
-                            best.update(d, e.pos);
-                        }
-                        limit = best.dist_sq();
-                    }
+                    local.lb_entry_computed += entries.len() as u64;
+                    local.real_computed +=
+                        process_leaf_entries(entries, &prep.table, data, query, &best);
                 }
             }
         }
-        counters.leaves_processed.fetch_add(processed, Ordering::Relaxed);
-        counters.leaves_discarded.fetch_add(discarded, Ordering::Relaxed);
-        counters.lb_entry_computed.fetch_add(entry_lbs, Ordering::Relaxed);
-        counters.real_computed.fetch_add(reals, Ordering::Relaxed);
+        shared.merge(&local);
     });
 
     let (dist_sq, pos) = best.get();
-    let stats = MessiQueryStats {
-        nodes_pruned: counters.nodes_pruned.load(Ordering::Relaxed),
-        leaves_enqueued: counters.leaves_enqueued.load(Ordering::Relaxed),
-        leaves_processed: counters.leaves_processed.load(Ordering::Relaxed),
-        leaves_discarded: counters.leaves_discarded.load(Ordering::Relaxed),
-        lb_entry_computed: counters.lb_entry_computed.load(Ordering::Relaxed),
-        real_computed: counters.real_computed.load(Ordering::Relaxed),
-    };
+    let mut stats = shared.snapshot();
+    stats.real_computed += approx_real;
     Some((Match::new(pos, dist_sq), stats))
 }
 
@@ -216,9 +166,7 @@ mod tests {
                     let c = cfg(threads);
                     let (got, _) = exact_nn(&messi, &data, q, &c).unwrap();
                     assert_eq!(got.pos, want.pos, "{} x{threads}", kind.name());
-                    assert!(
-                        (got.dist_sq - want.dist_sq).abs() <= want.dist_sq * 1e-4 + 1e-4
-                    );
+                    assert!((got.dist_sq - want.dist_sq).abs() <= want.dist_sq * 1e-4 + 1e-4);
                 }
             }
         }
@@ -254,6 +202,9 @@ mod tests {
                 stats.real_computed
             );
             assert!(stats.leaves_processed + stats.leaves_discarded <= stats.leaves_enqueued);
+            // Scan-only counters stay zero for the tree-based engine.
+            assert_eq!(stats.lb_computed, 0);
+            assert_eq!(stats.candidates, 0);
         }
     }
 

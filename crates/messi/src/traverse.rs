@@ -153,8 +153,7 @@ mod tests {
         let (messi, _) = build(&data, &cfg);
         let q = DatasetKind::Synthetic.queries(1, 64, 3);
         let paa_q = paa(q.get(0), 8);
-        let node_table =
-            NodeMindistTable::new_point(&paa_q, cfg.tree.quantizer().segment_lens());
+        let node_table = NodeMindistTable::new_point(&paa_q, cfg.tree.quantizer().segment_lens());
 
         // With an infinite BSF nothing is pruned, so every non-empty leaf
         // must be enqueued exactly once no matter how many workers help.
@@ -202,8 +201,7 @@ mod tests {
         let (messi, _) = build(&data, &cfg);
         let q = DatasetKind::Synthetic.queries(1, 64, 9);
         let paa_q = paa(q.get(0), 8);
-        let node_table =
-            NodeMindistTable::new_point(&paa_q, cfg.tree.quantizer().segment_lens());
+        let node_table = NodeMindistTable::new_point(&paa_q, cfg.tree.quantizer().segment_lens());
         let best = AtomicBest::with_initial(0.0, 0); // perfect BSF
         let queues: MinQueues<u32> = MinQueues::new(2);
         let traversal = Traversal::new(&messi.flat, &node_table, &best, &queues);

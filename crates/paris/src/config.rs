@@ -42,7 +42,12 @@ impl ParisConfig {
     /// A configuration with sensible laptop-scale defaults.
     #[must_use]
     pub fn new(tree: TreeConfig, threads: usize) -> Self {
-        Self { tree, threads, block_series: 1024, generation_series: 16 * 1024 }
+        Self {
+            tree,
+            threads,
+            block_series: 1024,
+            generation_series: 16 * 1024,
+        }
     }
 
     /// Sets the read block size.
@@ -78,7 +83,9 @@ mod tests {
     #[test]
     fn builder_methods() {
         let tree = TreeConfig::new(64, 8, 10).unwrap();
-        let cfg = ParisConfig::new(tree, 4).with_block_series(128).with_generation_series(512);
+        let cfg = ParisConfig::new(tree, 4)
+            .with_block_series(128)
+            .with_generation_series(512);
         assert_eq!(cfg.block_series, 128);
         assert_eq!(cfg.generation_series, 512);
         cfg.validate();
@@ -94,7 +101,9 @@ mod tests {
     #[should_panic(expected = "generation must hold")]
     fn generation_smaller_than_block_panics() {
         let tree = TreeConfig::new(64, 8, 10).unwrap();
-        let cfg = ParisConfig::new(tree, 4).with_block_series(1024).with_generation_series(1023);
+        let cfg = ParisConfig::new(tree, 4)
+            .with_block_series(1024)
+            .with_generation_series(1023);
         let _ = cfg.generation_series; // silence unused warnings pre-panic
         cfg.validate();
     }

@@ -30,5 +30,6 @@ pub mod report;
 
 pub use build::{build_in_memory, build_on_disk, ParisIndex};
 pub use config::{Overlap, ParisConfig};
-pub use query::{exact_nn, QueryStats};
+pub use dsidx_query::QueryStats;
+pub use query::exact_nn;
 pub use report::BuildReport;

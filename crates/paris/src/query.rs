@@ -6,29 +6,24 @@
 //! parallel, collect the survivors in a candidate list, then compute real
 //! distances for the candidates in parallel with early abandoning.
 //!
+//! The per-candidate work (preparation, seeding, lower-bound filtering,
+//! early-abandoned verification) comes from the shared kernel
+//! (`dsidx-query`); this module contributes the ParIS scheduling: two
+//! Fetch&Inc-chunked pool phases with a shared candidate list between.
+//!
 //! Unlike MESSI, candidates are processed in position order, not
 //! best-bound-first — the paper attributes part of MESSI's speedup to
 //! exactly that difference, which the `abl-queues` ablation measures.
 
 use crate::build::ParisIndex;
-use dsidx_isax::MindistTable;
-use dsidx_series::distance::{euclidean_sq, euclidean_sq_bounded};
+use dsidx_query::{
+    approx_leaf, collect_candidates, seed_from_entries, verify_candidates, AtomicQueryStats,
+    PreparedQuery, QueryStats, SeriesFetcher,
+};
 use dsidx_series::Match;
 use dsidx_storage::{LeafHandle, RawSource, StorageError};
 use dsidx_sync::{AtomicBest, WorkQueue};
 use parking_lot::Mutex;
-use std::sync::atomic::{AtomicU64, Ordering};
-
-/// Counters from one exact query.
-#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
-pub struct QueryStats {
-    /// Lower bounds evaluated over the SAX array.
-    pub lb_computed: u64,
-    /// Positions whose lower bound beat the BSF (candidate list size).
-    pub candidates: u64,
-    /// Real distances fully evaluated (not early-abandoned).
-    pub real_computed: u64,
-}
 
 /// SAX-array positions per Fetch&Inc claim in the lower-bound phase.
 const LB_CHUNK: usize = 4096;
@@ -60,40 +55,28 @@ pub fn exact_nn(
     if paris.index.is_empty() {
         return Ok(None);
     }
-    let quantizer = config.quantizer();
-    let mut paa = vec![0.0f32; config.segments()];
-    quantizer.paa_into(query, &mut paa);
-    let query_word = quantizer.word_from_paa(&paa);
-    let table = MindistTable::new_point(&paa, quantizer.segment_lens());
-    let memory = source.as_memory();
-    let mut scratch = vec![0.0f32; config.series_len()];
+    let prep = PreparedQuery::new(config.quantizer(), query);
 
     // Step 1: approximate answer — descend to the query's leaf, compute
     // real distances for its entries. In on-disk mode the leaf was
     // materialized, so charge its read-back from the leaf store.
-    let leaf = paris
-        .index
-        .non_empty_leaf_for(&query_word)
-        .or_else(|| paris.index.any_leaf())
-        .expect("non-empty index has a non-empty leaf");
+    let leaf = approx_leaf(&paris.index, &prep.word).expect("non-empty index has a non-empty leaf");
     if let Some(reader) = &paris.leaves {
         let mut records = Vec::new();
         for chunk in &leaf.payload().expect("leaf payload").chunks {
-            reader.read(LeafHandle { offset: chunk.offset, count: chunk.count }, &mut records)?;
+            reader.read(
+                LeafHandle {
+                    offset: chunk.offset,
+                    count: chunk.count,
+                },
+                &mut records,
+            )?;
         }
     }
     let best = AtomicBest::new();
-    let mut approx_real = 0u64;
-    for e in leaf.entries().expect("leaves are resident") {
-        let d = if let Some(ds) = memory {
-            euclidean_sq(query, ds.get(e.pos as usize))
-        } else {
-            source.read_into(e.pos as usize, &mut scratch)?;
-            euclidean_sq(query, &scratch)
-        };
-        approx_real += 1;
-        best.update(d, e.pos);
-    }
+    let mut fetcher = SeriesFetcher::new(source);
+    let entries = leaf.entries().expect("leaves are resident");
+    let approx_real = seed_from_entries(entries, &mut fetcher, query, &best)?;
 
     // Step 2: parallel lower-bound pruning over the SAX array.
     let pool = dsidx_sync::pool::global(threads);
@@ -103,13 +86,7 @@ pub fn exact_nn(
     pool.broadcast(&|_worker| {
         let mut local: Vec<(u32, f32)> = Vec::new();
         while let Some(range) = lb_queue.claim_chunk(LB_CHUNK) {
-            let limit = best.dist_sq();
-            for pos in range {
-                let lb = table.lookup(&words[pos]);
-                if lb < limit {
-                    local.push((pos as u32, lb));
-                }
-            }
+            collect_candidates(words, range, &prep.table, &best, &mut local);
         }
         if !local.is_empty() {
             candidates.lock().extend_from_slice(&local);
@@ -119,48 +96,34 @@ pub fn exact_nn(
 
     // Step 3: parallel real distances over the candidate list.
     let real_queue = WorkQueue::new(candidates.len());
-    let real_computed = AtomicU64::new(0);
+    let shared = AtomicQueryStats::new();
     let errors: Mutex<Option<StorageError>> = Mutex::new(None);
     pool.broadcast(&|_worker| {
-        let mut scratch = vec![0.0f32; query.len()];
+        let mut fetcher = SeriesFetcher::new(source);
+        let mut reals = 0u64;
         while let Some(range) = real_queue.claim_chunk(REAL_CHUNK) {
-            for i in range {
-                let (pos, lb) = candidates[i];
-                let limit = best.dist_sq();
-                if lb >= limit {
-                    continue; // pruned by a BSF that improved since
-                }
-                let d = if let Some(ds) = memory {
-                    euclidean_sq_bounded(query, ds.get(pos as usize), limit)
-                } else {
-                    match source.read_into(pos as usize, &mut scratch) {
-                        Ok(()) => euclidean_sq_bounded(query, &scratch, limit),
-                        Err(e) => {
-                            let mut slot = errors.lock();
-                            if slot.is_none() {
-                                *slot = Some(e);
-                            }
-                            return;
-                        }
+            match verify_candidates(&candidates, range, &mut fetcher, query, &best) {
+                Ok(n) => reals += n,
+                Err(e) => {
+                    let mut slot = errors.lock();
+                    if slot.is_none() {
+                        *slot = Some(e);
                     }
-                };
-                if let Some(d) = d {
-                    real_computed.fetch_add(1, Ordering::Relaxed);
-                    best.update(d, pos);
+                    break;
                 }
             }
         }
+        shared.add_real_computed(reals);
     });
     if let Some(e) = errors.into_inner() {
         return Err(e);
     }
 
     let (dist_sq, pos) = best.get();
-    let stats = QueryStats {
-        lb_computed: words.len() as u64,
-        candidates: candidates.len() as u64,
-        real_computed: real_computed.load(Ordering::Relaxed) + approx_real,
-    };
+    let mut stats = shared.snapshot();
+    stats.lb_computed = words.len() as u64;
+    stats.candidates = candidates.len() as u64;
+    stats.real_computed += approx_real;
     Ok(Some((Match::new(pos, dist_sq), stats)))
 }
 
@@ -196,12 +159,9 @@ mod tests {
             for q in queries.iter() {
                 let want = brute_force(&data, q).unwrap();
                 for threads in [1usize, 4] {
-                    let (got, stats) =
-                        exact_nn(&paris, &data, q, threads).unwrap().unwrap();
+                    let (got, stats) = exact_nn(&paris, &data, q, threads).unwrap().unwrap();
                     assert_eq!(got.pos, want.pos, "{} x{threads}", kind.name());
-                    assert!(
-                        (got.dist_sq - want.dist_sq).abs() <= want.dist_sq * 1e-4 + 1e-4
-                    );
+                    assert!((got.dist_sq - want.dist_sq).abs() <= want.dist_sq * 1e-4 + 1e-4);
                     assert_eq!(stats.lb_computed, 600);
                     assert!(stats.candidates <= 600);
                 }
@@ -215,8 +175,7 @@ mod tests {
         let path = tmp("q.dsidx");
         write_dataset(&path, &data, Arc::new(Device::unthrottled())).unwrap();
         let file = DatasetFile::open(&path, Arc::new(Device::unthrottled())).unwrap();
-        let (paris, _) =
-            build_on_disk(&file, &tmp("q.leaf"), &cfg(3), Overlap::ParisPlus).unwrap();
+        let (paris, _) = build_on_disk(&file, &tmp("q.leaf"), &cfg(3), Overlap::ParisPlus).unwrap();
         let queries = DatasetKind::Seismic.queries(6, 64, 5);
         for q in queries.iter() {
             let want = brute_force(&data, q).unwrap();
@@ -241,7 +200,9 @@ mod tests {
     fn empty_index_returns_none() {
         let data = dsidx_series::Dataset::new(64).unwrap();
         let (paris, _) = build_in_memory(&data, &cfg(2));
-        assert!(exact_nn(&paris, &data, &vec![0.0; 64], 2).unwrap().is_none());
+        assert!(exact_nn(&paris, &data, &vec![0.0; 64], 2)
+            .unwrap()
+            .is_none());
     }
 
     #[test]
@@ -256,5 +217,18 @@ mod tests {
                 assert_eq!(m, first);
             }
         }
+    }
+
+    #[test]
+    fn tree_counters_stay_zero_for_scan_engine() {
+        let data = DatasetKind::Synthetic.generate(200, 64, 2);
+        let (paris, _) = build_in_memory(&data, &cfg(2));
+        let q = DatasetKind::Synthetic.queries(1, 64, 2);
+        let (_, stats) = exact_nn(&paris, &data, q.get(0), 2).unwrap().unwrap();
+        assert_eq!(stats.nodes_pruned, 0);
+        assert_eq!(stats.leaves_enqueued, 0);
+        assert_eq!(stats.leaves_processed, 0);
+        assert_eq!(stats.lb_entry_computed, 0);
+        assert_eq!(stats.lb_total(), stats.lb_computed);
     }
 }

@@ -31,7 +31,12 @@ impl RecBufs {
         bufs.resize_with(root_count, || Mutex::new(Vec::new()));
         let mut dirty = Vec::with_capacity(root_count);
         dirty.resize_with(root_count, || AtomicBool::new(false));
-        Self { bufs, dirty, dirty_keys: Mutex::new(Vec::new()), cursor: AtomicUsize::new(0) }
+        Self {
+            bufs,
+            dirty,
+            dirty_keys: Mutex::new(Vec::new()),
+            cursor: AtomicUsize::new(0),
+        }
     }
 
     /// Appends an entry to its subtree's buffer (locked; contended by
@@ -63,7 +68,8 @@ impl RecBufs {
     pub fn reset_generation(&self) {
         let mut keys = self.dirty_keys.lock();
         debug_assert!(
-            keys.iter().all(|&k| !self.dirty[k as usize].load(Ordering::Acquire)),
+            keys.iter()
+                .all(|&k| !self.dirty[k as usize].load(Ordering::Acquire)),
             "reset with undrained buffers"
         );
         keys.clear();

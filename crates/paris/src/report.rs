@@ -70,7 +70,10 @@ mod tests {
 
     #[test]
     fn zero_work_attributes_stall_to_cpu() {
-        let r = BuildReport { stall: Duration::from_secs(1), ..Default::default() };
+        let r = BuildReport {
+            stall: Duration::from_secs(1),
+            ..Default::default()
+        };
         assert_eq!(r.visible_cpu(), Duration::from_secs(1));
         assert_eq!(r.visible_write(), Duration::ZERO);
     }

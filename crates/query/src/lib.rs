@@ -1,0 +1,34 @@
+//! The shared exact-NN query kernel.
+//!
+//! ADS+, ParIS/ParIS+ and MESSI answer exact 1-NN queries with the same
+//! scaffolding in different parallel shapes (§III–§IV of the paper):
+//!
+//! 1. **prepare** — summarize the query (PAA), derive its iSAX word, build
+//!    the per-query MINDIST lookup tables ([`PreparedQuery`]);
+//! 2. **seed** — descend to the query's own leaf and pay real distances
+//!    for its entries, so pruning starts from a tight best-so-far
+//!    ([`seed`]);
+//! 3. **scan** — lower-bound candidates (SAX-array entries or leaf
+//!    entries), early-abandon real distances for survivors, and fold
+//!    improvements into the shared BSF ([`scan`]).
+//!
+//! The engines differ only in *scheduling*: ADS+ runs step 3 serially in
+//! position order, ParIS splits it into parallel collect/verify phases
+//! over Fetch&Inc chunks, MESSI replaces the scan with a tree traversal
+//! feeding priority queues but pays the same per-entry loop at the leaves.
+//! Those loops live here once; engines keep only their scheduling. One
+//! [`QueryStats`] reports all of them uniformly.
+
+pub mod fetch;
+pub mod prepare;
+pub mod scan;
+pub mod seed;
+pub mod stats;
+
+pub use fetch::SeriesFetcher;
+pub use prepare::PreparedQuery;
+pub use scan::{
+    collect_candidates, process_leaf_entries, scan_sax_serial, verify_candidate, verify_candidates,
+};
+pub use seed::{approx_leaf, approx_leaf_flat, seed_from_entries};
+pub use stats::{AtomicQueryStats, QueryStats};

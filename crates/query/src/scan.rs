@@ -1,0 +1,249 @@
+//! The early-abandoned real-distance candidate loops — the exact phase
+//! every engine runs after seeding, in three shapes: the serial interleaved
+//! SIMS scan (ADS+), the two-phase collect/verify split (ParIS chunks), and
+//! the per-leaf entry loop (MESSI).
+
+use crate::fetch::SeriesFetcher;
+use crate::stats::QueryStats;
+use dsidx_isax::MindistTable;
+use dsidx_series::distance::euclidean_sq_bounded;
+use dsidx_series::Dataset;
+use dsidx_storage::{RawSource, StorageError};
+use dsidx_sync::AtomicBest;
+use dsidx_tree::LeafEntry;
+use std::ops::Range;
+
+/// Verifies one candidate position: re-checks its lower bound against the
+/// *current* BSF (it may have improved since the bound was computed),
+/// fetches the raw values, computes the early-abandoned real distance, and
+/// records improvements. Returns `true` iff a full real distance was paid.
+///
+/// # Errors
+/// Propagates raw-source I/O failures.
+#[inline]
+pub fn verify_candidate(
+    pos: u32,
+    lb: f32,
+    fetcher: &mut SeriesFetcher<'_, impl RawSource>,
+    query: &[f32],
+    best: &AtomicBest,
+) -> Result<bool, StorageError> {
+    let limit = best.dist_sq();
+    if lb >= limit {
+        return Ok(false);
+    }
+    let series = fetcher.fetch(pos as usize)?;
+    match euclidean_sq_bounded(query, series, limit) {
+        Some(d) => {
+            best.update(d, pos);
+            Ok(true)
+        }
+        None => Ok(false),
+    }
+}
+
+/// SIMS-style serial scan (ADS+): lower-bound every SAX word in position
+/// order and verify survivors immediately. Fills `lb_computed`,
+/// `candidates` and `real_computed`.
+///
+/// # Errors
+/// Propagates raw-source I/O failures.
+pub fn scan_sax_serial(
+    words: &[dsidx_isax::Word],
+    table: &MindistTable,
+    fetcher: &mut SeriesFetcher<'_, impl RawSource>,
+    query: &[f32],
+    best: &AtomicBest,
+    stats: &mut QueryStats,
+) -> Result<(), StorageError> {
+    for (pos, word) in words.iter().enumerate() {
+        stats.lb_computed += 1;
+        let lb = table.lookup(word);
+        if lb >= best.dist_sq() {
+            continue;
+        }
+        stats.candidates += 1;
+        if verify_candidate(pos as u32, lb, fetcher, query, best)? {
+            stats.real_computed += 1;
+        }
+    }
+    Ok(())
+}
+
+/// Lower-bound filter over one Fetch&Inc chunk of the SAX array (ParIS
+/// phase 2): appends `(position, bound)` survivors to `out`. The BSF is
+/// sampled once per chunk — the paper's granularity for refreshing the
+/// pruning threshold.
+pub fn collect_candidates(
+    words: &[dsidx_isax::Word],
+    range: Range<usize>,
+    table: &MindistTable,
+    best: &AtomicBest,
+    out: &mut Vec<(u32, f32)>,
+) {
+    let limit = best.dist_sq();
+    for pos in range {
+        let lb = table.lookup(&words[pos]);
+        if lb < limit {
+            out.push((pos as u32, lb));
+        }
+    }
+}
+
+/// Verifies one Fetch&Inc chunk of a collected candidate list (ParIS
+/// phase 3). Returns the number of full real distances paid.
+///
+/// # Errors
+/// Propagates raw-source I/O failures.
+pub fn verify_candidates(
+    candidates: &[(u32, f32)],
+    range: Range<usize>,
+    fetcher: &mut SeriesFetcher<'_, impl RawSource>,
+    query: &[f32],
+    best: &AtomicBest,
+) -> Result<u64, StorageError> {
+    let mut reals = 0u64;
+    for &(pos, lb) in &candidates[range] {
+        if verify_candidate(pos, lb, fetcher, query, best)? {
+            reals += 1;
+        }
+    }
+    Ok(reals)
+}
+
+/// Entry-level bound + early-abandoned real distance over one leaf's
+/// entries against an in-memory dataset (MESSI processing phase). The
+/// pruning threshold refreshes after every improvement. Returns the number
+/// of full real distances paid; the caller counts `entries.len()` bounds.
+#[must_use]
+pub fn process_leaf_entries(
+    entries: &[LeafEntry],
+    table: &MindistTable,
+    data: &Dataset,
+    query: &[f32],
+    best: &AtomicBest,
+) -> u64 {
+    let mut reals = 0u64;
+    let mut limit = best.dist_sq();
+    for e in entries {
+        if table.lookup(&e.word) >= limit {
+            continue;
+        }
+        if let Some(d) = euclidean_sq_bounded(query, data.get(e.pos as usize), limit) {
+            reals += 1;
+            best.update(d, e.pos);
+        }
+        limit = best.dist_sq();
+    }
+    reals
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::prepare::PreparedQuery;
+    use dsidx_series::distance::euclidean_sq;
+    use dsidx_series::gen::DatasetKind;
+    use dsidx_tree::TreeConfig;
+
+    fn fixture(n: usize) -> (dsidx_series::Dataset, Vec<dsidx_isax::Word>, TreeConfig) {
+        let config = TreeConfig::new(64, 8, 16).unwrap();
+        let data = DatasetKind::Synthetic.generate(n, 64, 5);
+        let quantizer = config.quantizer();
+        let words = data.iter().map(|s| quantizer.word(s)).collect();
+        (data, words, config)
+    }
+
+    fn brute(data: &dsidx_series::Dataset, q: &[f32]) -> (f32, u32) {
+        let mut best = (f32::INFINITY, u32::MAX);
+        for (pos, s) in data.iter().enumerate() {
+            let d = euclidean_sq(q, s);
+            if d < best.0 {
+                best = (d, pos as u32);
+            }
+        }
+        best
+    }
+
+    #[test]
+    fn serial_scan_is_exact_and_accounts_correctly() {
+        let (data, words, config) = fixture(400);
+        let queries = DatasetKind::Synthetic.queries(5, 64, 5);
+        for q in queries.iter() {
+            let prep = PreparedQuery::new(config.quantizer(), q);
+            let best = AtomicBest::new();
+            let mut fetcher = SeriesFetcher::new(&data);
+            let mut stats = QueryStats::default();
+            scan_sax_serial(&words, &prep.table, &mut fetcher, q, &best, &mut stats).unwrap();
+            let want = brute(&data, q);
+            let (dist_sq, pos) = best.get();
+            assert_eq!(pos, want.1);
+            assert!((dist_sq - want.0).abs() <= want.0 * 1e-4 + 1e-4);
+            // Accounting invariants: every position pays a bound; only
+            // survivors can pay a real distance.
+            assert_eq!(stats.lb_computed, 400);
+            assert!(stats.candidates <= stats.lb_computed);
+            assert!(stats.real_computed <= stats.candidates);
+            assert_eq!(stats.lb_total(), 400);
+        }
+    }
+
+    #[test]
+    fn collect_then_verify_matches_serial_scan() {
+        let (data, words, config) = fixture(300);
+        let queries = DatasetKind::Synthetic.queries(3, 64, 9);
+        for q in queries.iter() {
+            let prep = PreparedQuery::new(config.quantizer(), q);
+            // Two-phase (ParIS shape), chunked.
+            let best = AtomicBest::new();
+            let mut candidates = Vec::new();
+            for start in (0..words.len()).step_by(64) {
+                let end = (start + 64).min(words.len());
+                collect_candidates(&words, start..end, &prep.table, &best, &mut candidates);
+            }
+            let mut fetcher = SeriesFetcher::new(&data);
+            let mut reals = 0;
+            for start in (0..candidates.len()).step_by(16) {
+                let end = (start + 16).min(candidates.len());
+                reals +=
+                    verify_candidates(&candidates, start..end, &mut fetcher, q, &best).unwrap();
+            }
+            assert!(reals <= candidates.len() as u64);
+            let want = brute(&data, q);
+            assert_eq!(best.get().1, want.1);
+        }
+    }
+
+    #[test]
+    fn verify_candidate_skips_stale_bounds() {
+        let (data, _, _) = fixture(10);
+        let q = data.get(0).to_vec();
+        let best = AtomicBest::with_initial(1.0, 999);
+        let mut fetcher = SeriesFetcher::new(&data);
+        // A bound at/above the BSF is pruned without touching the source.
+        assert!(!verify_candidate(3, 1.0, &mut fetcher, &q, &best).unwrap());
+        assert_eq!(best.get().1, 999);
+        // A bound below lets the real distance through (series 0 itself).
+        assert!(verify_candidate(0, 0.0, &mut fetcher, &q, &best).unwrap());
+        assert_eq!(best.get(), (0.0, 0));
+    }
+
+    #[test]
+    fn leaf_entry_processing_is_exact_over_the_leaf() {
+        let (data, words, config) = fixture(200);
+        let entries: Vec<LeafEntry> = words
+            .iter()
+            .enumerate()
+            .map(|(pos, w)| LeafEntry::new(*w, pos as u32))
+            .collect();
+        let queries = DatasetKind::Synthetic.queries(3, 64, 31);
+        for q in queries.iter() {
+            let prep = PreparedQuery::new(config.quantizer(), q);
+            let best = AtomicBest::new();
+            let reals = process_leaf_entries(&entries, &prep.table, &data, q, &best);
+            assert!(reals <= entries.len() as u64);
+            let want = brute(&data, q);
+            assert_eq!(best.get().1, want.1);
+        }
+    }
+}

@@ -1,0 +1,126 @@
+//! Approximate-descent BSF seeding: locate the leaf the query's own word
+//! descends to and pay real distances for its entries, so the exact phase
+//! starts from a tight best-so-far instead of infinity.
+
+use crate::fetch::SeriesFetcher;
+use dsidx_isax::Word;
+use dsidx_series::distance::euclidean_sq;
+use dsidx_storage::{RawSource, StorageError};
+use dsidx_sync::AtomicBest;
+use dsidx_tree::{FlatTree, Index, LeafEntry, Node};
+
+/// The most promising leaf for `word` in a pointer tree: the query's own
+/// non-empty leaf, or any non-empty leaf when the query's subtree is empty.
+/// `None` only for an empty index.
+#[must_use]
+pub fn approx_leaf<'i>(index: &'i Index, word: &Word) -> Option<&'i Node> {
+    index.non_empty_leaf_for(word).or_else(|| index.any_leaf())
+}
+
+/// The most promising leaf for `word` in a flattened tree (node index
+/// form), routing around empty subtrees. `None` only for an empty index.
+#[must_use]
+pub fn approx_leaf_flat(flat: &FlatTree, word: &Word) -> Option<u32> {
+    let roots = flat.roots();
+    if roots.is_empty() {
+        return None;
+    }
+    let start_root = match roots.binary_search_by_key(&word.root_key(), |&(k, _)| k) {
+        Ok(i) => i,
+        Err(i) => i.min(roots.len() - 1), // absent subtree: nearest key
+    };
+    flat.descend_non_empty(roots[start_root].1, word)
+        .or_else(|| {
+            roots
+                .iter()
+                .find_map(|&(_, r)| flat.descend_non_empty(r, word))
+        })
+}
+
+/// Seeds `best` with the full real distance of every entry in the
+/// approximate leaf. Returns the number of real distances computed (all of
+/// them — seeding never abandons, the BSF may start at infinity).
+///
+/// # Errors
+/// Propagates raw-source I/O failures.
+pub fn seed_from_entries(
+    entries: &[LeafEntry],
+    fetcher: &mut SeriesFetcher<'_, impl RawSource>,
+    query: &[f32],
+    best: &AtomicBest,
+) -> Result<u64, StorageError> {
+    for e in entries {
+        let series = fetcher.fetch(e.pos as usize)?;
+        best.update(euclidean_sq(query, series), e.pos);
+    }
+    Ok(entries.len() as u64)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dsidx_series::gen::DatasetKind;
+    use dsidx_tree::TreeConfig;
+
+    fn build_index(n: usize) -> (dsidx_series::Dataset, Index) {
+        let config = TreeConfig::new(64, 8, 16).unwrap();
+        let data = DatasetKind::Synthetic.generate(n, 64, 77);
+        let quantizer = config.quantizer().clone();
+        let mut index = Index::new(config);
+        for (pos, series) in data.iter().enumerate() {
+            index.insert(LeafEntry::new(quantizer.word(series), pos as u32));
+        }
+        (data, index)
+    }
+
+    #[test]
+    fn empty_index_has_no_leaf() {
+        let (_, index) = build_index(0);
+        let word = Word::new(&[0u8; 8]);
+        assert!(approx_leaf(&index, &word).is_none());
+        let flat = FlatTree::from_index(&index);
+        assert!(approx_leaf_flat(&flat, &word).is_none());
+    }
+
+    #[test]
+    fn flat_and_pointer_descent_agree() {
+        let (data, index) = build_index(500);
+        let flat = FlatTree::from_index(&index);
+        let quantizer = index.config().quantizer();
+        for pos in [0usize, 123, 499] {
+            let word = quantizer.word(data.get(pos));
+            let leaf = approx_leaf(&index, &word).expect("non-empty");
+            let flat_idx = approx_leaf_flat(&flat, &word).expect("non-empty");
+            let mut flat_positions: Vec<u32> = flat
+                .leaf_entries(flat.node(flat_idx))
+                .iter()
+                .map(|e| e.pos)
+                .collect();
+            let mut tree_positions: Vec<u32> =
+                leaf.entries().unwrap().iter().map(|e| e.pos).collect();
+            flat_positions.sort_unstable();
+            tree_positions.sort_unstable();
+            assert_eq!(flat_positions, tree_positions);
+            // The query's own leaf contains the queried series.
+            assert!(tree_positions.contains(&(pos as u32)));
+        }
+    }
+
+    #[test]
+    fn seeding_finds_the_leaf_minimum() {
+        let (data, index) = build_index(300);
+        let quantizer = index.config().quantizer();
+        let q = data.get(42);
+        let word = quantizer.word(q);
+        let leaf = approx_leaf(&index, &word).expect("non-empty");
+        let entries = leaf.entries().expect("resident leaf");
+        let best = AtomicBest::new();
+        let mut fetcher = SeriesFetcher::new(&data);
+        let reals = seed_from_entries(entries, &mut fetcher, q, &best).unwrap();
+        assert_eq!(reals, entries.len() as u64);
+        // Series 42 is in its own leaf, so seeding must find distance 0.
+        let (dist_sq, pos) = best.get();
+        assert_eq!(pos, 42);
+        assert_eq!(dist_sq, 0.0);
+    }
+}

@@ -1,0 +1,192 @@
+//! The unified per-query counter set shared by every engine.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Counters from one exact query, uniform across engines.
+///
+/// Engines touch the counters their algorithm has: the scan-based engines
+/// (ADS+, ParIS) fill the SAX-array counters and leave the tree-traversal
+/// ones at zero; MESSI does the opposite. `real_computed` is meaningful
+/// everywhere, so cross-engine comparisons (Fig. 12) read one type.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct QueryStats {
+    /// Lower bounds evaluated over the SAX array (scan-based engines).
+    pub lb_computed: u64,
+    /// Positions whose lower bound beat the BSF (candidate list size).
+    pub candidates: u64,
+    /// Nodes (roots included) pruned during tree traversal (MESSI).
+    pub nodes_pruned: u64,
+    /// Leaves inserted into the priority queues (MESSI).
+    pub leaves_enqueued: u64,
+    /// Leaves actually examined — popped and below the BSF (MESSI).
+    pub leaves_processed: u64,
+    /// Leaves discarded by queue abandonment at pop time (MESSI).
+    pub leaves_discarded: u64,
+    /// Entry-level lower bounds computed (MESSI).
+    pub lb_entry_computed: u64,
+    /// Real distances fully evaluated (not early-abandoned).
+    pub real_computed: u64,
+}
+
+impl QueryStats {
+    /// Total lower-bound evaluations, whatever their granularity: SAX-array
+    /// entries for the scan-based engines; node bounds (a visited node is
+    /// either pruned or enqueued) plus entry bounds for MESSI. The uniform
+    /// "lower-bound work" column of the Fig. 12 comparison.
+    #[must_use]
+    pub fn lb_total(&self) -> u64 {
+        self.lb_computed + self.nodes_pruned + self.leaves_enqueued + self.lb_entry_computed
+    }
+
+    /// Field-wise sum (aggregating a query batch into one report row).
+    #[must_use]
+    pub fn merged(&self, other: &QueryStats) -> QueryStats {
+        QueryStats {
+            lb_computed: self.lb_computed + other.lb_computed,
+            candidates: self.candidates + other.candidates,
+            nodes_pruned: self.nodes_pruned + other.nodes_pruned,
+            leaves_enqueued: self.leaves_enqueued + other.leaves_enqueued,
+            leaves_processed: self.leaves_processed + other.leaves_processed,
+            leaves_discarded: self.leaves_discarded + other.leaves_discarded,
+            lb_entry_computed: self.lb_entry_computed + other.lb_entry_computed,
+            real_computed: self.real_computed + other.real_computed,
+        }
+    }
+}
+
+/// Shared-counter form of [`QueryStats`] for parallel query phases.
+///
+/// Workers accumulate *locally* and flush once per phase — per-item
+/// `fetch_add`s on these would bounce one cache line across every core,
+/// which dominates sub-millisecond phases.
+#[derive(Debug, Default)]
+pub struct AtomicQueryStats {
+    lb_computed: AtomicU64,
+    candidates: AtomicU64,
+    nodes_pruned: AtomicU64,
+    leaves_enqueued: AtomicU64,
+    leaves_processed: AtomicU64,
+    leaves_discarded: AtomicU64,
+    lb_entry_computed: AtomicU64,
+    real_computed: AtomicU64,
+}
+
+impl AtomicQueryStats {
+    /// Creates zeroed counters.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Adds a worker's local tally.
+    pub fn merge(&self, local: &QueryStats) {
+        // Relaxed: counters are only read after the pool broadcast joins,
+        // which is already a synchronization point.
+        self.lb_computed
+            .fetch_add(local.lb_computed, Ordering::Relaxed);
+        self.candidates
+            .fetch_add(local.candidates, Ordering::Relaxed);
+        self.nodes_pruned
+            .fetch_add(local.nodes_pruned, Ordering::Relaxed);
+        self.leaves_enqueued
+            .fetch_add(local.leaves_enqueued, Ordering::Relaxed);
+        self.leaves_processed
+            .fetch_add(local.leaves_processed, Ordering::Relaxed);
+        self.leaves_discarded
+            .fetch_add(local.leaves_discarded, Ordering::Relaxed);
+        self.lb_entry_computed
+            .fetch_add(local.lb_entry_computed, Ordering::Relaxed);
+        self.real_computed
+            .fetch_add(local.real_computed, Ordering::Relaxed);
+    }
+
+    /// Adds to `real_computed` alone (the only counter some phases touch).
+    pub fn add_real_computed(&self, n: u64) {
+        self.real_computed.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Reads the counters out as a plain [`QueryStats`].
+    #[must_use]
+    pub fn snapshot(&self) -> QueryStats {
+        QueryStats {
+            lb_computed: self.lb_computed.load(Ordering::Relaxed),
+            candidates: self.candidates.load(Ordering::Relaxed),
+            nodes_pruned: self.nodes_pruned.load(Ordering::Relaxed),
+            leaves_enqueued: self.leaves_enqueued.load(Ordering::Relaxed),
+            leaves_processed: self.leaves_processed.load(Ordering::Relaxed),
+            leaves_discarded: self.leaves_discarded.load(Ordering::Relaxed),
+            lb_entry_computed: self.lb_entry_computed.load(Ordering::Relaxed),
+            real_computed: self.real_computed.load(Ordering::Relaxed),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample(k: u64) -> QueryStats {
+        QueryStats {
+            lb_computed: k,
+            candidates: 2 * k,
+            nodes_pruned: 3 * k,
+            leaves_enqueued: 4 * k,
+            leaves_processed: 5 * k,
+            leaves_discarded: 6 * k,
+            lb_entry_computed: 7 * k,
+            real_computed: 8 * k,
+        }
+    }
+
+    #[test]
+    fn merged_sums_every_field() {
+        let m = sample(1).merged(&sample(10));
+        assert_eq!(m, sample(11));
+    }
+
+    #[test]
+    fn lb_total_spans_both_engine_families() {
+        // Scan-based shape: only SAX-array bounds.
+        let scan = QueryStats {
+            lb_computed: 100,
+            ..QueryStats::default()
+        };
+        assert_eq!(scan.lb_total(), 100);
+        // Tree-based shape: node bounds + entry bounds.
+        let tree = QueryStats {
+            nodes_pruned: 10,
+            leaves_enqueued: 5,
+            lb_entry_computed: 40,
+            ..QueryStats::default()
+        };
+        assert_eq!(tree.lb_total(), 55);
+    }
+
+    #[test]
+    fn atomic_merge_and_snapshot_roundtrip() {
+        let shared = AtomicQueryStats::new();
+        shared.merge(&sample(1));
+        shared.merge(&sample(2));
+        shared.add_real_computed(4);
+        let got = shared.snapshot();
+        let mut want = sample(3);
+        want.real_computed += 4;
+        assert_eq!(got, want);
+    }
+
+    #[test]
+    fn atomic_merge_is_thread_safe() {
+        let shared = AtomicQueryStats::new();
+        std::thread::scope(|s| {
+            for _ in 0..8 {
+                let shared = &shared;
+                s.spawn(move || {
+                    for _ in 0..1000 {
+                        shared.merge(&sample(1));
+                    }
+                });
+            }
+        });
+        assert_eq!(shared.snapshot(), sample(8000));
+    }
+}

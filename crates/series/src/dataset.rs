@@ -23,7 +23,10 @@ impl Dataset {
         if series_len == 0 {
             return Err(SeriesError::EmptySeries);
         }
-        Ok(Self { data: Vec::new(), series_len })
+        Ok(Self {
+            data: Vec::new(),
+            series_len,
+        })
     }
 
     /// Creates an empty dataset with room for `count` series.
@@ -47,7 +50,10 @@ impl Dataset {
             return Err(SeriesError::EmptySeries);
         }
         if data.len() % series_len != 0 {
-            return Err(SeriesError::RaggedBuffer { buffer_len: data.len(), series_len });
+            return Err(SeriesError::RaggedBuffer {
+                buffer_len: data.len(),
+                series_len,
+            });
         }
         Ok(Self { data, series_len })
     }
@@ -99,7 +105,10 @@ impl Dataset {
     /// Returns [`SeriesError::OutOfBounds`] if `i >= self.len()`.
     pub fn try_get(&self, i: usize) -> Result<&[f32], SeriesError> {
         if i >= self.len() {
-            return Err(SeriesError::OutOfBounds { index: i, len: self.len() });
+            return Err(SeriesError::OutOfBounds {
+                index: i,
+                len: self.len(),
+            });
         }
         Ok(self.get(i))
     }
@@ -193,21 +202,36 @@ mod tests {
     fn push_rejects_wrong_length() {
         let mut ds = sample();
         let err = ds.push(&[1.0]).unwrap_err();
-        assert_eq!(err, SeriesError::LengthMismatch { expected: 3, actual: 1 });
+        assert_eq!(
+            err,
+            SeriesError::LengthMismatch {
+                expected: 3,
+                actual: 1
+            }
+        );
     }
 
     #[test]
     fn try_get_bounds() {
         let ds = sample();
         assert!(ds.try_get(1).is_ok());
-        assert_eq!(ds.try_get(2), Err(SeriesError::OutOfBounds { index: 2, len: 2 }));
+        assert_eq!(
+            ds.try_get(2),
+            Err(SeriesError::OutOfBounds { index: 2, len: 2 })
+        );
     }
 
     #[test]
     fn from_flat_checks_divisibility() {
         assert!(Dataset::from_flat(vec![0.0; 6], 3).is_ok());
         let err = Dataset::from_flat(vec![0.0; 7], 3).unwrap_err();
-        assert_eq!(err, SeriesError::RaggedBuffer { buffer_len: 7, series_len: 3 });
+        assert_eq!(
+            err,
+            SeriesError::RaggedBuffer {
+                buffer_len: 7,
+                series_len: 3
+            }
+        );
     }
 
     #[test]

@@ -91,8 +91,9 @@ pub fn lb_keogh_sq_bounded(
     assert_eq!(candidate.len(), lower.len(), "lb_keogh_sq length mismatch");
     assert_eq!(candidate.len(), upper.len(), "lb_keogh_sq length mismatch");
     let mut sum = 0.0f32;
-    for (chunk_c, (chunk_l, chunk_u)) in
-        candidate.chunks(16).zip(lower.chunks(16).zip(upper.chunks(16)))
+    for (chunk_c, (chunk_l, chunk_u)) in candidate
+        .chunks(16)
+        .zip(lower.chunks(16).zip(upper.chunks(16)))
     {
         for i in 0..chunk_c.len() {
             let c = chunk_c[i];
@@ -140,13 +141,12 @@ pub fn dtw_sq_bounded(a: &[f32], b: &[f32], band: usize, limit: f32) -> Option<f
     let inf = f32::INFINITY;
     let mut prev = vec![inf; n];
     let mut curr = vec![inf; n];
-    for i in 0..n {
+    for (i, &av) in a.iter().enumerate() {
         let lo = i.saturating_sub(r);
         let hi = (i + r).min(n - 1);
         curr[lo..=hi].fill(inf);
         let mut row_min = inf;
         for j in lo..=hi {
-            let av = a[i];
             let bv = b[j];
             let d = (av - bv) * (av - bv);
             let best = if i == 0 && j == 0 {
@@ -213,8 +213,11 @@ mod tests {
                 } else {
                     let up = if i > 0 { dp[i - 1][j] } else { f32::INFINITY };
                     let left = if j > 0 { dp[i][j - 1] } else { f32::INFINITY };
-                    let diag =
-                        if i > 0 && j > 0 { dp[i - 1][j - 1] } else { f32::INFINITY };
+                    let diag = if i > 0 && j > 0 {
+                        dp[i - 1][j - 1]
+                    } else {
+                        f32::INFINITY
+                    };
                     up.min(left).min(diag)
                 };
                 dp[i][j] = best + d;

@@ -118,7 +118,9 @@ mod tests {
 
     #[test]
     fn euclidean_sq_matches_naive_across_lengths() {
-        for n in [1usize, 2, 7, 8, 9, 15, 16, 31, 32, 33, 63, 64, 128, 256, 1000] {
+        for n in [
+            1usize, 2, 7, 8, 9, 15, 16, 31, 32, 33, 63, 64, 128, 256, 1000,
+        ] {
             let a = series(n as u64, n);
             let b = series(n as u64 + 1, n);
             let got = euclidean_sq(&a, &b);

@@ -50,38 +50,42 @@ unsafe fn hsum256(v: __m256) -> f32 {
 #[must_use]
 pub unsafe fn euclidean_sq_avx2(a: &[f32], b: &[f32]) -> f32 {
     debug_assert_eq!(a.len(), b.len());
-    let n = a.len();
-    let mut acc0 = _mm256_setzero_ps();
-    let mut acc1 = _mm256_setzero_ps();
-    let pa = a.as_ptr();
-    let pb = b.as_ptr();
-    let mut i = 0;
-    // Two independent accumulators hide FMA latency.
-    while i + 16 <= n {
-        let va0 = _mm256_loadu_ps(pa.add(i));
-        let vb0 = _mm256_loadu_ps(pb.add(i));
-        let d0 = _mm256_sub_ps(va0, vb0);
-        acc0 = _mm256_fmadd_ps(d0, d0, acc0);
-        let va1 = _mm256_loadu_ps(pa.add(i + 8));
-        let vb1 = _mm256_loadu_ps(pb.add(i + 8));
-        let d1 = _mm256_sub_ps(va1, vb1);
-        acc1 = _mm256_fmadd_ps(d1, d1, acc1);
-        i += 16;
+    // SAFETY: every load stays within `a`/`b` (offsets bounded by `n`), and
+    // the caller guarantees AVX2/FMA support and equal lengths.
+    unsafe {
+        let n = a.len();
+        let mut acc0 = _mm256_setzero_ps();
+        let mut acc1 = _mm256_setzero_ps();
+        let pa = a.as_ptr();
+        let pb = b.as_ptr();
+        let mut i = 0;
+        // Two independent accumulators hide FMA latency.
+        while i + 16 <= n {
+            let va0 = _mm256_loadu_ps(pa.add(i));
+            let vb0 = _mm256_loadu_ps(pb.add(i));
+            let d0 = _mm256_sub_ps(va0, vb0);
+            acc0 = _mm256_fmadd_ps(d0, d0, acc0);
+            let va1 = _mm256_loadu_ps(pa.add(i + 8));
+            let vb1 = _mm256_loadu_ps(pb.add(i + 8));
+            let d1 = _mm256_sub_ps(va1, vb1);
+            acc1 = _mm256_fmadd_ps(d1, d1, acc1);
+            i += 16;
+        }
+        if i + 8 <= n {
+            let va = _mm256_loadu_ps(pa.add(i));
+            let vb = _mm256_loadu_ps(pb.add(i));
+            let d = _mm256_sub_ps(va, vb);
+            acc0 = _mm256_fmadd_ps(d, d, acc0);
+            i += 8;
+        }
+        let mut sum = hsum256(acc0) + hsum256(acc1);
+        while i < n {
+            let d = *a.get_unchecked(i) - *b.get_unchecked(i);
+            sum += d * d;
+            i += 1;
+        }
+        sum
     }
-    if i + 8 <= n {
-        let va = _mm256_loadu_ps(pa.add(i));
-        let vb = _mm256_loadu_ps(pb.add(i));
-        let d = _mm256_sub_ps(va, vb);
-        acc0 = _mm256_fmadd_ps(d, d, acc0);
-        i += 8;
-    }
-    let mut sum = hsum256(acc0) + hsum256(acc1);
-    while i < n {
-        let d = *a.get_unchecked(i) - *b.get_unchecked(i);
-        sum += d * d;
-        i += 1;
-    }
-    sum
 }
 
 /// Early-abandoning squared Euclidean distance with AVX2 + FMA.
@@ -95,41 +99,45 @@ pub unsafe fn euclidean_sq_avx2(a: &[f32], b: &[f32]) -> f32 {
 #[must_use]
 pub unsafe fn euclidean_sq_bounded_avx2(a: &[f32], b: &[f32], limit: f32) -> Option<f32> {
     debug_assert_eq!(a.len(), b.len());
-    let n = a.len();
-    let pa = a.as_ptr();
-    let pb = b.as_ptr();
-    let mut sum = 0.0f32;
-    let mut i = 0;
-    while i + 32 <= n {
-        let mut acc = _mm256_setzero_ps();
-        for k in 0..4 {
-            let va = _mm256_loadu_ps(pa.add(i + 8 * k));
-            let vb = _mm256_loadu_ps(pb.add(i + 8 * k));
+    // SAFETY: every load stays within `a`/`b` (offsets bounded by `n`), and
+    // the caller guarantees AVX2/FMA support and equal lengths.
+    unsafe {
+        let n = a.len();
+        let pa = a.as_ptr();
+        let pb = b.as_ptr();
+        let mut sum = 0.0f32;
+        let mut i = 0;
+        while i + 32 <= n {
+            let mut acc = _mm256_setzero_ps();
+            for k in 0..4 {
+                let va = _mm256_loadu_ps(pa.add(i + 8 * k));
+                let vb = _mm256_loadu_ps(pb.add(i + 8 * k));
+                let d = _mm256_sub_ps(va, vb);
+                acc = _mm256_fmadd_ps(d, d, acc);
+            }
+            sum += hsum256(acc);
+            if sum >= limit {
+                return None;
+            }
+            i += 32;
+        }
+        while i + 8 <= n {
+            let va = _mm256_loadu_ps(pa.add(i));
+            let vb = _mm256_loadu_ps(pb.add(i));
             let d = _mm256_sub_ps(va, vb);
-            acc = _mm256_fmadd_ps(d, d, acc);
+            sum += hsum256(_mm256_fmadd_ps(d, d, _mm256_setzero_ps()));
+            i += 8;
         }
-        sum += hsum256(acc);
-        if sum >= limit {
-            return None;
+        while i < n {
+            let d = *a.get_unchecked(i) - *b.get_unchecked(i);
+            sum += d * d;
+            i += 1;
         }
-        i += 32;
-    }
-    while i + 8 <= n {
-        let va = _mm256_loadu_ps(pa.add(i));
-        let vb = _mm256_loadu_ps(pb.add(i));
-        let d = _mm256_sub_ps(va, vb);
-        sum += hsum256(_mm256_fmadd_ps(d, d, _mm256_setzero_ps()));
-        i += 8;
-    }
-    while i < n {
-        let d = *a.get_unchecked(i) - *b.get_unchecked(i);
-        sum += d * d;
-        i += 1;
-    }
-    if sum < limit {
-        Some(sum)
-    } else {
-        None
+        if sum < limit {
+            Some(sum)
+        } else {
+            None
+        }
     }
 }
 
@@ -156,10 +164,13 @@ mod tests {
             eprintln!("skipping: no AVX2/FMA on this host");
             return;
         }
-        for n in [0usize, 1, 7, 8, 9, 15, 16, 17, 31, 32, 33, 100, 128, 255, 256, 1024] {
+        for n in [
+            0usize, 1, 7, 8, 9, 15, 16, 17, 31, 32, 33, 100, 128, 255, 256, 1024,
+        ] {
             let a = series(n as u64 + 1, n);
             let b = series(n as u64 + 2, n);
             let scalar_d = scalar::euclidean_sq(&a, &b);
+            // SAFETY: AVX2/FMA availability checked above; equal lengths.
             let simd_d = unsafe { euclidean_sq_avx2(&a, &b) };
             assert!(
                 (scalar_d - simd_d).abs() <= scalar_d * 1e-4 + 1e-5,
@@ -178,8 +189,16 @@ mod tests {
             let a = series(n as u64 + 10, n);
             let b = series(n as u64 + 20, n);
             let full = scalar::euclidean_sq(&a, &b);
-            for limit in [0.0, full * 0.25, full * 0.999, full, full * 1.001, full * 4.0] {
+            for limit in [
+                0.0,
+                full * 0.25,
+                full * 0.999,
+                full,
+                full * 1.001,
+                full * 4.0,
+            ] {
                 let s = scalar::euclidean_sq_bounded(&a, &b, limit);
+                // SAFETY: AVX2/FMA availability checked above; equal lengths.
                 let v = unsafe { euclidean_sq_bounded_avx2(&a, &b, limit) };
                 match (s, v) {
                     (Some(x), Some(y)) => {

@@ -41,13 +41,19 @@ impl fmt::Display for SeriesError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match *self {
             SeriesError::LengthMismatch { expected, actual } => {
-                write!(f, "series length mismatch: expected {expected}, got {actual}")
+                write!(
+                    f,
+                    "series length mismatch: expected {expected}, got {actual}"
+                )
             }
             SeriesError::EmptySeries => write!(f, "series must be non-empty"),
             SeriesError::NonFinite { index, value } => {
                 write!(f, "non-finite value {value} at point {index}")
             }
-            SeriesError::RaggedBuffer { buffer_len, series_len } => {
+            SeriesError::RaggedBuffer {
+                buffer_len,
+                series_len,
+            } => {
                 write!(
                     f,
                     "flat buffer of {buffer_len} values is not a multiple of series length {series_len}"
@@ -68,15 +74,24 @@ mod tests {
 
     #[test]
     fn display_messages_are_informative() {
-        let e = SeriesError::LengthMismatch { expected: 256, actual: 128 };
+        let e = SeriesError::LengthMismatch {
+            expected: 256,
+            actual: 128,
+        };
         assert!(e.to_string().contains("256"));
         assert!(e.to_string().contains("128"));
-        let e = SeriesError::RaggedBuffer { buffer_len: 10, series_len: 3 };
+        let e = SeriesError::RaggedBuffer {
+            buffer_len: 10,
+            series_len: 3,
+        };
         assert!(e.to_string().contains("10"));
         let e = SeriesError::OutOfBounds { index: 5, len: 2 };
         assert!(e.to_string().contains('5'));
         assert!(SeriesError::EmptySeries.to_string().contains("non-empty"));
-        let e = SeriesError::NonFinite { index: 1, value: f32::NAN };
+        let e = SeriesError::NonFinite {
+            index: 1,
+            value: f32::NAN,
+        };
         assert!(e.to_string().contains("point 1"));
     }
 

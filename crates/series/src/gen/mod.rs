@@ -31,7 +31,11 @@ pub enum DatasetKind {
 
 impl DatasetKind {
     /// All three families, in the order the paper's figures list them.
-    pub const ALL: [DatasetKind; 3] = [DatasetKind::Synthetic, DatasetKind::Sald, DatasetKind::Seismic];
+    pub const ALL: [DatasetKind; 3] = [
+        DatasetKind::Synthetic,
+        DatasetKind::Sald,
+        DatasetKind::Seismic,
+    ];
 
     /// Human-readable name matching the paper's figure labels.
     #[must_use]
@@ -121,9 +125,15 @@ mod tests {
 
     #[test]
     fn kind_parses_from_str() {
-        assert_eq!("synthetic".parse::<DatasetKind>().unwrap(), DatasetKind::Synthetic);
+        assert_eq!(
+            "synthetic".parse::<DatasetKind>().unwrap(),
+            DatasetKind::Synthetic
+        );
         assert_eq!("EEG".parse::<DatasetKind>().unwrap(), DatasetKind::Sald);
-        assert_eq!("seismic".parse::<DatasetKind>().unwrap(), DatasetKind::Seismic);
+        assert_eq!(
+            "seismic".parse::<DatasetKind>().unwrap(),
+            DatasetKind::Seismic
+        );
         assert!("nope".parse::<DatasetKind>().is_err());
     }
 }

@@ -73,7 +73,10 @@ impl NormalGen {
     /// Creates a sampler from a seed.
     #[must_use]
     pub fn new(seed: u64) -> Self {
-        Self { rng: SplitMix64::new(seed), spare: None }
+        Self {
+            rng: SplitMix64::new(seed),
+            spare: None,
+        }
     }
 
     /// Wraps an existing generator.

@@ -69,17 +69,20 @@ pub fn seismic_like(count: usize, len: usize, seed: u64) -> Dataset {
         for b in 0..bursts {
             // The main arrival: strong, early enough to develop fully.
             let (onset, amp) = if b == 0 {
-                (rng.below((out.len() * 3 / 4).max(1)), rng.range_f64(3.0, 6.0))
+                (
+                    rng.below((out.len() * 3 / 4).max(1)),
+                    rng.range_f64(3.0, 6.0),
+                )
             } else {
                 (rng.below(out.len().max(1)), rng.range_f64(0.8, 3.0))
             };
             let omega = rng.range_f64(0.3, 1.2);
             let decay = rng.range_f64(0.015, 0.08);
             let phase = rng.range_f64(0.0, std::f64::consts::TAU);
-            for t in onset..out.len() {
+            for (t, sample) in out.iter_mut().enumerate().skip(onset) {
                 let dt = (t - onset) as f64;
                 let burst = amp * (-decay * dt).exp() * (omega * dt + phase).sin();
-                out[t] += burst as f32;
+                *sample += burst as f32;
             }
         }
     })
@@ -190,8 +193,14 @@ mod tests {
         };
         let eeg = energy_fraction(&eeg_like(n, len, 3));
         let rw = energy_fraction(&random_walk(n, len, 3));
-        assert!(rw > eeg, "rw fraction {rw} should exceed eeg fraction {eeg}");
-        assert!(rw > 0.5, "random walks should be mostly low-frequency: {rw}");
+        assert!(
+            rw > eeg,
+            "rw fraction {rw} should exceed eeg fraction {eeg}"
+        );
+        assert!(
+            rw > 0.5,
+            "random walks should be mostly low-frequency: {rw}"
+        );
     }
 
     #[test]

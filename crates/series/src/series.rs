@@ -21,7 +21,9 @@ impl DataSeries {
     /// [`SeriesError::NonFinite`] if any point is NaN or infinite.
     pub fn new(points: Vec<f32>) -> Result<Self, SeriesError> {
         validate(&points)?;
-        Ok(Self { points: points.into_boxed_slice() })
+        Ok(Self {
+            points: points.into_boxed_slice(),
+        })
     }
 
     /// Validates and copies a slice of points.
@@ -58,7 +60,9 @@ impl DataSeries {
     pub fn znormalized(&self) -> DataSeries {
         let mut v = self.points.to_vec();
         crate::znorm::znormalize(&mut v);
-        DataSeries { points: v.into_boxed_slice() }
+        DataSeries {
+            points: v.into_boxed_slice(),
+        }
     }
 }
 

@@ -141,7 +141,9 @@ mod tests {
 
     #[test]
     fn znormalize_is_idempotent_within_tolerance() {
-        let mut s: Vec<f32> = (0..64).map(|i| (i as f32 * 0.37).sin() * 3.0 + 1.0).collect();
+        let mut s: Vec<f32> = (0..64)
+            .map(|i| (i as f32 * 0.37).sin() * 3.0 + 1.0)
+            .collect();
         znormalize(&mut s);
         let once = s.clone();
         znormalize(&mut s);

@@ -309,7 +309,10 @@ mod tests {
             d.charge_read(i * 10_000_000 + 1, 4096);
         }
         let elapsed = t0.elapsed();
-        assert!(elapsed >= Duration::from_millis(70), "slept only {elapsed:?}");
+        assert!(
+            elapsed >= Duration::from_millis(70),
+            "slept only {elapsed:?}"
+        );
         assert!(d.stats().charged_nanos >= 80_000_000);
     }
 
@@ -323,7 +326,10 @@ mod tests {
             d.charge_read(i * block, block);
         }
         let elapsed = t0.elapsed();
-        assert!(elapsed >= Duration::from_millis(150), "slept only {elapsed:?}");
+        assert!(
+            elapsed >= Duration::from_millis(150),
+            "slept only {elapsed:?}"
+        );
         assert!(elapsed < Duration::from_millis(1500));
     }
 
@@ -331,22 +337,30 @@ mod tests {
     fn ssd_parallel_reads_overlap() {
         // 8 threads x 100 random reads on SSD: serialized this models
         // 800 * ~92us ≈ 74ms; with the SSD's parallel I/O each thread only
-        // pays its own ~9ms. Assert well under half the serialized figure
-        // (generous margin for scheduler noise when tests run in parallel).
+        // pays its own ~9ms. Assert well under half the serialized figure.
+        // Scheduler noise when the whole workspace's tests saturate the
+        // machine can stretch a single attempt, so the overlap is allowed
+        // a few tries; it must show up in at least one.
         let d = Device::new(DeviceProfile::SSD);
-        let t0 = Instant::now();
-        std::thread::scope(|s| {
-            for t in 0..8u64 {
-                let d = &d;
-                s.spawn(move || {
-                    for i in 0..100u64 {
-                        d.charge_read(t * 1_000_000 + i * 7919, 1024);
-                    }
-                });
+        let mut last = Duration::ZERO;
+        for _ in 0..3 {
+            let t0 = Instant::now();
+            std::thread::scope(|s| {
+                for t in 0..8u64 {
+                    let d = &d;
+                    s.spawn(move || {
+                        for i in 0..100u64 {
+                            d.charge_read(t * 1_000_000 + i * 7919, 1024);
+                        }
+                    });
+                }
+            });
+            last = t0.elapsed();
+            if last < Duration::from_millis(37) {
+                return;
             }
-        });
-        let elapsed = t0.elapsed();
-        assert!(elapsed < Duration::from_millis(37), "SSD reads serialized: {elapsed:?}");
+        }
+        panic!("SSD reads serialized: {last:?}");
     }
 
     #[test]

@@ -75,7 +75,9 @@ impl DatasetWriter {
         device: Arc<Device>,
     ) -> Result<Self, StorageError> {
         if series_len == 0 || series_len > u32::MAX as usize {
-            return Err(StorageError::Corrupt(format!("bad series_len {series_len}")));
+            return Err(StorageError::Corrupt(format!(
+                "bad series_len {series_len}"
+            )));
         }
         let mut out = BufWriter::new(File::create(path)?);
         // Placeholder header; `finish` writes the real count.
@@ -95,10 +97,12 @@ impl DatasetWriter {
     /// Length mismatches and I/O failures.
     pub fn push(&mut self, series: &[f32]) -> Result<(), StorageError> {
         if series.len() != self.series_len as usize {
-            return Err(StorageError::Series(dsidx_series::SeriesError::LengthMismatch {
-                expected: self.series_len as usize,
-                actual: series.len(),
-            }));
+            return Err(StorageError::Series(
+                dsidx_series::SeriesError::LengthMismatch {
+                    expected: self.series_len as usize,
+                    actual: series.len(),
+                },
+            ));
         }
         self.byte_buf.clear();
         for v in series {
@@ -134,7 +138,11 @@ impl DatasetWriter {
 ///
 /// # Errors
 /// I/O failures.
-pub fn write_dataset(path: &Path, dataset: &Dataset, device: Arc<Device>) -> Result<(), StorageError> {
+pub fn write_dataset(
+    path: &Path,
+    dataset: &Dataset,
+    device: Arc<Device>,
+) -> Result<(), StorageError> {
     let mut w = DatasetWriter::create(path, dataset.series_len(), device)?;
     for s in dataset.iter() {
         w.push(s)?;
@@ -239,7 +247,10 @@ impl DatasetFile {
     pub fn read_series_into(&self, pos: usize, out: &mut [f32]) -> Result<(), StorageError> {
         assert_eq!(out.len(), self.series_len, "output buffer length mismatch");
         if pos >= self.count {
-            return Err(StorageError::OutOfBounds { index: pos as u64, len: self.count as u64 });
+            return Err(StorageError::OutOfBounds {
+                index: pos as u64,
+                len: self.count as u64,
+            });
         }
         let bytes = self.series_len * 4;
         let mut buf = vec![0u8; bytes];
@@ -371,24 +382,36 @@ mod tests {
         // Bad magic.
         let path = dir.join("foreign.bin");
         std::fs::write(&path, b"NOTDSIDXAAAAAAAAAAAAAAAAAAAAAAAAAAAA").unwrap();
-        assert!(matches!(DatasetFile::open(&path, dev()), Err(StorageError::BadMagic)));
+        assert!(matches!(
+            DatasetFile::open(&path, dev()),
+            Err(StorageError::BadMagic)
+        ));
         // Too short for a header.
         let path = dir.join("short.bin");
         std::fs::write(&path, b"DS").unwrap();
-        assert!(matches!(DatasetFile::open(&path, dev()), Err(StorageError::Corrupt(_))));
+        assert!(matches!(
+            DatasetFile::open(&path, dev()),
+            Err(StorageError::Corrupt(_))
+        ));
         // Truncated payload.
         let path = dir.join("trunc.dsidx");
         let ds = random_walk(10, 8, 1);
         write_dataset(&path, &ds, dev()).unwrap();
         let full = std::fs::read(&path).unwrap();
         std::fs::write(&path, &full[..full.len() - 5]).unwrap();
-        assert!(matches!(DatasetFile::open(&path, dev()), Err(StorageError::Corrupt(_))));
+        assert!(matches!(
+            DatasetFile::open(&path, dev()),
+            Err(StorageError::Corrupt(_))
+        ));
         // Bad version.
         let path = dir.join("vers.dsidx");
         let mut bytes = full.clone();
         bytes[8] = 99;
         std::fs::write(&path, &bytes).unwrap();
-        assert!(matches!(DatasetFile::open(&path, dev()), Err(StorageError::BadVersion(99))));
+        assert!(matches!(
+            DatasetFile::open(&path, dev()),
+            Err(StorageError::BadVersion(99))
+        ));
     }
 
     #[test]

@@ -50,13 +50,11 @@ impl LeafStoreWriter {
     ///
     /// # Errors
     /// I/O failures; `segments` must be in `1..=16`.
-    pub fn create(
-        path: &Path,
-        segments: usize,
-        device: Arc<Device>,
-    ) -> Result<Self, StorageError> {
+    pub fn create(path: &Path, segments: usize, device: Arc<Device>) -> Result<Self, StorageError> {
         if segments == 0 || segments > dsidx_isax::MAX_SEGMENTS {
-            return Err(StorageError::Corrupt(format!("bad segment count {segments}")));
+            return Err(StorageError::Corrupt(format!(
+                "bad segment count {segments}"
+            )));
         }
         let mut out = BufWriter::new(File::create(path)?);
         let mut header = [0u8; HEADER_LEN as usize];
@@ -64,7 +62,10 @@ impl LeafStoreWriter {
         header[8..12].copy_from_slice(&(segments as u32).to_le_bytes());
         out.write_all(&header)?;
         Ok(Self {
-            inner: Mutex::new(WriterInner { out, next_offset: HEADER_LEN }),
+            inner: Mutex::new(WriterInner {
+                out,
+                next_offset: HEADER_LEN,
+            }),
             device,
             segments,
             path: path.to_path_buf(),
@@ -93,7 +94,10 @@ impl LeafStoreWriter {
         // generation would otherwise cost thousands of head movements that
         // a real append-only writer never makes).
         self.device.charge_append(buf.len() as u64);
-        Ok(LeafHandle { offset, count: entries.len() as u32 })
+        Ok(LeafHandle {
+            offset,
+            count: entries.len() as u32,
+        })
     }
 
     /// Flushes and reopens the store for reading.
@@ -137,9 +141,15 @@ impl LeafStoreReader {
         }
         let segments = u32::from_le_bytes(header[8..12].try_into().expect("slice of 4")) as usize;
         if segments == 0 || segments > dsidx_isax::MAX_SEGMENTS {
-            return Err(StorageError::Corrupt(format!("bad segment count {segments}")));
+            return Err(StorageError::Corrupt(format!(
+                "bad segment count {segments}"
+            )));
         }
-        Ok(Self { file, device, segments })
+        Ok(Self {
+            file,
+            device,
+            segments,
+        })
     }
 
     /// Number of segments per stored word.
@@ -152,11 +162,7 @@ impl LeafStoreReader {
     ///
     /// # Errors
     /// I/O failures (including truncated stores).
-    pub fn read(
-        &self,
-        handle: LeafHandle,
-        out: &mut Vec<(Word, u32)>,
-    ) -> Result<(), StorageError> {
+    pub fn read(&self, handle: LeafHandle, out: &mut Vec<(Word, u32)>) -> Result<(), StorageError> {
         let record = self.segments + 4;
         let bytes = handle.count as usize * record;
         let mut buf = vec![0u8; bytes];
@@ -188,7 +194,9 @@ mod tests {
     }
 
     fn word(seed: u8, segments: usize) -> Word {
-        let symbols: Vec<u8> = (0..segments).map(|i| seed.wrapping_add(i as u8 * 17)).collect();
+        let symbols: Vec<u8> = (0..segments)
+            .map(|i| seed.wrapping_add(i as u8 * 17))
+            .collect();
         Word::new(&symbols)
     }
 
@@ -228,8 +236,9 @@ mod tests {
             for t in 0..8usize {
                 let w = &w;
                 joins.push(s.spawn(move || {
-                    let entries: Vec<(Word, u32)> =
-                        (0..50).map(|i| (word((t * 50 + i) as u8, 8), (t * 50 + i) as u32)).collect();
+                    let entries: Vec<(Word, u32)> = (0..50)
+                        .map(|i| (word((t * 50 + i) as u8, 8), (t * 50 + i) as u32))
+                        .collect();
                     (t, w.append(&entries).unwrap())
                 }));
             }
@@ -251,10 +260,16 @@ mod tests {
     fn reader_rejects_foreign_files() {
         let path = tmp("foreign.leaf");
         std::fs::write(&path, b"WRONGMAGICxxxxxx").unwrap();
-        assert!(matches!(LeafStoreReader::open(&path, dev()), Err(StorageError::BadMagic)));
+        assert!(matches!(
+            LeafStoreReader::open(&path, dev()),
+            Err(StorageError::BadMagic)
+        ));
         let path = tmp("tiny.leaf");
         std::fs::write(&path, b"DS").unwrap();
-        assert!(matches!(LeafStoreReader::open(&path, dev()), Err(StorageError::Corrupt(_))));
+        assert!(matches!(
+            LeafStoreReader::open(&path, dev()),
+            Err(StorageError::Corrupt(_))
+        ));
     }
 
     #[test]

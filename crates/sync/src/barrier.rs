@@ -20,7 +20,11 @@ impl SpinBarrier {
     #[must_use]
     pub fn new(size: usize) -> Self {
         assert!(size > 0, "barrier needs at least one participant");
-        Self { size, arrived: AtomicUsize::new(0), generation: AtomicUsize::new(0) }
+        Self {
+            size,
+            arrived: AtomicUsize::new(0),
+            generation: AtomicUsize::new(0),
+        }
     }
 
     /// Blocks until all `size` participants have called `wait`. Returns

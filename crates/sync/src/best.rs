@@ -28,13 +28,17 @@ impl AtomicBest {
     /// Creates a BSF holding `+inf` and no position.
     #[must_use]
     pub fn new() -> Self {
-        Self { packed: AtomicU64::new(pack(f32::INFINITY, NO_POSITION)) }
+        Self {
+            packed: AtomicU64::new(pack(f32::INFINITY, NO_POSITION)),
+        }
     }
 
     /// Creates a BSF seeded with an initial candidate.
     #[must_use]
     pub fn with_initial(dist_sq: f32, pos: u32) -> Self {
-        Self { packed: AtomicU64::new(pack(dist_sq, pos)) }
+        Self {
+            packed: AtomicU64::new(pack(dist_sq, pos)),
+        }
     }
 
     /// Current best squared distance (cheap; used as the pruning threshold).
@@ -64,12 +68,10 @@ impl AtomicBest {
             if new >= cur {
                 return false;
             }
-            match self.packed.compare_exchange_weak(
-                cur,
-                new,
-                Ordering::AcqRel,
-                Ordering::Relaxed,
-            ) {
+            match self
+                .packed
+                .compare_exchange_weak(cur, new, Ordering::AcqRel, Ordering::Relaxed)
+            {
                 Ok(_) => return true,
                 Err(actual) => cur = actual,
             }

@@ -26,6 +26,8 @@ struct Job {
 // SAFETY: the raw pointer is only dereferenced while the owning `broadcast`
 // call is blocked, and the pointee is `Sync`.
 unsafe impl Send for Job {}
+// SAFETY: as above — all shared access to the pointee is `&`-only and the
+// pointee is `Sync`; every other field is itself `Sync`.
 unsafe impl Sync for Job {}
 
 /// A fixed-size pool of persistent worker threads.
@@ -95,7 +97,11 @@ impl WorkerPool {
                 }
             }));
         }
-        Self { senders, handles, run_lock: Mutex::new(()) }
+        Self {
+            senders,
+            handles,
+            run_lock: Mutex::new(()),
+        }
     }
 
     /// Number of workers.
@@ -116,10 +122,11 @@ impl WorkerPool {
     pub fn broadcast(&self, task: &(dyn Fn(usize) + Sync)) {
         let _serial = self.run_lock.lock();
         let n = self.senders.len();
-        // Erase the lifetime: justified because we block below until every
-        // worker has dropped its use of the pointer.
-        let erased: *const (dyn Fn(usize) + Sync) =
-            unsafe { std::mem::transmute::<&(dyn Fn(usize) + Sync), &'static (dyn Fn(usize) + Sync)>(task) };
+        // SAFETY: lifetime erasure is sound because this call blocks below
+        // until every worker has dropped its use of the pointer.
+        let erased: *const (dyn Fn(usize) + Sync) = unsafe {
+            std::mem::transmute::<&(dyn Fn(usize) + Sync), &'static (dyn Fn(usize) + Sync)>(task)
+        };
         let job = Arc::new(Job {
             task: erased,
             remaining: AtomicUsize::new(n),
@@ -128,7 +135,8 @@ impl WorkerPool {
             cv: Condvar::new(),
         });
         for tx in &self.senders {
-            tx.send(Arc::clone(&job)).expect("workers live as long as the pool");
+            tx.send(Arc::clone(&job))
+                .expect("workers live as long as the pool");
         }
         let mut done = job.done.lock();
         while !*done {
@@ -156,7 +164,8 @@ impl Drop for WorkerPool {
 /// counts, as in the paper's figures, reuse them).
 #[must_use]
 pub fn global(threads: usize) -> Arc<WorkerPool> {
-    static POOLS: OnceLock<Mutex<Vec<(usize, Arc<WorkerPool>)>>> = OnceLock::new();
+    type PoolCache = Mutex<Vec<(usize, Arc<WorkerPool>)>>;
+    static POOLS: OnceLock<PoolCache> = OnceLock::new();
     let pools = POOLS.get_or_init(|| Mutex::new(Vec::new()));
     let mut pools = pools.lock();
     if let Some((_, pool)) = pools.iter().find(|(n, _)| *n == threads) {

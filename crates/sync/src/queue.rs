@@ -16,7 +16,10 @@ impl WorkQueue {
     /// A queue over `0..total`.
     #[must_use]
     pub fn new(total: usize) -> Self {
-        Self { next: AtomicUsize::new(0), total }
+        Self {
+            next: AtomicUsize::new(0),
+            total,
+        }
     }
 
     /// Total number of items.

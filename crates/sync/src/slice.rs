@@ -162,7 +162,15 @@ mod tests {
         });
         let out = s.into_inner();
         for (t, v) in out.iter().enumerate() {
-            assert_eq!(v, &vec![t as u32 * 10, t as u32 * 10 + 1, t as u32 * 10 + 2, t as u32 * 10 + 3]);
+            assert_eq!(
+                v,
+                &vec![
+                    t as u32 * 10,
+                    t as u32 * 10 + 1,
+                    t as u32 * 10 + 2,
+                    t as u32 * 10 + 3
+                ]
+            );
         }
     }
 

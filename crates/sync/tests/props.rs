@@ -1,0 +1,83 @@
+//! Property tests for the concurrency substrate — centered on the
+//! determinism contract of [`AtomicBest`]: whatever the update order or
+//! thread interleaving, the final `(distance, position)` is the global
+//! minimum with the *lowest position winning exact distance ties*. Every
+//! engine's "deterministic answer across runs and threads" behaviour rests
+//! on this.
+
+use dsidx_sync::AtomicBest;
+use proptest::prelude::*;
+
+/// Reference semantics: minimum by `(dist, pos)` lexicographic order.
+fn reference_best(updates: &[(f32, u32)]) -> (f32, u32) {
+    let mut best = (f32::INFINITY, u32::MAX);
+    for &(d, p) in updates {
+        if d < best.0 || (d == best.0 && p < best.1) {
+            best = (d, p);
+        }
+    }
+    best
+}
+
+/// Distances drawn from a tiny set of magnitudes so exact ties are common
+/// (quantizing to a step of 0.25 makes equal f32 values routine).
+fn tie_heavy_updates() -> impl Strategy<Value = Vec<(f32, u32)>> {
+    collection::vec((0usize..8, 0u32..64), 1..200).prop_map(|raw| {
+        raw.into_iter()
+            .map(|(step, pos)| (step as f32 * 0.25, pos))
+            .collect()
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// Sequential updates in any order converge to the reference minimum,
+    /// with the lowest position winning every exact tie.
+    #[test]
+    fn lowest_position_wins_ties_sequentially(updates in tie_heavy_updates()) {
+        let best = AtomicBest::new();
+        for &(d, p) in &updates {
+            best.update(d, p);
+        }
+        prop_assert_eq!(best.get(), reference_best(&updates));
+    }
+
+    /// The same holds under concurrent updates: the winner is independent
+    /// of thread interleaving.
+    #[test]
+    fn lowest_position_wins_ties_concurrently(updates in tie_heavy_updates(), threads in 2usize..6) {
+        let best = AtomicBest::new();
+        std::thread::scope(|s| {
+            for t in 0..threads {
+                let best = &best;
+                let updates = &updates;
+                s.spawn(move || {
+                    // Each thread replays a strided slice of the updates.
+                    for (d, p) in updates.iter().skip(t).step_by(threads) {
+                        best.update(*d, *p);
+                    }
+                });
+            }
+        });
+        prop_assert_eq!(best.get(), reference_best(&updates));
+    }
+
+    /// `update` reports an improvement iff the packed order strictly
+    /// decreased — the invariant the engines' `real_computed` accounting
+    /// and BSF refresh logic rely on.
+    #[test]
+    fn update_returns_true_iff_it_improved(updates in tie_heavy_updates()) {
+        let best = AtomicBest::new();
+        let mut current = (f32::INFINITY, u32::MAX);
+        for &(d, p) in &updates {
+            let improved = best.update(d, p);
+            let should = d < current.0 || (d == current.0 && p < current.1);
+            prop_assert_eq!(improved, should, "update ({}, {}) against {:?}", d, p, current);
+            if should {
+                current = (d, p);
+            }
+            prop_assert_eq!(best.get(), current);
+        }
+    }
+}

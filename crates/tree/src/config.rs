@@ -26,7 +26,10 @@ impl TreeConfig {
         leaf_capacity: usize,
     ) -> Result<Self, IsaxError> {
         assert!(leaf_capacity > 0, "leaf capacity must be non-zero");
-        Ok(Self { quantizer: Quantizer::new(series_len, segments)?, leaf_capacity })
+        Ok(Self {
+            quantizer: Quantizer::new(series_len, segments)?,
+            leaf_capacity,
+        })
     }
 
     /// The quantizer (series length, segmentation, conversion routines).

@@ -225,7 +225,11 @@ impl FlatTree {
                 .expect("inner node has a refined segment");
             let bit = (word.symbol(seg) >> (dsidx_isax::MAX_BITS - node.bits[seg] - 1)) & 1;
             let (matching, sibling) = if bit == 1 { (one, zero) } else { (zero, one) };
-            idx = if self.node(matching).subtree_len() > 0 { matching } else { sibling };
+            idx = if self.node(matching).subtree_len() > 0 {
+                matching
+            } else {
+                sibling
+            };
         }
     }
 }
@@ -308,10 +312,18 @@ mod tests {
         assert_eq!(q.segments(), cfg.segments());
         for e in entries.iter().step_by(7) {
             let boxed_leaf = idx.leaf_for(&e.word).unwrap();
-            let root_pos = idx.occupied_roots().binary_search(&e.word.root_key()).unwrap();
+            let root_pos = idx
+                .occupied_roots()
+                .binary_search(&e.word.root_key())
+                .unwrap();
             let (_, root_idx) = flat.roots()[root_pos];
             let flat_leaf = flat.node(flat.descend(root_idx, &e.word));
-            let want: Vec<u32> = boxed_leaf.entries().unwrap().iter().map(|x| x.pos).collect();
+            let want: Vec<u32> = boxed_leaf
+                .entries()
+                .unwrap()
+                .iter()
+                .map(|x| x.pos)
+                .collect();
             let got: Vec<u32> = flat.leaf_entries(flat_leaf).iter().map(|x| x.pos).collect();
             assert_eq!(got, want);
         }
@@ -324,12 +336,7 @@ mod tests {
         let q = cfg.quantizer();
         let paa: Vec<f32> = (0..8).map(|i| i as f32 * 0.2 - 0.8).collect();
         let table = NodeMindistTable::new_point(&paa, q.segment_lens());
-        fn check(
-            flat: &FlatTree,
-            fidx: u32,
-            node: &Node,
-            table: &NodeMindistTable,
-        ) {
+        fn check(flat: &FlatTree, fidx: u32, node: &Node, table: &NodeMindistTable) {
             let direct = table.lookup(node.word());
             let got = flat.node(fidx).mindist_sq(table);
             assert!((direct - got).abs() <= direct.abs() * 1e-6 + 1e-7);

@@ -25,7 +25,12 @@ impl Index {
     #[must_use]
     pub fn new(config: TreeConfig) -> Self {
         let roots = (0..config.root_count()).map(|_| None).collect();
-        Self { config, roots, occupied: Vec::new(), len: 0 }
+        Self {
+            config,
+            roots,
+            occupied: Vec::new(),
+            len: 0,
+        }
     }
 
     /// Assembles an index from subtrees built in parallel.
@@ -37,10 +42,22 @@ impl Index {
     #[must_use]
     pub fn from_roots(config: TreeConfig, roots: Vec<Option<Box<Node>>>) -> Self {
         assert_eq!(roots.len(), config.root_count(), "root slot count mismatch");
-        let occupied: Vec<u16> =
-            roots.iter().enumerate().filter(|(_, r)| r.is_some()).map(|(k, _)| k as u16).collect();
-        let len = occupied.iter().map(|&k| roots[k as usize].as_ref().map_or(0, |n| n.entry_count())).sum();
-        Self { config, roots, occupied, len }
+        let occupied: Vec<u16> = roots
+            .iter()
+            .enumerate()
+            .filter(|(_, r)| r.is_some())
+            .map(|(k, _)| k as u16)
+            .collect();
+        let len = occupied
+            .iter()
+            .map(|&k| roots[k as usize].as_ref().map_or(0, |n| n.entry_count()))
+            .sum();
+        Self {
+            config,
+            roots,
+            occupied,
+            len,
+        }
     }
 
     /// Decomposes the index into its root slots (for staged parallel
@@ -78,10 +95,8 @@ impl Index {
         match slot {
             Some(node) => node.insert(entry, &self.config),
             None => {
-                let mut node = Box::new(Node::new_leaf(NodeWord::root(
-                    key,
-                    self.config.segments(),
-                )));
+                let mut node =
+                    Box::new(Node::new_leaf(NodeWord::root(key, self.config.segments())));
                 node.insert(entry, &self.config);
                 *slot = Some(node);
                 let at = self.occupied.partition_point(|&k| k < key);
@@ -126,7 +141,8 @@ impl Index {
     /// their approximate answers from.
     #[must_use]
     pub fn non_empty_leaf_for(&self, word: &Word) -> Option<&Node> {
-        self.root(word.root_key()).and_then(|n| n.descend_non_empty(word))
+        self.root(word.root_key())
+            .and_then(|n| n.descend_non_empty(word))
     }
 
     /// Some non-empty leaf, when the index is non-empty (fallback for

@@ -56,7 +56,10 @@ impl Node {
     /// A fresh empty leaf with the given word.
     #[must_use]
     pub fn new_leaf(word: NodeWord) -> Self {
-        Self { word, kind: NodeKind::Leaf(LeafPayload::default()) }
+        Self {
+            word,
+            kind: NodeKind::Leaf(LeafPayload::default()),
+        }
     }
 
     /// The node's variable-cardinality word.
@@ -92,9 +95,11 @@ impl Node {
     #[must_use]
     pub fn children(&self) -> Option<(usize, &Node, &Node)> {
         match &self.kind {
-            NodeKind::Inner { split_seg, zero, one } => {
-                Some((*split_seg as usize, zero, one))
-            }
+            NodeKind::Inner {
+                split_seg,
+                zero,
+                one,
+            } => Some((*split_seg as usize, zero, one)),
             NodeKind::Leaf(_) => None,
         }
     }
@@ -104,7 +109,10 @@ impl Node {
     /// # Panics
     /// In debug builds, panics if the entry does not belong under this node.
     pub fn insert(&mut self, entry: LeafEntry, config: &TreeConfig) {
-        debug_assert!(self.word.contains(&entry.word), "entry routed to wrong subtree");
+        debug_assert!(
+            self.word.contains(&entry.word),
+            "entry routed to wrong subtree"
+        );
         match &mut self.kind {
             NodeKind::Leaf(payload) => {
                 payload.entries.push(entry);
@@ -112,7 +120,11 @@ impl Node {
                     self.split(config);
                 }
             }
-            NodeKind::Inner { split_seg, zero, one } => {
+            NodeKind::Inner {
+                split_seg,
+                zero,
+                one,
+            } => {
                 let child = if self.word.split_bit(&entry.word, *split_seg as usize) {
                     one
                 } else {
@@ -134,8 +146,7 @@ impl Node {
         let NodeKind::Leaf(payload) = &mut self.kind else {
             unreachable!("split called on inner node");
         };
-        let Some(seg) =
-            choose_split_segment(payload.entries.iter().map(|e| &e.word), &self.word)
+        let Some(seg) = choose_split_segment(payload.entries.iter().map(|e| &e.word), &self.word)
         else {
             // Every segment at max cardinality: the leaf may exceed its
             // capacity (identical words are inseparable).
@@ -154,15 +165,25 @@ impl Node {
                 zero_entries.push(e);
             }
         }
-        zero.kind = NodeKind::Leaf(LeafPayload { entries: zero_entries, ..Default::default() });
-        one.kind = NodeKind::Leaf(LeafPayload { entries: one_entries, ..Default::default() });
+        zero.kind = NodeKind::Leaf(LeafPayload {
+            entries: zero_entries,
+            ..Default::default()
+        });
+        one.kind = NodeKind::Leaf(LeafPayload {
+            entries: one_entries,
+            ..Default::default()
+        });
         if zero.entries().map_or(0, <[LeafEntry]>::len) > config.leaf_capacity() {
             zero.split(config);
         }
         if one.entries().map_or(0, <[LeafEntry]>::len) > config.leaf_capacity() {
             one.split(config);
         }
-        self.kind = NodeKind::Inner { split_seg: seg as u8, zero, one };
+        self.kind = NodeKind::Inner {
+            split_seg: seg as u8,
+            zero,
+            one,
+        };
     }
 
     /// Descends towards `word`, returning the leaf it would land in.
@@ -172,7 +193,11 @@ impl Node {
         loop {
             match &node.kind {
                 NodeKind::Leaf(_) => return node,
-                NodeKind::Inner { split_seg, zero, one } => {
+                NodeKind::Inner {
+                    split_seg,
+                    zero,
+                    one,
+                } => {
                     node = if node.word.split_bit(word, *split_seg as usize) {
                         one
                     } else {
@@ -197,14 +222,21 @@ impl Node {
         loop {
             match &node.kind {
                 NodeKind::Leaf(_) => return Some(node),
-                NodeKind::Inner { split_seg, zero, one } => {
-                    let (matching, sibling) =
-                        if node.word.split_bit(word, *split_seg as usize) {
-                            (one, zero)
-                        } else {
-                            (zero, one)
-                        };
-                    node = if matching.entry_count() > 0 { matching } else { sibling };
+                NodeKind::Inner {
+                    split_seg,
+                    zero,
+                    one,
+                } => {
+                    let (matching, sibling) = if node.word.split_bit(word, *split_seg as usize) {
+                        (one, zero)
+                    } else {
+                        (zero, one)
+                    };
+                    node = if matching.entry_count() > 0 {
+                        matching
+                    } else {
+                        sibling
+                    };
                 }
             }
         }
@@ -390,14 +422,20 @@ mod tests {
             node.insert(*e, &cfg);
         }
         assert_eq!(node.unflushed_entries().len(), 4);
-        node.mark_flushed(LeafChunk { offset: 16, count: 4 });
+        node.mark_flushed(LeafChunk {
+            offset: 16,
+            count: 4,
+        });
         assert_eq!(node.unflushed_entries().len(), 0);
         // Two more entries arrive in the next generation.
         for e in &es[4..] {
             node.insert(*e, &cfg);
         }
         assert_eq!(node.unflushed_entries(), &es[4..]);
-        node.mark_flushed(LeafChunk { offset: 128, count: 2 });
+        node.mark_flushed(LeafChunk {
+            offset: 128,
+            count: 2,
+        });
         let p = node.payload().unwrap();
         assert_eq!(p.chunks.len(), 2);
         assert_eq!(p.flushed, 6);
@@ -408,7 +446,10 @@ mod tests {
         let cfg = config(4);
         let key = any_key(&cfg);
         let mut node = Node::new_leaf(NodeWord::root(key, 4));
-        node.mark_flushed(LeafChunk { offset: 0, count: 0 });
+        node.mark_flushed(LeafChunk {
+            offset: 0,
+            count: 0,
+        });
         assert!(node.payload().unwrap().chunks.is_empty());
     }
 
@@ -422,7 +463,10 @@ mod tests {
         for e in &es {
             node.insert(*e, &cfg);
         }
-        node.mark_flushed(LeafChunk { offset: 0, count: 5 });
+        node.mark_flushed(LeafChunk {
+            offset: 0,
+            count: 5,
+        });
     }
 
     #[test]
@@ -434,7 +478,10 @@ mod tests {
         for e in &es[..4] {
             node.insert(*e, &cfg);
         }
-        node.mark_flushed(LeafChunk { offset: 0, count: 4 });
+        node.mark_flushed(LeafChunk {
+            offset: 0,
+            count: 4,
+        });
         node.insert(es[4], &cfg); // overflow -> split
         assert!(!node.is_leaf());
         node.for_each_leaf(&mut |leaf| {

@@ -23,7 +23,10 @@ pub struct IndexStats {
 /// Computes shape statistics for an index.
 #[must_use]
 pub fn index_stats(index: &Index) -> IndexStats {
-    let mut stats = IndexStats { root_subtrees: index.occupied_roots().len(), ..Default::default() };
+    let mut stats = IndexStats {
+        root_subtrees: index.occupied_roots().len(),
+        ..Default::default()
+    };
     for &key in index.occupied_roots() {
         if let Some(node) = index.root(key) {
             visit(node, 0, &mut stats);
@@ -66,15 +69,35 @@ pub fn validate(index: &Index) {
         let node = index.root(key).expect("occupied root must exist");
         validate_node(node, cfg, &mut found);
     }
-    assert_eq!(found, index.len(), "index.len() disagrees with leaf contents");
+    assert_eq!(
+        found,
+        index.len(),
+        "index.len() disagrees with leaf contents"
+    );
 }
 
 fn validate_node(node: &Node, cfg: &crate::config::TreeConfig, found: &mut usize) {
     if let Some((seg, zero, one)) = node.children() {
-        assert_eq!(zero.word().bits(seg), node.word().bits(seg) + 1, "zero child bit count");
-        assert_eq!(one.word().bits(seg), node.word().bits(seg) + 1, "one child bit count");
-        assert_eq!(zero.word().prefix(seg) >> 1, node.word().prefix(seg), "zero child prefix");
-        assert_eq!(one.word().prefix(seg) >> 1, node.word().prefix(seg), "one child prefix");
+        assert_eq!(
+            zero.word().bits(seg),
+            node.word().bits(seg) + 1,
+            "zero child bit count"
+        );
+        assert_eq!(
+            one.word().bits(seg),
+            node.word().bits(seg) + 1,
+            "one child bit count"
+        );
+        assert_eq!(
+            zero.word().prefix(seg) >> 1,
+            node.word().prefix(seg),
+            "zero child prefix"
+        );
+        assert_eq!(
+            one.word().prefix(seg) >> 1,
+            node.word().prefix(seg),
+            "one child prefix"
+        );
         assert_eq!(zero.word().prefix(seg) & 1, 0, "zero child last bit");
         assert_eq!(one.word().prefix(seg) & 1, 1, "one child last bit");
         validate_node(zero, cfg, found);
@@ -93,7 +116,10 @@ fn validate_node(node: &Node, cfg: &crate::config::TreeConfig, found: &mut usize
             );
         }
         for e in entries {
-            assert!(node.word().contains(&e.word), "entry outside its leaf's region");
+            assert!(
+                node.word().contains(&e.word),
+                "entry outside its leaf's region"
+            );
         }
     }
 }

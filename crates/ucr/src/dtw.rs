@@ -113,9 +113,7 @@ mod tests {
                     let want = brute_force_dtw(&data, q, band).unwrap();
                     let got = scan_dtw(&data, q, band).unwrap();
                     assert_eq!(got.pos, want.pos, "{} band={band}", kind.name());
-                    assert!(
-                        (got.dist_sq - want.dist_sq).abs() <= want.dist_sq * 1e-4 + 1e-4
-                    );
+                    assert!((got.dist_sq - want.dist_sq).abs() <= want.dist_sq * 1e-4 + 1e-4);
                 }
             }
         }
@@ -159,7 +157,11 @@ mod tests {
         let dtw_match = scan_dtw(&data, q, 4).unwrap();
         // Positions 7 (original) and 20 (shifted) are both near-perfect under
         // DTW; either is acceptable, but the distance must be tiny.
-        assert!(dtw_match.pos == 7 || dtw_match.pos == 20, "pos={}", dtw_match.pos);
+        assert!(
+            dtw_match.pos == 7 || dtw_match.pos == 20,
+            "pos={}",
+            dtw_match.pos
+        );
         assert!(dtw_match.dist_sq < 1.0, "dist_sq={}", dtw_match.dist_sq);
     }
 

@@ -63,9 +63,7 @@ mod tests {
                 for threads in [1usize, 2, 4, 8] {
                     let got = scan_ed_parallel(&data, q, threads).unwrap();
                     assert_eq!(got.pos, want.pos, "{} x{threads}", kind.name());
-                    assert!(
-                        (got.dist_sq - want.dist_sq).abs() <= want.dist_sq * 1e-4 + 1e-4
-                    );
+                    assert!((got.dist_sq - want.dist_sq).abs() <= want.dist_sq * 1e-4 + 1e-4);
                 }
             }
         }

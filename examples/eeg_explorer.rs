@@ -66,7 +66,8 @@ fn main() -> Result<(), Error> {
 
     // Pruning effectiveness on this hard (EEG-like) distribution, using
     // the engine crate directly for instrumentation.
-    let cfg = dsidx::messi::MessiConfig::new(options.tree_config(len)?, options.effective_threads());
+    let cfg =
+        dsidx::messi::MessiConfig::new(options.tree_config(len)?, options.effective_threads());
     let (messi, _) = dsidx::messi::build(&data, &cfg);
     let (_, stats) =
         dsidx::messi::exact_nn(&messi, &data, seed_query.get(0), &cfg).expect("non-empty");

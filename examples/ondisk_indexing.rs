@@ -18,7 +18,10 @@ fn main() -> Result<(), Error> {
     std::fs::create_dir_all(&dir).map_err(dsidx::storage::StorageError::from)?;
     let dataset_path = dir.join("archive.dsidx");
 
-    println!("writing {n} x {len} random-walk series to {}", dataset_path.display());
+    println!(
+        "writing {n} x {len} random-walk series to {}",
+        dataset_path.display()
+    );
     let data = DatasetKind::Synthetic.generate(n, len, 2026);
     dsidx::storage::write_dataset(
         &dataset_path,
@@ -51,15 +54,18 @@ fn main() -> Result<(), Error> {
                 report.visible_write()
             );
         } else {
-            println!("{:<8} {:>8.2?}      (serial: no pipeline breakdown)", engine.name(), total);
+            println!(
+                "{:<8} {:>8.2?}      (serial: no pipeline breakdown)",
+                engine.name(),
+                total
+            );
         }
     }
 
     println!("\n-- exact query answering, HDD vs SSD (ParIS+) --");
     let queries = DatasetKind::Synthetic.queries(3, len, 2026);
     for profile in [DeviceProfile::HDD, DeviceProfile::SSD] {
-        let index =
-            DiskIndex::build(&dataset_path, &dir, Engine::ParisPlus, &options, profile)?;
+        let index = DiskIndex::build(&dataset_path, &dir, Engine::ParisPlus, &options, profile)?;
         index.file().device().reset_stats();
         let t = Instant::now();
         for q in queries.iter() {

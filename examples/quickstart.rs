@@ -55,6 +55,10 @@ fn main() -> Result<(), Error> {
     let dtw = index.nn_dtw(q, band)?.expect("non-empty");
     println!("\nsame index, both measures (query 0):");
     println!("    ED : #{:<6} dist {:.4}", ed.pos, ed.dist());
-    println!("    DTW: #{:<6} dist {:.4} (band {band})", dtw.pos, dtw.dist());
+    println!(
+        "    DTW: #{:<6} dist {:.4} (band {band})",
+        dtw.pos,
+        dtw.dist()
+    );
     Ok(())
 }

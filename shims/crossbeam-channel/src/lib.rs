@@ -1,0 +1,339 @@
+//! Offline stand-in for the `crossbeam-channel` crate.
+//!
+//! The workspace builds in hermetic environments with no registry access,
+//! so the subset of the crossbeam-channel API the codebase uses is
+//! implemented here: multi-producer **multi-consumer** `bounded`/
+//! `unbounded` channels (both `Sender` and `Receiver` are `Clone`),
+//! blocking `send`/`recv`, and `try_recv`. Backed by a mutex-protected
+//! deque with two condition variables; adequate for the worker-pool and
+//! pipeline fan-out patterns this workspace relies on, not a lock-free
+//! replacement.
+
+use std::collections::VecDeque;
+use std::fmt;
+use std::sync::{Arc, Condvar, Mutex, PoisonError};
+
+struct State<T> {
+    queue: VecDeque<T>,
+    senders: usize,
+    receivers: usize,
+}
+
+struct Chan<T> {
+    state: Mutex<State<T>>,
+    capacity: Option<usize>,
+    not_empty: Condvar,
+    not_full: Condvar,
+}
+
+/// Error returned by [`Sender::send`] when all receivers are gone; carries
+/// the unsent value.
+#[derive(PartialEq, Eq, Clone, Copy)]
+pub struct SendError<T>(pub T);
+
+impl<T> fmt::Debug for SendError<T> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str("SendError(..)")
+    }
+}
+
+impl<T> fmt::Display for SendError<T> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str("sending on a disconnected channel")
+    }
+}
+
+/// Error returned by [`Receiver::recv`] when the channel is empty and all
+/// senders are gone.
+#[derive(Debug, PartialEq, Eq, Clone, Copy)]
+pub struct RecvError;
+
+impl fmt::Display for RecvError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str("receiving on an empty and disconnected channel")
+    }
+}
+
+/// Error returned by [`Receiver::try_recv`].
+#[derive(Debug, PartialEq, Eq, Clone, Copy)]
+pub enum TryRecvError {
+    /// The channel is currently empty.
+    Empty,
+    /// All senders are gone and the channel is drained.
+    Disconnected,
+}
+
+/// The sending half of a channel. Cloning adds a producer.
+pub struct Sender<T> {
+    chan: Arc<Chan<T>>,
+}
+
+/// The receiving half of a channel. Cloning adds a consumer.
+pub struct Receiver<T> {
+    chan: Arc<Chan<T>>,
+}
+
+/// Creates a channel that holds at most `capacity` in-flight messages;
+/// `send` blocks while full.
+///
+/// # Panics
+/// Panics on `capacity == 0`: the real crossbeam-channel treats that as a
+/// rendezvous channel, which this shim does not implement — failing loudly
+/// beats deadlocking a future caller.
+#[must_use]
+pub fn bounded<T>(capacity: usize) -> (Sender<T>, Receiver<T>) {
+    assert!(
+        capacity > 0,
+        "zero-capacity (rendezvous) channels are not supported by this shim"
+    );
+    make_channel(Some(capacity))
+}
+
+/// Creates a channel with unlimited buffering.
+#[must_use]
+pub fn unbounded<T>() -> (Sender<T>, Receiver<T>) {
+    make_channel(None)
+}
+
+fn make_channel<T>(capacity: Option<usize>) -> (Sender<T>, Receiver<T>) {
+    let chan = Arc::new(Chan {
+        state: Mutex::new(State {
+            queue: VecDeque::new(),
+            senders: 1,
+            receivers: 1,
+        }),
+        capacity,
+        not_empty: Condvar::new(),
+        not_full: Condvar::new(),
+    });
+    (
+        Sender {
+            chan: Arc::clone(&chan),
+        },
+        Receiver { chan },
+    )
+}
+
+impl<T> Sender<T> {
+    /// Delivers a message, blocking while a bounded channel is full.
+    ///
+    /// # Errors
+    /// Returns the message if every receiver has been dropped.
+    pub fn send(&self, value: T) -> Result<(), SendError<T>> {
+        let mut state = self
+            .chan
+            .state
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner);
+        loop {
+            if state.receivers == 0 {
+                return Err(SendError(value));
+            }
+            match self.chan.capacity {
+                Some(cap) if state.queue.len() >= cap => {
+                    state = self
+                        .chan
+                        .not_full
+                        .wait(state)
+                        .unwrap_or_else(PoisonError::into_inner);
+                }
+                _ => break,
+            }
+        }
+        state.queue.push_back(value);
+        drop(state);
+        self.chan.not_empty.notify_one();
+        Ok(())
+    }
+}
+
+impl<T> Clone for Sender<T> {
+    fn clone(&self) -> Self {
+        self.chan
+            .state
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner)
+            .senders += 1;
+        Self {
+            chan: Arc::clone(&self.chan),
+        }
+    }
+}
+
+impl<T> Drop for Sender<T> {
+    fn drop(&mut self) {
+        let mut state = self
+            .chan
+            .state
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner);
+        state.senders -= 1;
+        if state.senders == 0 {
+            drop(state);
+            // Blocked receivers must wake to observe the disconnect.
+            self.chan.not_empty.notify_all();
+        }
+    }
+}
+
+impl<T> Receiver<T> {
+    /// Takes the next message, blocking while the channel is empty.
+    ///
+    /// # Errors
+    /// Fails once the channel is drained and every sender is dropped.
+    pub fn recv(&self) -> Result<T, RecvError> {
+        let mut state = self
+            .chan
+            .state
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner);
+        loop {
+            if let Some(value) = state.queue.pop_front() {
+                drop(state);
+                self.chan.not_full.notify_one();
+                return Ok(value);
+            }
+            if state.senders == 0 {
+                return Err(RecvError);
+            }
+            state = self
+                .chan
+                .not_empty
+                .wait(state)
+                .unwrap_or_else(PoisonError::into_inner);
+        }
+    }
+
+    /// Takes the next message if one is ready.
+    ///
+    /// # Errors
+    /// [`TryRecvError::Empty`] when nothing is buffered,
+    /// [`TryRecvError::Disconnected`] once drained with no senders left.
+    pub fn try_recv(&self) -> Result<T, TryRecvError> {
+        let mut state = self
+            .chan
+            .state
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner);
+        if let Some(value) = state.queue.pop_front() {
+            drop(state);
+            self.chan.not_full.notify_one();
+            return Ok(value);
+        }
+        if state.senders == 0 {
+            return Err(TryRecvError::Disconnected);
+        }
+        Err(TryRecvError::Empty)
+    }
+}
+
+impl<T> Clone for Receiver<T> {
+    fn clone(&self) -> Self {
+        self.chan
+            .state
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner)
+            .receivers += 1;
+        Self {
+            chan: Arc::clone(&self.chan),
+        }
+    }
+}
+
+impl<T> Drop for Receiver<T> {
+    fn drop(&mut self) {
+        let mut state = self
+            .chan
+            .state
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner);
+        state.receivers -= 1;
+        if state.receivers == 0 {
+            drop(state);
+            // Blocked senders must wake to observe the disconnect.
+            self.chan.not_full.notify_all();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn unbounded_send_and_receive() {
+        let (tx, rx) = unbounded();
+        tx.send(5).unwrap();
+        assert_eq!(rx.recv().unwrap(), 5);
+        assert_eq!(rx.try_recv(), Err(TryRecvError::Empty));
+        drop(tx);
+        assert_eq!(rx.try_recv(), Err(TryRecvError::Disconnected));
+        assert_eq!(rx.recv(), Err(RecvError));
+    }
+
+    #[test]
+    fn cloned_receivers_share_the_queue() {
+        let (tx, rx1) = unbounded();
+        let rx2 = rx1.clone();
+        tx.send(1).unwrap();
+        tx.send(2).unwrap();
+        let a = rx1.recv().unwrap();
+        let b = rx2.recv().unwrap();
+        assert_eq!(a + b, 3);
+    }
+
+    #[test]
+    fn bounded_send_blocks_until_drained() {
+        let (tx, rx) = bounded(1);
+        tx.send(1).unwrap();
+        let h = std::thread::spawn(move || {
+            tx.send(2).unwrap(); // blocks until the first recv below
+            tx.send(3).unwrap();
+        });
+        assert_eq!(rx.recv().unwrap(), 1);
+        assert_eq!(rx.recv().unwrap(), 2);
+        assert_eq!(rx.recv().unwrap(), 3);
+        h.join().unwrap();
+    }
+
+    #[test]
+    fn send_to_dropped_receiver_fails() {
+        let (tx, rx) = bounded(1);
+        drop(rx);
+        assert_eq!(tx.send(9), Err(SendError(9)));
+    }
+
+    #[test]
+    fn mpmc_under_contention_delivers_everything() {
+        let (tx, rx) = bounded::<u64>(4);
+        let consumers: Vec<_> = (0..3)
+            .map(|_| {
+                let rx = rx.clone();
+                std::thread::spawn(move || {
+                    let mut sum = 0u64;
+                    while let Ok(v) = rx.recv() {
+                        sum += v;
+                    }
+                    sum
+                })
+            })
+            .collect();
+        drop(rx);
+        let producers: Vec<_> = (0..2)
+            .map(|_| {
+                let tx = tx.clone();
+                std::thread::spawn(move || {
+                    for v in 1..=100u64 {
+                        tx.send(v).unwrap();
+                    }
+                })
+            })
+            .collect();
+        drop(tx);
+        for p in producers {
+            p.join().unwrap();
+        }
+        let total: u64 = consumers.into_iter().map(|c| c.join().unwrap()).sum();
+        assert_eq!(total, 2 * (100 * 101) / 2);
+    }
+}

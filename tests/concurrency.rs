@@ -14,8 +14,10 @@ fn concurrent_clients_get_exact_answers() {
     for engine in [Engine::Paris, Engine::Messi] {
         let idx = Arc::new(MemoryIndex::build(data.clone(), engine, &opts).unwrap());
         let queries = Arc::new(DatasetKind::Synthetic.queries(12, 64, 31));
-        let expected: Vec<Match> =
-            queries.iter().map(|q| brute_force(idx.data(), q).unwrap()).collect();
+        let expected: Vec<Match> = queries
+            .iter()
+            .map(|q| brute_force(idx.data(), q).unwrap())
+            .collect();
         std::thread::scope(|s| {
             for client in 0..6usize {
                 let idx = Arc::clone(&idx);
@@ -26,7 +28,12 @@ fn concurrent_clients_get_exact_answers() {
                     for k in 0..queries.len() {
                         let i = (client + k) % queries.len();
                         let got = idx.nn(queries.get(i)).unwrap().unwrap();
-                        assert_eq!(got.pos, expected[i].pos, "{} client {client}", engine.name());
+                        assert_eq!(
+                            got.pos,
+                            expected[i].pos,
+                            "{} client {client}",
+                            engine.name()
+                        );
                     }
                 });
             }
@@ -40,10 +47,14 @@ fn answers_are_identical_across_thread_counts() {
     let queries = DatasetKind::Sald.queries(6, 96, 5);
     let mut reference: Option<Vec<Match>> = None;
     for threads in [1usize, 2, 8, 16] {
-        let opts = Options::default().with_threads(threads).with_leaf_capacity(25);
+        let opts = Options::default()
+            .with_threads(threads)
+            .with_leaf_capacity(25);
         let idx = MemoryIndex::build(data.clone(), Engine::Messi, &opts).unwrap();
-        let answers: Vec<Match> =
-            queries.iter().map(|q| idx.nn(q).unwrap().unwrap()).collect();
+        let answers: Vec<Match> = queries
+            .iter()
+            .map(|q| idx.nn(q).unwrap().unwrap())
+            .collect();
         match &reference {
             None => reference = Some(answers),
             Some(r) => assert_eq!(&answers, r, "threads={threads}"),

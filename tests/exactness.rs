@@ -6,7 +6,9 @@ use dsidx::prelude::*;
 use dsidx::ucr::brute_force;
 
 fn opts(threads: usize, leaf: usize) -> Options {
-    Options::default().with_threads(threads).with_leaf_capacity(leaf)
+    Options::default()
+        .with_threads(threads)
+        .with_leaf_capacity(leaf)
 }
 
 #[test]
@@ -22,7 +24,13 @@ fn all_engines_agree_with_brute_force_on_all_families() {
             let want = brute_force(&data, q).unwrap();
             for idx in &indexes {
                 let got = idx.nn(q).unwrap().unwrap();
-                assert_eq!(got.pos, want.pos, "{} on {}", idx.engine().name(), kind.name());
+                assert_eq!(
+                    got.pos,
+                    want.pos,
+                    "{} on {}",
+                    idx.engine().name(),
+                    kind.name()
+                );
                 assert!(
                     (got.dist_sq - want.dist_sq).abs() <= want.dist_sq * 1e-4 + 1e-4,
                     "{} distance mismatch",

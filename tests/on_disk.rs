@@ -29,8 +29,7 @@ fn disk_engines_agree_with_brute_force() {
             generation_series: 128,
             ..opts()
         };
-        let idx =
-            DiskIndex::build(&path, &dir, engine, &o, DeviceProfile::UNTHROTTLED).unwrap();
+        let idx = DiskIndex::build(&path, &dir, engine, &o, DeviceProfile::UNTHROTTLED).unwrap();
         for q in queries.iter() {
             let want = brute_force(&data, q).unwrap();
             let got = idx.nn(q).unwrap().unwrap();
@@ -81,14 +80,22 @@ fn queries_charge_the_device() {
     let data = DatasetKind::Seismic.generate(400, 64, 3);
     let path = dir.join("data.dsidx");
     write_dataset(&path, &data, Arc::new(Device::unthrottled())).unwrap();
-    let idx =
-        DiskIndex::build(&path, &dir, Engine::ParisPlus, &opts(), DeviceProfile::UNTHROTTLED)
-            .unwrap();
+    let idx = DiskIndex::build(
+        &path,
+        &dir,
+        Engine::ParisPlus,
+        &opts(),
+        DeviceProfile::UNTHROTTLED,
+    )
+    .unwrap();
     idx.file().device().reset_stats();
     let q = DatasetKind::Seismic.queries(1, 64, 3);
     let _ = idx.nn(q.get(0)).unwrap().unwrap();
     let stats = idx.file().device().stats();
-    assert!(stats.bytes_read > 0, "query must read raw values through the device");
+    assert!(
+        stats.bytes_read > 0,
+        "query must read raw values through the device"
+    );
 }
 
 #[test]
@@ -97,7 +104,13 @@ fn corrupt_files_error_cleanly() {
     // Not a dataset at all.
     let bogus = dir.join("bogus.dsidx");
     std::fs::write(&bogus, b"this is not a dataset file at all........").unwrap();
-    let e = DiskIndex::build(&bogus, &dir, Engine::Paris, &opts(), DeviceProfile::UNTHROTTLED);
+    let e = DiskIndex::build(
+        &bogus,
+        &dir,
+        Engine::Paris,
+        &opts(),
+        DeviceProfile::UNTHROTTLED,
+    );
     assert!(e.is_err());
     // Truncated payload.
     let data = DatasetKind::Synthetic.generate(50, 32, 5);
@@ -105,7 +118,13 @@ fn corrupt_files_error_cleanly() {
     write_dataset(&path, &data, Arc::new(Device::unthrottled())).unwrap();
     let bytes = std::fs::read(&path).unwrap();
     std::fs::write(&path, &bytes[..bytes.len() - 9]).unwrap();
-    let e = DiskIndex::build(&path, &dir, Engine::Ads, &opts(), DeviceProfile::UNTHROTTLED);
+    let e = DiskIndex::build(
+        &path,
+        &dir,
+        Engine::Ads,
+        &opts(),
+        DeviceProfile::UNTHROTTLED,
+    );
     assert!(e.is_err(), "truncated file must be rejected");
 }
 
@@ -115,10 +134,19 @@ fn wrong_length_query_errors_or_panics_contained() {
     let data = DatasetKind::Synthetic.generate(50, 64, 5);
     let path = dir.join("data.dsidx");
     write_dataset(&path, &data, Arc::new(Device::unthrottled())).unwrap();
-    let idx =
-        DiskIndex::build(&path, &dir, Engine::Ads, &opts(), DeviceProfile::UNTHROTTLED).unwrap();
+    let idx = DiskIndex::build(
+        &path,
+        &dir,
+        Engine::Ads,
+        &opts(),
+        DeviceProfile::UNTHROTTLED,
+    )
+    .unwrap();
     let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| idx.nn(&[0.0; 16])));
-    assert!(result.is_err(), "length mismatch is a programming error and panics");
+    assert!(
+        result.is_err(),
+        "length mismatch is a programming error and panics"
+    );
 }
 
 #[test]
