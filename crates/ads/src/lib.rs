@@ -18,4 +18,4 @@ pub mod query;
 
 pub use build::{build_from_dataset, build_from_file, AdsBuildReport, AdsIndex};
 pub use dsidx_query::QueryStats;
-pub use query::exact_nn;
+pub use query::{exact_knn, exact_nn};

@@ -7,11 +7,47 @@
 
 use crate::build::AdsIndex;
 use dsidx_query::{
-    approx_leaf, scan_sax_serial, seed_from_entries, PreparedQuery, QueryStats, SeriesFetcher,
+    approx_leaf, finish_knn, scan_sax_serial, seed_from_entries, PreparedQuery, Pruner, QueryStats,
+    SeriesFetcher, SharedTopK,
 };
 use dsidx_series::Match;
 use dsidx_storage::{RawSource, StorageError};
 use dsidx_sync::AtomicBest;
+
+/// The shared SIMS schedule behind [`exact_nn`] and [`exact_knn`]:
+/// approximate descent for the initial threshold, then the serial
+/// SAX-array scan. Returns `None` for an empty index.
+fn run_exact<P: Pruner>(
+    ads: &AdsIndex,
+    source: &impl RawSource,
+    query: &[f32],
+    pruner: &P,
+) -> Result<Option<QueryStats>, StorageError> {
+    let config = ads.index.config();
+    assert_eq!(query.len(), config.series_len(), "query length mismatch");
+    if ads.index.is_empty() {
+        return Ok(None);
+    }
+    let prep = PreparedQuery::new(config.quantizer(), query);
+    let mut fetcher = SeriesFetcher::new(source);
+    let mut stats = QueryStats::default();
+
+    // Step 1: approximate answer from the closest leaf.
+    let leaf = approx_leaf(&ads.index, &prep.word).expect("non-empty index has a non-empty leaf");
+    let entries = leaf.entries().expect("serial leaves are resident");
+    stats.real_computed += seed_from_entries(entries, &mut fetcher, query, pruner)?;
+
+    // Step 2: SIMS — serial scan of the SAX array with lower-bound pruning.
+    scan_sax_serial(
+        ads.sax.words(),
+        &prep.table,
+        &mut fetcher,
+        query,
+        pruner,
+        &mut stats,
+    )?;
+    Ok(Some(stats))
+}
 
 /// Exact 1-NN via the serial index path: approximate descent for an
 /// initial best-so-far, then a serial SAX-array scan with lower-bound
@@ -29,33 +65,38 @@ pub fn exact_nn(
     source: &impl RawSource,
     query: &[f32],
 ) -> Result<Option<(Match, QueryStats)>, StorageError> {
-    let config = ads.index.config();
-    assert_eq!(query.len(), config.series_len(), "query length mismatch");
-    if ads.index.is_empty() {
-        return Ok(None);
-    }
-    let prep = PreparedQuery::new(config.quantizer(), query);
-    let mut fetcher = SeriesFetcher::new(source);
     let best = AtomicBest::new();
-    let mut stats = QueryStats::default();
+    match run_exact(ads, source, query, &best)? {
+        None => Ok(None),
+        Some(stats) => {
+            let (dist_sq, pos) = best.get();
+            Ok(Some((Match::new(pos, dist_sq), stats)))
+        }
+    }
+}
 
-    // Step 1: approximate answer from the closest leaf.
-    let leaf = approx_leaf(&ads.index, &prep.word).expect("non-empty index has a non-empty leaf");
-    let entries = leaf.entries().expect("serial leaves are resident");
-    stats.real_computed += seed_from_entries(entries, &mut fetcher, query, &best)?;
-
-    // Step 2: SIMS — serial scan of the SAX array with lower-bound pruning.
-    scan_sax_serial(
-        ads.sax.words(),
-        &prep.table,
-        &mut fetcher,
-        query,
-        &best,
-        &mut stats,
-    )?;
-
-    let (dist_sq, pos) = best.get();
-    Ok(Some((Match::new(pos, dist_sq), stats)))
+/// Exact k-NN via the same serial index path, pruning against the k-th
+/// best distance (a [`SharedTopK`]) instead of the single best.
+///
+/// Returns the up-to-`k` nearest series sorted ascending by
+/// `(distance, position)` — fewer than `k` when the collection is smaller,
+/// empty for an empty index.
+///
+/// # Errors
+/// Propagates raw-source I/O failures.
+///
+/// # Panics
+/// Panics if the query length differs from the configured series length or
+/// `k == 0`.
+pub fn exact_knn(
+    ads: &AdsIndex,
+    source: &impl RawSource,
+    query: &[f32],
+    k: usize,
+) -> Result<(Vec<Match>, QueryStats), StorageError> {
+    let topk = SharedTopK::new(k);
+    let stats = run_exact(ads, source, query, &topk)?;
+    Ok(finish_knn(&topk, stats))
 }
 
 #[cfg(test)]
@@ -105,6 +146,47 @@ mod tests {
             pruned_everything,
             "lower bounds should prune most sines candidates"
         );
+    }
+
+    #[test]
+    fn knn_equals_brute_force_topk() {
+        let data = DatasetKind::Synthetic.generate(400, 64, 13);
+        let (ads, _) = build_from_dataset(&data, &config());
+        let queries = DatasetKind::Synthetic.queries(4, 64, 13);
+        for q in queries.iter() {
+            for k in [1usize, 5, 25, 400, 500] {
+                let (got, stats) = exact_knn(&ads, &data, q, k).unwrap();
+                let want = dsidx_ucr::brute_force_knn(&data, q, k);
+                assert_eq!(got.len(), want.len(), "k={k}");
+                for (g, w) in got.iter().zip(&want) {
+                    assert_eq!(g.pos, w.pos, "k={k}");
+                    assert!((g.dist_sq - w.dist_sq).abs() <= w.dist_sq * 1e-4 + 1e-4);
+                }
+                assert_eq!(stats.lb_computed, 400);
+            }
+        }
+    }
+
+    #[test]
+    fn knn_at_k1_matches_exact_nn() {
+        let data = DatasetKind::Sald.generate(300, 64, 7);
+        let (ads, _) = build_from_dataset(&data, &config());
+        let queries = DatasetKind::Sald.queries(5, 64, 7);
+        for q in queries.iter() {
+            let (nn, _) = exact_nn(&ads, &data, q).unwrap().unwrap();
+            let (knn, _) = exact_knn(&ads, &data, q, 1).unwrap();
+            assert_eq!(knn.len(), 1);
+            assert_eq!(knn[0].pos, nn.pos);
+        }
+    }
+
+    #[test]
+    fn knn_on_empty_index_is_empty() {
+        let data = dsidx_series::Dataset::new(64).unwrap();
+        let (ads, _) = build_from_dataset(&data, &config());
+        let (got, stats) = exact_knn(&ads, &data, &vec![0.0; 64], 3).unwrap();
+        assert!(got.is_empty());
+        assert_eq!(stats, QueryStats::default());
     }
 
     #[test]

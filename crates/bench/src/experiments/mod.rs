@@ -12,6 +12,7 @@ pub mod fig6;
 pub mod fig7;
 pub mod fig8;
 pub mod fig9;
+pub mod knn;
 
 use crate::Scale;
 
@@ -69,6 +70,11 @@ pub const ALL: &[Experiment] = &[
         "ext-dtw",
         "§V extension: DTW query answering on the ED-built index",
         ext_dtw::run,
+    ),
+    (
+        "knn",
+        "Extension: exact k-NN sweep (k in {1,5,10,50,100}) per engine",
+        knn::run,
     ),
     (
         "abl-buffers",

@@ -158,16 +158,46 @@ pub fn dataset_seed(kind: DatasetKind) -> u64 {
     }
 }
 
-/// Generates the in-memory dataset for a family at a scale.
+/// Path to a real raw-binary-f32 collection for a family, if the operator
+/// pointed `DSIDX_DATA_DIR` at a directory containing `<family>.f32` files
+/// (the standard headerless little-endian format the paper's collections
+/// are distributed in — e.g. `synthetic.f32`, `sald.f32`, `seismic.f32`).
+#[must_use]
+pub fn real_dataset_path(kind: DatasetKind) -> Option<PathBuf> {
+    let dir = std::env::var_os("DSIDX_DATA_DIR")?;
+    let path = PathBuf::from(dir).join(format!("{}.f32", kind.name().to_lowercase()));
+    path.exists().then_some(path)
+}
+
+/// The in-memory dataset for a family at a scale: the real collection
+/// (first `mem_series` records of `$DSIDX_DATA_DIR/<family>.f32`, see
+/// [`real_dataset_path`]) when available, the in-repo generator otherwise.
+///
+/// # Panics
+/// Panics when a provided real file cannot be read at the scale's series
+/// length — a misconfiguration worth failing loudly on, not silently
+/// substituting synthetic data for.
 #[must_use]
 pub fn mem_dataset(kind: DatasetKind, scale: &Scale) -> Dataset {
+    let len = scale.len_for(kind);
+    if let Some(path) = real_dataset_path(kind) {
+        eprintln!(
+            "  [load] {} from {} (<= {} x {len})",
+            kind.name(),
+            path.display(),
+            scale.mem_series,
+        );
+        let mut data = dsidx::series::load::load_raw_f32_range(&path, len, 0, scale.mem_series)
+            .unwrap_or_else(|e| panic!("loading {}: {e}", path.display()));
+        data.znormalize_all();
+        return data;
+    }
     eprintln!(
-        "  [gen] {} in memory ({} x {})",
+        "  [gen] {} in memory ({} x {len})",
         kind.name(),
         scale.mem_series,
-        scale.len_for(kind)
     );
-    kind.generate(scale.mem_series, scale.len_for(kind), dataset_seed(kind))
+    kind.generate(scale.mem_series, len, dataset_seed(kind))
 }
 
 /// Query workload for a family: fresh draws from the same generative

@@ -120,7 +120,8 @@ impl MemoryIndex {
         &self.data
     }
 
-    /// Exact 1-NN under Euclidean distance. `None` for an empty dataset.
+    /// Exact 1-NN under Euclidean distance — the k = 1 special case of
+    /// [`knn`](Self::knn). `None` for an empty dataset.
     ///
     /// # Errors
     /// Propagates engine failures (none occur for in-memory sources, but
@@ -136,15 +137,51 @@ impl MemoryIndex {
     /// # Errors
     /// Propagates engine failures.
     pub fn nn_with_stats(&self, query: &[f32]) -> Result<Option<(Match, QueryStats)>, Error> {
+        let (matches, stats) = self.knn_with_stats(query, 1)?;
+        Ok(matches.into_iter().next().map(|m| (m, stats)))
+    }
+
+    /// Exact k-NN under Euclidean distance: the `k` nearest series, sorted
+    /// ascending by `(distance, position)` — fewer than `k` when the
+    /// collection is smaller, empty for an empty dataset. Deterministic
+    /// across runs and thread counts (distance ties prefer the lowest
+    /// position).
+    ///
+    /// # Errors
+    /// Propagates engine failures.
+    ///
+    /// # Panics
+    /// Panics if `k == 0`.
+    pub fn knn(&self, query: &[f32], k: usize) -> Result<Vec<Match>, Error> {
+        Ok(self.knn_with_stats(query, k)?.0)
+    }
+
+    /// Exact k-NN plus the unified per-query work counters (see
+    /// [`nn_with_stats`](Self::nn_with_stats)).
+    ///
+    /// # Errors
+    /// Propagates engine failures.
+    ///
+    /// # Panics
+    /// Panics if `k == 0`.
+    pub fn knn_with_stats(
+        &self,
+        query: &[f32],
+        k: usize,
+    ) -> Result<(Vec<Match>, QueryStats), Error> {
         let threads = self.options.effective_threads();
         match &self.inner {
-            MemoryInner::Ads(ads) => Ok(dsidx_ads::exact_nn(ads, &*self.data, query)?),
-            MemoryInner::Paris(paris) => {
-                Ok(dsidx_paris::exact_nn(paris, &*self.data, query, threads)?)
-            }
+            MemoryInner::Ads(ads) => Ok(dsidx_ads::exact_knn(ads, &*self.data, query, k)?),
+            MemoryInner::Paris(paris) => Ok(dsidx_paris::exact_knn(
+                paris,
+                &*self.data,
+                query,
+                k,
+                threads,
+            )?),
             MemoryInner::Messi(messi) => {
                 let cfg = self.options.messi_config(self.data.series_len())?;
-                Ok(dsidx_messi::exact_nn(messi, &self.data, query, &cfg))
+                Ok(dsidx_messi::exact_knn(messi, &self.data, query, k, &cfg))
             }
         }
     }
@@ -156,6 +193,20 @@ impl MemoryIndex {
     /// # Errors
     /// Configuration errors.
     pub fn nn_dtw(&self, query: &[f32], band: usize) -> Result<Option<Match>, Error> {
+        Ok(self.nn_dtw_with_stats(query, band)?.map(|(m, _)| m))
+    }
+
+    /// Exact 1-NN under banded DTW plus the unified work counters for the
+    /// pruning cascade (LB_Keogh prunes, early-abandoned DTWs) — the same
+    /// [`QueryStats`] the ED queries report.
+    ///
+    /// # Errors
+    /// Configuration errors.
+    pub fn nn_dtw_with_stats(
+        &self,
+        query: &[f32],
+        band: usize,
+    ) -> Result<Option<(Match, QueryStats)>, Error> {
         match &self.inner {
             MemoryInner::Messi(messi) => {
                 let cfg = self.options.messi_config(self.data.series_len())?;
@@ -163,7 +214,7 @@ impl MemoryIndex {
                     messi, &self.data, query, band, &cfg,
                 ))
             }
-            _ => Ok(dsidx_ucr::scan_dtw_parallel(
+            _ => Ok(dsidx_ucr::scan_dtw_parallel_with_stats(
                 &self.data,
                 query,
                 band,
@@ -275,8 +326,9 @@ impl DiskIndex {
         self.build_report.as_ref()
     }
 
-    /// Exact 1-NN under Euclidean distance; raw reads go to the modeled
-    /// device. `None` for an empty dataset.
+    /// Exact 1-NN under Euclidean distance — the k = 1 special case of
+    /// [`knn`](Self::knn); raw reads go to the modeled device. `None` for
+    /// an empty dataset.
     ///
     /// # Errors
     /// Propagates I/O failures.
@@ -290,12 +342,43 @@ impl DiskIndex {
     /// # Errors
     /// Propagates I/O failures.
     pub fn nn_with_stats(&self, query: &[f32]) -> Result<Option<(Match, QueryStats)>, Error> {
+        let (matches, stats) = self.knn_with_stats(query, 1)?;
+        Ok(matches.into_iter().next().map(|m| (m, stats)))
+    }
+
+    /// Exact k-NN under Euclidean distance; raw reads for candidate
+    /// verification go to the modeled device. Same contract as
+    /// [`MemoryIndex::knn`].
+    ///
+    /// # Errors
+    /// Propagates I/O failures.
+    ///
+    /// # Panics
+    /// Panics if `k == 0`.
+    pub fn knn(&self, query: &[f32], k: usize) -> Result<Vec<Match>, Error> {
+        Ok(self.knn_with_stats(query, k)?.0)
+    }
+
+    /// Exact k-NN plus the unified per-query work counters (see
+    /// [`MemoryIndex::knn_with_stats`]).
+    ///
+    /// # Errors
+    /// Propagates I/O failures.
+    ///
+    /// # Panics
+    /// Panics if `k == 0`.
+    pub fn knn_with_stats(
+        &self,
+        query: &[f32],
+        k: usize,
+    ) -> Result<(Vec<Match>, QueryStats), Error> {
         match &self.inner {
-            DiskInner::Ads(ads) => Ok(dsidx_ads::exact_nn(ads, &self.file, query)?),
-            DiskInner::Paris(paris) => Ok(dsidx_paris::exact_nn(
+            DiskInner::Ads(ads) => Ok(dsidx_ads::exact_knn(ads, &self.file, query, k)?),
+            DiskInner::Paris(paris) => Ok(dsidx_paris::exact_knn(
                 paris,
                 &self.file,
                 query,
+                k,
                 self.options.effective_threads(),
             )?),
         }
@@ -340,6 +423,50 @@ mod tests {
                 let got = idx.nn(q).unwrap().unwrap();
                 assert_eq!(got.pos, want.pos, "{}", idx.engine().name());
             }
+        }
+    }
+
+    #[test]
+    fn knn_agrees_with_brute_force_on_all_memory_engines() {
+        let data = DatasetKind::Synthetic.generate(350, 64, 91);
+        let opts = Options::default().with_threads(4).with_leaf_capacity(16);
+        let queries = DatasetKind::Synthetic.queries(3, 64, 91);
+        for engine in Engine::ALL {
+            let idx = MemoryIndex::build(data.clone(), engine, &opts).unwrap();
+            for q in queries.iter() {
+                for k in [1usize, 7, 50] {
+                    let want = dsidx_ucr::brute_force_knn(&data, q, k);
+                    let got = idx.knn(q, k).unwrap();
+                    assert_eq!(
+                        got.iter().map(|m| m.pos).collect::<Vec<_>>(),
+                        want.iter().map(|m| m.pos).collect::<Vec<_>>(),
+                        "{} k={k}",
+                        engine.name()
+                    );
+                }
+                // nn is the k = 1 special case.
+                let nn = idx.nn(q).unwrap().unwrap();
+                assert_eq!(idx.knn(q, 1).unwrap()[0], nn, "{}", engine.name());
+            }
+        }
+    }
+
+    #[test]
+    fn dtw_stats_are_reported_for_all_engines() {
+        let data = DatasetKind::Sald.generate(200, 64, 15);
+        let opts = Options::default().with_threads(2).with_leaf_capacity(16);
+        let q = DatasetKind::Sald.queries(1, 64, 15);
+        for engine in [Engine::Messi, Engine::Paris] {
+            let idx = MemoryIndex::build(data.clone(), engine, &opts).unwrap();
+            let (m, stats) = idx
+                .nn_dtw_with_stats(q.get(0), 4)
+                .unwrap()
+                .expect("non-empty");
+            assert_eq!(m, idx.nn_dtw(q.get(0), 4).unwrap().unwrap());
+            // Both the index path and the scan fallback report the DTW
+            // cascade through the same counters.
+            assert!(stats.lb_keogh_computed > 0, "{}", engine.name());
+            assert!(stats.real_computed > 0, "{}", engine.name());
         }
     }
 

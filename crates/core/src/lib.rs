@@ -21,6 +21,12 @@
 //! let hit = index.nn(query.get(0)).unwrap().expect("non-empty");
 //! println!("nearest series: #{} at distance {}", hit.pos, hit.dist());
 //!
+//! // Exact k-NN from the same index: the 10 nearest, sorted ascending by
+//! // (distance, position); `nn` is the k = 1 special case.
+//! let top10 = index.knn(query.get(0), 10).unwrap();
+//! assert_eq!(top10.len(), 10);
+//! assert_eq!(top10[0], hit);
+//!
 //! // The same index answers DTW queries (Sakoe-Chiba band of 5%).
 //! let warped = index.nn_dtw(query.get(0), 128 / 20).unwrap().expect("non-empty");
 //! assert!(warped.dist_sq <= hit.dist_sq + 1e-3);

@@ -11,11 +11,15 @@ use crate::config::MessiConfig;
 use crate::pqueue::MinQueues;
 use dsidx_isax::paa::envelope_paa_bounds;
 use dsidx_isax::{MindistTable, NodeMindistTable};
+use dsidx_query::{AtomicQueryStats, QueryStats};
 use dsidx_series::distance::dtw::{dtw_sq, dtw_sq_bounded, envelope, lb_keogh_sq_bounded};
 use dsidx_series::{Dataset, Match};
 use dsidx_sync::{AtomicBest, SpinBarrier};
 
-/// Exact 1-NN under banded DTW through the MESSI index.
+/// Exact 1-NN under banded DTW through the MESSI index, with the unified
+/// per-query work counters: the tree-traversal counters plus the DTW
+/// cascade's LB_Keogh prunes and early-abandoned DTWs — so the `ext-dtw`
+/// experiment reports like the ED ones.
 ///
 /// Returns `None` for an empty index.
 ///
@@ -28,7 +32,7 @@ pub fn exact_nn_dtw(
     query: &[f32],
     band: usize,
     cfg: &MessiConfig,
-) -> Option<Match> {
+) -> Option<(Match, QueryStats)> {
     let config = messi.index.config();
     assert_eq!(query.len(), config.series_len(), "query length mismatch");
     cfg.validate();
@@ -59,17 +63,24 @@ pub fn exact_nn_dtw(
     let best = AtomicBest::new();
     let approx_idx = dsidx_query::approx_leaf_flat(flat, &query_word)
         .expect("non-empty index has a non-empty leaf");
-    for e in flat.leaf_entries(flat.node(approx_idx)) {
+    let approx_entries = flat.leaf_entries(flat.node(approx_idx));
+    for e in approx_entries {
         best.update(dtw_sq(query, data.get(e.pos as usize), band), e.pos);
     }
+    let approx_real = approx_entries.len() as u64;
 
+    let shared = AtomicQueryStats::new();
     let queues: MinQueues<u32> = MinQueues::new(cfg.effective_queues());
     let traversal = crate::traverse::Traversal::new(flat, &node_table, &best, &queues);
     let phase_barrier = SpinBarrier::new(cfg.threads);
 
     pool.broadcast(&|worker| {
+        // Workers accumulate locally and merge once (see `AtomicQueryStats`).
+        let mut local = QueryStats::default();
         // Traversal phase (cooperative; see `crate::traverse`).
-        let _ = traversal.run_worker();
+        let st = traversal.run_worker();
+        local.nodes_pruned = st.pruned;
+        local.leaves_enqueued = st.enqueued;
         phase_barrier.wait();
 
         // Processing phase.
@@ -78,7 +89,7 @@ pub fn exact_nn_dtw(
         let mut idle_cycles = 0u32;
         loop {
             if queues.all_closed() {
-                return;
+                break;
             }
             if !queues.is_open(shard) {
                 shard = (shard + 1) % n;
@@ -98,30 +109,41 @@ pub fn exact_nn_dtw(
                 }
                 Some((lb, idx)) => {
                     if lb >= best.dist_sq() {
+                        local.leaves_discarded += 1;
                         queues.close(shard);
                         shard = (shard + 1) % n;
                         continue;
                     }
+                    local.leaves_processed += 1;
                     for e in flat.leaf_entries(flat.node(idx)) {
                         let limit = best.dist_sq();
+                        local.lb_entry_computed += 1;
                         if table.lookup(&e.word) >= limit {
                             continue;
                         }
                         let series = data.get(e.pos as usize);
+                        local.lb_keogh_computed += 1;
                         if lb_keogh_sq_bounded(series, &lo_env, &hi_env, limit).is_none() {
+                            local.lb_keogh_pruned += 1;
                             continue;
                         }
                         if let Some(d) = dtw_sq_bounded(query, series, band, limit) {
+                            local.real_computed += 1;
                             best.update(d, e.pos);
+                        } else {
+                            local.dtw_abandoned += 1;
                         }
                     }
                 }
             }
         }
+        shared.merge(&local);
     });
 
     let (dist_sq, pos) = best.get();
-    Some(Match::new(pos, dist_sq))
+    let mut stats = shared.snapshot();
+    stats.real_computed += approx_real;
+    Some((Match::new(pos, dist_sq), stats))
 }
 
 #[cfg(test)]
@@ -146,7 +168,7 @@ mod tests {
             for band in [0usize, 3, 6] {
                 for q in queries.iter() {
                     let want = brute_force_dtw(&data, q, band).unwrap();
-                    let got = exact_nn_dtw(&messi, &data, q, band, &cfg(4)).unwrap();
+                    let (got, _) = exact_nn_dtw(&messi, &data, q, band, &cfg(4)).unwrap();
                     assert_eq!(got.pos, want.pos, "{} band={band}", kind.name());
                     assert!((got.dist_sq - want.dist_sq).abs() <= want.dist_sq * 1e-4 + 1e-4);
                 }
@@ -163,7 +185,7 @@ mod tests {
         let ed = crate::query::exact_nn(&messi, &data, q.get(0), &cfg(4))
             .unwrap()
             .0;
-        let dtw = exact_nn_dtw(&messi, &data, q.get(0), 5, &cfg(4)).unwrap();
+        let (dtw, _) = exact_nn_dtw(&messi, &data, q.get(0), 5, &cfg(4)).unwrap();
         // DTW distance never exceeds ED distance.
         assert!(dtw.dist_sq <= ed.dist_sq + ed.dist_sq * 1e-4 + 1e-4);
     }
@@ -176,13 +198,39 @@ mod tests {
     }
 
     #[test]
+    fn dtw_stats_account_the_cascade() {
+        let data = DatasetKind::Sald.generate(400, 64, 9);
+        let (messi, _) = build(&data, &cfg(3));
+        let queries = DatasetKind::Sald.queries(3, 64, 9);
+        for q in queries.iter() {
+            let (_, stats) = exact_nn_dtw(&messi, &data, q, 4, &cfg(3)).unwrap();
+            // Seeding pays at least one full DTW.
+            assert!(stats.real_computed >= 1);
+            // Each LB_Keogh survivor resolves to an abandoned or a fully
+            // paid DTW (seeding reals are counted on top).
+            assert!(stats.lb_keogh_pruned <= stats.lb_keogh_computed);
+            assert!(
+                stats.dtw_abandoned + stats.real_computed
+                    >= stats.lb_keogh_computed - stats.lb_keogh_pruned
+            );
+            // The cascade only sees entries that survived the iSAX bound.
+            assert!(stats.lb_keogh_computed <= stats.lb_entry_computed);
+            // Traversal counters report through the same struct.
+            assert!(stats.leaves_processed + stats.leaves_discarded <= stats.leaves_enqueued);
+            // Scan-only counters stay zero for the tree-based engine.
+            assert_eq!(stats.lb_computed, 0);
+            assert_eq!(stats.candidates, 0);
+        }
+    }
+
+    #[test]
     fn band_zero_matches_ed_answer() {
         let data = DatasetKind::Seismic.generate(250, 64, 19);
         let (messi, _) = build(&data, &cfg(3));
         let queries = DatasetKind::Seismic.queries(3, 64, 19);
         for q in queries.iter() {
             let ed = crate::query::exact_nn(&messi, &data, q, &cfg(3)).unwrap().0;
-            let dtw = exact_nn_dtw(&messi, &data, q, 0, &cfg(3)).unwrap();
+            let (dtw, _) = exact_nn_dtw(&messi, &data, q, 0, &cfg(3)).unwrap();
             assert_eq!(ed.pos, dtw.pos);
         }
     }

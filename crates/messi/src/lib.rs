@@ -29,4 +29,4 @@ pub use build::{build, BuildPhases, MessiIndex};
 pub use config::{BufferMode, MessiConfig};
 pub use dsidx_query::QueryStats;
 pub use dtw::exact_nn_dtw;
-pub use query::exact_nn;
+pub use query::{exact_knn, exact_nn};

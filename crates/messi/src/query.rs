@@ -22,25 +22,23 @@ use crate::build::MessiIndex;
 use crate::config::MessiConfig;
 use crate::pqueue::MinQueues;
 use dsidx_query::{
-    approx_leaf_flat, process_leaf_entries, seed_from_entries, AtomicQueryStats, PreparedQuery,
-    QueryStats, SeriesFetcher,
+    approx_leaf_flat, finish_knn, process_leaf_entries, seed_from_entries, AtomicQueryStats,
+    PreparedQuery, Pruner, QueryStats, SeriesFetcher, SharedTopK,
 };
 use dsidx_series::{Dataset, Match};
 use dsidx_sync::{AtomicBest, SpinBarrier};
 
-/// Exact 1-NN through the MESSI index over its in-memory dataset.
-///
-/// Returns `None` for an empty index.
-///
-/// # Panics
-/// Panics if the query length differs from the configured series length.
-#[must_use]
-pub fn exact_nn(
+/// The shared MESSI schedule behind [`exact_nn`] and [`exact_knn`]:
+/// approximate-descent seeding, then one pool broadcast running the
+/// cooperative traversal and the best-bound-first queue processing with a
+/// spin barrier between. Returns `None` for an empty index.
+fn run_exact<P: Pruner>(
     messi: &MessiIndex,
     data: &Dataset,
     query: &[f32],
     cfg: &MessiConfig,
-) -> Option<(Match, QueryStats)> {
+    best: &P,
+) -> Option<QueryStats> {
     let config = messi.index.config();
     assert_eq!(query.len(), config.series_len(), "query length mismatch");
     cfg.validate();
@@ -53,9 +51,8 @@ pub fn exact_nn(
     let node_table = prep.node_table(quantizer);
     let pool = dsidx_sync::pool::global(cfg.threads);
 
-    // Initial BSF from the query's own leaf (approximate answer), routing
-    // around empty subtrees.
-    let best = AtomicBest::new();
+    // Initial threshold from the query's own leaf (approximate answer),
+    // routing around empty subtrees.
     let approx_idx =
         approx_leaf_flat(flat, &prep.word).expect("non-empty index has a non-empty leaf");
     let mut fetcher = SeriesFetcher::new(data);
@@ -63,7 +60,7 @@ pub fn exact_nn(
         flat.leaf_entries(flat.node(approx_idx)),
         &mut fetcher,
         query,
-        &best,
+        best,
     )
     .expect("in-memory sources do not fail");
 
@@ -76,7 +73,7 @@ pub fn exact_nn(
     // a spin barrier.
     let shared = AtomicQueryStats::new();
     let queues: MinQueues<u32> = MinQueues::new(cfg.effective_queues());
-    let traversal = crate::traverse::Traversal::new(flat, &node_table, &best, &queues);
+    let traversal = crate::traverse::Traversal::new(flat, &node_table, best, &queues);
     let phase_barrier = SpinBarrier::new(cfg.threads);
 
     pool.broadcast(&|worker| {
@@ -116,7 +113,7 @@ pub fn exact_nn(
                     shard = (shard + 1) % n;
                 }
                 Some((lb, idx)) => {
-                    if lb >= best.dist_sq() {
+                    if lb >= best.threshold_sq() {
                         // Everything left in this queue is at least as
                         // far: abandon it wholesale.
                         local.leaves_discarded += 1;
@@ -128,17 +125,61 @@ pub fn exact_nn(
                     let entries = flat.leaf_entries(flat.node(idx));
                     local.lb_entry_computed += entries.len() as u64;
                     local.real_computed +=
-                        process_leaf_entries(entries, &prep.table, data, query, &best);
+                        process_leaf_entries(entries, &prep.table, data, query, best);
                 }
             }
         }
         shared.merge(&local);
     });
 
-    let (dist_sq, pos) = best.get();
     let mut stats = shared.snapshot();
     stats.real_computed += approx_real;
+    Some(stats)
+}
+
+/// Exact 1-NN through the MESSI index over its in-memory dataset.
+///
+/// Returns `None` for an empty index.
+///
+/// # Panics
+/// Panics if the query length differs from the configured series length.
+#[must_use]
+pub fn exact_nn(
+    messi: &MessiIndex,
+    data: &Dataset,
+    query: &[f32],
+    cfg: &MessiConfig,
+) -> Option<(Match, QueryStats)> {
+    let best = AtomicBest::new();
+    let stats = run_exact(messi, data, query, cfg, &best)?;
+    let (dist_sq, pos) = best.get();
     Some((Match::new(pos, dist_sq), stats))
+}
+
+/// Exact k-NN through the MESSI index: the same traversal + priority-queue
+/// schedule, pruning against the k-th best distance (a [`SharedTopK`])
+/// instead of the single best.
+///
+/// Returns the up-to-`k` nearest series sorted ascending by
+/// `(distance, position)` — fewer than `k` when the collection is smaller,
+/// empty for an empty index. The answer is deterministic across runs,
+/// thread counts and queue counts (distance ties prefer the lowest
+/// position).
+///
+/// # Panics
+/// Panics if the query length differs from the configured series length or
+/// `k == 0`.
+#[must_use]
+pub fn exact_knn(
+    messi: &MessiIndex,
+    data: &Dataset,
+    query: &[f32],
+    k: usize,
+    cfg: &MessiConfig,
+) -> (Vec<Match>, QueryStats) {
+    let topk = SharedTopK::new(k);
+    let stats = run_exact(messi, data, query, cfg, &topk);
+    finish_knn(&topk, stats)
 }
 
 #[cfg(test)]
@@ -170,6 +211,53 @@ mod tests {
                 }
             }
         }
+    }
+
+    #[test]
+    fn knn_equals_brute_force_topk() {
+        let data = DatasetKind::Synthetic.generate(600, 64, 43);
+        let (messi, _) = build(&data, &cfg(4));
+        let queries = DatasetKind::Synthetic.queries(3, 64, 43);
+        for q in queries.iter() {
+            for k in [1usize, 10, 50, 700] {
+                let want = dsidx_ucr::brute_force_knn(&data, q, k);
+                for threads in [1usize, 4] {
+                    let c = cfg(threads);
+                    let (got, stats) = exact_knn(&messi, &data, q, k, &c);
+                    assert_eq!(got.len(), want.len(), "k={k} x{threads}");
+                    for (g, w) in got.iter().zip(&want) {
+                        assert_eq!(g.pos, w.pos, "k={k} x{threads}");
+                        assert!((g.dist_sq - w.dist_sq).abs() <= w.dist_sq * 1e-4 + 1e-4);
+                    }
+                    assert!(stats.real_computed >= got.len() as u64);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn knn_deterministic_across_queue_counts() {
+        let data = DatasetKind::Seismic.generate(500, 64, 3);
+        let (messi, _) = build(&data, &cfg(4));
+        let q = DatasetKind::Seismic.queries(1, 64, 3);
+        let (first, _) = exact_knn(&messi, &data, q.get(0), 12, &cfg(1));
+        assert_eq!(first.len(), 12);
+        for queues in [1usize, 2, 8, 32] {
+            let c = cfg(4).with_queues(queues);
+            for _ in 0..2 {
+                let (m, _) = exact_knn(&messi, &data, q.get(0), 12, &c);
+                assert_eq!(m, first, "queues={queues}");
+            }
+        }
+    }
+
+    #[test]
+    fn knn_on_empty_index_is_empty() {
+        let data = Dataset::new(64).unwrap();
+        let (messi, _) = build(&data, &cfg(2));
+        let (got, stats) = exact_knn(&messi, &data, &vec![0.0; 64], 4, &cfg(2));
+        assert!(got.is_empty());
+        assert_eq!(stats, QueryStats::default());
     }
 
     #[test]

@@ -10,7 +10,7 @@
 
 use crate::pqueue::MinQueues;
 use dsidx_isax::NodeMindistTable;
-use dsidx_sync::{AtomicBest, WorkQueue};
+use dsidx_sync::{Pruner, WorkQueue};
 use dsidx_tree::FlatTree;
 use parking_lot::Mutex;
 
@@ -28,26 +28,28 @@ pub struct TraverseStats {
     pub enqueued: u64,
 }
 
-/// Shared state for one traversal phase.
-pub struct Traversal<'a> {
+/// Shared state for one traversal phase. Generic over [`Pruner`], so the
+/// same traversal prunes against the single best (1-NN) or the k-th best
+/// distance (k-NN).
+pub struct Traversal<'a, P: Pruner> {
     flat: &'a FlatTree,
     node_table: &'a NodeMindistTable,
     /// Root-level contribution per segment for key bits 0/1.
     root_contrib: Vec<(f32, f32)>,
-    best: &'a AtomicBest,
+    best: &'a P,
     queues: &'a MinQueues<u32>,
     root_queue: WorkQueue,
     /// Overflow work: node indices donated by overloaded workers.
     shared: Mutex<Vec<u32>>,
 }
 
-impl<'a> Traversal<'a> {
+impl<'a, P: Pruner> Traversal<'a, P> {
     /// Prepares a traversal over `flat`'s occupied roots.
     #[must_use]
     pub fn new(
         flat: &'a FlatTree,
         node_table: &'a NodeMindistTable,
-        best: &'a AtomicBest,
+        best: &'a P,
         queues: &'a MinQueues<u32>,
     ) -> Self {
         let segments = flat.segments();
@@ -86,7 +88,7 @@ impl<'a> Traversal<'a> {
         while let Some(range) = self.root_queue.claim_chunk(64) {
             for i in range {
                 let (key, root_idx) = self.flat.roots()[i];
-                if self.root_lb(key) >= self.best.dist_sq() {
+                if self.root_lb(key) >= self.best.threshold_sq() {
                     stats.pruned += 1;
                     continue;
                 }
@@ -119,7 +121,7 @@ impl<'a> Traversal<'a> {
             }
             let node = self.flat.node(idx);
             let lb = node.mindist_sq(self.node_table);
-            if lb >= self.best.dist_sq() {
+            if lb >= self.best.threshold_sq() {
                 stats.pruned += 1;
                 continue;
             }
@@ -144,6 +146,7 @@ mod tests {
     use crate::config::MessiConfig;
     use dsidx_isax::paa::paa;
     use dsidx_series::gen::DatasetKind;
+    use dsidx_sync::AtomicBest;
     use dsidx_tree::TreeConfig;
 
     #[test]

@@ -31,5 +31,5 @@ pub mod report;
 pub use build::{build_in_memory, build_on_disk, ParisIndex};
 pub use config::{Overlap, ParisConfig};
 pub use dsidx_query::QueryStats;
-pub use query::exact_nn;
+pub use query::{exact_knn, exact_nn};
 pub use report::BuildReport;

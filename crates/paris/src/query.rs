@@ -17,8 +17,8 @@
 
 use crate::build::ParisIndex;
 use dsidx_query::{
-    approx_leaf, collect_candidates, seed_from_entries, verify_candidates, AtomicQueryStats,
-    PreparedQuery, QueryStats, SeriesFetcher,
+    approx_leaf, collect_candidates, finish_knn, seed_from_entries, seed_prefix, verify_candidates,
+    AtomicQueryStats, PreparedQuery, Pruner, QueryStats, SeriesFetcher, SharedTopK,
 };
 use dsidx_series::Match;
 use dsidx_storage::{LeafHandle, RawSource, StorageError};
@@ -29,26 +29,24 @@ use parking_lot::Mutex;
 const LB_CHUNK: usize = 4096;
 /// Candidates per Fetch&Inc claim in the real-distance phase.
 const REAL_CHUNK: usize = 16;
+/// Positions sampled per requested neighbor when warming a k-NN threshold
+/// before the collect phase: the k-th best of a `4k` sample sits at a low
+/// quantile of the distance distribution, where the k-th of a bare-k
+/// sample would be the sample maximum (no pruning power at all).
+const KNN_WARM_PER_NEIGHBOR: usize = 4;
 
-/// Exact 1-NN through the ParIS index.
-///
-/// `source` supplies raw series (the dataset file for on-disk operation —
-/// reads are charged to its device — or the in-memory dataset).
-///
+/// The shared ParIS schedule behind [`exact_nn`] and [`exact_knn`]:
+/// approximate-descent seeding, then the two Fetch&Inc-chunked pool phases
+/// (parallel lower-bound collect, parallel early-abandoned verify).
 /// Returns `None` for an empty index.
-///
-/// # Errors
-/// Propagates raw-source and leaf-store I/O failures.
-///
-/// # Panics
-/// Panics if the query length differs from the configured series length or
-/// `threads == 0`.
-pub fn exact_nn(
+fn run_exact<P: Pruner>(
     paris: &ParisIndex,
     source: &impl RawSource,
     query: &[f32],
     threads: usize,
-) -> Result<Option<(Match, QueryStats)>, StorageError> {
+    pruner: &P,
+    warm_prefix: usize,
+) -> Result<Option<QueryStats>, StorageError> {
     let config = paris.index.config();
     assert_eq!(query.len(), config.series_len(), "query length mismatch");
     assert!(threads > 0, "thread count must be non-zero");
@@ -73,10 +71,15 @@ pub fn exact_nn(
             )?;
         }
     }
-    let best = AtomicBest::new();
     let mut fetcher = SeriesFetcher::new(source);
     let entries = leaf.entries().expect("leaves are resident");
-    let approx_real = seed_from_entries(entries, &mut fetcher, query, &best)?;
+    let mut approx_real = seed_from_entries(entries, &mut fetcher, query, pruner)?;
+    // A k-NN threshold stays +inf while fewer than k pairs are held, and
+    // the collect phase below samples it only once per chunk — warm it
+    // over a position-order prefix so phase 2 never runs unpruned (see
+    // `seed_prefix`; `warm_prefix` is 0 for 1-NN, where leaf seeding
+    // already yields a finite threshold).
+    approx_real += seed_prefix(warm_prefix.min(source.count()), &mut fetcher, query, pruner)?;
 
     // Step 2: parallel lower-bound pruning over the SAX array.
     let pool = dsidx_sync::pool::global(threads);
@@ -86,7 +89,7 @@ pub fn exact_nn(
     pool.broadcast(&|_worker| {
         let mut local: Vec<(u32, f32)> = Vec::new();
         while let Some(range) = lb_queue.claim_chunk(LB_CHUNK) {
-            collect_candidates(words, range, &prep.table, &best, &mut local);
+            collect_candidates(words, range, &prep.table, pruner, &mut local);
         }
         if !local.is_empty() {
             candidates.lock().extend_from_slice(&local);
@@ -102,7 +105,7 @@ pub fn exact_nn(
         let mut fetcher = SeriesFetcher::new(source);
         let mut reals = 0u64;
         while let Some(range) = real_queue.claim_chunk(REAL_CHUNK) {
-            match verify_candidates(&candidates, range, &mut fetcher, query, &best) {
+            match verify_candidates(&candidates, range, &mut fetcher, query, pruner) {
                 Ok(n) => reals += n,
                 Err(e) => {
                     let mut slot = errors.lock();
@@ -119,12 +122,69 @@ pub fn exact_nn(
         return Err(e);
     }
 
-    let (dist_sq, pos) = best.get();
     let mut stats = shared.snapshot();
     stats.lb_computed = words.len() as u64;
     stats.candidates = candidates.len() as u64;
     stats.real_computed += approx_real;
-    Ok(Some((Match::new(pos, dist_sq), stats)))
+    Ok(Some(stats))
+}
+
+/// Exact 1-NN through the ParIS index.
+///
+/// `source` supplies raw series (the dataset file for on-disk operation —
+/// reads are charged to its device — or the in-memory dataset).
+///
+/// Returns `None` for an empty index.
+///
+/// # Errors
+/// Propagates raw-source and leaf-store I/O failures.
+///
+/// # Panics
+/// Panics if the query length differs from the configured series length or
+/// `threads == 0`.
+pub fn exact_nn(
+    paris: &ParisIndex,
+    source: &impl RawSource,
+    query: &[f32],
+    threads: usize,
+) -> Result<Option<(Match, QueryStats)>, StorageError> {
+    let best = AtomicBest::new();
+    match run_exact(paris, source, query, threads, &best, 0)? {
+        None => Ok(None),
+        Some(stats) => {
+            let (dist_sq, pos) = best.get();
+            Ok(Some((Match::new(pos, dist_sq), stats)))
+        }
+    }
+}
+
+/// Exact k-NN through the ParIS index: the same two pool phases, pruning
+/// against the k-th best distance (a [`SharedTopK`]) instead of the single
+/// best. Workers share one top-k set, so the candidate list shrinks as any
+/// worker tightens the k-th distance.
+///
+/// Returns the up-to-`k` nearest series sorted ascending by
+/// `(distance, position)` — fewer than `k` when the collection is smaller,
+/// empty for an empty index. The answer is deterministic across runs and
+/// thread counts (distance ties prefer the lowest position).
+///
+/// # Errors
+/// Propagates raw-source and leaf-store I/O failures.
+///
+/// # Panics
+/// Panics if the query length differs from the configured series length,
+/// `threads == 0`, or `k == 0`.
+pub fn exact_knn(
+    paris: &ParisIndex,
+    source: &impl RawSource,
+    query: &[f32],
+    k: usize,
+    threads: usize,
+) -> Result<(Vec<Match>, QueryStats), StorageError> {
+    let topk = SharedTopK::new(k);
+    let warm = k.saturating_mul(KNN_WARM_PER_NEIGHBOR);
+    let stats = run_exact(paris, source, query, threads, &topk, warm)?;
+    Ok(finish_knn(&topk, stats))
 }
 
 #[cfg(test)]
@@ -182,6 +242,85 @@ mod tests {
             let (got, _) = exact_nn(&paris, &file, q, 4).unwrap().unwrap();
             assert_eq!(got.pos, want.pos);
             assert!((got.dist_sq - want.dist_sq).abs() <= want.dist_sq * 1e-4 + 1e-4);
+        }
+    }
+
+    #[test]
+    fn knn_equals_brute_force_topk_across_thread_counts() {
+        let data = DatasetKind::Synthetic.generate(500, 64, 29);
+        let (paris, _) = build_in_memory(&data, &cfg(4));
+        let queries = DatasetKind::Synthetic.queries(3, 64, 29);
+        for q in queries.iter() {
+            for k in [1usize, 8, 40, 600] {
+                let want = dsidx_ucr::brute_force_knn(&data, q, k);
+                for threads in [1usize, 4] {
+                    let (got, _) = exact_knn(&paris, &data, q, k, threads).unwrap();
+                    assert_eq!(got.len(), want.len(), "k={k} x{threads}");
+                    for (g, w) in got.iter().zip(&want) {
+                        assert_eq!(g.pos, w.pos, "k={k} x{threads}");
+                        assert!((g.dist_sq - w.dist_sq).abs() <= w.dist_sq * 1e-4 + 1e-4);
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn knn_collect_phase_stays_bounded_when_k_exceeds_the_seed_leaf() {
+        // With leaf capacity 16 and k = 50, leaf seeding alone cannot fill
+        // the top-k, and an infinite threshold would make the collect
+        // phase emit every position as a candidate. The position-order
+        // top-up caps it: the candidate list must stay a fraction of the
+        // collection.
+        let data = DatasetKind::Synthetic.generate(2000, 64, 8);
+        let (paris, _) = build_in_memory(&data, &cfg(4));
+        let q = DatasetKind::Synthetic.queries(1, 64, 8);
+        let (got, stats) = exact_knn(&paris, &data, q.get(0), 50, 4).unwrap();
+        assert_eq!(got.len(), 50);
+        assert!(
+            stats.candidates < 2000,
+            "collect phase ran unpruned: {} candidates",
+            stats.candidates
+        );
+        // And the warmed seeding still yields the exact answer.
+        let want = dsidx_ucr::brute_force_knn(&data, q.get(0), 50);
+        assert_eq!(
+            got.iter().map(|m| m.pos).collect::<Vec<_>>(),
+            want.iter().map(|m| m.pos).collect::<Vec<_>>()
+        );
+    }
+
+    #[test]
+    fn knn_on_disk_matches_memory() {
+        let data = DatasetKind::Seismic.generate(350, 64, 17);
+        let path = tmp("knn.dsidx");
+        write_dataset(&path, &data, Arc::new(Device::unthrottled())).unwrap();
+        let file = DatasetFile::open(&path, Arc::new(Device::unthrottled())).unwrap();
+        let (paris, _) =
+            build_on_disk(&file, &tmp("knn.leaf"), &cfg(3), Overlap::ParisPlus).unwrap();
+        let queries = DatasetKind::Seismic.queries(3, 64, 17);
+        for q in queries.iter() {
+            let want = dsidx_ucr::brute_force_knn(&data, q, 10);
+            let (got, _) = exact_knn(&paris, &file, q, 10, 4).unwrap();
+            assert_eq!(
+                got.iter().map(|m| m.pos).collect::<Vec<_>>(),
+                want.iter().map(|m| m.pos).collect::<Vec<_>>()
+            );
+        }
+    }
+
+    #[test]
+    fn knn_deterministic_across_runs_and_threads() {
+        let data = DatasetKind::Sald.generate(600, 64, 23);
+        let (paris, _) = build_in_memory(&data, &cfg(6));
+        let q = DatasetKind::Sald.queries(1, 64, 23);
+        let (first, _) = exact_knn(&paris, &data, q.get(0), 15, 1).unwrap();
+        assert_eq!(first.len(), 15);
+        for threads in [2usize, 4, 8] {
+            for _ in 0..3 {
+                let (m, _) = exact_knn(&paris, &data, q.get(0), 15, threads).unwrap();
+                assert_eq!(m, first);
+            }
         }
     }
 

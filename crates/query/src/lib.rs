@@ -18,17 +18,27 @@
 //! feeding priority queues but pays the same per-entry loop at the leaves.
 //! Those loops live here once; engines keep only their scheduling. One
 //! [`QueryStats`] reports all of them uniformly.
+//!
+//! Every loop is generic over [`Pruner`] — the abstraction of "threshold
+//! read + candidate insert" — so the same kernel answers exact 1-NN (an
+//! [`AtomicBest`](dsidx_sync::AtomicBest) best-so-far) and exact k-NN (a
+//! [`SharedTopK`](dsidx_sync::SharedTopK) whose threshold is the k-th best
+//! distance so far).
 
 pub mod fetch;
+pub mod knn;
 pub mod prepare;
 pub mod scan;
 pub mod seed;
 pub mod stats;
 
 pub use fetch::SeriesFetcher;
+pub use knn::finish_knn;
 pub use prepare::PreparedQuery;
 pub use scan::{
     collect_candidates, process_leaf_entries, scan_sax_serial, verify_candidate, verify_candidates,
 };
-pub use seed::{approx_leaf, approx_leaf_flat, seed_from_entries};
+pub use seed::{approx_leaf, approx_leaf_flat, seed_from_entries, seed_prefix};
 pub use stats::{AtomicQueryStats, QueryStats};
+
+pub use dsidx_sync::{Pruner, SharedTopK};

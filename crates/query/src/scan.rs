@@ -2,6 +2,11 @@
 //! every engine runs after seeding, in three shapes: the serial interleaved
 //! SIMS scan (ADS+), the two-phase collect/verify split (ParIS chunks), and
 //! the per-leaf entry loop (MESSI).
+//!
+//! Every loop is generic over [`Pruner`], so the same code answers 1-NN
+//! (an [`AtomicBest`](dsidx_sync::AtomicBest) best-so-far) and k-NN (a
+//! [`SharedTopK`](dsidx_sync::SharedTopK) whose threshold is the k-th best
+//! distance).
 
 use crate::fetch::SeriesFetcher;
 use crate::stats::QueryStats;
@@ -9,33 +14,33 @@ use dsidx_isax::MindistTable;
 use dsidx_series::distance::euclidean_sq_bounded;
 use dsidx_series::Dataset;
 use dsidx_storage::{RawSource, StorageError};
-use dsidx_sync::AtomicBest;
+use dsidx_sync::Pruner;
 use dsidx_tree::LeafEntry;
 use std::ops::Range;
 
 /// Verifies one candidate position: re-checks its lower bound against the
-/// *current* BSF (it may have improved since the bound was computed),
+/// *current* threshold (it may have improved since the bound was computed),
 /// fetches the raw values, computes the early-abandoned real distance, and
 /// records improvements. Returns `true` iff a full real distance was paid.
 ///
 /// # Errors
 /// Propagates raw-source I/O failures.
 #[inline]
-pub fn verify_candidate(
+pub fn verify_candidate<P: Pruner>(
     pos: u32,
     lb: f32,
     fetcher: &mut SeriesFetcher<'_, impl RawSource>,
     query: &[f32],
-    best: &AtomicBest,
+    pruner: &P,
 ) -> Result<bool, StorageError> {
-    let limit = best.dist_sq();
+    let limit = pruner.threshold_sq();
     if lb >= limit {
         return Ok(false);
     }
     let series = fetcher.fetch(pos as usize)?;
     match euclidean_sq_bounded(query, series, limit) {
         Some(d) => {
-            best.update(d, pos);
+            pruner.insert(d, pos);
             Ok(true)
         }
         None => Ok(false),
@@ -48,22 +53,22 @@ pub fn verify_candidate(
 ///
 /// # Errors
 /// Propagates raw-source I/O failures.
-pub fn scan_sax_serial(
+pub fn scan_sax_serial<P: Pruner>(
     words: &[dsidx_isax::Word],
     table: &MindistTable,
     fetcher: &mut SeriesFetcher<'_, impl RawSource>,
     query: &[f32],
-    best: &AtomicBest,
+    pruner: &P,
     stats: &mut QueryStats,
 ) -> Result<(), StorageError> {
     for (pos, word) in words.iter().enumerate() {
         stats.lb_computed += 1;
         let lb = table.lookup(word);
-        if lb >= best.dist_sq() {
+        if lb >= pruner.threshold_sq() {
             continue;
         }
         stats.candidates += 1;
-        if verify_candidate(pos as u32, lb, fetcher, query, best)? {
+        if verify_candidate(pos as u32, lb, fetcher, query, pruner)? {
             stats.real_computed += 1;
         }
     }
@@ -71,17 +76,17 @@ pub fn scan_sax_serial(
 }
 
 /// Lower-bound filter over one Fetch&Inc chunk of the SAX array (ParIS
-/// phase 2): appends `(position, bound)` survivors to `out`. The BSF is
-/// sampled once per chunk — the paper's granularity for refreshing the
+/// phase 2): appends `(position, bound)` survivors to `out`. The threshold
+/// is sampled once per chunk — the paper's granularity for refreshing the
 /// pruning threshold.
-pub fn collect_candidates(
+pub fn collect_candidates<P: Pruner>(
     words: &[dsidx_isax::Word],
     range: Range<usize>,
     table: &MindistTable,
-    best: &AtomicBest,
+    pruner: &P,
     out: &mut Vec<(u32, f32)>,
 ) {
-    let limit = best.dist_sq();
+    let limit = pruner.threshold_sq();
     for pos in range {
         let lb = table.lookup(&words[pos]);
         if lb < limit {
@@ -95,16 +100,16 @@ pub fn collect_candidates(
 ///
 /// # Errors
 /// Propagates raw-source I/O failures.
-pub fn verify_candidates(
+pub fn verify_candidates<P: Pruner>(
     candidates: &[(u32, f32)],
     range: Range<usize>,
     fetcher: &mut SeriesFetcher<'_, impl RawSource>,
     query: &[f32],
-    best: &AtomicBest,
+    pruner: &P,
 ) -> Result<u64, StorageError> {
     let mut reals = 0u64;
     for &(pos, lb) in &candidates[range] {
-        if verify_candidate(pos, lb, fetcher, query, best)? {
+        if verify_candidate(pos, lb, fetcher, query, pruner)? {
             reals += 1;
         }
     }
@@ -116,24 +121,24 @@ pub fn verify_candidates(
 /// pruning threshold refreshes after every improvement. Returns the number
 /// of full real distances paid; the caller counts `entries.len()` bounds.
 #[must_use]
-pub fn process_leaf_entries(
+pub fn process_leaf_entries<P: Pruner>(
     entries: &[LeafEntry],
     table: &MindistTable,
     data: &Dataset,
     query: &[f32],
-    best: &AtomicBest,
+    pruner: &P,
 ) -> u64 {
     let mut reals = 0u64;
-    let mut limit = best.dist_sq();
+    let mut limit = pruner.threshold_sq();
     for e in entries {
         if table.lookup(&e.word) >= limit {
             continue;
         }
         if let Some(d) = euclidean_sq_bounded(query, data.get(e.pos as usize), limit) {
             reals += 1;
-            best.update(d, e.pos);
+            pruner.insert(d, e.pos);
         }
-        limit = best.dist_sq();
+        limit = pruner.threshold_sq();
     }
     reals
 }
@@ -144,6 +149,7 @@ mod tests {
     use crate::prepare::PreparedQuery;
     use dsidx_series::distance::euclidean_sq;
     use dsidx_series::gen::DatasetKind;
+    use dsidx_sync::{AtomicBest, SharedTopK};
     use dsidx_tree::TreeConfig;
 
     fn fixture(n: usize) -> (dsidx_series::Dataset, Vec<dsidx_isax::Word>, TreeConfig) {
@@ -163,6 +169,17 @@ mod tests {
             }
         }
         best
+    }
+
+    fn brute_topk(data: &dsidx_series::Dataset, q: &[f32], k: usize) -> Vec<(f32, u32)> {
+        let mut all: Vec<(f32, u32)> = data
+            .iter()
+            .enumerate()
+            .map(|(pos, s)| (euclidean_sq(q, s), pos as u32))
+            .collect();
+        all.sort_unstable_by(|a, b| a.0.partial_cmp(&b.0).unwrap().then(a.1.cmp(&b.1)));
+        all.truncate(k);
+        all
     }
 
     #[test]
@@ -189,6 +206,28 @@ mod tests {
     }
 
     #[test]
+    fn serial_scan_with_topk_equals_brute_force_topk() {
+        let (data, words, config) = fixture(350);
+        let queries = DatasetKind::Synthetic.queries(4, 64, 19);
+        for q in queries.iter() {
+            for k in [1usize, 5, 20, 350, 400] {
+                let prep = PreparedQuery::new(config.quantizer(), q);
+                let topk = SharedTopK::new(k);
+                let mut fetcher = SeriesFetcher::new(&data);
+                let mut stats = QueryStats::default();
+                scan_sax_serial(&words, &prep.table, &mut fetcher, q, &topk, &mut stats).unwrap();
+                let want = brute_topk(&data, q, k);
+                let got = topk.matches();
+                assert_eq!(got.len(), want.len(), "k={k}");
+                for (g, w) in got.iter().zip(&want) {
+                    assert_eq!(g.1, w.1, "k={k}");
+                    assert!((g.0 - w.0).abs() <= w.0 * 1e-4 + 1e-4);
+                }
+            }
+        }
+    }
+
+    #[test]
     fn collect_then_verify_matches_serial_scan() {
         let (data, words, config) = fixture(300);
         let queries = DatasetKind::Synthetic.queries(3, 64, 9);
@@ -211,6 +250,33 @@ mod tests {
             assert!(reals <= candidates.len() as u64);
             let want = brute(&data, q);
             assert_eq!(best.get().1, want.1);
+        }
+    }
+
+    #[test]
+    fn collect_then_verify_with_topk_is_exact() {
+        let (data, words, config) = fixture(280);
+        let queries = DatasetKind::Synthetic.queries(3, 64, 41);
+        for q in queries.iter() {
+            let prep = PreparedQuery::new(config.quantizer(), q);
+            let k = 7;
+            let topk = SharedTopK::new(k);
+            let mut candidates = Vec::new();
+            for start in (0..words.len()).step_by(64) {
+                let end = (start + 64).min(words.len());
+                collect_candidates(&words, start..end, &prep.table, &topk, &mut candidates);
+            }
+            let mut fetcher = SeriesFetcher::new(&data);
+            for start in (0..candidates.len()).step_by(16) {
+                let end = (start + 16).min(candidates.len());
+                let _ = verify_candidates(&candidates, start..end, &mut fetcher, q, &topk).unwrap();
+            }
+            let want = brute_topk(&data, q, k);
+            let got = topk.matches();
+            assert_eq!(
+                got.iter().map(|m| m.1).collect::<Vec<_>>(),
+                want.iter().map(|m| m.1).collect::<Vec<_>>()
+            );
         }
     }
 
@@ -244,6 +310,28 @@ mod tests {
             assert!(reals <= entries.len() as u64);
             let want = brute(&data, q);
             assert_eq!(best.get().1, want.1);
+        }
+    }
+
+    #[test]
+    fn leaf_entry_processing_with_topk_is_exact_over_the_leaf() {
+        let (data, words, config) = fixture(200);
+        let entries: Vec<LeafEntry> = words
+            .iter()
+            .enumerate()
+            .map(|(pos, w)| LeafEntry::new(*w, pos as u32))
+            .collect();
+        let queries = DatasetKind::Synthetic.queries(2, 64, 13);
+        for q in queries.iter() {
+            let prep = PreparedQuery::new(config.quantizer(), q);
+            let k = 9;
+            let topk = SharedTopK::new(k);
+            let _ = process_leaf_entries(&entries, &prep.table, &data, q, &topk);
+            let want = brute_topk(&data, q, k);
+            assert_eq!(
+                topk.matches().iter().map(|m| m.1).collect::<Vec<_>>(),
+                want.iter().map(|m| m.1).collect::<Vec<_>>()
+            );
         }
     }
 }

@@ -6,7 +6,7 @@ use crate::fetch::SeriesFetcher;
 use dsidx_isax::Word;
 use dsidx_series::distance::euclidean_sq;
 use dsidx_storage::{RawSource, StorageError};
-use dsidx_sync::AtomicBest;
+use dsidx_sync::Pruner;
 use dsidx_tree::{FlatTree, Index, LeafEntry, Node};
 
 /// The most promising leaf for `word` in a pointer tree: the query's own
@@ -37,29 +37,65 @@ pub fn approx_leaf_flat(flat: &FlatTree, word: &Word) -> Option<u32> {
         })
 }
 
-/// Seeds `best` with the full real distance of every entry in the
+/// Seeds the pruner with the full real distance of every entry in the
 /// approximate leaf. Returns the number of real distances computed (all of
-/// them — seeding never abandons, the BSF may start at infinity).
+/// them — seeding never abandons, the threshold may start at infinity).
 ///
 /// # Errors
 /// Propagates raw-source I/O failures.
-pub fn seed_from_entries(
+pub fn seed_from_entries<P: Pruner>(
     entries: &[LeafEntry],
     fetcher: &mut SeriesFetcher<'_, impl RawSource>,
     query: &[f32],
-    best: &AtomicBest,
+    pruner: &P,
 ) -> Result<u64, StorageError> {
     for e in entries {
         let series = fetcher.fetch(e.pos as usize)?;
-        best.update(euclidean_sq(query, series), e.pos);
+        pruner.insert(euclidean_sq(query, series), e.pos);
     }
     Ok(entries.len() as u64)
+}
+
+/// Pays (early-abandoned) real distances for the position-order prefix
+/// `0..prefix`, feeding improvements to the pruner. Returns the number of
+/// *full* real distances computed.
+///
+/// Leaf seeding alone leaves a k-NN threshold at `+inf` whenever the
+/// approximate leaf holds fewer than k entries — harmless for engines
+/// that interleave pruning with insertion (ADS+'s scan, MESSI's
+/// best-first processing), but pathological for a batch lower-bound phase
+/// like ParIS's collect, which would then materialize the *entire*
+/// collection as candidates. Warming over a prefix a few times k puts the
+/// threshold at a low quantile of the sampled distance distribution
+/// instead of the sample maximum, restoring pruning power before any
+/// batch phase runs. Once the collector fills, the loop early-abandons
+/// against the tightening threshold, so oversampling stays cheap.
+///
+/// # Errors
+/// Propagates raw-source I/O failures.
+pub fn seed_prefix<P: Pruner>(
+    prefix: usize,
+    fetcher: &mut SeriesFetcher<'_, impl RawSource>,
+    query: &[f32],
+    pruner: &P,
+) -> Result<u64, StorageError> {
+    let mut paid = 0u64;
+    for pos in 0..prefix {
+        let limit = pruner.threshold_sq();
+        let series = fetcher.fetch(pos)?;
+        if let Some(d) = dsidx_series::distance::euclidean_sq_bounded(query, series, limit) {
+            pruner.insert(d, pos as u32);
+            paid += 1;
+        }
+    }
+    Ok(paid)
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
     use dsidx_series::gen::DatasetKind;
+    use dsidx_sync::AtomicBest;
     use dsidx_tree::TreeConfig;
 
     fn build_index(n: usize) -> (dsidx_series::Dataset, Index) {

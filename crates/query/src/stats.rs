@@ -6,8 +6,10 @@ use std::sync::atomic::{AtomicU64, Ordering};
 ///
 /// Engines touch the counters their algorithm has: the scan-based engines
 /// (ADS+, ParIS) fill the SAX-array counters and leave the tree-traversal
-/// ones at zero; MESSI does the opposite. `real_computed` is meaningful
-/// everywhere, so cross-engine comparisons (Fig. 12) read one type.
+/// ones at zero; MESSI does the opposite; the DTW cascade fills the
+/// LB_Keogh/DTW counters on top of whichever family answered.
+/// `real_computed` is meaningful everywhere, so cross-engine comparisons
+/// (Fig. 12) read one type.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct QueryStats {
     /// Lower bounds evaluated over the SAX array (scan-based engines).
@@ -24,18 +26,31 @@ pub struct QueryStats {
     pub leaves_discarded: u64,
     /// Entry-level lower bounds computed (MESSI).
     pub lb_entry_computed: u64,
-    /// Real distances fully evaluated (not early-abandoned).
+    /// LB_Keogh envelope bounds evaluated (DTW cascade).
+    pub lb_keogh_computed: u64,
+    /// Candidates pruned by LB_Keogh before any DTW work (DTW cascade).
+    pub lb_keogh_pruned: u64,
+    /// Banded DTW computations abandoned early against the BSF (DTW
+    /// cascade).
+    pub dtw_abandoned: u64,
+    /// Real distances fully evaluated (not early-abandoned) — Euclidean or
+    /// DTW, per the query.
     pub real_computed: u64,
 }
 
 impl QueryStats {
     /// Total lower-bound evaluations, whatever their granularity: SAX-array
     /// entries for the scan-based engines; node bounds (a visited node is
-    /// either pruned or enqueued) plus entry bounds for MESSI. The uniform
-    /// "lower-bound work" column of the Fig. 12 comparison.
+    /// either pruned or enqueued) plus entry bounds for MESSI; LB_Keogh
+    /// envelope bounds for the DTW cascade. The uniform "lower-bound work"
+    /// column of the Fig. 12 comparison.
     #[must_use]
     pub fn lb_total(&self) -> u64 {
-        self.lb_computed + self.nodes_pruned + self.leaves_enqueued + self.lb_entry_computed
+        self.lb_computed
+            + self.nodes_pruned
+            + self.leaves_enqueued
+            + self.lb_entry_computed
+            + self.lb_keogh_computed
     }
 
     /// Field-wise sum (aggregating a query batch into one report row).
@@ -49,6 +64,9 @@ impl QueryStats {
             leaves_processed: self.leaves_processed + other.leaves_processed,
             leaves_discarded: self.leaves_discarded + other.leaves_discarded,
             lb_entry_computed: self.lb_entry_computed + other.lb_entry_computed,
+            lb_keogh_computed: self.lb_keogh_computed + other.lb_keogh_computed,
+            lb_keogh_pruned: self.lb_keogh_pruned + other.lb_keogh_pruned,
+            dtw_abandoned: self.dtw_abandoned + other.dtw_abandoned,
             real_computed: self.real_computed + other.real_computed,
         }
     }
@@ -68,6 +86,9 @@ pub struct AtomicQueryStats {
     leaves_processed: AtomicU64,
     leaves_discarded: AtomicU64,
     lb_entry_computed: AtomicU64,
+    lb_keogh_computed: AtomicU64,
+    lb_keogh_pruned: AtomicU64,
+    dtw_abandoned: AtomicU64,
     real_computed: AtomicU64,
 }
 
@@ -96,6 +117,12 @@ impl AtomicQueryStats {
             .fetch_add(local.leaves_discarded, Ordering::Relaxed);
         self.lb_entry_computed
             .fetch_add(local.lb_entry_computed, Ordering::Relaxed);
+        self.lb_keogh_computed
+            .fetch_add(local.lb_keogh_computed, Ordering::Relaxed);
+        self.lb_keogh_pruned
+            .fetch_add(local.lb_keogh_pruned, Ordering::Relaxed);
+        self.dtw_abandoned
+            .fetch_add(local.dtw_abandoned, Ordering::Relaxed);
         self.real_computed
             .fetch_add(local.real_computed, Ordering::Relaxed);
     }
@@ -116,6 +143,9 @@ impl AtomicQueryStats {
             leaves_processed: self.leaves_processed.load(Ordering::Relaxed),
             leaves_discarded: self.leaves_discarded.load(Ordering::Relaxed),
             lb_entry_computed: self.lb_entry_computed.load(Ordering::Relaxed),
+            lb_keogh_computed: self.lb_keogh_computed.load(Ordering::Relaxed),
+            lb_keogh_pruned: self.lb_keogh_pruned.load(Ordering::Relaxed),
+            dtw_abandoned: self.dtw_abandoned.load(Ordering::Relaxed),
             real_computed: self.real_computed.load(Ordering::Relaxed),
         }
     }
@@ -134,7 +164,10 @@ mod tests {
             leaves_processed: 5 * k,
             leaves_discarded: 6 * k,
             lb_entry_computed: 7 * k,
-            real_computed: 8 * k,
+            lb_keogh_computed: 8 * k,
+            lb_keogh_pruned: 9 * k,
+            dtw_abandoned: 10 * k,
+            real_computed: 11 * k,
         }
     }
 
@@ -160,6 +193,15 @@ mod tests {
             ..QueryStats::default()
         };
         assert_eq!(tree.lb_total(), 55);
+        // DTW cascade shape: LB_Keogh bounds count as lower-bound work too.
+        let dtw = QueryStats {
+            lb_entry_computed: 20,
+            lb_keogh_computed: 12,
+            lb_keogh_pruned: 9,
+            dtw_abandoned: 2,
+            ..QueryStats::default()
+        };
+        assert_eq!(dtw.lb_total(), 32);
     }
 
     #[test]

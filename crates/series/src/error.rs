@@ -35,6 +35,9 @@ pub enum SeriesError {
         /// Number of series in the dataset.
         len: usize,
     },
+    /// A filesystem operation failed while loading or writing raw series
+    /// data (path and cause, stringified so the error stays comparable).
+    Io(String),
 }
 
 impl fmt::Display for SeriesError {
@@ -62,6 +65,7 @@ impl fmt::Display for SeriesError {
             SeriesError::OutOfBounds { index, len } => {
                 write!(f, "series index {index} out of bounds for dataset of {len}")
             }
+            SeriesError::Io(ref message) => write!(f, "raw series I/O failed: {message}"),
         }
     }
 }

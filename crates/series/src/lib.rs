@@ -9,7 +9,9 @@
 //! * [`distance`] — Euclidean distance kernels (scalar and runtime-detected
 //!   AVX2/FMA), early-abandoning variants, and banded DTW with LB_Keogh,
 //! * [`gen`] — deterministic dataset generators standing in for the paper's
-//!   Synthetic (random walk), SALD (EEG) and Seismic collections.
+//!   Synthetic (random walk), SALD (EEG) and Seismic collections,
+//! * [`load`] — the standard raw binary f32 dataset format (headerless
+//!   little-endian records), for ingesting the real collections.
 //!
 //! All distances in hot paths are *squared* Euclidean distances; take a
 //! square root only at API boundaries.
@@ -18,6 +20,7 @@ pub mod dataset;
 pub mod distance;
 pub mod error;
 pub mod gen;
+pub mod load;
 pub mod nn;
 pub mod series;
 pub mod stats;
@@ -25,5 +28,6 @@ pub mod znorm;
 
 pub use dataset::Dataset;
 pub use error::SeriesError;
+pub use load::{load_raw_f32, load_raw_f32_range, raw_f32_record_count, write_raw_f32};
 pub use nn::Match;
 pub use series::DataSeries;

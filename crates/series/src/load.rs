@@ -1,0 +1,189 @@
+//! Loading (and writing) the standard raw binary dataset format.
+//!
+//! The collections used by the paper and its successors (Seismic from the
+//! IRIS archive, SALD, the 100M-series random walks) are distributed as
+//! *raw binary f32 files*: consecutive records of `series_len` IEEE-754
+//! single-precision values, little-endian, no header. This module reads
+//! that format into a [`Dataset`] — whole files or a bounded slice of
+//! records — so the harness can ingest the real collections instead of
+//! only the in-repo generators.
+
+use crate::dataset::Dataset;
+use crate::error::SeriesError;
+use std::fs::File;
+use std::io::{BufReader, Read, Seek, SeekFrom, Write as _};
+use std::path::Path;
+
+/// Bytes per stored value (IEEE-754 single precision).
+const VALUE_BYTES: u64 = 4;
+
+fn io_err(e: &std::io::Error, path: &Path) -> SeriesError {
+    SeriesError::Io(format!("{}: {e}", path.display()))
+}
+
+/// Number of records in a raw binary f32 file of `series_len`-point
+/// series.
+///
+/// # Errors
+/// [`SeriesError::EmptySeries`] if `series_len == 0`,
+/// [`SeriesError::RaggedBuffer`] if the file size is not a whole number of
+/// records, [`SeriesError::Io`] on filesystem failures.
+pub fn raw_f32_record_count(
+    path: impl AsRef<Path>,
+    series_len: usize,
+) -> Result<usize, SeriesError> {
+    let path = path.as_ref();
+    if series_len == 0 {
+        return Err(SeriesError::EmptySeries);
+    }
+    let bytes = std::fs::metadata(path).map_err(|e| io_err(&e, path))?.len();
+    let record_bytes = series_len as u64 * VALUE_BYTES;
+    if bytes % record_bytes != 0 {
+        return Err(SeriesError::RaggedBuffer {
+            buffer_len: (bytes / VALUE_BYTES) as usize,
+            series_len,
+        });
+    }
+    Ok((bytes / record_bytes) as usize)
+}
+
+/// Reads a whole raw binary f32 file as a [`Dataset`] of
+/// `series_len`-point series.
+///
+/// # Errors
+/// See [`raw_f32_record_count`].
+pub fn load_raw_f32(path: impl AsRef<Path>, series_len: usize) -> Result<Dataset, SeriesError> {
+    let count = raw_f32_record_count(path.as_ref(), series_len)?;
+    load_raw_f32_range(path, series_len, 0, count)
+}
+
+/// Reads `count` records starting at record `start` from a raw binary f32
+/// file. Reading past the end is clipped (a `start` beyond the file yields
+/// an empty dataset), so callers can cap huge collections with
+/// `count = usize::MAX`.
+///
+/// # Errors
+/// See [`raw_f32_record_count`].
+pub fn load_raw_f32_range(
+    path: impl AsRef<Path>,
+    series_len: usize,
+    start: usize,
+    count: usize,
+) -> Result<Dataset, SeriesError> {
+    let path = path.as_ref();
+    let total = raw_f32_record_count(path, series_len)?;
+    let start = start.min(total);
+    let count = count.min(total - start);
+    let mut file = BufReader::new(File::open(path).map_err(|e| io_err(&e, path))?);
+    let record_bytes = series_len as u64 * VALUE_BYTES;
+    file.seek(SeekFrom::Start(start as u64 * record_bytes))
+        .map_err(|e| io_err(&e, path))?;
+    let mut ds = Dataset::with_capacity(series_len, count)?;
+    let mut buf = vec![0u8; series_len * VALUE_BYTES as usize];
+    let mut record = vec![0.0f32; series_len];
+    for _ in 0..count {
+        file.read_exact(&mut buf).map_err(|e| io_err(&e, path))?;
+        for (v, chunk) in record
+            .iter_mut()
+            .zip(buf.chunks_exact(VALUE_BYTES as usize))
+        {
+            *v = f32::from_le_bytes(chunk.try_into().expect("4-byte chunk"));
+        }
+        ds.push(&record)?;
+    }
+    Ok(ds)
+}
+
+/// Writes a [`Dataset`] in the raw binary f32 format (the exact inverse of
+/// [`load_raw_f32`]): consecutive little-endian records, no header.
+///
+/// # Errors
+/// [`SeriesError::Io`] on filesystem failures.
+pub fn write_raw_f32(path: impl AsRef<Path>, data: &Dataset) -> Result<(), SeriesError> {
+    let path = path.as_ref();
+    let file = File::create(path).map_err(|e| io_err(&e, path))?;
+    let mut out = std::io::BufWriter::new(file);
+    for &v in data.as_flat() {
+        out.write_all(&v.to_le_bytes())
+            .map_err(|e| io_err(&e, path))?;
+    }
+    out.flush().map_err(|e| io_err(&e, path))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gen::DatasetKind;
+
+    fn tmp(name: &str) -> std::path::PathBuf {
+        let dir = std::env::temp_dir().join(format!("dsidx-load-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        dir.join(name)
+    }
+
+    #[test]
+    fn round_trips_a_dataset() {
+        let data = DatasetKind::Sald.generate(37, 24, 5);
+        let path = tmp("roundtrip.f32");
+        write_raw_f32(&path, &data).unwrap();
+        assert_eq!(raw_f32_record_count(&path, 24).unwrap(), 37);
+        let back = load_raw_f32(&path, 24).unwrap();
+        assert_eq!(back, data);
+    }
+
+    #[test]
+    fn range_reads_clip_to_the_file() {
+        let data = DatasetKind::Synthetic.generate(20, 8, 9);
+        let path = tmp("range.f32");
+        write_raw_f32(&path, &data).unwrap();
+        let mid = load_raw_f32_range(&path, 8, 5, 10).unwrap();
+        assert_eq!(mid.len(), 10);
+        assert_eq!(mid.get(0), data.get(5));
+        assert_eq!(mid.get(9), data.get(14));
+        // Clipped tail and capped count.
+        assert_eq!(
+            load_raw_f32_range(&path, 8, 15, usize::MAX).unwrap().len(),
+            5
+        );
+        assert_eq!(load_raw_f32_range(&path, 8, 99, 3).unwrap().len(), 0);
+    }
+
+    #[test]
+    fn wrong_length_is_rejected_as_ragged() {
+        let data = DatasetKind::Seismic.generate(10, 12, 3);
+        let path = tmp("ragged.f32");
+        write_raw_f32(&path, &data).unwrap();
+        // 120 values split as 7-point series: not a whole record count.
+        let err = load_raw_f32(&path, 7).unwrap_err();
+        assert_eq!(
+            err,
+            SeriesError::RaggedBuffer {
+                buffer_len: 120,
+                series_len: 7
+            }
+        );
+        assert_eq!(
+            load_raw_f32(&path, 0).unwrap_err(),
+            SeriesError::EmptySeries
+        );
+    }
+
+    #[test]
+    fn missing_file_reports_io() {
+        let err = load_raw_f32(tmp("does-not-exist.f32"), 8).unwrap_err();
+        assert!(matches!(err, SeriesError::Io(_)));
+        assert!(err.to_string().contains("does-not-exist"));
+    }
+
+    #[test]
+    fn format_is_little_endian_headerless() {
+        let mut ds = Dataset::new(2).unwrap();
+        ds.push(&[1.0, -2.5]).unwrap();
+        let path = tmp("le.f32");
+        write_raw_f32(&path, &ds).unwrap();
+        let bytes = std::fs::read(&path).unwrap();
+        assert_eq!(bytes.len(), 8);
+        assert_eq!(&bytes[0..4], &1.0f32.to_le_bytes());
+        assert_eq!(&bytes[4..8], &(-2.5f32).to_le_bytes());
+    }
+}

@@ -19,7 +19,7 @@ pub struct AtomicBest {
 pub const NO_POSITION: u32 = u32::MAX;
 
 #[inline]
-fn pack(dist_sq: f32, pos: u32) -> u64 {
+pub(crate) fn pack(dist_sq: f32, pos: u32) -> u64 {
     debug_assert!(dist_sq >= 0.0, "distances are non-negative");
     (u64::from(dist_sq.to_bits()) << 32) | u64::from(pos)
 }

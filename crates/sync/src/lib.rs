@@ -11,15 +11,22 @@
 //! * [`SyncSlice`] — a shared slice written at *disjoint* indices by many
 //!   threads without locks, used for the SAX array whose entry `i` is owned
 //!   by whichever worker summarizes series `i`.
+//!
+//! On top of these, [`topk`] generalizes the BSF to exact k-NN: the
+//! [`Pruner`] trait abstracts "threshold read + candidate insert" (both
+//! [`AtomicBest`] and [`SharedTopK`] implement it), so the query kernels
+//! answer 1-NN and k-NN with the same code.
 
 pub mod barrier;
 pub mod best;
 pub mod pool;
 pub mod queue;
 pub mod slice;
+pub mod topk;
 
 pub use barrier::SpinBarrier;
 pub use best::AtomicBest;
 pub use pool::WorkerPool;
 pub use queue::WorkQueue;
 pub use slice::SyncSlice;
+pub use topk::{Pruner, SharedTopK};

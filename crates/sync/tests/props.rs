@@ -1,11 +1,11 @@
 //! Property tests for the concurrency substrate — centered on the
-//! determinism contract of [`AtomicBest`]: whatever the update order or
-//! thread interleaving, the final `(distance, position)` is the global
-//! minimum with the *lowest position winning exact distance ties*. Every
-//! engine's "deterministic answer across runs and threads" behaviour rests
-//! on this.
+//! determinism contract of [`AtomicBest`] and [`SharedTopK`]: whatever the
+//! update order or thread interleaving, the final answer is the global
+//! minimum (or the k smallest pairs) with the *lowest position winning
+//! exact distance ties*. Every engine's "deterministic answer across runs
+//! and threads" behaviour rests on this.
 
-use dsidx_sync::AtomicBest;
+use dsidx_sync::{AtomicBest, Pruner, SharedTopK};
 use proptest::prelude::*;
 
 /// Reference semantics: minimum by `(dist, pos)` lexicographic order.
@@ -19,12 +19,42 @@ fn reference_best(updates: &[(f32, u32)]) -> (f32, u32) {
     best
 }
 
+/// Reference top-k semantics: unique positions sorted ascending by
+/// `(dist, pos)`, truncated to `k` — plain sequential sort-and-truncate.
+fn reference_topk(updates: &[(f32, u32)], k: usize) -> Vec<(f32, u32)> {
+    let mut seen = std::collections::HashSet::new();
+    let mut unique: Vec<(f32, u32)> = updates
+        .iter()
+        .copied()
+        .filter(|&(_, p)| seen.insert(p))
+        .collect();
+    unique.sort_unstable_by(|a, b| a.0.partial_cmp(&b.0).unwrap().then(a.1.cmp(&b.1)));
+    unique.truncate(k);
+    unique
+}
+
 /// Distances drawn from a tiny set of magnitudes so exact ties are common
 /// (quantizing to a step of 0.25 makes equal f32 values routine).
 fn tie_heavy_updates() -> impl Strategy<Value = Vec<(f32, u32)>> {
     collection::vec((0usize..8, 0u32..64), 1..200).prop_map(|raw| {
         raw.into_iter()
             .map(|(step, pos)| (step as f32 * 0.25, pos))
+            .collect()
+    })
+}
+
+/// Like [`tie_heavy_updates`], but the distance is a function of the
+/// position — repeated positions always carry the same distance, matching
+/// how the query kernels re-verify already-seeded positions.
+fn tie_heavy_keyed_updates() -> impl Strategy<Value = Vec<(f32, u32)>> {
+    collection::vec(0u32..96, 1..250).prop_map(|raw| {
+        raw.into_iter()
+            .map(|pos| {
+                (
+                    ((pos.wrapping_mul(2_654_435_761) >> 13) % 8) as f32 * 0.25,
+                    pos,
+                )
+            })
             .collect()
     })
 }
@@ -79,5 +109,61 @@ proptest! {
             }
             prop_assert_eq!(best.get(), current);
         }
+    }
+
+    /// Sequential `SharedTopK` insertion equals the sequential
+    /// sort-and-truncate reference, ties and duplicate positions included.
+    #[test]
+    fn topk_equals_sort_truncate_sequentially(updates in tie_heavy_keyed_updates(), k in 1usize..12) {
+        let topk = SharedTopK::new(k);
+        for &(d, p) in &updates {
+            topk.insert(d, p);
+        }
+        prop_assert_eq!(topk.matches(), reference_topk(&updates, k));
+    }
+
+    /// The same holds under concurrent insertion: whatever the thread
+    /// interleaving, the collected set is the k smallest by `(dist, pos)`.
+    #[test]
+    fn topk_equals_sort_truncate_concurrently(
+        updates in tie_heavy_keyed_updates(),
+        k in 1usize..12,
+        threads in 2usize..6,
+    ) {
+        let topk = SharedTopK::new(k);
+        std::thread::scope(|s| {
+            for t in 0..threads {
+                let topk = &topk;
+                let updates = &updates;
+                s.spawn(move || {
+                    // Each thread replays a strided slice of the updates.
+                    for (d, p) in updates.iter().skip(t).step_by(threads) {
+                        topk.insert(*d, *p);
+                    }
+                });
+            }
+        });
+        prop_assert_eq!(topk.matches(), reference_topk(&updates, k));
+    }
+
+    /// k = 1 degenerates to `AtomicBest` exactly, tie-breaks included, and
+    /// the exposed thresholds agree to within the documented one ulp.
+    #[test]
+    fn topk_at_k1_matches_atomic_best(updates in tie_heavy_keyed_updates()) {
+        let best = AtomicBest::new();
+        let topk = SharedTopK::new(1);
+        for &(d, p) in &updates {
+            best.update(d, p);
+            topk.insert(d, p);
+        }
+        let (d, p) = best.get();
+        prop_assert_eq!(topk.matches(), vec![(d, p)]);
+        prop_assert_eq!(topk.kth_dist_sq(), best.dist_sq());
+        // The top-k pruning threshold sits exactly one ulp above the
+        // AtomicBest one, keeping boundary ties reachable.
+        prop_assert_eq!(
+            Pruner::threshold_sq(&topk).to_bits(),
+            Pruner::threshold_sq(&best).to_bits() + 1
+        );
     }
 }

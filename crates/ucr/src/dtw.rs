@@ -1,5 +1,6 @@
 //! UCR-style scans under Dynamic Time Warping (the paper's §V extension).
 
+use dsidx_query::{AtomicQueryStats, QueryStats};
 use dsidx_series::distance::dtw::{dtw_sq_bounded, envelope, lb_keogh_sq_bounded};
 use dsidx_series::{Dataset, Match};
 use dsidx_sync::{AtomicBest, WorkQueue};
@@ -54,6 +55,25 @@ pub fn scan_dtw_parallel(
     band: usize,
     threads: usize,
 ) -> Option<Match> {
+    scan_dtw_parallel_with_stats(data, query, band, threads).map(|(m, _)| m)
+}
+
+/// [`scan_dtw_parallel`] plus the unified per-query work counters for the
+/// DTW cascade: LB_Keogh bounds computed/pruned, DTWs abandoned, DTWs
+/// fully paid.
+///
+/// Returns `None` for an empty dataset.
+///
+/// # Panics
+/// Panics if the query length differs from the dataset's series length or
+/// `threads == 0`.
+#[must_use]
+pub fn scan_dtw_parallel_with_stats(
+    data: &Dataset,
+    query: &[f32],
+    band: usize,
+    threads: usize,
+) -> Option<(Match, QueryStats)> {
     assert_eq!(query.len(), data.series_len(), "query length mismatch");
     assert!(threads > 0, "thread count must be non-zero");
     if data.is_empty() {
@@ -65,23 +85,35 @@ pub fn scan_dtw_parallel(
     let first = dsidx_series::distance::dtw::dtw_sq(query, data.get(0), band);
     let best = AtomicBest::with_initial(first, 0);
     let queue = WorkQueue::new(data.len());
+    let shared = AtomicQueryStats::new();
     let pool = dsidx_sync::pool::global(threads);
     pool.broadcast(&|_worker| {
+        // Accumulate locally, merge once per worker (see `AtomicQueryStats`).
+        let mut local = QueryStats::default();
         while let Some(range) = queue.claim_chunk(64) {
             for pos in range {
                 let limit = best.dist_sq();
                 let series = data.get(pos);
+                local.lb_keogh_computed += 1;
                 if lb_keogh_sq_bounded(series, &lower, &upper, limit).is_none() {
+                    local.lb_keogh_pruned += 1;
                     continue;
                 }
                 if let Some(d) = dtw_sq_bounded(query, series, band, limit) {
+                    local.real_computed += 1;
                     best.update(d, pos as u32);
+                } else {
+                    local.dtw_abandoned += 1;
                 }
             }
         }
+        shared.merge(&local);
     });
     let (dist_sq, pos) = best.get();
-    Some(Match::new(pos, dist_sq))
+    let mut stats = shared.snapshot();
+    // Position 0 paid one unconditional full DTW for the initial BSF.
+    stats.real_computed += 1;
+    Some((Match::new(pos, dist_sq), stats))
 }
 
 /// Brute-force banded DTW scan (test oracle; no lower bounds, no abandons).
@@ -130,6 +162,25 @@ mod tests {
                 assert_eq!(got.pos, want.pos);
                 assert!((got.dist_sq - want.dist_sq).abs() <= want.dist_sq * 1e-4 + 1e-4);
             }
+        }
+    }
+
+    #[test]
+    fn parallel_stats_account_every_position() {
+        let data = DatasetKind::Synthetic.generate(180, 48, 29);
+        let queries = DatasetKind::Synthetic.queries(3, 48, 29);
+        for q in queries.iter() {
+            let (m, stats) = scan_dtw_parallel_with_stats(&data, q, 4, 3).unwrap();
+            assert_eq!(m.pos, brute_force_dtw(&data, q, 4).unwrap().pos);
+            // Every position pays one LB_Keogh bound and lands in exactly
+            // one bucket: pruned, abandoned, or fully paid (minus the
+            // unconditional seed DTW at position 0).
+            assert_eq!(stats.lb_keogh_computed, 180);
+            assert_eq!(
+                stats.lb_keogh_pruned + stats.dtw_abandoned + stats.real_computed - 1,
+                180
+            );
+            assert_eq!(stats.lb_total(), stats.lb_keogh_computed);
         }
     }
 

@@ -93,6 +93,36 @@ pub fn brute_force(data: &Dataset, query: &[f32]) -> Option<Match> {
     best
 }
 
+/// Reference brute-force exact k-NN (test oracle): every distance, sorted
+/// ascending by `(distance, position)`, truncated to `k`. The
+/// lowest-position tie-break matches the concurrent collectors'
+/// determinism contract.
+///
+/// # Panics
+/// Panics if the query length differs from the dataset's series length.
+#[must_use]
+pub fn brute_force_knn(data: &Dataset, query: &[f32], k: usize) -> Vec<Match> {
+    assert_eq!(query.len(), data.series_len(), "query length mismatch");
+    let mut all: Vec<Match> = data
+        .iter()
+        .enumerate()
+        .map(|(pos, series)| {
+            Match::new(
+                pos as u32,
+                dsidx_series::distance::euclidean_sq(query, series),
+            )
+        })
+        .collect();
+    all.sort_unstable_by(|a, b| {
+        a.dist_sq
+            .partial_cmp(&b.dist_sq)
+            .expect("finite distances")
+            .then(a.pos.cmp(&b.pos))
+    });
+    all.truncate(k);
+    all
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -47,6 +47,23 @@ fn main() -> Result<(), Error> {
         }
     }
 
+    // Exact k-NN through the same indexes: the pruning threshold becomes
+    // the k-th best distance, so the answer set is exact for any k. `nn`
+    // is just the k = 1 special case.
+    let index = MemoryIndex::build(data.clone(), Engine::Messi, &options)?;
+    let q = queries.get(0);
+    let (top5, stats) = index.knn_with_stats(q, 5)?;
+    println!("\n5 nearest series for query 0 (MESSI):");
+    for (rank, m) in top5.iter().enumerate() {
+        println!("    {}. #{:<6} dist {:.4}", rank + 1, m.pos, m.dist());
+    }
+    println!(
+        "    ({} lower bounds, {} real distances for k=5)",
+        stats.lb_total(),
+        stats.real_computed
+    );
+    assert_eq!(top5[0], index.nn(q)?.expect("non-empty"));
+
     // The MESSI index also answers DTW queries without rebuilding (§V).
     let index = MemoryIndex::build(data, Engine::Messi, &options)?;
     let band = len / 20; // 5% Sakoe-Chiba band

@@ -1,0 +1,188 @@
+//! Cross-engine exact k-NN: for every engine (in-memory and on-disk where
+//! supported), `knn(q, k)` must equal the brute-force k smallest distances
+//! — sorted ascending, with the deterministic lowest-position tie-break —
+//! including on datasets salted with exact duplicates, where the k-th
+//! boundary routinely falls inside a group of equal distances.
+
+use dsidx::prelude::*;
+use dsidx::ucr::brute_force_knn;
+use std::sync::Arc;
+
+fn opts(threads: usize, leaf: usize) -> Options {
+    Options::default()
+        .with_threads(threads)
+        .with_leaf_capacity(leaf)
+}
+
+/// A dataset with planted duplicate groups: the base collection plus
+/// several exact copies of a handful of its members. Groups of identical
+/// series share one distance to any query, so top-k boundaries cut through
+/// ties.
+fn mixed_duplicates(kind: DatasetKind, base: usize, len: usize, seed: u64) -> Dataset {
+    let mut data = kind.generate(base, len, seed);
+    for (member, copies) in [(0usize, 3usize), (base / 2, 4), (base - 1, 2)] {
+        let series = data.get(member).to_vec();
+        for _ in 0..copies {
+            data.push(&series).unwrap();
+        }
+    }
+    data
+}
+
+#[test]
+fn knn_equals_brute_force_on_mixed_duplicate_datasets() {
+    for kind in DatasetKind::ALL {
+        let data = mixed_duplicates(kind, 400, 64, 2024);
+        let queries = kind.queries(4, 64, 2024);
+        let indexes: Vec<MemoryIndex> = Engine::ALL
+            .iter()
+            .map(|&e| MemoryIndex::build(data.clone(), e, &opts(4, 16)).unwrap())
+            .collect();
+        for q in queries.iter() {
+            for k in [1usize, 5, 23, 100] {
+                let want = brute_force_knn(&data, q, k);
+                for idx in &indexes {
+                    let got = idx.knn(q, k).unwrap();
+                    assert_eq!(
+                        got.iter().map(|m| m.pos).collect::<Vec<_>>(),
+                        want.iter().map(|m| m.pos).collect::<Vec<_>>(),
+                        "{} on {} k={k}",
+                        idx.engine().name(),
+                        kind.name()
+                    );
+                    for (g, w) in got.iter().zip(&want) {
+                        assert!(
+                            (g.dist_sq - w.dist_sq).abs() <= w.dist_sq * 1e-4 + 1e-4,
+                            "{} distance mismatch at pos {}",
+                            idx.engine().name(),
+                            g.pos
+                        );
+                    }
+                }
+            }
+        }
+    }
+}
+
+#[test]
+fn knn_boundary_inside_a_duplicate_group_keeps_lowest_positions() {
+    // 30 base series plus 6 exact copies of member 7: querying with member
+    // 7 itself makes positions {7, 30..36} an exact-tie group at distance
+    // 0. Any k cutting inside the group must keep its lowest positions —
+    // on every engine, whatever the thread interleaving.
+    let base = DatasetKind::Synthetic.generate(30, 64, 77);
+    let mut data = base.clone();
+    for _ in 0..6 {
+        data.push(base.get(7)).unwrap();
+    }
+    let q = base.get(7);
+    for engine in Engine::ALL {
+        let idx = MemoryIndex::build(data.clone(), engine, &opts(8, 5)).unwrap();
+        for k in [1usize, 3, 7] {
+            for _ in 0..3 {
+                let got = idx.knn(q, k).unwrap();
+                let want = brute_force_knn(&data, q, k);
+                assert_eq!(
+                    got.iter().map(|m| m.pos).collect::<Vec<_>>(),
+                    want.iter().map(|m| m.pos).collect::<Vec<_>>(),
+                    "{} k={k}",
+                    engine.name()
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn knn_at_k1_matches_nn_everywhere() {
+    for kind in DatasetKind::ALL {
+        let data = mixed_duplicates(kind, 300, 64, 9);
+        let queries = kind.queries(5, 64, 9);
+        for engine in Engine::ALL {
+            let idx = MemoryIndex::build(data.clone(), engine, &opts(4, 20)).unwrap();
+            for q in queries.iter() {
+                let nn = idx.nn(q).unwrap().unwrap();
+                let knn = idx.knn(q, 1).unwrap();
+                assert_eq!(knn.len(), 1);
+                assert_eq!(knn[0], nn, "{} on {}", engine.name(), kind.name());
+            }
+        }
+    }
+}
+
+#[test]
+fn knn_larger_than_the_collection_returns_everything_sorted() {
+    let data = mixed_duplicates(DatasetKind::Sald, 60, 64, 31);
+    let n = data.len();
+    let q = DatasetKind::Sald.queries(1, 64, 31);
+    for engine in Engine::ALL {
+        let idx = MemoryIndex::build(data.clone(), engine, &opts(3, 10)).unwrap();
+        let got = idx.knn(q.get(0), n + 50).unwrap();
+        let want = brute_force_knn(&data, q.get(0), n + 50);
+        assert_eq!(got.len(), n, "{}", engine.name());
+        assert_eq!(
+            got.iter().map(|m| m.pos).collect::<Vec<_>>(),
+            want.iter().map(|m| m.pos).collect::<Vec<_>>(),
+            "{}",
+            engine.name()
+        );
+        // Sorted ascending by (distance, position).
+        for w in got.windows(2) {
+            assert!(
+                w[0].dist_sq < w[1].dist_sq
+                    || (w[0].dist_sq == w[1].dist_sq && w[0].pos < w[1].pos),
+                "{} not sorted",
+                engine.name()
+            );
+        }
+    }
+}
+
+#[test]
+fn knn_on_disk_engines_matches_brute_force() {
+    let dir = std::env::temp_dir().join(format!("dsidx-knn-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    let data = mixed_duplicates(DatasetKind::Seismic, 250, 64, 3);
+    let path = dir.join("knn.dsidx");
+    dsidx::storage::write_dataset(&path, &data, Arc::new(Device::unthrottled())).unwrap();
+    let queries = DatasetKind::Seismic.queries(3, 64, 3);
+    for engine in [Engine::Ads, Engine::Paris, Engine::ParisPlus] {
+        let idx = DiskIndex::build(
+            &path,
+            &dir,
+            engine,
+            &opts(4, 20),
+            DeviceProfile::UNTHROTTLED,
+        )
+        .unwrap();
+        for q in queries.iter() {
+            for k in [1usize, 9, 40] {
+                let want = brute_force_knn(&data, q, k);
+                let (got, stats) = idx.knn_with_stats(q, k).unwrap();
+                assert_eq!(
+                    got.iter().map(|m| m.pos).collect::<Vec<_>>(),
+                    want.iter().map(|m| m.pos).collect::<Vec<_>>(),
+                    "{} k={k}",
+                    engine.name()
+                );
+                assert!(stats.real_computed >= got.len() as u64, "{}", engine.name());
+            }
+            // And the 1-NN special case agrees with nn on disk too.
+            let nn = idx.nn(q).unwrap().unwrap();
+            assert_eq!(idx.knn(q, 1).unwrap()[0], nn, "{}", engine.name());
+        }
+    }
+}
+
+#[test]
+fn knn_on_empty_collection_is_empty() {
+    let data = Dataset::new(64).unwrap();
+    for engine in Engine::ALL {
+        let idx = MemoryIndex::build(data.clone(), engine, &opts(2, 10)).unwrap();
+        assert!(
+            idx.knn(&[0.0; 64], 5).unwrap().is_empty(),
+            "{}",
+            engine.name()
+        );
+    }
+}
