@@ -17,5 +17,5 @@ pub mod build;
 pub mod query;
 
 pub use build::{build_from_dataset, build_from_file, AdsBuildReport, AdsIndex};
-pub use dsidx_query::QueryStats;
-pub use query::{exact_knn, exact_nn};
+pub use dsidx_query::{BatchStats, QueryStats};
+pub use query::{exact_knn, exact_knn_batch, exact_nn};

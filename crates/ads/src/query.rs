@@ -7,16 +7,17 @@
 
 use crate::build::AdsIndex;
 use dsidx_query::{
-    approx_leaf, finish_knn, scan_sax_serial, seed_from_entries, PreparedQuery, Pruner, QueryStats,
-    SeriesFetcher, SharedTopK,
+    approx_leaf, batch_scan_sax_serial, batch_seed_positions, scan_sax_serial, seed_from_entries,
+    BatchStats, PreparedQuery, Pruner, QueryBatch, QueryStats, SeriesFetcher,
 };
 use dsidx_series::Match;
 use dsidx_storage::{RawSource, StorageError};
 use dsidx_sync::AtomicBest;
 
-/// The shared SIMS schedule behind [`exact_nn`] and [`exact_knn`]:
-/// approximate descent for the initial threshold, then the serial
-/// SAX-array scan. Returns `None` for an empty index.
+/// The SIMS schedule behind [`exact_nn`]: approximate descent for the
+/// initial threshold, then the serial SAX-array scan. Returns `None` for
+/// an empty index. (k-NN goes through the batch path — [`exact_knn`] is a
+/// batch of one.)
 fn run_exact<P: Pruner>(
     ads: &AdsIndex,
     source: &impl RawSource,
@@ -76,7 +77,8 @@ pub fn exact_nn(
 }
 
 /// Exact k-NN via the same serial index path, pruning against the k-th
-/// best distance (a [`SharedTopK`]) instead of the single best.
+/// best distance instead of the single best — the batch-of-one special
+/// case of [`exact_knn_batch`].
 ///
 /// Returns the up-to-`k` nearest series sorted ascending by
 /// `(distance, position)` — fewer than `k` when the collection is smaller,
@@ -94,9 +96,62 @@ pub fn exact_knn(
     query: &[f32],
     k: usize,
 ) -> Result<(Vec<Match>, QueryStats), StorageError> {
-    let topk = SharedTopK::new(k);
-    let stats = run_exact(ads, source, query, &topk)?;
-    Ok(finish_knn(&topk, stats))
+    let (mut matches, stats) = exact_knn_batch(ads, source, &[query], k)?;
+    Ok((matches.pop().expect("batch of one"), stats.into_single()))
+}
+
+/// Exact k-NN for a *batch* of queries in one serial pass: every query is
+/// seeded from the union of the batch's approximate leaves (each series
+/// fetched once, checked against all B queries), then a single SAX-array
+/// scan lower-bounds each word against every query and fetches a surviving
+/// position at most once.
+///
+/// Answers are element-wise identical to calling [`exact_knn`] per query;
+/// the data is walked once instead of B times. The serial engine issues no
+/// pool broadcasts, so [`BatchStats::broadcasts`] is 0.
+///
+/// # Errors
+/// Propagates raw-source I/O failures.
+///
+/// # Panics
+/// Panics if any query length differs from the configured series length or
+/// `k == 0`.
+pub fn exact_knn_batch(
+    ads: &AdsIndex,
+    source: &impl RawSource,
+    queries: &[&[f32]],
+    k: usize,
+) -> Result<(Vec<Vec<Match>>, BatchStats), StorageError> {
+    let config = ads.index.config();
+    for q in queries {
+        assert_eq!(q.len(), config.series_len(), "query length mismatch");
+    }
+    let batch = QueryBatch::new(config.quantizer(), queries, k);
+    if ads.index.is_empty() || batch.is_empty() {
+        return Ok(batch.finish(0, QueryStats::default()));
+    }
+    let mut fetcher = SeriesFetcher::new(source);
+
+    // Step 1: approximate answers — the union of every query's own leaf,
+    // deduplicated, cross-seeded into every pruner.
+    let mut positions: Vec<u32> = Vec::new();
+    for slot in batch.slots() {
+        let leaf =
+            approx_leaf(&ads.index, &slot.prep.word).expect("non-empty index has a non-empty leaf");
+        positions.extend(
+            leaf.entries()
+                .expect("serial leaves are resident")
+                .iter()
+                .map(|e| e.pos),
+        );
+    }
+    positions.sort_unstable();
+    positions.dedup();
+    batch_seed_positions(&positions, &mut fetcher, &batch)?;
+
+    // Step 2: SIMS — one serial scan of the SAX array for the whole batch.
+    batch_scan_sax_serial(ads.sax.words(), &mut fetcher, &batch)?;
+    Ok(batch.finish(0, QueryStats::default()))
 }
 
 #[cfg(test)]
@@ -178,6 +233,41 @@ mod tests {
             assert_eq!(knn.len(), 1);
             assert_eq!(knn[0].pos, nn.pos);
         }
+    }
+
+    #[test]
+    fn knn_batch_equals_sequential_knn() {
+        let data = DatasetKind::Synthetic.generate(500, 64, 19);
+        let (ads, _) = build_from_dataset(&data, &config());
+        let qs = DatasetKind::Synthetic.queries(8, 64, 19);
+        let qrefs: Vec<&[f32]> = qs.iter().collect();
+        for k in [1usize, 6, 30] {
+            let (batched, stats) = exact_knn_batch(&ads, &data, &qrefs, k).unwrap();
+            assert_eq!(stats.broadcasts, 0, "serial engine broadcasts nothing");
+            assert_eq!(stats.per_query.len(), 8);
+            for (qi, q) in qs.iter().enumerate() {
+                let (single, _) = exact_knn(&ads, &data, q, k).unwrap();
+                assert_eq!(
+                    batched[qi].iter().map(|m| m.pos).collect::<Vec<_>>(),
+                    single.iter().map(|m| m.pos).collect::<Vec<_>>(),
+                    "q{qi} k={k}"
+                );
+                assert_eq!(stats.per_query[qi].lb_computed, 500);
+            }
+            // The scan fetched each position at most once for the batch.
+            assert!(stats.series_fetched <= 500 + 8 * 16);
+            assert!(stats.series_requests >= stats.series_fetched);
+        }
+    }
+
+    #[test]
+    fn knn_batch_of_zero_queries_is_empty() {
+        let data = DatasetKind::Synthetic.generate(50, 64, 3);
+        let (ads, _) = build_from_dataset(&data, &config());
+        let (matches, stats) = exact_knn_batch(&ads, &data, &[], 5).unwrap();
+        assert!(matches.is_empty());
+        assert_eq!(stats.broadcasts, 0);
+        assert!(stats.per_query.is_empty());
     }
 
     #[test]

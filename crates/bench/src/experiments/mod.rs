@@ -13,6 +13,7 @@ pub mod fig7;
 pub mod fig8;
 pub mod fig9;
 pub mod knn;
+pub mod throughput;
 
 use crate::Scale;
 
@@ -75,6 +76,11 @@ pub const ALL: &[Experiment] = &[
         "knn",
         "Extension: exact k-NN sweep (k in {1,5,10,50,100}) per engine",
         knn::run,
+    ),
+    (
+        "throughput",
+        "Extension: batched query throughput (B in {1,4,16,64}) per engine",
+        throughput::run,
     ),
     (
         "abl-buffers",

@@ -2,7 +2,7 @@
 
 use crate::error::Error;
 use crate::options::Options;
-use dsidx_query::QueryStats;
+use dsidx_query::{BatchStats, QueryStats};
 use dsidx_series::{Dataset, Match};
 use dsidx_storage::{DatasetFile, Device, DeviceProfile};
 use dsidx_tree::stats::{index_stats, IndexStats};
@@ -157,7 +157,8 @@ impl MemoryIndex {
     }
 
     /// Exact k-NN plus the unified per-query work counters (see
-    /// [`nn_with_stats`](Self::nn_with_stats)).
+    /// [`nn_with_stats`](Self::nn_with_stats)) — the batch-of-one special
+    /// case of [`knn_batch_with_stats`](Self::knn_batch_with_stats).
     ///
     /// # Errors
     /// Propagates engine failures.
@@ -169,19 +170,67 @@ impl MemoryIndex {
         query: &[f32],
         k: usize,
     ) -> Result<(Vec<Match>, QueryStats), Error> {
+        let (mut matches, stats) = self.knn_batch_with_stats(&[query], k)?;
+        Ok((matches.pop().expect("batch of one"), stats.into_single()))
+    }
+
+    /// Exact 1-NN for a *batch* of queries — the k = 1 special case of
+    /// [`knn_batch`](Self::knn_batch): one answer per query (in order),
+    /// `None` where the dataset is empty.
+    ///
+    /// # Errors
+    /// Propagates engine failures.
+    pub fn nn_batch(&self, queries: &[&[f32]]) -> Result<Vec<Option<Match>>, Error> {
+        let (matches, _) = self.knn_batch_with_stats(queries, 1)?;
+        Ok(matches.into_iter().map(|mut m| m.pop()).collect())
+    }
+
+    /// Exact k-NN for a *batch* of queries, answered by one shared engine
+    /// schedule (a single pool broadcast set) instead of one per query.
+    /// Element-wise identical to calling [`knn`](Self::knn) per query —
+    /// same contract, same determinism — while the index structures and
+    /// raw data are walked once for the whole batch.
+    ///
+    /// # Errors
+    /// Propagates engine failures.
+    ///
+    /// # Panics
+    /// Panics if `k == 0`.
+    pub fn knn_batch(&self, queries: &[&[f32]], k: usize) -> Result<Vec<Vec<Match>>, Error> {
+        Ok(self.knn_batch_with_stats(queries, k)?.0)
+    }
+
+    /// Exact k-NN for a batch of queries plus the [`BatchStats`] that make
+    /// the amortization observable: pool broadcasts issued for the whole
+    /// batch (so broadcasts-per-query shrinks as `1/B`), raw series
+    /// fetched once versus the per-query requests they served, and the
+    /// per-query [`QueryStats`].
+    ///
+    /// # Errors
+    /// Propagates engine failures.
+    ///
+    /// # Panics
+    /// Panics if `k == 0`.
+    pub fn knn_batch_with_stats(
+        &self,
+        queries: &[&[f32]],
+        k: usize,
+    ) -> Result<(Vec<Vec<Match>>, BatchStats), Error> {
         let threads = self.options.effective_threads();
         match &self.inner {
-            MemoryInner::Ads(ads) => Ok(dsidx_ads::exact_knn(ads, &*self.data, query, k)?),
-            MemoryInner::Paris(paris) => Ok(dsidx_paris::exact_knn(
+            MemoryInner::Ads(ads) => Ok(dsidx_ads::exact_knn_batch(ads, &*self.data, queries, k)?),
+            MemoryInner::Paris(paris) => Ok(dsidx_paris::exact_knn_batch(
                 paris,
                 &*self.data,
-                query,
+                queries,
                 k,
                 threads,
             )?),
             MemoryInner::Messi(messi) => {
                 let cfg = self.options.messi_config(self.data.series_len())?;
-                Ok(dsidx_messi::exact_knn(messi, &self.data, query, k, &cfg))
+                Ok(dsidx_messi::exact_knn_batch(
+                    messi, &self.data, queries, k, &cfg,
+                ))
             }
         }
     }
@@ -198,7 +247,8 @@ impl MemoryIndex {
 
     /// Exact 1-NN under banded DTW plus the unified work counters for the
     /// pruning cascade (LB_Keogh prunes, early-abandoned DTWs) — the same
-    /// [`QueryStats`] the ED queries report.
+    /// [`QueryStats`] the ED queries report. The k = 1 special case of
+    /// [`knn_dtw_with_stats`](Self::knn_dtw_with_stats).
     ///
     /// # Errors
     /// Configuration errors.
@@ -207,17 +257,51 @@ impl MemoryIndex {
         query: &[f32],
         band: usize,
     ) -> Result<Option<(Match, QueryStats)>, Error> {
+        let (matches, stats) = self.knn_dtw_with_stats(query, band, 1)?;
+        Ok(matches.into_iter().next().map(|m| (m, stats)))
+    }
+
+    /// Exact k-NN under banded DTW — answered from the same index where
+    /// the engine supports it (MESSI), by the parallel UCR-DTW k-NN scan
+    /// otherwise (still exact, just index-free). Same contract as
+    /// [`knn`](Self::knn): sorted ascending by `(distance, position)`,
+    /// deterministic, fewer than `k` only when the collection is smaller.
+    ///
+    /// # Errors
+    /// Configuration errors.
+    ///
+    /// # Panics
+    /// Panics if `k == 0`.
+    pub fn knn_dtw(&self, query: &[f32], band: usize, k: usize) -> Result<Vec<Match>, Error> {
+        Ok(self.knn_dtw_with_stats(query, band, k)?.0)
+    }
+
+    /// Exact k-NN under banded DTW plus the unified work counters for the
+    /// whole pruning cascade, pruned against the k-th best DTW distance.
+    ///
+    /// # Errors
+    /// Configuration errors.
+    ///
+    /// # Panics
+    /// Panics if `k == 0`.
+    pub fn knn_dtw_with_stats(
+        &self,
+        query: &[f32],
+        band: usize,
+        k: usize,
+    ) -> Result<(Vec<Match>, QueryStats), Error> {
         match &self.inner {
             MemoryInner::Messi(messi) => {
                 let cfg = self.options.messi_config(self.data.series_len())?;
-                Ok(dsidx_messi::exact_nn_dtw(
-                    messi, &self.data, query, band, &cfg,
+                Ok(dsidx_messi::exact_knn_dtw(
+                    messi, &self.data, query, band, k, &cfg,
                 ))
             }
-            _ => Ok(dsidx_ucr::scan_dtw_parallel_with_stats(
+            _ => Ok(dsidx_ucr::knn_dtw_parallel_with_stats(
                 &self.data,
                 query,
                 band,
+                k,
                 self.options.effective_threads(),
             )),
         }
@@ -360,7 +444,8 @@ impl DiskIndex {
     }
 
     /// Exact k-NN plus the unified per-query work counters (see
-    /// [`MemoryIndex::knn_with_stats`]).
+    /// [`MemoryIndex::knn_with_stats`]) — the batch-of-one special case of
+    /// [`knn_batch_with_stats`](Self::knn_batch_with_stats).
     ///
     /// # Errors
     /// Propagates I/O failures.
@@ -372,12 +457,53 @@ impl DiskIndex {
         query: &[f32],
         k: usize,
     ) -> Result<(Vec<Match>, QueryStats), Error> {
+        let (mut matches, stats) = self.knn_batch_with_stats(&[query], k)?;
+        Ok((matches.pop().expect("batch of one"), stats.into_single()))
+    }
+
+    /// Exact 1-NN for a *batch* of queries (see
+    /// [`MemoryIndex::nn_batch`]); raw reads go to the modeled device.
+    ///
+    /// # Errors
+    /// Propagates I/O failures.
+    pub fn nn_batch(&self, queries: &[&[f32]]) -> Result<Vec<Option<Match>>, Error> {
+        let (matches, _) = self.knn_batch_with_stats(queries, 1)?;
+        Ok(matches.into_iter().map(|mut m| m.pop()).collect())
+    }
+
+    /// Exact k-NN for a *batch* of queries answered by one shared engine
+    /// schedule (see [`MemoryIndex::knn_batch`]); candidate verification
+    /// fetches each raw series at most once per step for the whole batch,
+    /// charged to the modeled device.
+    ///
+    /// # Errors
+    /// Propagates I/O failures.
+    ///
+    /// # Panics
+    /// Panics if `k == 0`.
+    pub fn knn_batch(&self, queries: &[&[f32]], k: usize) -> Result<Vec<Vec<Match>>, Error> {
+        Ok(self.knn_batch_with_stats(queries, k)?.0)
+    }
+
+    /// Exact k-NN for a batch of queries plus the [`BatchStats`] (see
+    /// [`MemoryIndex::knn_batch_with_stats`]).
+    ///
+    /// # Errors
+    /// Propagates I/O failures.
+    ///
+    /// # Panics
+    /// Panics if `k == 0`.
+    pub fn knn_batch_with_stats(
+        &self,
+        queries: &[&[f32]],
+        k: usize,
+    ) -> Result<(Vec<Vec<Match>>, BatchStats), Error> {
         match &self.inner {
-            DiskInner::Ads(ads) => Ok(dsidx_ads::exact_knn(ads, &self.file, query, k)?),
-            DiskInner::Paris(paris) => Ok(dsidx_paris::exact_knn(
+            DiskInner::Ads(ads) => Ok(dsidx_ads::exact_knn_batch(ads, &self.file, queries, k)?),
+            DiskInner::Paris(paris) => Ok(dsidx_paris::exact_knn_batch(
                 paris,
                 &self.file,
-                query,
+                queries,
                 k,
                 self.options.effective_threads(),
             )?),
@@ -447,6 +573,67 @@ mod tests {
                 // nn is the k = 1 special case.
                 let nn = idx.nn(q).unwrap().unwrap();
                 assert_eq!(idx.knn(q, 1).unwrap()[0], nn, "{}", engine.name());
+            }
+        }
+    }
+
+    #[test]
+    fn knn_batch_agrees_with_sequential_knn_on_all_memory_engines() {
+        let data = DatasetKind::Synthetic.generate(300, 64, 37);
+        let opts = Options::default().with_threads(4).with_leaf_capacity(16);
+        let qs = DatasetKind::Synthetic.queries(6, 64, 37);
+        let qrefs: Vec<&[f32]> = qs.iter().collect();
+        for engine in Engine::ALL {
+            let idx = MemoryIndex::build(data.clone(), engine, &opts).unwrap();
+            let (batched, stats) = idx.knn_batch_with_stats(&qrefs, 5).unwrap();
+            // The whole batch costs at most the single-query broadcast
+            // budget once — not once per query.
+            assert!(
+                stats.broadcasts_per_query() < 1.0,
+                "{}: {} broadcasts for {} queries",
+                engine.name(),
+                stats.broadcasts,
+                qrefs.len()
+            );
+            for (qi, q) in qs.iter().enumerate() {
+                let single = idx.knn(q, 5).unwrap();
+                assert_eq!(
+                    batched[qi].iter().map(|m| m.pos).collect::<Vec<_>>(),
+                    single.iter().map(|m| m.pos).collect::<Vec<_>>(),
+                    "{} q{qi}",
+                    engine.name()
+                );
+            }
+            // nn_batch is the k = 1 column of the same surface.
+            let nns = idx.nn_batch(&qrefs).unwrap();
+            for (qi, q) in qs.iter().enumerate() {
+                assert_eq!(nns[qi], idx.nn(q).unwrap(), "{} q{qi}", engine.name());
+            }
+        }
+    }
+
+    #[test]
+    fn knn_dtw_equals_brute_force_on_all_memory_engines() {
+        let data = DatasetKind::Sald.generate(150, 64, 49);
+        let opts = Options::default().with_threads(3).with_leaf_capacity(16);
+        let qs = DatasetKind::Sald.queries(2, 64, 49);
+        for engine in Engine::ALL {
+            let idx = MemoryIndex::build(data.clone(), engine, &opts).unwrap();
+            for q in qs.iter() {
+                for k in [1usize, 6, 25] {
+                    let want = dsidx_ucr::brute_force_dtw_knn(&data, q, 4, k);
+                    let (got, stats) = idx.knn_dtw_with_stats(q, 4, k).unwrap();
+                    assert_eq!(
+                        got.iter().map(|m| m.pos).collect::<Vec<_>>(),
+                        want.iter().map(|m| m.pos).collect::<Vec<_>>(),
+                        "{} k={k}",
+                        engine.name()
+                    );
+                    assert!(stats.lb_keogh_computed > 0, "{}", engine.name());
+                }
+                // nn_dtw is the k = 1 special case.
+                let nn = idx.nn_dtw(q, 4).unwrap().unwrap();
+                assert_eq!(idx.knn_dtw(q, 4, 1).unwrap()[0].pos, nn.pos);
             }
         }
     }

@@ -70,4 +70,4 @@ pub use dsidx_sync as sync;
 pub use dsidx_tree as tree;
 pub use dsidx_ucr as ucr;
 
-pub use dsidx_query::QueryStats;
+pub use dsidx_query::{BatchStats, QueryStats};

@@ -3,7 +3,7 @@
 pub use crate::engine::{DiskIndex, Engine, MemoryIndex};
 pub use crate::error::Error;
 pub use crate::options::Options;
-pub use dsidx_query::QueryStats;
+pub use dsidx_query::{BatchStats, QueryStats};
 pub use dsidx_series::gen::DatasetKind;
 pub use dsidx_series::{DataSeries, Dataset, Match};
 pub use dsidx_storage::{Device, DeviceProfile};

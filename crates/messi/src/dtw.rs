@@ -11,28 +11,24 @@ use crate::config::MessiConfig;
 use crate::pqueue::MinQueues;
 use dsidx_isax::paa::envelope_paa_bounds;
 use dsidx_isax::{MindistTable, NodeMindistTable};
-use dsidx_query::{AtomicQueryStats, QueryStats};
+use dsidx_query::{finish_knn, AtomicQueryStats, QueryStats, SharedTopK};
 use dsidx_series::distance::dtw::{dtw_sq, dtw_sq_bounded, envelope, lb_keogh_sq_bounded};
 use dsidx_series::{Dataset, Match};
-use dsidx_sync::{AtomicBest, SpinBarrier};
+use dsidx_sync::{AtomicBest, Pruner, SpinBarrier};
 
-/// Exact 1-NN under banded DTW through the MESSI index, with the unified
-/// per-query work counters: the tree-traversal counters plus the DTW
-/// cascade's LB_Keogh prunes and early-abandoned DTWs — so the `ext-dtw`
-/// experiment reports like the ED ones.
-///
+/// The shared DTW schedule behind [`exact_nn_dtw`] and [`exact_knn_dtw`],
+/// generic over [`Pruner`] exactly like the ED paths: the same traversal +
+/// priority-queue scheduling, with the iSAX-envelope → LB_Keogh → banded
+/// DTW cascade at the leaves pruning against `pruner.threshold_sq()`.
 /// Returns `None` for an empty index.
-///
-/// # Panics
-/// Panics if the query length differs from the configured series length.
-#[must_use]
-pub fn exact_nn_dtw(
+fn run_exact_dtw<P: Pruner>(
     messi: &MessiIndex,
     data: &Dataset,
     query: &[f32],
     band: usize,
     cfg: &MessiConfig,
-) -> Option<(Match, QueryStats)> {
+    best: &P,
+) -> Option<QueryStats> {
     let config = messi.index.config();
     assert_eq!(query.len(), config.series_len(), "query length mismatch");
     cfg.validate();
@@ -60,18 +56,17 @@ pub fn exact_nn_dtw(
     let mut paa = vec![0.0f32; segments];
     quantizer.paa_into(query, &mut paa);
     let query_word = quantizer.word_from_paa(&paa);
-    let best = AtomicBest::new();
     let approx_idx = dsidx_query::approx_leaf_flat(flat, &query_word)
         .expect("non-empty index has a non-empty leaf");
     let approx_entries = flat.leaf_entries(flat.node(approx_idx));
     for e in approx_entries {
-        best.update(dtw_sq(query, data.get(e.pos as usize), band), e.pos);
+        best.insert(dtw_sq(query, data.get(e.pos as usize), band), e.pos);
     }
     let approx_real = approx_entries.len() as u64;
 
     let shared = AtomicQueryStats::new();
     let queues: MinQueues<u32> = MinQueues::new(cfg.effective_queues());
-    let traversal = crate::traverse::Traversal::new(flat, &node_table, &best, &queues);
+    let traversal = crate::traverse::Traversal::new(flat, &node_table, best, &queues);
     let phase_barrier = SpinBarrier::new(cfg.threads);
 
     pool.broadcast(&|worker| {
@@ -108,7 +103,7 @@ pub fn exact_nn_dtw(
                     shard = (shard + 1) % n;
                 }
                 Some((lb, idx)) => {
-                    if lb >= best.dist_sq() {
+                    if lb >= best.threshold_sq() {
                         local.leaves_discarded += 1;
                         queues.close(shard);
                         shard = (shard + 1) % n;
@@ -116,7 +111,7 @@ pub fn exact_nn_dtw(
                     }
                     local.leaves_processed += 1;
                     for e in flat.leaf_entries(flat.node(idx)) {
-                        let limit = best.dist_sq();
+                        let limit = best.threshold_sq();
                         local.lb_entry_computed += 1;
                         if table.lookup(&e.word) >= limit {
                             continue;
@@ -129,7 +124,7 @@ pub fn exact_nn_dtw(
                         }
                         if let Some(d) = dtw_sq_bounded(query, series, band, limit) {
                             local.real_computed += 1;
-                            best.update(d, e.pos);
+                            best.insert(d, e.pos);
                         } else {
                             local.dtw_abandoned += 1;
                         }
@@ -140,10 +135,60 @@ pub fn exact_nn_dtw(
         shared.merge(&local);
     });
 
-    let (dist_sq, pos) = best.get();
     let mut stats = shared.snapshot();
     stats.real_computed += approx_real;
+    Some(stats)
+}
+
+/// Exact 1-NN under banded DTW through the MESSI index, with the unified
+/// per-query work counters: the tree-traversal counters plus the DTW
+/// cascade's LB_Keogh prunes and early-abandoned DTWs — so the `ext-dtw`
+/// experiment reports like the ED ones.
+///
+/// Returns `None` for an empty index.
+///
+/// # Panics
+/// Panics if the query length differs from the configured series length.
+#[must_use]
+pub fn exact_nn_dtw(
+    messi: &MessiIndex,
+    data: &Dataset,
+    query: &[f32],
+    band: usize,
+    cfg: &MessiConfig,
+) -> Option<(Match, QueryStats)> {
+    let best = AtomicBest::new();
+    let stats = run_exact_dtw(messi, data, query, band, cfg, &best)?;
+    let (dist_sq, pos) = best.get();
     Some((Match::new(pos, dist_sq), stats))
+}
+
+/// Exact k-NN under banded DTW through the MESSI index: the same
+/// traversal and priority-queue schedule as [`exact_nn_dtw`], pruning the
+/// whole cascade (iSAX envelope bound, LB_Keogh, early-abandoned DTW)
+/// against the k-th best DTW distance (a
+/// [`SharedTopK`](dsidx_query::SharedTopK)).
+///
+/// Returns the up-to-`k` nearest series sorted ascending by
+/// `(distance, position)` — fewer than `k` when the collection is smaller,
+/// empty for an empty index. Deterministic across runs, thread counts and
+/// queue counts (distance ties prefer the lowest position).
+///
+/// # Panics
+/// Panics if the query length differs from the configured series length or
+/// `k == 0`.
+#[must_use]
+pub fn exact_knn_dtw(
+    messi: &MessiIndex,
+    data: &Dataset,
+    query: &[f32],
+    band: usize,
+    k: usize,
+    cfg: &MessiConfig,
+) -> (Vec<Match>, QueryStats) {
+    let topk = SharedTopK::new(k);
+    let stats = run_exact_dtw(messi, data, query, band, cfg, &topk);
+    finish_knn(&topk, stats)
 }
 
 #[cfg(test)]
@@ -174,6 +219,50 @@ mod tests {
                 }
             }
         }
+    }
+
+    #[test]
+    fn knn_dtw_equals_brute_force_topk() {
+        let data = DatasetKind::Synthetic.generate(250, 64, 83);
+        let (messi, _) = build(&data, &cfg(4));
+        let queries = DatasetKind::Synthetic.queries(3, 64, 83);
+        for q in queries.iter() {
+            for k in [1usize, 6, 30, 300] {
+                let want = dsidx_ucr::brute_force_dtw_knn(&data, q, 4, k);
+                for threads in [1usize, 4] {
+                    let c = cfg(threads);
+                    let (got, stats) = exact_knn_dtw(&messi, &data, q, 4, k, &c);
+                    assert_eq!(got.len(), want.len(), "k={k} x{threads}");
+                    for (g, w) in got.iter().zip(&want) {
+                        assert_eq!(g.pos, w.pos, "k={k} x{threads}");
+                        assert!((g.dist_sq - w.dist_sq).abs() <= w.dist_sq * 1e-4 + 1e-4);
+                    }
+                    assert!(stats.real_computed >= 1);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn knn_dtw_at_k1_matches_nn_dtw() {
+        let data = DatasetKind::Seismic.generate(200, 64, 29);
+        let (messi, _) = build(&data, &cfg(3));
+        let queries = DatasetKind::Seismic.queries(4, 64, 29);
+        for q in queries.iter() {
+            let (nn, _) = exact_nn_dtw(&messi, &data, q, 5, &cfg(3)).unwrap();
+            let (knn, _) = exact_knn_dtw(&messi, &data, q, 5, 1, &cfg(3));
+            assert_eq!(knn.len(), 1);
+            assert_eq!(knn[0].pos, nn.pos);
+        }
+    }
+
+    #[test]
+    fn knn_dtw_on_empty_index_is_empty() {
+        let data = Dataset::new(64).unwrap();
+        let (messi, _) = build(&data, &cfg(2));
+        let (got, stats) = exact_knn_dtw(&messi, &data, &vec![0.0; 64], 3, 5, &cfg(2));
+        assert!(got.is_empty());
+        assert_eq!(stats, QueryStats::default());
     }
 
     #[test]

@@ -21,17 +21,20 @@
 use crate::build::MessiIndex;
 use crate::config::MessiConfig;
 use crate::pqueue::MinQueues;
+use crate::traverse::{BatchLeaf, BatchTraversal};
 use dsidx_query::{
-    approx_leaf_flat, finish_knn, process_leaf_entries, seed_from_entries, AtomicQueryStats,
-    PreparedQuery, Pruner, QueryStats, SeriesFetcher, SharedTopK,
+    approx_leaf_flat, batch_process_leaf_entries, batch_seed_positions, process_leaf_entries,
+    seed_from_entries, AtomicQueryStats, BatchStats, PreparedQuery, Pruner, QueryBatch, QueryStats,
+    SeriesFetcher,
 };
 use dsidx_series::{Dataset, Match};
 use dsidx_sync::{AtomicBest, SpinBarrier};
 
-/// The shared MESSI schedule behind [`exact_nn`] and [`exact_knn`]:
-/// approximate-descent seeding, then one pool broadcast running the
-/// cooperative traversal and the best-bound-first queue processing with a
-/// spin barrier between. Returns `None` for an empty index.
+/// The MESSI schedule behind [`exact_nn`]: approximate-descent seeding,
+/// then one pool broadcast running the cooperative traversal and the
+/// best-bound-first queue processing with a spin barrier between. Returns
+/// `None` for an empty index. (k-NN goes through the batch path —
+/// [`exact_knn`] is a batch of one.)
 fn run_exact<P: Pruner>(
     messi: &MessiIndex,
     data: &Dataset,
@@ -177,9 +180,156 @@ pub fn exact_knn(
     k: usize,
     cfg: &MessiConfig,
 ) -> (Vec<Match>, QueryStats) {
-    let topk = SharedTopK::new(k);
-    let stats = run_exact(messi, data, query, cfg, &topk);
-    finish_knn(&topk, stats)
+    let (mut matches, stats) = exact_knn_batch(messi, data, &[query], k, cfg);
+    (matches.pop().expect("batch of one"), stats.into_single())
+}
+
+/// Exact k-NN for a *batch* of queries in **one** pool broadcast: the tree
+/// is traversed once for the whole batch (a node is pruned only when every
+/// query's threshold beats its bound), priority-queue entries carry the
+/// per-query node mindists, and a popped leaf is processed once — each
+/// entry's series checked against every query whose leaf-level bound
+/// survived.
+///
+/// Answers are element-wise identical to calling [`exact_knn`] per query,
+/// deterministic across runs, thread counts and queue counts. The
+/// traversal counters ([`QueryStats::nodes_pruned`], `leaves_*`) describe
+/// work done once for the whole batch and are reported in
+/// [`BatchStats::shared`]; per-query counters sit in
+/// [`BatchStats::per_query`].
+///
+/// # Panics
+/// Panics if any query length differs from the configured series length or
+/// `k == 0`.
+#[must_use]
+pub fn exact_knn_batch(
+    messi: &MessiIndex,
+    data: &Dataset,
+    queries: &[&[f32]],
+    k: usize,
+    cfg: &MessiConfig,
+) -> (Vec<Vec<Match>>, BatchStats) {
+    let config = messi.index.config();
+    for q in queries {
+        assert_eq!(q.len(), config.series_len(), "query length mismatch");
+    }
+    cfg.validate();
+    let flat = &messi.flat;
+    let quantizer = config.quantizer();
+    let batch = QueryBatch::new(quantizer, queries, k);
+    if flat.entry_count() == 0 || batch.is_empty() {
+        return batch.finish(0, QueryStats::default());
+    }
+    let tables: Vec<_> = batch
+        .slots()
+        .iter()
+        .map(|s| s.prep.node_table(quantizer))
+        .collect();
+    let pool = dsidx_sync::pool::global(cfg.threads);
+
+    // Initial thresholds from the union of the batch's own leaves
+    // (distinct leaves only), cross-seeded into every pruner.
+    let mut leaf_idxs: Vec<u32> = batch
+        .slots()
+        .iter()
+        .map(|slot| {
+            approx_leaf_flat(flat, &slot.prep.word).expect("non-empty index has a non-empty leaf")
+        })
+        .collect();
+    leaf_idxs.sort_unstable();
+    leaf_idxs.dedup();
+    let mut positions: Vec<u32> = leaf_idxs
+        .iter()
+        .flat_map(|&idx| flat.leaf_entries(flat.node(idx)).iter().map(|e| e.pos))
+        .collect();
+    positions.sort_unstable();
+    positions.dedup();
+    let mut fetcher = SeriesFetcher::new(data);
+    batch_seed_positions(&positions, &mut fetcher, &batch).expect("in-memory sources do not fail");
+
+    // Phase A: one cooperative traversal for the whole batch (see
+    // [`crate::traverse::BatchTraversal`]); surviving leaves enter the
+    // queues keyed by their minimum per-query bound. Phase B: pop
+    // best-first; a popped minimum at or above every query's threshold
+    // closes its whole queue; an entry pays per-query bounds and
+    // early-abandoned distances only for queries whose leaf bound
+    // survived. One broadcast, phases separated by a spin barrier.
+    let shared = AtomicQueryStats::new();
+    let queues: MinQueues<BatchLeaf> = MinQueues::new(cfg.effective_queues());
+    let traversal = BatchTraversal::new(flat, &tables, &batch, &queues);
+    let phase_barrier = SpinBarrier::new(cfg.threads);
+
+    pool.broadcast(&|worker| {
+        // Workers accumulate locally and merge once per phase (see
+        // `AtomicQueryStats`).
+        let mut shared_local = QueryStats::default();
+        let mut locals = vec![QueryStats::default(); batch.len()];
+        let st = traversal.run_worker();
+        shared_local.nodes_pruned = st.pruned;
+        shared_local.leaves_enqueued = st.enqueued;
+        phase_barrier.wait();
+
+        // Phase B: best-bound-first processing, once per leaf for the
+        // whole batch.
+        let n = queues.shard_count();
+        let mut shard = worker % n;
+        let mut idle_cycles = 0u32;
+        let mut active: Vec<usize> = Vec::with_capacity(batch.len());
+        loop {
+            if queues.all_closed() {
+                break;
+            }
+            if !queues.is_open(shard) {
+                shard = (shard + 1) % n;
+                idle_cycles += 1;
+                if idle_cycles > n as u32 {
+                    // Every shard is closed or being drained by another
+                    // worker; yield instead of hammering shared lines.
+                    std::thread::yield_now();
+                } else {
+                    std::hint::spin_loop();
+                }
+                continue;
+            }
+            idle_cycles = 0;
+            match queues.pop_min(shard) {
+                None => {
+                    queues.close(shard);
+                    shard = (shard + 1) % n;
+                }
+                Some((min_lb, leaf)) => {
+                    if min_lb >= batch.max_threshold_sq() {
+                        // Every remaining leaf in this queue is at least
+                        // as far for every query: abandon it wholesale.
+                        shared_local.leaves_discarded += 1;
+                        queues.close(shard);
+                        shard = (shard + 1) % n;
+                        continue;
+                    }
+                    active.clear();
+                    for (qi, slot) in batch.slots().iter().enumerate() {
+                        if leaf.lbs[qi] < slot.topk.threshold_sq() {
+                            active.push(qi);
+                        }
+                    }
+                    if active.is_empty() {
+                        // No query can benefit from this one leaf, but the
+                        // queue's minimum key still beat some threshold —
+                        // keep draining it.
+                        shared_local.leaves_discarded += 1;
+                        continue;
+                    }
+                    shared_local.leaves_processed += 1;
+                    let entries = flat.leaf_entries(flat.node(leaf.idx));
+                    batch_process_leaf_entries(entries, data, &batch, &active, &mut locals);
+                }
+            }
+        }
+        batch.merge_locals(&locals);
+        shared.merge(&shared_local);
+    });
+
+    batch.finish(1, shared.snapshot())
 }
 
 #[cfg(test)]
@@ -232,6 +382,51 @@ mod tests {
                     assert!(stats.real_computed >= got.len() as u64);
                 }
             }
+        }
+    }
+
+    #[test]
+    fn knn_batch_equals_sequential_knn() {
+        let data = DatasetKind::Synthetic.generate(700, 64, 57);
+        let (messi, _) = build(&data, &cfg(4));
+        let qs = DatasetKind::Synthetic.queries(7, 64, 57);
+        let qrefs: Vec<&[f32]> = qs.iter().collect();
+        for k in [1usize, 8, 40] {
+            for threads in [1usize, 4] {
+                let c = cfg(threads);
+                let (batched, stats) = exact_knn_batch(&messi, &data, &qrefs, k, &c);
+                assert_eq!(stats.broadcasts, 1, "one broadcast for the whole batch");
+                assert!(stats.broadcasts_per_query() < 1.0);
+                for (qi, q) in qs.iter().enumerate() {
+                    let (single, _) = exact_knn(&messi, &data, q, k, &c);
+                    assert_eq!(
+                        batched[qi].iter().map(|m| m.pos).collect::<Vec<_>>(),
+                        single.iter().map(|m| m.pos).collect::<Vec<_>>(),
+                        "q{qi} k={k} x{threads}"
+                    );
+                }
+                // Traversal ran once for the batch: structural counters
+                // live in the shared slice, per-query ones per slot.
+                assert!(
+                    stats.shared.leaves_processed + stats.shared.leaves_discarded
+                        <= stats.shared.leaves_enqueued
+                );
+                assert_eq!(stats.shared.lb_computed, 0);
+            }
+        }
+    }
+
+    #[test]
+    fn knn_batch_deterministic_across_queue_counts() {
+        let data = DatasetKind::Seismic.generate(400, 64, 71);
+        let (messi, _) = build(&data, &cfg(4));
+        let qs = DatasetKind::Seismic.queries(5, 64, 71);
+        let qrefs: Vec<&[f32]> = qs.iter().collect();
+        let (first, _) = exact_knn_batch(&messi, &data, &qrefs, 9, &cfg(1));
+        for queues in [1usize, 2, 8, 32] {
+            let c = cfg(4).with_queues(queues);
+            let (got, _) = exact_knn_batch(&messi, &data, &qrefs, 9, &c);
+            assert_eq!(got, first, "queues={queues}");
         }
     }
 

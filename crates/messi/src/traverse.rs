@@ -10,6 +10,7 @@
 
 use crate::pqueue::MinQueues;
 use dsidx_isax::NodeMindistTable;
+use dsidx_query::QueryBatch;
 use dsidx_sync::{Pruner, WorkQueue};
 use dsidx_tree::FlatTree;
 use parking_lot::Mutex;
@@ -131,6 +132,172 @@ impl<'a, P: Pruner> Traversal<'a, P> {
                     self.queues.push_rr(lb, idx);
                 }
             } else {
+                let (zero, one) = node.children(idx);
+                stack.push(one);
+                stack.push(zero);
+            }
+        }
+    }
+}
+
+/// A leaf surviving a batched traversal, as queued for the processing
+/// phase: the flat-tree node index plus the node-level lower bound for
+/// *every* query in the batch (index-aligned with the batch's slots), so
+/// processing knows per query whether the leaf can still contribute
+/// without recomputing bounds.
+pub struct BatchLeaf {
+    /// Flat-tree node index of the leaf.
+    pub idx: u32,
+    /// Per-query node-level MINDIST (squared).
+    pub lbs: Box<[f32]>,
+}
+
+/// Shared state for one *batched* traversal phase: the tree is walked once
+/// for the whole batch, a node is pruned only when **every** query's
+/// threshold beats its bound, and surviving leaves are enqueued with their
+/// per-query mindists. The same root-claiming and work-donation schedule
+/// as [`Traversal`] (its batch-of-one specialization).
+pub struct BatchTraversal<'a, 'q> {
+    flat: &'a FlatTree,
+    tables: &'a [NodeMindistTable],
+    /// Root-level contribution per query, per segment, for key bits 0/1.
+    root_contribs: Vec<Vec<(f32, f32)>>,
+    batch: &'a QueryBatch<'q>,
+    queues: &'a MinQueues<BatchLeaf>,
+    root_queue: WorkQueue,
+    /// Overflow work: node indices donated by overloaded workers.
+    shared: Mutex<Vec<u32>>,
+}
+
+impl<'a, 'q> BatchTraversal<'a, 'q> {
+    /// Prepares a batched traversal over `flat`'s occupied roots.
+    /// `tables` holds one node-level MINDIST table per query,
+    /// index-aligned with the batch's slots.
+    ///
+    /// # Panics
+    /// Panics if `tables` is not one table per query.
+    #[must_use]
+    pub fn new(
+        flat: &'a FlatTree,
+        tables: &'a [NodeMindistTable],
+        batch: &'a QueryBatch<'q>,
+        queues: &'a MinQueues<BatchLeaf>,
+    ) -> Self {
+        assert_eq!(tables.len(), batch.len(), "one node table per query");
+        let segments = flat.segments();
+        let root_contribs = tables
+            .iter()
+            .map(|t| (0..segments).map(|s| t.root_pair(s)).collect())
+            .collect();
+        Self {
+            flat,
+            tables,
+            root_contribs,
+            batch,
+            queues,
+            root_queue: WorkQueue::new(flat.roots().len()),
+            shared: Mutex::new(Vec::new()),
+        }
+    }
+
+    #[inline]
+    fn root_lb(&self, qi: usize, key: u16) -> f32 {
+        let contrib = &self.root_contribs[qi];
+        let segments = contrib.len();
+        let mut sum = 0.0f32;
+        for (seg, &(zero, one)) in contrib.iter().enumerate() {
+            let bit = (key >> (segments - 1 - seg)) & 1;
+            sum += if bit == 0 { zero } else { one };
+        }
+        sum
+    }
+
+    /// `true` iff no query in the batch can benefit from the subtree under
+    /// `key` — every query's root-level bound meets its own threshold.
+    #[inline]
+    fn root_pruned_for_all(&self, key: u16) -> bool {
+        self.batch
+            .slots()
+            .iter()
+            .enumerate()
+            .all(|(qi, slot)| self.root_lb(qi, key) >= slot.topk.threshold_sq())
+    }
+
+    /// Runs one worker's share of the batched traversal (same contract as
+    /// [`Traversal::run_worker`]).
+    pub fn run_worker(&self) -> TraverseStats {
+        let mut stats = TraverseStats::default();
+        let mut stack: Vec<u32> = Vec::new();
+        let mut visits = 0u64;
+        while let Some(range) = self.root_queue.claim_chunk(64) {
+            for i in range {
+                let (key, root_idx) = self.flat.roots()[i];
+                if self.root_pruned_for_all(key) {
+                    stats.pruned += 1;
+                    continue;
+                }
+                stack.push(root_idx);
+                self.drain_stack(&mut stack, &mut visits, &mut stats);
+            }
+        }
+        loop {
+            let item = self.shared.lock().pop();
+            match item {
+                Some(idx) => {
+                    stack.push(idx);
+                    self.drain_stack(&mut stack, &mut visits, &mut stats);
+                }
+                None => return stats,
+            }
+        }
+    }
+
+    fn drain_stack(&self, stack: &mut Vec<u32>, visits: &mut u64, stats: &mut TraverseStats) {
+        while let Some(idx) = stack.pop() {
+            *visits += 1;
+            if *visits & DONATE_CHECK_MASK == 0 && stack.len() > DONATE_ABOVE {
+                let keep = stack.len() / 2;
+                let mut shared = self.shared.lock();
+                shared.extend(stack.drain(..keep));
+            }
+            let node = self.flat.node(idx);
+            if node.is_leaf() {
+                if node.entry_range().is_empty() {
+                    continue;
+                }
+                // Leaves need every query's bound (the queue payload), so
+                // compute them all; the min orders the queue.
+                let mut lbs = Vec::with_capacity(self.batch.len());
+                let mut min_lb = f32::INFINITY;
+                let mut survives = false;
+                for (qi, slot) in self.batch.slots().iter().enumerate() {
+                    let lb = node.mindist_sq(&self.tables[qi]);
+                    min_lb = min_lb.min(lb);
+                    survives |= lb < slot.topk.threshold_sq();
+                    lbs.push(lb);
+                }
+                if !survives {
+                    stats.pruned += 1;
+                    continue;
+                }
+                stats.enqueued += 1;
+                self.queues.push_rr(
+                    min_lb,
+                    BatchLeaf {
+                        idx,
+                        lbs: lbs.into_boxed_slice(),
+                    },
+                );
+            } else {
+                // Internal nodes only need the "any query survives" test.
+                let survives =
+                    self.batch.slots().iter().enumerate().any(|(qi, slot)| {
+                        node.mindist_sq(&self.tables[qi]) < slot.topk.threshold_sq()
+                    });
+                if !survives {
+                    stats.pruned += 1;
+                    continue;
+                }
                 let (zero, one) = node.children(idx);
                 stack.push(one);
                 stack.push(zero);

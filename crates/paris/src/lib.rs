@@ -30,6 +30,6 @@ pub mod report;
 
 pub use build::{build_in_memory, build_on_disk, ParisIndex};
 pub use config::{Overlap, ParisConfig};
-pub use dsidx_query::QueryStats;
-pub use query::{exact_knn, exact_nn};
+pub use dsidx_query::{BatchStats, QueryStats};
+pub use query::{exact_knn, exact_knn_batch, exact_nn};
 pub use report::BuildReport;

@@ -17,8 +17,10 @@
 
 use crate::build::ParisIndex;
 use dsidx_query::{
-    approx_leaf, collect_candidates, finish_knn, seed_from_entries, seed_prefix, verify_candidates,
-    AtomicQueryStats, PreparedQuery, Pruner, QueryStats, SeriesFetcher, SharedTopK,
+    approx_leaf, batch_collect_candidates, batch_seed_positions, batch_seed_prefix,
+    batch_verify_candidates, collect_candidates, seed_from_entries, verify_candidates,
+    AtomicQueryStats, BatchCandidate, BatchStats, PreparedQuery, Pruner, QueryBatch, QueryStats,
+    SeriesFetcher,
 };
 use dsidx_series::Match;
 use dsidx_storage::{LeafHandle, RawSource, StorageError};
@@ -35,17 +37,35 @@ const REAL_CHUNK: usize = 16;
 /// sample would be the sample maximum (no pruning power at all).
 const KNN_WARM_PER_NEIGHBOR: usize = 4;
 
-/// The shared ParIS schedule behind [`exact_nn`] and [`exact_knn`]:
-/// approximate-descent seeding, then the two Fetch&Inc-chunked pool phases
-/// (parallel lower-bound collect, parallel early-abandoned verify).
-/// Returns `None` for an empty index.
+/// Charges the on-disk read-back of one materialized leaf to the leaf
+/// store's device (a no-op for in-memory builds).
+fn charge_leaf_read(paris: &ParisIndex, leaf: &dsidx_tree::Node) -> Result<(), StorageError> {
+    if let Some(reader) = &paris.leaves {
+        let mut records = Vec::new();
+        for chunk in &leaf.payload().expect("leaf payload").chunks {
+            reader.read(
+                LeafHandle {
+                    offset: chunk.offset,
+                    count: chunk.count,
+                },
+                &mut records,
+            )?;
+        }
+    }
+    Ok(())
+}
+
+/// The ParIS schedule behind [`exact_nn`]: approximate-descent seeding,
+/// then the two Fetch&Inc-chunked pool phases (parallel lower-bound
+/// collect, parallel early-abandoned verify). Returns `None` for an empty
+/// index. (k-NN goes through the batch path — [`exact_knn`] is a batch of
+/// one.)
 fn run_exact<P: Pruner>(
     paris: &ParisIndex,
     source: &impl RawSource,
     query: &[f32],
     threads: usize,
     pruner: &P,
-    warm_prefix: usize,
 ) -> Result<Option<QueryStats>, StorageError> {
     let config = paris.index.config();
     assert_eq!(query.len(), config.series_len(), "query length mismatch");
@@ -59,27 +79,10 @@ fn run_exact<P: Pruner>(
     // real distances for its entries. In on-disk mode the leaf was
     // materialized, so charge its read-back from the leaf store.
     let leaf = approx_leaf(&paris.index, &prep.word).expect("non-empty index has a non-empty leaf");
-    if let Some(reader) = &paris.leaves {
-        let mut records = Vec::new();
-        for chunk in &leaf.payload().expect("leaf payload").chunks {
-            reader.read(
-                LeafHandle {
-                    offset: chunk.offset,
-                    count: chunk.count,
-                },
-                &mut records,
-            )?;
-        }
-    }
+    charge_leaf_read(paris, leaf)?;
     let mut fetcher = SeriesFetcher::new(source);
     let entries = leaf.entries().expect("leaves are resident");
-    let mut approx_real = seed_from_entries(entries, &mut fetcher, query, pruner)?;
-    // A k-NN threshold stays +inf while fewer than k pairs are held, and
-    // the collect phase below samples it only once per chunk — warm it
-    // over a position-order prefix so phase 2 never runs unpruned (see
-    // `seed_prefix`; `warm_prefix` is 0 for 1-NN, where leaf seeding
-    // already yields a finite threshold).
-    approx_real += seed_prefix(warm_prefix.min(source.count()), &mut fetcher, query, pruner)?;
+    let approx_real = seed_from_entries(entries, &mut fetcher, query, pruner)?;
 
     // Step 2: parallel lower-bound pruning over the SAX array.
     let pool = dsidx_sync::pool::global(threads);
@@ -149,7 +152,7 @@ pub fn exact_nn(
     threads: usize,
 ) -> Result<Option<(Match, QueryStats)>, StorageError> {
     let best = AtomicBest::new();
-    match run_exact(paris, source, query, threads, &best, 0)? {
+    match run_exact(paris, source, query, threads, &best)? {
         None => Ok(None),
         Some(stats) => {
             let (dist_sq, pos) = best.get();
@@ -181,10 +184,128 @@ pub fn exact_knn(
     k: usize,
     threads: usize,
 ) -> Result<(Vec<Match>, QueryStats), StorageError> {
-    let topk = SharedTopK::new(k);
-    let warm = k.saturating_mul(KNN_WARM_PER_NEIGHBOR);
-    let stats = run_exact(paris, source, query, threads, &topk, warm)?;
-    Ok(finish_knn(&topk, stats))
+    let (mut matches, stats) = exact_knn_batch(paris, source, &[query], k, threads)?;
+    Ok((matches.pop().expect("batch of one"), stats.into_single()))
+}
+
+/// Exact k-NN for a *batch* of queries, amortizing the pool wake-ups that
+/// dominate sub-millisecond queries: the whole batch is answered by **one**
+/// collect broadcast plus **one** verify broadcast (instead of two per
+/// query), with the same Fetch&Inc chunking inside.
+///
+/// The collect phase lower-bounds each SAX word against every query in one
+/// pass, emitting per-query candidate lists as `(position, query, bound)`
+/// triples; the verify phase claims chunks of the shared triple list and
+/// pays one raw fetch for every run of queries that kept the same
+/// position. Seeding unions the batch's approximate leaves (each distinct
+/// leaf charged once to the leaf store in on-disk mode) and cross-seeds
+/// every pruner, then warms the k-NN thresholds over a position-order
+/// prefix exactly like the single-query path.
+///
+/// Answers are element-wise identical to calling [`exact_knn`] per query,
+/// deterministic across runs and thread counts.
+///
+/// # Errors
+/// Propagates raw-source and leaf-store I/O failures.
+///
+/// # Panics
+/// Panics if any query length differs from the configured series length,
+/// `threads == 0`, or `k == 0`.
+pub fn exact_knn_batch(
+    paris: &ParisIndex,
+    source: &impl RawSource,
+    queries: &[&[f32]],
+    k: usize,
+    threads: usize,
+) -> Result<(Vec<Vec<Match>>, BatchStats), StorageError> {
+    let config = paris.index.config();
+    for q in queries {
+        assert_eq!(q.len(), config.series_len(), "query length mismatch");
+    }
+    assert!(threads > 0, "thread count must be non-zero");
+    let batch = QueryBatch::new(config.quantizer(), queries, k);
+    if paris.index.is_empty() || batch.is_empty() {
+        return Ok(batch.finish(0, QueryStats::default()));
+    }
+
+    // Step 1: approximate answers — the union of the batch's leaves
+    // (distinct leaves charged once), cross-seeded into every pruner, then
+    // the shared threshold warm-up over a position-order prefix.
+    let mut leaves: Vec<&dsidx_tree::Node> = Vec::new();
+    for slot in batch.slots() {
+        let leaf = approx_leaf(&paris.index, &slot.prep.word)
+            .expect("non-empty index has a non-empty leaf");
+        if !leaves.iter().any(|l| std::ptr::eq(*l, leaf)) {
+            leaves.push(leaf);
+        }
+    }
+    let mut positions: Vec<u32> = Vec::new();
+    for leaf in &leaves {
+        charge_leaf_read(paris, leaf)?;
+        positions.extend(
+            leaf.entries()
+                .expect("leaves are resident")
+                .iter()
+                .map(|e| e.pos),
+        );
+    }
+    positions.sort_unstable();
+    positions.dedup();
+    let mut fetcher = SeriesFetcher::new(source);
+    batch_seed_positions(&positions, &mut fetcher, &batch)?;
+    let warm = k.saturating_mul(KNN_WARM_PER_NEIGHBOR).min(source.count());
+    batch_seed_prefix(warm, &mut fetcher, &batch)?;
+
+    // Step 2: one parallel lower-bound broadcast for the whole batch.
+    let pool = dsidx_sync::pool::global(threads);
+    let words = paris.sax.words();
+    let lb_queue = WorkQueue::new(words.len());
+    let candidates: Mutex<Vec<BatchCandidate>> = Mutex::new(Vec::new());
+    pool.broadcast(&|_worker| {
+        let mut locals = vec![QueryStats::default(); batch.len()];
+        let mut local: Vec<BatchCandidate> = Vec::new();
+        while let Some(range) = lb_queue.claim_chunk(LB_CHUNK) {
+            batch_collect_candidates(words, range, &batch, &mut locals, &mut local);
+        }
+        batch.merge_locals(&locals);
+        if !local.is_empty() {
+            candidates.lock().extend_from_slice(&local);
+        }
+    });
+    let candidates = candidates.into_inner();
+
+    // Step 3: one parallel verify broadcast over the shared triple list.
+    let real_queue = WorkQueue::new(candidates.len());
+    let errors: Mutex<Option<StorageError>> = Mutex::new(None);
+    pool.broadcast(&|_worker| {
+        let mut fetcher = SeriesFetcher::new(source);
+        let mut locals = vec![QueryStats::default(); batch.len()];
+        while let Some(range) = real_queue.claim_chunk(REAL_CHUNK) {
+            if let Err(e) =
+                batch_verify_candidates(&candidates, range, &mut fetcher, &batch, &mut locals)
+            {
+                let mut slot = errors.lock();
+                if slot.is_none() {
+                    *slot = Some(e);
+                }
+                break;
+            }
+        }
+        batch.merge_locals(&locals);
+    });
+    if let Some(e) = errors.into_inner() {
+        return Err(e);
+    }
+
+    // Every query paid one bound per SAX-array position.
+    let bounds = QueryStats {
+        lb_computed: words.len() as u64,
+        ..QueryStats::default()
+    };
+    for slot in batch.slots() {
+        slot.stats.merge(&bounds);
+    }
+    Ok(batch.finish(2, QueryStats::default()))
 }
 
 #[cfg(test)]
@@ -288,6 +409,59 @@ mod tests {
             got.iter().map(|m| m.pos).collect::<Vec<_>>(),
             want.iter().map(|m| m.pos).collect::<Vec<_>>()
         );
+    }
+
+    #[test]
+    fn knn_batch_equals_sequential_knn_across_thread_counts() {
+        let data = DatasetKind::Synthetic.generate(600, 64, 47);
+        let (paris, _) = build_in_memory(&data, &cfg(4));
+        let qs = DatasetKind::Synthetic.queries(6, 64, 47);
+        let qrefs: Vec<&[f32]> = qs.iter().collect();
+        for k in [1usize, 9, 35] {
+            for threads in [1usize, 4] {
+                let (batched, stats) = exact_knn_batch(&paris, &data, &qrefs, k, threads).unwrap();
+                assert_eq!(stats.broadcasts, 2, "one collect + one verify per batch");
+                assert!(stats.broadcasts_per_query() < 1.0);
+                for (qi, q) in qs.iter().enumerate() {
+                    let (single, _) = exact_knn(&paris, &data, q, k, threads).unwrap();
+                    assert_eq!(
+                        batched[qi].iter().map(|m| m.pos).collect::<Vec<_>>(),
+                        single.iter().map(|m| m.pos).collect::<Vec<_>>(),
+                        "q{qi} k={k} x{threads}"
+                    );
+                    assert_eq!(stats.per_query[qi].lb_computed, 600);
+                }
+                // Shared fetches never exceed the per-query requests.
+                assert!(stats.series_fetched <= stats.series_requests);
+            }
+        }
+    }
+
+    #[test]
+    fn knn_batch_on_disk_matches_memory_batch() {
+        let data = DatasetKind::Seismic.generate(300, 64, 53);
+        let path = tmp("batch.dsidx");
+        write_dataset(&path, &data, Arc::new(Device::unthrottled())).unwrap();
+        let file = DatasetFile::open(&path, Arc::new(Device::unthrottled())).unwrap();
+        let (paris, _) =
+            build_on_disk(&file, &tmp("batch.leaf"), &cfg(3), Overlap::ParisPlus).unwrap();
+        let qs = DatasetKind::Seismic.queries(5, 64, 53);
+        let qrefs: Vec<&[f32]> = qs.iter().collect();
+        let (mem, _) = exact_knn_batch(&paris, &data, &qrefs, 7, 4).unwrap();
+        let (disk, _) = exact_knn_batch(&paris, &file, &qrefs, 7, 4).unwrap();
+        for (qi, (m, d)) in mem.iter().zip(&disk).enumerate() {
+            assert_eq!(
+                m.iter().map(|x| x.pos).collect::<Vec<_>>(),
+                d.iter().map(|x| x.pos).collect::<Vec<_>>(),
+                "q{qi}"
+            );
+            let want = dsidx_ucr::brute_force_knn(&data, qs.get(qi), 7);
+            assert_eq!(
+                m.iter().map(|x| x.pos).collect::<Vec<_>>(),
+                want.iter().map(|x| x.pos).collect::<Vec<_>>(),
+                "q{qi}"
+            );
+        }
     }
 
     #[test]

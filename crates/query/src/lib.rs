@@ -24,7 +24,15 @@
 //! [`AtomicBest`](dsidx_sync::AtomicBest) best-so-far) and exact k-NN (a
 //! [`SharedTopK`](dsidx_sync::SharedTopK) whose threshold is the k-th best
 //! distance so far).
+//!
+//! The [`batch`] module generalizes all of it to query *batches*: a
+//! [`QueryBatch`] holds per-query prepared state, pruners and stats, and
+//! the batch kernel loops check each fetched series/SAX word against every
+//! query in one data pass, so an engine answers B queries inside a single
+//! schedule (and a single pool broadcast set). The single-query loops here
+//! are the lean B = 1 specializations.
 
+pub mod batch;
 pub mod fetch;
 pub mod knn;
 pub mod prepare;
@@ -32,6 +40,11 @@ pub mod scan;
 pub mod seed;
 pub mod stats;
 
+pub use batch::{
+    batch_collect_candidates, batch_process_leaf_entries, batch_scan_sax_serial,
+    batch_seed_positions, batch_seed_prefix, batch_verify_candidates, BatchCandidate, BatchSlot,
+    BatchStats, QueryBatch,
+};
 pub use fetch::SeriesFetcher;
 pub use knn::finish_knn;
 pub use prepare::PreparedQuery;

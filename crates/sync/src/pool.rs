@@ -6,9 +6,17 @@
 //! [`WorkerPool::broadcast`] runs one closure on every worker and returns
 //! when all of them finish — the moral equivalent of `std::thread::scope`,
 //! but against long-lived threads.
+//!
+//! Jobs are published through one shared slot guarded by a generation
+//! counter, and parked workers are woken by a **single** `notify_all` —
+//! not one wake syscall per worker. Waking a parked thread costs tens of
+//! microseconds here, so per-worker wakes would stagger the start of every
+//! broadcast by `workers × wake`; with one shared condition variable the
+//! whole pool starts on one notification, and the batched query schedules
+//! (`dsidx-query::batch`) amortize even that single wake over B queries.
 
 use parking_lot::{Condvar, Mutex};
-use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::sync::{Arc, OnceLock};
 
 /// A lifetime-erased `Fn(usize worker_id)` pointer plus completion state.
@@ -30,9 +38,31 @@ unsafe impl Send for Job {}
 // pointee is `Sync`; every other field is itself `Sync`.
 unsafe impl Sync for Job {}
 
+/// The published-job slot every worker watches.
+struct Slot {
+    /// Generation of the job currently in `job` (0 = none yet). A worker
+    /// runs a job exactly once by comparing against the last generation it
+    /// executed.
+    seq: u64,
+    /// The current job; cleared by the broadcaster once complete, so the
+    /// erased closure pointer never outlives its broadcast.
+    job: Option<Arc<Job>>,
+}
+
+/// State shared between the broadcaster and every worker.
+struct PoolShared {
+    /// Mirror of `slot.seq`, readable without the lock — what the workers'
+    /// spin fast-path polls between jobs.
+    seq: AtomicU64,
+    slot: Mutex<Slot>,
+    /// Workers park here; one `notify_all` per broadcast wakes all of them.
+    cv: Condvar,
+    shutdown: AtomicBool,
+}
+
 /// A fixed-size pool of persistent worker threads.
 pub struct WorkerPool {
-    senders: Vec<crossbeam_channel::Sender<Arc<Job>>>,
+    shared: Arc<PoolShared>,
     handles: Vec<std::thread::JoinHandle<()>>,
     /// Serializes broadcasts: tasks may contain cross-worker phase barriers
     /// (see `SpinBarrier`), and two interleaved broadcasts would then each
@@ -46,41 +76,46 @@ impl WorkerPool {
     #[must_use]
     pub fn new(threads: usize) -> Self {
         assert!(threads > 0, "pool needs at least one worker");
-        let mut senders = Vec::with_capacity(threads);
+        let shared = Arc::new(PoolShared {
+            seq: AtomicU64::new(0),
+            slot: Mutex::new(Slot { seq: 0, job: None }),
+            cv: Condvar::new(),
+            shutdown: AtomicBool::new(false),
+        });
         let mut handles = Vec::with_capacity(threads);
         for worker_id in 0..threads {
-            let (tx, rx) = crossbeam_channel::unbounded::<Arc<Job>>();
-            senders.push(tx);
+            let shared = Arc::clone(&shared);
             handles.push(std::thread::spawn(move || {
+                let mut last_seq = 0u64;
                 loop {
-                    // Fast path: after finishing a job, poll briefly before
-                    // parking. Waking a parked thread costs tens of
-                    // microseconds here, and broadcasts wake workers one by
-                    // one — for back-to-back queries that stagger would
-                    // dominate sub-millisecond latencies.
-                    let mut job = None;
+                    // Fast path: after finishing a job, poll the published
+                    // generation briefly before parking. Re-waking a parked
+                    // thread costs tens of microseconds, which would
+                    // dominate back-to-back sub-millisecond queries.
                     for spin in 0..4096u32 {
-                        match rx.try_recv() {
-                            Ok(j) => {
-                                job = Some(j);
-                                break;
-                            }
-                            Err(crossbeam_channel::TryRecvError::Empty) => {
-                                if spin % 64 == 63 {
-                                    std::thread::yield_now();
-                                } else {
-                                    std::hint::spin_loop();
-                                }
-                            }
-                            Err(crossbeam_channel::TryRecvError::Disconnected) => return,
+                        if shared.seq.load(Ordering::Acquire) != last_seq
+                            || shared.shutdown.load(Ordering::Acquire)
+                        {
+                            break;
+                        }
+                        if spin % 64 == 63 {
+                            std::thread::yield_now();
+                        } else {
+                            std::hint::spin_loop();
                         }
                     }
-                    let job = match job {
-                        Some(j) => j,
-                        None => match rx.recv() {
-                            Ok(j) => j,
-                            Err(_) => return,
-                        },
+                    // Slow path: park on the shared condvar until a new
+                    // generation is published (or shutdown).
+                    let job = {
+                        let mut slot = shared.slot.lock();
+                        while slot.seq == last_seq && !shared.shutdown.load(Ordering::Acquire) {
+                            shared.cv.wait(&mut slot);
+                        }
+                        if slot.seq == last_seq {
+                            return; // shutdown with no new job
+                        }
+                        last_seq = slot.seq;
+                        Arc::clone(slot.job.as_ref().expect("published generation has a job"))
                     };
                     // SAFETY: see `Job.task` — the broadcaster keeps the
                     // closure alive until every worker is done.
@@ -98,7 +133,7 @@ impl WorkerPool {
             }));
         }
         Self {
-            senders,
+            shared,
             handles,
             run_lock: Mutex::new(()),
         }
@@ -107,7 +142,7 @@ impl WorkerPool {
     /// Number of workers.
     #[must_use]
     pub fn size(&self) -> usize {
-        self.senders.len()
+        self.handles.len()
     }
 
     /// Runs `task(worker_id)` on every worker and returns when all have
@@ -121,7 +156,7 @@ impl WorkerPool {
     /// Panics if any worker's task panicked (after all workers finished).
     pub fn broadcast(&self, task: &(dyn Fn(usize) + Sync)) {
         let _serial = self.run_lock.lock();
-        let n = self.senders.len();
+        let n = self.handles.len();
         // SAFETY: lifetime erasure is sound because this call blocks below
         // until every worker has dropped its use of the pointer.
         let erased: *const (dyn Fn(usize) + Sync) = unsafe {
@@ -134,15 +169,25 @@ impl WorkerPool {
             done: Mutex::new(false),
             cv: Condvar::new(),
         });
-        for tx in &self.senders {
-            tx.send(Arc::clone(&job))
-                .expect("workers live as long as the pool");
+        {
+            let mut slot = self.shared.slot.lock();
+            slot.seq += 1;
+            slot.job = Some(Arc::clone(&job));
+            // Publish under the lock so a worker checking the predicate
+            // before parking cannot miss the generation bump.
+            self.shared.seq.store(slot.seq, Ordering::Release);
         }
+        // One wake for the whole pool (spinning workers never reach the
+        // condvar and pick the job up from the atomic generation alone).
+        self.shared.cv.notify_all();
         let mut done = job.done.lock();
         while !*done {
             job.cv.wait(&mut done);
         }
         drop(done);
+        // Drop the slot's reference so the erased closure pointer does not
+        // outlive this call.
+        self.shared.slot.lock().job = None;
         assert!(
             !job.panicked.load(Ordering::Acquire),
             "a worker task panicked during broadcast"
@@ -152,7 +197,11 @@ impl WorkerPool {
 
 impl Drop for WorkerPool {
     fn drop(&mut self) {
-        self.senders.clear(); // disconnect: workers exit their recv loops
+        {
+            let _slot = self.shared.slot.lock();
+            self.shared.shutdown.store(true, Ordering::Release);
+        }
+        self.shared.cv.notify_all();
         for h in self.handles.drain(..) {
             let _ = h.join();
         }
@@ -215,6 +264,33 @@ mod tests {
             });
         }
         assert_eq!(counter.load(Ordering::Relaxed), 300);
+    }
+
+    #[test]
+    fn sequential_broadcasts_reuse_parked_workers() {
+        // The micro-test behind the single-wake design: let the spin
+        // window expire so every worker actually parks on the condvar,
+        // then broadcast again — the same OS threads (no respawn, no lost
+        // worker) must all pick the job up from one notify_all.
+        let pool = WorkerPool::new(4);
+        let ids: Mutex<std::collections::HashSet<std::thread::ThreadId>> =
+            Mutex::new(std::collections::HashSet::new());
+        pool.broadcast(&|_| {
+            ids.lock().insert(std::thread::current().id());
+        });
+        let first: std::collections::HashSet<_> = ids.lock().clone();
+        assert_eq!(first.len(), 4);
+        for _ in 0..3 {
+            // Far longer than the 4096-iteration spin window at any clock.
+            std::thread::sleep(std::time::Duration::from_millis(50));
+            let hits = AtomicU64::new(0);
+            pool.broadcast(&|_| {
+                let id = std::thread::current().id();
+                assert!(ids.lock().contains(&id), "job ran on a non-pool thread");
+                hits.fetch_add(1, Ordering::Relaxed);
+            });
+            assert_eq!(hits.load(Ordering::Relaxed), 4, "a parked worker was lost");
+        }
     }
 
     #[test]
@@ -284,5 +360,15 @@ mod tests {
             counter.fetch_add(1, Ordering::Relaxed);
         });
         assert_eq!(counter.load(Ordering::Relaxed), 4);
+    }
+
+    #[test]
+    fn drop_joins_parked_workers() {
+        let pool = WorkerPool::new(3);
+        pool.broadcast(&|_| {});
+        // Give workers time to fall past the spin window and park, then
+        // drop: shutdown must wake and join all of them promptly.
+        std::thread::sleep(std::time::Duration::from_millis(30));
+        drop(pool);
     }
 }

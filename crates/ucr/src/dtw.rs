@@ -1,9 +1,9 @@
 //! UCR-style scans under Dynamic Time Warping (the paper's §V extension).
 
-use dsidx_query::{AtomicQueryStats, QueryStats};
+use dsidx_query::{finish_knn, AtomicQueryStats, QueryStats, SharedTopK};
 use dsidx_series::distance::dtw::{dtw_sq_bounded, envelope, lb_keogh_sq_bounded};
 use dsidx_series::{Dataset, Match};
-use dsidx_sync::{AtomicBest, WorkQueue};
+use dsidx_sync::{AtomicBest, Pruner, WorkQueue};
 
 /// Exact 1-NN under banded DTW by serial scan with the LB_Keogh cascade.
 ///
@@ -75,15 +75,64 @@ pub fn scan_dtw_parallel_with_stats(
     threads: usize,
 ) -> Option<(Match, QueryStats)> {
     assert_eq!(query.len(), data.series_len(), "query length mismatch");
-    assert!(threads > 0, "thread count must be non-zero");
     if data.is_empty() {
         return None;
     }
+    let first = dsidx_series::distance::dtw::dtw_sq(query, data.get(0), band);
+    let best = AtomicBest::with_initial(first, 0);
+    let stats = scan_dtw_parallel_pruner(data, query, band, threads, &best);
+    let (dist_sq, pos) = best.get();
+    Some((Match::new(pos, dist_sq), stats))
+}
+
+/// Exact k-NN under banded DTW by parallel scan: the same LB_Keogh →
+/// early-abandoned-DTW cascade as [`scan_dtw_parallel_with_stats`],
+/// pruning against the k-th best DTW distance (a [`SharedTopK`]) instead
+/// of the single best. The index-free DTW k-NN baseline (and the fallback
+/// the facade uses for engines without a DTW index path).
+///
+/// Returns the up-to-`k` nearest series sorted ascending by
+/// `(distance, position)` — fewer than `k` when the collection is smaller,
+/// empty for an empty dataset. Deterministic across runs and thread
+/// counts.
+///
+/// # Panics
+/// Panics if the query length differs from the dataset's series length,
+/// `threads == 0`, or `k == 0`.
+#[must_use]
+pub fn knn_dtw_parallel_with_stats(
+    data: &Dataset,
+    query: &[f32],
+    band: usize,
+    k: usize,
+    threads: usize,
+) -> (Vec<Match>, QueryStats) {
+    assert_eq!(query.len(), data.series_len(), "query length mismatch");
+    let topk = SharedTopK::new(k);
+    if data.is_empty() {
+        return finish_knn(&topk, None);
+    }
+    let first = dsidx_series::distance::dtw::dtw_sq(query, data.get(0), band);
+    topk.insert(first, 0);
+    let stats = scan_dtw_parallel_pruner(data, query, band, threads, &topk);
+    finish_knn(&topk, Some(stats))
+}
+
+/// The shared parallel DTW cascade behind the 1-NN and k-NN scans, generic
+/// over [`Pruner`] like the ED kernel loops. The pruner must already hold
+/// one seed candidate (position 0's full DTW), which this function charges
+/// as the `+1` in `real_computed`.
+fn scan_dtw_parallel_pruner<P: Pruner>(
+    data: &Dataset,
+    query: &[f32],
+    band: usize,
+    threads: usize,
+    best: &P,
+) -> QueryStats {
+    assert!(threads > 0, "thread count must be non-zero");
     let mut lower = Vec::new();
     let mut upper = Vec::new();
     envelope(query, band, &mut lower, &mut upper);
-    let first = dsidx_series::distance::dtw::dtw_sq(query, data.get(0), band);
-    let best = AtomicBest::with_initial(first, 0);
     let queue = WorkQueue::new(data.len());
     let shared = AtomicQueryStats::new();
     let pool = dsidx_sync::pool::global(threads);
@@ -92,7 +141,7 @@ pub fn scan_dtw_parallel_with_stats(
         let mut local = QueryStats::default();
         while let Some(range) = queue.claim_chunk(64) {
             for pos in range {
-                let limit = best.dist_sq();
+                let limit = best.threshold_sq();
                 let series = data.get(pos);
                 local.lb_keogh_computed += 1;
                 if lb_keogh_sq_bounded(series, &lower, &upper, limit).is_none() {
@@ -101,7 +150,7 @@ pub fn scan_dtw_parallel_with_stats(
                 }
                 if let Some(d) = dtw_sq_bounded(query, series, band, limit) {
                     local.real_computed += 1;
-                    best.update(d, pos as u32);
+                    best.insert(d, pos as u32);
                 } else {
                     local.dtw_abandoned += 1;
                 }
@@ -109,11 +158,36 @@ pub fn scan_dtw_parallel_with_stats(
         }
         shared.merge(&local);
     });
-    let (dist_sq, pos) = best.get();
     let mut stats = shared.snapshot();
-    // Position 0 paid one unconditional full DTW for the initial BSF.
+    // Position 0 paid one unconditional full DTW for the initial seed.
     stats.real_computed += 1;
-    Some((Match::new(pos, dist_sq), stats))
+    stats
+}
+
+/// Brute-force banded DTW k-NN (test oracle; no lower bounds, no
+/// abandons): the `k` smallest DTW distances sorted ascending by
+/// `(distance, position)`.
+#[must_use]
+pub fn brute_force_dtw_knn(data: &Dataset, query: &[f32], band: usize, k: usize) -> Vec<Match> {
+    assert_eq!(query.len(), data.series_len(), "query length mismatch");
+    let mut all: Vec<Match> = data
+        .iter()
+        .enumerate()
+        .map(|(pos, series)| {
+            Match::new(
+                pos as u32,
+                dsidx_series::distance::dtw::dtw_sq(query, series, band),
+            )
+        })
+        .collect();
+    all.sort_unstable_by(|a, b| {
+        a.dist_sq
+            .partial_cmp(&b.dist_sq)
+            .expect("finite distances")
+            .then(a.pos.cmp(&b.pos))
+    });
+    all.truncate(k);
+    all
 }
 
 /// Brute-force banded DTW scan (test oracle; no lower bounds, no abandons).
@@ -182,6 +256,48 @@ mod tests {
             );
             assert_eq!(stats.lb_total(), stats.lb_keogh_computed);
         }
+    }
+
+    #[test]
+    fn knn_dtw_equals_brute_force_topk() {
+        let data = DatasetKind::Sald.generate(160, 48, 23);
+        let queries = DatasetKind::Sald.queries(3, 48, 23);
+        for q in queries.iter() {
+            for k in [1usize, 5, 20, 200] {
+                let want = brute_force_dtw_knn(&data, q, 4, k);
+                for threads in [1usize, 3] {
+                    let (got, stats) = knn_dtw_parallel_with_stats(&data, q, 4, k, threads);
+                    assert_eq!(got.len(), want.len(), "k={k} x{threads}");
+                    for (g, w) in got.iter().zip(&want) {
+                        assert_eq!(g.pos, w.pos, "k={k} x{threads}");
+                        assert!((g.dist_sq - w.dist_sq).abs() <= w.dist_sq * 1e-4 + 1e-4);
+                    }
+                    // The cascade reports through the unified counters.
+                    assert_eq!(stats.lb_keogh_computed, 160);
+                    assert!(stats.real_computed >= 1);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn knn_dtw_at_k1_matches_nn_scan() {
+        let data = DatasetKind::Synthetic.generate(120, 48, 41);
+        let queries = DatasetKind::Synthetic.queries(3, 48, 41);
+        for q in queries.iter() {
+            let (nn, _) = scan_dtw_parallel_with_stats(&data, q, 5, 3).unwrap();
+            let (knn, _) = knn_dtw_parallel_with_stats(&data, q, 5, 1, 3);
+            assert_eq!(knn.len(), 1);
+            assert_eq!(knn[0].pos, nn.pos);
+        }
+    }
+
+    #[test]
+    fn knn_dtw_on_empty_dataset_is_empty() {
+        let data = Dataset::new(8).unwrap();
+        let (got, stats) = knn_dtw_parallel_with_stats(&data, &[0.0; 8], 2, 3, 4);
+        assert!(got.is_empty());
+        assert_eq!(stats, QueryStats::default());
     }
 
     #[test]

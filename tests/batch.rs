@@ -1,0 +1,194 @@
+//! Cross-engine batched queries: `knn_batch(queries, k)` must be
+//! element-wise identical to sequentially calling `knn(q, k)` — same
+//! positions, same (deterministic, lowest-position tie-broken) ordering —
+//! on every engine, memory and disk, including datasets salted with exact
+//! duplicates where top-k boundaries cut through tie groups. The batch
+//! path shares one schedule across all queries, so this is the statement
+//! that sharing never changes an answer.
+
+use dsidx::prelude::*;
+use std::sync::Arc;
+
+fn opts(threads: usize, leaf: usize) -> Options {
+    Options::default()
+        .with_threads(threads)
+        .with_leaf_capacity(leaf)
+}
+
+/// A dataset with planted duplicate groups: the base collection plus
+/// several exact copies of a handful of its members (see `tests/knn.rs`).
+fn mixed_duplicates(kind: DatasetKind, base: usize, len: usize, seed: u64) -> Dataset {
+    let mut data = kind.generate(base, len, seed);
+    for (member, copies) in [(0usize, 3usize), (base / 2, 4), (base - 1, 2)] {
+        let series = data.get(member).to_vec();
+        for _ in 0..copies {
+            data.push(&series).unwrap();
+        }
+    }
+    data
+}
+
+fn assert_batch_equals_sequential(idx: &MemoryIndex, qs: &Dataset, k: usize) {
+    let qrefs: Vec<&[f32]> = qs.iter().collect();
+    let batched = idx.knn_batch(&qrefs, k).unwrap();
+    assert_eq!(batched.len(), qrefs.len());
+    for (qi, q) in qs.iter().enumerate() {
+        let single = idx.knn(q, k).unwrap();
+        assert_eq!(
+            batched[qi].iter().map(|m| m.pos).collect::<Vec<_>>(),
+            single.iter().map(|m| m.pos).collect::<Vec<_>>(),
+            "{} q{qi} k={k}",
+            idx.engine().name()
+        );
+        for (b, s) in batched[qi].iter().zip(&single) {
+            assert!(
+                (b.dist_sq - s.dist_sq).abs() <= s.dist_sq * 1e-4 + 1e-4,
+                "{} q{qi} k={k} pos {}",
+                idx.engine().name(),
+                b.pos
+            );
+        }
+    }
+}
+
+#[test]
+fn knn_batch_equals_sequential_on_mixed_duplicate_datasets() {
+    for kind in DatasetKind::ALL {
+        let data = mixed_duplicates(kind, 350, 64, 2025);
+        let qs = kind.queries(7, 64, 2025);
+        for engine in Engine::ALL {
+            let idx = MemoryIndex::build(data.clone(), engine, &opts(4, 16)).unwrap();
+            for k in [1usize, 6, 23, 100] {
+                assert_batch_equals_sequential(&idx, &qs, k);
+            }
+        }
+    }
+}
+
+#[test]
+fn knn_batch_equals_sequential_on_disk_engines() {
+    let dir = std::env::temp_dir().join(format!("dsidx-batch-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    let data = mixed_duplicates(DatasetKind::Seismic, 220, 64, 7);
+    let path = dir.join("batch.dsidx");
+    dsidx::storage::write_dataset(&path, &data, Arc::new(Device::unthrottled())).unwrap();
+    let qs = DatasetKind::Seismic.queries(5, 64, 7);
+    let qrefs: Vec<&[f32]> = qs.iter().collect();
+    for engine in [Engine::Ads, Engine::Paris, Engine::ParisPlus] {
+        let idx = DiskIndex::build(
+            &path,
+            &dir,
+            engine,
+            &opts(4, 20),
+            DeviceProfile::UNTHROTTLED,
+        )
+        .unwrap();
+        for k in [1usize, 9, 40] {
+            let batched = idx.knn_batch(&qrefs, k).unwrap();
+            for (qi, q) in qs.iter().enumerate() {
+                let single = idx.knn(q, k).unwrap();
+                assert_eq!(
+                    batched[qi].iter().map(|m| m.pos).collect::<Vec<_>>(),
+                    single.iter().map(|m| m.pos).collect::<Vec<_>>(),
+                    "{} q{qi} k={k}",
+                    engine.name()
+                );
+            }
+        }
+        // And the batch shares the broadcast budget on disk too.
+        let (_, stats) = idx.knn_batch_with_stats(&qrefs, 5).unwrap();
+        assert!(stats.broadcasts_per_query() < 1.0, "{}", engine.name());
+        assert!(stats.series_requests >= stats.series_fetched);
+    }
+}
+
+#[test]
+fn batch_boundary_inside_a_duplicate_group_keeps_lowest_positions() {
+    // 30 base series plus 6 exact copies of member 7 (cf. tests/knn.rs):
+    // batching queries — including the tie-heavy one — must keep the
+    // per-query answers at the group's lowest positions, whatever the
+    // thread interleaving of the shared schedule.
+    let base = DatasetKind::Synthetic.generate(30, 64, 77);
+    let mut data = base.clone();
+    for _ in 0..6 {
+        data.push(base.get(7)).unwrap();
+    }
+    let extra = DatasetKind::Synthetic.queries(3, 64, 78);
+    let mut qrefs: Vec<&[f32]> = vec![base.get(7)];
+    qrefs.extend(extra.iter());
+    for engine in Engine::ALL {
+        let idx = MemoryIndex::build(data.clone(), engine, &opts(8, 5)).unwrap();
+        for k in [1usize, 3, 7] {
+            for _ in 0..3 {
+                let batched = idx.knn_batch(&qrefs, k).unwrap();
+                for (qi, q) in qrefs.iter().enumerate() {
+                    let want = dsidx::ucr::brute_force_knn(&data, q, k);
+                    assert_eq!(
+                        batched[qi].iter().map(|m| m.pos).collect::<Vec<_>>(),
+                        want.iter().map(|m| m.pos).collect::<Vec<_>>(),
+                        "{} q{qi} k={k}",
+                        engine.name()
+                    );
+                }
+            }
+        }
+    }
+}
+
+#[test]
+fn nn_batch_matches_nn_and_handles_empty_inputs() {
+    let data = mixed_duplicates(DatasetKind::Sald, 100, 64, 13);
+    let qs = DatasetKind::Sald.queries(4, 64, 13);
+    let qrefs: Vec<&[f32]> = qs.iter().collect();
+    for engine in Engine::ALL {
+        let idx = MemoryIndex::build(data.clone(), engine, &opts(3, 10)).unwrap();
+        let nns = idx.nn_batch(&qrefs).unwrap();
+        for (qi, q) in qs.iter().enumerate() {
+            assert_eq!(nns[qi], idx.nn(q).unwrap(), "{} q{qi}", engine.name());
+        }
+        // A batch of zero queries is a no-op, not an error.
+        assert!(idx.knn_batch(&[], 3).unwrap().is_empty());
+        assert!(idx.nn_batch(&[]).unwrap().is_empty());
+    }
+    // Batches over an empty collection answer every query with nothing.
+    let empty = Dataset::new(64).unwrap();
+    for engine in Engine::ALL {
+        let idx = MemoryIndex::build(empty.clone(), engine, &opts(2, 10)).unwrap();
+        let answers = idx.knn_batch(&qrefs, 5).unwrap();
+        assert_eq!(answers.len(), qrefs.len(), "{}", engine.name());
+        assert!(answers.iter().all(Vec::is_empty), "{}", engine.name());
+        let nns = idx.nn_batch(&qrefs).unwrap();
+        assert!(nns.iter().all(Option::is_none), "{}", engine.name());
+    }
+}
+
+#[test]
+fn batch_stats_report_the_amortization() {
+    let data = DatasetKind::Synthetic.generate(400, 64, 91);
+    let qs = DatasetKind::Synthetic.queries(8, 64, 91);
+    let qrefs: Vec<&[f32]> = qs.iter().collect();
+    for engine in Engine::ALL {
+        let idx = MemoryIndex::build(data.clone(), engine, &opts(4, 16)).unwrap();
+        let (_, stats) = idx.knn_batch_with_stats(&qrefs, 5).unwrap();
+        assert_eq!(stats.per_query.len(), 8, "{}", engine.name());
+        // The acceptance bar: under one broadcast per query at B >= 4.
+        assert!(
+            stats.broadcasts_per_query() < 1.0,
+            "{}: {} broadcasts / {} queries",
+            engine.name(),
+            stats.broadcasts,
+            stats.per_query.len()
+        );
+        // Shared fetches serve at least as many per-query requests.
+        assert!(
+            stats.series_requests >= stats.series_fetched,
+            "{}",
+            engine.name()
+        );
+        // Every query did real work and the totals compose.
+        for (qi, q) in stats.per_query.iter().enumerate() {
+            assert!(q.real_computed > 0, "{} q{qi}", engine.name());
+        }
+        assert!(stats.total().real_computed >= stats.per_query.len() as u64);
+    }
+}

@@ -67,6 +67,48 @@ proptest! {
     }
 
     #[test]
+    fn batch_results_are_independent_of_batch_order(
+        (len, flat, q0) in collection(),
+        more in prop::collection::vec(-10.0f32..10.0, 3 * 64),
+        k in 1usize..6,
+        leaf in 1usize..20,
+    ) {
+        // Four queries, answered as a batch in two different orders: each
+        // query's answer must depend only on the query, never on its
+        // batch-mates or its position in the batch.
+        let data = normalize(len, flat);
+        let mut queries: Vec<Vec<f32>> = vec![q0];
+        for i in 0..3 {
+            queries.push(more[i * len..(i + 1) * len].to_vec());
+        }
+        for q in &mut queries {
+            dsidx::series::znorm::znormalize(q);
+        }
+        let opts = Options::default()
+            .with_threads(3)
+            .with_leaf_capacity(leaf)
+            .with_segments(8.min(len));
+        let forward: Vec<&[f32]> = queries.iter().map(Vec::as_slice).collect();
+        let reversed: Vec<&[f32]> = queries.iter().rev().map(Vec::as_slice).collect();
+        for engine in Engine::ALL {
+            let idx = MemoryIndex::build(data.clone(), engine, &opts).unwrap();
+            let got_fwd = idx.knn_batch(&forward, k).unwrap();
+            let got_rev = idx.knn_batch(&reversed, k).unwrap();
+            let solo: Vec<_> = forward.iter().map(|q| idx.knn(q, k).unwrap()).collect();
+            for qi in 0..forward.len() {
+                let fwd_pos: Vec<u32> = got_fwd[qi].iter().map(|m| m.pos).collect();
+                let rev_pos: Vec<u32> =
+                    got_rev[forward.len() - 1 - qi].iter().map(|m| m.pos).collect();
+                let solo_pos: Vec<u32> = solo[qi].iter().map(|m| m.pos).collect();
+                prop_assert_eq!(&fwd_pos, &rev_pos,
+                    "{} q{} k={}: batch order changed the answer", engine.name(), qi, k);
+                prop_assert_eq!(&fwd_pos, &solo_pos,
+                    "{} q{} k={}: batching changed the answer", engine.name(), qi, k);
+            }
+        }
+    }
+
+    #[test]
     fn index_structure_is_valid_for_any_input((len, flat, _q) in collection(), leaf in 1usize..20) {
         let data = normalize(len, flat);
         let opts = Options::default()
