@@ -7,8 +7,9 @@
 
 use crate::build::AdsIndex;
 use dsidx_query::{
-    approx_leaf, batch_scan_sax_serial, batch_seed_positions, scan_sax_serial, seed_from_entries,
-    BatchStats, PreparedQuery, Pruner, QueryBatch, QueryStats, SeriesFetcher,
+    approx_leaf, batch_scan_sax_serial, batch_seed_positions, finish_knn, scan_sax_serial,
+    seed_from_entries, seed_from_entries_dtw, BatchStats, PreparedQuery, Pruner, QueryBatch,
+    QueryStats, SeriesFetcher, SharedTopK,
 };
 use dsidx_series::Match;
 use dsidx_storage::{RawSource, StorageError};
@@ -154,6 +155,83 @@ pub fn exact_knn_batch(
     Ok(batch.finish(0, QueryStats::default()))
 }
 
+/// *Approximate* k-NN via the serial index: descend to the query's own
+/// leaf (the paper's approximate answer) and return the k nearest of its
+/// entries by real Euclidean distance — no SAX-array scan. Every reported
+/// distance is a real distance to a real series, so it is never below the
+/// exact answer at the same rank; returns fewer than `k` matches when the
+/// leaf holds fewer entries, empty for an empty index.
+///
+/// # Errors
+/// Propagates raw-source I/O failures.
+///
+/// # Panics
+/// Panics if the query length differs from the configured series length or
+/// `k == 0`.
+pub fn approx_knn(
+    ads: &AdsIndex,
+    source: &impl RawSource,
+    query: &[f32],
+    k: usize,
+) -> Result<(Vec<Match>, QueryStats), StorageError> {
+    approx_leaf_visit(ads, source, query, k, |entries, fetcher, topk| {
+        seed_from_entries(entries, fetcher, query, topk)
+    })
+}
+
+/// *Approximate* k-NN under banded DTW via the serial index: the same
+/// best-leaf visit as [`approx_knn`], paying full banded-DTW distances for
+/// the leaf's entries.
+///
+/// # Errors
+/// Propagates raw-source I/O failures.
+///
+/// # Panics
+/// Panics if the query length differs from the configured series length or
+/// `k == 0`.
+pub fn approx_knn_dtw(
+    ads: &AdsIndex,
+    source: &impl RawSource,
+    query: &[f32],
+    band: usize,
+    k: usize,
+) -> Result<(Vec<Match>, QueryStats), StorageError> {
+    approx_leaf_visit(ads, source, query, k, |entries, fetcher, topk| {
+        seed_from_entries_dtw(entries, fetcher, query, band, topk)
+    })
+}
+
+/// The shared best-leaf visit behind both approximate measures: locate the
+/// query's leaf, let `pay` charge one real distance per entry into the
+/// collector.
+fn approx_leaf_visit<S: RawSource>(
+    ads: &AdsIndex,
+    source: &S,
+    query: &[f32],
+    k: usize,
+    pay: impl FnOnce(
+        &[dsidx_tree::LeafEntry],
+        &mut SeriesFetcher<'_, S>,
+        &SharedTopK,
+    ) -> Result<u64, StorageError>,
+) -> Result<(Vec<Match>, QueryStats), StorageError> {
+    let config = ads.index.config();
+    assert_eq!(query.len(), config.series_len(), "query length mismatch");
+    let topk = SharedTopK::new(k);
+    if ads.index.is_empty() {
+        return Ok(finish_knn(&topk, None));
+    }
+    let word = config.quantizer().word(query);
+    let leaf = approx_leaf(&ads.index, &word).expect("non-empty index has a non-empty leaf");
+    let entries = leaf.entries().expect("serial leaves are resident");
+    let mut fetcher = SeriesFetcher::new(source);
+    let stats = QueryStats {
+        real_computed: pay(entries, &mut fetcher, &topk)?,
+        ..QueryStats::default()
+    };
+    Ok(finish_knn(&topk, Some(stats)))
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -268,6 +346,47 @@ mod tests {
         assert!(matches.is_empty());
         assert_eq!(stats.broadcasts, 0);
         assert!(stats.per_query.is_empty());
+    }
+
+    #[test]
+    fn approx_knn_never_beats_exact() {
+        let data = DatasetKind::Synthetic.generate(500, 64, 41);
+        let (ads, _) = build_from_dataset(&data, &config());
+        let queries = DatasetKind::Synthetic.queries(4, 64, 41);
+        for q in queries.iter() {
+            for k in [1usize, 5, 12] {
+                let exact = dsidx_ucr::brute_force_knn(&data, q, k);
+                let (approx, stats) = approx_knn(&ads, &data, q, k).unwrap();
+                assert!(!approx.is_empty() && approx.len() <= k);
+                for (a, e) in approx.iter().zip(&exact) {
+                    assert!(a.dist_sq >= e.dist_sq - e.dist_sq * 1e-6, "k={k}");
+                }
+                // No scan: the SAX-array counter stays zero.
+                assert_eq!(stats.lb_computed, 0);
+                assert!(stats.real_computed >= approx.len() as u64);
+                let exact_dtw = dsidx_ucr::brute_force_dtw_knn(&data, q, 4, k);
+                let (approx_dtw, _) = approx_knn_dtw(&ads, &data, q, 4, k).unwrap();
+                for (a, e) in approx_dtw.iter().zip(&exact_dtw) {
+                    assert!(a.dist_sq >= e.dist_sq - e.dist_sq * 1e-6, "dtw k={k}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn approx_knn_finds_indexed_series_and_handles_empty() {
+        let data = DatasetKind::Sald.generate(200, 64, 13);
+        let (ads, _) = build_from_dataset(&data, &config());
+        for pos in [0usize, 77, 199] {
+            let (m, _) = approx_knn(&ads, &data, data.get(pos), 1).unwrap();
+            assert_eq!(m[0].pos as usize, pos);
+            assert_eq!(m[0].dist_sq, 0.0);
+        }
+        let empty = dsidx_series::Dataset::new(64).unwrap();
+        let (ads, _) = build_from_dataset(&empty, &config());
+        let (m, stats) = approx_knn(&ads, &empty, &vec![0.0; 64], 3).unwrap();
+        assert!(m.is_empty());
+        assert_eq!(stats, QueryStats::default());
     }
 
     #[test]

@@ -1,38 +1,47 @@
-//! k-NN sweep — how pruning power decays as k grows.
+//! k-NN sweep — how pruning power decays as k grows, plus the price of
+//! exactness (exact vs approximate fidelity).
 //!
 //! The pruning threshold of an exact k-NN query is the *k-th* best
 //! distance, which is looser than the best: as k grows, lower bounds prune
 //! fewer candidates and more real distances get paid. This experiment
-//! sweeps k ∈ {1, 5, 10, 50, 100} per engine and reports wall time plus
-//! the unified work counters, so the decay is visible in both dimensions.
+//! drives the facade's query plane (`Search::search` with a `QuerySpec`),
+//! sweeping k ∈ {1, 5, 10, 50, 100} per engine and reporting wall time
+//! plus the unified work counters, then re-runs a fixed k at
+//! `Fidelity::Approximate` — a best-leaf visit (ADS+, MESSI) or
+//! sketch-nearest probing (ParIS) — which must come back faster than the
+//! exact spelling while never reporting a distance below it.
 
-use crate::{core_ladder, f, mem_dataset, ms, queries, time_queries, Scale, Table};
-use dsidx::messi::MessiConfig;
-use dsidx::paris::ParisConfig;
+use crate::{core_ladder, f, mem_dataset, ms, queries, time, Scale, Table};
 use dsidx::prelude::*;
+use std::sync::Arc;
+use std::time::Duration;
 
 /// The swept k values.
 const KS: [usize; 5] = [1, 5, 10, 50, 100];
+/// The k the fidelity comparison runs at.
+const FIDELITY_K: usize = 10;
 
 /// Runs this experiment at the given scale, printing its table and CSV.
 pub fn run(scale: &Scale) {
     let cores = *core_ladder(&[24]).last().expect("non-empty");
     dsidx::sync::pool::global(cores).broadcast(&|_| {});
     let kind = DatasetKind::Synthetic;
-    let data = mem_dataset(kind, scale);
+    let data = Arc::new(mem_dataset(kind, scale));
     let len = data.series_len();
-    let tree = Options::default().tree_config(len).expect("valid config");
+    let options = Options::default().with_threads(cores);
     let qs = queries(kind, scale.mem_queries, len);
+    let qrefs: Vec<&[f32]> = qs.iter().collect();
 
-    let (ads, _) = dsidx::ads::build_from_dataset(&data, &tree);
-    let (paris, _) = dsidx::paris::build_in_memory(&data, &ParisConfig::new(tree.clone(), cores));
-    let mcfg = MessiConfig::new(tree.clone(), cores);
-    let (messi, _) = dsidx::messi::build(&data, &mcfg);
+    let engines = [Engine::Ads, Engine::Paris, Engine::Messi];
+    let indexes: Vec<MemoryIndex> = engines
+        .iter()
+        .map(|&e| MemoryIndex::build(data.clone(), e, &options).expect("valid config"))
+        .collect();
 
     // Warm up the pool-backed engines once.
-    let w = qs.get(0);
-    let _ = dsidx::paris::exact_knn(&paris, &data, w, 1, cores).expect("warm");
-    let _ = dsidx::messi::exact_knn(&messi, &data, w, 1, &mcfg);
+    for idx in &indexes {
+        let _ = idx.search(&qrefs[..1], &QuerySpec::nn()).expect("warm");
+    }
 
     let mut table = Table::new(
         "knn",
@@ -45,44 +54,84 @@ pub fn run(scale: &Scale) {
             "real_computed",
         ],
     );
+    let nq = qs.len() as u64;
     for k in KS {
-        let mut row = |engine: &str, t: std::time::Duration, stats: QueryStats| {
-            let nq = qs.len() as u64;
+        let spec = QuerySpec::knn(k).with_stats();
+        for idx in &indexes {
+            let mut stats = QueryStats::default();
+            let (_, t) = time(|| {
+                for q in &qrefs {
+                    let answers = idx.search(&[q], &spec).expect("query");
+                    stats = stats.merged(&answers.query_stats(0).expect("stats requested"));
+                }
+            });
             table.row(&[
-                engine.into(),
+                idx.engine().name().into(),
                 k.to_string(),
-                f(ms(t)),
+                f(ms(t) / nq as f64),
                 (stats.lb_total() / nq).to_string(),
                 (stats.candidates / nq).to_string(),
                 (stats.real_computed / nq).to_string(),
             ]);
-        };
-
-        let mut ads_stats = QueryStats::default();
-        let ads_t = time_queries(&qs, |q| {
-            let (_, s) = dsidx::ads::exact_knn(&ads, &data, q, k).expect("query");
-            ads_stats = ads_stats.merged(&s);
-        });
-        row("ADS+", ads_t, ads_stats);
-
-        let mut paris_stats = QueryStats::default();
-        let paris_t = time_queries(&qs, |q| {
-            let (_, s) = dsidx::paris::exact_knn(&paris, &data, q, k, cores).expect("query");
-            paris_stats = paris_stats.merged(&s);
-        });
-        row("ParIS", paris_t, paris_stats);
-
-        let mut messi_stats = QueryStats::default();
-        let messi_t = time_queries(&qs, |q| {
-            let (_, s) = dsidx::messi::exact_knn(&messi, &data, q, k, &mcfg);
-            messi_stats = messi_stats.merged(&s);
-        });
-        row("MESSI", messi_t, messi_stats);
+        }
     }
     table.finish();
     println!(
         "shape check: real_computed (and ParIS's candidate list) grow with k —\n\
          the k-th-best threshold is looser than the best — while the indexes stay\n\
          far below the full collection size even at k=100."
+    );
+
+    // Fidelity comparison: the same spec at Fidelity::Approximate must be
+    // cheaper than exact (it skips the exact phases entirely) and must
+    // never report a distance below the exact answer at the same rank.
+    let exact_spec = QuerySpec::knn(FIDELITY_K);
+    let approx_spec = QuerySpec::knn(FIDELITY_K).fidelity(Fidelity::Approximate);
+    let mut fidelity = Table::new(
+        "knn-fidelity",
+        &["engine", "exact_ms", "approx_ms", "speedup"],
+    );
+    let (mut exact_total, mut approx_total) = (Duration::ZERO, Duration::ZERO);
+    for idx in &indexes {
+        let mut exact_answers = Vec::new();
+        let (_, exact_t) = time(|| {
+            for q in &qrefs {
+                exact_answers.push(idx.search(&[q], &exact_spec).expect("query").into_single());
+            }
+        });
+        let mut approx_answers = Vec::new();
+        let (_, approx_t) = time(|| {
+            for q in &qrefs {
+                approx_answers.push(idx.search(&[q], &approx_spec).expect("query").into_single());
+            }
+        });
+        for (exact, approx) in exact_answers.iter().zip(&approx_answers) {
+            for (a, e) in approx.iter().zip(exact) {
+                assert!(
+                    a.dist_sq >= e.dist_sq - e.dist_sq * 1e-6,
+                    "{}: approximate distance below exact",
+                    idx.engine().name()
+                );
+            }
+        }
+        fidelity.row(&[
+            idx.engine().name().into(),
+            f(ms(exact_t) / nq as f64),
+            f(ms(approx_t) / nq as f64),
+            f(exact_t.as_secs_f64() / approx_t.as_secs_f64().max(1e-9)),
+        ]);
+        exact_total += exact_t;
+        approx_total += approx_t;
+    }
+    fidelity.finish();
+    assert!(
+        approx_total < exact_total,
+        "approximate mode must return in less than exact time \
+         (approx {approx_total:?} vs exact {exact_total:?})"
+    );
+    println!(
+        "shape check: approximate fidelity answers from the best leaf (ADS+, MESSI)\n\
+         or a sketch-nearest probe set (ParIS) — a fraction of exact time — and its\n\
+         distances are real distances, so they never undercut the exact answer."
     );
 }

@@ -2,18 +2,17 @@
 //! per-query overhead that batching amortizes.
 //!
 //! For sub-millisecond queries the pool broadcast (waking and joining
-//! every worker) dominates; a [`dsidx::BatchStats`]-reporting batch of B
-//! queries pays it once. This experiment sweeps the batch size
-//! B ∈ {1, 4, 16, 64} per engine at fixed k and reports wall time per
-//! query plus the amortization counters: broadcasts per query (constant
-//! per batch ⇒ shrinking as 1/B for the pool engines, 0 for serial ADS+)
-//! and raw series fetched once versus the per-query requests they served.
+//! every worker) dominates; a batch of B queries pays it once. This
+//! experiment drives the facade's query plane (`Search::search` with a
+//! `QuerySpec`), sweeping the batch size B ∈ {1, 4, 16, 64} per engine at
+//! fixed k and reporting wall time per query plus the amortization
+//! counters: broadcasts per query (constant per batch ⇒ shrinking as 1/B
+//! for the pool engines, 0 for serial ADS+) and raw series fetched once
+//! versus the per-query requests they served.
 
 use crate::{core_ladder, f, mem_dataset, ms, queries, time, Scale, Table};
-use dsidx::messi::MessiConfig;
-use dsidx::paris::ParisConfig;
 use dsidx::prelude::*;
-use dsidx::BatchStats;
+use std::sync::Arc;
 
 /// The swept batch sizes.
 const BATCH_SIZES: [usize; 4] = [1, 4, 16, 64];
@@ -43,22 +42,24 @@ pub fn run(scale: &Scale) {
     let cores = *core_ladder(&[24]).last().expect("non-empty");
     dsidx::sync::pool::global(cores).broadcast(&|_| {});
     let kind = DatasetKind::Synthetic;
-    let data = mem_dataset(kind, scale);
+    let data = Arc::new(mem_dataset(kind, scale));
     let len = data.series_len();
-    let tree = Options::default().tree_config(len).expect("valid config");
+    let options = Options::default().with_threads(cores);
     // Enough queries to fill the largest batch.
     let qs = queries(kind, *BATCH_SIZES.last().expect("non-empty"), len);
     let qrefs: Vec<&[f32]> = qs.iter().collect();
 
-    let (ads, _) = dsidx::ads::build_from_dataset(&data, &tree);
-    let (paris, _) = dsidx::paris::build_in_memory(&data, &ParisConfig::new(tree.clone(), cores));
-    let mcfg = MessiConfig::new(tree.clone(), cores);
-    let (messi, _) = dsidx::messi::build(&data, &mcfg);
+    let engines = [Engine::Ads, Engine::Paris, Engine::Messi];
+    let indexes: Vec<MemoryIndex> = engines
+        .iter()
+        .map(|&e| MemoryIndex::build(data.clone(), e, &options).expect("valid config"))
+        .collect();
 
     // Warm up the pool-backed engines once.
-    let w: &[f32] = qs.get(0);
-    let _ = dsidx::paris::exact_knn_batch(&paris, &data, &[w], K, cores).expect("warm");
-    let _ = dsidx::messi::exact_knn_batch(&messi, &data, &[w], K, &mcfg);
+    let spec = QuerySpec::knn(K).with_stats();
+    for idx in &indexes {
+        let _ = idx.search(&qrefs[..1], &spec).expect("warm");
+    }
 
     let mut table = Table::new(
         "throughput",
@@ -75,11 +76,18 @@ pub fn run(scale: &Scale) {
     let nq = qrefs.len() as u64;
     let mut amortized = true;
     for b in BATCH_SIZES {
-        let mut row = |engine: &str, t: std::time::Duration, cell: &Cell| {
+        for idx in &indexes {
+            let mut cell = Cell::default();
+            let (_, t) = time(|| {
+                for chunk in qrefs.chunks(b) {
+                    let answers = idx.search(chunk, &spec).expect("query");
+                    cell.add(answers.stats().expect("stats requested"));
+                }
+            });
             #[allow(clippy::cast_precision_loss)] // display-only ratios
             let bpq = cell.broadcasts as f64 / nq as f64;
             table.row(&[
-                engine.into(),
+                idx.engine().name().into(),
                 b.to_string(),
                 f(ms(t) / nq as f64),
                 f(bpq),
@@ -87,38 +95,10 @@ pub fn run(scale: &Scale) {
                 (cell.requests / nq).to_string(),
                 (cell.real / nq).to_string(),
             ]);
-            if engine != "ADS+" && b >= 4 && bpq >= 1.0 {
+            if idx.engine() != Engine::Ads && b >= 4 && bpq >= 1.0 {
                 amortized = false;
             }
-        };
-
-        let mut cell = Cell::default();
-        let (_, t) = time(|| {
-            for chunk in qrefs.chunks(b) {
-                let (_, s) = dsidx::ads::exact_knn_batch(&ads, &data, chunk, K).expect("query");
-                cell.add(&s);
-            }
-        });
-        row("ADS+", t, &cell);
-
-        let mut cell = Cell::default();
-        let (_, t) = time(|| {
-            for chunk in qrefs.chunks(b) {
-                let (_, s) =
-                    dsidx::paris::exact_knn_batch(&paris, &data, chunk, K, cores).expect("query");
-                cell.add(&s);
-            }
-        });
-        row("ParIS", t, &cell);
-
-        let mut cell = Cell::default();
-        let (_, t) = time(|| {
-            for chunk in qrefs.chunks(b) {
-                let (_, s) = dsidx::messi::exact_knn_batch(&messi, &data, chunk, K, &mcfg);
-                cell.add(&s);
-            }
-        });
-        row("MESSI", t, &cell);
+        }
     }
     table.finish();
     assert!(

@@ -1,7 +1,18 @@
 //! The unified engine API: build once, query many.
+//!
+//! Querying goes through the **query plane**: describe the request with a
+//! [`QuerySpec`] (how many neighbors, which [`Measure`], which
+//! [`Fidelity`], stats or not) and execute it with
+//! [`Search::search`] — one method, one internal dispatch per engine,
+//! batches as the native shape (a single query is a batch of one). The
+//! pre-plane method matrix (`nn`/`knn` × `_dtw` × `_batch` ×
+//! `_with_stats`) survives as deprecated one-line wrappers over `search`.
 
+use crate::answers::Answers;
 use crate::error::Error;
 use crate::options::Options;
+use crate::search::Search;
+use crate::spec::{Fidelity, Measure, QuerySpec};
 use dsidx_query::{BatchStats, QueryStats};
 use dsidx_series::{Dataset, Match};
 use dsidx_storage::{DatasetFile, Device, DeviceProfile};
@@ -58,6 +69,31 @@ enum MemoryInner {
     Ads(dsidx_ads::AdsIndex),
     Paris(dsidx_paris::ParisIndex),
     Messi(dsidx_messi::MessiIndex),
+}
+
+/// The shared approximate-fidelity batch loop behind both `run_spec`s:
+/// approximate answering pays one best-leaf visit (ADS+, MESSI) or one
+/// sketch-nearest probe pass (ParIS) per query — no broadcast — so the
+/// batch is a plain loop and the batch counters report per-query work
+/// only. `answer_one` maps one query to the engine's approximate call.
+fn approx_batch(
+    queries: &[&[f32]],
+    mut answer_one: impl FnMut(&[f32]) -> Result<(Vec<Match>, QueryStats), Error>,
+) -> Result<(Vec<Vec<Match>>, BatchStats), Error> {
+    let mut matches = Vec::with_capacity(queries.len());
+    let mut per_query = Vec::with_capacity(queries.len());
+    for &q in queries {
+        let (m, s) = answer_one(q)?;
+        matches.push(m);
+        per_query.push(s);
+    }
+    Ok((
+        matches,
+        BatchStats {
+            per_query,
+            ..BatchStats::default()
+        },
+    ))
 }
 
 /// An index over an in-memory dataset (owned via `Arc`, so clones of the
@@ -120,191 +156,240 @@ impl MemoryIndex {
         &self.data
     }
 
-    /// Exact 1-NN under Euclidean distance — the k = 1 special case of
-    /// [`knn`](Self::knn). `None` for an empty dataset.
-    ///
-    /// # Errors
-    /// Propagates engine failures (none occur for in-memory sources, but
-    /// the signature is uniform with [`DiskIndex::nn`]).
-    pub fn nn(&self, query: &[f32]) -> Result<Option<Match>, Error> {
-        Ok(self.nn_with_stats(query)?.map(|(m, _)| m))
+    /// The one dispatch behind [`Search::search`]: every (fidelity,
+    /// measure) cell maps to one engine batch entry point, so adding an
+    /// axis value is adding a match arm — never a method family.
+    fn run_spec(
+        &self,
+        queries: &[&[f32]],
+        spec: &QuerySpec,
+    ) -> Result<(Vec<Vec<Match>>, BatchStats), Error> {
+        spec.validate(self.data.series_len(), queries)?;
+        let k = spec.k();
+        let threads = self.options.effective_threads();
+        match spec.fidelity_kind() {
+            Fidelity::Exact => match spec.measure_kind() {
+                Measure::Euclidean => match &self.inner {
+                    MemoryInner::Ads(ads) => {
+                        Ok(dsidx_ads::exact_knn_batch(ads, &*self.data, queries, k)?)
+                    }
+                    MemoryInner::Paris(paris) => Ok(dsidx_paris::exact_knn_batch(
+                        paris,
+                        &*self.data,
+                        queries,
+                        k,
+                        threads,
+                    )?),
+                    MemoryInner::Messi(messi) => {
+                        let cfg = self.options.messi_config(self.data.series_len())?;
+                        Ok(dsidx_messi::exact_knn_batch(
+                            messi, &self.data, queries, k, &cfg,
+                        ))
+                    }
+                },
+                // Batched DTW: one broadcast through MESSI's cascade,
+                // the one batched parallel UCR scan for the engines
+                // without a DTW index path (still exact, just index-free).
+                Measure::Dtw { band } => match &self.inner {
+                    MemoryInner::Messi(messi) => {
+                        let cfg = self.options.messi_config(self.data.series_len())?;
+                        Ok(dsidx_messi::exact_knn_dtw_batch(
+                            messi, &self.data, queries, band, k, &cfg,
+                        ))
+                    }
+                    _ => Ok(dsidx_ucr::knn_dtw_batch_parallel_with_stats(
+                        &self.data, queries, band, k, threads,
+                    )),
+                },
+            },
+            Fidelity::Approximate => approx_batch(queries, |q| {
+                Ok(match (&self.inner, spec.measure_kind()) {
+                    (MemoryInner::Ads(ads), Measure::Euclidean) => {
+                        dsidx_ads::approx_knn(ads, &*self.data, q, k)?
+                    }
+                    (MemoryInner::Ads(ads), Measure::Dtw { band }) => {
+                        dsidx_ads::approx_knn_dtw(ads, &*self.data, q, band, k)?
+                    }
+                    (MemoryInner::Paris(paris), Measure::Euclidean) => {
+                        dsidx_paris::approx_knn(paris, &*self.data, q, k)?
+                    }
+                    (MemoryInner::Paris(paris), Measure::Dtw { band }) => {
+                        dsidx_paris::approx_knn_dtw(paris, &*self.data, q, band, k)?
+                    }
+                    (MemoryInner::Messi(messi), Measure::Euclidean) => {
+                        dsidx_messi::approx_knn(messi, &self.data, q, k)
+                    }
+                    (MemoryInner::Messi(messi), Measure::Dtw { band }) => {
+                        dsidx_messi::approx_knn_dtw(messi, &self.data, q, band, k)
+                    }
+                })
+            }),
+        }
     }
 
-    /// Exact 1-NN plus the unified per-query work counters — the same
-    /// [`QueryStats`] type whichever engine answers, so callers compare
-    /// engines without per-engine stat plumbing.
+    /// Exact 1-NN under Euclidean distance. `None` for an empty dataset.
     ///
     /// # Errors
     /// Propagates engine failures.
+    #[deprecated(note = "use `Search::search` with `QuerySpec::nn()`")]
+    pub fn nn(&self, query: &[f32]) -> Result<Option<Match>, Error> {
+        Ok(self.search(&[query], &QuerySpec::nn())?.into_nn())
+    }
+
+    /// Exact 1-NN plus the unified per-query work counters.
+    ///
+    /// # Errors
+    /// Propagates engine failures.
+    #[deprecated(note = "use `Search::search` with `QuerySpec::nn().with_stats()`")]
     pub fn nn_with_stats(&self, query: &[f32]) -> Result<Option<(Match, QueryStats)>, Error> {
-        let (matches, stats) = self.knn_with_stats(query, 1)?;
+        let (matches, stats) = self
+            .search(&[query], &QuerySpec::nn().with_stats())?
+            .into_single_with_stats();
         Ok(matches.into_iter().next().map(|m| (m, stats)))
     }
 
     /// Exact k-NN under Euclidean distance: the `k` nearest series, sorted
-    /// ascending by `(distance, position)` — fewer than `k` when the
-    /// collection is smaller, empty for an empty dataset. Deterministic
-    /// across runs and thread counts (distance ties prefer the lowest
-    /// position).
+    /// ascending by `(distance, position)`.
     ///
     /// # Errors
-    /// Propagates engine failures.
-    ///
-    /// # Panics
-    /// Panics if `k == 0`.
+    /// Propagates engine failures; `k == 0` is [`Error::InvalidSpec`].
+    #[deprecated(note = "use `Search::search` with `QuerySpec::knn(k)`")]
     pub fn knn(&self, query: &[f32], k: usize) -> Result<Vec<Match>, Error> {
-        Ok(self.knn_with_stats(query, k)?.0)
+        Ok(self.search(&[query], &QuerySpec::knn(k))?.into_single())
     }
 
-    /// Exact k-NN plus the unified per-query work counters (see
-    /// [`nn_with_stats`](Self::nn_with_stats)) — the batch-of-one special
-    /// case of [`knn_batch_with_stats`](Self::knn_batch_with_stats).
+    /// Exact k-NN plus the unified per-query work counters.
     ///
     /// # Errors
-    /// Propagates engine failures.
-    ///
-    /// # Panics
-    /// Panics if `k == 0`.
+    /// Propagates engine failures; `k == 0` is [`Error::InvalidSpec`].
+    #[deprecated(note = "use `Search::search` with `QuerySpec::knn(k).with_stats()`")]
     pub fn knn_with_stats(
         &self,
         query: &[f32],
         k: usize,
     ) -> Result<(Vec<Match>, QueryStats), Error> {
-        let (mut matches, stats) = self.knn_batch_with_stats(&[query], k)?;
-        Ok((matches.pop().expect("batch of one"), stats.into_single()))
+        Ok(self
+            .search(&[query], &QuerySpec::knn(k).with_stats())?
+            .into_single_with_stats())
     }
 
-    /// Exact 1-NN for a *batch* of queries — the k = 1 special case of
-    /// [`knn_batch`](Self::knn_batch): one answer per query (in order),
-    /// `None` where the dataset is empty.
+    /// Exact 1-NN for a *batch* of queries: one answer per query (in
+    /// order), `None` where the dataset is empty.
     ///
     /// # Errors
     /// Propagates engine failures.
+    #[deprecated(note = "use `Search::search` with `QuerySpec::nn()`")]
     pub fn nn_batch(&self, queries: &[&[f32]]) -> Result<Vec<Option<Match>>, Error> {
-        let (matches, _) = self.knn_batch_with_stats(queries, 1)?;
-        Ok(matches.into_iter().map(|mut m| m.pop()).collect())
+        if queries.is_empty() {
+            return Ok(Vec::new());
+        }
+        Ok(self
+            .search(queries, &QuerySpec::nn())?
+            .into_matches()
+            .into_iter()
+            .map(|mut m| m.pop())
+            .collect())
     }
 
     /// Exact k-NN for a *batch* of queries, answered by one shared engine
-    /// schedule (a single pool broadcast set) instead of one per query.
-    /// Element-wise identical to calling [`knn`](Self::knn) per query —
-    /// same contract, same determinism — while the index structures and
-    /// raw data are walked once for the whole batch.
+    /// schedule; element-wise identical to per-query [`knn`](Self::knn).
     ///
     /// # Errors
-    /// Propagates engine failures.
-    ///
-    /// # Panics
-    /// Panics if `k == 0`.
+    /// Propagates engine failures; `k == 0` is [`Error::InvalidSpec`].
+    #[deprecated(note = "use `Search::search` with `QuerySpec::knn(k)`")]
     pub fn knn_batch(&self, queries: &[&[f32]], k: usize) -> Result<Vec<Vec<Match>>, Error> {
-        Ok(self.knn_batch_with_stats(queries, k)?.0)
+        if queries.is_empty() {
+            return Ok(Vec::new());
+        }
+        Ok(self.search(queries, &QuerySpec::knn(k))?.into_matches())
     }
 
     /// Exact k-NN for a batch of queries plus the [`BatchStats`] that make
-    /// the amortization observable: pool broadcasts issued for the whole
-    /// batch (so broadcasts-per-query shrinks as `1/B`), raw series
-    /// fetched once versus the per-query requests they served, and the
-    /// per-query [`QueryStats`].
+    /// the amortization observable.
     ///
     /// # Errors
-    /// Propagates engine failures.
-    ///
-    /// # Panics
-    /// Panics if `k == 0`.
+    /// Propagates engine failures; `k == 0` is [`Error::InvalidSpec`].
+    #[deprecated(note = "use `Search::search` with `QuerySpec::knn(k).with_stats()`")]
     pub fn knn_batch_with_stats(
         &self,
         queries: &[&[f32]],
         k: usize,
     ) -> Result<(Vec<Vec<Match>>, BatchStats), Error> {
-        let threads = self.options.effective_threads();
-        match &self.inner {
-            MemoryInner::Ads(ads) => Ok(dsidx_ads::exact_knn_batch(ads, &*self.data, queries, k)?),
-            MemoryInner::Paris(paris) => Ok(dsidx_paris::exact_knn_batch(
-                paris,
-                &*self.data,
-                queries,
-                k,
-                threads,
-            )?),
-            MemoryInner::Messi(messi) => {
-                let cfg = self.options.messi_config(self.data.series_len())?;
-                Ok(dsidx_messi::exact_knn_batch(
-                    messi, &self.data, queries, k, &cfg,
-                ))
-            }
+        if queries.is_empty() {
+            return Ok((Vec::new(), BatchStats::default()));
         }
+        Ok(self
+            .search(queries, &QuerySpec::knn(k).with_stats())?
+            .into_parts_with_stats())
     }
 
-    /// Exact 1-NN under banded DTW — answered from the *same* index (§V of
-    /// the paper). Supported by the MESSI engine; other engines fall back
-    /// to the parallel UCR-DTW scan (still exact, just index-free).
+    /// Exact 1-NN under banded DTW — answered from the *same* index (§V
+    /// of the paper).
     ///
     /// # Errors
-    /// Configuration errors.
+    /// Configuration errors; an over-wide band is [`Error::InvalidSpec`].
+    #[deprecated(
+        note = "use `Search::search` with `QuerySpec::nn().measure(Measure::Dtw { band })`"
+    )]
     pub fn nn_dtw(&self, query: &[f32], band: usize) -> Result<Option<Match>, Error> {
-        Ok(self.nn_dtw_with_stats(query, band)?.map(|(m, _)| m))
+        Ok(self
+            .search(&[query], &QuerySpec::nn().measure(Measure::Dtw { band }))?
+            .into_nn())
     }
 
     /// Exact 1-NN under banded DTW plus the unified work counters for the
-    /// pruning cascade (LB_Keogh prunes, early-abandoned DTWs) — the same
-    /// [`QueryStats`] the ED queries report. The k = 1 special case of
-    /// [`knn_dtw_with_stats`](Self::knn_dtw_with_stats).
+    /// pruning cascade (LB_Keogh prunes, early-abandoned DTWs).
     ///
     /// # Errors
-    /// Configuration errors.
+    /// Configuration errors; an over-wide band is [`Error::InvalidSpec`].
+    #[deprecated(
+        note = "use `Search::search` with `QuerySpec::nn().measure(Measure::Dtw { band }).with_stats()`"
+    )]
     pub fn nn_dtw_with_stats(
         &self,
         query: &[f32],
         band: usize,
     ) -> Result<Option<(Match, QueryStats)>, Error> {
-        let (matches, stats) = self.knn_dtw_with_stats(query, band, 1)?;
+        let spec = QuerySpec::nn().measure(Measure::Dtw { band }).with_stats();
+        let (matches, stats) = self.search(&[query], &spec)?.into_single_with_stats();
         Ok(matches.into_iter().next().map(|m| (m, stats)))
     }
 
     /// Exact k-NN under banded DTW — answered from the same index where
     /// the engine supports it (MESSI), by the parallel UCR-DTW k-NN scan
-    /// otherwise (still exact, just index-free). Same contract as
-    /// [`knn`](Self::knn): sorted ascending by `(distance, position)`,
-    /// deterministic, fewer than `k` only when the collection is smaller.
+    /// otherwise (still exact, just index-free).
     ///
     /// # Errors
-    /// Configuration errors.
-    ///
-    /// # Panics
-    /// Panics if `k == 0`.
+    /// Configuration errors; `k == 0` or an over-wide band is
+    /// [`Error::InvalidSpec`].
+    #[deprecated(
+        note = "use `Search::search` with `QuerySpec::knn(k).measure(Measure::Dtw { band })`"
+    )]
     pub fn knn_dtw(&self, query: &[f32], band: usize, k: usize) -> Result<Vec<Match>, Error> {
-        Ok(self.knn_dtw_with_stats(query, band, k)?.0)
+        Ok(self
+            .search(&[query], &QuerySpec::knn(k).measure(Measure::Dtw { band }))?
+            .into_single())
     }
 
     /// Exact k-NN under banded DTW plus the unified work counters for the
     /// whole pruning cascade, pruned against the k-th best DTW distance.
     ///
     /// # Errors
-    /// Configuration errors.
-    ///
-    /// # Panics
-    /// Panics if `k == 0`.
+    /// Configuration errors; `k == 0` or an over-wide band is
+    /// [`Error::InvalidSpec`].
+    #[deprecated(
+        note = "use `Search::search` with `QuerySpec::knn(k).measure(Measure::Dtw { band }).with_stats()`"
+    )]
     pub fn knn_dtw_with_stats(
         &self,
         query: &[f32],
         band: usize,
         k: usize,
     ) -> Result<(Vec<Match>, QueryStats), Error> {
-        match &self.inner {
-            MemoryInner::Messi(messi) => {
-                let cfg = self.options.messi_config(self.data.series_len())?;
-                Ok(dsidx_messi::exact_knn_dtw(
-                    messi, &self.data, query, band, k, &cfg,
-                ))
-            }
-            _ => Ok(dsidx_ucr::knn_dtw_parallel_with_stats(
-                &self.data,
-                query,
-                band,
-                k,
-                self.options.effective_threads(),
-            )),
-        }
+        let spec = QuerySpec::knn(k)
+            .measure(Measure::Dtw { band })
+            .with_stats();
+        Ok(self.search(&[query], &spec)?.into_single_with_stats())
     }
 
     /// Structural statistics of the underlying tree.
@@ -315,6 +400,16 @@ impl MemoryIndex {
             MemoryInner::Paris(paris) => index_stats(&paris.index),
             MemoryInner::Messi(messi) => index_stats(&messi.index),
         }
+    }
+}
+
+impl Search for MemoryIndex {
+    fn search(&self, queries: &[&[f32]], spec: &QuerySpec) -> Result<Answers, Error> {
+        let (matches, stats) = self.run_spec(queries, spec)?;
+        Ok(Answers::new(
+            matches,
+            spec.stats_requested().then_some(stats),
+        ))
     }
 }
 
@@ -410,104 +505,148 @@ impl DiskIndex {
         self.build_report.as_ref()
     }
 
-    /// Exact 1-NN under Euclidean distance — the k = 1 special case of
-    /// [`knn`](Self::knn); raw reads go to the modeled device. `None` for
-    /// an empty dataset.
-    ///
-    /// # Errors
-    /// Propagates I/O failures.
-    pub fn nn(&self, query: &[f32]) -> Result<Option<Match>, Error> {
-        Ok(self.nn_with_stats(query)?.map(|(m, _)| m))
+    /// The one dispatch behind [`Search::search`] for on-disk indexes
+    /// (see [`MemoryIndex::run_spec`]): candidate reads are charged to the
+    /// modeled device. Exact DTW has no on-disk schedule yet and reports
+    /// [`Error::Unsupported`]; approximate DTW works (the best-leaf /
+    /// sketch probes pay device-charged reads like the ED path).
+    fn run_spec(
+        &self,
+        queries: &[&[f32]],
+        spec: &QuerySpec,
+    ) -> Result<(Vec<Vec<Match>>, BatchStats), Error> {
+        spec.validate(self.file.series_len(), queries)?;
+        let k = spec.k();
+        let threads = self.options.effective_threads();
+        match spec.fidelity_kind() {
+            Fidelity::Exact => match spec.measure_kind() {
+                Measure::Euclidean => match &self.inner {
+                    DiskInner::Ads(ads) => {
+                        Ok(dsidx_ads::exact_knn_batch(ads, &self.file, queries, k)?)
+                    }
+                    DiskInner::Paris(paris) => Ok(dsidx_paris::exact_knn_batch(
+                        paris, &self.file, queries, k, threads,
+                    )?),
+                },
+                Measure::Dtw { .. } => Err(Error::Unsupported(
+                    "exact DTW on an on-disk index (build a MemoryIndex, or use \
+                     Fidelity::Approximate)",
+                )),
+            },
+            Fidelity::Approximate => approx_batch(queries, |q| {
+                Ok(match (&self.inner, spec.measure_kind()) {
+                    (DiskInner::Ads(ads), Measure::Euclidean) => {
+                        dsidx_ads::approx_knn(ads, &self.file, q, k)?
+                    }
+                    (DiskInner::Ads(ads), Measure::Dtw { band }) => {
+                        dsidx_ads::approx_knn_dtw(ads, &self.file, q, band, k)?
+                    }
+                    (DiskInner::Paris(paris), Measure::Euclidean) => {
+                        dsidx_paris::approx_knn(paris, &self.file, q, k)?
+                    }
+                    (DiskInner::Paris(paris), Measure::Dtw { band }) => {
+                        dsidx_paris::approx_knn_dtw(paris, &self.file, q, band, k)?
+                    }
+                })
+            }),
+        }
     }
 
-    /// Exact 1-NN plus the unified per-query work counters (see
-    /// [`MemoryIndex::nn_with_stats`]).
+    /// Exact 1-NN under Euclidean distance; raw reads go to the modeled
+    /// device. `None` for an empty dataset.
     ///
     /// # Errors
     /// Propagates I/O failures.
+    #[deprecated(note = "use `Search::search` with `QuerySpec::nn()`")]
+    pub fn nn(&self, query: &[f32]) -> Result<Option<Match>, Error> {
+        Ok(self.search(&[query], &QuerySpec::nn())?.into_nn())
+    }
+
+    /// Exact 1-NN plus the unified per-query work counters.
+    ///
+    /// # Errors
+    /// Propagates I/O failures.
+    #[deprecated(note = "use `Search::search` with `QuerySpec::nn().with_stats()`")]
     pub fn nn_with_stats(&self, query: &[f32]) -> Result<Option<(Match, QueryStats)>, Error> {
-        let (matches, stats) = self.knn_with_stats(query, 1)?;
+        let (matches, stats) = self
+            .search(&[query], &QuerySpec::nn().with_stats())?
+            .into_single_with_stats();
         Ok(matches.into_iter().next().map(|m| (m, stats)))
     }
 
     /// Exact k-NN under Euclidean distance; raw reads for candidate
-    /// verification go to the modeled device. Same contract as
-    /// [`MemoryIndex::knn`].
+    /// verification go to the modeled device.
     ///
     /// # Errors
-    /// Propagates I/O failures.
-    ///
-    /// # Panics
-    /// Panics if `k == 0`.
+    /// Propagates I/O failures; `k == 0` is [`Error::InvalidSpec`].
+    #[deprecated(note = "use `Search::search` with `QuerySpec::knn(k)`")]
     pub fn knn(&self, query: &[f32], k: usize) -> Result<Vec<Match>, Error> {
-        Ok(self.knn_with_stats(query, k)?.0)
+        Ok(self.search(&[query], &QuerySpec::knn(k))?.into_single())
     }
 
-    /// Exact k-NN plus the unified per-query work counters (see
-    /// [`MemoryIndex::knn_with_stats`]) — the batch-of-one special case of
-    /// [`knn_batch_with_stats`](Self::knn_batch_with_stats).
+    /// Exact k-NN plus the unified per-query work counters.
     ///
     /// # Errors
-    /// Propagates I/O failures.
-    ///
-    /// # Panics
-    /// Panics if `k == 0`.
+    /// Propagates I/O failures; `k == 0` is [`Error::InvalidSpec`].
+    #[deprecated(note = "use `Search::search` with `QuerySpec::knn(k).with_stats()`")]
     pub fn knn_with_stats(
         &self,
         query: &[f32],
         k: usize,
     ) -> Result<(Vec<Match>, QueryStats), Error> {
-        let (mut matches, stats) = self.knn_batch_with_stats(&[query], k)?;
-        Ok((matches.pop().expect("batch of one"), stats.into_single()))
+        Ok(self
+            .search(&[query], &QuerySpec::knn(k).with_stats())?
+            .into_single_with_stats())
     }
 
-    /// Exact 1-NN for a *batch* of queries (see
-    /// [`MemoryIndex::nn_batch`]); raw reads go to the modeled device.
+    /// Exact 1-NN for a *batch* of queries; raw reads go to the modeled
+    /// device.
     ///
     /// # Errors
     /// Propagates I/O failures.
+    #[deprecated(note = "use `Search::search` with `QuerySpec::nn()`")]
     pub fn nn_batch(&self, queries: &[&[f32]]) -> Result<Vec<Option<Match>>, Error> {
-        let (matches, _) = self.knn_batch_with_stats(queries, 1)?;
-        Ok(matches.into_iter().map(|mut m| m.pop()).collect())
+        if queries.is_empty() {
+            return Ok(Vec::new());
+        }
+        Ok(self
+            .search(queries, &QuerySpec::nn())?
+            .into_matches()
+            .into_iter()
+            .map(|mut m| m.pop())
+            .collect())
     }
 
     /// Exact k-NN for a *batch* of queries answered by one shared engine
-    /// schedule (see [`MemoryIndex::knn_batch`]); candidate verification
-    /// fetches each raw series at most once per step for the whole batch,
-    /// charged to the modeled device.
+    /// schedule; candidate verification fetches each raw series at most
+    /// once per step for the whole batch, charged to the modeled device.
     ///
     /// # Errors
-    /// Propagates I/O failures.
-    ///
-    /// # Panics
-    /// Panics if `k == 0`.
+    /// Propagates I/O failures; `k == 0` is [`Error::InvalidSpec`].
+    #[deprecated(note = "use `Search::search` with `QuerySpec::knn(k)`")]
     pub fn knn_batch(&self, queries: &[&[f32]], k: usize) -> Result<Vec<Vec<Match>>, Error> {
-        Ok(self.knn_batch_with_stats(queries, k)?.0)
+        if queries.is_empty() {
+            return Ok(Vec::new());
+        }
+        Ok(self.search(queries, &QuerySpec::knn(k))?.into_matches())
     }
 
-    /// Exact k-NN for a batch of queries plus the [`BatchStats`] (see
-    /// [`MemoryIndex::knn_batch_with_stats`]).
+    /// Exact k-NN for a batch of queries plus the [`BatchStats`].
     ///
     /// # Errors
-    /// Propagates I/O failures.
-    ///
-    /// # Panics
-    /// Panics if `k == 0`.
+    /// Propagates I/O failures; `k == 0` is [`Error::InvalidSpec`].
+    #[deprecated(note = "use `Search::search` with `QuerySpec::knn(k).with_stats()`")]
     pub fn knn_batch_with_stats(
         &self,
         queries: &[&[f32]],
         k: usize,
     ) -> Result<(Vec<Vec<Match>>, BatchStats), Error> {
-        match &self.inner {
-            DiskInner::Ads(ads) => Ok(dsidx_ads::exact_knn_batch(ads, &self.file, queries, k)?),
-            DiskInner::Paris(paris) => Ok(dsidx_paris::exact_knn_batch(
-                paris,
-                &self.file,
-                queries,
-                k,
-                self.options.effective_threads(),
-            )?),
+        if queries.is_empty() {
+            return Ok((Vec::new(), BatchStats::default()));
         }
+        Ok(self
+            .search(queries, &QuerySpec::knn(k).with_stats())?
+            .into_parts_with_stats())
     }
 
     /// Structural statistics of the underlying tree.
@@ -520,9 +659,25 @@ impl DiskIndex {
     }
 }
 
+impl Search for DiskIndex {
+    fn search(&self, queries: &[&[f32]], spec: &QuerySpec) -> Result<Answers, Error> {
+        let (matches, stats) = self.run_spec(queries, spec)?;
+        Ok(Answers::new(
+            matches,
+            spec.stats_requested().then_some(stats),
+        ))
+    }
+}
+
 #[cfg(test)]
 mod tests {
+    // The legacy matrix stays covered on purpose: these tests pin the
+    // wrapper behavior the equivalence suite (tests/query_plane.rs)
+    // relates to the QuerySpec spellings.
+    #![allow(deprecated)]
+
     use super::*;
+    use crate::error::InvalidSpec;
     use dsidx_series::gen::DatasetKind;
 
     #[test]
@@ -639,6 +794,101 @@ mod tests {
     }
 
     #[test]
+    fn batched_dtw_search_is_one_broadcast_on_messi() {
+        let data = DatasetKind::Sald.generate(200, 64, 53);
+        let opts = Options::default().with_threads(3).with_leaf_capacity(16);
+        let qs = DatasetKind::Sald.queries(4, 64, 53);
+        let qrefs: Vec<&[f32]> = qs.iter().collect();
+        let idx = MemoryIndex::build(data.clone(), Engine::Messi, &opts).unwrap();
+        let spec = QuerySpec::knn(3)
+            .measure(Measure::Dtw { band: 4 })
+            .with_stats();
+        let answers = idx.search(&qrefs, &spec).unwrap();
+        let stats = answers.stats().unwrap();
+        assert_eq!(stats.broadcasts, 1, "one broadcast for the whole DTW batch");
+        for (qi, q) in qs.iter().enumerate() {
+            let want = dsidx_ucr::brute_force_dtw_knn(&data, q, 4, 3);
+            assert_eq!(
+                answers.matches()[qi]
+                    .iter()
+                    .map(|m| m.pos)
+                    .collect::<Vec<_>>(),
+                want.iter().map(|m| m.pos).collect::<Vec<_>>(),
+                "q{qi}"
+            );
+        }
+    }
+
+    #[test]
+    fn approximate_search_never_beats_exact_on_any_engine() {
+        let data = DatasetKind::Synthetic.generate(500, 64, 29);
+        let opts = Options::default().with_threads(3).with_leaf_capacity(16);
+        let qs = DatasetKind::Synthetic.queries(3, 64, 29);
+        let qrefs: Vec<&[f32]> = qs.iter().collect();
+        for engine in Engine::ALL {
+            let idx = MemoryIndex::build(data.clone(), engine, &opts).unwrap();
+            for measure in [Measure::Euclidean, Measure::Dtw { band: 4 }] {
+                let exact = idx
+                    .search(&qrefs, &QuerySpec::knn(5).measure(measure))
+                    .unwrap();
+                let approx = idx
+                    .search(
+                        &qrefs,
+                        &QuerySpec::knn(5)
+                            .measure(measure)
+                            .fidelity(Fidelity::Approximate)
+                            .with_stats(),
+                    )
+                    .unwrap();
+                assert_eq!(approx.stats().unwrap().broadcasts, 0);
+                for qi in 0..qrefs.len() {
+                    for (a, e) in approx.matches()[qi].iter().zip(&exact.matches()[qi]) {
+                        assert!(
+                            a.dist_sq >= e.dist_sq - e.dist_sq * 1e-6,
+                            "{} {measure:?} q{qi}",
+                            engine.name()
+                        );
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn invalid_specs_are_rejected_with_structured_errors() {
+        let data = DatasetKind::Synthetic.generate(50, 64, 3);
+        let idx = MemoryIndex::build(data, Engine::Ads, &Options::default()).unwrap();
+        let q = vec![0.0f32; 64];
+        let qs: Vec<&[f32]> = vec![&q];
+        assert!(matches!(
+            idx.search(&qs, &QuerySpec::knn(0)),
+            Err(Error::InvalidSpec(InvalidSpec::ZeroK))
+        ));
+        assert!(matches!(
+            idx.search(&[], &QuerySpec::nn()),
+            Err(Error::InvalidSpec(InvalidSpec::EmptyBatch))
+        ));
+        assert!(matches!(
+            idx.search(&qs, &QuerySpec::nn().measure(Measure::Dtw { band: 64 })),
+            Err(Error::InvalidSpec(InvalidSpec::BandTooWide { .. }))
+        ));
+        let short = vec![0.0f32; 8];
+        let bad: Vec<&[f32]> = vec![&q, &short];
+        assert!(matches!(
+            idx.search(&bad, &QuerySpec::nn()),
+            Err(Error::InvalidSpec(InvalidSpec::QueryLength {
+                index: 1,
+                ..
+            }))
+        ));
+        // The legacy wrappers surface the same structured errors.
+        assert!(matches!(
+            idx.knn(&q, 0),
+            Err(Error::InvalidSpec(InvalidSpec::ZeroK))
+        ));
+    }
+
+    #[test]
     fn dtw_stats_are_reported_for_all_engines() {
         let data = DatasetKind::Sald.generate(200, 64, 15);
         let opts = Options::default().with_threads(2).with_leaf_capacity(16);
@@ -672,6 +922,36 @@ mod tests {
             DeviceProfile::UNTHROTTLED,
         );
         assert!(matches!(e, Err(Error::Unsupported(_))));
+    }
+
+    #[test]
+    fn disk_search_supports_approximate_dtw_but_not_exact_dtw() {
+        let dir = std::env::temp_dir().join(format!("dsidx-core-dtw-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("d.dsidx");
+        let data = DatasetKind::Seismic.generate(200, 64, 5);
+        dsidx_storage::write_dataset(&path, &data, Arc::new(Device::unthrottled())).unwrap();
+        let idx = DiskIndex::build(
+            &path,
+            &dir,
+            Engine::ParisPlus,
+            &Options::default().with_threads(2),
+            DeviceProfile::UNTHROTTLED,
+        )
+        .unwrap();
+        let q = DatasetKind::Seismic.queries(1, 64, 5);
+        let qs: Vec<&[f32]> = vec![q.get(0)];
+        let exact_dtw = idx.search(&qs, &QuerySpec::nn().measure(Measure::Dtw { band: 4 }));
+        assert!(matches!(exact_dtw, Err(Error::Unsupported(_))));
+        let spec = QuerySpec::knn(3)
+            .measure(Measure::Dtw { band: 4 })
+            .fidelity(Fidelity::Approximate);
+        let approx = idx.search(&qs, &spec).unwrap();
+        assert!(!approx.matches()[0].is_empty());
+        let want = dsidx_ucr::brute_force_dtw_knn(&data, q.get(0), 4, 3);
+        for (a, e) in approx.matches()[0].iter().zip(&want) {
+            assert!(a.dist_sq >= e.dist_sq - e.dist_sq * 1e-6);
+        }
     }
 
     #[test]

@@ -3,7 +3,11 @@
 use std::fmt;
 
 /// Any error the facade can surface.
+///
+/// Marked `#[non_exhaustive]`: new failure classes may appear as the query
+/// plane grows, so downstream `match`es need a catch-all arm.
 #[derive(Debug)]
+#[non_exhaustive]
 pub enum Error {
     /// Invalid iSAX / index configuration.
     Config(dsidx_isax::IsaxError),
@@ -13,6 +17,74 @@ pub enum Error {
     Series(dsidx_series::SeriesError),
     /// The requested operation does not apply to the chosen engine.
     Unsupported(&'static str),
+    /// A [`QuerySpec`](crate::QuerySpec) (or its queries) failed
+    /// validation before any engine ran — the structured form of
+    /// query-time misuse (`k == 0`, an over-wide DTW band, an empty
+    /// batch, a query of the wrong length).
+    InvalidSpec(InvalidSpec),
+}
+
+/// Why a [`QuerySpec`](crate::QuerySpec) was rejected at the query plane,
+/// before reaching any engine.
+///
+/// Marked `#[non_exhaustive]`: validation grows with the spec's axes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum InvalidSpec {
+    /// `k == 0`: an exact or approximate k-NN request must ask for at
+    /// least one neighbor.
+    ZeroK,
+    /// A DTW band at least as wide as the series: every alignment is
+    /// already admissible at `series_len - 1`, so wider bands are a
+    /// misconfiguration (typically a percentage/points mix-up).
+    BandTooWide {
+        /// The requested Sakoe-Chiba half-width.
+        band: usize,
+        /// The indexed series length.
+        series_len: usize,
+    },
+    /// `search` was called with zero queries; a request must carry at
+    /// least one (single-query callers pass a batch of one).
+    EmptyBatch,
+    /// A query's length differs from the indexed series length.
+    QueryLength {
+        /// The indexed series length.
+        expected: usize,
+        /// The offending query's length.
+        got: usize,
+        /// Index of the offending query within the batch.
+        index: usize,
+    },
+}
+
+impl fmt::Display for InvalidSpec {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            InvalidSpec::ZeroK => {
+                write!(f, "k must be at least 1 (use QuerySpec::nn() for 1-NN)")
+            }
+            InvalidSpec::BandTooWide { band, series_len } => write!(
+                f,
+                "DTW band {band} must be smaller than the series length {series_len} \
+                 (a 5% Sakoe-Chiba band over length {series_len} is band {})",
+                series_len / 20
+            ),
+            InvalidSpec::EmptyBatch => write!(
+                f,
+                "the query batch is empty; pass at least one query (single-query \
+                 callers pass a batch of one: &[query])"
+            ),
+            InvalidSpec::QueryLength {
+                expected,
+                got,
+                index,
+            } => write!(
+                f,
+                "query {index} has length {got} but the index holds series of \
+                 length {expected}; re-sample or re-slice the query to match"
+            ),
+        }
+    }
 }
 
 impl fmt::Display for Error {
@@ -22,6 +94,7 @@ impl fmt::Display for Error {
             Error::Storage(e) => write!(f, "storage error: {e}"),
             Error::Series(e) => write!(f, "series error: {e}"),
             Error::Unsupported(what) => write!(f, "unsupported operation: {what}"),
+            Error::InvalidSpec(e) => write!(f, "invalid query spec: {e}"),
         }
     }
 }
@@ -32,7 +105,7 @@ impl std::error::Error for Error {
             Error::Config(e) => Some(e),
             Error::Storage(e) => Some(e),
             Error::Series(e) => Some(e),
-            Error::Unsupported(_) => None,
+            Error::Unsupported(_) | Error::InvalidSpec(_) => None,
         }
     }
 }
@@ -55,6 +128,12 @@ impl From<dsidx_series::SeriesError> for Error {
     }
 }
 
+impl From<InvalidSpec> for Error {
+    fn from(e: InvalidSpec) -> Self {
+        Error::InvalidSpec(e)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -72,5 +151,29 @@ mod tests {
         assert!(e.to_string().contains("series"));
         let e: Error = dsidx_storage::StorageError::BadMagic.into();
         assert!(e.to_string().contains("storage"));
+    }
+
+    #[test]
+    fn invalid_spec_messages_are_actionable() {
+        let e: Error = InvalidSpec::ZeroK.into();
+        assert!(e.to_string().contains("at least 1"));
+        let e: Error = InvalidSpec::BandTooWide {
+            band: 300,
+            series_len: 256,
+        }
+        .into();
+        let text = e.to_string();
+        assert!(text.contains("300") && text.contains("256"));
+        let e: Error = InvalidSpec::EmptyBatch.into();
+        assert!(e.to_string().contains("at least one query"));
+        let e: Error = InvalidSpec::QueryLength {
+            expected: 256,
+            got: 128,
+            index: 3,
+        }
+        .into();
+        let text = e.to_string();
+        assert!(text.contains("query 3") && text.contains("128") && text.contains("256"));
+        assert!(std::error::Error::source(&e).is_none());
     }
 }

@@ -9,6 +9,10 @@
 //!
 //! ## Quickstart
 //!
+//! Every query is one [`Search::search`] call shaped by a [`QuerySpec`]:
+//! how many neighbors, which [`Measure`], which [`Fidelity`], stats or
+//! not. Batches are the native shape — a single query is a batch of one.
+//!
 //! ```
 //! use dsidx::prelude::*;
 //!
@@ -18,17 +22,30 @@
 //!
 //! // Build an in-memory MESSI index and answer an exact 1-NN query.
 //! let index = MemoryIndex::build(data, Engine::Messi, &Options::default()).unwrap();
-//! let hit = index.nn(query.get(0)).unwrap().expect("non-empty");
+//! let hit = index
+//!     .search(&[query.get(0)], &QuerySpec::nn())
+//!     .unwrap()
+//!     .into_nn()
+//!     .expect("non-empty");
 //! println!("nearest series: #{} at distance {}", hit.pos, hit.dist());
 //!
 //! // Exact k-NN from the same index: the 10 nearest, sorted ascending by
-//! // (distance, position); `nn` is the k = 1 special case.
-//! let top10 = index.knn(query.get(0), 10).unwrap();
+//! // (distance, position); `QuerySpec::nn()` is the k = 1 special case.
+//! let top10 = index
+//!     .search(&[query.get(0)], &QuerySpec::knn(10))
+//!     .unwrap()
+//!     .into_single();
 //! assert_eq!(top10.len(), 10);
 //! assert_eq!(top10[0], hit);
 //!
-//! // The same index answers DTW queries (Sakoe-Chiba band of 5%).
-//! let warped = index.nn_dtw(query.get(0), 128 / 20).unwrap().expect("non-empty");
+//! // The same index answers DTW queries (Sakoe-Chiba band of 5%) — a
+//! // measure is one builder call, not another method family.
+//! let spec = QuerySpec::nn().measure(Measure::Dtw { band: 128 / 20 });
+//! let warped = index
+//!     .search(&[query.get(0)], &spec)
+//!     .unwrap()
+//!     .into_nn()
+//!     .expect("non-empty");
 //! assert!(warped.dist_sq <= hit.dist_sq + 1e-3);
 //! ```
 //!
@@ -50,14 +67,20 @@
 //! code and the engine crates directly for experiments that need full
 //! control (the `dsidx-bench` harness does the latter).
 
+pub mod answers;
 pub mod engine;
 pub mod error;
 pub mod options;
 pub mod prelude;
+pub mod search;
+pub mod spec;
 
+pub use answers::Answers;
 pub use engine::{DiskIndex, Engine, MemoryIndex};
-pub use error::Error;
+pub use error::{Error, InvalidSpec};
 pub use options::Options;
+pub use search::Search;
+pub use spec::{Fidelity, Measure, QuerySpec};
 
 pub use dsidx_ads as ads;
 pub use dsidx_isax as isax;

@@ -8,11 +8,15 @@
 
 use crate::build::MessiIndex;
 use crate::config::MessiConfig;
-use crate::pqueue::MinQueues;
-use dsidx_isax::paa::envelope_paa_bounds;
-use dsidx_isax::{MindistTable, NodeMindistTable};
-use dsidx_query::{finish_knn, AtomicQueryStats, QueryStats, SharedTopK};
-use dsidx_series::distance::dtw::{dtw_sq, dtw_sq_bounded, envelope, lb_keogh_sq_bounded};
+use crate::pqueue::{drain_best_first, Drain, MinQueues};
+use crate::traverse::{BatchLeaf, BatchTraversal};
+use dsidx_isax::NodeMindistTable;
+use dsidx_query::{
+    approx_leaf_flat, batch_process_leaf_entries_dtw, batch_seed_positions_dtw, finish_knn,
+    seed_from_entries_dtw, AtomicQueryStats, BatchStats, DtwPrepared, QueryBatch, QueryStats,
+    SeriesFetcher, SharedTopK,
+};
+use dsidx_series::distance::dtw::{dtw_sq_bounded, lb_keogh_sq_bounded};
 use dsidx_series::{Dataset, Match};
 use dsidx_sync::{AtomicBest, Pruner, SpinBarrier};
 
@@ -37,32 +41,27 @@ fn run_exact_dtw<P: Pruner>(
         return None;
     }
     let quantizer = config.quantizer();
-    let seg_lens = quantizer.segment_lens();
-    let segments = config.segments();
 
-    // Query envelope and its PAA bounds.
-    let mut lo_env = Vec::new();
-    let mut hi_env = Vec::new();
-    envelope(query, band, &mut lo_env, &mut hi_env);
-    let mut lo_paa = vec![0.0f32; segments];
-    let mut hi_paa = vec![0.0f32; segments];
-    envelope_paa_bounds(&lo_env, &hi_env, &mut lo_paa, &mut hi_paa);
-    let table = MindistTable::new_interval(&lo_paa, &hi_paa, seg_lens);
-    let node_table = NodeMindistTable::new_interval(&lo_paa, &hi_paa, seg_lens);
+    // Query envelope, its PAA bounds, and the interval MINDIST tables.
+    let prep = DtwPrepared::new(quantizer, query, band);
+    let table = &prep.table;
+    let node_table = prep.node_table(quantizer);
     let pool = dsidx_sync::pool::global(cfg.threads);
 
     // Initial BSF from the query's own leaf (approximate answer): the
     // kernel's ED descent locates the leaf, seeding pays DTW distances.
-    let mut paa = vec![0.0f32; segments];
-    quantizer.paa_into(query, &mut paa);
-    let query_word = quantizer.word_from_paa(&paa);
-    let approx_idx = dsidx_query::approx_leaf_flat(flat, &query_word)
-        .expect("non-empty index has a non-empty leaf");
-    let approx_entries = flat.leaf_entries(flat.node(approx_idx));
-    for e in approx_entries {
-        best.insert(dtw_sq(query, data.get(e.pos as usize), band), e.pos);
-    }
-    let approx_real = approx_entries.len() as u64;
+    let query_word = quantizer.word(query);
+    let approx_idx =
+        approx_leaf_flat(flat, &query_word).expect("non-empty index has a non-empty leaf");
+    let mut fetcher = SeriesFetcher::new(data);
+    let approx_real = seed_from_entries_dtw(
+        flat.leaf_entries(flat.node(approx_idx)),
+        &mut fetcher,
+        query,
+        band,
+        best,
+    )
+    .expect("in-memory sources do not fail");
 
     let shared = AtomicQueryStats::new();
     let queues: MinQueues<u32> = MinQueues::new(cfg.effective_queues());
@@ -79,59 +78,33 @@ fn run_exact_dtw<P: Pruner>(
         phase_barrier.wait();
 
         // Processing phase.
-        let n = queues.shard_count();
-        let mut shard = worker % n;
-        let mut idle_cycles = 0u32;
-        loop {
-            if queues.all_closed() {
-                break;
+        drain_best_first(&queues, worker, |lb, idx| {
+            if lb >= best.threshold_sq() {
+                local.leaves_discarded += 1;
+                return Drain::Abandon;
             }
-            if !queues.is_open(shard) {
-                shard = (shard + 1) % n;
-                idle_cycles += 1;
-                if idle_cycles > n as u32 {
-                    std::thread::yield_now();
+            local.leaves_processed += 1;
+            for e in flat.leaf_entries(flat.node(idx)) {
+                let limit = best.threshold_sq();
+                local.lb_entry_computed += 1;
+                if table.lookup(&e.word) >= limit {
+                    continue;
+                }
+                let series = data.get(e.pos as usize);
+                local.lb_keogh_computed += 1;
+                if lb_keogh_sq_bounded(series, &prep.lo_env, &prep.hi_env, limit).is_none() {
+                    local.lb_keogh_pruned += 1;
+                    continue;
+                }
+                if let Some(d) = dtw_sq_bounded(query, series, band, limit) {
+                    local.real_computed += 1;
+                    best.insert(d, e.pos);
                 } else {
-                    std::hint::spin_loop();
-                }
-                continue;
-            }
-            idle_cycles = 0;
-            match queues.pop_min(shard) {
-                None => {
-                    queues.close(shard);
-                    shard = (shard + 1) % n;
-                }
-                Some((lb, idx)) => {
-                    if lb >= best.threshold_sq() {
-                        local.leaves_discarded += 1;
-                        queues.close(shard);
-                        shard = (shard + 1) % n;
-                        continue;
-                    }
-                    local.leaves_processed += 1;
-                    for e in flat.leaf_entries(flat.node(idx)) {
-                        let limit = best.threshold_sq();
-                        local.lb_entry_computed += 1;
-                        if table.lookup(&e.word) >= limit {
-                            continue;
-                        }
-                        let series = data.get(e.pos as usize);
-                        local.lb_keogh_computed += 1;
-                        if lb_keogh_sq_bounded(series, &lo_env, &hi_env, limit).is_none() {
-                            local.lb_keogh_pruned += 1;
-                            continue;
-                        }
-                        if let Some(d) = dtw_sq_bounded(query, series, band, limit) {
-                            local.real_computed += 1;
-                            best.insert(d, e.pos);
-                        } else {
-                            local.dtw_abandoned += 1;
-                        }
-                    }
+                    local.dtw_abandoned += 1;
                 }
             }
-        }
+            Drain::Processed
+        });
         shared.merge(&local);
     });
 
@@ -167,7 +140,7 @@ pub fn exact_nn_dtw(
 /// traversal and priority-queue schedule as [`exact_nn_dtw`], pruning the
 /// whole cascade (iSAX envelope bound, LB_Keogh, early-abandoned DTW)
 /// against the k-th best DTW distance (a
-/// [`SharedTopK`](dsidx_query::SharedTopK)).
+/// [`SharedTopK`]).
 ///
 /// Returns the up-to-`k` nearest series sorted ascending by
 /// `(distance, position)` — fewer than `k` when the collection is smaller,
@@ -191,11 +164,157 @@ pub fn exact_knn_dtw(
     finish_knn(&topk, stats)
 }
 
+/// Exact k-NN under banded DTW for a *batch* of queries in **one** pool
+/// broadcast — the DTW cell of the batched query plane: the tree is
+/// traversed once for the whole batch using per-query *interval* node
+/// tables (a node is pruned only when every query's threshold beats its
+/// envelope bound), priority-queue entries carry the per-query node
+/// mindists, and a popped leaf pays the full DTW cascade (interval iSAX
+/// bound → LB_Keogh → early-abandoned banded DTW) once per entry for every
+/// query whose leaf-level bound survived.
+///
+/// Answers are element-wise identical to calling [`exact_knn_dtw`] per
+/// query, deterministic across runs, thread counts and queue counts.
+///
+/// # Panics
+/// Panics if any query length differs from the configured series length or
+/// `k == 0`.
+#[must_use]
+pub fn exact_knn_dtw_batch(
+    messi: &MessiIndex,
+    data: &Dataset,
+    queries: &[&[f32]],
+    band: usize,
+    k: usize,
+    cfg: &MessiConfig,
+) -> (Vec<Vec<Match>>, BatchStats) {
+    let config = messi.index.config();
+    for q in queries {
+        assert_eq!(q.len(), config.series_len(), "query length mismatch");
+    }
+    cfg.validate();
+    let flat = &messi.flat;
+    let quantizer = config.quantizer();
+    let batch = QueryBatch::new(quantizer, queries, k);
+    if flat.entry_count() == 0 || batch.is_empty() {
+        return batch.finish(0, QueryStats::default());
+    }
+    let preps: Vec<DtwPrepared> = batch
+        .slots()
+        .iter()
+        .map(|s| DtwPrepared::new(quantizer, s.values, band))
+        .collect();
+    let node_tables: Vec<NodeMindistTable> =
+        preps.iter().map(|p| p.node_table(quantizer)).collect();
+    let pool = dsidx_sync::pool::global(cfg.threads);
+
+    // Initial thresholds from the union of the batch's own leaves
+    // (distinct leaves only), cross-seeded into every pruner with
+    // early-abandoned DTW distances.
+    let mut leaf_idxs: Vec<u32> = batch
+        .slots()
+        .iter()
+        .map(|slot| {
+            approx_leaf_flat(flat, &slot.prep.word).expect("non-empty index has a non-empty leaf")
+        })
+        .collect();
+    leaf_idxs.sort_unstable();
+    leaf_idxs.dedup();
+    let mut positions: Vec<u32> = leaf_idxs
+        .iter()
+        .flat_map(|&idx| flat.leaf_entries(flat.node(idx)).iter().map(|e| e.pos))
+        .collect();
+    positions.sort_unstable();
+    positions.dedup();
+    let mut fetcher = SeriesFetcher::new(data);
+    batch_seed_positions_dtw(&positions, &mut fetcher, &batch, band)
+        .expect("in-memory sources do not fail");
+
+    // Phase A: one cooperative traversal for the whole batch over the
+    // interval tables; Phase B: best-bound-first processing, once per leaf
+    // for the whole batch, the DTW cascade per surviving query. One
+    // broadcast, phases separated by a spin barrier — exactly the ED batch
+    // schedule with the DTW leaf kernel.
+    let shared = AtomicQueryStats::new();
+    let queues: MinQueues<BatchLeaf> = MinQueues::new(cfg.effective_queues());
+    let traversal = BatchTraversal::new(flat, &node_tables, &batch, &queues);
+    let phase_barrier = SpinBarrier::new(cfg.threads);
+
+    pool.broadcast(&|worker| {
+        let mut shared_local = QueryStats::default();
+        let mut locals = vec![QueryStats::default(); batch.len()];
+        let st = traversal.run_worker();
+        shared_local.nodes_pruned = st.pruned;
+        shared_local.leaves_enqueued = st.enqueued;
+        phase_barrier.wait();
+
+        let mut active: Vec<usize> = Vec::with_capacity(batch.len());
+        drain_best_first(&queues, worker, |min_lb, leaf: BatchLeaf| {
+            if min_lb >= batch.max_threshold_sq() {
+                shared_local.leaves_discarded += 1;
+                return Drain::Abandon;
+            }
+            active.clear();
+            for (qi, slot) in batch.slots().iter().enumerate() {
+                if leaf.lbs[qi] < slot.topk.threshold_sq() {
+                    active.push(qi);
+                }
+            }
+            if active.is_empty() {
+                shared_local.leaves_discarded += 1;
+                return Drain::Processed;
+            }
+            shared_local.leaves_processed += 1;
+            let entries = flat.leaf_entries(flat.node(leaf.idx));
+            batch_process_leaf_entries_dtw(
+                entries,
+                data,
+                &batch,
+                &active,
+                &preps,
+                band,
+                &mut locals,
+            );
+            Drain::Processed
+        });
+        batch.merge_locals(&locals);
+        shared.merge(&shared_local);
+    });
+
+    batch.finish(1, shared.snapshot())
+}
+
+/// *Approximate* k-NN under banded DTW: descend to the query's own leaf
+/// and return the k nearest of its entries by full banded-DTW distance —
+/// no traversal, no pool broadcast. Every reported distance is a real DTW
+/// distance, so it is never below the exact answer at the same rank.
+/// Returns fewer than `k` matches when the leaf holds fewer entries, empty
+/// for an empty index.
+///
+/// # Panics
+/// Panics if the query length differs from the configured series length or
+/// `k == 0`.
+#[must_use]
+pub fn approx_knn_dtw(
+    messi: &MessiIndex,
+    data: &Dataset,
+    query: &[f32],
+    band: usize,
+    k: usize,
+) -> (Vec<Match>, QueryStats) {
+    crate::query::approx_leaf_visit(messi, query, k, |entries, topk| {
+        let mut fetcher = SeriesFetcher::new(data);
+        seed_from_entries_dtw(entries, &mut fetcher, query, band, topk)
+            .expect("in-memory sources do not fail")
+    })
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
     use crate::build::build;
     use crate::config::MessiConfig;
+    use dsidx_series::distance::dtw::dtw_sq;
     use dsidx_series::gen::DatasetKind;
     use dsidx_tree::TreeConfig;
     use dsidx_ucr::dtw::brute_force_dtw;
@@ -253,6 +372,104 @@ mod tests {
             let (knn, _) = exact_knn_dtw(&messi, &data, q, 5, 1, &cfg(3));
             assert_eq!(knn.len(), 1);
             assert_eq!(knn[0].pos, nn.pos);
+        }
+    }
+
+    #[test]
+    fn knn_dtw_batch_equals_sequential_knn_dtw() {
+        let data = DatasetKind::Synthetic.generate(300, 64, 91);
+        let (messi, _) = build(&data, &cfg(4));
+        let qs = DatasetKind::Synthetic.queries(5, 64, 91);
+        let qrefs: Vec<&[f32]> = qs.iter().collect();
+        for band in [0usize, 4] {
+            for k in [1usize, 6, 20] {
+                for threads in [1usize, 4] {
+                    let c = cfg(threads);
+                    let (batched, stats) = exact_knn_dtw_batch(&messi, &data, &qrefs, band, k, &c);
+                    assert_eq!(stats.broadcasts, 1, "one broadcast for the whole DTW batch");
+                    assert!(stats.broadcasts_per_query() < 1.0);
+                    for (qi, q) in qs.iter().enumerate() {
+                        let (single, _) = exact_knn_dtw(&messi, &data, q, band, k, &c);
+                        assert_eq!(
+                            batched[qi].iter().map(|m| m.pos).collect::<Vec<_>>(),
+                            single.iter().map(|m| m.pos).collect::<Vec<_>>(),
+                            "q{qi} band={band} k={k} x{threads}"
+                        );
+                    }
+                    // Traversal counters live in the shared slice.
+                    assert!(
+                        stats.shared.leaves_processed + stats.shared.leaves_discarded
+                            <= stats.shared.leaves_enqueued
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn knn_dtw_batch_equals_brute_force() {
+        let data = DatasetKind::Sald.generate(200, 64, 47);
+        let (messi, _) = build(&data, &cfg(3));
+        let qs = DatasetKind::Sald.queries(4, 64, 47);
+        let qrefs: Vec<&[f32]> = qs.iter().collect();
+        let (batched, _) = exact_knn_dtw_batch(&messi, &data, &qrefs, 5, 7, &cfg(3));
+        for (qi, q) in qs.iter().enumerate() {
+            let want = dsidx_ucr::brute_force_dtw_knn(&data, q, 5, 7);
+            assert_eq!(
+                batched[qi].iter().map(|m| m.pos).collect::<Vec<_>>(),
+                want.iter().map(|m| m.pos).collect::<Vec<_>>(),
+                "q{qi}"
+            );
+        }
+    }
+
+    #[test]
+    fn knn_dtw_batch_deterministic_across_queue_counts() {
+        let data = DatasetKind::Seismic.generate(250, 64, 61);
+        let (messi, _) = build(&data, &cfg(4));
+        let qs = DatasetKind::Seismic.queries(4, 64, 61);
+        let qrefs: Vec<&[f32]> = qs.iter().collect();
+        let (first, _) = exact_knn_dtw_batch(&messi, &data, &qrefs, 4, 6, &cfg(1));
+        for queues in [1usize, 2, 8] {
+            let c = cfg(4).with_queues(queues);
+            let (got, _) = exact_knn_dtw_batch(&messi, &data, &qrefs, 4, 6, &c);
+            assert_eq!(got, first, "queues={queues}");
+        }
+    }
+
+    #[test]
+    fn knn_dtw_batch_on_empty_index_or_batch_is_empty() {
+        let empty = Dataset::new(64).unwrap();
+        let (messi, _) = build(&empty, &cfg(2));
+        let q = vec![0.0f32; 64];
+        let (got, stats) = exact_knn_dtw_batch(&messi, &empty, &[&q], 3, 2, &cfg(2));
+        assert_eq!(got, vec![Vec::new()]);
+        assert_eq!(stats.broadcasts, 0);
+        let data = DatasetKind::Synthetic.generate(50, 64, 9);
+        let (messi, _) = build(&data, &cfg(2));
+        let (got, _) = exact_knn_dtw_batch(&messi, &data, &[], 3, 2, &cfg(2));
+        assert!(got.is_empty());
+    }
+
+    #[test]
+    fn approx_knn_dtw_never_beats_exact() {
+        let data = DatasetKind::Synthetic.generate(400, 64, 33);
+        let (messi, _) = build(&data, &cfg(3));
+        let queries = DatasetKind::Synthetic.queries(4, 64, 33);
+        for q in queries.iter() {
+            for k in [1usize, 5] {
+                let exact = dsidx_ucr::brute_force_dtw_knn(&data, q, 4, k);
+                let (approx, stats) = approx_knn_dtw(&messi, &data, q, 4, k);
+                assert!(!approx.is_empty() && approx.len() <= k);
+                for (a, e) in approx.iter().zip(&exact) {
+                    assert!(a.dist_sq >= e.dist_sq - e.dist_sq * 1e-6);
+                    // And each reported distance is the true DTW distance.
+                    let true_d = dtw_sq(q, data.get(a.pos as usize), 4);
+                    assert!((a.dist_sq - true_d).abs() <= true_d * 1e-5 + 1e-5);
+                }
+                assert!(stats.real_computed >= approx.len() as u64);
+                assert_eq!(stats.leaves_enqueued, 0, "no traversal in approximate mode");
+            }
         }
     }
 

@@ -109,6 +109,61 @@ impl<T> MinQueues<T> {
     }
 }
 
+/// What a processing worker decided about one popped queue minimum.
+pub enum Drain {
+    /// The item was handled (processed or discarded); keep draining this
+    /// shard.
+    Processed,
+    /// The popped minimum proves everything left in this shard is
+    /// prunable: close the shard and move on.
+    Abandon,
+}
+
+/// The best-bound-first processing schedule shared by every MESSI query
+/// path: starting from the worker's home shard, pop minima and hand them
+/// to `on_pop`; close a shard when it empties or `on_pop` abandons it;
+/// migrate to the next open shard; spin briefly then yield while other
+/// workers drain the rest. Returns once every shard is closed.
+pub fn drain_best_first<T>(
+    queues: &MinQueues<T>,
+    worker: usize,
+    mut on_pop: impl FnMut(f32, T) -> Drain,
+) {
+    let n = queues.shard_count();
+    let mut shard = worker % n;
+    let mut idle_cycles = 0u32;
+    loop {
+        if queues.all_closed() {
+            return;
+        }
+        if !queues.is_open(shard) {
+            shard = (shard + 1) % n;
+            idle_cycles += 1;
+            if idle_cycles > n as u32 {
+                // Every shard is closed or being drained by another
+                // worker; yield instead of hammering shared lines.
+                std::thread::yield_now();
+            } else {
+                std::hint::spin_loop();
+            }
+            continue;
+        }
+        idle_cycles = 0;
+        match queues.pop_min(shard) {
+            None => {
+                queues.close(shard);
+                shard = (shard + 1) % n;
+            }
+            Some((key, item)) => {
+                if matches!(on_pop(key, item), Drain::Abandon) {
+                    queues.close(shard);
+                    shard = (shard + 1) % n;
+                }
+            }
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -165,6 +220,41 @@ mod tests {
     fn negative_key_panics() {
         let q: MinQueues<u8> = MinQueues::new(1);
         q.push_rr(-1.0, 0);
+    }
+
+    #[test]
+    fn drain_best_first_visits_everything_and_honors_abandon() {
+        let q: MinQueues<usize> = MinQueues::new(2);
+        for i in 0..20 {
+            q.push_rr(i as f32, i);
+        }
+        // No abandoning: every item is handed out exactly once.
+        let mut seen = [false; 20];
+        drain_best_first(&q, 0, |_, v| {
+            assert!(!seen[v], "duplicate {v}");
+            seen[v] = true;
+            Drain::Processed
+        });
+        assert!(seen.iter().all(|&b| b));
+        assert!(q.all_closed());
+
+        // Abandoning at a key closes the shard wholesale: later items of
+        // that shard are never handed out.
+        let q: MinQueues<usize> = MinQueues::new(1);
+        for i in 0..10 {
+            q.push_rr(i as f32, i);
+        }
+        let mut popped = Vec::new();
+        drain_best_first(&q, 0, |k, v| {
+            popped.push(v);
+            if k >= 4.0 {
+                Drain::Abandon
+            } else {
+                Drain::Processed
+            }
+        });
+        assert_eq!(popped, vec![0, 1, 2, 3, 4]);
+        assert!(q.all_closed());
     }
 
     #[test]

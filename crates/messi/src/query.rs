@@ -20,12 +20,12 @@
 
 use crate::build::MessiIndex;
 use crate::config::MessiConfig;
-use crate::pqueue::MinQueues;
+use crate::pqueue::{drain_best_first, Drain, MinQueues};
 use crate::traverse::{BatchLeaf, BatchTraversal};
 use dsidx_query::{
-    approx_leaf_flat, batch_process_leaf_entries, batch_seed_positions, process_leaf_entries,
-    seed_from_entries, AtomicQueryStats, BatchStats, PreparedQuery, Pruner, QueryBatch, QueryStats,
-    SeriesFetcher,
+    approx_leaf_flat, batch_process_leaf_entries, batch_seed_positions, finish_knn,
+    process_leaf_entries, seed_from_entries, AtomicQueryStats, BatchStats, PreparedQuery, Pruner,
+    QueryBatch, QueryStats, SeriesFetcher, SharedTopK,
 };
 use dsidx_series::{Dataset, Match};
 use dsidx_sync::{AtomicBest, SpinBarrier};
@@ -90,48 +90,19 @@ fn run_exact<P: Pruner>(
         phase_barrier.wait();
 
         // Phase B: best-bound-first processing.
-        let n = queues.shard_count();
-        let mut shard = worker % n;
-        let mut idle_cycles = 0u32;
-        loop {
-            if queues.all_closed() {
-                break;
+        drain_best_first(&queues, worker, |lb, idx| {
+            if lb >= best.threshold_sq() {
+                // Everything left in this queue is at least as far:
+                // abandon it wholesale.
+                local.leaves_discarded += 1;
+                return Drain::Abandon;
             }
-            if !queues.is_open(shard) {
-                shard = (shard + 1) % n;
-                idle_cycles += 1;
-                if idle_cycles > n as u32 {
-                    // Every shard is closed or being drained by another
-                    // worker; yield instead of hammering shared lines.
-                    std::thread::yield_now();
-                } else {
-                    std::hint::spin_loop();
-                }
-                continue;
-            }
-            idle_cycles = 0;
-            match queues.pop_min(shard) {
-                None => {
-                    queues.close(shard);
-                    shard = (shard + 1) % n;
-                }
-                Some((lb, idx)) => {
-                    if lb >= best.threshold_sq() {
-                        // Everything left in this queue is at least as
-                        // far: abandon it wholesale.
-                        local.leaves_discarded += 1;
-                        queues.close(shard);
-                        shard = (shard + 1) % n;
-                        continue;
-                    }
-                    local.leaves_processed += 1;
-                    let entries = flat.leaf_entries(flat.node(idx));
-                    local.lb_entry_computed += entries.len() as u64;
-                    local.real_computed +=
-                        process_leaf_entries(entries, &prep.table, data, query, best);
-                }
-            }
-        }
+            local.leaves_processed += 1;
+            let entries = flat.leaf_entries(flat.node(idx));
+            local.lb_entry_computed += entries.len() as u64;
+            local.real_computed += process_leaf_entries(entries, &prep.table, data, query, best);
+            Drain::Processed
+        });
         shared.merge(&local);
     });
 
@@ -271,65 +242,88 @@ pub fn exact_knn_batch(
 
         // Phase B: best-bound-first processing, once per leaf for the
         // whole batch.
-        let n = queues.shard_count();
-        let mut shard = worker % n;
-        let mut idle_cycles = 0u32;
         let mut active: Vec<usize> = Vec::with_capacity(batch.len());
-        loop {
-            if queues.all_closed() {
-                break;
+        drain_best_first(&queues, worker, |min_lb, leaf: BatchLeaf| {
+            if min_lb >= batch.max_threshold_sq() {
+                // Every remaining leaf in this queue is at least as far
+                // for every query: abandon it wholesale.
+                shared_local.leaves_discarded += 1;
+                return Drain::Abandon;
             }
-            if !queues.is_open(shard) {
-                shard = (shard + 1) % n;
-                idle_cycles += 1;
-                if idle_cycles > n as u32 {
-                    // Every shard is closed or being drained by another
-                    // worker; yield instead of hammering shared lines.
-                    std::thread::yield_now();
-                } else {
-                    std::hint::spin_loop();
-                }
-                continue;
-            }
-            idle_cycles = 0;
-            match queues.pop_min(shard) {
-                None => {
-                    queues.close(shard);
-                    shard = (shard + 1) % n;
-                }
-                Some((min_lb, leaf)) => {
-                    if min_lb >= batch.max_threshold_sq() {
-                        // Every remaining leaf in this queue is at least
-                        // as far for every query: abandon it wholesale.
-                        shared_local.leaves_discarded += 1;
-                        queues.close(shard);
-                        shard = (shard + 1) % n;
-                        continue;
-                    }
-                    active.clear();
-                    for (qi, slot) in batch.slots().iter().enumerate() {
-                        if leaf.lbs[qi] < slot.topk.threshold_sq() {
-                            active.push(qi);
-                        }
-                    }
-                    if active.is_empty() {
-                        // No query can benefit from this one leaf, but the
-                        // queue's minimum key still beat some threshold —
-                        // keep draining it.
-                        shared_local.leaves_discarded += 1;
-                        continue;
-                    }
-                    shared_local.leaves_processed += 1;
-                    let entries = flat.leaf_entries(flat.node(leaf.idx));
-                    batch_process_leaf_entries(entries, data, &batch, &active, &mut locals);
+            active.clear();
+            for (qi, slot) in batch.slots().iter().enumerate() {
+                if leaf.lbs[qi] < slot.topk.threshold_sq() {
+                    active.push(qi);
                 }
             }
-        }
+            if active.is_empty() {
+                // No query can benefit from this one leaf, but the queue's
+                // minimum key still beat some threshold — keep draining it.
+                shared_local.leaves_discarded += 1;
+                return Drain::Processed;
+            }
+            shared_local.leaves_processed += 1;
+            let entries = flat.leaf_entries(flat.node(leaf.idx));
+            batch_process_leaf_entries(entries, data, &batch, &active, &mut locals);
+            Drain::Processed
+        });
         batch.merge_locals(&locals);
         shared.merge(&shared_local);
     });
 
     batch.finish(1, shared.snapshot())
+}
+
+/// *Approximate* k-NN through the MESSI index: descend to the query's own
+/// leaf (the paper's approximate answer — "the most promising leaf") and
+/// return the k nearest of its entries by real Euclidean distance, without
+/// the exact traversal/processing phases. No pool broadcast is issued.
+///
+/// Every reported distance is a real distance to a real series, so it is
+/// never below the exact answer at the same rank; the positions may
+/// differ. Returns fewer than `k` matches when the leaf holds fewer
+/// entries, empty for an empty index.
+///
+/// # Panics
+/// Panics if the query length differs from the configured series length or
+/// `k == 0`.
+#[must_use]
+pub fn approx_knn(
+    messi: &MessiIndex,
+    data: &Dataset,
+    query: &[f32],
+    k: usize,
+) -> (Vec<Match>, QueryStats) {
+    approx_leaf_visit(messi, query, k, |entries, topk| {
+        let mut fetcher = SeriesFetcher::new(data);
+        seed_from_entries(entries, &mut fetcher, query, topk)
+            .expect("in-memory sources do not fail")
+    })
+}
+
+/// The shared best-leaf visit behind both approximate measures (ED here,
+/// DTW in [`crate::dtw`]): locate the query's leaf, let `pay` charge one
+/// real distance per entry into the collector.
+pub(crate) fn approx_leaf_visit(
+    messi: &MessiIndex,
+    query: &[f32],
+    k: usize,
+    pay: impl FnOnce(&[dsidx_tree::LeafEntry], &SharedTopK) -> u64,
+) -> (Vec<Match>, QueryStats) {
+    let config = messi.index.config();
+    assert_eq!(query.len(), config.series_len(), "query length mismatch");
+    let topk = SharedTopK::new(k);
+    let flat = &messi.flat;
+    if flat.entry_count() == 0 {
+        return finish_knn(&topk, None);
+    }
+    let word = config.quantizer().word(query);
+    let idx = approx_leaf_flat(flat, &word).expect("non-empty index has a non-empty leaf");
+    let stats = QueryStats {
+        real_computed: pay(flat.leaf_entries(flat.node(idx)), &topk),
+        ..QueryStats::default()
+    };
+    finish_knn(&topk, Some(stats))
 }
 
 #[cfg(test)]
@@ -444,6 +438,50 @@ mod tests {
                 assert_eq!(m, first, "queues={queues}");
             }
         }
+    }
+
+    #[test]
+    fn approx_knn_never_beats_exact_and_is_broadcast_free() {
+        let data = DatasetKind::Synthetic.generate(800, 64, 23);
+        let (messi, _) = build(&data, &cfg(4));
+        let queries = DatasetKind::Synthetic.queries(5, 64, 23);
+        for q in queries.iter() {
+            for k in [1usize, 5, 12] {
+                let exact = dsidx_ucr::brute_force_knn(&data, q, k);
+                let (approx, stats) = approx_knn(&messi, &data, q, k);
+                assert!(approx.len() <= k);
+                assert!(!approx.is_empty());
+                // Rank-wise: the approximate i-th distance never falls
+                // below the exact i-th (real distances of real series).
+                for (a, e) in approx.iter().zip(&exact) {
+                    assert!(a.dist_sq >= e.dist_sq - e.dist_sq * 1e-6);
+                }
+                // Approximate work is the leaf visit only.
+                assert!(stats.real_computed >= approx.len() as u64);
+                assert_eq!(stats.nodes_pruned, 0);
+                assert_eq!(stats.leaves_enqueued, 0);
+            }
+        }
+    }
+
+    #[test]
+    fn approx_knn_finds_indexed_series_exactly() {
+        let data = DatasetKind::Sald.generate(300, 64, 6);
+        let (messi, _) = build(&data, &cfg(3));
+        for pos in [0usize, 123, 299] {
+            let (m, _) = approx_knn(&messi, &data, data.get(pos), 1);
+            assert_eq!(m[0].pos as usize, pos);
+            assert_eq!(m[0].dist_sq, 0.0);
+        }
+    }
+
+    #[test]
+    fn approx_knn_on_empty_index_is_empty() {
+        let data = Dataset::new(64).unwrap();
+        let (messi, _) = build(&data, &cfg(2));
+        let (got, stats) = approx_knn(&messi, &data, &vec![0.0; 64], 4);
+        assert!(got.is_empty());
+        assert_eq!(stats, QueryStats::default());
     }
 
     #[test]

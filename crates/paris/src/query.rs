@@ -18,10 +18,12 @@
 use crate::build::ParisIndex;
 use dsidx_query::{
     approx_leaf, batch_collect_candidates, batch_seed_positions, batch_seed_prefix,
-    batch_verify_candidates, collect_candidates, seed_from_entries, verify_candidates,
-    AtomicQueryStats, BatchCandidate, BatchStats, PreparedQuery, Pruner, QueryBatch, QueryStats,
-    SeriesFetcher,
+    batch_verify_candidates, collect_candidates, finish_knn, seed_from_entries, verify_candidates,
+    AtomicQueryStats, BatchCandidate, BatchStats, DtwPrepared, PreparedQuery, Pruner, QueryBatch,
+    QueryStats, SeriesFetcher, SharedTopK,
 };
+use dsidx_series::distance::dtw::{dtw_sq_bounded, lb_keogh_sq_bounded};
+use dsidx_series::distance::euclidean_sq_bounded;
 use dsidx_series::Match;
 use dsidx_storage::{LeafHandle, RawSource, StorageError};
 use dsidx_sync::{AtomicBest, WorkQueue};
@@ -36,6 +38,13 @@ const REAL_CHUNK: usize = 16;
 /// quantile of the distance distribution, where the k-th of a bare-k
 /// sample would be the sample maximum (no pruning power at all).
 const KNN_WARM_PER_NEIGHBOR: usize = 4;
+/// Sketch-nearest probes per requested neighbor in approximate mode
+/// (floored at [`APPROX_PROBE_MIN`]): verifying a few times k of the
+/// best-sketch positions keeps the answer quality high while staying a
+/// tiny fraction of the exact candidate list.
+const APPROX_PROBE_PER_NEIGHBOR: usize = 4;
+/// Minimum sketch-nearest probes whatever the k.
+const APPROX_PROBE_MIN: usize = 16;
 
 /// Charges the on-disk read-back of one materialized leaf to the leaf
 /// store's device (a no-op for in-memory builds).
@@ -308,6 +317,140 @@ pub fn exact_knn_batch(
     Ok(batch.finish(2, QueryStats::default()))
 }
 
+/// *Approximate* k-NN through the ParIS index by **sketch-nearest**
+/// probing: one serial pass over the SAX array (the sketches) lower-bounds
+/// every position, the few-times-k positions with the smallest sketch
+/// distances are fetched and verified with real Euclidean distances, and
+/// the k nearest of those probes are returned — no pool broadcast, no
+/// exhaustive verification.
+///
+/// Every reported distance is a real distance to a real series, so it is
+/// never below the exact answer at the same rank; the positions may
+/// differ. Empty for an empty index.
+///
+/// # Errors
+/// Propagates raw-source I/O failures.
+///
+/// # Panics
+/// Panics if the query length differs from the configured series length or
+/// `k == 0`.
+pub fn approx_knn(
+    paris: &ParisIndex,
+    source: &impl RawSource,
+    query: &[f32],
+    k: usize,
+) -> Result<(Vec<Match>, QueryStats), StorageError> {
+    let config = paris.index.config();
+    assert_eq!(query.len(), config.series_len(), "query length mismatch");
+    let prep = PreparedQuery::new(config.quantizer(), query);
+    sketch_nearest(
+        paris,
+        source,
+        k,
+        |word| prep.table.lookup(word),
+        move |series, limit, stats| {
+            if let Some(d) = euclidean_sq_bounded(query, series, limit) {
+                stats.real_computed += 1;
+                Some(d)
+            } else {
+                None
+            }
+        },
+    )
+}
+
+/// *Approximate* k-NN under banded DTW through the ParIS index: the same
+/// sketch-nearest probing as [`approx_knn`], using the interval (envelope)
+/// sketch bound to rank positions and paying the LB_Keogh →
+/// early-abandoned banded DTW cascade for the probes.
+///
+/// # Errors
+/// Propagates raw-source I/O failures.
+///
+/// # Panics
+/// Panics if the query length differs from the configured series length or
+/// `k == 0`.
+pub fn approx_knn_dtw(
+    paris: &ParisIndex,
+    source: &impl RawSource,
+    query: &[f32],
+    band: usize,
+    k: usize,
+) -> Result<(Vec<Match>, QueryStats), StorageError> {
+    let config = paris.index.config();
+    assert_eq!(query.len(), config.series_len(), "query length mismatch");
+    let prep = DtwPrepared::new(config.quantizer(), query, band);
+    sketch_nearest(
+        paris,
+        source,
+        k,
+        |word| prep.table.lookup(word),
+        move |series, limit, stats| {
+            stats.lb_keogh_computed += 1;
+            if lb_keogh_sq_bounded(series, &prep.lo_env, &prep.hi_env, limit).is_none() {
+                stats.lb_keogh_pruned += 1;
+                return None;
+            }
+            if let Some(d) = dtw_sq_bounded(query, series, band, limit) {
+                stats.real_computed += 1;
+                Some(d)
+            } else {
+                stats.dtw_abandoned += 1;
+                None
+            }
+        },
+    )
+}
+
+/// The shared sketch-nearest schedule behind both approximate measures:
+/// rank every SAX word by `bound`, verify the best few-times-k positions
+/// through `verify` (which charges its own counters and returns a full
+/// real distance when one was paid).
+fn sketch_nearest(
+    paris: &ParisIndex,
+    source: &impl RawSource,
+    k: usize,
+    bound: impl Fn(&dsidx_isax::Word) -> f32,
+    mut verify: impl FnMut(&[f32], f32, &mut QueryStats) -> Option<f32>,
+) -> Result<(Vec<Match>, QueryStats), StorageError> {
+    let topk = SharedTopK::new(k);
+    if paris.index.is_empty() {
+        return Ok(finish_knn(&topk, None));
+    }
+    let words = paris.sax.words();
+    let mut stats = QueryStats {
+        lb_computed: words.len() as u64,
+        ..QueryStats::default()
+    };
+    let mut sketched: Vec<(f32, u32)> = words
+        .iter()
+        .enumerate()
+        .map(|(pos, w)| (bound(w), pos as u32))
+        .collect();
+    let probe = k
+        .saturating_mul(APPROX_PROBE_PER_NEIGHBOR)
+        .max(APPROX_PROBE_MIN)
+        .min(sketched.len());
+    if probe < sketched.len() {
+        // Deterministic selection: ties on the sketch distance break by
+        // position, so the probed set never depends on sort internals.
+        sketched.select_nth_unstable_by(probe - 1, |a, b| a.0.total_cmp(&b.0).then(a.1.cmp(&b.1)));
+        sketched.truncate(probe);
+    }
+    stats.candidates = sketched.len() as u64;
+    // Fetch in position order (sequential-friendly for on-disk sources).
+    sketched.sort_unstable_by_key(|&(_, pos)| pos);
+    let mut fetcher = SeriesFetcher::new(source);
+    for &(_, pos) in &sketched {
+        let series = fetcher.fetch(pos as usize)?;
+        let limit = topk.threshold_sq();
+        if let Some(d) = verify(series, limit, &mut stats) {
+            topk.insert(d, pos);
+        }
+    }
+    Ok(finish_knn(&topk, Some(stats)))
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -496,6 +639,64 @@ mod tests {
                 assert_eq!(m, first);
             }
         }
+    }
+
+    #[test]
+    fn approx_knn_never_beats_exact_on_memory_and_disk() {
+        let data = DatasetKind::Synthetic.generate(600, 64, 67);
+        let (paris, _) = build_in_memory(&data, &cfg(4));
+        let queries = DatasetKind::Synthetic.queries(4, 64, 67);
+        for q in queries.iter() {
+            for k in [1usize, 5, 12] {
+                let exact = dsidx_ucr::brute_force_knn(&data, q, k);
+                let (approx, stats) = approx_knn(&paris, &data, q, k).unwrap();
+                assert_eq!(approx.len(), k.min(data.len()));
+                for (a, e) in approx.iter().zip(&exact) {
+                    assert!(a.dist_sq >= e.dist_sq - e.dist_sq * 1e-6, "k={k}");
+                }
+                // Sketch pass bounds every position; probes stay few.
+                assert_eq!(stats.lb_computed, 600);
+                assert!(stats.candidates <= 600);
+                assert!(stats.candidates >= k as u64);
+                let exact_dtw = dsidx_ucr::brute_force_dtw_knn(&data, q, 4, k);
+                let (approx_dtw, _) = approx_knn_dtw(&paris, &data, q, 4, k).unwrap();
+                for (a, e) in approx_dtw.iter().zip(&exact_dtw) {
+                    assert!(a.dist_sq >= e.dist_sq - e.dist_sq * 1e-6, "dtw k={k}");
+                }
+            }
+        }
+        // The on-disk index gives the same approximate answers.
+        let path = tmp("approx.dsidx");
+        write_dataset(&path, &data, Arc::new(Device::unthrottled())).unwrap();
+        let file = DatasetFile::open(&path, Arc::new(Device::unthrottled())).unwrap();
+        let (paris_d, _) =
+            build_on_disk(&file, &tmp("approx.leaf"), &cfg(3), Overlap::ParisPlus).unwrap();
+        for q in queries.iter() {
+            let (mem, _) = approx_knn(&paris_d, &data, q, 5).unwrap();
+            let (disk, _) = approx_knn(&paris_d, &file, q, 5).unwrap();
+            assert_eq!(
+                mem.iter().map(|m| m.pos).collect::<Vec<_>>(),
+                disk.iter().map(|m| m.pos).collect::<Vec<_>>()
+            );
+        }
+    }
+
+    #[test]
+    fn approx_knn_finds_planted_twin_and_handles_empty() {
+        // The query IS a collection member: its sketch distance is 0, so
+        // the probe set must contain it and approximate k-NN returns it.
+        let data = DatasetKind::Seismic.generate(400, 64, 21);
+        let (paris, _) = build_in_memory(&data, &cfg(3));
+        for pos in [0usize, 200, 399] {
+            let (m, _) = approx_knn(&paris, &data, data.get(pos), 1).unwrap();
+            assert_eq!(m[0].pos as usize, pos);
+            assert_eq!(m[0].dist_sq, 0.0);
+        }
+        let empty = dsidx_series::Dataset::new(64).unwrap();
+        let (paris, _) = build_in_memory(&empty, &cfg(2));
+        let (m, stats) = approx_knn(&paris, &empty, &vec![0.0; 64], 3).unwrap();
+        assert!(m.is_empty());
+        assert_eq!(stats, QueryStats::default());
     }
 
     #[test]

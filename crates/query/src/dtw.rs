@@ -1,0 +1,351 @@
+//! DTW query preparation and the batched DTW kernel loops.
+//!
+//! A banded-DTW query carries more prepared state than a Euclidean one:
+//! the LB_Keogh envelope of the query, the PAA bounds of that envelope,
+//! and the *interval* MINDIST tables built from those bounds (a point
+//! query lower-bounds candidates from its own PAA; a warped query must
+//! lower-bound them from everything the band allows). [`DtwPrepared`]
+//! packages all of it, built once per query.
+//!
+//! The batch loops here are the DTW generalizations of the ED loops in
+//! [`batch`](crate::batch): a [`QueryBatch`] supplies the per-query
+//! pruners and counters, a `&[DtwPrepared]` (index-aligned with the
+//! batch's slots) supplies the per-query envelopes, and each fetched
+//! series pays the cascade — interval iSAX bound → LB_Keogh → early-
+//! abandoned banded DTW — against every active query in one data pass.
+
+use crate::batch::QueryBatch;
+use crate::fetch::SeriesFetcher;
+use crate::stats::QueryStats;
+use dsidx_isax::paa::envelope_paa_bounds;
+use dsidx_isax::{MindistTable, NodeMindistTable, Quantizer};
+use dsidx_series::distance::dtw::{dtw_sq, dtw_sq_bounded, envelope, lb_keogh_sq_bounded};
+use dsidx_series::Dataset;
+use dsidx_storage::{RawSource, StorageError};
+use dsidx_sync::Pruner;
+use dsidx_tree::LeafEntry;
+
+/// Everything a banded-DTW query needs before touching index structures:
+/// the query envelope (for LB_Keogh), its per-segment PAA bounds, and the
+/// interval word-level MINDIST table (for SAX-array and leaf-entry
+/// bounds). The DTW counterpart of [`PreparedQuery`](crate::PreparedQuery).
+#[derive(Debug, Clone)]
+pub struct DtwPrepared {
+    /// Lower envelope of the query under the band (length = series length).
+    pub lo_env: Vec<f32>,
+    /// Upper envelope of the query under the band.
+    pub hi_env: Vec<f32>,
+    /// Segment-min of the lower envelope (PAA bound).
+    lo_paa: Vec<f32>,
+    /// Segment-max of the upper envelope (PAA bound).
+    hi_paa: Vec<f32>,
+    /// Interval word-level MINDIST table — a sound DTW lower bound.
+    pub table: MindistTable,
+}
+
+impl DtwPrepared {
+    /// Builds the DTW prepared state for `query` under a Sakoe-Chiba band
+    /// of half-width `band`.
+    ///
+    /// # Panics
+    /// Panics if the query length differs from the quantizer's series
+    /// length (engines assert this at their API boundary).
+    #[must_use]
+    pub fn new(quantizer: &Quantizer, query: &[f32], band: usize) -> Self {
+        let mut lo_env = Vec::new();
+        let mut hi_env = Vec::new();
+        envelope(query, band, &mut lo_env, &mut hi_env);
+        let segments = quantizer.segment_lens().len();
+        let mut lo_paa = vec![0.0f32; segments];
+        let mut hi_paa = vec![0.0f32; segments];
+        envelope_paa_bounds(&lo_env, &hi_env, &mut lo_paa, &mut hi_paa);
+        let table = MindistTable::new_interval(&lo_paa, &hi_paa, quantizer.segment_lens());
+        Self {
+            lo_env,
+            hi_env,
+            lo_paa,
+            hi_paa,
+            table,
+        }
+    }
+
+    /// Builds the interval node-level table for tree-traversing engines
+    /// (MESSI). Separate from construction because scan-based consumers
+    /// never need it.
+    #[must_use]
+    pub fn node_table(&self, quantizer: &Quantizer) -> NodeMindistTable {
+        NodeMindistTable::new_interval(&self.lo_paa, &self.hi_paa, quantizer.segment_lens())
+    }
+}
+
+/// Seeds the pruner with the full banded-DTW distance of every entry in
+/// the approximate leaf — the DTW counterpart of
+/// [`seed_from_entries`](crate::seed::seed_from_entries). Returns the
+/// number of real (full) DTW distances computed.
+///
+/// # Errors
+/// Propagates raw-source I/O failures.
+pub fn seed_from_entries_dtw<P: Pruner>(
+    entries: &[LeafEntry],
+    fetcher: &mut SeriesFetcher<'_, impl RawSource>,
+    query: &[f32],
+    band: usize,
+    pruner: &P,
+) -> Result<u64, StorageError> {
+    for e in entries {
+        let series = fetcher.fetch(e.pos as usize)?;
+        pruner.insert(dtw_sq(query, series, band), e.pos);
+    }
+    Ok(entries.len() as u64)
+}
+
+/// Seeds every query in a DTW batch from the (deduplicated) `positions`:
+/// each series is fetched once and pays an early-abandoned banded DTW
+/// against every query — the DTW counterpart of
+/// [`batch_seed_positions`](crate::batch::batch_seed_positions).
+///
+/// # Errors
+/// Propagates raw-source I/O failures.
+pub fn batch_seed_positions_dtw(
+    positions: &[u32],
+    fetcher: &mut SeriesFetcher<'_, impl RawSource>,
+    batch: &QueryBatch<'_>,
+    band: usize,
+) -> Result<(), StorageError> {
+    if batch.is_empty() || positions.is_empty() {
+        return Ok(());
+    }
+    let mut locals = vec![QueryStats::default(); batch.len()];
+    for &pos in positions {
+        let series = fetcher.fetch(pos as usize)?;
+        for (slot, local) in batch.slots().iter().zip(&mut locals) {
+            let limit = slot.topk.threshold_sq();
+            if let Some(d) = dtw_sq_bounded(slot.values, series, band, limit) {
+                slot.topk.insert(d, pos);
+                local.real_computed += 1;
+            } else {
+                local.dtw_abandoned += 1;
+            }
+        }
+    }
+    batch.merge_locals(&locals);
+    batch.count_io(
+        positions.len() as u64,
+        positions.len() as u64 * batch.len() as u64,
+    );
+    Ok(())
+}
+
+/// The full DTW pruning cascade over one leaf's entries for every query in
+/// `active` (indices into the batch's slots whose leaf-level bound
+/// survived): interval iSAX bound → LB_Keogh on the raw series →
+/// early-abandoned banded DTW, each stage pruning against that query's
+/// current threshold. The leaf is processed *once* for the whole batch —
+/// the DTW counterpart of
+/// [`batch_process_leaf_entries`](crate::batch::batch_process_leaf_entries).
+///
+/// `preps` is index-aligned with the batch's slots.
+///
+/// # Panics
+/// Panics if `preps` is not one prepared state per query.
+pub fn batch_process_leaf_entries_dtw(
+    entries: &[LeafEntry],
+    data: &Dataset,
+    batch: &QueryBatch<'_>,
+    active: &[usize],
+    preps: &[DtwPrepared],
+    band: usize,
+    locals: &mut [QueryStats],
+) {
+    assert_eq!(preps.len(), batch.len(), "one DtwPrepared per query");
+    let (mut fetches, mut requests) = (0u64, 0u64);
+    for e in entries {
+        let mut series: Option<&[f32]> = None;
+        for &qi in active {
+            let slot = &batch.slots()[qi];
+            let prep = &preps[qi];
+            locals[qi].lb_entry_computed += 1;
+            let limit = slot.topk.threshold_sq();
+            if prep.table.lookup(&e.word) >= limit {
+                continue;
+            }
+            let s = *series.get_or_insert_with(|| data.get(e.pos as usize));
+            requests += 1;
+            locals[qi].lb_keogh_computed += 1;
+            if lb_keogh_sq_bounded(s, &prep.lo_env, &prep.hi_env, limit).is_none() {
+                locals[qi].lb_keogh_pruned += 1;
+                continue;
+            }
+            if let Some(d) = dtw_sq_bounded(slot.values, s, band, limit) {
+                slot.topk.insert(d, e.pos);
+                locals[qi].real_computed += 1;
+            } else {
+                locals[qi].dtw_abandoned += 1;
+            }
+        }
+        if series.is_some() {
+            fetches += 1;
+        }
+    }
+    batch.count_io(fetches, requests);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::stats::QueryStats;
+    use dsidx_series::gen::DatasetKind;
+    use dsidx_tree::TreeConfig;
+
+    fn fixture(n: usize) -> (Dataset, TreeConfig) {
+        let config = TreeConfig::new(64, 8, 16).unwrap();
+        let data = DatasetKind::Synthetic.generate(n, 64, 5);
+        (data, config)
+    }
+
+    fn brute_dtw_topk(data: &Dataset, q: &[f32], band: usize, k: usize) -> Vec<(f32, u32)> {
+        let mut all: Vec<(f32, u32)> = data
+            .iter()
+            .enumerate()
+            .map(|(pos, s)| (dtw_sq(q, s, band), pos as u32))
+            .collect();
+        all.sort_unstable_by(|a, b| a.0.partial_cmp(&b.0).unwrap().then(a.1.cmp(&b.1)));
+        all.truncate(k);
+        all
+    }
+
+    #[test]
+    fn interval_table_lower_bounds_dtw() {
+        let (data, config) = fixture(200);
+        let quantizer = config.quantizer();
+        let qs = DatasetKind::Synthetic.queries(3, 64, 9);
+        for band in [0usize, 3, 6] {
+            for q in qs.iter() {
+                let prep = DtwPrepared::new(quantizer, q, band);
+                for s in data.iter() {
+                    let word = quantizer.word(s);
+                    let lb = prep.table.lookup(&word);
+                    let d = dtw_sq(q, s, band);
+                    assert!(
+                        lb <= d + d.abs() * 1e-4 + 1e-4,
+                        "interval bound {lb} exceeds DTW {d} (band {band})"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn envelope_matches_direct_computation() {
+        let (_, config) = fixture(1);
+        let q = DatasetKind::Sald.queries(1, 64, 3);
+        let prep = DtwPrepared::new(config.quantizer(), q.get(0), 4);
+        let mut lo = Vec::new();
+        let mut hi = Vec::new();
+        envelope(q.get(0), 4, &mut lo, &mut hi);
+        assert_eq!(prep.lo_env, lo);
+        assert_eq!(prep.hi_env, hi);
+    }
+
+    #[test]
+    fn seed_from_entries_dtw_finds_leaf_minimum() {
+        let (data, config) = fixture(100);
+        let quantizer = config.quantizer();
+        let entries: Vec<LeafEntry> = (0..20u32)
+            .map(|pos| LeafEntry::new(quantizer.word(data.get(pos as usize)), pos))
+            .collect();
+        let q = data.get(7);
+        let topk = dsidx_sync::SharedTopK::new(1);
+        let mut fetcher = SeriesFetcher::new(&data);
+        let reals = seed_from_entries_dtw(&entries, &mut fetcher, q, 3, &topk).unwrap();
+        assert_eq!(reals, 20);
+        // Series 7 is among the entries, so its DTW distance of 0 wins.
+        assert_eq!(topk.matches(), vec![(0.0, 7)]);
+    }
+
+    #[test]
+    fn batched_leaf_cascade_equals_brute_force() {
+        let (data, config) = fixture(250);
+        let quantizer = config.quantizer();
+        let entries: Vec<LeafEntry> = data
+            .iter()
+            .enumerate()
+            .map(|(pos, s)| LeafEntry::new(quantizer.word(s), pos as u32))
+            .collect();
+        let qs = DatasetKind::Synthetic.queries(4, 64, 13);
+        let qrefs: Vec<&[f32]> = qs.iter().collect();
+        let band = 4;
+        for k in [1usize, 5] {
+            let batch = QueryBatch::new(quantizer, &qrefs, k);
+            let preps: Vec<DtwPrepared> = qrefs
+                .iter()
+                .map(|q| DtwPrepared::new(quantizer, q, band))
+                .collect();
+            let active: Vec<usize> = (0..batch.len()).collect();
+            let mut locals = vec![QueryStats::default(); batch.len()];
+            batch_process_leaf_entries_dtw(
+                &entries,
+                &data,
+                &batch,
+                &active,
+                &preps,
+                band,
+                &mut locals,
+            );
+            batch.merge_locals(&locals);
+            let (matches, stats) = batch.finish(0, QueryStats::default());
+            for (qi, q) in qs.iter().enumerate() {
+                let want = brute_dtw_topk(&data, q, band, k);
+                assert_eq!(
+                    matches[qi].iter().map(|m| m.pos).collect::<Vec<_>>(),
+                    want.iter().map(|w| w.1).collect::<Vec<_>>(),
+                    "q{qi} k={k}"
+                );
+                // Every entry paid an entry-level bound; survivors resolve
+                // to pruned, abandoned, or fully paid DTWs.
+                assert_eq!(stats.per_query[qi].lb_entry_computed, 250);
+                let q = &stats.per_query[qi];
+                assert_eq!(
+                    q.lb_keogh_pruned + q.dtw_abandoned + q.real_computed,
+                    q.lb_keogh_computed
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn batch_seeding_dtw_tightens_every_query() {
+        let (data, config) = fixture(60);
+        let qs = DatasetKind::Synthetic.queries(3, 64, 11);
+        let qrefs: Vec<&[f32]> = qs.iter().collect();
+        let batch = QueryBatch::new(config.quantizer(), &qrefs, 2);
+        let mut fetcher = SeriesFetcher::new(&data);
+        batch_seed_positions_dtw(&[3, 7, 19], &mut fetcher, &batch, 4).unwrap();
+        for slot in batch.slots() {
+            assert_eq!(slot.topk.len(), 2);
+            assert!(slot.topk.threshold_sq().is_finite());
+        }
+        let (_, stats) = batch.finish(0, QueryStats::default());
+        assert_eq!(stats.series_fetched, 3);
+        assert_eq!(stats.series_requests, 9);
+        for q in &stats.per_query {
+            // Every position resolves to a full or an abandoned DTW.
+            assert_eq!(q.real_computed + q.dtw_abandoned, 3);
+            assert!(q.real_computed >= 2);
+        }
+    }
+
+    #[test]
+    fn empty_batch_and_empty_positions_are_no_ops() {
+        let (data, config) = fixture(10);
+        let batch = QueryBatch::new(config.quantizer(), &[], 2);
+        let mut fetcher = SeriesFetcher::new(&data);
+        batch_seed_positions_dtw(&[1, 2], &mut fetcher, &batch, 3).unwrap();
+        let qs = DatasetKind::Synthetic.queries(1, 64, 1);
+        let qrefs: Vec<&[f32]> = qs.iter().collect();
+        let batch = QueryBatch::new(config.quantizer(), &qrefs, 2);
+        batch_seed_positions_dtw(&[], &mut fetcher, &batch, 3).unwrap();
+        let (_, stats) = batch.finish(0, QueryStats::default());
+        assert_eq!(stats.series_fetched, 0);
+    }
+}

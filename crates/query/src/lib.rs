@@ -22,7 +22,7 @@
 //! Every loop is generic over [`Pruner`] — the abstraction of "threshold
 //! read + candidate insert" — so the same kernel answers exact 1-NN (an
 //! [`AtomicBest`](dsidx_sync::AtomicBest) best-so-far) and exact k-NN (a
-//! [`SharedTopK`](dsidx_sync::SharedTopK) whose threshold is the k-th best
+//! [`SharedTopK`] whose threshold is the k-th best
 //! distance so far).
 //!
 //! The [`batch`] module generalizes all of it to query *batches*: a
@@ -33,6 +33,7 @@
 //! are the lean B = 1 specializations.
 
 pub mod batch;
+pub mod dtw;
 pub mod fetch;
 pub mod knn;
 pub mod prepare;
@@ -44,6 +45,9 @@ pub use batch::{
     batch_collect_candidates, batch_process_leaf_entries, batch_scan_sax_serial,
     batch_seed_positions, batch_seed_prefix, batch_verify_candidates, BatchCandidate, BatchSlot,
     BatchStats, QueryBatch,
+};
+pub use dtw::{
+    batch_process_leaf_entries_dtw, batch_seed_positions_dtw, seed_from_entries_dtw, DtwPrepared,
 };
 pub use fetch::SeriesFetcher;
 pub use knn::finish_knn;

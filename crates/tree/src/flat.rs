@@ -1,6 +1,6 @@
 //! A cache-conscious flattened view of a built index.
 //!
-//! The boxed [`Node`](crate::Node) graph is ideal for construction
+//! The boxed [`Node`] graph is ideal for construction
 //! (independent subtrees, in-place splits) but miserable for traversal:
 //! every node visit is a pointer chase. Query answering in MESSI touches
 //! tens of thousands of nodes per query, so after construction the tree is
@@ -44,7 +44,7 @@ impl FlatNode {
         self.one_child == NO_CHILD
     }
 
-    /// The subtree's entry range within [`FlatTree::entries`] (for leaves:
+    /// The subtree's entry range within the flat entry array (for leaves:
     /// exactly their own entries).
     #[inline]
     #[must_use]

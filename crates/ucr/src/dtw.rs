@@ -1,6 +1,6 @@
 //! UCR-style scans under Dynamic Time Warping (the paper's §V extension).
 
-use dsidx_query::{finish_knn, AtomicQueryStats, QueryStats, SharedTopK};
+use dsidx_query::{finish_knn, AtomicQueryStats, BatchStats, QueryStats, SharedTopK};
 use dsidx_series::distance::dtw::{dtw_sq_bounded, envelope, lb_keogh_sq_bounded};
 use dsidx_series::{Dataset, Match};
 use dsidx_sync::{AtomicBest, Pruner, WorkQueue};
@@ -164,6 +164,125 @@ fn scan_dtw_parallel_pruner<P: Pruner>(
     stats
 }
 
+/// Exact k-NN under banded DTW for a *batch* of queries by one parallel
+/// scan: each position's series is read once and pays the LB_Keogh →
+/// early-abandoned-DTW cascade against every query in the batch — one
+/// data pass, B threshold checks, a single pool broadcast. The index-free
+/// batched-DTW baseline (and the fallback the facade uses for engines
+/// without a DTW index path).
+///
+/// Answers are element-wise identical to calling
+/// [`knn_dtw_parallel_with_stats`] per query; the [`BatchStats`] report the
+/// single broadcast and the shared reads.
+///
+/// # Panics
+/// Panics if any query length differs from the dataset's series length,
+/// `threads == 0`, or `k == 0`.
+#[must_use]
+pub fn knn_dtw_batch_parallel_with_stats(
+    data: &Dataset,
+    queries: &[&[f32]],
+    band: usize,
+    k: usize,
+    threads: usize,
+) -> (Vec<Vec<Match>>, BatchStats) {
+    assert!(threads > 0, "thread count must be non-zero");
+    for q in queries {
+        assert_eq!(q.len(), data.series_len(), "query length mismatch");
+    }
+    struct Slot<'q> {
+        query: &'q [f32],
+        lower: Vec<f32>,
+        upper: Vec<f32>,
+        topk: SharedTopK,
+        stats: AtomicQueryStats,
+    }
+    let slots: Vec<Slot<'_>> = queries
+        .iter()
+        .map(|&query| {
+            let mut lower = Vec::new();
+            let mut upper = Vec::new();
+            envelope(query, band, &mut lower, &mut upper);
+            Slot {
+                query,
+                lower,
+                upper,
+                topk: SharedTopK::new(k),
+                stats: AtomicQueryStats::new(),
+            }
+        })
+        .collect();
+    if data.is_empty() || slots.is_empty() {
+        let per_query = vec![QueryStats::default(); slots.len()];
+        return (
+            vec![Vec::new(); slots.len()],
+            BatchStats {
+                per_query,
+                ..BatchStats::default()
+            },
+        );
+    }
+
+    // Position 0 seeds every query with one unconditional full DTW, like
+    // the single-query scan.
+    for slot in &slots {
+        let first = dsidx_series::distance::dtw::dtw_sq(slot.query, data.get(0), band);
+        slot.topk.insert(first, 0);
+    }
+
+    let queue = WorkQueue::new(data.len());
+    let pool = dsidx_sync::pool::global(threads);
+    pool.broadcast(&|_worker| {
+        // Accumulate locally, merge once per worker (see `AtomicQueryStats`).
+        let mut locals = vec![QueryStats::default(); slots.len()];
+        while let Some(range) = queue.claim_chunk(64) {
+            for pos in range {
+                let series = data.get(pos);
+                for (slot, local) in slots.iter().zip(&mut locals) {
+                    let limit = slot.topk.threshold_sq();
+                    local.lb_keogh_computed += 1;
+                    if lb_keogh_sq_bounded(series, &slot.lower, &slot.upper, limit).is_none() {
+                        local.lb_keogh_pruned += 1;
+                        continue;
+                    }
+                    if let Some(d) = dtw_sq_bounded(slot.query, series, band, limit) {
+                        local.real_computed += 1;
+                        slot.topk.insert(d, pos as u32);
+                    } else {
+                        local.dtw_abandoned += 1;
+                    }
+                }
+            }
+        }
+        for (slot, local) in slots.iter().zip(&locals) {
+            slot.stats.merge(local);
+        }
+    });
+
+    let mut matches = Vec::with_capacity(slots.len());
+    let mut per_query = Vec::with_capacity(slots.len());
+    for slot in &slots {
+        let (m, mut s) = finish_knn(&slot.topk, Some(slot.stats.snapshot()));
+        // Position 0 paid one unconditional full DTW for the seed.
+        s.real_computed += 1;
+        matches.push(m);
+        per_query.push(s);
+    }
+    let n = data.len() as u64;
+    (
+        matches,
+        BatchStats {
+            broadcasts: 1,
+            series_fetched: n,
+            // Every fetched series is examined (LB_Keogh reads the raw
+            // values) by every query in the batch.
+            series_requests: n * queries.len() as u64,
+            shared: QueryStats::default(),
+            per_query,
+        },
+    )
+}
+
 /// Brute-force banded DTW k-NN (test oracle; no lower bounds, no
 /// abandons): the `k` smallest DTW distances sorted ascending by
 /// `(distance, position)`.
@@ -290,6 +409,49 @@ mod tests {
             assert_eq!(knn.len(), 1);
             assert_eq!(knn[0].pos, nn.pos);
         }
+    }
+
+    #[test]
+    fn knn_dtw_batch_equals_sequential_and_brute_force() {
+        let data = DatasetKind::Sald.generate(180, 48, 19);
+        let qs = DatasetKind::Sald.queries(5, 48, 19);
+        let qrefs: Vec<&[f32]> = qs.iter().collect();
+        for band in [0usize, 4] {
+            for k in [1usize, 6] {
+                for threads in [1usize, 3] {
+                    let (batched, stats) =
+                        knn_dtw_batch_parallel_with_stats(&data, &qrefs, band, k, threads);
+                    assert_eq!(stats.broadcasts, 1);
+                    assert!(stats.broadcasts_per_query() < 1.0);
+                    assert_eq!(stats.series_fetched, 180);
+                    for (qi, q) in qs.iter().enumerate() {
+                        let want = brute_force_dtw_knn(&data, q, band, k);
+                        let (single, _) = knn_dtw_parallel_with_stats(&data, q, band, k, threads);
+                        assert_eq!(
+                            batched[qi].iter().map(|m| m.pos).collect::<Vec<_>>(),
+                            want.iter().map(|m| m.pos).collect::<Vec<_>>(),
+                            "q{qi} band={band} k={k} x{threads}"
+                        );
+                        assert_eq!(batched[qi], single, "q{qi} band={band} k={k} x{threads}");
+                        // Every position pays one LB_Keogh per query.
+                        assert_eq!(stats.per_query[qi].lb_keogh_computed, 180);
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn knn_dtw_batch_on_empty_inputs() {
+        let data = Dataset::new(8).unwrap();
+        let q = [0.0f32; 8];
+        let (m, stats) = knn_dtw_batch_parallel_with_stats(&data, &[&q], 2, 3, 2);
+        assert_eq!(m, vec![Vec::new()]);
+        assert_eq!(stats.broadcasts, 0);
+        let data = DatasetKind::Synthetic.generate(20, 8, 1);
+        let (m, stats) = knn_dtw_batch_parallel_with_stats(&data, &[], 2, 3, 2);
+        assert!(m.is_empty());
+        assert!(stats.per_query.is_empty());
     }
 
     #[test]

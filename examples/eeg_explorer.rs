@@ -36,12 +36,16 @@ fn main() -> Result<(), Error> {
     // The exploration session: 12 hops, each query derived from the
     // previous answer.
     println!("\nexploration session (each hop = 1 exact query):");
+    let nn = QuerySpec::nn();
     let mut current: Vec<f32> = seed_query.get(0).to_vec();
     let mut visited: Vec<u32> = Vec::new();
     let session_start = Instant::now();
     for hop in 0..12 {
         let t = Instant::now();
-        let hit = index.nn(&current)?.expect("non-empty");
+        let hit = index
+            .search(&[current.as_slice()], &nn)?
+            .into_nn()
+            .expect("non-empty");
         let dt = t.elapsed();
         println!(
             "  hop {hop:>2}: #{:<6} dist {:.4}  in {dt:.2?}",
@@ -64,16 +68,30 @@ fn main() -> Result<(), Error> {
         scan_time * visited.len() as u32
     );
 
-    // Pruning effectiveness on this hard (EEG-like) distribution, using
-    // the engine crate directly for instrumentation.
-    let cfg =
-        dsidx::messi::MessiConfig::new(options.tree_config(len)?, options.effective_threads());
-    let (messi, _) = dsidx::messi::build(&data, &cfg);
-    let (_, stats) =
-        dsidx::messi::exact_nn(&messi, &data, seed_query.get(0), &cfg).expect("non-empty");
+    // Pruning effectiveness on this hard (EEG-like) distribution — the
+    // work counters ride along on any spec via `.with_stats()`.
+    let answers = index.search(&[seed_query.get(0)], &QuerySpec::nn().with_stats())?;
+    let stats = answers.query_stats(0).expect("stats requested");
     println!(
         "\npruning on EEG-like data: {} leaves enqueued, {} processed, {} real distances for {n} series",
         stats.leaves_enqueued, stats.leaves_processed, stats.real_computed
+    );
+
+    // When a hop only needs a plausible next epoch (not the provable
+    // nearest), approximate fidelity answers from the best leaf alone.
+    let t = Instant::now();
+    let approx = index
+        .search(
+            &[seed_query.get(0)],
+            &QuerySpec::nn().fidelity(Fidelity::Approximate),
+        )?
+        .into_nn()
+        .expect("non-empty");
+    println!(
+        "approximate hop: #{:<6} dist {:.4} in {:.2?} (exact sibling above)",
+        approx.pos,
+        approx.dist(),
+        t.elapsed()
     );
     Ok(())
 }

@@ -1,5 +1,6 @@
 //! Quickstart: generate a collection, build each engine's index, answer
-//! exact nearest-neighbor queries.
+//! exact nearest-neighbor queries through the one query plane
+//! (`QuerySpec` + `Search::search`).
 //!
 //! Run with: `cargo run --release --example quickstart`
 
@@ -14,21 +15,19 @@ fn main() -> Result<(), Error> {
     println!("generating {n} random-walk series of length {len}...");
     let data = DatasetKind::Synthetic.generate(n, len, 42);
     let queries = DatasetKind::Synthetic.queries(5, len, 42);
+    let batch: Vec<&[f32]> = queries.iter().collect();
 
     let options = Options::default().with_leaf_capacity(100);
 
     // Build with every engine and compare answers: all four are *exact*,
-    // so they must agree.
+    // so they must agree. One `search` call answers the whole batch.
     for engine in [Engine::Ads, Engine::Paris, Engine::Messi] {
         let t0 = Instant::now();
         let index = MemoryIndex::build(data.clone(), engine, &options)?;
         let build = t0.elapsed();
 
         let t1 = Instant::now();
-        let mut answers = Vec::new();
-        for q in queries.iter() {
-            answers.push(index.nn(q)?.expect("non-empty dataset"));
-        }
+        let answers = index.search(&batch, &QuerySpec::nn())?;
         let query = t1.elapsed();
 
         let stats = index.stats();
@@ -42,19 +41,21 @@ fn main() -> Result<(), Error> {
             stats.leaf_count,
             stats.max_depth,
         );
-        for (i, m) in answers.iter().enumerate() {
+        for (i, _) in batch.iter().enumerate() {
+            let m = answers.best(i).expect("non-empty dataset");
             println!("    query {i}: nearest #{:<6} dist {:.4}", m.pos, m.dist());
         }
     }
 
     // Exact k-NN through the same indexes: the pruning threshold becomes
-    // the k-th best distance, so the answer set is exact for any k. `nn`
-    // is just the k = 1 special case.
+    // the k-th best distance, so the answer set is exact for any k.
+    // `QuerySpec::nn()` is just the k = 1 special case.
     let index = MemoryIndex::build(data.clone(), Engine::Messi, &options)?;
     let q = queries.get(0);
-    let (top5, stats) = index.knn_with_stats(q, 5)?;
+    let answers = index.search(&[q], &QuerySpec::knn(5).with_stats())?;
+    let stats = answers.query_stats(0).expect("stats requested");
     println!("\n5 nearest series for query 0 (MESSI):");
-    for (rank, m) in top5.iter().enumerate() {
+    for (rank, m) in answers.single().iter().enumerate() {
         println!("    {}. #{:<6} dist {:.4}", rank + 1, m.pos, m.dist());
     }
     println!(
@@ -62,14 +63,26 @@ fn main() -> Result<(), Error> {
         stats.lb_total(),
         stats.real_computed
     );
-    assert_eq!(top5[0], index.nn(q)?.expect("non-empty"));
+    let best = answers.best(0).copied().expect("non-empty");
+    assert_eq!(
+        best,
+        index
+            .search(&[q], &QuerySpec::nn())?
+            .into_nn()
+            .expect("non-empty")
+    );
 
-    // The MESSI index also answers DTW queries without rebuilding (§V).
-    let index = MemoryIndex::build(data, Engine::Messi, &options)?;
+    // The MESSI index also answers DTW queries without rebuilding (§V):
+    // a measure is one builder call, not another method family.
     let band = len / 20; // 5% Sakoe-Chiba band
-    let q = queries.get(0);
-    let ed = index.nn(q)?.expect("non-empty");
-    let dtw = index.nn_dtw(q, band)?.expect("non-empty");
+    let ed = index
+        .search(&[q], &QuerySpec::nn())?
+        .into_nn()
+        .expect("non-empty");
+    let dtw = index
+        .search(&[q], &QuerySpec::nn().measure(Measure::Dtw { band }))?
+        .into_nn()
+        .expect("non-empty");
     println!("\nsame index, both measures (query 0):");
     println!("    ED : #{:<6} dist {:.4}", ed.pos, ed.dist());
     println!(
@@ -77,5 +90,16 @@ fn main() -> Result<(), Error> {
         dtw.pos,
         dtw.dist()
     );
+
+    // Approximate answering: one more builder call trades exactness for a
+    // best-leaf visit. Reported distances never beat the exact answer.
+    let approx = index
+        .search(&[q], &QuerySpec::nn().fidelity(Fidelity::Approximate))?
+        .into_nn()
+        .expect("non-empty");
+    println!("\nexact vs approximate (query 0):");
+    println!("    exact : #{:<6} dist {:.4}", ed.pos, ed.dist());
+    println!("    approx: #{:<6} dist {:.4}", approx.pos, approx.dist());
+    assert!(approx.dist_sq >= ed.dist_sq);
     Ok(())
 }

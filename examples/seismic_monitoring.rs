@@ -34,7 +34,10 @@ fn main() -> Result<(), Error> {
     }
     znormalize(&mut template);
     let t1 = Instant::now();
-    let hit = index.nn(&template)?.expect("non-empty archive");
+    let hit = index
+        .search(&[template.as_slice()], &QuerySpec::nn())?
+        .into_nn()
+        .expect("non-empty archive");
     println!(
         "noisy replay of event #12345     -> matched #{:<6} dist {:.4}  ({:.2?})",
         hit.pos,
@@ -44,13 +47,23 @@ fn main() -> Result<(), Error> {
     assert_eq!(hit.pos, 12_345, "the planted event must be recovered");
 
     // Template 2: the same event arriving ~8 samples later (origin-time
-    // error). Euclidean distance is brittle to the shift; DTW absorbs it.
+    // error). Euclidean distance is brittle to the shift; DTW absorbs it —
+    // and switching measures is one builder call on the same spec.
     let mut shifted = archive.get(12_345).to_vec();
     shifted.rotate_right(8);
     znormalize(&mut shifted);
-    let ed_hit = index.nn(&shifted)?.expect("non-empty");
+    let ed_hit = index
+        .search(&[shifted.as_slice()], &QuerySpec::nn())?
+        .into_nn()
+        .expect("non-empty");
     let t2 = Instant::now();
-    let dtw_hit = index.nn_dtw(&shifted, 12)?.expect("non-empty");
+    let dtw_hit = index
+        .search(
+            &[shifted.as_slice()],
+            &QuerySpec::nn().measure(Measure::Dtw { band: 12 }),
+        )?
+        .into_nn()
+        .expect("non-empty");
     println!(
         "shifted arrival, Euclidean       -> matched #{:<6} dist {:.4}",
         ed_hit.pos,
@@ -67,16 +80,23 @@ fn main() -> Result<(), Error> {
         ed_hit.dist() / dtw_hit.dist().max(1e-6)
     );
 
-    // Batch screening: match a swarm of 50 fresh templates and report the
+    // Batch screening: match a swarm of 50 fresh templates in ONE search
+    // call (one engine schedule for the whole swarm) and report the
     // distance distribution — the interactive-analysis loop the paper's
     // introduction motivates.
     let swarm = DatasetKind::Seismic.queries(50, len, 7);
+    let swarm_batch: Vec<&[f32]> = swarm.iter().collect();
     let t3 = Instant::now();
-    let mut dists: Vec<f32> = Vec::new();
-    for q in swarm.iter() {
-        dists.push(index.nn(q)?.expect("non-empty").dist());
-    }
+    let answers = index.search(&swarm_batch, &QuerySpec::nn().with_stats())?;
+    let mut dists: Vec<f32> = (0..answers.len())
+        .map(|i| answers.best(i).expect("non-empty").dist())
+        .collect();
     let elapsed = t3.elapsed();
+    println!(
+        "\nswarm answered in {} pool broadcast(s) for {} queries",
+        answers.stats().expect("stats requested").broadcasts,
+        answers.len()
+    );
     dists.sort_by(f32::total_cmp);
     println!(
         "\nscreened {} templates in {:.1?} ({:.1?} per query)",

@@ -6,6 +6,8 @@
 //! path shares one schedule across all queries, so this is the statement
 //! that sharing never changes an answer.
 
+#![allow(deprecated)] // pins the legacy wrappers; tests/query_plane.rs relates them to QuerySpec
+
 use dsidx::prelude::*;
 use std::sync::Arc;
 

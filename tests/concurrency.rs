@@ -2,6 +2,8 @@
 //! index must all get exact answers, and answers must not depend on the
 //! degree of concurrency.
 
+#![allow(deprecated)] // pins the legacy wrappers; tests/query_plane.rs relates them to QuerySpec
+
 use dsidx::prelude::*;
 use dsidx::ucr::brute_force;
 use std::sync::Arc;

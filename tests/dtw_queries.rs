@@ -1,5 +1,7 @@
 //! The §V extension end to end: one index, two distance measures.
 
+#![allow(deprecated)] // pins the legacy wrappers; tests/query_plane.rs relates them to QuerySpec
+
 use dsidx::prelude::*;
 use dsidx::ucr::dtw::brute_force_dtw;
 

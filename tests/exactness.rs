@@ -2,6 +2,8 @@
 //! nearest neighbor on every dataset family — the index structures are
 //! *exact*, pruning only with sound lower bounds.
 
+#![allow(deprecated)] // pins the legacy wrappers; tests/query_plane.rs relates them to QuerySpec
+
 use dsidx::prelude::*;
 use dsidx::ucr::brute_force;
 

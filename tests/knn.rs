@@ -4,6 +4,8 @@
 //! including on datasets salted with exact duplicates, where the k-th
 //! boundary routinely falls inside a group of equal distances.
 
+#![allow(deprecated)] // pins the legacy wrappers; tests/query_plane.rs relates them to QuerySpec
+
 use dsidx::prelude::*;
 use dsidx::ucr::brute_force_knn;
 use std::sync::Arc;

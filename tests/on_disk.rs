@@ -1,6 +1,8 @@
 //! End-to-end on-disk behaviour: the facade's `DiskIndex` over real files
 //! with modeled devices, failure injection, device accounting.
 
+#![allow(deprecated)] // pins the legacy wrappers; tests/query_plane.rs relates them to QuerySpec
+
 use dsidx::prelude::*;
 use dsidx::storage::write_dataset;
 use dsidx::ucr::brute_force;
@@ -129,7 +131,7 @@ fn corrupt_files_error_cleanly() {
 }
 
 #[test]
-fn wrong_length_query_errors_or_panics_contained() {
+fn wrong_length_query_is_a_structured_error() {
     let dir = tmpdir("wrongq");
     let data = DatasetKind::Synthetic.generate(50, 64, 5);
     let path = dir.join("data.dsidx");
@@ -142,11 +144,23 @@ fn wrong_length_query_errors_or_panics_contained() {
         DeviceProfile::UNTHROTTLED,
     )
     .unwrap();
-    let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| idx.nn(&[0.0; 16])));
-    assert!(
-        result.is_err(),
-        "length mismatch is a programming error and panics"
-    );
+    // The query plane validates before any engine runs: a mis-sized query
+    // comes back as InvalidSpec::QueryLength (not a panic), through the
+    // new spelling and the legacy wrapper alike.
+    let short = [0.0f32; 16];
+    let e = idx.search(&[&short[..]], &QuerySpec::nn());
+    assert!(matches!(
+        e,
+        Err(Error::InvalidSpec(InvalidSpec::QueryLength {
+            expected: 64,
+            got: 16,
+            index: 0
+        }))
+    ));
+    assert!(matches!(
+        idx.nn(&[0.0; 16]),
+        Err(Error::InvalidSpec(InvalidSpec::QueryLength { .. }))
+    ));
 }
 
 #[test]

@@ -2,6 +2,8 @@
 //! queries, every engine's answer equals brute force — the system-level
 //! statement of the lower-bound soundness invariant.
 
+#![allow(deprecated)] // pins the legacy wrappers; tests/query_plane.rs relates them to QuerySpec
+
 use dsidx::prelude::*;
 use dsidx::ucr::{brute_force, dtw::brute_force_dtw};
 use proptest::prelude::*;

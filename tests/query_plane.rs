@@ -1,0 +1,292 @@
+//! The query-plane equivalence suite: every legacy facade method must
+//! return **bit-identical** results to its `QuerySpec` spelling, on every
+//! engine, in memory and on disk — the contract that lets the deprecated
+//! matrix be thin wrappers over `Search::search`. Plus the fidelity
+//! properties: approximate answers never report a distance below the
+//! exact answer at the same rank, and batched DTW equals sequential DTW
+//! element-wise.
+#![allow(deprecated)] // the legacy spellings are the subject under test
+
+use dsidx::prelude::*;
+use proptest::prelude::*;
+use std::sync::Arc;
+
+fn opts(threads: usize, leaf: usize) -> Options {
+    Options::default()
+        .with_threads(threads)
+        .with_leaf_capacity(leaf)
+}
+
+/// Bit-identical comparison: positions AND distance bit patterns.
+fn assert_bit_identical(old: &[Match], new: &[Match], label: &str) {
+    assert_eq!(old.len(), new.len(), "{label}: lengths differ");
+    for (o, n) in old.iter().zip(new) {
+        assert_eq!(o.pos, n.pos, "{label}: positions differ");
+        assert_eq!(
+            o.dist_sq.to_bits(),
+            n.dist_sq.to_bits(),
+            "{label}: distance bits differ at pos {}",
+            o.pos
+        );
+    }
+}
+
+#[test]
+fn memory_legacy_matrix_equals_queryspec_spelling() {
+    let data = DatasetKind::Synthetic.generate(350, 64, 4071);
+    let qs = DatasetKind::Synthetic.queries(4, 64, 4071);
+    let qrefs: Vec<&[f32]> = qs.iter().collect();
+    let (band, k) = (4usize, 5usize);
+    for engine in Engine::ALL {
+        let idx = MemoryIndex::build(data.clone(), engine, &opts(3, 16)).unwrap();
+        let name = engine.name();
+        let q = qrefs[0];
+
+        // nn == search(nn spec).
+        let old = idx.nn(q).unwrap();
+        let new = idx.search(&[q], &QuerySpec::nn()).unwrap().into_nn();
+        assert_eq!(old.map(|m| m.pos), new.map(|m| m.pos), "{name} nn");
+
+        // nn_with_stats == search(nn spec + stats).
+        let (old_m, _) = idx.nn_with_stats(q).unwrap().unwrap();
+        let answers = idx.search(&[q], &QuerySpec::nn().with_stats()).unwrap();
+        assert!(answers.stats().is_some());
+        assert_bit_identical(
+            &[old_m],
+            &[*answers.best(0).unwrap()],
+            &format!("{name} nn_with_stats"),
+        );
+
+        // knn / knn_with_stats == search(knn spec).
+        let old = idx.knn(q, k).unwrap();
+        let new = idx.search(&[q], &QuerySpec::knn(k)).unwrap().into_single();
+        assert_bit_identical(&old, &new, &format!("{name} knn"));
+        let (old, _) = idx.knn_with_stats(q, k).unwrap();
+        let (new, _) = idx
+            .search(&[q], &QuerySpec::knn(k).with_stats())
+            .unwrap()
+            .into_single_with_stats();
+        assert_bit_identical(&old, &new, &format!("{name} knn_with_stats"));
+
+        // nn_batch / knn_batch / knn_batch_with_stats == batched search.
+        let old = idx.nn_batch(&qrefs).unwrap();
+        let new = idx.search(&qrefs, &QuerySpec::nn()).unwrap();
+        for (qi, o) in old.iter().enumerate() {
+            assert_eq!(
+                o.map(|m| m.pos),
+                new.best(qi).map(|m| m.pos),
+                "{name} nn_batch q{qi}"
+            );
+        }
+        let old = idx.knn_batch(&qrefs, k).unwrap();
+        let new = idx
+            .search(&qrefs, &QuerySpec::knn(k))
+            .unwrap()
+            .into_matches();
+        for (qi, (o, n)) in old.iter().zip(&new).enumerate() {
+            assert_bit_identical(o, n, &format!("{name} knn_batch q{qi}"));
+        }
+        let (old, old_stats) = idx.knn_batch_with_stats(&qrefs, k).unwrap();
+        let (new, new_stats) = idx
+            .search(&qrefs, &QuerySpec::knn(k).with_stats())
+            .unwrap()
+            .into_parts_with_stats();
+        for (qi, (o, n)) in old.iter().zip(&new).enumerate() {
+            assert_bit_identical(o, n, &format!("{name} knn_batch_with_stats q{qi}"));
+        }
+        assert_eq!(old_stats.broadcasts, new_stats.broadcasts, "{name}");
+
+        // The DTW column: nn_dtw / knn_dtw (+ stats) == measure(Dtw).
+        let dtw = |spec: QuerySpec| spec.measure(Measure::Dtw { band });
+        let old = idx.nn_dtw(q, band).unwrap();
+        let new = idx.search(&[q], &dtw(QuerySpec::nn())).unwrap().into_nn();
+        assert_eq!(old.map(|m| m.pos), new.map(|m| m.pos), "{name} nn_dtw");
+        let (old_m, _) = idx.nn_dtw_with_stats(q, band).unwrap().unwrap();
+        let new = idx
+            .search(&[q], &dtw(QuerySpec::nn()).with_stats())
+            .unwrap();
+        assert_bit_identical(
+            &[old_m],
+            &[*new.best(0).unwrap()],
+            &format!("{name} nn_dtw_with_stats"),
+        );
+        let old = idx.knn_dtw(q, band, k).unwrap();
+        let new = idx
+            .search(&[q], &dtw(QuerySpec::knn(k)))
+            .unwrap()
+            .into_single();
+        assert_bit_identical(&old, &new, &format!("{name} knn_dtw"));
+        let (old, _) = idx.knn_dtw_with_stats(q, band, k).unwrap();
+        let (new, _) = idx
+            .search(&[q], &dtw(QuerySpec::knn(k)).with_stats())
+            .unwrap()
+            .into_single_with_stats();
+        assert_bit_identical(&old, &new, &format!("{name} knn_dtw_with_stats"));
+    }
+}
+
+#[test]
+fn disk_legacy_matrix_equals_queryspec_spelling() {
+    let dir = std::env::temp_dir().join(format!("dsidx-plane-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    let data = DatasetKind::Seismic.generate(250, 64, 17);
+    let path = dir.join("plane.dsidx");
+    dsidx::storage::write_dataset(&path, &data, Arc::new(Device::unthrottled())).unwrap();
+    let qs = DatasetKind::Seismic.queries(3, 64, 17);
+    let qrefs: Vec<&[f32]> = qs.iter().collect();
+    let k = 7usize;
+    for engine in [Engine::Ads, Engine::Paris, Engine::ParisPlus] {
+        let idx = DiskIndex::build(
+            &path,
+            &dir,
+            engine,
+            &opts(3, 16),
+            DeviceProfile::UNTHROTTLED,
+        )
+        .unwrap();
+        let name = engine.name();
+        let q = qrefs[0];
+
+        let old = idx.nn(q).unwrap();
+        let new = idx.search(&[q], &QuerySpec::nn()).unwrap().into_nn();
+        assert_eq!(old.map(|m| m.pos), new.map(|m| m.pos), "{name} nn");
+        let (old_m, _) = idx.nn_with_stats(q).unwrap().unwrap();
+        assert_eq!(
+            old_m.pos,
+            idx.search(&[q], &QuerySpec::nn().with_stats())
+                .unwrap()
+                .best(0)
+                .unwrap()
+                .pos,
+            "{name} nn_with_stats"
+        );
+        let old = idx.knn(q, k).unwrap();
+        let new = idx.search(&[q], &QuerySpec::knn(k)).unwrap().into_single();
+        assert_bit_identical(&old, &new, &format!("{name} knn"));
+        let (old, _) = idx.knn_with_stats(q, k).unwrap();
+        let (new, _) = idx
+            .search(&[q], &QuerySpec::knn(k).with_stats())
+            .unwrap()
+            .into_single_with_stats();
+        assert_bit_identical(&old, &new, &format!("{name} knn_with_stats"));
+        let old = idx.knn_batch(&qrefs, k).unwrap();
+        let new = idx
+            .search(&qrefs, &QuerySpec::knn(k))
+            .unwrap()
+            .into_matches();
+        for (qi, (o, n)) in old.iter().zip(&new).enumerate() {
+            assert_bit_identical(o, n, &format!("{name} knn_batch q{qi}"));
+        }
+        let old = idx.nn_batch(&qrefs).unwrap();
+        let new = idx.search(&qrefs, &QuerySpec::nn()).unwrap();
+        for (qi, o) in old.iter().enumerate() {
+            assert_eq!(
+                o.map(|m| m.pos),
+                new.best(qi).map(|m| m.pos),
+                "{name} nn_batch q{qi}"
+            );
+        }
+    }
+}
+
+#[test]
+fn legacy_empty_batches_keep_their_contract() {
+    // The query plane rejects empty batches (InvalidSpec::EmptyBatch);
+    // the legacy wrappers keep returning empty collections.
+    let data = DatasetKind::Synthetic.generate(60, 64, 3);
+    for engine in Engine::ALL {
+        let idx = MemoryIndex::build(data.clone(), engine, &opts(2, 10)).unwrap();
+        assert!(idx.nn_batch(&[]).unwrap().is_empty());
+        assert!(idx.knn_batch(&[], 3).unwrap().is_empty());
+        let (m, stats) = idx.knn_batch_with_stats(&[], 3).unwrap();
+        assert!(m.is_empty());
+        assert_eq!(stats, BatchStats::default());
+        assert!(matches!(
+            idx.search(&[], &QuerySpec::nn()),
+            Err(Error::InvalidSpec(InvalidSpec::EmptyBatch))
+        ));
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Approximate answers never report a distance below the exact answer
+    /// at the same rank — on any engine, any measure, any (small) data.
+    #[test]
+    fn approximate_is_always_at_least_the_exact_distance(
+        flat in prop::collection::vec(-10.0f32..10.0, 40 * 32),
+        mut q in prop::collection::vec(-10.0f32..10.0, 32),
+        k in 1usize..8,
+        band in 0usize..6,
+        leaf in 2usize..20,
+    ) {
+        let mut data = Dataset::from_flat(flat, 32).unwrap();
+        data.znormalize_all();
+        dsidx::series::znorm::znormalize(&mut q);
+        let opts = Options::default()
+            .with_threads(2)
+            .with_leaf_capacity(leaf)
+            .with_segments(8);
+        let qs: Vec<&[f32]> = vec![&q];
+        for engine in Engine::ALL {
+            let idx = MemoryIndex::build(data.clone(), engine, &opts).unwrap();
+            for measure in [Measure::Euclidean, Measure::Dtw { band }] {
+                let exact = idx
+                    .search(&qs, &QuerySpec::knn(k).measure(measure))
+                    .unwrap();
+                let approx = idx
+                    .search(
+                        &qs,
+                        &QuerySpec::knn(k).measure(measure).fidelity(Fidelity::Approximate),
+                    )
+                    .unwrap();
+                prop_assert!(!approx.matches()[0].is_empty());
+                for (a, e) in approx.matches()[0].iter().zip(&exact.matches()[0]) {
+                    prop_assert!(
+                        a.dist_sq >= e.dist_sq - e.dist_sq * 1e-5 - 1e-6,
+                        "{} {measure:?} k={k}: approximate {} below exact {}",
+                        engine.name(), a.dist_sq, e.dist_sq
+                    );
+                }
+            }
+        }
+    }
+
+    /// Batched DTW equals sequential DTW element-wise — on every memory
+    /// engine (MESSI's one-broadcast cascade and the UCR batch fallback).
+    #[test]
+    fn batched_dtw_equals_sequential_dtw(
+        flat in prop::collection::vec(-10.0f32..10.0, 30 * 32),
+        more in prop::collection::vec(-10.0f32..10.0, 3 * 32),
+        k in 1usize..6,
+        band in 0usize..6,
+        leaf in 2usize..16,
+    ) {
+        let mut data = Dataset::from_flat(flat, 32).unwrap();
+        data.znormalize_all();
+        let mut queries: Vec<Vec<f32>> = more.chunks(32).map(<[f32]>::to_vec).collect();
+        for q in &mut queries {
+            dsidx::series::znorm::znormalize(q);
+        }
+        let qrefs: Vec<&[f32]> = queries.iter().map(Vec::as_slice).collect();
+        let opts = Options::default()
+            .with_threads(3)
+            .with_leaf_capacity(leaf)
+            .with_segments(8);
+        let spec = QuerySpec::knn(k).measure(Measure::Dtw { band }).with_stats();
+        for engine in Engine::ALL {
+            let idx = MemoryIndex::build(data.clone(), engine, &opts).unwrap();
+            let batched = idx.search(&qrefs, &spec).unwrap();
+            prop_assert!(batched.stats().unwrap().broadcasts <= 1,
+                "{}: more than one broadcast for a DTW batch", engine.name());
+            for (qi, q) in qrefs.iter().enumerate() {
+                let single = idx.search(&[q], &spec).unwrap().into_single();
+                let got: Vec<u32> = batched.matches()[qi].iter().map(|m| m.pos).collect();
+                let want: Vec<u32> = single.iter().map(|m| m.pos).collect();
+                prop_assert_eq!(&got, &want,
+                    "{} q{} band={} k={}: batched DTW diverged", engine.name(), qi, band, k);
+            }
+        }
+    }
+}
