@@ -38,7 +38,9 @@ pub fn run(scale: &Scale) {
         let mut processed = 0u64;
         let mut real = 0u64;
         for q in qs.iter() {
-            let (_, st) = dsidx::messi::exact_nn(&messi, &data, q, &cfg).unwrap();
+            let (_, st) = dsidx::messi::exact_nn(&messi, &data, q, &cfg)
+                .expect("in-memory query")
+                .unwrap();
             processed += st.leaves_processed;
             real += st.real_computed;
         }

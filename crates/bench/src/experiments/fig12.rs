@@ -64,7 +64,9 @@ pub fn run(scale: &Scale) {
                 .expect("query")
                 .unwrap();
             paris_stats = paris_stats.merged(&ps);
-            let (_, ms_) = dsidx::messi::exact_nn(&messi, &data, q, &mcfg).unwrap();
+            let (_, ms_) = dsidx::messi::exact_nn(&messi, &data, q, &mcfg)
+                .expect("in-memory query")
+                .unwrap();
             messi_stats = messi_stats.merged(&ms_);
         }
         let (p_lb, p_real) = (paris_stats.lb_total(), paris_stats.real_computed);

@@ -13,6 +13,7 @@ pub mod fig7;
 pub mod fig8;
 pub mod fig9;
 pub mod knn;
+pub mod ondisk;
 pub mod throughput;
 
 use crate::Scale;
@@ -81,6 +82,11 @@ pub const ALL: &[Experiment] = &[
         "throughput",
         "Extension: batched query throughput (B in {1,4,16,64}) per engine",
         throughput::run,
+    ),
+    (
+        "ondisk",
+        "Extension: the closed engine matrix on DiskIndex (broadcasts + device bytes)",
+        ondisk::run,
     ),
     (
         "abl-buffers",

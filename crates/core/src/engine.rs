@@ -31,7 +31,10 @@ pub enum Engine {
     /// in-memory builds fall back to ParIS, which the paper itself uses
     /// for in-memory comparisons.
     ParisPlus,
-    /// MESSI (parallel, in-memory). In-memory only.
+    /// MESSI (parallel, tree-traversing queries). The paper's in-memory
+    /// engine; here it also builds over a dataset file (streaming
+    /// summarization) and answers with raw reads charged to the modeled
+    /// device, so all four engines compete on one storage plane.
     Messi,
 }
 
@@ -183,8 +186,12 @@ impl MemoryIndex {
                     MemoryInner::Messi(messi) => {
                         let cfg = self.options.messi_config(self.data.series_len())?;
                         Ok(dsidx_messi::exact_knn_batch(
-                            messi, &self.data, queries, k, &cfg,
-                        ))
+                            messi,
+                            &*self.data,
+                            queries,
+                            k,
+                            &cfg,
+                        )?)
                     }
                 },
                 // Batched DTW: one broadcast through MESSI's cascade,
@@ -194,12 +201,21 @@ impl MemoryIndex {
                     MemoryInner::Messi(messi) => {
                         let cfg = self.options.messi_config(self.data.series_len())?;
                         Ok(dsidx_messi::exact_knn_dtw_batch(
-                            messi, &self.data, queries, band, k, &cfg,
-                        ))
+                            messi,
+                            &*self.data,
+                            queries,
+                            band,
+                            k,
+                            &cfg,
+                        )?)
                     }
                     _ => Ok(dsidx_ucr::knn_dtw_batch_parallel_with_stats(
-                        &self.data, queries, band, k, threads,
-                    )),
+                        &*self.data,
+                        queries,
+                        band,
+                        k,
+                        threads,
+                    )?),
                 },
             },
             Fidelity::Approximate => approx_batch(queries, |q| {
@@ -217,10 +233,10 @@ impl MemoryIndex {
                         dsidx_paris::approx_knn_dtw(paris, &*self.data, q, band, k)?
                     }
                     (MemoryInner::Messi(messi), Measure::Euclidean) => {
-                        dsidx_messi::approx_knn(messi, &self.data, q, k)
+                        dsidx_messi::approx_knn(messi, &*self.data, q, k)?
                     }
                     (MemoryInner::Messi(messi), Measure::Dtw { band }) => {
-                        dsidx_messi::approx_knn_dtw(messi, &self.data, q, band, k)
+                        dsidx_messi::approx_knn_dtw(messi, &*self.data, q, band, k)?
                     }
                 })
             }),
@@ -416,7 +432,13 @@ impl Search for MemoryIndex {
 enum DiskInner {
     Ads(dsidx_ads::AdsIndex),
     Paris(dsidx_paris::ParisIndex),
+    Messi(dsidx_messi::MessiIndex),
 }
+
+/// Distinguishes the leaf-store files of concurrent (or repeated) builds
+/// in one process: the pid alone collides when a process builds twice
+/// into the same workdir.
+static BUILD_SEQ: std::sync::atomic::AtomicU64 = std::sync::atomic::AtomicU64::new(0);
 
 /// An index over an on-disk dataset file; raw values are fetched (and
 /// charged to the device) at query time.
@@ -432,9 +454,12 @@ pub struct DiskIndex {
 
 impl DiskIndex {
     /// Builds an index over the dataset file at `dataset_path`, modeling
-    /// the given device profile. `workdir` receives the leaf store.
+    /// the given device profile. `workdir` is created if absent and
+    /// receives any engine scratch files (the ParIS leaf store).
     ///
-    /// `Engine::Messi` is in-memory only and is rejected here.
+    /// Every engine builds on disk: ADS+ and MESSI stream the file block
+    /// by block (reads charged to the device), ParIS/ParIS+ run the
+    /// paper's pipelined construction with a materialized leaf store.
     ///
     /// # Errors
     /// I/O and configuration failures.
@@ -448,6 +473,8 @@ impl DiskIndex {
         let device = Arc::new(Device::new(profile));
         let file = DatasetFile::open(dataset_path, device)?;
         let series_len = file.series_len();
+        // One workdir setup for every engine (scratch files land here).
+        std::fs::create_dir_all(workdir).map_err(dsidx_storage::StorageError::from)?;
         let (inner, build_report, store_path) = match engine {
             Engine::Ads => {
                 let (ads, _) = dsidx_ads::build_from_file(
@@ -463,8 +490,11 @@ impl DiskIndex {
                 } else {
                     dsidx_paris::Overlap::ParisPlus
                 };
-                std::fs::create_dir_all(workdir).map_err(dsidx_storage::StorageError::from)?;
-                let store_path = workdir.join(format!("dsidx-leaves-{}.store", std::process::id()));
+                let store_path = workdir.join(format!(
+                    "dsidx-leaves-{}-{}.store",
+                    std::process::id(),
+                    BUILD_SEQ.fetch_add(1, std::sync::atomic::Ordering::Relaxed),
+                ));
                 let (paris, report) = dsidx_paris::build_on_disk(
                     &file,
                     &store_path,
@@ -474,7 +504,12 @@ impl DiskIndex {
                 (DiskInner::Paris(paris), Some(report), Some(store_path))
             }
             Engine::Messi => {
-                return Err(Error::Unsupported("MESSI is an in-memory index"));
+                let (messi, _) = dsidx_messi::build_from_file(
+                    &file,
+                    &options.messi_config(series_len)?,
+                    options.block_series,
+                )?;
+                (DiskInner::Messi(messi), None, None)
             }
         };
         Ok(Self {
@@ -506,10 +541,12 @@ impl DiskIndex {
     }
 
     /// The one dispatch behind [`Search::search`] for on-disk indexes
-    /// (see [`MemoryIndex::run_spec`]): candidate reads are charged to the
-    /// modeled device. Exact DTW has no on-disk schedule yet and reports
-    /// [`Error::Unsupported`]; approximate DTW works (the best-leaf /
-    /// sketch probes pay device-charged reads like the ED path).
+    /// (see [`MemoryIndex::run_spec`]): the same engine entry points as in
+    /// memory, handed the dataset file as the raw source, so candidate
+    /// reads are charged to the modeled device. Every (fidelity, measure)
+    /// cell is answered — exact DTW runs MESSI's generic cascade on its
+    /// own tree and the batched parallel UCR-DTW scan over the file for
+    /// the engines without a DTW index path.
     fn run_spec(
         &self,
         queries: &[&[f32]],
@@ -527,11 +564,24 @@ impl DiskIndex {
                     DiskInner::Paris(paris) => Ok(dsidx_paris::exact_knn_batch(
                         paris, &self.file, queries, k, threads,
                     )?),
+                    DiskInner::Messi(messi) => {
+                        let cfg = self.options.messi_config(self.file.series_len())?;
+                        Ok(dsidx_messi::exact_knn_batch(
+                            messi, &self.file, queries, k, &cfg,
+                        )?)
+                    }
                 },
-                Measure::Dtw { .. } => Err(Error::Unsupported(
-                    "exact DTW on an on-disk index (build a MemoryIndex, or use \
-                     Fidelity::Approximate)",
-                )),
+                Measure::Dtw { band } => match &self.inner {
+                    DiskInner::Messi(messi) => {
+                        let cfg = self.options.messi_config(self.file.series_len())?;
+                        Ok(dsidx_messi::exact_knn_dtw_batch(
+                            messi, &self.file, queries, band, k, &cfg,
+                        )?)
+                    }
+                    _ => Ok(dsidx_ucr::knn_dtw_batch_parallel_with_stats(
+                        &self.file, queries, band, k, threads,
+                    )?),
+                },
             },
             Fidelity::Approximate => approx_batch(queries, |q| {
                 Ok(match (&self.inner, spec.measure_kind()) {
@@ -546,6 +596,12 @@ impl DiskIndex {
                     }
                     (DiskInner::Paris(paris), Measure::Dtw { band }) => {
                         dsidx_paris::approx_knn_dtw(paris, &self.file, q, band, k)?
+                    }
+                    (DiskInner::Messi(messi), Measure::Euclidean) => {
+                        dsidx_messi::approx_knn(messi, &self.file, q, k)?
+                    }
+                    (DiskInner::Messi(messi), Measure::Dtw { band }) => {
+                        dsidx_messi::approx_knn_dtw(messi, &self.file, q, band, k)?
                     }
                 })
             }),
@@ -655,6 +711,7 @@ impl DiskIndex {
         match &self.inner {
             DiskInner::Ads(ads) => index_stats(&ads.index),
             DiskInner::Paris(paris) => index_stats(&paris.index),
+            DiskInner::Messi(messi) => index_stats(&messi.index),
         }
     }
 }
@@ -908,50 +965,123 @@ mod tests {
     }
 
     #[test]
-    fn messi_is_rejected_on_disk() {
+    fn messi_builds_and_answers_on_disk() {
         let dir = std::env::temp_dir().join(format!("dsidx-core-{}", std::process::id()));
         std::fs::create_dir_all(&dir).unwrap();
         let path = dir.join("m.dsidx");
-        let data = DatasetKind::Synthetic.generate(10, 64, 1);
+        let data = DatasetKind::Synthetic.generate(300, 64, 1);
         dsidx_storage::write_dataset(&path, &data, Arc::new(Device::unthrottled())).unwrap();
-        let e = DiskIndex::build(
+        let idx = DiskIndex::build(
             &path,
             &dir,
             Engine::Messi,
-            &Options::default(),
+            &Options::default().with_threads(3).with_leaf_capacity(16),
             DeviceProfile::UNTHROTTLED,
-        );
-        assert!(matches!(e, Err(Error::Unsupported(_))));
+        )
+        .unwrap();
+        assert_eq!(idx.stats().entry_count, 300);
+        let q = DatasetKind::Synthetic.queries(2, 64, 1);
+        let qs: Vec<&[f32]> = q.iter().collect();
+        let got = idx.search(&qs, &QuerySpec::knn(5).with_stats()).unwrap();
+        for (qi, query) in q.iter().enumerate() {
+            let want = dsidx_ucr::brute_force_knn(&data, query, 5);
+            assert_eq!(
+                got.matches()[qi].iter().map(|m| m.pos).collect::<Vec<_>>(),
+                want.iter().map(|m| m.pos).collect::<Vec<_>>(),
+                "q{qi}"
+            );
+        }
+        // The in-memory invariant survives the move to disk: one
+        // broadcast answers the whole batch.
+        assert_eq!(got.stats().unwrap().broadcasts, 1);
     }
 
     #[test]
-    fn disk_search_supports_approximate_dtw_but_not_exact_dtw() {
+    fn disk_search_answers_every_fidelity_measure_cell() {
+        // No `Unsupported` cells remain in the on-disk query plane: every
+        // engine answers exact/approximate x ED/DTW over the file.
         let dir = std::env::temp_dir().join(format!("dsidx-core-dtw-{}", std::process::id()));
         std::fs::create_dir_all(&dir).unwrap();
         let path = dir.join("d.dsidx");
         let data = DatasetKind::Seismic.generate(200, 64, 5);
         dsidx_storage::write_dataset(&path, &data, Arc::new(Device::unthrottled())).unwrap();
-        let idx = DiskIndex::build(
+        let q = DatasetKind::Seismic.queries(1, 64, 5);
+        let qs: Vec<&[f32]> = vec![q.get(0)];
+        for engine in Engine::ALL {
+            let idx = DiskIndex::build(
+                &path,
+                &dir,
+                engine,
+                &Options::default().with_threads(2),
+                DeviceProfile::UNTHROTTLED,
+            )
+            .unwrap();
+            for measure in [Measure::Euclidean, Measure::Dtw { band: 4 }] {
+                let exact = idx
+                    .search(&qs, &QuerySpec::knn(3).measure(measure))
+                    .unwrap();
+                let want = match measure {
+                    Measure::Dtw { band } => {
+                        dsidx_ucr::brute_force_dtw_knn(&data, q.get(0), band, 3)
+                    }
+                    _ => dsidx_ucr::brute_force_knn(&data, q.get(0), 3),
+                };
+                assert_eq!(
+                    exact.matches()[0].iter().map(|m| m.pos).collect::<Vec<_>>(),
+                    want.iter().map(|m| m.pos).collect::<Vec<_>>(),
+                    "{} {measure:?}",
+                    engine.name()
+                );
+                let spec = QuerySpec::knn(3)
+                    .measure(measure)
+                    .fidelity(Fidelity::Approximate);
+                let approx = idx.search(&qs, &spec).unwrap();
+                assert!(!approx.matches()[0].is_empty());
+                for (a, e) in approx.matches()[0].iter().zip(&want) {
+                    assert!(
+                        a.dist_sq >= e.dist_sq - e.dist_sq * 1e-6,
+                        "{} {measure:?}",
+                        engine.name()
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn repeated_disk_builds_in_one_process_do_not_collide() {
+        // The pid-named store file is sequence-suffixed: two live ParIS
+        // indexes from one process must not share (and clobber) one leaf
+        // store.
+        let dir = std::env::temp_dir().join(format!("dsidx-core-seq-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("s.dsidx");
+        let data = DatasetKind::Synthetic.generate(150, 64, 3);
+        dsidx_storage::write_dataset(&path, &data, Arc::new(Device::unthrottled())).unwrap();
+        let opts = Options::default().with_threads(2);
+        let a = DiskIndex::build(
             &path,
             &dir,
             Engine::ParisPlus,
-            &Options::default().with_threads(2),
+            &opts,
             DeviceProfile::UNTHROTTLED,
         )
         .unwrap();
-        let q = DatasetKind::Seismic.queries(1, 64, 5);
-        let qs: Vec<&[f32]> = vec![q.get(0)];
-        let exact_dtw = idx.search(&qs, &QuerySpec::nn().measure(Measure::Dtw { band: 4 }));
-        assert!(matches!(exact_dtw, Err(Error::Unsupported(_))));
-        let spec = QuerySpec::knn(3)
-            .measure(Measure::Dtw { band: 4 })
-            .fidelity(Fidelity::Approximate);
-        let approx = idx.search(&qs, &spec).unwrap();
-        assert!(!approx.matches()[0].is_empty());
-        let want = dsidx_ucr::brute_force_dtw_knn(&data, q.get(0), 4, 3);
-        for (a, e) in approx.matches()[0].iter().zip(&want) {
-            assert!(a.dist_sq >= e.dist_sq - e.dist_sq * 1e-6);
-        }
+        let b = DiskIndex::build(
+            &path,
+            &dir,
+            Engine::ParisPlus,
+            &opts,
+            DeviceProfile::UNTHROTTLED,
+        )
+        .unwrap();
+        assert_ne!(a.store_path, b.store_path);
+        let q = DatasetKind::Synthetic.queries(1, 64, 3);
+        // Both indexes still answer (neither's store was truncated by the
+        // other's build).
+        let qa = a.search(&[q.get(0)], &QuerySpec::nn()).unwrap().into_nn();
+        let qb = b.search(&[q.get(0)], &QuerySpec::nn()).unwrap().into_nn();
+        assert_eq!(qa.map(|m| m.pos), qb.map(|m| m.pos));
     }
 
     #[test]

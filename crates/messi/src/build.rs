@@ -1,8 +1,22 @@
 //! MESSI index construction (stages 1–2 of Fig. 3).
+//!
+//! Two build paths share stage 2 (parallel subtree construction):
+//! [`build`] summarizes an in-memory dataset with the paper's Fetch&Inc
+//! chunk claiming, [`build_from_file`] streams sequential blocks of a
+//! [`DatasetFile`] (reads charged to the modeled device) — the on-disk
+//! ingestion that lets `DiskIndex` host a MESSI tree. Both produce
+//! **identical trees for identical raw data**: stage 2 inserts each
+//! subtree's entries in position order, so the split decisions (which
+//! depend on the entries present at overflow time) never depend on worker
+//! timing or on which path summarized the data. That determinism is what
+//! makes on-disk answers bit-identical to in-memory answers, approximate
+//! fidelity included (the approximate answer is "the query's own leaf" —
+//! a tree-shape-dependent notion).
 
 use crate::config::{BufferMode, MessiConfig};
 use dsidx_isax::Word;
 use dsidx_series::Dataset;
+use dsidx_storage::{DatasetFile, StorageError};
 use dsidx_sync::{SyncSlice, WorkQueue};
 use dsidx_tree::{FlatTree, Index, LeafEntry, Node, NodeWord, SaxArray};
 use parking_lot::Mutex;
@@ -69,6 +83,82 @@ pub fn build(data: &Dataset, cfg: &MessiConfig) -> (MessiIndex, BuildPhases) {
             total: t0.elapsed(),
         },
     )
+}
+
+/// Builds a MESSI index by *streaming* an on-disk dataset file: stage 1
+/// reads sequential blocks of `block_series` series (each read charged to
+/// the file's device) and summarizes them into per-subtree buffers, then
+/// stage 2 builds the subtrees with the same parallel schedule as the
+/// in-memory path. The counterpart of `dsidx_ads::build_from_file`, with
+/// MESSI's parallel tree construction.
+///
+/// The resulting tree is **identical** to what [`build`] produces over the
+/// same raw data (see the module docs), so queries — exact and
+/// approximate — answer bit-identically on either.
+///
+/// # Errors
+/// Propagates I/O failures.
+///
+/// # Panics
+/// Panics on configuration mismatches (series length, zero threads) or
+/// `block_series == 0`.
+pub fn build_from_file(
+    file: &DatasetFile,
+    cfg: &MessiConfig,
+    block_series: usize,
+) -> Result<(MessiIndex, BuildPhases), StorageError> {
+    cfg.validate();
+    assert_eq!(
+        file.series_len(),
+        cfg.tree.series_len(),
+        "series length mismatch"
+    );
+    assert!(block_series > 0, "block size must be non-zero");
+    let t0 = Instant::now();
+    let segments = cfg.tree.segments();
+    let root_count = cfg.tree.root_count();
+    let quantizer = cfg.tree.quantizer();
+    let series_len = cfg.tree.series_len();
+    let mut paa = vec![0.0f32; segments];
+    let mut words: Vec<Word> = Vec::with_capacity(file.count());
+    let mut buffers: Buffers = Vec::new();
+    buffers.resize_with(root_count, Vec::new);
+    let mut block = Vec::new();
+    let mut start = 0;
+    while start < file.count() {
+        let count = block_series.min(file.count() - start);
+        file.read_block(start, count, &mut block)?;
+        for (i, series) in block.chunks_exact(series_len).enumerate() {
+            let pos = start + i;
+            let word = quantizer.word_into(series, &mut paa);
+            words.push(word);
+            let parts = &mut buffers[word.root_key() as usize];
+            if parts.is_empty() {
+                parts.push(Vec::new());
+            }
+            parts[0].push(LeafEntry::new(word, pos as u32));
+        }
+        start += count;
+    }
+    let summarize = t0.elapsed();
+
+    let t1 = Instant::now();
+    let index = build_tree(cfg, &buffers);
+    let flat = FlatTree::from_index(&index);
+    let tree_build = t1.elapsed();
+
+    Ok((
+        MessiIndex {
+            index,
+            flat,
+            sax: SaxArray::new(words),
+        },
+        BuildPhases {
+            summarize,
+            tree_build,
+            total: t0.elapsed(),
+        },
+    ))
 }
 
 /// Per-subtree buffers: `buffers[key]` holds one or more parts, each the
@@ -161,6 +251,16 @@ fn summarize_locked(data: &Dataset, cfg: &MessiConfig) -> (Vec<Word>, Buffers) {
 /// Stage 2: workers claim subtrees by Fetch&Inc and build them
 /// independently ("all index workers process distinct subtrees of the
 /// index ... with no need for synchronization").
+///
+/// Each subtree's entries are inserted in **position order**, whatever
+/// order the parts arrived in: leaf-split decisions depend on the entries
+/// present at overflow time, so insertion order shapes the tree — and the
+/// tree's shape is observable (the approximate answer is the query's own
+/// leaf). Position-ordered insertion makes every build path (per-thread
+/// parts, locked buffers, streaming-from-file) produce the same tree for
+/// the same raw data, deterministic across runs and thread counts. The
+/// sort is per-subtree and runs inside the parallel claim, so it rides the
+/// same cores as the inserts it orders.
 fn build_tree(cfg: &MessiConfig, buffers: &Buffers) -> Index {
     let segments = cfg.tree.segments();
     let occupied: Vec<u16> = buffers
@@ -178,10 +278,13 @@ fn build_tree(cfg: &MessiConfig, buffers: &Buffers) -> Index {
         while let Some(i) = queue.claim() {
             let key = occupied[i];
             let mut node = Box::new(Node::new_leaf(NodeWord::root(key, segments)));
-            for part in &buffers[key as usize] {
-                for e in part {
-                    node.insert(*e, tree_cfg);
-                }
+            let mut entries: Vec<LeafEntry> = buffers[key as usize]
+                .iter()
+                .flat_map(|part| part.iter().copied())
+                .collect();
+            entries.sort_unstable_by_key(|e| e.pos);
+            for e in entries {
+                node.insert(e, tree_cfg);
             }
             // SAFETY: each occupied key is claimed exactly once.
             unsafe { roots.write(key as usize, Some(node)) };
@@ -223,12 +326,70 @@ mod tests {
         assert_eq!(a.index.len(), b.index.len());
         assert_eq!(a.sax.words(), b.sax.words());
         assert_eq!(a.index.occupied_roots(), b.index.occupied_roots());
-        // Same entries per leaf region even if insertion order differed:
-        // compare leaf-count and entry totals.
+        // Position-ordered stage-2 insertion makes the trees *identical*,
+        // not merely statistically alike.
         let sa = index_stats(&a.index);
         let sb = index_stats(&b.index);
         assert_eq!(sa.entry_count, sb.entry_count);
         assert_eq!(sa.root_subtrees, sb.root_subtrees);
+        assert_eq!(sa.leaf_count, sb.leaf_count);
+        assert_eq!(a.flat.nodes().len(), b.flat.nodes().len());
+    }
+
+    #[test]
+    fn parallel_build_is_deterministic_across_runs_and_threads() {
+        let data = DatasetKind::Synthetic.generate(800, 64, 17);
+        let (first, _) = build(&data, &cfg(1));
+        for threads in [2usize, 4, 8] {
+            for _ in 0..2 {
+                let (again, _) = build(&data, &cfg(threads));
+                assert_eq!(
+                    first.index, again.index,
+                    "tree shape must not depend on worker timing (x{threads})"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn file_build_matches_memory_build_exactly() {
+        use dsidx_storage::{write_dataset, Device};
+        use std::sync::Arc;
+        let dir = std::env::temp_dir().join(format!("dsidx-messi-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("build.dsidx");
+        let data = DatasetKind::Sald.generate(400, 64, 9);
+        write_dataset(&path, &data, Arc::new(Device::unthrottled())).unwrap();
+        let device = Arc::new(Device::unthrottled());
+        let file = DatasetFile::open(&path, Arc::clone(&device)).unwrap();
+        let (mem, _) = build(&data, &cfg(4));
+        let (disk, phases) = build_from_file(&file, &cfg(4), 77).unwrap();
+        // Identical words AND an identical tree: the determinism the
+        // disk==memory query equivalence rests on.
+        assert_eq!(mem.sax.words(), disk.sax.words());
+        assert_eq!(mem.index, disk.index);
+        assert!(phases.total >= phases.summarize);
+        // Streaming reads were charged to the device.
+        assert_eq!(device.stats().bytes_read, 400 * 64 * 4);
+        validate(&disk.index);
+    }
+
+    #[test]
+    fn file_build_of_empty_dataset_is_empty() {
+        use dsidx_storage::{write_dataset, Device};
+        use std::sync::Arc;
+        let dir = std::env::temp_dir().join(format!("dsidx-messi-e{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("empty.dsidx");
+        write_dataset(
+            &path,
+            &Dataset::new(64).unwrap(),
+            Arc::new(Device::unthrottled()),
+        )
+        .unwrap();
+        let file = DatasetFile::open(&path, Arc::new(Device::unthrottled())).unwrap();
+        let (messi, _) = build_from_file(&file, &cfg(2), 64).unwrap();
+        assert!(messi.index.is_empty());
     }
 
     #[test]

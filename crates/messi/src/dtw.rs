@@ -5,6 +5,13 @@
 //!
 //! The pruning cascade per candidate: iSAX-envelope lower bound (node and
 //! entry level) → LB_Keogh on the raw series → early-abandoned banded DTW.
+//!
+//! Like the ED paths ([`crate::query`]), every entry point is generic
+//! over [`RawSource`]: the cascade's first stage prunes from the leaf
+//! summaries alone, so an on-disk source pays positioned reads only for
+//! entries that survive the iSAX bound — this is what gives exact DTW an
+//! on-disk schedule. Mid-query read failures surface as `Err` through the
+//! worker pool's shared [`ErrorSlot`].
 
 use crate::build::MessiIndex;
 use crate::config::MessiConfig;
@@ -13,38 +20,37 @@ use crate::traverse::{BatchLeaf, BatchTraversal};
 use dsidx_isax::NodeMindistTable;
 use dsidx_query::{
     approx_leaf_flat, batch_process_leaf_entries_dtw, batch_seed_positions_dtw, finish_knn,
-    seed_from_entries_dtw, AtomicQueryStats, BatchStats, DtwPrepared, QueryBatch, QueryStats,
-    SeriesFetcher, SharedTopK,
+    process_leaf_entries_dtw, seed_from_entries_dtw, AtomicQueryStats, BatchStats, DtwPrepared,
+    ErrorSlot, QueryBatch, QueryStats, SeriesFetcher, SharedTopK,
 };
-use dsidx_series::distance::dtw::{dtw_sq_bounded, lb_keogh_sq_bounded};
-use dsidx_series::{Dataset, Match};
+use dsidx_series::Match;
+use dsidx_storage::{RawSource, StorageError};
 use dsidx_sync::{AtomicBest, Pruner, SpinBarrier};
 
 /// The shared DTW schedule behind [`exact_nn_dtw`] and [`exact_knn_dtw`],
 /// generic over [`Pruner`] exactly like the ED paths: the same traversal +
 /// priority-queue scheduling, with the iSAX-envelope → LB_Keogh → banded
-/// DTW cascade at the leaves pruning against `pruner.threshold_sq()`.
-/// Returns `None` for an empty index.
+/// DTW cascade at the leaves pruning against `best.threshold_sq()`.
+/// Returns `Ok(None)` for an empty index.
 fn run_exact_dtw<P: Pruner>(
     messi: &MessiIndex,
-    data: &Dataset,
+    source: &impl RawSource,
     query: &[f32],
     band: usize,
     cfg: &MessiConfig,
     best: &P,
-) -> Option<QueryStats> {
+) -> Result<Option<QueryStats>, StorageError> {
     let config = messi.index.config();
     assert_eq!(query.len(), config.series_len(), "query length mismatch");
     cfg.validate();
     let flat = &messi.flat;
     if flat.entry_count() == 0 {
-        return None;
+        return Ok(None);
     }
     let quantizer = config.quantizer();
 
     // Query envelope, its PAA bounds, and the interval MINDIST tables.
     let prep = DtwPrepared::new(quantizer, query, band);
-    let table = &prep.table;
     let node_table = prep.node_table(quantizer);
     let pool = dsidx_sync::pool::global(cfg.threads);
 
@@ -53,20 +59,20 @@ fn run_exact_dtw<P: Pruner>(
     let query_word = quantizer.word(query);
     let approx_idx =
         approx_leaf_flat(flat, &query_word).expect("non-empty index has a non-empty leaf");
-    let mut fetcher = SeriesFetcher::new(data);
+    let mut fetcher = SeriesFetcher::new(source);
     let approx_real = seed_from_entries_dtw(
         flat.leaf_entries(flat.node(approx_idx)),
         &mut fetcher,
         query,
         band,
         best,
-    )
-    .expect("in-memory sources do not fail");
+    )?;
 
     let shared = AtomicQueryStats::new();
     let queues: MinQueues<u32> = MinQueues::new(cfg.effective_queues());
     let traversal = crate::traverse::Traversal::new(flat, &node_table, best, &queues);
     let phase_barrier = SpinBarrier::new(cfg.threads);
+    let errors = ErrorSlot::new();
 
     pool.broadcast(&|worker| {
         // Workers accumulate locally and merge once (see `AtomicQueryStats`).
@@ -78,90 +84,96 @@ fn run_exact_dtw<P: Pruner>(
         phase_barrier.wait();
 
         // Processing phase.
+        let mut fetcher = SeriesFetcher::new(source);
         drain_best_first(&queues, worker, |lb, idx| {
-            if lb >= best.threshold_sq() {
+            if errors.is_set() || lb >= best.threshold_sq() {
                 local.leaves_discarded += 1;
                 return Drain::Abandon;
             }
             local.leaves_processed += 1;
-            for e in flat.leaf_entries(flat.node(idx)) {
-                let limit = best.threshold_sq();
-                local.lb_entry_computed += 1;
-                if table.lookup(&e.word) >= limit {
-                    continue;
-                }
-                let series = data.get(e.pos as usize);
-                local.lb_keogh_computed += 1;
-                if lb_keogh_sq_bounded(series, &prep.lo_env, &prep.hi_env, limit).is_none() {
-                    local.lb_keogh_pruned += 1;
-                    continue;
-                }
-                if let Some(d) = dtw_sq_bounded(query, series, band, limit) {
-                    local.real_computed += 1;
-                    best.insert(d, e.pos);
-                } else {
-                    local.dtw_abandoned += 1;
+            let entries = flat.leaf_entries(flat.node(idx));
+            match process_leaf_entries_dtw(
+                entries,
+                &prep,
+                &mut fetcher,
+                query,
+                band,
+                best,
+                &mut local,
+            ) {
+                Ok(()) => Drain::Processed,
+                Err(e) => {
+                    errors.record(e);
+                    Drain::Abandon
                 }
             }
-            Drain::Processed
         });
         shared.merge(&local);
     });
+    errors.take()?;
 
     let mut stats = shared.snapshot();
     stats.real_computed += approx_real;
-    Some(stats)
+    Ok(Some(stats))
 }
 
-/// Exact 1-NN under banded DTW through the MESSI index, with the unified
-/// per-query work counters: the tree-traversal counters plus the DTW
-/// cascade's LB_Keogh prunes and early-abandoned DTWs — so the `ext-dtw`
-/// experiment reports like the ED ones.
+/// Exact 1-NN under banded DTW through the MESSI index over any
+/// [`RawSource`], with the unified per-query work counters: the
+/// tree-traversal counters plus the DTW cascade's LB_Keogh prunes and
+/// early-abandoned DTWs — so the `ext-dtw` experiment reports like the ED
+/// ones.
 ///
-/// Returns `None` for an empty index.
+/// Returns `Ok(None)` for an empty index.
+///
+/// # Errors
+/// Propagates raw-source I/O failures.
 ///
 /// # Panics
 /// Panics if the query length differs from the configured series length.
-#[must_use]
 pub fn exact_nn_dtw(
     messi: &MessiIndex,
-    data: &Dataset,
+    source: &impl RawSource,
     query: &[f32],
     band: usize,
     cfg: &MessiConfig,
-) -> Option<(Match, QueryStats)> {
+) -> Result<Option<(Match, QueryStats)>, StorageError> {
     let best = AtomicBest::new();
-    let stats = run_exact_dtw(messi, data, query, band, cfg, &best)?;
-    let (dist_sq, pos) = best.get();
-    Some((Match::new(pos, dist_sq), stats))
+    match run_exact_dtw(messi, source, query, band, cfg, &best)? {
+        None => Ok(None),
+        Some(stats) => {
+            let (dist_sq, pos) = best.get();
+            Ok(Some((Match::new(pos, dist_sq), stats)))
+        }
+    }
 }
 
 /// Exact k-NN under banded DTW through the MESSI index: the same
 /// traversal and priority-queue schedule as [`exact_nn_dtw`], pruning the
 /// whole cascade (iSAX envelope bound, LB_Keogh, early-abandoned DTW)
-/// against the k-th best DTW distance (a
-/// [`SharedTopK`]).
+/// against the k-th best DTW distance (a [`SharedTopK`]).
 ///
 /// Returns the up-to-`k` nearest series sorted ascending by
 /// `(distance, position)` — fewer than `k` when the collection is smaller,
 /// empty for an empty index. Deterministic across runs, thread counts and
 /// queue counts (distance ties prefer the lowest position).
 ///
+/// # Errors
+/// Propagates raw-source I/O failures.
+///
 /// # Panics
 /// Panics if the query length differs from the configured series length or
 /// `k == 0`.
-#[must_use]
 pub fn exact_knn_dtw(
     messi: &MessiIndex,
-    data: &Dataset,
+    source: &impl RawSource,
     query: &[f32],
     band: usize,
     k: usize,
     cfg: &MessiConfig,
-) -> (Vec<Match>, QueryStats) {
+) -> Result<(Vec<Match>, QueryStats), StorageError> {
     let topk = SharedTopK::new(k);
-    let stats = run_exact_dtw(messi, data, query, band, cfg, &topk);
-    finish_knn(&topk, stats)
+    let stats = run_exact_dtw(messi, source, query, band, cfg, &topk)?;
+    Ok(finish_knn(&topk, stats))
 }
 
 /// Exact k-NN under banded DTW for a *batch* of queries in **one** pool
@@ -171,23 +183,26 @@ pub fn exact_knn_dtw(
 /// envelope bound), priority-queue entries carry the per-query node
 /// mindists, and a popped leaf pays the full DTW cascade (interval iSAX
 /// bound → LB_Keogh → early-abandoned banded DTW) once per entry for every
-/// query whose leaf-level bound survived.
+/// query whose leaf-level bound survived, fetching the entry from the
+/// source at most once per leaf visit.
 ///
 /// Answers are element-wise identical to calling [`exact_knn_dtw`] per
 /// query, deterministic across runs, thread counts and queue counts.
 ///
+/// # Errors
+/// Propagates raw-source I/O failures.
+///
 /// # Panics
 /// Panics if any query length differs from the configured series length or
 /// `k == 0`.
-#[must_use]
 pub fn exact_knn_dtw_batch(
     messi: &MessiIndex,
-    data: &Dataset,
+    source: &impl RawSource,
     queries: &[&[f32]],
     band: usize,
     k: usize,
     cfg: &MessiConfig,
-) -> (Vec<Vec<Match>>, BatchStats) {
+) -> Result<(Vec<Vec<Match>>, BatchStats), StorageError> {
     let config = messi.index.config();
     for q in queries {
         assert_eq!(q.len(), config.series_len(), "query length mismatch");
@@ -197,7 +212,7 @@ pub fn exact_knn_dtw_batch(
     let quantizer = config.quantizer();
     let batch = QueryBatch::new(quantizer, queries, k);
     if flat.entry_count() == 0 || batch.is_empty() {
-        return batch.finish(0, QueryStats::default());
+        return Ok(batch.finish(0, QueryStats::default()));
     }
     let preps: Vec<DtwPrepared> = batch
         .slots()
@@ -226,19 +241,20 @@ pub fn exact_knn_dtw_batch(
         .collect();
     positions.sort_unstable();
     positions.dedup();
-    let mut fetcher = SeriesFetcher::new(data);
-    batch_seed_positions_dtw(&positions, &mut fetcher, &batch, band)
-        .expect("in-memory sources do not fail");
+    let mut fetcher = SeriesFetcher::new(source);
+    batch_seed_positions_dtw(&positions, &mut fetcher, &batch, band)?;
 
     // Phase A: one cooperative traversal for the whole batch over the
     // interval tables; Phase B: best-bound-first processing, once per leaf
     // for the whole batch, the DTW cascade per surviving query. One
     // broadcast, phases separated by a spin barrier — exactly the ED batch
-    // schedule with the DTW leaf kernel.
+    // schedule with the DTW leaf kernel. A failed raw read closes the
+    // worker's queue and surfaces after the join.
     let shared = AtomicQueryStats::new();
     let queues: MinQueues<BatchLeaf> = MinQueues::new(cfg.effective_queues());
     let traversal = BatchTraversal::new(flat, &node_tables, &batch, &queues);
     let phase_barrier = SpinBarrier::new(cfg.threads);
+    let errors = ErrorSlot::new();
 
     pool.broadcast(&|worker| {
         let mut shared_local = QueryStats::default();
@@ -248,9 +264,10 @@ pub fn exact_knn_dtw_batch(
         shared_local.leaves_enqueued = st.enqueued;
         phase_barrier.wait();
 
+        let mut fetcher = SeriesFetcher::new(source);
         let mut active: Vec<usize> = Vec::with_capacity(batch.len());
         drain_best_first(&queues, worker, |min_lb, leaf: BatchLeaf| {
-            if min_lb >= batch.max_threshold_sq() {
+            if errors.is_set() || min_lb >= batch.max_threshold_sq() {
                 shared_local.leaves_discarded += 1;
                 return Drain::Abandon;
             }
@@ -266,46 +283,53 @@ pub fn exact_knn_dtw_batch(
             }
             shared_local.leaves_processed += 1;
             let entries = flat.leaf_entries(flat.node(leaf.idx));
-            batch_process_leaf_entries_dtw(
+            match batch_process_leaf_entries_dtw(
                 entries,
-                data,
+                &mut fetcher,
                 &batch,
                 &active,
                 &preps,
                 band,
                 &mut locals,
-            );
-            Drain::Processed
+            ) {
+                Ok(()) => Drain::Processed,
+                Err(e) => {
+                    errors.record(e);
+                    Drain::Abandon
+                }
+            }
         });
         batch.merge_locals(&locals);
         shared.merge(&shared_local);
     });
+    errors.take()?;
 
-    batch.finish(1, shared.snapshot())
+    Ok(batch.finish(1, shared.snapshot()))
 }
 
 /// *Approximate* k-NN under banded DTW: descend to the query's own leaf
 /// and return the k nearest of its entries by full banded-DTW distance —
-/// no traversal, no pool broadcast. Every reported distance is a real DTW
-/// distance, so it is never below the exact answer at the same rank.
-/// Returns fewer than `k` matches when the leaf holds fewer entries, empty
-/// for an empty index.
+/// no traversal, no pool broadcast, one leaf's worth of fetches. Every
+/// reported distance is a real DTW distance, so it is never below the
+/// exact answer at the same rank. Returns fewer than `k` matches when the
+/// leaf holds fewer entries, empty for an empty index.
+///
+/// # Errors
+/// Propagates raw-source I/O failures.
 ///
 /// # Panics
 /// Panics if the query length differs from the configured series length or
 /// `k == 0`.
-#[must_use]
 pub fn approx_knn_dtw(
     messi: &MessiIndex,
-    data: &Dataset,
+    source: &impl RawSource,
     query: &[f32],
     band: usize,
     k: usize,
-) -> (Vec<Match>, QueryStats) {
+) -> Result<(Vec<Match>, QueryStats), StorageError> {
     crate::query::approx_leaf_visit(messi, query, k, |entries, topk| {
-        let mut fetcher = SeriesFetcher::new(data);
+        let mut fetcher = SeriesFetcher::new(source);
         seed_from_entries_dtw(entries, &mut fetcher, query, band, topk)
-            .expect("in-memory sources do not fail")
     })
 }
 
@@ -316,6 +340,8 @@ mod tests {
     use crate::config::MessiConfig;
     use dsidx_series::distance::dtw::dtw_sq;
     use dsidx_series::gen::DatasetKind;
+    use dsidx_series::Dataset;
+    use dsidx_storage::FlakySource;
     use dsidx_tree::TreeConfig;
     use dsidx_ucr::dtw::brute_force_dtw;
 
@@ -332,7 +358,9 @@ mod tests {
             for band in [0usize, 3, 6] {
                 for q in queries.iter() {
                     let want = brute_force_dtw(&data, q, band).unwrap();
-                    let (got, _) = exact_nn_dtw(&messi, &data, q, band, &cfg(4)).unwrap();
+                    let (got, _) = exact_nn_dtw(&messi, &data, q, band, &cfg(4))
+                        .unwrap()
+                        .unwrap();
                     assert_eq!(got.pos, want.pos, "{} band={band}", kind.name());
                     assert!((got.dist_sq - want.dist_sq).abs() <= want.dist_sq * 1e-4 + 1e-4);
                 }
@@ -350,7 +378,7 @@ mod tests {
                 let want = dsidx_ucr::brute_force_dtw_knn(&data, q, 4, k);
                 for threads in [1usize, 4] {
                     let c = cfg(threads);
-                    let (got, stats) = exact_knn_dtw(&messi, &data, q, 4, k, &c);
+                    let (got, stats) = exact_knn_dtw(&messi, &data, q, 4, k, &c).unwrap();
                     assert_eq!(got.len(), want.len(), "k={k} x{threads}");
                     for (g, w) in got.iter().zip(&want) {
                         assert_eq!(g.pos, w.pos, "k={k} x{threads}");
@@ -368,8 +396,8 @@ mod tests {
         let (messi, _) = build(&data, &cfg(3));
         let queries = DatasetKind::Seismic.queries(4, 64, 29);
         for q in queries.iter() {
-            let (nn, _) = exact_nn_dtw(&messi, &data, q, 5, &cfg(3)).unwrap();
-            let (knn, _) = exact_knn_dtw(&messi, &data, q, 5, 1, &cfg(3));
+            let (nn, _) = exact_nn_dtw(&messi, &data, q, 5, &cfg(3)).unwrap().unwrap();
+            let (knn, _) = exact_knn_dtw(&messi, &data, q, 5, 1, &cfg(3)).unwrap();
             assert_eq!(knn.len(), 1);
             assert_eq!(knn[0].pos, nn.pos);
         }
@@ -385,11 +413,12 @@ mod tests {
             for k in [1usize, 6, 20] {
                 for threads in [1usize, 4] {
                     let c = cfg(threads);
-                    let (batched, stats) = exact_knn_dtw_batch(&messi, &data, &qrefs, band, k, &c);
+                    let (batched, stats) =
+                        exact_knn_dtw_batch(&messi, &data, &qrefs, band, k, &c).unwrap();
                     assert_eq!(stats.broadcasts, 1, "one broadcast for the whole DTW batch");
                     assert!(stats.broadcasts_per_query() < 1.0);
                     for (qi, q) in qs.iter().enumerate() {
-                        let (single, _) = exact_knn_dtw(&messi, &data, q, band, k, &c);
+                        let (single, _) = exact_knn_dtw(&messi, &data, q, band, k, &c).unwrap();
                         assert_eq!(
                             batched[qi].iter().map(|m| m.pos).collect::<Vec<_>>(),
                             single.iter().map(|m| m.pos).collect::<Vec<_>>(),
@@ -412,7 +441,7 @@ mod tests {
         let (messi, _) = build(&data, &cfg(3));
         let qs = DatasetKind::Sald.queries(4, 64, 47);
         let qrefs: Vec<&[f32]> = qs.iter().collect();
-        let (batched, _) = exact_knn_dtw_batch(&messi, &data, &qrefs, 5, 7, &cfg(3));
+        let (batched, _) = exact_knn_dtw_batch(&messi, &data, &qrefs, 5, 7, &cfg(3)).unwrap();
         for (qi, q) in qs.iter().enumerate() {
             let want = dsidx_ucr::brute_force_dtw_knn(&data, q, 5, 7);
             assert_eq!(
@@ -429,10 +458,10 @@ mod tests {
         let (messi, _) = build(&data, &cfg(4));
         let qs = DatasetKind::Seismic.queries(4, 64, 61);
         let qrefs: Vec<&[f32]> = qs.iter().collect();
-        let (first, _) = exact_knn_dtw_batch(&messi, &data, &qrefs, 4, 6, &cfg(1));
+        let (first, _) = exact_knn_dtw_batch(&messi, &data, &qrefs, 4, 6, &cfg(1)).unwrap();
         for queues in [1usize, 2, 8] {
             let c = cfg(4).with_queues(queues);
-            let (got, _) = exact_knn_dtw_batch(&messi, &data, &qrefs, 4, 6, &c);
+            let (got, _) = exact_knn_dtw_batch(&messi, &data, &qrefs, 4, 6, &c).unwrap();
             assert_eq!(got, first, "queues={queues}");
         }
     }
@@ -442,12 +471,12 @@ mod tests {
         let empty = Dataset::new(64).unwrap();
         let (messi, _) = build(&empty, &cfg(2));
         let q = vec![0.0f32; 64];
-        let (got, stats) = exact_knn_dtw_batch(&messi, &empty, &[&q], 3, 2, &cfg(2));
+        let (got, stats) = exact_knn_dtw_batch(&messi, &empty, &[&q], 3, 2, &cfg(2)).unwrap();
         assert_eq!(got, vec![Vec::new()]);
         assert_eq!(stats.broadcasts, 0);
         let data = DatasetKind::Synthetic.generate(50, 64, 9);
         let (messi, _) = build(&data, &cfg(2));
-        let (got, _) = exact_knn_dtw_batch(&messi, &data, &[], 3, 2, &cfg(2));
+        let (got, _) = exact_knn_dtw_batch(&messi, &data, &[], 3, 2, &cfg(2)).unwrap();
         assert!(got.is_empty());
     }
 
@@ -459,7 +488,7 @@ mod tests {
         for q in queries.iter() {
             for k in [1usize, 5] {
                 let exact = dsidx_ucr::brute_force_dtw_knn(&data, q, 4, k);
-                let (approx, stats) = approx_knn_dtw(&messi, &data, q, 4, k);
+                let (approx, stats) = approx_knn_dtw(&messi, &data, q, 4, k).unwrap();
                 assert!(!approx.is_empty() && approx.len() <= k);
                 for (a, e) in approx.iter().zip(&exact) {
                     assert!(a.dist_sq >= e.dist_sq - e.dist_sq * 1e-6);
@@ -477,7 +506,7 @@ mod tests {
     fn knn_dtw_on_empty_index_is_empty() {
         let data = Dataset::new(64).unwrap();
         let (messi, _) = build(&data, &cfg(2));
-        let (got, stats) = exact_knn_dtw(&messi, &data, &vec![0.0; 64], 3, 5, &cfg(2));
+        let (got, stats) = exact_knn_dtw(&messi, &data, &vec![0.0; 64], 3, 5, &cfg(2)).unwrap();
         assert!(got.is_empty());
         assert_eq!(stats, QueryStats::default());
     }
@@ -490,8 +519,11 @@ mod tests {
         let q = DatasetKind::Synthetic.queries(1, 64, 71);
         let ed = crate::query::exact_nn(&messi, &data, q.get(0), &cfg(4))
             .unwrap()
+            .unwrap()
             .0;
-        let (dtw, _) = exact_nn_dtw(&messi, &data, q.get(0), 5, &cfg(4)).unwrap();
+        let (dtw, _) = exact_nn_dtw(&messi, &data, q.get(0), 5, &cfg(4))
+            .unwrap()
+            .unwrap();
         // DTW distance never exceeds ED distance.
         assert!(dtw.dist_sq <= ed.dist_sq + ed.dist_sq * 1e-4 + 1e-4);
     }
@@ -500,7 +532,9 @@ mod tests {
     fn empty_index_returns_none() {
         let data = Dataset::new(64).unwrap();
         let (messi, _) = build(&data, &cfg(2));
-        assert!(exact_nn_dtw(&messi, &data, &vec![0.0; 64], 3, &cfg(2)).is_none());
+        assert!(exact_nn_dtw(&messi, &data, &vec![0.0; 64], 3, &cfg(2))
+            .unwrap()
+            .is_none());
     }
 
     #[test]
@@ -509,7 +543,7 @@ mod tests {
         let (messi, _) = build(&data, &cfg(3));
         let queries = DatasetKind::Sald.queries(3, 64, 9);
         for q in queries.iter() {
-            let (_, stats) = exact_nn_dtw(&messi, &data, q, 4, &cfg(3)).unwrap();
+            let (_, stats) = exact_nn_dtw(&messi, &data, q, 4, &cfg(3)).unwrap().unwrap();
             // Seeding pays at least one full DTW.
             assert!(stats.real_computed >= 1);
             // Each LB_Keogh survivor resolves to an abandoned or a fully
@@ -535,9 +569,34 @@ mod tests {
         let (messi, _) = build(&data, &cfg(3));
         let queries = DatasetKind::Seismic.queries(3, 64, 19);
         for q in queries.iter() {
-            let ed = crate::query::exact_nn(&messi, &data, q, &cfg(3)).unwrap().0;
-            let (dtw, _) = exact_nn_dtw(&messi, &data, q, 0, &cfg(3)).unwrap();
+            let ed = crate::query::exact_nn(&messi, &data, q, &cfg(3))
+                .unwrap()
+                .unwrap()
+                .0;
+            let (dtw, _) = exact_nn_dtw(&messi, &data, q, 0, &cfg(3)).unwrap().unwrap();
             assert_eq!(ed.pos, dtw.pos);
         }
+    }
+
+    #[test]
+    fn mid_query_dtw_read_failure_is_an_error_not_a_panic() {
+        let data = DatasetKind::Synthetic.generate(400, 64, 7);
+        let (messi, _) = build(&data, &cfg(4));
+        let qs = DatasetKind::Synthetic.queries(2, 64, 7);
+        let qrefs: Vec<&[f32]> = qs.iter().collect();
+        // Budget 0 fails in seeding; small budgets fail inside the
+        // broadcast's DTW cascade — both must surface as Err.
+        for budget in [0u64, 1, 16, 48] {
+            let flaky = FlakySource::new(data.clone(), budget);
+            assert!(
+                exact_knn_dtw_batch(&messi, &flaky, &qrefs, 4, 40, &cfg(4)).is_err(),
+                "budget {budget} cannot cover a k=40 DTW batch over 400 series"
+            );
+        }
+        // An unconstrained budget answers exactly like the dataset itself.
+        let flaky = FlakySource::new(data.clone(), u64::MAX);
+        let (via_flaky, _) = exact_knn_dtw(&messi, &flaky, qs.get(0), 4, 5, &cfg(4)).unwrap();
+        let (via_data, _) = exact_knn_dtw(&messi, &data, qs.get(0), 4, 5, &cfg(4)).unwrap();
+        assert_eq!(via_flaky, via_data);
     }
 }

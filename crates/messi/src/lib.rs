@@ -17,6 +17,14 @@
 //!   promising leaves; a popped bound above the BSF abandons the whole
 //!   queue. This ordering is why MESSI computes far fewer real distances
 //!   than ParIS — the effect Fig. 12 quantifies.
+//!
+//! The paper positions MESSI as in-memory; this reproduction additionally
+//! makes every query path generic over `dsidx_storage::RawSource` and adds
+//! a streaming build path ([`build_from_file`]), so the same schedules
+//! answer from an on-disk dataset file with candidate reads charged to the
+//! modeled device — the storage blend the paper's successor systems
+//! (Hercules, SING) explore. Raw-read failures mid-query surface as
+//! `Err(StorageError)`, never a worker panic.
 
 pub mod build;
 pub mod config;
@@ -25,7 +33,7 @@ pub mod pqueue;
 pub mod query;
 pub mod traverse;
 
-pub use build::{build, BuildPhases, MessiIndex};
+pub use build::{build, build_from_file, BuildPhases, MessiIndex};
 pub use config::{BufferMode, MessiConfig};
 pub use dsidx_query::{BatchStats, QueryStats};
 pub use dtw::{approx_knn_dtw, exact_knn_dtw, exact_knn_dtw_batch, exact_nn_dtw};

@@ -17,6 +17,18 @@
 //! contributes the MESSI scheduling — cooperative traversal plus
 //! best-bound-first queue draining. All tree reads go through the
 //! flattened view ([`dsidx_tree::flat`]).
+//!
+//! Every entry point is generic over [`RawSource`]: the tree prunes the
+//! same way wherever the raw values live, and only the surviving
+//! candidates pay a fetch — zero-copy against an in-memory [`Dataset`],
+//! device-charged positioned reads against a
+//! [`DatasetFile`](dsidx_storage::DatasetFile). A read failing mid-query
+//! (a device dying under load) surfaces as `Err`: each worker records the
+//! first failure in a shared [`ErrorSlot`], its peers drain their queues
+//! without paying further I/O, and the broadcast's coordinator returns the
+//! error.
+//!
+//! [`Dataset`]: dsidx_series::Dataset
 
 use crate::build::MessiIndex;
 use crate::config::MessiConfig;
@@ -24,30 +36,31 @@ use crate::pqueue::{drain_best_first, Drain, MinQueues};
 use crate::traverse::{BatchLeaf, BatchTraversal};
 use dsidx_query::{
     approx_leaf_flat, batch_process_leaf_entries, batch_seed_positions, finish_knn,
-    process_leaf_entries, seed_from_entries, AtomicQueryStats, BatchStats, PreparedQuery, Pruner,
-    QueryBatch, QueryStats, SeriesFetcher, SharedTopK,
+    process_leaf_entries, seed_from_entries, AtomicQueryStats, BatchStats, ErrorSlot,
+    PreparedQuery, Pruner, QueryBatch, QueryStats, SeriesFetcher, SharedTopK,
 };
-use dsidx_series::{Dataset, Match};
+use dsidx_series::Match;
+use dsidx_storage::{RawSource, StorageError};
 use dsidx_sync::{AtomicBest, SpinBarrier};
 
 /// The MESSI schedule behind [`exact_nn`]: approximate-descent seeding,
 /// then one pool broadcast running the cooperative traversal and the
 /// best-bound-first queue processing with a spin barrier between. Returns
-/// `None` for an empty index. (k-NN goes through the batch path —
+/// `Ok(None)` for an empty index. (k-NN goes through the batch path —
 /// [`exact_knn`] is a batch of one.)
 fn run_exact<P: Pruner>(
     messi: &MessiIndex,
-    data: &Dataset,
+    source: &impl RawSource,
     query: &[f32],
     cfg: &MessiConfig,
     best: &P,
-) -> Option<QueryStats> {
+) -> Result<Option<QueryStats>, StorageError> {
     let config = messi.index.config();
     assert_eq!(query.len(), config.series_len(), "query length mismatch");
     cfg.validate();
     let flat = &messi.flat;
     if flat.entry_count() == 0 {
-        return None;
+        return Ok(None);
     }
     let quantizer = config.quantizer();
     let prep = PreparedQuery::new(quantizer, query);
@@ -58,14 +71,13 @@ fn run_exact<P: Pruner>(
     // routing around empty subtrees.
     let approx_idx =
         approx_leaf_flat(flat, &prep.word).expect("non-empty index has a non-empty leaf");
-    let mut fetcher = SeriesFetcher::new(data);
+    let mut fetcher = SeriesFetcher::new(source);
     let approx_real = seed_from_entries(
         flat.leaf_entries(flat.node(approx_idx)),
         &mut fetcher,
         query,
         best,
-    )
-    .expect("in-memory sources do not fail");
+    )?;
 
     // Phase A: cooperative parallel traversal — the root level is scanned
     // flat from the key bits alone, large subtrees are split via work
@@ -73,11 +85,13 @@ fn run_exact<P: Pruner>(
     // queues with their node-level lower bound. Phase B: pop best-first; a
     // popped minimum above the BSF closes its whole queue; each worker
     // migrates to the next open queue. One broadcast, phases separated by
-    // a spin barrier.
+    // a spin barrier. A failed raw read records into `errors` and closes
+    // the worker's queue; peers see `is_set` and close theirs.
     let shared = AtomicQueryStats::new();
     let queues: MinQueues<u32> = MinQueues::new(cfg.effective_queues());
     let traversal = crate::traverse::Traversal::new(flat, &node_table, best, &queues);
     let phase_barrier = SpinBarrier::new(cfg.threads);
+    let errors = ErrorSlot::new();
 
     pool.broadcast(&|worker| {
         // Workers accumulate locally and merge once per phase — shared
@@ -90,44 +104,60 @@ fn run_exact<P: Pruner>(
         phase_barrier.wait();
 
         // Phase B: best-bound-first processing.
+        let mut fetcher = SeriesFetcher::new(source);
         drain_best_first(&queues, worker, |lb, idx| {
-            if lb >= best.threshold_sq() {
-                // Everything left in this queue is at least as far:
-                // abandon it wholesale.
+            if errors.is_set() || lb >= best.threshold_sq() {
+                // Everything left in this queue is at least as far (or a
+                // peer already failed): abandon it wholesale.
                 local.leaves_discarded += 1;
                 return Drain::Abandon;
             }
             local.leaves_processed += 1;
             let entries = flat.leaf_entries(flat.node(idx));
             local.lb_entry_computed += entries.len() as u64;
-            local.real_computed += process_leaf_entries(entries, &prep.table, data, query, best);
-            Drain::Processed
+            match process_leaf_entries(entries, &prep.table, &mut fetcher, query, best) {
+                Ok(reals) => {
+                    local.real_computed += reals;
+                    Drain::Processed
+                }
+                Err(e) => {
+                    errors.record(e);
+                    Drain::Abandon
+                }
+            }
         });
         shared.merge(&local);
     });
+    errors.take()?;
 
     let mut stats = shared.snapshot();
     stats.real_computed += approx_real;
-    Some(stats)
+    Ok(Some(stats))
 }
 
-/// Exact 1-NN through the MESSI index over its in-memory dataset.
+/// Exact 1-NN through the MESSI index over any [`RawSource`].
 ///
-/// Returns `None` for an empty index.
+/// Returns `Ok(None)` for an empty index.
+///
+/// # Errors
+/// Propagates raw-source I/O failures (the in-memory path is infallible).
 ///
 /// # Panics
 /// Panics if the query length differs from the configured series length.
-#[must_use]
 pub fn exact_nn(
     messi: &MessiIndex,
-    data: &Dataset,
+    source: &impl RawSource,
     query: &[f32],
     cfg: &MessiConfig,
-) -> Option<(Match, QueryStats)> {
+) -> Result<Option<(Match, QueryStats)>, StorageError> {
     let best = AtomicBest::new();
-    let stats = run_exact(messi, data, query, cfg, &best)?;
-    let (dist_sq, pos) = best.get();
-    Some((Match::new(pos, dist_sq), stats))
+    match run_exact(messi, source, query, cfg, &best)? {
+        None => Ok(None),
+        Some(stats) => {
+            let (dist_sq, pos) = best.get();
+            Ok(Some((Match::new(pos, dist_sq), stats)))
+        }
+    }
 }
 
 /// Exact k-NN through the MESSI index: the same traversal + priority-queue
@@ -140,27 +170,29 @@ pub fn exact_nn(
 /// thread counts and queue counts (distance ties prefer the lowest
 /// position).
 ///
+/// # Errors
+/// Propagates raw-source I/O failures.
+///
 /// # Panics
 /// Panics if the query length differs from the configured series length or
 /// `k == 0`.
-#[must_use]
 pub fn exact_knn(
     messi: &MessiIndex,
-    data: &Dataset,
+    source: &impl RawSource,
     query: &[f32],
     k: usize,
     cfg: &MessiConfig,
-) -> (Vec<Match>, QueryStats) {
-    let (mut matches, stats) = exact_knn_batch(messi, data, &[query], k, cfg);
-    (matches.pop().expect("batch of one"), stats.into_single())
+) -> Result<(Vec<Match>, QueryStats), StorageError> {
+    let (mut matches, stats) = exact_knn_batch(messi, source, &[query], k, cfg)?;
+    Ok((matches.pop().expect("batch of one"), stats.into_single()))
 }
 
 /// Exact k-NN for a *batch* of queries in **one** pool broadcast: the tree
 /// is traversed once for the whole batch (a node is pruned only when every
 /// query's threshold beats its bound), priority-queue entries carry the
 /// per-query node mindists, and a popped leaf is processed once — each
-/// entry's series checked against every query whose leaf-level bound
-/// survived.
+/// entry's series fetched from the source at most once per leaf visit and
+/// checked against every query whose leaf-level bound survived.
 ///
 /// Answers are element-wise identical to calling [`exact_knn`] per query,
 /// deterministic across runs, thread counts and queue counts. The
@@ -169,17 +201,19 @@ pub fn exact_knn(
 /// [`BatchStats::shared`]; per-query counters sit in
 /// [`BatchStats::per_query`].
 ///
+/// # Errors
+/// Propagates raw-source I/O failures.
+///
 /// # Panics
 /// Panics if any query length differs from the configured series length or
 /// `k == 0`.
-#[must_use]
 pub fn exact_knn_batch(
     messi: &MessiIndex,
-    data: &Dataset,
+    source: &impl RawSource,
     queries: &[&[f32]],
     k: usize,
     cfg: &MessiConfig,
-) -> (Vec<Vec<Match>>, BatchStats) {
+) -> Result<(Vec<Vec<Match>>, BatchStats), StorageError> {
     let config = messi.index.config();
     for q in queries {
         assert_eq!(q.len(), config.series_len(), "query length mismatch");
@@ -189,7 +223,7 @@ pub fn exact_knn_batch(
     let quantizer = config.quantizer();
     let batch = QueryBatch::new(quantizer, queries, k);
     if flat.entry_count() == 0 || batch.is_empty() {
-        return batch.finish(0, QueryStats::default());
+        return Ok(batch.finish(0, QueryStats::default()));
     }
     let tables: Vec<_> = batch
         .slots()
@@ -199,7 +233,9 @@ pub fn exact_knn_batch(
     let pool = dsidx_sync::pool::global(cfg.threads);
 
     // Initial thresholds from the union of the batch's own leaves
-    // (distinct leaves only), cross-seeded into every pruner.
+    // (distinct leaves only), cross-seeded into every pruner. Positions
+    // are deduplicated and fetched in position order (sequential-friendly
+    // for on-disk sources).
     let mut leaf_idxs: Vec<u32> = batch
         .slots()
         .iter()
@@ -215,8 +251,8 @@ pub fn exact_knn_batch(
         .collect();
     positions.sort_unstable();
     positions.dedup();
-    let mut fetcher = SeriesFetcher::new(data);
-    batch_seed_positions(&positions, &mut fetcher, &batch).expect("in-memory sources do not fail");
+    let mut fetcher = SeriesFetcher::new(source);
+    batch_seed_positions(&positions, &mut fetcher, &batch)?;
 
     // Phase A: one cooperative traversal for the whole batch (see
     // [`crate::traverse::BatchTraversal`]); surviving leaves enter the
@@ -224,11 +260,14 @@ pub fn exact_knn_batch(
     // best-first; a popped minimum at or above every query's threshold
     // closes its whole queue; an entry pays per-query bounds and
     // early-abandoned distances only for queries whose leaf bound
-    // survived. One broadcast, phases separated by a spin barrier.
+    // survived. One broadcast, phases separated by a spin barrier; a
+    // failed raw read closes the worker's queue and surfaces after the
+    // join.
     let shared = AtomicQueryStats::new();
     let queues: MinQueues<BatchLeaf> = MinQueues::new(cfg.effective_queues());
     let traversal = BatchTraversal::new(flat, &tables, &batch, &queues);
     let phase_barrier = SpinBarrier::new(cfg.threads);
+    let errors = ErrorSlot::new();
 
     pool.broadcast(&|worker| {
         // Workers accumulate locally and merge once per phase (see
@@ -242,11 +281,13 @@ pub fn exact_knn_batch(
 
         // Phase B: best-bound-first processing, once per leaf for the
         // whole batch.
+        let mut fetcher = SeriesFetcher::new(source);
         let mut active: Vec<usize> = Vec::with_capacity(batch.len());
         drain_best_first(&queues, worker, |min_lb, leaf: BatchLeaf| {
-            if min_lb >= batch.max_threshold_sq() {
+            if errors.is_set() || min_lb >= batch.max_threshold_sq() {
                 // Every remaining leaf in this queue is at least as far
-                // for every query: abandon it wholesale.
+                // for every query (or a peer already failed): abandon it
+                // wholesale.
                 shared_local.leaves_discarded += 1;
                 return Drain::Abandon;
             }
@@ -264,40 +305,48 @@ pub fn exact_knn_batch(
             }
             shared_local.leaves_processed += 1;
             let entries = flat.leaf_entries(flat.node(leaf.idx));
-            batch_process_leaf_entries(entries, data, &batch, &active, &mut locals);
-            Drain::Processed
+            match batch_process_leaf_entries(entries, &mut fetcher, &batch, &active, &mut locals) {
+                Ok(()) => Drain::Processed,
+                Err(e) => {
+                    errors.record(e);
+                    Drain::Abandon
+                }
+            }
         });
         batch.merge_locals(&locals);
         shared.merge(&shared_local);
     });
+    errors.take()?;
 
-    batch.finish(1, shared.snapshot())
+    Ok(batch.finish(1, shared.snapshot()))
 }
 
 /// *Approximate* k-NN through the MESSI index: descend to the query's own
 /// leaf (the paper's approximate answer — "the most promising leaf") and
 /// return the k nearest of its entries by real Euclidean distance, without
-/// the exact traversal/processing phases. No pool broadcast is issued.
+/// the exact traversal/processing phases. No pool broadcast is issued; on
+/// an on-disk source only the one leaf's entries are fetched.
 ///
 /// Every reported distance is a real distance to a real series, so it is
 /// never below the exact answer at the same rank; the positions may
 /// differ. Returns fewer than `k` matches when the leaf holds fewer
 /// entries, empty for an empty index.
 ///
+/// # Errors
+/// Propagates raw-source I/O failures.
+///
 /// # Panics
 /// Panics if the query length differs from the configured series length or
 /// `k == 0`.
-#[must_use]
 pub fn approx_knn(
     messi: &MessiIndex,
-    data: &Dataset,
+    source: &impl RawSource,
     query: &[f32],
     k: usize,
-) -> (Vec<Match>, QueryStats) {
+) -> Result<(Vec<Match>, QueryStats), StorageError> {
     approx_leaf_visit(messi, query, k, |entries, topk| {
-        let mut fetcher = SeriesFetcher::new(data);
+        let mut fetcher = SeriesFetcher::new(source);
         seed_from_entries(entries, &mut fetcher, query, topk)
-            .expect("in-memory sources do not fail")
     })
 }
 
@@ -308,22 +357,22 @@ pub(crate) fn approx_leaf_visit(
     messi: &MessiIndex,
     query: &[f32],
     k: usize,
-    pay: impl FnOnce(&[dsidx_tree::LeafEntry], &SharedTopK) -> u64,
-) -> (Vec<Match>, QueryStats) {
+    pay: impl FnOnce(&[dsidx_tree::LeafEntry], &SharedTopK) -> Result<u64, StorageError>,
+) -> Result<(Vec<Match>, QueryStats), StorageError> {
     let config = messi.index.config();
     assert_eq!(query.len(), config.series_len(), "query length mismatch");
     let topk = SharedTopK::new(k);
     let flat = &messi.flat;
     if flat.entry_count() == 0 {
-        return finish_knn(&topk, None);
+        return Ok(finish_knn(&topk, None));
     }
     let word = config.quantizer().word(query);
     let idx = approx_leaf_flat(flat, &word).expect("non-empty index has a non-empty leaf");
     let stats = QueryStats {
-        real_computed: pay(flat.leaf_entries(flat.node(idx)), &topk),
+        real_computed: pay(flat.leaf_entries(flat.node(idx)), &topk)?,
         ..QueryStats::default()
     };
-    finish_knn(&topk, Some(stats))
+    Ok(finish_knn(&topk, Some(stats)))
 }
 
 #[cfg(test)]
@@ -332,6 +381,8 @@ mod tests {
     use crate::build::build;
     use crate::config::MessiConfig;
     use dsidx_series::gen::DatasetKind;
+    use dsidx_series::Dataset;
+    use dsidx_storage::FlakySource;
     use dsidx_tree::TreeConfig;
     use dsidx_ucr::brute_force;
 
@@ -349,7 +400,7 @@ mod tests {
                 let want = brute_force(&data, q).unwrap();
                 for threads in [1usize, 4] {
                     let c = cfg(threads);
-                    let (got, _) = exact_nn(&messi, &data, q, &c).unwrap();
+                    let (got, _) = exact_nn(&messi, &data, q, &c).unwrap().unwrap();
                     assert_eq!(got.pos, want.pos, "{} x{threads}", kind.name());
                     assert!((got.dist_sq - want.dist_sq).abs() <= want.dist_sq * 1e-4 + 1e-4);
                 }
@@ -367,7 +418,7 @@ mod tests {
                 let want = dsidx_ucr::brute_force_knn(&data, q, k);
                 for threads in [1usize, 4] {
                     let c = cfg(threads);
-                    let (got, stats) = exact_knn(&messi, &data, q, k, &c);
+                    let (got, stats) = exact_knn(&messi, &data, q, k, &c).unwrap();
                     assert_eq!(got.len(), want.len(), "k={k} x{threads}");
                     for (g, w) in got.iter().zip(&want) {
                         assert_eq!(g.pos, w.pos, "k={k} x{threads}");
@@ -388,11 +439,11 @@ mod tests {
         for k in [1usize, 8, 40] {
             for threads in [1usize, 4] {
                 let c = cfg(threads);
-                let (batched, stats) = exact_knn_batch(&messi, &data, &qrefs, k, &c);
+                let (batched, stats) = exact_knn_batch(&messi, &data, &qrefs, k, &c).unwrap();
                 assert_eq!(stats.broadcasts, 1, "one broadcast for the whole batch");
                 assert!(stats.broadcasts_per_query() < 1.0);
                 for (qi, q) in qs.iter().enumerate() {
-                    let (single, _) = exact_knn(&messi, &data, q, k, &c);
+                    let (single, _) = exact_knn(&messi, &data, q, k, &c).unwrap();
                     assert_eq!(
                         batched[qi].iter().map(|m| m.pos).collect::<Vec<_>>(),
                         single.iter().map(|m| m.pos).collect::<Vec<_>>(),
@@ -416,10 +467,10 @@ mod tests {
         let (messi, _) = build(&data, &cfg(4));
         let qs = DatasetKind::Seismic.queries(5, 64, 71);
         let qrefs: Vec<&[f32]> = qs.iter().collect();
-        let (first, _) = exact_knn_batch(&messi, &data, &qrefs, 9, &cfg(1));
+        let (first, _) = exact_knn_batch(&messi, &data, &qrefs, 9, &cfg(1)).unwrap();
         for queues in [1usize, 2, 8, 32] {
             let c = cfg(4).with_queues(queues);
-            let (got, _) = exact_knn_batch(&messi, &data, &qrefs, 9, &c);
+            let (got, _) = exact_knn_batch(&messi, &data, &qrefs, 9, &c).unwrap();
             assert_eq!(got, first, "queues={queues}");
         }
     }
@@ -429,12 +480,12 @@ mod tests {
         let data = DatasetKind::Seismic.generate(500, 64, 3);
         let (messi, _) = build(&data, &cfg(4));
         let q = DatasetKind::Seismic.queries(1, 64, 3);
-        let (first, _) = exact_knn(&messi, &data, q.get(0), 12, &cfg(1));
+        let (first, _) = exact_knn(&messi, &data, q.get(0), 12, &cfg(1)).unwrap();
         assert_eq!(first.len(), 12);
         for queues in [1usize, 2, 8, 32] {
             let c = cfg(4).with_queues(queues);
             for _ in 0..2 {
-                let (m, _) = exact_knn(&messi, &data, q.get(0), 12, &c);
+                let (m, _) = exact_knn(&messi, &data, q.get(0), 12, &c).unwrap();
                 assert_eq!(m, first, "queues={queues}");
             }
         }
@@ -448,7 +499,7 @@ mod tests {
         for q in queries.iter() {
             for k in [1usize, 5, 12] {
                 let exact = dsidx_ucr::brute_force_knn(&data, q, k);
-                let (approx, stats) = approx_knn(&messi, &data, q, k);
+                let (approx, stats) = approx_knn(&messi, &data, q, k).unwrap();
                 assert!(approx.len() <= k);
                 assert!(!approx.is_empty());
                 // Rank-wise: the approximate i-th distance never falls
@@ -469,7 +520,7 @@ mod tests {
         let data = DatasetKind::Sald.generate(300, 64, 6);
         let (messi, _) = build(&data, &cfg(3));
         for pos in [0usize, 123, 299] {
-            let (m, _) = approx_knn(&messi, &data, data.get(pos), 1);
+            let (m, _) = approx_knn(&messi, &data, data.get(pos), 1).unwrap();
             assert_eq!(m[0].pos as usize, pos);
             assert_eq!(m[0].dist_sq, 0.0);
         }
@@ -479,7 +530,7 @@ mod tests {
     fn approx_knn_on_empty_index_is_empty() {
         let data = Dataset::new(64).unwrap();
         let (messi, _) = build(&data, &cfg(2));
-        let (got, stats) = approx_knn(&messi, &data, &vec![0.0; 64], 4);
+        let (got, stats) = approx_knn(&messi, &data, &vec![0.0; 64], 4).unwrap();
         assert!(got.is_empty());
         assert_eq!(stats, QueryStats::default());
     }
@@ -488,7 +539,7 @@ mod tests {
     fn knn_on_empty_index_is_empty() {
         let data = Dataset::new(64).unwrap();
         let (messi, _) = build(&data, &cfg(2));
-        let (got, stats) = exact_knn(&messi, &data, &vec![0.0; 64], 4, &cfg(2));
+        let (got, stats) = exact_knn(&messi, &data, &vec![0.0; 64], 4, &cfg(2)).unwrap();
         assert!(got.is_empty());
         assert_eq!(stats, QueryStats::default());
     }
@@ -502,7 +553,7 @@ mod tests {
             let want = brute_force(&data, q).unwrap();
             for queues in [1usize, 2, 8, 32] {
                 let c = cfg(4).with_queues(queues);
-                let (got, _) = exact_nn(&messi, &data, q, &c).unwrap();
+                let (got, _) = exact_nn(&messi, &data, q, &c).unwrap().unwrap();
                 assert_eq!(got.pos, want.pos, "queues={queues}");
             }
         }
@@ -514,7 +565,7 @@ mod tests {
         let (messi, _) = build(&data, &cfg(4));
         let queries = dsidx_series::gen::sines(3, 64, 77);
         for q in queries.iter() {
-            let (_, stats) = exact_nn(&messi, &data, q, &cfg(4)).unwrap();
+            let (_, stats) = exact_nn(&messi, &data, q, &cfg(4)).unwrap().unwrap();
             // On clusterable data the queues + tree bounds must discard
             // most real-distance work.
             assert!(
@@ -534,7 +585,9 @@ mod tests {
         let data = DatasetKind::Sald.generate(300, 64, 6);
         let (messi, _) = build(&data, &cfg(3));
         for pos in [0usize, 123, 299] {
-            let (m, _) = exact_nn(&messi, &data, data.get(pos), &cfg(3)).unwrap();
+            let (m, _) = exact_nn(&messi, &data, data.get(pos), &cfg(3))
+                .unwrap()
+                .unwrap();
             assert_eq!(m.pos as usize, pos);
             assert_eq!(m.dist_sq, 0.0);
         }
@@ -544,7 +597,9 @@ mod tests {
     fn empty_index_returns_none() {
         let data = Dataset::new(64).unwrap();
         let (messi, _) = build(&data, &cfg(2));
-        assert!(exact_nn(&messi, &data, &vec![0.0; 64], &cfg(2)).is_none());
+        assert!(exact_nn(&messi, &data, &vec![0.0; 64], &cfg(2))
+            .unwrap()
+            .is_none());
     }
 
     #[test]
@@ -552,9 +607,9 @@ mod tests {
         let data = DatasetKind::Seismic.generate(600, 64, 13);
         let (messi, _) = build(&data, &cfg(8));
         let q = DatasetKind::Seismic.queries(1, 64, 13);
-        let (first, _) = exact_nn(&messi, &data, q.get(0), &cfg(1)).unwrap();
+        let (first, _) = exact_nn(&messi, &data, q.get(0), &cfg(1)).unwrap().unwrap();
         for _ in 0..5 {
-            let (m, _) = exact_nn(&messi, &data, q.get(0), &cfg(8)).unwrap();
+            let (m, _) = exact_nn(&messi, &data, q.get(0), &cfg(8)).unwrap().unwrap();
             assert_eq!(m, first);
         }
     }
@@ -567,7 +622,37 @@ mod tests {
         let (messi, _) = build(&data, &cfg(2));
         let q = DatasetKind::Seismic.queries(1, 64, 123);
         let want = brute_force(&data, q.get(0)).unwrap();
-        let (got, _) = exact_nn(&messi, &data, q.get(0), &cfg(2)).unwrap();
+        let (got, _) = exact_nn(&messi, &data, q.get(0), &cfg(2)).unwrap().unwrap();
         assert_eq!(got.pos, want.pos);
+    }
+
+    #[test]
+    fn mid_query_read_failure_is_an_error_not_a_panic() {
+        let data = DatasetKind::Synthetic.generate(500, 64, 91);
+        let (messi, _) = build(&data, &cfg(4));
+        let q = DatasetKind::Synthetic.queries(2, 64, 91);
+        let qrefs: Vec<&[f32]> = q.iter().collect();
+        // Budget 0: the very first fetch (approximate-leaf seeding) fails.
+        let flaky = FlakySource::new(data.clone(), 0);
+        assert!(matches!(
+            exact_nn(&messi, &flaky, q.get(0), &cfg(4)),
+            Err(StorageError::Io(_))
+        ));
+        // Budgets that survive seeding but die inside the broadcast's
+        // processing phase: the error must surface through the pool join
+        // as `Err` — a worker panic would abort the whole process here.
+        for budget in [1u64, 8, 32, 64] {
+            let flaky = FlakySource::new(data.clone(), budget);
+            assert!(
+                exact_knn_batch(&messi, &flaky, &qrefs, 50, &cfg(4)).is_err(),
+                "budget {budget} cannot cover a k=50 batch over 500 series"
+            );
+            assert!(flaky.tripped());
+        }
+        // An unconstrained budget answers exactly like the dataset itself.
+        let flaky = FlakySource::new(data.clone(), u64::MAX);
+        let (via_flaky, _) = exact_knn(&messi, &flaky, q.get(0), 7, &cfg(4)).unwrap();
+        let (via_data, _) = exact_knn(&messi, &data, q.get(0), 7, &cfg(4)).unwrap();
+        assert_eq!(via_flaky, via_data);
     }
 }

@@ -19,8 +19,8 @@ use crate::build::ParisIndex;
 use dsidx_query::{
     approx_leaf, batch_collect_candidates, batch_seed_positions, batch_seed_prefix,
     batch_verify_candidates, collect_candidates, finish_knn, seed_from_entries, verify_candidates,
-    AtomicQueryStats, BatchCandidate, BatchStats, DtwPrepared, PreparedQuery, Pruner, QueryBatch,
-    QueryStats, SeriesFetcher, SharedTopK,
+    AtomicQueryStats, BatchCandidate, BatchStats, DtwPrepared, ErrorSlot, PreparedQuery, Pruner,
+    QueryBatch, QueryStats, SeriesFetcher, SharedTopK,
 };
 use dsidx_series::distance::dtw::{dtw_sq_bounded, lb_keogh_sq_bounded};
 use dsidx_series::distance::euclidean_sq_bounded;
@@ -112,27 +112,25 @@ fn run_exact<P: Pruner>(
     // Step 3: parallel real distances over the candidate list.
     let real_queue = WorkQueue::new(candidates.len());
     let shared = AtomicQueryStats::new();
-    let errors: Mutex<Option<StorageError>> = Mutex::new(None);
+    let errors = ErrorSlot::new();
     pool.broadcast(&|_worker| {
         let mut fetcher = SeriesFetcher::new(source);
         let mut reals = 0u64;
         while let Some(range) = real_queue.claim_chunk(REAL_CHUNK) {
+            if errors.is_set() {
+                break;
+            }
             match verify_candidates(&candidates, range, &mut fetcher, query, pruner) {
                 Ok(n) => reals += n,
                 Err(e) => {
-                    let mut slot = errors.lock();
-                    if slot.is_none() {
-                        *slot = Some(e);
-                    }
+                    errors.record(e);
                     break;
                 }
             }
         }
         shared.add_real_computed(reals);
     });
-    if let Some(e) = errors.into_inner() {
-        return Err(e);
-    }
+    errors.take()?;
 
     let mut stats = shared.snapshot();
     stats.lb_computed = words.len() as u64;
@@ -285,26 +283,24 @@ pub fn exact_knn_batch(
 
     // Step 3: one parallel verify broadcast over the shared triple list.
     let real_queue = WorkQueue::new(candidates.len());
-    let errors: Mutex<Option<StorageError>> = Mutex::new(None);
+    let errors = ErrorSlot::new();
     pool.broadcast(&|_worker| {
         let mut fetcher = SeriesFetcher::new(source);
         let mut locals = vec![QueryStats::default(); batch.len()];
         while let Some(range) = real_queue.claim_chunk(REAL_CHUNK) {
+            if errors.is_set() {
+                break;
+            }
             if let Err(e) =
                 batch_verify_candidates(&candidates, range, &mut fetcher, &batch, &mut locals)
             {
-                let mut slot = errors.lock();
-                if slot.is_none() {
-                    *slot = Some(e);
-                }
+                errors.record(e);
                 break;
             }
         }
         batch.merge_locals(&locals);
     });
-    if let Some(e) = errors.into_inner() {
-        return Err(e);
-    }
+    errors.take()?;
 
     // Every query paid one bound per SAX-array position.
     let bounds = QueryStats {

@@ -27,7 +27,7 @@ use crate::prepare::PreparedQuery;
 use crate::stats::{AtomicQueryStats, QueryStats};
 use dsidx_isax::{Quantizer, Word};
 use dsidx_series::distance::euclidean_sq_bounded;
-use dsidx_series::{Dataset, Match};
+use dsidx_series::Match;
 use dsidx_storage::{RawSource, StorageError};
 use dsidx_sync::{Pruner, SharedTopK};
 use dsidx_tree::LeafEntry;
@@ -451,37 +451,48 @@ pub fn batch_verify_candidates(
 /// Entry-level bound + early-abandoned real distance over one leaf's
 /// entries for every query in `active` (indices into the batch's slots
 /// whose leaf-level bound survived) — the leaf is processed *once* for the
-/// whole batch. The batch generalization of
+/// whole batch, and a surviving entry is fetched once from the
+/// [`RawSource`] for every query that still wants it. The batch
+/// generalization of
 /// [`process_leaf_entries`](crate::scan::process_leaf_entries).
+///
+/// # Errors
+/// Propagates raw-source I/O failures.
 pub fn batch_process_leaf_entries(
     entries: &[LeafEntry],
-    data: &Dataset,
+    fetcher: &mut SeriesFetcher<'_, impl RawSource>,
     batch: &QueryBatch<'_>,
     active: &[usize],
     locals: &mut [QueryStats],
-) {
+) -> Result<(), StorageError> {
     let (mut fetches, mut requests) = (0u64, 0u64);
+    let mut survivors: Vec<usize> = Vec::with_capacity(active.len());
     for e in entries {
-        let mut series: Option<&[f32]> = None;
+        survivors.clear();
         for &qi in active {
             let slot = &batch.slots()[qi];
             locals[qi].lb_entry_computed += 1;
-            let limit = slot.topk.threshold_sq();
-            if slot.prep.table.lookup(&e.word) >= limit {
-                continue;
+            if slot.prep.table.lookup(&e.word) < slot.topk.threshold_sq() {
+                survivors.push(qi);
             }
-            let s = *series.get_or_insert_with(|| data.get(e.pos as usize));
+        }
+        if survivors.is_empty() {
+            continue;
+        }
+        let series = fetcher.fetch(e.pos as usize)?;
+        fetches += 1;
+        for &qi in &survivors {
+            let slot = &batch.slots()[qi];
+            let limit = slot.topk.threshold_sq();
             requests += 1;
-            if let Some(d) = euclidean_sq_bounded(slot.values, s, limit) {
+            if let Some(d) = euclidean_sq_bounded(slot.values, series, limit) {
                 slot.topk.insert(d, e.pos);
                 locals[qi].real_computed += 1;
             }
         }
-        if series.is_some() {
-            fetches += 1;
-        }
     }
     batch.count_io(fetches, requests);
+    Ok(())
 }
 
 #[cfg(test)]
@@ -489,6 +500,7 @@ mod tests {
     use super::*;
     use dsidx_series::distance::euclidean_sq;
     use dsidx_series::gen::DatasetKind;
+    use dsidx_series::Dataset;
     use dsidx_tree::TreeConfig;
 
     fn fixture(n: usize) -> (Dataset, Vec<Word>, TreeConfig) {
@@ -610,8 +622,9 @@ mod tests {
         let k = 4;
         let batch = QueryBatch::new(config.quantizer(), &qrefs, k);
         let mut locals = vec![QueryStats::default(); batch.len()];
+        let mut fetcher = SeriesFetcher::new(&data);
         // Only queries 0 and 2 are active for this "leaf".
-        batch_process_leaf_entries(&entries, &data, &batch, &[0, 2], &mut locals);
+        batch_process_leaf_entries(&entries, &mut fetcher, &batch, &[0, 2], &mut locals).unwrap();
         batch.merge_locals(&locals);
         let (matches, stats) = batch.finish(1, QueryStats::default());
         for qi in [0usize, 2] {

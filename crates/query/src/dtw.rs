@@ -20,7 +20,6 @@ use crate::stats::QueryStats;
 use dsidx_isax::paa::envelope_paa_bounds;
 use dsidx_isax::{MindistTable, NodeMindistTable, Quantizer};
 use dsidx_series::distance::dtw::{dtw_sq, dtw_sq_bounded, envelope, lb_keogh_sq_bounded};
-use dsidx_series::Dataset;
 use dsidx_storage::{RawSource, StorageError};
 use dsidx_sync::Pruner;
 use dsidx_tree::LeafEntry;
@@ -99,6 +98,47 @@ pub fn seed_from_entries_dtw<P: Pruner>(
     Ok(entries.len() as u64)
 }
 
+/// The LB_Keogh → early-abandoned banded DTW tail of the cascade over one
+/// leaf's entries for a single query (MESSI's DTW processing phase),
+/// paying a fetch only for entries whose iSAX bound survives. Counter
+/// updates land in `stats` (`lb_entry_computed`, `lb_keogh_*`,
+/// `real_computed`, `dtw_abandoned`) — the single-query counterpart of
+/// [`batch_process_leaf_entries_dtw`] and the DTW counterpart of
+/// [`process_leaf_entries`](crate::scan::process_leaf_entries).
+///
+/// # Errors
+/// Propagates raw-source I/O failures.
+pub fn process_leaf_entries_dtw<P: Pruner>(
+    entries: &[LeafEntry],
+    prep: &DtwPrepared,
+    fetcher: &mut SeriesFetcher<'_, impl RawSource>,
+    query: &[f32],
+    band: usize,
+    pruner: &P,
+    stats: &mut QueryStats,
+) -> Result<(), StorageError> {
+    for e in entries {
+        let limit = pruner.threshold_sq();
+        stats.lb_entry_computed += 1;
+        if prep.table.lookup(&e.word) >= limit {
+            continue;
+        }
+        let series = fetcher.fetch(e.pos as usize)?;
+        stats.lb_keogh_computed += 1;
+        if lb_keogh_sq_bounded(series, &prep.lo_env, &prep.hi_env, limit).is_none() {
+            stats.lb_keogh_pruned += 1;
+            continue;
+        }
+        if let Some(d) = dtw_sq_bounded(query, series, band, limit) {
+            stats.real_computed += 1;
+            pruner.insert(d, e.pos);
+        } else {
+            stats.dtw_abandoned += 1;
+        }
+    }
+    Ok(())
+}
+
 /// Seeds every query in a DTW batch from the (deduplicated) `positions`:
 /// each series is fetched once and pays an early-abandoned banded DTW
 /// against every query — the DTW counterpart of
@@ -140,54 +180,65 @@ pub fn batch_seed_positions_dtw(
 /// `active` (indices into the batch's slots whose leaf-level bound
 /// survived): interval iSAX bound → LB_Keogh on the raw series →
 /// early-abandoned banded DTW, each stage pruning against that query's
-/// current threshold. The leaf is processed *once* for the whole batch —
-/// the DTW counterpart of
+/// current threshold. The leaf is processed *once* for the whole batch,
+/// and a surviving entry is fetched once from the [`RawSource`] for every
+/// query that still wants it — the DTW counterpart of
 /// [`batch_process_leaf_entries`](crate::batch::batch_process_leaf_entries).
 ///
 /// `preps` is index-aligned with the batch's slots.
 ///
+/// # Errors
+/// Propagates raw-source I/O failures.
+///
 /// # Panics
 /// Panics if `preps` is not one prepared state per query.
+#[allow(clippy::too_many_arguments)] // mirrors the ED batch loop + band
 pub fn batch_process_leaf_entries_dtw(
     entries: &[LeafEntry],
-    data: &Dataset,
+    fetcher: &mut SeriesFetcher<'_, impl RawSource>,
     batch: &QueryBatch<'_>,
     active: &[usize],
     preps: &[DtwPrepared],
     band: usize,
     locals: &mut [QueryStats],
-) {
+) -> Result<(), StorageError> {
     assert_eq!(preps.len(), batch.len(), "one DtwPrepared per query");
     let (mut fetches, mut requests) = (0u64, 0u64);
+    let mut survivors: Vec<usize> = Vec::with_capacity(active.len());
     for e in entries {
-        let mut series: Option<&[f32]> = None;
+        survivors.clear();
         for &qi in active {
             let slot = &batch.slots()[qi];
-            let prep = &preps[qi];
             locals[qi].lb_entry_computed += 1;
-            let limit = slot.topk.threshold_sq();
-            if prep.table.lookup(&e.word) >= limit {
-                continue;
+            if preps[qi].table.lookup(&e.word) < slot.topk.threshold_sq() {
+                survivors.push(qi);
             }
-            let s = *series.get_or_insert_with(|| data.get(e.pos as usize));
+        }
+        if survivors.is_empty() {
+            continue;
+        }
+        let series = fetcher.fetch(e.pos as usize)?;
+        fetches += 1;
+        for &qi in &survivors {
+            let slot = &batch.slots()[qi];
+            let prep = &preps[qi];
+            let limit = slot.topk.threshold_sq();
             requests += 1;
             locals[qi].lb_keogh_computed += 1;
-            if lb_keogh_sq_bounded(s, &prep.lo_env, &prep.hi_env, limit).is_none() {
+            if lb_keogh_sq_bounded(series, &prep.lo_env, &prep.hi_env, limit).is_none() {
                 locals[qi].lb_keogh_pruned += 1;
                 continue;
             }
-            if let Some(d) = dtw_sq_bounded(slot.values, s, band, limit) {
+            if let Some(d) = dtw_sq_bounded(slot.values, series, band, limit) {
                 slot.topk.insert(d, e.pos);
                 locals[qi].real_computed += 1;
             } else {
                 locals[qi].dtw_abandoned += 1;
             }
         }
-        if series.is_some() {
-            fetches += 1;
-        }
     }
     batch.count_io(fetches, requests);
+    Ok(())
 }
 
 #[cfg(test)]
@@ -195,6 +246,7 @@ mod tests {
     use super::*;
     use crate::stats::QueryStats;
     use dsidx_series::gen::DatasetKind;
+    use dsidx_series::Dataset;
     use dsidx_tree::TreeConfig;
 
     fn fixture(n: usize) -> (Dataset, TreeConfig) {
@@ -264,6 +316,39 @@ mod tests {
     }
 
     #[test]
+    fn single_query_leaf_cascade_equals_brute_force() {
+        let (data, config) = fixture(220);
+        let quantizer = config.quantizer();
+        let entries: Vec<LeafEntry> = data
+            .iter()
+            .enumerate()
+            .map(|(pos, s)| LeafEntry::new(quantizer.word(s), pos as u32))
+            .collect();
+        let qs = DatasetKind::Synthetic.queries(3, 64, 21);
+        let band = 4;
+        for q in qs.iter() {
+            let prep = DtwPrepared::new(quantizer, q, band);
+            let topk = dsidx_sync::SharedTopK::new(6);
+            let mut fetcher = SeriesFetcher::new(&data);
+            let mut stats = QueryStats::default();
+            process_leaf_entries_dtw(&entries, &prep, &mut fetcher, q, band, &topk, &mut stats)
+                .unwrap();
+            let want = brute_dtw_topk(&data, q, band, 6);
+            assert_eq!(
+                topk.matches().iter().map(|m| m.1).collect::<Vec<_>>(),
+                want.iter().map(|w| w.1).collect::<Vec<_>>()
+            );
+            // Every entry pays the entry bound; survivors resolve to
+            // pruned, abandoned, or fully paid DTWs.
+            assert_eq!(stats.lb_entry_computed, 220);
+            assert_eq!(
+                stats.lb_keogh_pruned + stats.dtw_abandoned + stats.real_computed,
+                stats.lb_keogh_computed
+            );
+        }
+    }
+
+    #[test]
     fn batched_leaf_cascade_equals_brute_force() {
         let (data, config) = fixture(250);
         let quantizer = config.quantizer();
@@ -283,15 +368,17 @@ mod tests {
                 .collect();
             let active: Vec<usize> = (0..batch.len()).collect();
             let mut locals = vec![QueryStats::default(); batch.len()];
+            let mut fetcher = SeriesFetcher::new(&data);
             batch_process_leaf_entries_dtw(
                 &entries,
-                &data,
+                &mut fetcher,
                 &batch,
                 &active,
                 &preps,
                 band,
                 &mut locals,
-            );
+            )
+            .unwrap();
             batch.merge_locals(&locals);
             let (matches, stats) = batch.finish(0, QueryStats::default());
             for (qi, q) in qs.iter().enumerate() {

@@ -1,0 +1,95 @@
+//! First-error capture for parallel schedules.
+//!
+//! A pool broadcast fans a fallible closure out to every worker, but the
+//! broadcast itself returns `()` — an I/O failure inside a worker has no
+//! return channel. An [`ErrorSlot`] is that channel: workers `record` the
+//! first failure (later ones are dropped — one actionable error beats a
+//! pile of cascading ones), peers poll `is_set` to stop claiming work
+//! early, and the coordinating thread `take`s the outcome after the
+//! broadcast joins.
+
+use dsidx_storage::StorageError;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Mutex;
+
+/// A write-once slot for the first [`StorageError`] of a parallel phase.
+#[derive(Debug, Default)]
+pub struct ErrorSlot {
+    set: AtomicBool,
+    slot: Mutex<Option<StorageError>>,
+}
+
+impl ErrorSlot {
+    /// An empty slot.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Records `e` if no error has been recorded yet; later errors are
+    /// dropped (the first failure is the actionable one).
+    pub fn record(&self, e: StorageError) {
+        let mut slot = self.slot.lock().expect("error slot poisoned");
+        if slot.is_none() {
+            *slot = Some(e);
+            self.set.store(true, Ordering::Release);
+        }
+    }
+
+    /// `true` once any worker recorded an error — the cheap signal for
+    /// other workers to stop claiming work.
+    #[must_use]
+    pub fn is_set(&self) -> bool {
+        self.set.load(Ordering::Acquire)
+    }
+
+    /// Consumes the slot: `Err` with the recorded error, `Ok(())` when the
+    /// phase completed cleanly. Call after the parallel phase has joined.
+    ///
+    /// # Errors
+    /// Returns the first error any worker recorded.
+    pub fn take(self) -> Result<(), StorageError> {
+        match self.slot.into_inner().expect("error slot poisoned") {
+            Some(e) => Err(e),
+            None => Ok(()),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_slot_is_ok() {
+        let slot = ErrorSlot::new();
+        assert!(!slot.is_set());
+        assert!(slot.take().is_ok());
+    }
+
+    #[test]
+    fn first_error_wins() {
+        let slot = ErrorSlot::new();
+        slot.record(StorageError::BadMagic);
+        assert!(slot.is_set());
+        slot.record(StorageError::BadVersion(9));
+        assert!(matches!(slot.take(), Err(StorageError::BadMagic)));
+    }
+
+    #[test]
+    fn concurrent_records_keep_exactly_one() {
+        let slot = ErrorSlot::new();
+        std::thread::scope(|s| {
+            for _ in 0..8 {
+                let slot = &slot;
+                s.spawn(move || {
+                    for _ in 0..100 {
+                        slot.record(StorageError::BadMagic);
+                    }
+                });
+            }
+        });
+        assert!(slot.is_set());
+        assert!(slot.take().is_err());
+    }
+}

@@ -34,6 +34,7 @@
 
 pub mod batch;
 pub mod dtw;
+pub mod errslot;
 pub mod fetch;
 pub mod knn;
 pub mod prepare;
@@ -47,8 +48,10 @@ pub use batch::{
     BatchStats, QueryBatch,
 };
 pub use dtw::{
-    batch_process_leaf_entries_dtw, batch_seed_positions_dtw, seed_from_entries_dtw, DtwPrepared,
+    batch_process_leaf_entries_dtw, batch_seed_positions_dtw, process_leaf_entries_dtw,
+    seed_from_entries_dtw, DtwPrepared,
 };
+pub use errslot::ErrorSlot;
 pub use fetch::SeriesFetcher;
 pub use knn::finish_knn;
 pub use prepare::PreparedQuery;

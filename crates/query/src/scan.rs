@@ -12,7 +12,6 @@ use crate::fetch::SeriesFetcher;
 use crate::stats::QueryStats;
 use dsidx_isax::MindistTable;
 use dsidx_series::distance::euclidean_sq_bounded;
-use dsidx_series::Dataset;
 use dsidx_storage::{RawSource, StorageError};
 use dsidx_sync::Pruner;
 use dsidx_tree::LeafEntry;
@@ -117,30 +116,34 @@ pub fn verify_candidates<P: Pruner>(
 }
 
 /// Entry-level bound + early-abandoned real distance over one leaf's
-/// entries against an in-memory dataset (MESSI processing phase). The
+/// entries (MESSI processing phase), fetching survivors from any
+/// [`RawSource`] — zero-copy in memory, device-charged reads on disk. The
 /// pruning threshold refreshes after every improvement. Returns the number
 /// of full real distances paid; the caller counts `entries.len()` bounds.
-#[must_use]
+///
+/// # Errors
+/// Propagates raw-source I/O failures.
 pub fn process_leaf_entries<P: Pruner>(
     entries: &[LeafEntry],
     table: &MindistTable,
-    data: &Dataset,
+    fetcher: &mut SeriesFetcher<'_, impl RawSource>,
     query: &[f32],
     pruner: &P,
-) -> u64 {
+) -> Result<u64, StorageError> {
     let mut reals = 0u64;
     let mut limit = pruner.threshold_sq();
     for e in entries {
         if table.lookup(&e.word) >= limit {
             continue;
         }
-        if let Some(d) = euclidean_sq_bounded(query, data.get(e.pos as usize), limit) {
+        let series = fetcher.fetch(e.pos as usize)?;
+        if let Some(d) = euclidean_sq_bounded(query, series, limit) {
             reals += 1;
             pruner.insert(d, e.pos);
         }
         limit = pruner.threshold_sq();
     }
-    reals
+    Ok(reals)
 }
 
 #[cfg(test)]
@@ -306,7 +309,9 @@ mod tests {
         for q in queries.iter() {
             let prep = PreparedQuery::new(config.quantizer(), q);
             let best = AtomicBest::new();
-            let reals = process_leaf_entries(&entries, &prep.table, &data, q, &best);
+            let mut fetcher = SeriesFetcher::new(&data);
+            let reals =
+                process_leaf_entries(&entries, &prep.table, &mut fetcher, q, &best).unwrap();
             assert!(reals <= entries.len() as u64);
             let want = brute(&data, q);
             assert_eq!(best.get().1, want.1);
@@ -326,7 +331,8 @@ mod tests {
             let prep = PreparedQuery::new(config.quantizer(), q);
             let k = 9;
             let topk = SharedTopK::new(k);
-            let _ = process_leaf_entries(&entries, &prep.table, &data, q, &topk);
+            let mut fetcher = SeriesFetcher::new(&data);
+            let _ = process_leaf_entries(&entries, &prep.table, &mut fetcher, q, &topk).unwrap();
             let want = brute_topk(&data, q, k);
             assert_eq!(
                 topk.matches().iter().map(|m| m.1).collect::<Vec<_>>(),

@@ -24,4 +24,4 @@ pub use device::{Device, DeviceProfile};
 pub use error::StorageError;
 pub use format::{read_dataset, write_dataset, DatasetFile, DatasetWriter};
 pub use leafstore::{LeafHandle, LeafStoreReader, LeafStoreWriter};
-pub use raw::RawSource;
+pub use raw::{FlakySource, RawSource};

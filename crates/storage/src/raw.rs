@@ -67,6 +67,72 @@ impl<S: RawSource> RawSource for &S {
     }
 }
 
+/// A fault-injecting [`RawSource`] for tests: serves reads from an
+/// in-memory dataset until a budget of successful reads is exhausted, then
+/// fails every subsequent read with [`StorageError::Io`] — the shape of a
+/// device dying mid-query.
+///
+/// Deliberately *not* `as_memory`-optimized: engines must take their
+/// fallible read path, so a recovering engine is proven to propagate the
+/// error instead of panicking. Thread-safe; the budget is shared across
+/// all readers (parallel schedules hit it from every worker).
+#[derive(Debug)]
+pub struct FlakySource {
+    data: Dataset,
+    reads_left: std::sync::atomic::AtomicU64,
+}
+
+impl FlakySource {
+    /// Wraps `data`, allowing exactly `reads_before_failure` successful
+    /// reads (across all threads) before every read fails.
+    #[must_use]
+    pub fn new(data: Dataset, reads_before_failure: u64) -> Self {
+        Self {
+            data,
+            reads_left: std::sync::atomic::AtomicU64::new(reads_before_failure),
+        }
+    }
+
+    /// `true` once the read budget is exhausted (any further read fails).
+    #[must_use]
+    pub fn tripped(&self) -> bool {
+        self.reads_left.load(std::sync::atomic::Ordering::Relaxed) == 0
+    }
+}
+
+impl RawSource for FlakySource {
+    fn count(&self) -> usize {
+        self.data.len()
+    }
+
+    fn series_len(&self) -> usize {
+        self.data.series_len()
+    }
+
+    fn read_into(&self, pos: usize, out: &mut [f32]) -> Result<(), StorageError> {
+        // Budget check via a CAS loop: decrement only while non-zero, so
+        // concurrent readers never wrap the counter.
+        let mut left = self.reads_left.load(std::sync::atomic::Ordering::Relaxed);
+        loop {
+            if left == 0 {
+                return Err(StorageError::Io(std::io::Error::other(
+                    "injected fault: read budget exhausted",
+                )));
+            }
+            match self.reads_left.compare_exchange_weak(
+                left,
+                left - 1,
+                std::sync::atomic::Ordering::Relaxed,
+                std::sync::atomic::Ordering::Relaxed,
+            ) {
+                Ok(_) => break,
+                Err(now) => left = now,
+            }
+        }
+        self.data.read_into(pos, out)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -92,5 +158,46 @@ mod tests {
             s.count()
         }
         assert_eq!(takes_source(&ds), 2);
+    }
+
+    #[test]
+    fn flaky_source_fails_after_budget() {
+        let ds = sines(4, 16, 3);
+        let flaky = FlakySource::new(ds.clone(), 2);
+        assert!(flaky.as_memory().is_none(), "must force the fallible path");
+        let mut buf = vec![0.0f32; 16];
+        flaky.read_into(0, &mut buf).unwrap();
+        assert_eq!(&buf[..], ds.get(0));
+        assert!(!flaky.tripped());
+        flaky.read_into(3, &mut buf).unwrap();
+        assert!(flaky.tripped());
+        assert!(matches!(
+            flaky.read_into(1, &mut buf),
+            Err(StorageError::Io(_))
+        ));
+        // Once tripped, it stays tripped.
+        assert!(flaky.read_into(0, &mut buf).is_err());
+    }
+
+    #[test]
+    fn flaky_source_budget_is_shared_across_threads() {
+        let flaky = FlakySource::new(sines(8, 8, 7), 100);
+        let ok = std::sync::atomic::AtomicU64::new(0);
+        std::thread::scope(|s| {
+            for _ in 0..4 {
+                let flaky = &flaky;
+                let ok = &ok;
+                s.spawn(move || {
+                    let mut buf = vec![0.0f32; 8];
+                    for pos in 0..50 {
+                        if flaky.read_into(pos % 8, &mut buf).is_ok() {
+                            ok.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                        }
+                    }
+                });
+            }
+        });
+        assert_eq!(ok.load(std::sync::atomic::Ordering::Relaxed), 100);
+        assert!(flaky.tripped());
     }
 }

@@ -11,7 +11,10 @@ use dsidx_isax::{NodeWord, Word};
 /// serially ([`Index::insert`]) or in parallel (building `Node`s for
 /// disjoint keys and assembling with [`Index::from_roots`]) — and queries
 /// read them through [`Index::root`]/[`Index::occupied_roots`].
-#[derive(Debug)]
+///
+/// `PartialEq` compares full structure (configuration, every node, every
+/// leaf's entries in order) — what build-determinism tests assert.
+#[derive(Debug, PartialEq, Eq)]
 pub struct Index {
     config: TreeConfig,
     roots: Vec<Option<Box<Node>>>,

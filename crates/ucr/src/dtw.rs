@@ -1,8 +1,11 @@
 //! UCR-style scans under Dynamic Time Warping (the paper's §V extension).
 
-use dsidx_query::{finish_knn, AtomicQueryStats, BatchStats, QueryStats, SharedTopK};
+use dsidx_query::{
+    finish_knn, AtomicQueryStats, BatchStats, ErrorSlot, QueryStats, SeriesFetcher, SharedTopK,
+};
 use dsidx_series::distance::dtw::{dtw_sq_bounded, envelope, lb_keogh_sq_bounded};
 use dsidx_series::{Dataset, Match};
+use dsidx_storage::{RawSource, StorageError};
 use dsidx_sync::{AtomicBest, Pruner, WorkQueue};
 
 /// Exact 1-NN under banded DTW by serial scan with the LB_Keogh cascade.
@@ -165,30 +168,36 @@ fn scan_dtw_parallel_pruner<P: Pruner>(
 }
 
 /// Exact k-NN under banded DTW for a *batch* of queries by one parallel
-/// scan: each position's series is read once and pays the LB_Keogh →
-/// early-abandoned-DTW cascade against every query in the batch — one
-/// data pass, B threshold checks, a single pool broadcast. The index-free
-/// batched-DTW baseline (and the fallback the facade uses for engines
-/// without a DTW index path).
+/// scan over any [`RawSource`]: each position's series is read once
+/// (zero-copy in memory, a device-charged positioned read on disk) and
+/// pays the LB_Keogh → early-abandoned-DTW cascade against every query in
+/// the batch — one data pass, B threshold checks, a single pool
+/// broadcast. The index-free batched-DTW baseline, and the exact-DTW
+/// schedule the facade uses for engines without a DTW index path — on
+/// disk included.
 ///
 /// Answers are element-wise identical to calling
-/// [`knn_dtw_parallel_with_stats`] per query; the [`BatchStats`] report the
-/// single broadcast and the shared reads.
+/// [`knn_dtw_parallel_with_stats`] per query over the same data; the
+/// [`BatchStats`] report the single broadcast and the shared reads. A
+/// read failing mid-scan surfaces as `Err`: workers record the first
+/// failure and stop claiming chunks.
+///
+/// # Errors
+/// Propagates raw-source I/O failures (the in-memory path is infallible).
 ///
 /// # Panics
-/// Panics if any query length differs from the dataset's series length,
+/// Panics if any query length differs from the source's series length,
 /// `threads == 0`, or `k == 0`.
-#[must_use]
 pub fn knn_dtw_batch_parallel_with_stats(
-    data: &Dataset,
+    source: &impl RawSource,
     queries: &[&[f32]],
     band: usize,
     k: usize,
     threads: usize,
-) -> (Vec<Vec<Match>>, BatchStats) {
+) -> Result<(Vec<Vec<Match>>, BatchStats), StorageError> {
     assert!(threads > 0, "thread count must be non-zero");
     for q in queries {
-        assert_eq!(q.len(), data.series_len(), "query length mismatch");
+        assert_eq!(q.len(), source.series_len(), "query length mismatch");
     }
     struct Slot<'q> {
         query: &'q [f32],
@@ -212,32 +221,47 @@ pub fn knn_dtw_batch_parallel_with_stats(
             }
         })
         .collect();
-    if data.is_empty() || slots.is_empty() {
+    if source.count() == 0 || slots.is_empty() {
         let per_query = vec![QueryStats::default(); slots.len()];
-        return (
+        return Ok((
             vec![Vec::new(); slots.len()],
             BatchStats {
                 per_query,
                 ..BatchStats::default()
             },
-        );
+        ));
     }
 
     // Position 0 seeds every query with one unconditional full DTW, like
     // the single-query scan.
-    for slot in &slots {
-        let first = dsidx_series::distance::dtw::dtw_sq(slot.query, data.get(0), band);
-        slot.topk.insert(first, 0);
+    {
+        let mut fetcher = SeriesFetcher::new(source);
+        let first_series = fetcher.fetch(0)?;
+        for slot in &slots {
+            let first = dsidx_series::distance::dtw::dtw_sq(slot.query, first_series, band);
+            slot.topk.insert(first, 0);
+        }
     }
 
-    let queue = WorkQueue::new(data.len());
+    let queue = WorkQueue::new(source.count());
+    let errors = ErrorSlot::new();
     let pool = dsidx_sync::pool::global(threads);
     pool.broadcast(&|_worker| {
         // Accumulate locally, merge once per worker (see `AtomicQueryStats`).
         let mut locals = vec![QueryStats::default(); slots.len()];
-        while let Some(range) = queue.claim_chunk(64) {
+        let mut fetcher = SeriesFetcher::new(source);
+        'claims: while let Some(range) = queue.claim_chunk(64) {
+            if errors.is_set() {
+                break;
+            }
             for pos in range {
-                let series = data.get(pos);
+                let series = match fetcher.fetch(pos) {
+                    Ok(s) => s,
+                    Err(e) => {
+                        errors.record(e);
+                        break 'claims;
+                    }
+                };
                 for (slot, local) in slots.iter().zip(&mut locals) {
                     let limit = slot.topk.threshold_sq();
                     local.lb_keogh_computed += 1;
@@ -258,6 +282,7 @@ pub fn knn_dtw_batch_parallel_with_stats(
             slot.stats.merge(local);
         }
     });
+    errors.take()?;
 
     let mut matches = Vec::with_capacity(slots.len());
     let mut per_query = Vec::with_capacity(slots.len());
@@ -268,19 +293,22 @@ pub fn knn_dtw_batch_parallel_with_stats(
         matches.push(m);
         per_query.push(s);
     }
-    let n = data.len() as u64;
-    (
+    // The scan fetches every position once; the seed step fetched
+    // position 0 once more (its full-DTW threshold for every query).
+    let n = source.count() as u64;
+    let fetched = n + 1;
+    Ok((
         matches,
         BatchStats {
             broadcasts: 1,
-            series_fetched: n,
+            series_fetched: fetched,
             // Every fetched series is examined (LB_Keogh reads the raw
-            // values) by every query in the batch.
-            series_requests: n * queries.len() as u64,
+            // values, the seed pays full DTWs) by every query.
+            series_requests: fetched * queries.len() as u64,
             shared: QueryStats::default(),
             per_query,
         },
-    )
+    ))
 }
 
 /// Brute-force banded DTW k-NN (test oracle; no lower bounds, no
@@ -420,10 +448,12 @@ mod tests {
             for k in [1usize, 6] {
                 for threads in [1usize, 3] {
                     let (batched, stats) =
-                        knn_dtw_batch_parallel_with_stats(&data, &qrefs, band, k, threads);
+                        knn_dtw_batch_parallel_with_stats(&data, &qrefs, band, k, threads).unwrap();
                     assert_eq!(stats.broadcasts, 1);
                     assert!(stats.broadcasts_per_query() < 1.0);
-                    assert_eq!(stats.series_fetched, 180);
+                    // Every position once, plus the seed's re-read of
+                    // position 0.
+                    assert_eq!(stats.series_fetched, 181);
                     for (qi, q) in qs.iter().enumerate() {
                         let want = brute_force_dtw_knn(&data, q, band, k);
                         let (single, _) = knn_dtw_parallel_with_stats(&data, q, band, k, threads);
@@ -445,13 +475,34 @@ mod tests {
     fn knn_dtw_batch_on_empty_inputs() {
         let data = Dataset::new(8).unwrap();
         let q = [0.0f32; 8];
-        let (m, stats) = knn_dtw_batch_parallel_with_stats(&data, &[&q], 2, 3, 2);
+        let (m, stats) = knn_dtw_batch_parallel_with_stats(&data, &[&q], 2, 3, 2).unwrap();
         assert_eq!(m, vec![Vec::new()]);
         assert_eq!(stats.broadcasts, 0);
         let data = DatasetKind::Synthetic.generate(20, 8, 1);
-        let (m, stats) = knn_dtw_batch_parallel_with_stats(&data, &[], 2, 3, 2);
+        let (m, stats) = knn_dtw_batch_parallel_with_stats(&data, &[], 2, 3, 2).unwrap();
         assert!(m.is_empty());
         assert!(stats.per_query.is_empty());
+    }
+
+    #[test]
+    fn knn_dtw_batch_over_flaky_source_errors_instead_of_panicking() {
+        let data = DatasetKind::Sald.generate(120, 48, 5);
+        let qs = DatasetKind::Sald.queries(2, 48, 5);
+        let qrefs: Vec<&[f32]> = qs.iter().collect();
+        // The scan reads every position, so any budget below the count
+        // must fail — in the seed fetch or inside the broadcast.
+        for budget in [0u64, 1, 40, 100] {
+            let flaky = dsidx_storage::FlakySource::new(data.clone(), budget);
+            assert!(
+                knn_dtw_batch_parallel_with_stats(&flaky, &qrefs, 3, 4, 3).is_err(),
+                "budget {budget} cannot cover a 120-series scan"
+            );
+        }
+        // An unconstrained budget answers exactly like the dataset.
+        let flaky = dsidx_storage::FlakySource::new(data.clone(), u64::MAX);
+        let (via_flaky, _) = knn_dtw_batch_parallel_with_stats(&flaky, &qrefs, 3, 4, 3).unwrap();
+        let (via_data, _) = knn_dtw_batch_parallel_with_stats(&data, &qrefs, 3, 4, 3).unwrap();
+        assert_eq!(via_flaky, via_data);
     }
 
     #[test]

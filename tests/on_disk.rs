@@ -25,7 +25,7 @@ fn disk_engines_agree_with_brute_force() {
     let path = dir.join("data.dsidx");
     write_dataset(&path, &data, Arc::new(Device::unthrottled())).unwrap();
     let queries = DatasetKind::Synthetic.queries(4, 64, 42);
-    for engine in [Engine::Ads, Engine::Paris, Engine::ParisPlus] {
+    for engine in Engine::ALL {
         let o = Options {
             block_series: 64,
             generation_series: 128,
@@ -37,6 +37,91 @@ fn disk_engines_agree_with_brute_force() {
             let got = idx.nn(q).unwrap().unwrap();
             assert_eq!(got.pos, want.pos, "{}", engine.name());
         }
+    }
+}
+
+/// The disk==memory equivalence the MESSI-on-disk refactor promises:
+/// a `DiskIndex` answers **bit-identically** to a `MemoryIndex` built over
+/// the same data, on every engine, across every (fidelity, measure) cell —
+/// approximate fidelity included, which pins the deterministic tree builds
+/// (the approximate answer is the query's own leaf, a shape-dependent
+/// notion).
+#[test]
+fn disk_answers_are_bit_identical_to_memory_on_every_cell() {
+    let dir = tmpdir("bitident");
+    let data = DatasetKind::Sald.generate(400, 64, 4071);
+    let path = dir.join("data.dsidx");
+    write_dataset(&path, &data, Arc::new(Device::unthrottled())).unwrap();
+    let qs = DatasetKind::Sald.queries(3, 64, 4071);
+    let qrefs: Vec<&[f32]> = qs.iter().collect();
+    let o = Options {
+        block_series: 64,
+        generation_series: 128,
+        ..opts()
+    };
+    for engine in Engine::ALL {
+        let mem = MemoryIndex::build(data.clone(), engine, &o).unwrap();
+        let disk = DiskIndex::build(&path, &dir, engine, &o, DeviceProfile::UNTHROTTLED).unwrap();
+        for fidelity in [Fidelity::Exact, Fidelity::Approximate] {
+            for measure in [Measure::Euclidean, Measure::Dtw { band: 4 }] {
+                let spec = QuerySpec::knn(5).measure(measure).fidelity(fidelity);
+                let m = mem.search(&qrefs, &spec).unwrap();
+                let d = disk.search(&qrefs, &spec).unwrap();
+                for qi in 0..qrefs.len() {
+                    let (mm, dd) = (&m.matches()[qi], &d.matches()[qi]);
+                    assert_eq!(
+                        mm.len(),
+                        dd.len(),
+                        "{} {fidelity:?} {measure:?} q{qi}",
+                        engine.name()
+                    );
+                    for (a, b) in mm.iter().zip(dd.iter()) {
+                        assert_eq!(
+                            (a.pos, a.dist_sq.to_bits()),
+                            (b.pos, b.dist_sq.to_bits()),
+                            "{} {fidelity:?} {measure:?} q{qi}",
+                            engine.name()
+                        );
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// On-disk MESSI keeps the in-memory batching invariant: a whole batch —
+/// ED or DTW — is answered by at most one traversal broadcast, while
+/// candidate reads are charged to the device.
+#[test]
+fn messi_on_disk_batches_in_one_broadcast() {
+    let dir = tmpdir("mbatch");
+    let data = DatasetKind::Seismic.generate(500, 64, 77);
+    let path = dir.join("data.dsidx");
+    write_dataset(&path, &data, Arc::new(Device::unthrottled())).unwrap();
+    let idx = DiskIndex::build(
+        &path,
+        &dir,
+        Engine::Messi,
+        &opts(),
+        DeviceProfile::UNTHROTTLED,
+    )
+    .unwrap();
+    let qs = DatasetKind::Seismic.queries(6, 64, 77);
+    let batch: Vec<&[f32]> = qs.iter().collect();
+    for measure in [Measure::Euclidean, Measure::Dtw { band: 4 }] {
+        idx.file().device().reset_stats();
+        let answers = idx
+            .search(&batch, &QuerySpec::knn(3).measure(measure).with_stats())
+            .unwrap();
+        assert_eq!(
+            answers.stats().unwrap().broadcasts,
+            1,
+            "{measure:?}: one broadcast for the whole batch"
+        );
+        assert!(
+            idx.file().device().stats().bytes_read > 0,
+            "{measure:?}: candidate reads must be charged to the device"
+        );
     }
 }
 

@@ -135,7 +135,7 @@ fn disk_legacy_matrix_equals_queryspec_spelling() {
     let qs = DatasetKind::Seismic.queries(3, 64, 17);
     let qrefs: Vec<&[f32]> = qs.iter().collect();
     let k = 7usize;
-    for engine in [Engine::Ads, Engine::Paris, Engine::ParisPlus] {
+    for engine in Engine::ALL {
         let idx = DiskIndex::build(
             &path,
             &dir,
@@ -185,6 +185,42 @@ fn disk_legacy_matrix_equals_queryspec_spelling() {
                 new.best(qi).map(|m| m.pos),
                 "{name} nn_batch q{qi}"
             );
+        }
+    }
+}
+
+#[test]
+fn disk_query_plane_has_no_unsupported_cells() {
+    // Every engine x fidelity x measure combination answers on DiskIndex —
+    // the cell that used to report Unsupported (exact DTW) included.
+    let dir = std::env::temp_dir().join(format!("dsidx-plane-full-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    let data = DatasetKind::Synthetic.generate(200, 64, 23);
+    let path = dir.join("full.dsidx");
+    dsidx::storage::write_dataset(&path, &data, Arc::new(Device::unthrottled())).unwrap();
+    let qs = DatasetKind::Synthetic.queries(2, 64, 23);
+    let qrefs: Vec<&[f32]> = qs.iter().collect();
+    for engine in Engine::ALL {
+        let idx = DiskIndex::build(
+            &path,
+            &dir,
+            engine,
+            &opts(2, 16),
+            DeviceProfile::UNTHROTTLED,
+        )
+        .unwrap();
+        for fidelity in [Fidelity::Exact, Fidelity::Approximate] {
+            for measure in [Measure::Euclidean, Measure::Dtw { band: 4 }] {
+                let spec = QuerySpec::knn(3).measure(measure).fidelity(fidelity);
+                let answers = idx
+                    .search(&qrefs, &spec)
+                    .unwrap_or_else(|e| panic!("{} {fidelity:?} {measure:?}: {e}", engine.name()));
+                assert!(
+                    answers.matches().iter().all(|m| !m.is_empty()),
+                    "{} {fidelity:?} {measure:?}: empty answer on non-empty data",
+                    engine.name()
+                );
+            }
         }
     }
 }
@@ -250,6 +286,53 @@ proptest! {
                     );
                 }
             }
+        }
+    }
+
+    /// Exact DTW answered from a `DiskIndex` equals the brute-force DTW
+    /// oracle over the same data — the correctness contract of the
+    /// newly-closed cell (MESSI's generic cascade on its own tree, the
+    /// batched UCR-DTW scan over the file for ADS+/ParIS).
+    #[test]
+    fn exact_dtw_on_disk_matches_brute_force(
+        flat in prop::collection::vec(-10.0f32..10.0, 35 * 32),
+        mut q in prop::collection::vec(-10.0f32..10.0, 32),
+        k in 1usize..6,
+        band in 0usize..6,
+        leaf in 2usize..16,
+        engine_sel in 0usize..4,
+    ) {
+        static SEQ: std::sync::atomic::AtomicU32 = std::sync::atomic::AtomicU32::new(0);
+        let mut data = Dataset::from_flat(flat, 32).unwrap();
+        data.znormalize_all();
+        dsidx::series::znorm::znormalize(&mut q);
+        let dir = std::env::temp_dir()
+            .join(format!("dsidx-plane-prop-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        // Cases run concurrently across tests in this binary, so the file
+        // name must be unique per case, not per process.
+        let seq = SEQ.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+        let path = dir.join(format!("case-{seq}.dsidx"));
+        dsidx::storage::write_dataset(&path, &data, Arc::new(Device::unthrottled())).unwrap();
+        let engine = Engine::ALL[engine_sel];
+        let opts = Options::default()
+            .with_threads(2)
+            .with_leaf_capacity(leaf)
+            .with_segments(8);
+        let idx = DiskIndex::build(&path, &dir, engine, &opts, DeviceProfile::UNTHROTTLED)
+            .unwrap();
+        let qs: Vec<&[f32]> = vec![&q];
+        let got = idx
+            .search(&qs, &QuerySpec::knn(k).measure(Measure::Dtw { band }))
+            .unwrap()
+            .into_single();
+        let want = dsidx::ucr::brute_force_dtw_knn(&data, &q, band, k);
+        std::fs::remove_file(&path).ok();
+        prop_assert_eq!(got.len(), want.len());
+        for (g, w) in got.iter().zip(&want) {
+            prop_assert_eq!(g.pos, w.pos,
+                "{} band={} k={}: disk DTW diverged from oracle", engine.name(), band, k);
+            prop_assert!((g.dist_sq - w.dist_sq).abs() <= w.dist_sq * 1e-4 + 1e-4);
         }
     }
 
