@@ -1,0 +1,360 @@
+//! Kernel microbenchmarks — scalar vs SIMD ns/call for every distance
+//! kernel the lower-bound pipeline dispatches on, plus an end-to-end k-NN
+//! before/after comparison.
+//!
+//! The harness times each kernel through its *public dispatcher* with the
+//! process-wide SIMD gate forced off, then on
+//! ([`dsidx::series::distance::set_simd_enabled`]), so what is measured is
+//! exactly what the engines execute. Decision-equivalence between the two
+//! modes (the Some/None outcome of every bounded kernel at limits away from
+//! the float boundary) is asserted unconditionally — on hosts without AVX2
+//! both modes are the scalar path and the assertion is trivial, on AVX2
+//! hosts it pins the dispatch contract. Speedups are only *reported* when
+//! AVX2 is present.
+
+use crate::{f, mem_dataset, ms, queries, time, Scale, Table};
+use dsidx::isax::{MindistTable, NodeMindistTable, Quantizer, Word};
+use dsidx::prelude::*;
+use dsidx::series::distance::{
+    dtw, euclidean_sq, euclidean_sq_bounded, hardware_simd_available, set_simd_enabled,
+    simd_enabled,
+};
+use std::hint::black_box;
+use std::sync::Arc;
+
+/// Swept series lengths.
+const LENS: [usize; 3] = [64, 256, 1024];
+/// Sakoe-Chiba band as a fraction of length (the common 5%).
+const BAND_FRAC: f64 = 0.05;
+/// Distinct random pairs per kernel measurement (cycled through).
+const PAIRS: usize = 32;
+/// Word count for the SAX-array scan measurement (a streaming pass, like
+/// the engines' stage-4 scans — not a hot 32-word loop).
+const SCAN_WORDS: usize = 16_384;
+
+fn series(seed: u64, n: usize) -> Vec<f32> {
+    let mut state = seed.wrapping_mul(0x9E37_79B9_7F4A_7C15) | 1;
+    let mut v: Vec<f32> = (0..n)
+        .map(|_| {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            ((state >> 40) as f32 / 16_777_216.0) * 4.0 - 2.0
+        })
+        .collect();
+    // z-normalize so SAX symbols spread across the alphabet.
+    let mean = v.iter().sum::<f32>() / n as f32;
+    let var = v.iter().map(|x| (x - mean) * (x - mean)).sum::<f32>() / n as f32;
+    let inv = 1.0 / var.sqrt().max(1e-6);
+    for x in &mut v {
+        *x = (*x - mean) * inv;
+    }
+    v
+}
+
+/// ns/call of `f`, calibrated to run long enough to time reliably.
+fn ns_per_call(mut f: impl FnMut()) -> f64 {
+    // Warm up and pick an iteration count aiming at ~10ms of work.
+    let (_, probe) = time(|| {
+        for _ in 0..64 {
+            f()
+        }
+    });
+    let per = (probe.as_secs_f64() / 64.0).max(1e-9);
+    let iters = ((0.01 / per) as usize).clamp(64, 4_000_000);
+    let (_, total) = time(|| {
+        for _ in 0..iters {
+            f()
+        }
+    });
+    total.as_secs_f64() * 1e9 / iters as f64
+}
+
+struct Workload {
+    a: Vec<Vec<f32>>,
+    b: Vec<Vec<f32>>,
+    lo: Vec<Vec<f32>>,
+    up: Vec<Vec<f32>>,
+    band: usize,
+    words: Vec<Word>,
+    nodes: Vec<dsidx::isax::NodeWord>,
+    /// A large contiguous word array (the SAX-array scan shape).
+    scan_words: Vec<Word>,
+    table: MindistTable,
+    node_table: NodeMindistTable,
+    /// Early-abandon limits comfortably away from each pair's exact
+    /// distance, so scalar/SIMD rounding cannot flip the Some/None outcome.
+    ed_limits: Vec<f32>,
+    lb_limits: Vec<f32>,
+    dtw_limits: Vec<f32>,
+}
+
+fn workload(len: usize) -> Workload {
+    let band = ((len as f64 * BAND_FRAC) as usize).max(1);
+    let a: Vec<Vec<f32>> = (0..PAIRS).map(|i| series(i as u64 * 2 + 1, len)).collect();
+    let b: Vec<Vec<f32>> = (0..PAIRS).map(|i| series(i as u64 * 2 + 2, len)).collect();
+    let (mut lo, mut up) = (Vec::new(), Vec::new());
+    for q in &a {
+        let (mut l, mut u) = (Vec::new(), Vec::new());
+        dtw::envelope(q, band, &mut l, &mut u);
+        lo.push(l);
+        up.push(u);
+    }
+    let quantizer = Quantizer::new(len, 16).expect("16 segments fit every swept length");
+    let words: Vec<Word> = b.iter().map(|s| quantizer.word(s)).collect();
+    let nodes: Vec<dsidx::isax::NodeWord> = words
+        .iter()
+        .map(|w| dsidx::isax::NodeWord::root(w.root_key(), 16))
+        .collect();
+    let scan_words: Vec<Word> = (0..SCAN_WORDS)
+        .map(|i| quantizer.word(&series(i as u64 + 10_000, len)))
+        .collect();
+    let paa = dsidx::isax::paa::paa(&a[0], 16);
+    let table = MindistTable::new_point(&paa, quantizer.segment_lens());
+    let node_table = NodeMindistTable::new_point(&paa, quantizer.segment_lens());
+    // Limits at half the true value: robustly on the abandon side at 1x,
+    // on the keep side at the 4x used by the equivalence checks.
+    let ed_limits: Vec<f32> = a
+        .iter()
+        .zip(&b)
+        .map(|(x, y)| euclidean_sq(x, y) * 0.5)
+        .collect();
+    let lb_limits: Vec<f32> = b
+        .iter()
+        .enumerate()
+        .map(|(i, y)| dtw::lb_keogh_sq(y, &lo[i], &up[i]) * 0.5)
+        .collect();
+    let dtw_limits: Vec<f32> = a
+        .iter()
+        .zip(&b)
+        .map(|(x, y)| dtw::dtw_sq(x, y, band) * 0.5)
+        .collect();
+    Workload {
+        a,
+        b,
+        lo,
+        up,
+        band,
+        words,
+        nodes,
+        scan_words,
+        table,
+        node_table,
+        ed_limits,
+        lb_limits,
+        dtw_limits,
+    }
+}
+
+/// Asserts that scalar and SIMD dispatch agree on every bounded kernel's
+/// Some/None outcome at limits away from the boundary (and exactly for
+/// DTW, whose SIMD kernel is bit-identical by construction). Runs in both
+/// modes regardless of hardware: without AVX2 this is trivially true and
+/// still exercises every dispatcher.
+fn assert_decision_equivalence(w: &Workload) {
+    let mut scalar_decisions = Vec::new();
+    let mut scalar_dtw = Vec::new();
+    for mode in [false, true] {
+        set_simd_enabled(mode);
+        let mut decisions = Vec::new();
+        let mut dtw_vals = Vec::new();
+        for i in 0..w.a.len() {
+            let (x, y) = (&w.a[i], &w.b[i]);
+            for scale in [1.0f32, 4.0] {
+                decisions.push(euclidean_sq_bounded(x, y, w.ed_limits[i] * scale).is_some());
+                decisions.push(
+                    dtw::lb_keogh_sq_bounded(y, &w.lo[i], &w.up[i], w.lb_limits[i] * scale)
+                        .is_some(),
+                );
+                dtw_vals.push(dtw::dtw_sq_bounded(x, y, w.band, w.dtw_limits[i] * scale));
+            }
+        }
+        if mode {
+            assert_eq!(
+                scalar_decisions, decisions,
+                "scalar/SIMD bounded kernels disagree on an abandon decision"
+            );
+            let same_bits =
+                scalar_dtw
+                    .iter()
+                    .zip(&dtw_vals)
+                    .all(|(s, v): (&Option<f32>, &Option<f32>)| {
+                        s.map(f32::to_bits) == v.map(f32::to_bits)
+                    });
+            assert!(same_bits, "DTW SIMD kernel is not bit-identical to scalar");
+        } else {
+            scalar_decisions = decisions;
+            scalar_dtw = dtw_vals;
+        }
+    }
+}
+
+/// Runs this experiment at the given scale, printing its tables and CSVs.
+pub fn run(scale: &Scale) {
+    let initial = simd_enabled();
+    let simd_possible = hardware_simd_available();
+    println!(
+        "AVX2/FMA: {} (speedups {})",
+        if simd_possible { "present" } else { "absent" },
+        if simd_possible {
+            "measured"
+        } else {
+            "not applicable — both columns are the scalar path"
+        },
+    );
+
+    let mut table = Table::new(
+        "kernels",
+        &["kernel", "len", "scalar_ns", "simd_ns", "speedup"],
+    );
+    for len in LENS {
+        let w = workload(len);
+        assert_decision_equivalence(&w);
+        println!("  decision-equivalence ok at len {len}");
+        let mut scan_out = vec![0.0f32; w.scan_words.len()];
+        // (name, units of work per call, body). ns/call is per unit.
+        type Kernel<'a> = (&'a str, usize, Box<dyn FnMut() + 'a>);
+        let kernels: Vec<Kernel> = vec![
+            (
+                "euclidean_sq",
+                PAIRS,
+                Box::new(|| {
+                    for i in 0..PAIRS {
+                        black_box(euclidean_sq(&w.a[i], &w.b[i]));
+                    }
+                }),
+            ),
+            (
+                "lb_keogh_sq",
+                PAIRS,
+                Box::new(|| {
+                    for i in 0..PAIRS {
+                        black_box(dtw::lb_keogh_sq(&w.b[i], &w.lo[i], &w.up[i]));
+                    }
+                }),
+            ),
+            (
+                "dtw_sq_bounded",
+                PAIRS,
+                Box::new(|| {
+                    for i in 0..PAIRS {
+                        black_box(dtw::dtw_sq_bounded(
+                            &w.a[i],
+                            &w.b[i],
+                            w.band,
+                            w.dtw_limits[i] * 4.0,
+                        ));
+                    }
+                }),
+            ),
+            (
+                "mindist_word",
+                PAIRS,
+                Box::new(|| {
+                    for word in &w.words {
+                        black_box(w.table.lookup(word));
+                    }
+                }),
+            ),
+            (
+                "mindist_scan",
+                SCAN_WORDS,
+                Box::new(|| {
+                    // The SAX-array scan shape: one streaming pass bounding
+                    // every word (lookup_many batches 8 words per gather
+                    // step when SIMD is on).
+                    w.table.lookup_many(&w.scan_words, &mut scan_out);
+                    black_box(scan_out[SCAN_WORDS / 2]);
+                }),
+            ),
+            (
+                "mindist_node",
+                PAIRS,
+                Box::new(|| {
+                    for node in &w.nodes {
+                        black_box(w.node_table.lookup(node));
+                    }
+                }),
+            ),
+        ];
+        for (name, per_call, mut kernel) in kernels {
+            set_simd_enabled(false);
+            let scalar_ns = ns_per_call(&mut kernel) / per_call as f64;
+            set_simd_enabled(true);
+            let simd_ns = ns_per_call(&mut kernel) / per_call as f64;
+            let speedup = scalar_ns / simd_ns.max(1e-9);
+            table.row(&[
+                name.into(),
+                len.to_string(),
+                f(scalar_ns),
+                f(simd_ns),
+                if simd_possible {
+                    f(speedup)
+                } else {
+                    "n/a".into()
+                },
+            ]);
+            if simd_possible
+                && len == 256
+                && matches!(name, "lb_keogh_sq" | "mindist_scan" | "mindist_node")
+            {
+                let status = if speedup >= 2.0 {
+                    "ok"
+                } else {
+                    "below target — gather-weak microarchitecture?"
+                };
+                println!("  {name}@256: {speedup:.2}x ({status}; target >= 2x)");
+            }
+        }
+    }
+    table.finish();
+
+    // End-to-end: the same k-NN workload with the gate off, then on.
+    let kind = DatasetKind::Synthetic;
+    let data = Arc::new(mem_dataset(kind, scale));
+    let len = data.series_len();
+    let options = Options::default();
+    let qs = queries(kind, scale.mem_queries, len);
+    let qrefs: Vec<&[f32]> = qs.iter().collect();
+    let spec = QuerySpec::knn(10);
+    let mut knn_table = Table::new(
+        "kernels-knn",
+        &["engine", "scalar_ms", "simd_ms", "speedup"],
+    );
+    for engine in [Engine::Ads, Engine::Paris, Engine::Messi] {
+        let idx = MemoryIndex::build(data.clone(), engine, &options).expect("valid config");
+        let _ = idx.search(&qrefs[..1], &spec).expect("warm");
+        set_simd_enabled(false);
+        let (_, scalar_t) = time(|| {
+            for q in &qrefs {
+                black_box(idx.search(&[q], &spec).expect("query"));
+            }
+        });
+        set_simd_enabled(true);
+        let (_, simd_t) = time(|| {
+            for q in &qrefs {
+                black_box(idx.search(&[q], &spec).expect("query"));
+            }
+        });
+        let nq = qrefs.len() as f64;
+        knn_table.row(&[
+            engine.name().into(),
+            f(ms(scalar_t) / nq),
+            f(ms(simd_t) / nq),
+            if simd_possible {
+                f(scalar_t.as_secs_f64() / simd_t.as_secs_f64().max(1e-9))
+            } else {
+                "n/a".into()
+            },
+        ]);
+    }
+    knn_table.finish();
+    println!(
+        "shape check: the bound kernels (LB_Keogh, mindist) gain the most from\n\
+         SIMD — branch-free lane math and table gathers — while dtw_sq_bounded\n\
+         gains less (its recurrence keeps a serial dependency by design, to stay\n\
+         bit-identical to scalar)."
+    );
+
+    set_simd_enabled(initial);
+}

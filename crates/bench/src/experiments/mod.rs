@@ -12,6 +12,7 @@ pub mod fig6;
 pub mod fig7;
 pub mod fig8;
 pub mod fig9;
+pub mod kernels;
 pub mod knn;
 pub mod ondisk;
 pub mod throughput;
@@ -72,6 +73,11 @@ pub const ALL: &[Experiment] = &[
         "ext-dtw",
         "§V extension: DTW query answering on the ED-built index",
         ext_dtw::run,
+    ),
+    (
+        "kernels",
+        "Extension: scalar vs SIMD ns/call per distance kernel + k-NN before/after",
+        kernels::run,
     ),
     (
         "knn",

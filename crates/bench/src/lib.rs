@@ -283,7 +283,13 @@ impl Table {
         self.rows.push(cells.to_vec());
     }
 
-    /// Prints the table and writes the CSV; returns the CSV path.
+    /// Prints the table and writes the CSV plus a machine-readable
+    /// `BENCH_<name>.json` next to it; returns the CSV path.
+    ///
+    /// The JSON carries one object per row keyed by header, with cells
+    /// that parse as finite floats emitted as numbers — so the perf
+    /// trajectory can be tracked across PRs by tooling instead of living
+    /// in commit messages.
     pub fn finish(&self) -> PathBuf {
         let mut widths: Vec<usize> = self.headers.iter().map(String::len).collect();
         for row in &self.rows {
@@ -313,11 +319,12 @@ impl Table {
         }
         // Unit tests write to a scratch dir so `results/` holds only
         // real experiment output.
-        let csv_path = if cfg!(test) {
-            std::env::temp_dir().join(format!("{}.csv", self.name))
+        let out_dir = if cfg!(test) {
+            std::env::temp_dir()
         } else {
-            results_dir().join(format!("{}.csv", self.name))
+            results_dir()
         };
+        let csv_path = out_dir.join(format!("{}.csv", self.name));
         let mut csv = String::new();
         csv.push_str(&self.headers.join(","));
         csv.push('\n');
@@ -327,7 +334,60 @@ impl Table {
         }
         std::fs::write(&csv_path, csv).expect("write csv");
         println!("  -> {}", csv_path.display());
+        let json_path = out_dir.join(format!("BENCH_{}.json", self.name));
+        std::fs::write(&json_path, self.to_json()).expect("write json");
+        println!("  -> {}", json_path.display());
         csv_path
+    }
+
+    fn to_json(&self) -> String {
+        let mut out = String::new();
+        out.push_str("{\n");
+        out.push_str(&format!("  \"experiment\": {},\n", json_string(&self.name)));
+        out.push_str("  \"rows\": [\n");
+        for (i, row) in self.rows.iter().enumerate() {
+            out.push_str("    {");
+            for (j, (header, cell)) in self.headers.iter().zip(row).enumerate() {
+                if j > 0 {
+                    out.push_str(", ");
+                }
+                out.push_str(&json_string(header));
+                out.push_str(": ");
+                out.push_str(&json_cell(cell));
+            }
+            out.push('}');
+            if i + 1 < self.rows.len() {
+                out.push(',');
+            }
+            out.push('\n');
+        }
+        out.push_str("  ]\n}\n");
+        out
+    }
+}
+
+/// A JSON string literal (escapes quotes, backslashes, control bytes).
+fn json_string(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+/// A cell as a JSON value: a number when it parses as a finite float,
+/// a string otherwise.
+fn json_cell(cell: &str) -> String {
+    match cell.parse::<f64>() {
+        Ok(v) if v.is_finite() => cell.to_owned(),
+        _ => json_string(cell),
     }
 }
 
@@ -374,9 +434,22 @@ mod tests {
         let mut t = Table::new("test-table", &["a", "bee"]);
         t.row(&["1".into(), "2.5".into()]);
         let path = t.finish();
-        let content = std::fs::read_to_string(path).unwrap();
+        let content = std::fs::read_to_string(&path).unwrap();
         assert!(content.contains("a,bee"));
         assert!(content.contains("1,2.5"));
+        let json_path = path.with_file_name("BENCH_test-table.json");
+        let json = std::fs::read_to_string(json_path).unwrap();
+        assert!(json.contains("\"experiment\": \"test-table\""));
+        assert!(json.contains("\"a\": 1, \"bee\": 2.5"));
+    }
+
+    #[test]
+    fn json_cells_distinguish_numbers_from_strings() {
+        assert_eq!(json_cell("3.25"), "3.25");
+        assert_eq!(json_cell("-7"), "-7");
+        assert_eq!(json_cell("NaN"), "\"NaN\"");
+        assert_eq!(json_cell("messi"), "\"messi\"");
+        assert_eq!(json_string("a\"b\\c\n"), "\"a\\\"b\\\\c\\u000a\"");
     }
 
     #[test]

@@ -23,12 +23,17 @@ pub mod mindist;
 pub mod normal;
 pub mod paa;
 pub mod quantizer;
+#[cfg(target_arch = "x86_64")]
+pub(crate) mod simd;
 pub mod split;
 pub mod word;
 
 pub use breakpoints::{breakpoints, BreakpointTable};
 pub use error::IsaxError;
 pub use mindist::{MindistTable, NodeMindistTable};
+// The one SIMD gate every dispatch point in the workspace consults
+// (re-exported so isax consumers need not depend on dsidx-series directly).
+pub use dsidx_series::distance::simd_enabled;
 pub use quantizer::Quantizer;
 pub use word::{NodeWord, Word, MAX_BITS, MAX_CARDINALITY, MAX_SEGMENTS};
 

@@ -147,9 +147,33 @@ impl MindistTable {
     }
 
     /// Squared MINDIST to a full-cardinality word.
+    ///
+    /// Dispatches to an AVX2 two-gather kernel at the default 16 segments
+    /// (unless `DSIDX_NO_SIMD` disables it); the SIMD sum may differ from
+    /// [`Self::lookup_scalar`] in the last bits (lane-parallel vs
+    /// sequential accumulation) but both are sound lower bounds built from
+    /// the same table entries.
     #[inline]
     #[must_use]
     pub fn lookup(&self, word: &Word) -> f32 {
+        debug_assert_eq!(word.segments(), self.segments);
+        #[cfg(target_arch = "x86_64")]
+        if self.segments == crate::word::MAX_SEGMENTS && dsidx_series::distance::simd_enabled() {
+            // SAFETY: `simd_enabled` implies AVX2; segments == 16 means the
+            // table holds the full 16 * 256 entries every index lands in.
+            return unsafe { crate::simd::word_table_lookup_avx2(&self.table, word.symbols_raw()) };
+        }
+        self.lookup_scalar(word)
+    }
+
+    /// The scalar lookup: sums the per-segment contributions sequentially,
+    /// which makes it bit-identical to [`mindist_paa_word_sq`] /
+    /// [`mindist_envelope_node_sq`]'s full-cardinality analogue (same
+    /// precomputed terms, same order). The reassociation-free reference the
+    /// proptests pin against.
+    #[inline]
+    #[must_use]
+    pub fn lookup_scalar(&self, word: &Word) -> f32 {
         debug_assert_eq!(word.segments(), self.segments);
         let mut sum = 0.0f32;
         for seg in 0..self.segments {
@@ -157,6 +181,45 @@ impl MindistTable {
             sum += self.table[seg * MAX_CARDINALITY + word.symbol(seg) as usize];
         }
         sum
+    }
+
+    /// Lower-bounds a run of words, one result per word — the primitive
+    /// behind the SAX-array scans (ADS+'s serial scan, ParIS's collect
+    /// phase), which bound millions of contiguous words per query.
+    ///
+    /// Dispatches to an AVX2 kernel that transposes eight words in-register
+    /// and gathers each segment's entries vertically; its per-lane
+    /// accumulation order matches [`Self::lookup_scalar`] exactly, so every
+    /// result is **bit-identical** whether SIMD is on or off (unlike the
+    /// single-word [`Self::lookup`], whose horizontal sum reassociates).
+    ///
+    /// # Panics
+    /// Panics if `out` is shorter than `words`.
+    pub fn lookup_many(&self, words: &[Word], out: &mut [f32]) {
+        assert!(out.len() >= words.len(), "output buffer too short");
+        #[cfg(target_arch = "x86_64")]
+        if self.segments == crate::word::MAX_SEGMENTS && dsidx_series::distance::simd_enabled() {
+            let mut word_blocks = words.chunks_exact(8);
+            let mut out_blocks = out.chunks_exact_mut(8);
+            for (wb, ob) in (&mut word_blocks).zip(&mut out_blocks) {
+                let wb: &[Word; 8] = wb.try_into().expect("chunk is 8 wide");
+                let ob: &mut [f32; 8] = ob.try_into().expect("chunk is 8 wide");
+                // SAFETY: `simd_enabled` implies AVX2; segments == 16 means
+                // the table holds the full 16 * 256 entries.
+                unsafe { crate::simd::word_table_lookup_batch8_avx2(&self.table, wb, ob) };
+            }
+            for (w, o) in word_blocks
+                .remainder()
+                .iter()
+                .zip(out_blocks.into_remainder())
+            {
+                *o = self.lookup_scalar(w);
+            }
+            return;
+        }
+        for (w, o) in words.iter().zip(out) {
+            *o = self.lookup_scalar(w);
+        }
     }
 }
 
@@ -225,9 +288,34 @@ impl NodeMindistTable {
     }
 
     /// Squared MINDIST to a variable-cardinality node word.
+    ///
+    /// Dispatches to an AVX2 two-gather kernel at the default 16 segments;
+    /// see [`MindistTable::lookup`] for the accumulation-order caveat.
     #[inline]
     #[must_use]
     pub fn lookup(&self, node: &NodeWord) -> f32 {
+        debug_assert_eq!(node.segments(), self.segments);
+        #[cfg(target_arch = "x86_64")]
+        if self.segments == crate::word::MAX_SEGMENTS && dsidx_series::distance::simd_enabled() {
+            // SAFETY: `simd_enabled` implies AVX2; segments == 16 means the
+            // table holds all 16 * 8 * 256 entries, and `NodeWord`
+            // maintains every bits entry in 1..=MAX_BITS.
+            return unsafe {
+                crate::simd::node_table_lookup_avx2(
+                    &self.table,
+                    node.bits_raw(),
+                    node.prefixes_raw(),
+                )
+            };
+        }
+        self.lookup_scalar(node)
+    }
+
+    /// The scalar node lookup: sequential accumulation, bit-identical to
+    /// [`mindist_paa_node_sq`] over the same table entries.
+    #[inline]
+    #[must_use]
+    pub fn lookup_scalar(&self, node: &NodeWord) -> f32 {
         debug_assert_eq!(node.segments(), self.segments);
         let stride_seg = MAX_BITS as usize * MAX_CARDINALITY;
         let mut sum = 0.0f32;
@@ -243,11 +331,34 @@ impl NodeMindistTable {
     /// Squared MINDIST from raw `(bits, prefix)` arrays (used by the
     /// flattened tree, which stores node words as plain byte arrays).
     ///
-    /// Only the first `segments` entries of each slice are read.
+    /// Only the first `segments` entries of each slice are read. The SIMD
+    /// path additionally requires every `bits[seg]` to be in
+    /// `1..=MAX_BITS` (always true for bytes written by the flattened
+    /// tree); rather than trust callers, out-of-range bits fall back to the
+    /// scalar loop, which panics on the resulting out-of-bounds index.
     #[inline]
     #[must_use]
     pub fn lookup_parts(&self, bits: &[u8], prefixes: &[u8]) -> f32 {
         debug_assert!(bits.len() >= self.segments && prefixes.len() >= self.segments);
+        #[cfg(target_arch = "x86_64")]
+        if self.segments == crate::word::MAX_SEGMENTS
+            && bits.len() >= crate::word::MAX_SEGMENTS
+            && prefixes.len() >= crate::word::MAX_SEGMENTS
+            && dsidx_series::distance::simd_enabled()
+        {
+            let bits_arr: &[u8; crate::word::MAX_SEGMENTS] =
+                bits[..crate::word::MAX_SEGMENTS].try_into().unwrap();
+            let pref_arr: &[u8; crate::word::MAX_SEGMENTS] =
+                prefixes[..crate::word::MAX_SEGMENTS].try_into().unwrap();
+            if bits_arr.iter().all(|b| (1..=MAX_BITS).contains(b)) {
+                // SAFETY: `simd_enabled` implies AVX2; segments == 16 means
+                // the table holds all 16 * 8 * 256 entries, and every bits
+                // lane was just validated to be in 1..=MAX_BITS.
+                return unsafe {
+                    crate::simd::node_table_lookup_avx2(&self.table, bits_arr, pref_arr)
+                };
+            }
+        }
         let stride_seg = MAX_BITS as usize * MAX_CARDINALITY;
         let mut sum = 0.0f32;
         for seg in 0..self.segments {
@@ -443,6 +554,128 @@ mod tests {
             let node = NodeWord::root(word_b.root_key(), 8);
             let direct = mindist_envelope_node_sq(&lo, &hi, &node, q.segment_lens());
             assert!((direct - table.lookup(&node)).abs() <= direct.abs() * 1e-5 + 1e-6);
+        }
+    }
+
+    #[test]
+    fn scalar_lookup_is_bit_identical_to_branchy_mindist() {
+        // `lookup_scalar` sums the same precomputed terms in the same
+        // order as `mindist_paa_word_sq` evaluates them: exact equality.
+        let n = 128;
+        let q = Quantizer::new(n, 16).unwrap();
+        let a = series(51, n);
+        let paa_a = crate::paa::paa(&a, 16);
+        let table = MindistTable::new_point(&paa_a, q.segment_lens());
+        for seed in 0..50u64 {
+            let b = series(seed + 700, n);
+            let w = q.word(&b);
+            let direct = mindist_paa_word_sq(&paa_a, &w, q.segment_lens());
+            assert_eq!(direct.to_bits(), table.lookup_scalar(&w).to_bits());
+        }
+    }
+
+    #[cfg(target_arch = "x86_64")]
+    #[test]
+    fn simd_word_lookup_matches_scalar() {
+        if !dsidx_series::distance::hardware_simd_available() {
+            eprintln!("skipping: no AVX2 on this host");
+            return;
+        }
+        let n = 128;
+        let q = Quantizer::new(n, 16).unwrap();
+        let a = series(61, n);
+        let paa_a = crate::paa::paa(&a, 16);
+        for table in [
+            MindistTable::new_point(&paa_a, q.segment_lens()),
+            MindistTable::new_interval(
+                &paa_a.iter().map(|v| v - 0.3).collect::<Vec<_>>(),
+                &paa_a.iter().map(|v| v + 0.3).collect::<Vec<_>>(),
+                q.segment_lens(),
+            ),
+        ] {
+            for seed in 0..50u64 {
+                let w = q.word(&series(seed + 800, n));
+                let scalar = table.lookup_scalar(&w);
+                // SAFETY: AVX2 checked above; 16-segment table is full-size.
+                let simd =
+                    unsafe { crate::simd::word_table_lookup_avx2(&table.table, w.symbols_raw()) };
+                assert!(
+                    (scalar - simd).abs() <= scalar.abs() * 1e-4 + 1e-5,
+                    "seed={seed}: scalar {scalar} vs simd {simd}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn lookup_many_is_bit_identical_to_scalar() {
+        // Holds with SIMD on or off: the batch kernel's vertical
+        // accumulation replays lookup_scalar's add order per lane. Odd
+        // lengths exercise the scalar remainder path too.
+        let n = 128;
+        let q = Quantizer::new(n, 16).unwrap();
+        let a = series(81, n);
+        let paa_a = crate::paa::paa(&a, 16);
+        let table = MindistTable::new_point(&paa_a, q.segment_lens());
+        for count in [0usize, 1, 7, 8, 9, 16, 61] {
+            let words: Vec<Word> = (0..count)
+                .map(|i| q.word(&series(i as u64 + 1100, n)))
+                .collect();
+            let mut out = vec![0.0f32; count];
+            table.lookup_many(&words, &mut out);
+            for (w, o) in words.iter().zip(&out) {
+                assert_eq!(
+                    table.lookup_scalar(w).to_bits(),
+                    o.to_bits(),
+                    "count={count}"
+                );
+            }
+        }
+    }
+
+    #[cfg(target_arch = "x86_64")]
+    #[test]
+    fn simd_node_lookup_matches_scalar() {
+        if !dsidx_series::distance::hardware_simd_available() {
+            eprintln!("skipping: no AVX2 on this host");
+            return;
+        }
+        let n = 64;
+        let q = Quantizer::new(n, 16).unwrap();
+        let a = series(71, n);
+        let paa_a = crate::paa::paa(&a, 16);
+        let table = NodeMindistTable::new_point(&paa_a, q.segment_lens());
+        for seed in 0..40u64 {
+            let word_b = q.word(&series(seed + 900, n));
+            let mut node = NodeWord::root(word_b.root_key(), 16);
+            for k in 0..24 {
+                let scalar = table.lookup_scalar(&node);
+                // SAFETY: AVX2 checked above; NodeWord keeps bits in 1..=8.
+                let simd = unsafe {
+                    crate::simd::node_table_lookup_avx2(
+                        &table.table,
+                        node.bits_raw(),
+                        node.prefixes_raw(),
+                    )
+                };
+                assert!(
+                    (scalar - simd).abs() <= scalar.abs() * 1e-4 + 1e-5,
+                    "seed={seed} k={k}: scalar {scalar} vs simd {simd}"
+                );
+                // lookup_parts with valid bits routes to the same kernel.
+                let parts = table.lookup_parts(node.bits_raw(), node.prefixes_raw());
+                assert!((scalar - parts).abs() <= scalar.abs() * 1e-4 + 1e-5);
+                let seg = k % 16;
+                if !node.can_split(seg) {
+                    continue;
+                }
+                let (zero, one) = node.split(seg);
+                node = if node.split_bit(&word_b, seg) {
+                    one
+                } else {
+                    zero
+                };
+            }
         }
     }
 

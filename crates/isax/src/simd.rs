@@ -1,0 +1,200 @@
+//! AVX2 gather kernels for the MINDIST lookup tables.
+//!
+//! A [`crate::MindistTable`] lookup at the paper's default 16 segments is 16
+//! dependent loads and adds; with AVX2 it becomes two 8-lane gathers and a
+//! horizontal sum. These kernels are `pub(crate)` — callers go through the
+//! dispatching `lookup` methods in [`crate::mindist`], which gate on
+//! [`dsidx_series::distance::simd_enabled`] and fall back to the scalar
+//! loops everywhere else (non-x86-64, no AVX2, `DSIDX_NO_SIMD=1`, or a
+//! segment count other than 16).
+
+#![cfg(target_arch = "x86_64")]
+
+use crate::word::{Word, MAX_BITS, MAX_CARDINALITY, MAX_SEGMENTS};
+use std::arch::x86_64::{
+    __m128i, __m256, _mm256_add_epi32, _mm256_add_ps, _mm256_castps256_ps128, _mm256_cvtepu8_epi32,
+    _mm256_extractf128_ps, _mm256_i32gather_ps, _mm256_set1_epi32, _mm256_setr_epi32,
+    _mm256_setzero_ps, _mm256_slli_epi32, _mm256_storeu_ps, _mm256_sub_epi32, _mm_add_ps,
+    _mm_add_ss, _mm_cvtss_f32, _mm_loadu_si128, _mm_movehl_ps, _mm_shuffle_ps, _mm_srli_si128,
+    _mm_unpackhi_epi16, _mm_unpackhi_epi32, _mm_unpackhi_epi8, _mm_unpacklo_epi16,
+    _mm_unpacklo_epi32, _mm_unpacklo_epi8,
+};
+
+/// Horizontal sum of all 8 lanes.
+///
+/// # Safety
+/// Caller must ensure AVX is available.
+#[inline]
+#[target_feature(enable = "avx2")]
+unsafe fn hsum256(v: __m256) -> f32 {
+    let lo = _mm256_castps256_ps128(v);
+    let hi = _mm256_extractf128_ps::<1>(v);
+    let sum4 = _mm_add_ps(lo, hi);
+    let shuf = _mm_movehl_ps(sum4, sum4);
+    let sum2 = _mm_add_ps(sum4, shuf);
+    let shuf1 = _mm_shuffle_ps::<0b01>(sum2, sum2);
+    _mm_cvtss_f32(_mm_add_ss(sum2, shuf1))
+}
+
+/// Sums `table[seg * 256 + symbols[seg]]` over all 16 segments.
+///
+/// # Safety
+/// Caller must ensure the CPU supports AVX2 and that
+/// `table.len() >= MAX_SEGMENTS * MAX_CARDINALITY` (4096). Every gathered
+/// index is then in bounds: `seg * 256 + symbol <= 15 * 256 + 255 = 4095`.
+#[target_feature(enable = "avx2")]
+pub(crate) unsafe fn word_table_lookup_avx2(table: &[f32], symbols: &[u8; MAX_SEGMENTS]) -> f32 {
+    debug_assert!(table.len() >= MAX_SEGMENTS * MAX_CARDINALITY);
+    // SAFETY: the caller guarantees AVX2 and a full-size table; every index
+    // is seg * 256 + u8 <= 4095 < table.len(), and the 16-byte load reads
+    // exactly the [u8; 16] the reference covers.
+    unsafe {
+        let base = table.as_ptr();
+        // 16 symbols -> two 8-lane i32 vectors.
+        let raw: __m128i = _mm_loadu_si128(symbols.as_ptr().cast());
+        let sym_lo = _mm256_cvtepu8_epi32(raw);
+        let sym_hi = _mm256_cvtepu8_epi32(_mm_srli_si128::<8>(raw));
+        // Per-lane row offsets seg * 256.
+        let rows_lo = _mm256_setr_epi32(0, 256, 512, 768, 1024, 1280, 1536, 1792);
+        let rows_hi = _mm256_setr_epi32(2048, 2304, 2560, 2816, 3072, 3328, 3584, 3840);
+        let idx_lo = _mm256_add_epi32(rows_lo, sym_lo);
+        let idx_hi = _mm256_add_epi32(rows_hi, sym_hi);
+        let gathered = _mm256_add_ps(
+            _mm256_i32gather_ps::<4>(base, idx_lo),
+            _mm256_i32gather_ps::<4>(base, idx_hi),
+        );
+        hsum256(gathered)
+    }
+}
+
+/// Looks up `table[seg * 256 + symbol]` bounds for eight words at once:
+/// transposes the 8 x 16 symbol matrix in-register, then for each segment
+/// gathers that segment's entry for all eight words and accumulates
+/// *vertically* — each output lane adds its word's per-segment
+/// contributions in segment order 0..16 starting from zero, exactly the
+/// float-add sequence of `MindistTable::lookup_scalar`. The batch results
+/// are therefore **bit-identical** to the scalar loop (and, transitively,
+/// to [`crate::mindist::mindist_paa_word_sq`]): scans prune identically
+/// with SIMD on or off. This is also the faster shape — no per-word
+/// horizontal sum, one dispatch per eight words — which is what lets the
+/// SAX-array scans beat the (already load-parallel) scalar loop.
+///
+/// # Safety
+/// Caller must ensure the CPU supports AVX2 and that
+/// `table.len() >= MAX_SEGMENTS * MAX_CARDINALITY` (4096).
+#[target_feature(enable = "avx2")]
+pub(crate) unsafe fn word_table_lookup_batch8_avx2(
+    table: &[f32],
+    words: &[Word; 8],
+    out: &mut [f32; 8],
+) {
+    debug_assert!(table.len() >= MAX_SEGMENTS * MAX_CARDINALITY);
+    // SAFETY: the caller guarantees AVX2 and a full-size table; every
+    // gathered index is seg * 256 + u8 <= 4095 < table.len(), each 16-byte
+    // load covers exactly one word's [u8; 16] symbol array, and the store
+    // fills exactly the [f32; 8] output.
+    unsafe {
+        let base = table.as_ptr();
+        let row = |i: usize| _mm_loadu_si128(words[i].symbols_raw().as_ptr().cast());
+        // 8 x 16 byte transpose (unpack tree): rows = words, columns =
+        // segments. After three rounds, `cols[c]` holds segments 2c and
+        // 2c+1 as two 8-byte groups ordered word 0..7.
+        let p0 = _mm_unpacklo_epi8(row(0), row(1));
+        let p1 = _mm_unpackhi_epi8(row(0), row(1));
+        let p2 = _mm_unpacklo_epi8(row(2), row(3));
+        let p3 = _mm_unpackhi_epi8(row(2), row(3));
+        let p4 = _mm_unpacklo_epi8(row(4), row(5));
+        let p5 = _mm_unpackhi_epi8(row(4), row(5));
+        let p6 = _mm_unpacklo_epi8(row(6), row(7));
+        let p7 = _mm_unpackhi_epi8(row(6), row(7));
+        let q0 = _mm_unpacklo_epi16(p0, p2);
+        let q1 = _mm_unpackhi_epi16(p0, p2);
+        let q2 = _mm_unpacklo_epi16(p1, p3);
+        let q3 = _mm_unpackhi_epi16(p1, p3);
+        let q4 = _mm_unpacklo_epi16(p4, p6);
+        let q5 = _mm_unpackhi_epi16(p4, p6);
+        let q6 = _mm_unpacklo_epi16(p5, p7);
+        let q7 = _mm_unpackhi_epi16(p5, p7);
+        let cols = [
+            _mm_unpacklo_epi32(q0, q4),
+            _mm_unpackhi_epi32(q0, q4),
+            _mm_unpacklo_epi32(q1, q5),
+            _mm_unpackhi_epi32(q1, q5),
+            _mm_unpacklo_epi32(q2, q6),
+            _mm_unpackhi_epi32(q2, q6),
+            _mm_unpacklo_epi32(q3, q7),
+            _mm_unpackhi_epi32(q3, q7),
+        ];
+        let mut acc = _mm256_setzero_ps();
+        for seg in 0..MAX_SEGMENTS {
+            let half = cols[seg / 2];
+            let col8 = if seg % 2 == 0 {
+                half
+            } else {
+                _mm_srli_si128::<8>(half)
+            };
+            let idx = _mm256_add_epi32(
+                _mm256_cvtepu8_epi32(col8),
+                _mm256_set1_epi32((seg * MAX_CARDINALITY) as i32),
+            );
+            acc = _mm256_add_ps(acc, _mm256_i32gather_ps::<4>(base, idx));
+        }
+        _mm256_storeu_ps(out.as_mut_ptr(), acc);
+    }
+}
+
+/// Sums `table[seg * 2048 + (bits[seg] - 1) * 256 + prefixes[seg]]` over all
+/// 16 segments (the [`crate::NodeMindistTable`] layout).
+///
+/// # Safety
+/// Caller must ensure the CPU supports AVX2, that
+/// `table.len() >= MAX_SEGMENTS * MAX_BITS * MAX_CARDINALITY` (32768), and
+/// that every `bits[seg]` is in `1..=MAX_BITS`. Each gathered index is then
+/// at most `15 * 2048 + 7 * 256 + 255 = 32767`, in bounds. (`prefixes` needs
+/// no precondition beyond being `u8`: an out-of-cardinality prefix reads a
+/// stale-but-in-bounds slot, same as the scalar loop.)
+#[target_feature(enable = "avx2")]
+pub(crate) unsafe fn node_table_lookup_avx2(
+    table: &[f32],
+    bits: &[u8; MAX_SEGMENTS],
+    prefixes: &[u8; MAX_SEGMENTS],
+) -> f32 {
+    debug_assert!(table.len() >= MAX_SEGMENTS * MAX_BITS as usize * MAX_CARDINALITY);
+    debug_assert!(bits.iter().all(|b| (1..=MAX_BITS).contains(b)));
+    // SAFETY: the caller guarantees AVX2, a full-size table, and bits in
+    // 1..=8, so every index is at most 15*2048 + 7*256 + 255 = 32767 <
+    // table.len(); the 16-byte loads read exactly the [u8; 16] arrays.
+    unsafe {
+        let base = table.as_ptr();
+        let raw_bits: __m128i = _mm_loadu_si128(bits.as_ptr().cast());
+        let raw_pref: __m128i = _mm_loadu_si128(prefixes.as_ptr().cast());
+        let bits_lo = _mm256_cvtepu8_epi32(raw_bits);
+        let bits_hi = _mm256_cvtepu8_epi32(_mm_srli_si128::<8>(raw_bits));
+        let pref_lo = _mm256_cvtepu8_epi32(raw_pref);
+        let pref_hi = _mm256_cvtepu8_epi32(_mm_srli_si128::<8>(raw_pref));
+        // Per-lane segment offsets seg * 2048; each lane computes
+        // segoff + (bits << 8) - 256 + prefix.
+        let segs_lo = _mm256_setr_epi32(0, 2048, 4096, 6144, 8192, 10240, 12288, 14336);
+        let segs_hi = _mm256_setr_epi32(16384, 18432, 20480, 22528, 24576, 26624, 28672, 30720);
+        let bias = _mm256_setr_epi32(256, 256, 256, 256, 256, 256, 256, 256);
+        let idx_lo = _mm256_sub_epi32(
+            _mm256_add_epi32(
+                _mm256_add_epi32(segs_lo, _mm256_slli_epi32::<8>(bits_lo)),
+                pref_lo,
+            ),
+            bias,
+        );
+        let idx_hi = _mm256_sub_epi32(
+            _mm256_add_epi32(
+                _mm256_add_epi32(segs_hi, _mm256_slli_epi32::<8>(bits_hi)),
+                pref_hi,
+            ),
+            bias,
+        );
+        let gathered = _mm256_add_ps(
+            _mm256_i32gather_ps::<4>(base, idx_lo),
+            _mm256_i32gather_ps::<4>(base, idx_hi),
+        );
+        hsum256(gathered)
+    }
+}

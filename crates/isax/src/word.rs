@@ -65,6 +65,13 @@ impl Word {
         &self.symbols[..self.segments()]
     }
 
+    /// The full backing array (entries past `segments` are zero) — for the
+    /// SIMD table-gather path, which always loads all 16 lanes.
+    #[inline]
+    pub(crate) fn symbols_raw(&self) -> &[u8; MAX_SEGMENTS] {
+        &self.symbols
+    }
+
     /// The `bits`-bit prefix of segment `seg`'s symbol — i.e. the symbol at
     /// cardinality `2^bits`.
     #[inline]
@@ -138,6 +145,20 @@ impl NodeWord {
     pub fn prefix(&self, seg: usize) -> u8 {
         debug_assert!(seg < self.segments());
         self.prefixes[seg]
+    }
+
+    /// The full bits array (entries past `segments` stay at their initial
+    /// `1`) — for the SIMD table-gather path.
+    #[inline]
+    pub(crate) fn bits_raw(&self) -> &[u8; MAX_SEGMENTS] {
+        &self.bits
+    }
+
+    /// The full prefixes array (entries past `segments` are zero) — for the
+    /// SIMD table-gather path.
+    #[inline]
+    pub(crate) fn prefixes_raw(&self) -> &[u8; MAX_SEGMENTS] {
+        &self.prefixes
     }
 
     /// `true` iff `word` falls under this node (every segment's symbol

@@ -86,6 +86,46 @@ proptest! {
         prop_assert!((direct - looked).abs() <= direct.abs() * 1e-5 + 1e-6);
     }
 
+    /// The table's scalar lookup is a reassociation-free sum of the same
+    /// per-segment terms as the branchy computation, so it must reproduce
+    /// `mindist_paa_word_sq` with identical f32 bits.
+    #[test]
+    fn table_lookup_scalar_is_bit_identical_to_branchy((w, q, c) in config_and_pair()) {
+        let quant = Quantizer::new(q.len(), w).unwrap();
+        let word_c = quant.word(&c);
+        let paa_q = paa(&q, w);
+        let table = MindistTable::new_point(&paa_q, quant.segment_lens());
+        let direct = mindist_paa_word_sq(&paa_q, &word_c, quant.segment_lens());
+        prop_assert_eq!(table.lookup_scalar(&word_c).to_bits(), direct.to_bits());
+    }
+
+    /// Batched lookup must match the per-word scalar loop bit-for-bit —
+    /// with SIMD on the batch-8 kernel accumulates each lane in the same
+    /// segment order as the scalar sum, with it off both sides are the
+    /// same loop. Either way, scans prune identically in both modes.
+    #[test]
+    fn table_lookup_many_is_bit_identical_to_scalar(
+        (w, q, c) in config_and_pair(),
+        count in 0usize..24,
+    ) {
+        let quant = Quantizer::new(q.len(), w).unwrap();
+        let paa_q = paa(&q, w);
+        let table = MindistTable::new_point(&paa_q, quant.segment_lens());
+        // Derive `count` distinct-ish words by scaling the candidate.
+        let words: Vec<_> = (0..count)
+            .map(|i| {
+                let scaled: Vec<f32> =
+                    c.iter().map(|&v| v * (0.5 + 0.1 * i as f32)).collect();
+                quant.word(&scaled)
+            })
+            .collect();
+        let mut out = vec![0.0f32; words.len()];
+        table.lookup_many(&words, &mut out);
+        for (word, &got) in words.iter().zip(&out) {
+            prop_assert_eq!(got.to_bits(), table.lookup_scalar(word).to_bits());
+        }
+    }
+
     /// DTW envelope MINDIST lower-bounds the true banded DTW.
     #[test]
     fn envelope_mindist_lower_bounds_dtw((w, q, c) in config_and_pair(), band_frac in 0.0f64..0.2) {

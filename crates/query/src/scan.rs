@@ -60,19 +60,29 @@ pub fn scan_sax_serial<P: Pruner>(
     pruner: &P,
     stats: &mut QueryStats,
 ) -> Result<(), StorageError> {
-    for (pos, word) in words.iter().enumerate() {
-        stats.lb_computed += 1;
-        let lb = table.lookup(word);
-        if lb >= pruner.threshold_sq() {
-            continue;
-        }
-        stats.candidates += 1;
-        if verify_candidate(pos as u32, lb, fetcher, query, pruner)? {
-            stats.real_computed += 1;
+    // Bound a block of words at a time (the SIMD batch kernel is
+    // bit-identical to the per-word scalar loop, so blocking never changes
+    // a pruning decision), then test each bound against the live threshold.
+    let mut bounds = [0.0f32; LB_BLOCK];
+    for (start, block) in words.chunks(LB_BLOCK).enumerate() {
+        table.lookup_many(block, &mut bounds);
+        stats.lb_computed += block.len() as u64;
+        for (off, &lb) in bounds[..block.len()].iter().enumerate() {
+            if lb >= pruner.threshold_sq() {
+                continue;
+            }
+            stats.candidates += 1;
+            let pos = (start * LB_BLOCK + off) as u32;
+            if verify_candidate(pos, lb, fetcher, query, pruner)? {
+                stats.real_computed += 1;
+            }
         }
     }
     Ok(())
 }
+
+/// Words lower-bounded per batched-kernel call in the scan loops.
+const LB_BLOCK: usize = 256;
 
 /// Lower-bound filter over one Fetch&Inc chunk of the SAX array (ParIS
 /// phase 2): appends `(position, bound)` survivors to `out`. The threshold
@@ -86,10 +96,15 @@ pub fn collect_candidates<P: Pruner>(
     out: &mut Vec<(u32, f32)>,
 ) {
     let limit = pruner.threshold_sq();
-    for pos in range {
-        let lb = table.lookup(&words[pos]);
-        if lb < limit {
-            out.push((pos as u32, lb));
+    let mut bounds = [0.0f32; LB_BLOCK];
+    let mut pos = range.start;
+    for block in words[range].chunks(LB_BLOCK) {
+        table.lookup_many(block, &mut bounds);
+        for &lb in &bounds[..block.len()] {
+            if lb < limit {
+                out.push((pos as u32, lb));
+            }
+            pos += 1;
         }
     }
 }

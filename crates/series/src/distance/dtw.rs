@@ -60,12 +60,33 @@ pub fn envelope(series: &[f32], r: usize, lower: &mut Vec<f32>, upper: &mut Vec<
 /// LB_Keogh lower bound (squared) of DTW(query, candidate) given the
 /// query's envelope.
 ///
+/// Dispatches to the AVX2 kernel when
+/// [`simd_enabled`](crate::distance::simd_enabled), otherwise to the
+/// scalar loop ([`lb_keogh_sq_scalar`]).
+///
 /// # Panics
 /// Panics if the lengths differ.
+#[inline]
 #[must_use]
 pub fn lb_keogh_sq(candidate: &[f32], lower: &[f32], upper: &[f32]) -> f32 {
     assert_eq!(candidate.len(), lower.len(), "lb_keogh_sq length mismatch");
     assert_eq!(candidate.len(), upper.len(), "lb_keogh_sq length mismatch");
+    #[cfg(target_arch = "x86_64")]
+    {
+        if crate::distance::simd_enabled() {
+            // SAFETY: `simd_enabled` implies AVX2/FMA; lengths checked above.
+            return unsafe { crate::distance::simd::lb_keogh_sq_avx2(candidate, lower, upper) };
+        }
+    }
+    lb_keogh_sq_scalar(candidate, lower, upper)
+}
+
+/// Scalar LB_Keogh — the non-x86 fallback and the differential-testing
+/// oracle for the AVX2 kernel.
+#[must_use]
+pub fn lb_keogh_sq_scalar(candidate: &[f32], lower: &[f32], upper: &[f32]) -> f32 {
+    debug_assert_eq!(candidate.len(), lower.len());
+    debug_assert_eq!(candidate.len(), upper.len());
     let mut sum = 0.0f32;
     for i in 0..candidate.len() {
         let c = candidate[i];
@@ -81,6 +102,9 @@ pub fn lb_keogh_sq(candidate: &[f32], lower: &[f32], upper: &[f32]) -> f32 {
 }
 
 /// Early-abandoning LB_Keogh: returns `Some(lb)` iff `lb < limit`.
+///
+/// Dispatches like [`lb_keogh_sq`].
+#[inline]
 #[must_use]
 pub fn lb_keogh_sq_bounded(
     candidate: &[f32],
@@ -90,6 +114,29 @@ pub fn lb_keogh_sq_bounded(
 ) -> Option<f32> {
     assert_eq!(candidate.len(), lower.len(), "lb_keogh_sq length mismatch");
     assert_eq!(candidate.len(), upper.len(), "lb_keogh_sq length mismatch");
+    #[cfg(target_arch = "x86_64")]
+    {
+        if crate::distance::simd_enabled() {
+            // SAFETY: `simd_enabled` implies AVX2/FMA; lengths checked above.
+            return unsafe {
+                crate::distance::simd::lb_keogh_sq_bounded_avx2(candidate, lower, upper, limit)
+            };
+        }
+    }
+    lb_keogh_sq_bounded_scalar(candidate, lower, upper, limit)
+}
+
+/// Scalar early-abandoning LB_Keogh (partial-sum check every 16 points) —
+/// the non-x86 fallback and the differential-testing oracle.
+#[must_use]
+pub fn lb_keogh_sq_bounded_scalar(
+    candidate: &[f32],
+    lower: &[f32],
+    upper: &[f32],
+    limit: f32,
+) -> Option<f32> {
+    debug_assert_eq!(candidate.len(), lower.len());
+    debug_assert_eq!(candidate.len(), upper.len());
     let mut sum = 0.0f32;
     for (chunk_c, (chunk_l, chunk_u)) in candidate
         .chunks(16)
@@ -128,11 +175,33 @@ pub fn dtw_sq(a: &[f32], b: &[f32], band: usize) -> f32 {
 /// cost `d` is strictly below `limit`; abandons as soon as an entire DP row
 /// exceeds `limit`.
 ///
+/// Dispatches to the AVX2 row-vectorized kernel when
+/// [`simd_enabled`](crate::distance::simd_enabled). Unlike the tolerance-
+/// tested Euclidean/LB_Keogh pairs, the two DTW variants perform the same
+/// float operations in the same order, so values and abandon decisions are
+/// bit-identical across dispatch modes.
+///
 /// # Panics
 /// Panics if the lengths differ.
+#[inline]
 #[must_use]
 pub fn dtw_sq_bounded(a: &[f32], b: &[f32], band: usize, limit: f32) -> Option<f32> {
     assert_eq!(a.len(), b.len(), "dtw_sq length mismatch");
+    #[cfg(target_arch = "x86_64")]
+    {
+        if crate::distance::simd_enabled() {
+            // SAFETY: `simd_enabled` implies AVX2/FMA; lengths checked above.
+            return unsafe { crate::distance::simd::dtw_sq_bounded_avx2(a, b, band, limit) };
+        }
+    }
+    dtw_sq_bounded_scalar(a, b, band, limit)
+}
+
+/// Scalar early-abandoning banded DTW — the non-x86 fallback and the
+/// bit-exact oracle for the AVX2 kernel.
+#[must_use]
+pub fn dtw_sq_bounded_scalar(a: &[f32], b: &[f32], band: usize, limit: f32) -> Option<f32> {
+    debug_assert_eq!(a.len(), b.len());
     let n = a.len();
     if n == 0 {
         return if 0.0 < limit { Some(0.0) } else { None };
@@ -339,7 +408,10 @@ mod tests {
         let c = series(32, 80);
         let (lo, up) = env_of(&q, 4);
         let full = lb_keogh_sq(&c, &lo, &up);
-        assert_eq!(lb_keogh_sq_bounded(&c, &lo, &up, full + 1.0), Some(full));
+        // SIMD bounded/full variants accumulate in different lane groupings,
+        // so (like the Euclidean kernels) values match to tolerance, not bits.
+        let got = lb_keogh_sq_bounded(&c, &lo, &up, full + 1.0).expect("below limit");
+        assert!((got - full).abs() <= full * 1e-4 + 1e-5);
         assert_eq!(lb_keogh_sq_bounded(&c, &lo, &up, full * 0.5), None);
     }
 

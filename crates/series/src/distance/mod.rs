@@ -15,6 +15,64 @@ pub mod scalar;
 #[cfg(target_arch = "x86_64")]
 pub mod simd;
 
+use std::sync::atomic::{AtomicU8, Ordering};
+
+/// Cached dispatch decision: 0 = undecided, 1 = SIMD, 2 = scalar.
+static SIMD_STATE: AtomicU8 = AtomicU8::new(0);
+
+/// `true` when the running CPU has the AVX2/FMA features the SIMD kernels
+/// need (always `false` off x86-64). Ignores the kill-switch.
+#[inline]
+#[must_use]
+pub fn hardware_simd_available() -> bool {
+    #[cfg(target_arch = "x86_64")]
+    {
+        simd::avx2_fma_available()
+    }
+    #[cfg(not(target_arch = "x86_64"))]
+    {
+        false
+    }
+}
+
+/// `true` when distance kernels should dispatch to their SIMD variants.
+///
+/// This is THE gate every kernel dispatch point in the workspace consults
+/// (Euclidean, LB_Keogh, DTW here; the MINDIST table lookups in
+/// `dsidx-isax` re-export it). It requires hardware support AND honors the
+/// `DSIDX_NO_SIMD` kill-switch: setting `DSIDX_NO_SIMD=1` (any non-empty
+/// value other than `0`) forces every kernel onto the scalar fallback, so
+/// operators can bisect kernel regressions in production and the scalar
+/// path stays testable on AVX2 hosts. The decision is computed once and
+/// cached in an atomic; hot loops pay a load and a predictable branch.
+#[inline]
+#[must_use]
+pub fn simd_enabled() -> bool {
+    match SIMD_STATE.load(Ordering::Relaxed) {
+        1 => true,
+        2 => false,
+        _ => init_simd_state(),
+    }
+}
+
+#[cold]
+fn init_simd_state() -> bool {
+    let killed = std::env::var_os("DSIDX_NO_SIMD").is_some_and(|v| !v.is_empty() && v != "0");
+    let enabled = hardware_simd_available() && !killed;
+    // Racing initializers compute the same value; the store is idempotent.
+    SIMD_STATE.store(if enabled { 1 } else { 2 }, Ordering::Relaxed);
+    enabled
+}
+
+/// Overrides the cached dispatch decision (benchmark/test hook: the
+/// `kernels` experiment times both paths in one process). Requesting SIMD
+/// on hardware without it is ignored; returns the effective state.
+pub fn set_simd_enabled(on: bool) -> bool {
+    let effective = on && hardware_simd_available();
+    SIMD_STATE.store(if effective { 1 } else { 2 }, Ordering::Relaxed);
+    effective
+}
+
 /// Squared Euclidean distance between two equal-length series.
 ///
 /// Dispatches to an AVX2/FMA kernel when the CPU supports it (detected once,
@@ -28,8 +86,8 @@ pub fn euclidean_sq(a: &[f32], b: &[f32]) -> f32 {
     assert_eq!(a.len(), b.len(), "euclidean_sq length mismatch");
     #[cfg(target_arch = "x86_64")]
     {
-        if simd::avx2_fma_available() {
-            // SAFETY: feature presence checked above; lengths equal.
+        if simd_enabled() {
+            // SAFETY: `simd_enabled` implies AVX2/FMA; lengths equal.
             return unsafe { simd::euclidean_sq_avx2(a, b) };
         }
     }
@@ -58,8 +116,8 @@ pub fn euclidean_sq_bounded(a: &[f32], b: &[f32], limit: f32) -> Option<f32> {
     assert_eq!(a.len(), b.len(), "euclidean_sq_bounded length mismatch");
     #[cfg(target_arch = "x86_64")]
     {
-        if simd::avx2_fma_available() {
-            // SAFETY: feature presence checked above; lengths equal.
+        if simd_enabled() {
+            // SAFETY: `simd_enabled` implies AVX2/FMA; lengths equal.
             return unsafe { simd::euclidean_sq_bounded_avx2(a, b, limit) };
         }
     }

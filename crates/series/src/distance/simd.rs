@@ -11,7 +11,8 @@
 #[cfg(target_arch = "x86_64")]
 use std::arch::x86_64::{
     __m256, _mm256_castps256_ps128, _mm256_extractf128_ps, _mm256_fmadd_ps, _mm256_loadu_ps,
-    _mm256_setzero_ps, _mm256_sub_ps, _mm_add_ps, _mm_add_ss, _mm_cvtss_f32, _mm_movehl_ps,
+    _mm256_max_ps, _mm256_min_ps, _mm256_mul_ps, _mm256_set1_ps, _mm256_setzero_ps,
+    _mm256_storeu_ps, _mm256_sub_ps, _mm_add_ps, _mm_add_ss, _mm_cvtss_f32, _mm_movehl_ps,
     _mm_shuffle_ps,
 };
 
@@ -141,6 +142,229 @@ pub unsafe fn euclidean_sq_bounded_avx2(a: &[f32], b: &[f32], limit: f32) -> Opt
     }
 }
 
+/// LB_Keogh lower bound (squared) with AVX2 + FMA.
+///
+/// The envelope clamp is branch-free lane math: both excursions
+/// `max(c - upper, 0)` and `max(lower - c, 0)` are computed per lane (for a
+/// valid envelope `lower <= upper` at most one is non-zero) and
+/// squared-accumulated.
+///
+/// # Safety
+/// Caller must ensure the CPU supports AVX2 and FMA (see
+/// [`avx2_fma_available`]) and that all three slices have equal lengths.
+#[target_feature(enable = "avx2", enable = "fma")]
+#[must_use]
+pub unsafe fn lb_keogh_sq_avx2(candidate: &[f32], lower: &[f32], upper: &[f32]) -> f32 {
+    debug_assert_eq!(candidate.len(), lower.len());
+    debug_assert_eq!(candidate.len(), upper.len());
+    // SAFETY: every load stays within the slices (offsets bounded by `n`),
+    // and the caller guarantees AVX2/FMA support and equal lengths.
+    unsafe {
+        let n = candidate.len();
+        let pc = candidate.as_ptr();
+        let pl = lower.as_ptr();
+        let pu = upper.as_ptr();
+        let zero = _mm256_setzero_ps();
+        let mut acc0 = _mm256_setzero_ps();
+        let mut acc1 = _mm256_setzero_ps();
+        let mut i = 0;
+        // Two independent accumulators hide FMA latency.
+        while i + 16 <= n {
+            let c0 = _mm256_loadu_ps(pc.add(i));
+            let above0 = _mm256_max_ps(_mm256_sub_ps(c0, _mm256_loadu_ps(pu.add(i))), zero);
+            let below0 = _mm256_max_ps(_mm256_sub_ps(_mm256_loadu_ps(pl.add(i)), c0), zero);
+            acc0 = _mm256_fmadd_ps(above0, above0, acc0);
+            acc0 = _mm256_fmadd_ps(below0, below0, acc0);
+            let c1 = _mm256_loadu_ps(pc.add(i + 8));
+            let above1 = _mm256_max_ps(_mm256_sub_ps(c1, _mm256_loadu_ps(pu.add(i + 8))), zero);
+            let below1 = _mm256_max_ps(_mm256_sub_ps(_mm256_loadu_ps(pl.add(i + 8)), c1), zero);
+            acc1 = _mm256_fmadd_ps(above1, above1, acc1);
+            acc1 = _mm256_fmadd_ps(below1, below1, acc1);
+            i += 16;
+        }
+        if i + 8 <= n {
+            let c = _mm256_loadu_ps(pc.add(i));
+            let above = _mm256_max_ps(_mm256_sub_ps(c, _mm256_loadu_ps(pu.add(i))), zero);
+            let below = _mm256_max_ps(_mm256_sub_ps(_mm256_loadu_ps(pl.add(i)), c), zero);
+            acc0 = _mm256_fmadd_ps(above, above, acc0);
+            acc0 = _mm256_fmadd_ps(below, below, acc0);
+            i += 8;
+        }
+        let mut sum = hsum256(acc0) + hsum256(acc1);
+        while i < n {
+            let c = *candidate.get_unchecked(i);
+            let above = (c - *upper.get_unchecked(i)).max(0.0);
+            let below = (*lower.get_unchecked(i) - c).max(0.0);
+            sum += above * above + below * below;
+            i += 1;
+        }
+        sum
+    }
+}
+
+/// Early-abandoning LB_Keogh with AVX2 + FMA: checks the partial sum every
+/// 32 points, like [`euclidean_sq_bounded_avx2`]. Returns `Some(lb)` iff
+/// `lb < limit`.
+///
+/// # Safety
+/// Caller must ensure the CPU supports AVX2 and FMA and that all three
+/// slices have equal lengths.
+#[target_feature(enable = "avx2", enable = "fma")]
+#[must_use]
+pub unsafe fn lb_keogh_sq_bounded_avx2(
+    candidate: &[f32],
+    lower: &[f32],
+    upper: &[f32],
+    limit: f32,
+) -> Option<f32> {
+    debug_assert_eq!(candidate.len(), lower.len());
+    debug_assert_eq!(candidate.len(), upper.len());
+    // SAFETY: every load stays within the slices (offsets bounded by `n`),
+    // and the caller guarantees AVX2/FMA support and equal lengths.
+    unsafe {
+        let n = candidate.len();
+        let pc = candidate.as_ptr();
+        let pl = lower.as_ptr();
+        let pu = upper.as_ptr();
+        let zero = _mm256_setzero_ps();
+        let mut sum = 0.0f32;
+        let mut i = 0;
+        while i + 32 <= n {
+            let mut acc = _mm256_setzero_ps();
+            for k in 0..4 {
+                let c = _mm256_loadu_ps(pc.add(i + 8 * k));
+                let above =
+                    _mm256_max_ps(_mm256_sub_ps(c, _mm256_loadu_ps(pu.add(i + 8 * k))), zero);
+                let below =
+                    _mm256_max_ps(_mm256_sub_ps(_mm256_loadu_ps(pl.add(i + 8 * k)), c), zero);
+                acc = _mm256_fmadd_ps(above, above, acc);
+                acc = _mm256_fmadd_ps(below, below, acc);
+            }
+            sum += hsum256(acc);
+            if sum >= limit {
+                return None;
+            }
+            i += 32;
+        }
+        while i + 8 <= n {
+            let c = _mm256_loadu_ps(pc.add(i));
+            let above = _mm256_max_ps(_mm256_sub_ps(c, _mm256_loadu_ps(pu.add(i))), zero);
+            let below = _mm256_max_ps(_mm256_sub_ps(_mm256_loadu_ps(pl.add(i)), c), zero);
+            let mut acc = _mm256_fmadd_ps(above, above, zero);
+            acc = _mm256_fmadd_ps(below, below, acc);
+            sum += hsum256(acc);
+            i += 8;
+        }
+        while i < n {
+            let c = *candidate.get_unchecked(i);
+            let above = (c - *upper.get_unchecked(i)).max(0.0);
+            let below = (*lower.get_unchecked(i) - c).max(0.0);
+            sum += above * above + below * below;
+            i += 1;
+        }
+        if sum < limit {
+            Some(sum)
+        } else {
+            None
+        }
+    }
+}
+
+/// Early-abandoning banded DTW with an AVX2-vectorized row pass.
+///
+/// Per DP row the two vectorizable parts — the cell costs `(a_i - b_j)^2`
+/// for a lane of `j` and the lane-wise `min` of the two row-independent
+/// predecessors `min(prev[j], prev[j-1])` — are computed 8 columns at a
+/// time into scratch rows; a short serial pass then folds in the
+/// loop-carried left predecessor. Every float operation (subtract, square,
+/// `min`, add) is performed in the same order as the scalar kernel, so
+/// results AND the row-min early-abandon decision are **bit-identical** to
+/// [`scalar` DTW](crate::distance::dtw::dtw_sq_bounded_scalar) at every
+/// limit — the differential tests assert exact equality.
+///
+/// # Safety
+/// Caller must ensure the CPU supports AVX2 and FMA (see
+/// [`avx2_fma_available`]) and that `a.len() == b.len()`.
+#[target_feature(enable = "avx2", enable = "fma")]
+#[must_use]
+pub unsafe fn dtw_sq_bounded_avx2(a: &[f32], b: &[f32], band: usize, limit: f32) -> Option<f32> {
+    debug_assert_eq!(a.len(), b.len());
+    let n = a.len();
+    if n == 0 {
+        return if 0.0 < limit { Some(0.0) } else { None };
+    }
+    let r = band.min(n - 1);
+    let inf = f32::INFINITY;
+    let mut prev = vec![inf; n];
+    let mut curr = vec![inf; n];
+    // Scratch rows for the vector pass: cell costs and min(up, diag).
+    let mut cost = vec![0.0f32; n];
+    let mut mins = vec![0.0f32; n];
+    // SAFETY: all pointer offsets stay inside the window `lo..=hi` (for the
+    // `diag` load, `j >= 1` is established before the vector loop), every
+    // buffer is `n` long, and the caller guarantees AVX2/FMA support.
+    unsafe {
+        let pb = b.as_ptr();
+        for (i, &av) in a.iter().enumerate() {
+            let lo = i.saturating_sub(r);
+            let hi = (i + r).min(n - 1);
+            let va = _mm256_set1_ps(av);
+            let pp = prev.as_ptr();
+            let pcost = cost.as_mut_ptr();
+            let pmins = mins.as_mut_ptr();
+            let mut j = lo;
+            if j == 0 {
+                // No `prev[j-1]` at the left boundary: diag is +inf there,
+                // so min(up, diag) degenerates to up.
+                let d = av - *b.get_unchecked(0);
+                *cost.get_unchecked_mut(0) = d * d;
+                *mins.get_unchecked_mut(0) = *prev.get_unchecked(0);
+                j = 1;
+            }
+            while j + 8 <= hi + 1 {
+                let vb = _mm256_loadu_ps(pb.add(j));
+                let d = _mm256_sub_ps(va, vb);
+                _mm256_storeu_ps(pcost.add(j), _mm256_mul_ps(d, d));
+                let up = _mm256_loadu_ps(pp.add(j));
+                let diag = _mm256_loadu_ps(pp.add(j - 1));
+                _mm256_storeu_ps(pmins.add(j), _mm256_min_ps(up, diag));
+                j += 8;
+            }
+            while j <= hi {
+                let d = av - *b.get_unchecked(j);
+                *cost.get_unchecked_mut(j) = d * d;
+                *mins.get_unchecked_mut(j) =
+                    (*prev.get_unchecked(j)).min(*prev.get_unchecked(j - 1));
+                j += 1;
+            }
+            // Serial pass: the left predecessor is loop-carried.
+            let mut row_min = inf;
+            let mut left = inf;
+            for j in lo..=hi {
+                let best = if i == 0 && j == 0 {
+                    0.0
+                } else {
+                    (*mins.get_unchecked(j)).min(left)
+                };
+                let c = best + *cost.get_unchecked(j);
+                *curr.get_unchecked_mut(j) = c;
+                left = c;
+                row_min = row_min.min(c);
+            }
+            if row_min >= limit {
+                return None;
+            }
+            std::mem::swap(&mut prev, &mut curr);
+        }
+    }
+    let result = prev[n - 1];
+    if result < limit {
+        Some(result)
+    } else {
+        None
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -220,5 +444,116 @@ mod tests {
     fn detection_is_consistent() {
         // Just exercises the detection path; result depends on the host.
         let _ = avx2_fma_available();
+    }
+
+    fn envelope_of(q: &[f32], r: usize) -> (Vec<f32>, Vec<f32>) {
+        let mut lo = Vec::new();
+        let mut up = Vec::new();
+        crate::distance::dtw::envelope(q, r, &mut lo, &mut up);
+        (lo, up)
+    }
+
+    #[test]
+    fn lb_keogh_avx2_matches_scalar_differentially() {
+        if !avx2_fma_available() {
+            eprintln!("skipping: no AVX2/FMA on this host");
+            return;
+        }
+        use crate::distance::dtw::lb_keogh_sq_scalar;
+        for n in [
+            0usize, 1, 7, 8, 9, 15, 16, 17, 31, 32, 33, 100, 128, 255, 256, 1024,
+        ] {
+            let q = series(n as u64 + 100, n);
+            let c = series(n as u64 + 200, n);
+            for r in [0usize, 1, 5] {
+                let (lo, up) = envelope_of(&q, r);
+                let scalar_lb = lb_keogh_sq_scalar(&c, &lo, &up);
+                // SAFETY: AVX2/FMA availability checked above; equal lengths.
+                let simd_lb = unsafe { lb_keogh_sq_avx2(&c, &lo, &up) };
+                assert!(
+                    (scalar_lb - simd_lb).abs() <= scalar_lb * 1e-4 + 1e-5,
+                    "n={n} r={r}: scalar {scalar_lb} vs simd {simd_lb}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn lb_keogh_bounded_avx2_decision_matches_scalar() {
+        if !avx2_fma_available() {
+            eprintln!("skipping: no AVX2/FMA on this host");
+            return;
+        }
+        use crate::distance::dtw::{lb_keogh_sq_bounded_scalar, lb_keogh_sq_scalar};
+        for n in [8usize, 32, 33, 64, 100, 256] {
+            let q = series(n as u64 + 300, n);
+            let c = series(n as u64 + 400, n);
+            let (lo, up) = envelope_of(&q, 3);
+            let full = lb_keogh_sq_scalar(&c, &lo, &up);
+            for limit in [
+                0.0,
+                full * 0.25,
+                full * 0.999,
+                full,
+                full * 1.001,
+                full * 4.0,
+            ] {
+                let s = lb_keogh_sq_bounded_scalar(&c, &lo, &up, limit);
+                // SAFETY: AVX2/FMA availability checked above; equal lengths.
+                let v = unsafe { lb_keogh_sq_bounded_avx2(&c, &lo, &up, limit) };
+                match (s, v) {
+                    (Some(x), Some(y)) => {
+                        assert!((x - y).abs() <= x * 1e-4 + 1e-5);
+                    }
+                    (None, None) => {}
+                    // Rounding at the exact boundary may flip the decision;
+                    // only accept disagreement within float tolerance.
+                    (sv, vv) => {
+                        let near = (full - limit).abs() <= full * 1e-4 + 1e-5;
+                        assert!(near, "n={n} limit={limit}: scalar {sv:?} vs simd {vv:?}");
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn dtw_avx2_is_bit_identical_to_scalar() {
+        if !avx2_fma_available() {
+            eprintln!("skipping: no AVX2/FMA on this host");
+            return;
+        }
+        use crate::distance::dtw::dtw_sq_bounded_scalar;
+        for n in [1usize, 2, 7, 8, 9, 17, 33, 64, 100, 256] {
+            let a = series(n as u64 + 500, n);
+            let b = series(n as u64 + 600, n);
+            for band in [0usize, 1, 3, 8, 40, n] {
+                let full = dtw_sq_bounded_scalar(&a, &b, band, f32::INFINITY)
+                    .expect("infinite limit never abandons");
+                for limit in [0.0, full * 0.5, full, full * 1.001, f32::INFINITY] {
+                    let s = dtw_sq_bounded_scalar(&a, &b, band, limit);
+                    // SAFETY: AVX2/FMA availability checked above; equal lengths.
+                    let v = unsafe { dtw_sq_bounded_avx2(&a, &b, band, limit) };
+                    // Same ops in the same order: exact equality, no tolerance.
+                    assert_eq!(
+                        s.map(f32::to_bits),
+                        v.map(f32::to_bits),
+                        "n={n} band={band} limit={limit}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn dtw_avx2_empty_series() {
+        if !avx2_fma_available() {
+            return;
+        }
+        // SAFETY: AVX2/FMA availability checked above; equal (zero) lengths.
+        unsafe {
+            assert_eq!(dtw_sq_bounded_avx2(&[], &[], 3, 1.0), Some(0.0));
+            assert_eq!(dtw_sq_bounded_avx2(&[], &[], 3, 0.0), None);
+        }
     }
 }

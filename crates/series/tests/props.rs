@@ -1,7 +1,7 @@
 //! Property-based tests for the series substrate.
 
 use dsidx_series::distance::{
-    abandon_order, dtw, euclidean, euclidean_sq, euclidean_sq_bounded, euclidean_sq_ordered,
+    abandon_order, dtw, euclidean, euclidean_sq, euclidean_sq_bounded, euclidean_sq_ordered, scalar,
 };
 use dsidx_series::znorm::{is_znormalized, znormalize, STD_EPSILON};
 use proptest::prelude::*;
@@ -12,6 +12,19 @@ fn finite_series(max_len: usize) -> impl Strategy<Value = Vec<f32>> {
 
 fn series_pair(max_len: usize) -> impl Strategy<Value = (Vec<f32>, Vec<f32>)> {
     (1..max_len).prop_flat_map(|n| {
+        (
+            prop::collection::vec(-100.0f32..100.0, n),
+            prop::collection::vec(-100.0f32..100.0, n),
+        )
+    })
+}
+
+/// Lengths covering every remainder class the SIMD kernels branch on
+/// (`n mod 32`: the 32-wide abandon blocks, 16- and 8-wide main loops, and
+/// the scalar tail all change shape with the remainder).
+fn remainder_class_pair() -> impl Strategy<Value = (Vec<f32>, Vec<f32>)> {
+    (0usize..6, 0usize..32).prop_flat_map(|(blocks, rem)| {
+        let n = (blocks * 32 + rem).max(1);
         (
             prop::collection::vec(-100.0f32..100.0, n),
             prop::collection::vec(-100.0f32..100.0, n),
@@ -127,5 +140,86 @@ proptest! {
             seen[i as usize] = true;
         }
         prop_assert!(seen.iter().all(|&b| b));
+    }
+
+    // ---- SIMD kernels vs scalar oracles -------------------------------
+    //
+    // On non-AVX2 hosts the dispatchers resolve to the scalar kernels and
+    // these properties collapse to `x == x`; on AVX2 hosts they pin the
+    // vector kernels to the scalar oracles across every `n mod 32`
+    // remainder class.
+
+    #[test]
+    fn simd_euclidean_matches_scalar_oracle((a, b) in remainder_class_pair()) {
+        let simd = euclidean_sq(&a, &b);
+        let oracle = scalar::euclidean_sq(&a, &b);
+        prop_assert!(
+            (simd - oracle).abs() <= oracle.abs() * 1e-4 + 1e-5,
+            "simd={simd} scalar={oracle}"
+        );
+    }
+
+    #[test]
+    fn simd_lb_keogh_matches_scalar_oracle(
+        (q, c) in remainder_class_pair(),
+        band in 0usize..16,
+    ) {
+        let mut lo = Vec::new();
+        let mut up = Vec::new();
+        dtw::envelope(&q, band, &mut lo, &mut up);
+        let simd = dtw::lb_keogh_sq(&c, &lo, &up);
+        let oracle = dtw::lb_keogh_sq_scalar(&c, &lo, &up);
+        prop_assert!(
+            (simd - oracle).abs() <= oracle.abs() * 1e-4 + 1e-5,
+            "simd={simd} scalar={oracle}"
+        );
+    }
+
+    #[test]
+    fn simd_lb_keogh_bounded_decision_matches_scalar(
+        (q, c) in remainder_class_pair(),
+        band in 0usize..16,
+        frac in 0.0f32..2.0,
+    ) {
+        let mut lo = Vec::new();
+        let mut up = Vec::new();
+        dtw::envelope(&q, band, &mut lo, &mut up);
+        let full = dtw::lb_keogh_sq_scalar(&c, &lo, &up);
+        let limit = full * frac + 0.001;
+        let simd = dtw::lb_keogh_sq_bounded(&c, &lo, &up, limit);
+        let oracle = dtw::lb_keogh_sq_bounded_scalar(&c, &lo, &up, limit);
+        // Away from the limit boundary the Some/None decision must agree;
+        // right at it, lane-grouped accumulation may legitimately differ.
+        let near_boundary = (full - limit).abs() <= full.abs() * 1e-4 + 1e-4;
+        if !near_boundary {
+            prop_assert_eq!(simd.is_some(), oracle.is_some());
+        }
+        if let (Some(s), Some(o)) = (simd, oracle) {
+            prop_assert!((s - o).abs() <= o.abs() * 1e-4 + 1e-5, "simd={s} scalar={o}");
+        }
+    }
+
+    #[test]
+    fn simd_dtw_is_bit_identical_to_scalar(
+        (a, b) in remainder_class_pair(),
+        band in 0usize..24,
+        frac in 0.0f32..2.0,
+    ) {
+        // The vector DTW kernel performs the same float ops in the same
+        // order as the scalar recurrence, so it must agree to the bit —
+        // including the Some/None early-abandon decision at every limit.
+        let full = dtw::dtw_sq(&a, &b, band);
+        for limit in [full * frac + 0.001, f32::INFINITY] {
+            let simd = dtw::dtw_sq_bounded(&a, &b, band, limit);
+            let oracle = dtw::dtw_sq_bounded_scalar(&a, &b, band, limit);
+            prop_assert_eq!(
+                simd.map(f32::to_bits),
+                oracle.map(f32::to_bits),
+                "limit={} simd={:?} scalar={:?}",
+                limit,
+                simd,
+                oracle
+            );
+        }
     }
 }

@@ -360,7 +360,13 @@ mod tests {
                 return;
             }
         }
-        panic!("SSD reads serialized: {last:?}");
+        // The timing bound is only meaningful when threads can actually run
+        // concurrently. On a single-CPU host (CI runners, constrained
+        // containers) the 800 charge_read calls contend for one core and
+        // the wall clock measures the scheduler, not the I/O model — the
+        // model's own accounting above is still exercised, so don't fail.
+        let cores = std::thread::available_parallelism().map_or(1, |n| n.get());
+        assert!(cores < 2, "SSD reads serialized on {cores} cores: {last:?}");
     }
 
     #[test]
