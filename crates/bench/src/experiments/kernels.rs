@@ -17,7 +17,7 @@ use dsidx::isax::{MindistTable, NodeMindistTable, Quantizer, Word};
 use dsidx::prelude::*;
 use dsidx::series::distance::{
     dtw, euclidean_sq, euclidean_sq_bounded, hardware_simd_available, set_simd_enabled,
-    simd_enabled,
+    simd_enabled, simd_kill_switch_active,
 };
 use std::hint::black_box;
 use std::sync::Arc;
@@ -192,10 +192,17 @@ fn assert_decision_equivalence(w: &Workload) {
 /// Runs this experiment at the given scale, printing its tables and CSVs.
 pub fn run(scale: &Scale) {
     let initial = simd_enabled();
-    let simd_possible = hardware_simd_available();
+    // The DSIDX_NO_SIMD kill-switch overrides set_simd_enabled too, so with
+    // it active both columns time the scalar path and a "speedup" would be
+    // noise — report n/a exactly as on hardware without AVX2.
+    let simd_possible = hardware_simd_available() && !simd_kill_switch_active();
     println!(
         "AVX2/FMA: {} (speedups {})",
-        if simd_possible { "present" } else { "absent" },
+        match (hardware_simd_available(), simd_kill_switch_active()) {
+            (false, _) => "absent",
+            (true, true) => "present but disabled by DSIDX_NO_SIMD",
+            (true, false) => "present",
+        },
         if simd_possible {
             "measured"
         } else {

@@ -193,10 +193,18 @@ impl MindistTable {
     /// result is **bit-identical** whether SIMD is on or off (unlike the
     /// single-word [`Self::lookup`], whose horizontal sum reassociates).
     ///
+    /// Only the first `words.len()` slots of `out` are written; any excess
+    /// capacity is left untouched.
+    ///
     /// # Panics
     /// Panics if `out` is shorter than `words`.
     pub fn lookup_many(&self, words: &[Word], out: &mut [f32]) {
         assert!(out.len() >= words.len(), "output buffer too short");
+        // Trim `out` to the words actually bounded: the SIMD path below
+        // walks `words` and `out` with separate `chunks_exact` iterators,
+        // and their remainders only line up when the lengths match (callers
+        // pass fixed-size block buffers longer than the final short block).
+        let out = &mut out[..words.len()];
         #[cfg(target_arch = "x86_64")]
         if self.segments == crate::word::MAX_SEGMENTS && dsidx_series::distance::simd_enabled() {
             let mut word_blocks = words.chunks_exact(8);
@@ -617,17 +625,27 @@ mod tests {
         let a = series(81, n);
         let paa_a = crate::paa::paa(&a, 16);
         let table = MindistTable::new_point(&paa_a, q.segment_lens());
-        for count in [0usize, 1, 7, 8, 9, 16, 61] {
-            let words: Vec<Word> = (0..count)
-                .map(|i| q.word(&series(i as u64 + 1100, n)))
-                .collect();
-            let mut out = vec![0.0f32; count];
-            table.lookup_many(&words, &mut out);
-            for (w, o) in words.iter().zip(&out) {
-                assert_eq!(
-                    table.lookup_scalar(w).to_bits(),
-                    o.to_bits(),
-                    "count={count}"
+        // `pad` oversizes the output buffer relative to `words`: the scan
+        // callers reuse a fixed block buffer whose tail must still receive
+        // every word's bound (a padded buffer once desynchronized the SIMD
+        // path's chunk remainders, leaving the last `count % 8` slots stale).
+        for count in [0usize, 1, 7, 8, 9, 13, 16, 61] {
+            for pad in [0usize, 1, 3, 8, 11] {
+                let words: Vec<Word> = (0..count)
+                    .map(|i| q.word(&series(i as u64 + 1100, n)))
+                    .collect();
+                let mut out = vec![f32::NAN; count + pad];
+                table.lookup_many(&words, &mut out);
+                for (w, o) in words.iter().zip(&out) {
+                    assert_eq!(
+                        table.lookup_scalar(w).to_bits(),
+                        o.to_bits(),
+                        "count={count} pad={pad}"
+                    );
+                }
+                assert!(
+                    out[count..].iter().all(|v| v.is_nan()),
+                    "count={count} pad={pad}: slots past words.len() must stay untouched"
                 );
             }
         }

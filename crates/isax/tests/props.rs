@@ -107,6 +107,7 @@ proptest! {
     fn table_lookup_many_is_bit_identical_to_scalar(
         (w, q, c) in config_and_pair(),
         count in 0usize..24,
+        pad in 0usize..12,
     ) {
         let quant = Quantizer::new(q.len(), w).unwrap();
         let paa_q = paa(&q, w);
@@ -119,11 +120,15 @@ proptest! {
                 quant.word(&scaled)
             })
             .collect();
-        let mut out = vec![0.0f32; words.len()];
+        // Oversized poison-filled buffer: scan callers reuse fixed-size
+        // block buffers, so every word's slot must be written even when
+        // `out` is longer than `words` — and the tail must stay untouched.
+        let mut out = vec![f32::NAN; words.len() + pad];
         table.lookup_many(&words, &mut out);
         for (word, &got) in words.iter().zip(&out) {
             prop_assert_eq!(got.to_bits(), table.lookup_scalar(word).to_bits());
         }
+        prop_assert!(out[words.len()..].iter().all(|v| v.is_nan()));
     }
 
     /// DTW envelope MINDIST lower-bounds the true banded DTW.

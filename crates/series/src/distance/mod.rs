@@ -57,18 +57,28 @@ pub fn simd_enabled() -> bool {
 
 #[cold]
 fn init_simd_state() -> bool {
-    let killed = std::env::var_os("DSIDX_NO_SIMD").is_some_and(|v| !v.is_empty() && v != "0");
-    let enabled = hardware_simd_available() && !killed;
+    let enabled = hardware_simd_available() && !simd_kill_switch_active();
     // Racing initializers compute the same value; the store is idempotent.
     SIMD_STATE.store(if enabled { 1 } else { 2 }, Ordering::Relaxed);
     enabled
 }
 
+/// `true` when the `DSIDX_NO_SIMD` environment kill-switch is set (any
+/// non-empty value other than `0`). While active, every dispatch point —
+/// including the [`set_simd_enabled`] override — stays on the scalar path.
+#[must_use]
+pub fn simd_kill_switch_active() -> bool {
+    std::env::var_os("DSIDX_NO_SIMD").is_some_and(|v| !v.is_empty() && v != "0")
+}
+
 /// Overrides the cached dispatch decision (benchmark/test hook: the
 /// `kernels` experiment times both paths in one process). Requesting SIMD
-/// on hardware without it is ignored; returns the effective state.
+/// on hardware without it is ignored, and the `DSIDX_NO_SIMD` kill-switch
+/// always wins — an operator bisecting a kernel regression must not have
+/// the scalar pin silently undone by a library consumer calling this.
+/// Returns the effective state.
 pub fn set_simd_enabled(on: bool) -> bool {
-    let effective = on && hardware_simd_available();
+    let effective = on && hardware_simd_available() && !simd_kill_switch_active();
     SIMD_STATE.store(if effective { 1 } else { 2 }, Ordering::Relaxed);
     effective
 }
@@ -218,6 +228,21 @@ mod tests {
             // Limit exactly at the distance: strict comparison -> None.
             assert_eq!(euclidean_sq_bounded(&a, &b, 0.0), None);
         }
+    }
+
+    #[test]
+    fn set_simd_enabled_cannot_override_kill_switch() {
+        let initial = simd_enabled();
+        // The override is capped by hardware support AND the DSIDX_NO_SIMD
+        // kill-switch — under the CI scalar-pin run this asserts that a
+        // library consumer requesting SIMD is refused.
+        let granted = set_simd_enabled(true);
+        assert_eq!(
+            granted,
+            hardware_simd_available() && !simd_kill_switch_active()
+        );
+        assert_eq!(simd_enabled(), granted);
+        set_simd_enabled(initial);
     }
 
     #[test]

@@ -270,6 +270,14 @@ pub unsafe fn lb_keogh_sq_bounded_avx2(
     }
 }
 
+thread_local! {
+    /// Scratch rows for [`dtw_sq_bounded_avx2`] (`prev`/`curr`/`cost`/`mins`,
+    /// each `n` long, in one flat grow-only buffer). DTW verification runs
+    /// per-candidate inside hot query loops, so the kernel reuses this
+    /// per-thread buffer instead of paying four heap allocations per call.
+    static DTW_SCRATCH: std::cell::RefCell<Vec<f32>> = const { std::cell::RefCell::new(Vec::new()) };
+}
+
 /// Early-abandoning banded DTW with an AVX2-vectorized row pass.
 ///
 /// Per DP row the two vectorizable parts — the cell costs `(a_i - b_j)^2`
@@ -285,7 +293,6 @@ pub unsafe fn lb_keogh_sq_bounded_avx2(
 /// # Safety
 /// Caller must ensure the CPU supports AVX2 and FMA (see
 /// [`avx2_fma_available`]) and that `a.len() == b.len()`.
-#[target_feature(enable = "avx2", enable = "fma")]
 #[must_use]
 pub unsafe fn dtw_sq_bounded_avx2(a: &[f32], b: &[f32], band: usize, limit: f32) -> Option<f32> {
     debug_assert_eq!(a.len(), b.len());
@@ -293,13 +300,44 @@ pub unsafe fn dtw_sq_bounded_avx2(a: &[f32], b: &[f32], band: usize, limit: f32)
     if n == 0 {
         return if 0.0 < limit { Some(0.0) } else { None };
     }
-    let r = band.min(n - 1);
+    DTW_SCRATCH.with(|cell| {
+        let mut buf = cell.borrow_mut();
+        if buf.len() < 4 * n {
+            buf.resize(4 * n, 0.0);
+        }
+        // SAFETY: forwards the caller's contract (AVX2/FMA support, equal
+        // non-zero lengths); the scratch slice is exactly `4 * n` long.
+        unsafe { dtw_rows_avx2(a, b, band.min(n - 1), limit, &mut buf[..4 * n]) }
+    })
+}
+
+/// The DP-row loop of [`dtw_sq_bounded_avx2`], over a caller-provided flat
+/// scratch buffer it splits into the four `n`-length rows.
+///
+/// # Safety
+/// Caller must ensure AVX2/FMA support, `a.len() == b.len() == n > 0`,
+/// `r < n`, and `scratch.len() == 4 * n`.
+#[target_feature(enable = "avx2", enable = "fma")]
+#[must_use]
+unsafe fn dtw_rows_avx2(
+    a: &[f32],
+    b: &[f32],
+    r: usize,
+    limit: f32,
+    scratch: &mut [f32],
+) -> Option<f32> {
+    let n = a.len();
     let inf = f32::INFINITY;
-    let mut prev = vec![inf; n];
-    let mut curr = vec![inf; n];
-    // Scratch rows for the vector pass: cell costs and min(up, diag).
-    let mut cost = vec![0.0f32; n];
-    let mut mins = vec![0.0f32; n];
+    let (mut prev, rest) = scratch.split_at_mut(n);
+    let (mut curr, rest) = rest.split_at_mut(n);
+    let (cost, mins) = rest.split_at_mut(n);
+    // Band-edge cells one past a row's window are read (as `up`/`diag`)
+    // before any row writes them; like the scalar kernel's fresh rows they
+    // must start at +inf, so stale values from a previous call on this
+    // thread never leak into the recurrence. `cost`/`mins` need no reset:
+    // every cell read in a row was written earlier in that row.
+    prev.fill(inf);
+    curr.fill(inf);
     // SAFETY: all pointer offsets stay inside the window `lo..=hi` (for the
     // `diag` load, `j >= 1` is established before the vector loop), every
     // buffer is `n` long, and the caller guarantees AVX2/FMA support.
