@@ -6,6 +6,7 @@
 //! thread, position order.
 
 use crate::build::AdsIndex;
+use dsidx_obs::phase::{Phase, PhaseClock};
 use dsidx_query::{
     approx_leaf, batch_scan_sax_serial, batch_seed_positions, finish_knn, scan_sax_serial,
     seed_from_entries, seed_from_entries_dtw, BatchStats, PreparedQuery, Pruner, QueryBatch,
@@ -30,14 +31,17 @@ fn run_exact<P: Pruner>(
     if ads.index.is_empty() {
         return Ok(None);
     }
+    let mut clock = PhaseClock::start();
     let prep = PreparedQuery::new(config.quantizer(), query);
     let mut fetcher = SeriesFetcher::new(source);
     let mut stats = QueryStats::default();
+    stats.phase.record(Phase::Prepare, clock.lap());
 
     // Step 1: approximate answer from the closest leaf.
     let leaf = approx_leaf(&ads.index, &prep.word).expect("non-empty index has a non-empty leaf");
     let entries = leaf.entries().expect("serial leaves are resident");
     stats.real_computed += seed_from_entries(entries, &mut fetcher, query, pruner)?;
+    stats.phase.record(Phase::Seed, clock.lap());
 
     // Step 2: SIMS — serial scan of the SAX array with lower-bound pruning.
     scan_sax_serial(
@@ -48,6 +52,7 @@ fn run_exact<P: Pruner>(
         pruner,
         &mut stats,
     )?;
+    stats.phase.record(Phase::SaxScan, clock.lap());
     Ok(Some(stats))
 }
 
@@ -127,10 +132,13 @@ pub fn exact_knn_batch(
     for q in queries {
         assert_eq!(q.len(), config.series_len(), "query length mismatch");
     }
+    let mut clock = PhaseClock::start();
     let batch = QueryBatch::new(config.quantizer(), queries, k);
+    let prepare_nanos = clock.lap();
     if ads.index.is_empty() || batch.is_empty() {
         return Ok(batch.finish(0, QueryStats::default()));
     }
+    batch.phases().record(Phase::Prepare, prepare_nanos);
     let mut fetcher = SeriesFetcher::new(source);
 
     // Step 1: approximate answers — the union of every query's own leaf,
@@ -149,9 +157,11 @@ pub fn exact_knn_batch(
     positions.sort_unstable();
     positions.dedup();
     batch_seed_positions(&positions, &mut fetcher, &batch)?;
+    clock.lap_into(batch.phases(), Phase::Seed);
 
     // Step 2: SIMS — one serial scan of the SAX array for the whole batch.
     batch_scan_sax_serial(ads.sax.words(), &mut fetcher, &batch)?;
+    clock.lap_into(batch.phases(), Phase::SaxScan);
     Ok(batch.finish(0, QueryStats::default()))
 }
 
@@ -221,14 +231,15 @@ fn approx_leaf_visit<S: RawSource>(
     if ads.index.is_empty() {
         return Ok(finish_knn(&topk, None));
     }
+    let mut clock = PhaseClock::start();
     let word = config.quantizer().word(query);
     let leaf = approx_leaf(&ads.index, &word).expect("non-empty index has a non-empty leaf");
     let entries = leaf.entries().expect("serial leaves are resident");
     let mut fetcher = SeriesFetcher::new(source);
-    let stats = QueryStats {
-        real_computed: pay(entries, &mut fetcher, &topk)?,
-        ..QueryStats::default()
-    };
+    let mut stats = QueryStats::default();
+    stats.phase.record(Phase::Prepare, clock.lap());
+    stats.real_computed = pay(entries, &mut fetcher, &topk)?;
+    stats.phase.record(Phase::Seed, clock.lap());
     Ok(finish_knn(&topk, Some(stats)))
 }
 

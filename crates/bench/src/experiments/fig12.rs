@@ -11,6 +11,7 @@
 
 use crate::{core_ladder, f, mem_dataset, ms, queries, time_queries, Scale, Table};
 use dsidx::messi::MessiConfig;
+use dsidx::obs::phase::Phase;
 use dsidx::paris::ParisConfig;
 use dsidx::prelude::*;
 
@@ -26,6 +27,8 @@ pub fn run(scale: &Scale) {
             "avg_query_ms",
             "lb_computed",
             "real_computed",
+            "seed_ms",
+            "search_ms",
         ],
     );
     for kind in DatasetKind::ALL {
@@ -72,12 +75,27 @@ pub fn run(scale: &Scale) {
         let (p_lb, p_real) = (paris_stats.lb_total(), paris_stats.real_computed);
         let (m_lb, m_real) = (messi_stats.lb_total(), messi_stats.real_computed);
         let nq = qs.len() as u64;
+        // Average per-query phase times: the seeding pass vs everything
+        // after it (collect+verify for ParIS, traversal for MESSI).
+        #[allow(clippy::cast_precision_loss)] // display-only averages
+        let phase_cols = |st: &dsidx::query::QueryStats| {
+            let seed = st.phase.nanos(Phase::Seed);
+            let rest = st.phase.total_nanos() - seed - st.phase.nanos(Phase::Prepare);
+            [
+                f(seed as f64 / nq as f64 / 1e6),
+                f(rest as f64 / nq as f64 / 1e6),
+            ]
+        };
+        let [p_seed, p_search] = phase_cols(&paris_stats);
+        let [m_seed, m_search] = phase_cols(&messi_stats);
         table.row(&[
             kind.name().into(),
             "UCR Suite-p".into(),
             f(ms(ucr)),
             (data.len() as u64).to_string(),
             (data.len() as u64).to_string(),
+            "-".into(),
+            "-".into(),
         ]);
         table.row(&[
             kind.name().into(),
@@ -85,6 +103,8 @@ pub fn run(scale: &Scale) {
             f(ms(paris_t)),
             (p_lb / nq).to_string(),
             (p_real / nq).to_string(),
+            p_seed,
+            p_search,
         ]);
         table.row(&[
             kind.name().into(),
@@ -92,6 +112,8 @@ pub fn run(scale: &Scale) {
             f(ms(messi_t)),
             (m_lb / nq).to_string(),
             (m_real / nq).to_string(),
+            m_seed,
+            m_search,
         ]);
     }
     table.finish();

@@ -14,6 +14,7 @@ pub mod fig8;
 pub mod fig9;
 pub mod kernels;
 pub mod knn;
+pub mod obs;
 pub mod ondisk;
 pub mod throughput;
 
@@ -93,6 +94,11 @@ pub const ALL: &[Experiment] = &[
         "ondisk",
         "Extension: the closed engine matrix on DiskIndex (broadcasts + device bytes)",
         ondisk::run,
+    ),
+    (
+        "obs",
+        "Extension: observability self-measurement (phase coverage, plane overhead, trace)",
+        obs::run,
     ),
     (
         "abl-buffers",

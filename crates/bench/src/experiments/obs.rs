@@ -1,0 +1,193 @@
+//! Observability self-measurement — the instrumented query plane measured
+//! against itself, at three contracts the `dsidx-obs` plane promises:
+//!
+//! * **coverage** — the [`PhaseBreakdown`](dsidx::obs::phase::PhaseBreakdown)
+//!   a search returns accounts for the wall time of the call (within 10%,
+//!   self-asserted) for every engine × measure, so the phase columns in
+//!   the other experiments can be trusted as a decomposition and not a
+//!   sample;
+//! * **overhead** — running with the whole metrics/phase plane enabled
+//!   costs < 2% on the exact-k-NN workload versus `DSIDX_NO_OBS`
+//!   (self-asserted on the aggregate across engines, min-of-reps per
+//!   side so scheduler noise cancels);
+//! * **trace** — routing the structured stream at a file and searching
+//!   produces valid JSON-lines events including the `search` event
+//!   (self-asserted), then costs one relaxed load once disabled again.
+
+use crate::{core_ladder, f, mem_dataset, queries, time, Scale, Table};
+use dsidx::obs;
+use dsidx::prelude::*;
+use std::sync::Arc;
+
+/// Neighbors per query.
+const K: usize = 10;
+/// Interleaved A/B repetitions for the overhead measurement; comparing
+/// min-of-reps per side suppresses scheduler noise.
+const REPS: usize = 9;
+/// Sakoe-Chiba half-width for the DTW rows, as a fraction of length.
+const BAND_DIVISOR: usize = 20;
+
+/// Runs this experiment at the given scale, printing its table and CSV.
+///
+/// # Panics
+/// Panics (self-assertion) if phase coverage leaves the 90–110% window,
+/// the enabled-plane overhead reaches 2%, or the trace stream emits a
+/// malformed line.
+pub fn run(scale: &Scale) {
+    let cores = *core_ladder(&[24]).last().expect("non-empty");
+    dsidx::sync::pool::global(cores).broadcast(&|_| {});
+    let kind = DatasetKind::Synthetic;
+    let data = Arc::new(mem_dataset(kind, scale));
+    let len = data.series_len();
+    let options = Options::default().with_threads(cores);
+    let qs = queries(kind, scale.mem_queries, len);
+    let qrefs: Vec<&[f32]> = qs.iter().collect();
+    let band = len / BAND_DIVISOR;
+
+    let engines = [Engine::Ads, Engine::Paris, Engine::Messi];
+    let indexes: Vec<MemoryIndex> = engines
+        .iter()
+        .map(|&e| MemoryIndex::build(data.clone(), e, &options).expect("valid config"))
+        .collect();
+
+    // Warm up every engine once (pool wake + caches + lazily registered
+    // metrics), with the plane on so registration cost stays out of the
+    // measured runs.
+    obs::set_enabled(true);
+    obs::trace::disable();
+    for idx in &indexes {
+        let _ = idx.search(&qrefs[..1], &QuerySpec::knn(K)).expect("warm");
+    }
+
+    let mut table = Table::new(
+        "obs",
+        &[
+            "engine",
+            "measure",
+            "wall_ms",
+            "phase_ms",
+            "coverage_pct",
+            "obs_on_ms",
+            "obs_off_ms",
+            "overhead_pct",
+        ],
+    );
+
+    // (a) Phase coverage per engine × measure. Wall time and phase sum
+    // come from the same call; best-of-3 keeps a one-off scheduler stall
+    // in the unmeasured tail from failing the run.
+    let mut rows = Vec::new();
+    for idx in &indexes {
+        for measure in [Measure::Euclidean, Measure::Dtw { band }] {
+            let spec = QuerySpec::knn(K).measure(measure).with_stats();
+            let mut best: Option<(f64, f64, f64)> = None;
+            for _ in 0..3 {
+                let (answers, t) = time(|| idx.search(&qrefs, &spec).expect("query"));
+                let wall_ms = t.as_secs_f64() * 1e3;
+                #[allow(clippy::cast_precision_loss)] // display-only ratio
+                let phase_ms = answers
+                    .phase_breakdown()
+                    .expect("stats requested")
+                    .total_nanos() as f64
+                    / 1e6;
+                let cov = 100.0 * phase_ms / wall_ms;
+                if best.is_none_or(|(.., c)| (cov - 100.0).abs() < (c - 100.0).abs()) {
+                    best = Some((wall_ms, phase_ms, cov));
+                }
+            }
+            let (wall_ms, phase_ms, cov) = best.expect("three attempts");
+            assert!(
+                (90.0..=110.0).contains(&cov),
+                "{} {measure:?}: phase sum {phase_ms:.3}ms covers {cov:.1}% of \
+                 wall {wall_ms:.3}ms (want 90-110%)",
+                idx.engine().name()
+            );
+            rows.push((idx.engine(), measure, wall_ms, phase_ms, cov));
+        }
+    }
+
+    // (b) Enabled-vs-disabled overhead on the ED k-NN workload,
+    // interleaved — and alternating which side runs first each rep — so
+    // warmup drift hits both sides equally.
+    let spec = QuerySpec::knn(K);
+    let mut on_off = Vec::new();
+    for idx in &indexes {
+        let (mut on_min, mut off_min) = (f64::INFINITY, f64::INFINITY);
+        for rep in 0..REPS {
+            let order = if rep % 2 == 0 {
+                [true, false]
+            } else {
+                [false, true]
+            };
+            for on in order {
+                obs::set_enabled(on);
+                let (_, t) = time(|| idx.search(&qrefs, &spec).expect("query"));
+                let elapsed = t.as_secs_f64() * 1e3;
+                if on {
+                    on_min = on_min.min(elapsed);
+                } else {
+                    off_min = off_min.min(elapsed);
+                }
+            }
+        }
+        on_off.push((on_min, off_min));
+    }
+    obs::set_enabled(true);
+    let on_total: f64 = on_off.iter().map(|&(on, _)| on).sum();
+    let off_total: f64 = on_off.iter().map(|&(_, off)| off).sum();
+    let overhead_pct = 100.0 * (on_total - off_total) / off_total;
+    assert!(
+        overhead_pct < 2.0,
+        "observability plane costs {overhead_pct:.2}% on the k-NN workload (want < 2%)"
+    );
+
+    for (i, &(engine, measure, wall_ms, phase_ms, cov)) in rows.iter().enumerate() {
+        let ed = matches!(measure, Measure::Euclidean);
+        let (on_min, off_min) = on_off[i / 2];
+        table.row(&[
+            engine.name().into(),
+            match measure {
+                Measure::Dtw { .. } => "DTW".into(),
+                _ => "ED".into(),
+            },
+            f(wall_ms),
+            f(phase_ms),
+            f(cov),
+            if ed { f(on_min) } else { "-".into() },
+            if ed { f(off_min) } else { "-".into() },
+            if ed { f(overhead_pct) } else { "-".into() },
+        ]);
+    }
+    table.finish();
+
+    // (c) The trace stream end to end: route at a file, search, validate
+    // every emitted line as a JSON object carrying the fixed fields.
+    let trace_path = crate::data_dir().join(format!("obs-trace-{}.jsonl", std::process::id()));
+    let _ = std::fs::remove_file(&trace_path);
+    obs::trace::route_to_file(&trace_path).expect("open trace file");
+    let _ = indexes[engines.len() - 1]
+        .search(&qrefs, &QuerySpec::knn(K).with_stats())
+        .expect("traced query");
+    obs::trace::disable();
+    let text = std::fs::read_to_string(&trace_path).expect("read trace file");
+    let lines: Vec<&str> = text.lines().collect();
+    assert!(!lines.is_empty(), "traced search emitted no events");
+    for line in &lines {
+        assert!(
+            line.starts_with("{\"ts_us\":") && line.ends_with('}') && line.contains("\"event\":\""),
+            "malformed trace line: {line}"
+        );
+    }
+    assert!(
+        lines.iter().any(|l| l.contains("\"event\":\"search\"")),
+        "no `search` event in the trace stream"
+    );
+    let _ = std::fs::remove_file(&trace_path);
+
+    println!(
+        "shape check: phase sums cover 90-110% of wall per engine x measure, the \n\
+         enabled plane costs {overhead_pct:.2}% (< 2%) on k-NN, and the trace stream \n\
+         emitted {} valid JSON-lines events.",
+        lines.len()
+    );
+}

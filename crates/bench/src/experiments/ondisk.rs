@@ -46,6 +46,8 @@ pub fn run(scale: &Scale) {
             "broadcasts_per_query",
             "bytes_read_per_query",
             "real_per_query",
+            "phase_ms_per_query",
+            "phase_top",
         ],
     );
     let nq = batch.len() as u64;
@@ -60,6 +62,14 @@ pub fn run(scale: &Scale) {
             let bytes = idx.file().device().stats().bytes_read;
             #[allow(clippy::cast_precision_loss)] // display-only ratio
             let bpq = stats.broadcasts as f64 / nq as f64;
+            let phase = stats.total().phase;
+            let phase_top = phase
+                .iter()
+                .max_by_key(|&(_, nanos)| nanos)
+                .filter(|&(_, nanos)| nanos > 0)
+                .map_or("-", |(p, _)| p.name());
+            #[allow(clippy::cast_precision_loss)] // display-only average
+            let phase_ms = phase.total_nanos() as f64 / nq as f64 / 1e6;
             table.row(&[
                 engine.name().into(),
                 match measure {
@@ -70,6 +80,8 @@ pub fn run(scale: &Scale) {
                 f(bpq),
                 (bytes / nq).to_string(),
                 (stats.total().real_computed / nq).to_string(),
+                f(phase_ms),
+                phase_top.into(),
             ]);
             if engine == Engine::Messi {
                 assert!(

@@ -26,6 +26,7 @@ struct Cell {
     fetched: u64,
     requests: u64,
     real: u64,
+    phase_nanos: u64,
 }
 
 impl Cell {
@@ -33,7 +34,9 @@ impl Cell {
         self.broadcasts += stats.broadcasts;
         self.fetched += stats.series_fetched;
         self.requests += stats.series_requests;
-        self.real += stats.total().real_computed;
+        let total = stats.total();
+        self.real += total.real_computed;
+        self.phase_nanos += total.phase.total_nanos();
     }
 }
 
@@ -71,6 +74,7 @@ pub fn run(scale: &Scale) {
             "fetched_per_query",
             "requests_per_query",
             "real_per_query",
+            "phase_ms_per_query",
         ],
     );
     let nq = qrefs.len() as u64;
@@ -86,6 +90,7 @@ pub fn run(scale: &Scale) {
             });
             #[allow(clippy::cast_precision_loss)] // display-only ratios
             let bpq = cell.broadcasts as f64 / nq as f64;
+            #[allow(clippy::cast_precision_loss)] // display-only averages
             table.row(&[
                 idx.engine().name().into(),
                 b.to_string(),
@@ -94,6 +99,7 @@ pub fn run(scale: &Scale) {
                 (cell.fetched / nq).to_string(),
                 (cell.requests / nq).to_string(),
                 (cell.real / nq).to_string(),
+                f(cell.phase_nanos as f64 / nq as f64 / 1e6),
             ]);
             if idx.engine() != Engine::Ads && b >= 4 && bpq >= 1.0 {
                 amortized = false;

@@ -114,6 +114,20 @@ impl Answers {
         (i < self.matches.len()).then(|| stats.query_stats(i))
     }
 
+    /// Wall-time-per-phase view of the whole call: the batch-level phase
+    /// times plus every query's own — `None` without
+    /// [`with_stats`](crate::QuerySpec::with_stats). All zeros when the
+    /// observability plane is disabled (`DSIDX_NO_OBS`).
+    #[must_use]
+    pub fn phase_breakdown(&self) -> Option<dsidx_obs::phase::PhaseBreakdown> {
+        let stats = self.stats.as_ref()?;
+        let mut phase = stats.shared.phase;
+        for q in &stats.per_query {
+            phase = phase.merged(&q.phase);
+        }
+        Some(phase)
+    }
+
     /// Consumes a batch-of-one response into `(matches, stats)` — the
     /// shape of the legacy `*_with_stats` methods.
     ///

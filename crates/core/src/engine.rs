@@ -13,6 +13,7 @@ use crate::error::Error;
 use crate::options::Options;
 use crate::search::Search;
 use crate::spec::{Fidelity, Measure, QuerySpec};
+use dsidx_obs::phase::{Phase, PhaseClock};
 use dsidx_query::{BatchStats, QueryStats};
 use dsidx_series::{Dataset, Match};
 use dsidx_storage::{DatasetFile, Device, DeviceProfile};
@@ -85,8 +86,18 @@ fn approx_batch(
 ) -> Result<(Vec<Vec<Match>>, BatchStats), Error> {
     let mut matches = Vec::with_capacity(queries.len());
     let mut per_query = Vec::with_capacity(queries.len());
-    for &q in queries {
-        let (m, s) = answer_one(q)?;
+    let mut clock = PhaseClock::start();
+    for (i, &q) in queries.iter().enumerate() {
+        let (m, mut s) = answer_one(q).map_err(|e| match e {
+            Error::Storage(e) => Error::Storage(e.for_query(i as u64)),
+            other => other,
+        })?;
+        // Engines that time their own approximate visit already filled
+        // the breakdown; charge the rest to the seeding phase they are.
+        let nanos = clock.lap();
+        if s.phase.is_zero() {
+            s.phase.record(Phase::Seed, nanos);
+        }
         matches.push(m);
         per_query.push(s);
     }
@@ -97,6 +108,32 @@ fn approx_batch(
             ..BatchStats::default()
         },
     ))
+}
+
+/// Emits one `search` trace event per [`Search::search`] call when the
+/// structured trace stream is on (`DSIDX_TRACE`); one relaxed atomic load
+/// when it is off.
+fn trace_search(residence: &'static str, engine: Engine, queries: usize, spec: &QuerySpec) {
+    if !dsidx_obs::trace::enabled() {
+        return;
+    }
+    use dsidx_obs::trace::Value;
+    let measure = match spec.measure_kind() {
+        Measure::Euclidean => "euclidean",
+        Measure::Dtw { .. } => "dtw",
+    };
+    let exact = matches!(spec.fidelity_kind(), Fidelity::Exact);
+    dsidx_obs::trace::emit(
+        "search",
+        &[
+            ("residence", Value::Str(residence)),
+            ("engine", Value::Str(engine.name())),
+            ("queries", Value::U64(queries as u64)),
+            ("k", Value::U64(spec.k() as u64)),
+            ("measure", Value::Str(measure)),
+            ("exact", Value::Bool(exact)),
+        ],
+    );
 }
 
 /// An index over an in-memory dataset (owned via `Arc`, so clones of the
@@ -167,10 +204,12 @@ impl MemoryIndex {
         queries: &[&[f32]],
         spec: &QuerySpec,
     ) -> Result<(Vec<Vec<Match>>, BatchStats), Error> {
+        let mut clock = PhaseClock::start();
         spec.validate(self.data.series_len(), queries)?;
         let k = spec.k();
         let threads = self.options.effective_threads();
-        match spec.fidelity_kind() {
+        let prepare_nanos = clock.lap();
+        let (matches, mut stats) = (match spec.fidelity_kind() {
             Fidelity::Exact => match spec.measure_kind() {
                 Measure::Euclidean => match &self.inner {
                     MemoryInner::Ads(ads) => {
@@ -240,7 +279,9 @@ impl MemoryIndex {
                     }
                 })
             }),
-        }
+        })?;
+        stats.shared.phase.record(Phase::Prepare, prepare_nanos);
+        Ok((matches, stats))
     }
 
     /// Exact 1-NN under Euclidean distance. `None` for an empty dataset.
@@ -421,6 +462,7 @@ impl MemoryIndex {
 
 impl Search for MemoryIndex {
     fn search(&self, queries: &[&[f32]], spec: &QuerySpec) -> Result<Answers, Error> {
+        trace_search("memory", self.engine, queries.len(), spec);
         let (matches, stats) = self.run_spec(queries, spec)?;
         Ok(Answers::new(
             matches,
@@ -552,10 +594,12 @@ impl DiskIndex {
         queries: &[&[f32]],
         spec: &QuerySpec,
     ) -> Result<(Vec<Vec<Match>>, BatchStats), Error> {
+        let mut clock = PhaseClock::start();
         spec.validate(self.file.series_len(), queries)?;
         let k = spec.k();
         let threads = self.options.effective_threads();
-        match spec.fidelity_kind() {
+        let prepare_nanos = clock.lap();
+        let (matches, mut stats) = (match spec.fidelity_kind() {
             Fidelity::Exact => match spec.measure_kind() {
                 Measure::Euclidean => match &self.inner {
                     DiskInner::Ads(ads) => {
@@ -605,7 +649,9 @@ impl DiskIndex {
                     }
                 })
             }),
-        }
+        })?;
+        stats.shared.phase.record(Phase::Prepare, prepare_nanos);
+        Ok((matches, stats))
     }
 
     /// Exact 1-NN under Euclidean distance; raw reads go to the modeled
@@ -718,6 +764,7 @@ impl DiskIndex {
 
 impl Search for DiskIndex {
     fn search(&self, queries: &[&[f32]], spec: &QuerySpec) -> Result<Answers, Error> {
+        trace_search("disk", self.engine, queries.len(), spec);
         let (matches, stats) = self.run_spec(queries, spec)?;
         Ok(Answers::new(
             matches,

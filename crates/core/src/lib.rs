@@ -85,6 +85,7 @@ pub use spec::{Fidelity, Measure, QuerySpec};
 pub use dsidx_ads as ads;
 pub use dsidx_isax as isax;
 pub use dsidx_messi as messi;
+pub use dsidx_obs as obs;
 pub use dsidx_paris as paris;
 pub use dsidx_query as query;
 pub use dsidx_series as series;

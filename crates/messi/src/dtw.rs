@@ -18,6 +18,7 @@ use crate::config::MessiConfig;
 use crate::pqueue::{drain_best_first, Drain, MinQueues};
 use crate::traverse::{BatchLeaf, BatchTraversal};
 use dsidx_isax::NodeMindistTable;
+use dsidx_obs::phase::{Phase, PhaseBreakdown, PhaseClock};
 use dsidx_query::{
     approx_leaf_flat, batch_process_leaf_entries_dtw, batch_seed_positions_dtw, finish_knn,
     process_leaf_entries_dtw, seed_from_entries_dtw, AtomicQueryStats, BatchStats, DtwPrepared,
@@ -48,11 +49,14 @@ fn run_exact_dtw<P: Pruner>(
         return Ok(None);
     }
     let quantizer = config.quantizer();
+    let mut clock = PhaseClock::start();
+    let mut phase = PhaseBreakdown::new();
 
     // Query envelope, its PAA bounds, and the interval MINDIST tables.
     let prep = DtwPrepared::new(quantizer, query, band);
     let node_table = prep.node_table(quantizer);
     let pool = dsidx_sync::pool::global(cfg.threads);
+    phase.record(Phase::Prepare, clock.lap());
 
     // Initial BSF from the query's own leaf (approximate answer): the
     // kernel's ED descent locates the leaf, seeding pays DTW distances.
@@ -66,13 +70,15 @@ fn run_exact_dtw<P: Pruner>(
         query,
         band,
         best,
-    )?;
+    )
+    .map_err(|e| e.in_phase(Phase::Seed.name()))?;
+    phase.record(Phase::Seed, clock.lap());
 
     let shared = AtomicQueryStats::new();
     let queues: MinQueues<u32> = MinQueues::new(cfg.effective_queues());
     let traversal = crate::traverse::Traversal::new(flat, &node_table, best, &queues);
     let phase_barrier = SpinBarrier::new(cfg.threads);
-    let errors = ErrorSlot::new();
+    let errors = ErrorSlot::for_phase(Phase::DtwCascade);
 
     pool.broadcast(&|worker| {
         // Workers accumulate locally and merge once (see `AtomicQueryStats`).
@@ -111,9 +117,11 @@ fn run_exact_dtw<P: Pruner>(
         shared.merge(&local);
     });
     errors.take()?;
+    phase.record(Phase::DtwCascade, clock.lap());
 
     let mut stats = shared.snapshot();
     stats.real_computed += approx_real;
+    stats.phase = stats.phase.merged(&phase);
     Ok(Some(stats))
 }
 
@@ -210,10 +218,13 @@ pub fn exact_knn_dtw_batch(
     cfg.validate();
     let flat = &messi.flat;
     let quantizer = config.quantizer();
+    let mut clock = PhaseClock::start();
     let batch = QueryBatch::new(quantizer, queries, k);
+    let prepare_nanos = clock.lap();
     if flat.entry_count() == 0 || batch.is_empty() {
         return Ok(batch.finish(0, QueryStats::default()));
     }
+    batch.phases().record(Phase::Prepare, prepare_nanos);
     let preps: Vec<DtwPrepared> = batch
         .slots()
         .iter()
@@ -222,6 +233,7 @@ pub fn exact_knn_dtw_batch(
     let node_tables: Vec<NodeMindistTable> =
         preps.iter().map(|p| p.node_table(quantizer)).collect();
     let pool = dsidx_sync::pool::global(cfg.threads);
+    clock.lap_into(batch.phases(), Phase::Prepare);
 
     // Initial thresholds from the union of the batch's own leaves
     // (distinct leaves only), cross-seeded into every pruner with
@@ -242,7 +254,9 @@ pub fn exact_knn_dtw_batch(
     positions.sort_unstable();
     positions.dedup();
     let mut fetcher = SeriesFetcher::new(source);
-    batch_seed_positions_dtw(&positions, &mut fetcher, &batch, band)?;
+    batch_seed_positions_dtw(&positions, &mut fetcher, &batch, band)
+        .map_err(|e| e.in_phase(Phase::Seed.name()))?;
+    clock.lap_into(batch.phases(), Phase::Seed);
 
     // Phase A: one cooperative traversal for the whole batch over the
     // interval tables; Phase B: best-bound-first processing, once per leaf
@@ -254,7 +268,7 @@ pub fn exact_knn_dtw_batch(
     let queues: MinQueues<BatchLeaf> = MinQueues::new(cfg.effective_queues());
     let traversal = BatchTraversal::new(flat, &node_tables, &batch, &queues);
     let phase_barrier = SpinBarrier::new(cfg.threads);
-    let errors = ErrorSlot::new();
+    let errors = ErrorSlot::for_phase(Phase::DtwCascade);
 
     pool.broadcast(&|worker| {
         let mut shared_local = QueryStats::default();
@@ -303,6 +317,7 @@ pub fn exact_knn_dtw_batch(
         shared.merge(&shared_local);
     });
     errors.take()?;
+    clock.lap_into(batch.phases(), Phase::DtwCascade);
 
     Ok(batch.finish(1, shared.snapshot()))
 }

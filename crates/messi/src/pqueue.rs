@@ -10,6 +10,23 @@ use parking_lot::Mutex;
 use std::cmp::Reverse;
 use std::collections::BinaryHeap;
 use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::OnceLock;
+
+/// Histogram: leaves one worker popped in one [`drain_best_first`] call —
+/// the per-worker share of a MESSI queue drain.
+pub const DRAIN_POPS: &str = "dsidx_messi_drain_pops";
+
+fn drain_pops_histogram() -> &'static dsidx_obs::registry::Histogram {
+    static HIST: OnceLock<&'static dsidx_obs::registry::Histogram> = OnceLock::new();
+    HIST.get_or_init(|| {
+        dsidx_obs::registry::histogram(
+            DRAIN_POPS,
+            "Leaves popped by one worker in one best-bound-first drain",
+            // 1 .. ~2M pops in 4x steps.
+            &dsidx_obs::registry::exponential_bounds(1, 4, 11),
+        )
+    })
+}
 
 /// Heap item ordered by a non-negative `f32` key via its bit pattern
 /// (valid because non-negative IEEE-754 floats order like their bits).
@@ -132,8 +149,12 @@ pub fn drain_best_first<T>(
     let n = queues.shard_count();
     let mut shard = worker % n;
     let mut idle_cycles = 0u32;
+    let mut pops = 0u64;
     loop {
         if queues.all_closed() {
+            if dsidx_obs::enabled() {
+                drain_pops_histogram().observe(pops);
+            }
             return;
         }
         if !queues.is_open(shard) {
@@ -155,6 +176,7 @@ pub fn drain_best_first<T>(
                 shard = (shard + 1) % n;
             }
             Some((key, item)) => {
+                pops += 1;
                 if matches!(on_pop(key, item), Drain::Abandon) {
                     queues.close(shard);
                     shard = (shard + 1) % n;

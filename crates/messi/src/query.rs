@@ -34,6 +34,7 @@ use crate::build::MessiIndex;
 use crate::config::MessiConfig;
 use crate::pqueue::{drain_best_first, Drain, MinQueues};
 use crate::traverse::{BatchLeaf, BatchTraversal};
+use dsidx_obs::phase::{Phase, PhaseBreakdown, PhaseClock};
 use dsidx_query::{
     approx_leaf_flat, batch_process_leaf_entries, batch_seed_positions, finish_knn,
     process_leaf_entries, seed_from_entries, AtomicQueryStats, BatchStats, ErrorSlot,
@@ -62,10 +63,13 @@ fn run_exact<P: Pruner>(
     if flat.entry_count() == 0 {
         return Ok(None);
     }
+    let mut clock = PhaseClock::start();
+    let mut phase = PhaseBreakdown::new();
     let quantizer = config.quantizer();
     let prep = PreparedQuery::new(quantizer, query);
     let node_table = prep.node_table(quantizer);
     let pool = dsidx_sync::pool::global(cfg.threads);
+    phase.record(Phase::Prepare, clock.lap());
 
     // Initial threshold from the query's own leaf (approximate answer),
     // routing around empty subtrees.
@@ -77,7 +81,9 @@ fn run_exact<P: Pruner>(
         &mut fetcher,
         query,
         best,
-    )?;
+    )
+    .map_err(|e| e.in_phase(Phase::Seed.name()))?;
+    phase.record(Phase::Seed, clock.lap());
 
     // Phase A: cooperative parallel traversal — the root level is scanned
     // flat from the key bits alone, large subtrees are split via work
@@ -91,7 +97,7 @@ fn run_exact<P: Pruner>(
     let queues: MinQueues<u32> = MinQueues::new(cfg.effective_queues());
     let traversal = crate::traverse::Traversal::new(flat, &node_table, best, &queues);
     let phase_barrier = SpinBarrier::new(cfg.threads);
-    let errors = ErrorSlot::new();
+    let errors = ErrorSlot::for_phase(Phase::Traversal);
 
     pool.broadcast(&|worker| {
         // Workers accumulate locally and merge once per phase — shared
@@ -129,9 +135,11 @@ fn run_exact<P: Pruner>(
         shared.merge(&local);
     });
     errors.take()?;
+    phase.record(Phase::Traversal, clock.lap());
 
     let mut stats = shared.snapshot();
     stats.real_computed += approx_real;
+    stats.phase = stats.phase.merged(&phase);
     Ok(Some(stats))
 }
 
@@ -221,16 +229,20 @@ pub fn exact_knn_batch(
     cfg.validate();
     let flat = &messi.flat;
     let quantizer = config.quantizer();
+    let mut clock = PhaseClock::start();
     let batch = QueryBatch::new(quantizer, queries, k);
+    let prepare_nanos = clock.lap();
     if flat.entry_count() == 0 || batch.is_empty() {
         return Ok(batch.finish(0, QueryStats::default()));
     }
+    batch.phases().record(Phase::Prepare, prepare_nanos);
     let tables: Vec<_> = batch
         .slots()
         .iter()
         .map(|s| s.prep.node_table(quantizer))
         .collect();
     let pool = dsidx_sync::pool::global(cfg.threads);
+    clock.lap_into(batch.phases(), Phase::Prepare);
 
     // Initial thresholds from the union of the batch's own leaves
     // (distinct leaves only), cross-seeded into every pruner. Positions
@@ -252,7 +264,9 @@ pub fn exact_knn_batch(
     positions.sort_unstable();
     positions.dedup();
     let mut fetcher = SeriesFetcher::new(source);
-    batch_seed_positions(&positions, &mut fetcher, &batch)?;
+    batch_seed_positions(&positions, &mut fetcher, &batch)
+        .map_err(|e| e.in_phase(Phase::Seed.name()))?;
+    clock.lap_into(batch.phases(), Phase::Seed);
 
     // Phase A: one cooperative traversal for the whole batch (see
     // [`crate::traverse::BatchTraversal`]); surviving leaves enter the
@@ -267,7 +281,7 @@ pub fn exact_knn_batch(
     let queues: MinQueues<BatchLeaf> = MinQueues::new(cfg.effective_queues());
     let traversal = BatchTraversal::new(flat, &tables, &batch, &queues);
     let phase_barrier = SpinBarrier::new(cfg.threads);
-    let errors = ErrorSlot::new();
+    let errors = ErrorSlot::for_phase(Phase::Traversal);
 
     pool.broadcast(&|worker| {
         // Workers accumulate locally and merge once per phase (see
@@ -317,6 +331,7 @@ pub fn exact_knn_batch(
         shared.merge(&shared_local);
     });
     errors.take()?;
+    clock.lap_into(batch.phases(), Phase::Traversal);
 
     Ok(batch.finish(1, shared.snapshot()))
 }
@@ -632,12 +647,12 @@ mod tests {
         let (messi, _) = build(&data, &cfg(4));
         let q = DatasetKind::Synthetic.queries(2, 64, 91);
         let qrefs: Vec<&[f32]> = q.iter().collect();
-        // Budget 0: the very first fetch (approximate-leaf seeding) fails.
+        // Budget 0: the very first fetch (approximate-leaf seeding) fails,
+        // and the error carries the phase it happened in.
         let flaky = FlakySource::new(data.clone(), 0);
-        assert!(matches!(
-            exact_nn(&messi, &flaky, q.get(0), &cfg(4)),
-            Err(StorageError::Io(_))
-        ));
+        let err = exact_nn(&messi, &flaky, q.get(0), &cfg(4)).unwrap_err();
+        assert!(matches!(err.root_cause(), StorageError::Io(_)));
+        assert!(err.to_string().starts_with("during seed:"), "{err}");
         // Budgets that survive seeding but die inside the broadcast's
         // processing phase: the error must surface through the pool join
         // as `Err` — a worker panic would abort the whole process here.

@@ -1,0 +1,333 @@
+//! Wall-clock time per query phase.
+//!
+//! The paper's evaluation reasons about *phase breakdowns* — where a
+//! query's milliseconds went, not just how many bounds were computed.
+//! [`Phase`] is the cross-engine phase vocabulary, [`PhaseBreakdown`] the
+//! accumulated nanoseconds that ride on `QueryStats`/`BatchStats`, and
+//! [`PhaseClock`]/[`PhaseTimer`]/[`PhaseAcc`] the instruments the engines
+//! record with.
+//!
+//! Phases are measured on the *coordinating* thread as disjoint,
+//! contiguous intervals (a [`PhaseClock`] lap ends exactly where the next
+//! begins), so a breakdown's [`total_nanos`](PhaseBreakdown::total_nanos)
+//! approximates the query's wall time — the `obs` bench experiment holds
+//! the two within 10% of each other. A parallel phase (a pool broadcast)
+//! is charged as one interval: the coordinator's wait *is* the phase's
+//! wall time.
+//!
+//! All capture is gated on [`crate::enabled`]: with observability off the
+//! clocks never read the OS timer and every recorded duration is zero.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::Instant;
+
+/// One phase of a query's execution schedule, uniform across engines.
+///
+/// Engines record the phases their schedule has: the scan-based engines
+/// (ADS+, ParIS) use seed/sax-scan or seed/collect/verify; MESSI uses
+/// seed/traversal (its single broadcast covers tree traversal *and* the
+/// best-bound-first queue drain); DTW queries charge their LB_Keogh →
+/// early-abandoned-DTW work to the dtw-cascade phase. Every engine pays
+/// prepare (PAA, SAX words, per-query tables, batch setup).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[repr(usize)]
+pub enum Phase {
+    /// Query preparation: z-checks, PAA, iSAX words, MINDIST tables,
+    /// batch construction.
+    Prepare,
+    /// BSF seeding from the query's own (approximate) leaf, including the
+    /// series reads it pays for.
+    Seed,
+    /// Serial scan over the SAX array with interleaved verification
+    /// (ADS+), or the sketch scan behind approximate answers.
+    SaxScan,
+    /// Lower-bound candidate collection broadcast (ParIS/ParIS+).
+    Collect,
+    /// Real-distance verification of collected candidates (ParIS/ParIS+).
+    Verify,
+    /// The MESSI broadcast: cooperative tree traversal plus the
+    /// best-bound-first priority-queue drain.
+    Traversal,
+    /// The DTW lower-bound cascade: LB_Keogh filtering and banded,
+    /// early-abandoned DTW evaluation.
+    DtwCascade,
+}
+
+impl Phase {
+    /// Number of phases (the length of [`Phase::ALL`]).
+    pub const COUNT: usize = 7;
+
+    /// Every phase, in schedule order.
+    pub const ALL: [Phase; Phase::COUNT] = [
+        Phase::Prepare,
+        Phase::Seed,
+        Phase::SaxScan,
+        Phase::Collect,
+        Phase::Verify,
+        Phase::Traversal,
+        Phase::DtwCascade,
+    ];
+
+    /// The phase's stable snake_case name, used in trace events, bench
+    /// columns and metric labels.
+    #[must_use]
+    pub fn name(self) -> &'static str {
+        match self {
+            Phase::Prepare => "prepare",
+            Phase::Seed => "seed",
+            Phase::SaxScan => "sax_scan",
+            Phase::Collect => "collect",
+            Phase::Verify => "verify",
+            Phase::Traversal => "traversal",
+            Phase::DtwCascade => "dtw_cascade",
+        }
+    }
+}
+
+/// Accumulated nanoseconds per [`Phase`] for one query or one batch.
+///
+/// A plain `Copy` value that rides on `QueryStats`; merging stats sums
+/// breakdowns field-wise like every other counter. Equality compares the
+/// recorded nanoseconds — two runs of the same query will generally *not*
+/// be equal (wall time is not deterministic), which is why determinism
+/// tests compare matches, not stats.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct PhaseBreakdown {
+    nanos: [u64; Phase::COUNT],
+}
+
+impl PhaseBreakdown {
+    /// A breakdown with every phase at zero.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Nanoseconds recorded for `phase`.
+    #[must_use]
+    pub fn nanos(&self, phase: Phase) -> u64 {
+        self.nanos[phase as usize]
+    }
+
+    /// Adds `nanos` to `phase`.
+    pub fn record(&mut self, phase: Phase, nanos: u64) {
+        self.nanos[phase as usize] += nanos;
+    }
+
+    /// Sum over all phases — approximately the query's wall time when the
+    /// phases were recorded as contiguous coordinator-side intervals.
+    #[must_use]
+    pub fn total_nanos(&self) -> u64 {
+        self.nanos.iter().sum()
+    }
+
+    /// `(phase, nanos)` pairs in schedule order, zero phases included.
+    pub fn iter(&self) -> impl Iterator<Item = (Phase, u64)> + '_ {
+        Phase::ALL.iter().map(|&p| (p, self.nanos(p)))
+    }
+
+    /// Field-wise sum.
+    #[must_use]
+    pub fn merged(&self, other: &PhaseBreakdown) -> PhaseBreakdown {
+        let mut out = *self;
+        for (i, n) in other.nanos.iter().enumerate() {
+            out.nanos[i] += n;
+        }
+        out
+    }
+
+    /// `true` when no phase recorded any time.
+    #[must_use]
+    pub fn is_zero(&self) -> bool {
+        self.nanos.iter().all(|&n| n == 0)
+    }
+}
+
+/// Shared-counter form of [`PhaseBreakdown`] for recording through `&self`
+/// (a `QueryBatch` is shared with worker closures while the coordinator
+/// laps its clock between broadcasts).
+#[derive(Debug, Default)]
+pub struct PhaseAcc {
+    nanos: [AtomicU64; Phase::COUNT],
+}
+
+impl PhaseAcc {
+    /// Zeroed accumulator.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Adds `nanos` to `phase`.
+    pub fn record(&self, phase: Phase, nanos: u64) {
+        self.nanos[phase as usize].fetch_add(nanos, Ordering::Relaxed);
+    }
+
+    /// Adds a whole [`PhaseBreakdown`] (a worker-local tally, say).
+    pub fn add(&self, breakdown: &PhaseBreakdown) {
+        for (phase, nanos) in breakdown.iter() {
+            if nanos > 0 {
+                self.record(phase, nanos);
+            }
+        }
+    }
+
+    /// Reads the accumulator out as a plain [`PhaseBreakdown`].
+    #[must_use]
+    pub fn snapshot(&self) -> PhaseBreakdown {
+        let mut out = PhaseBreakdown::new();
+        for (i, n) in self.nanos.iter().enumerate() {
+            out.nanos[i] = n.load(Ordering::Relaxed);
+        }
+        out
+    }
+}
+
+/// A lap timer for contiguous phase intervals on the coordinating thread.
+///
+/// `start` it at the top of the query function, then [`lap`](Self::lap)
+/// at each phase boundary: every nanosecond between start and the final
+/// lap is charged to exactly one phase, so the breakdown's total tracks
+/// wall time. When observability is [disabled](crate::enabled) the clock
+/// is inert and laps return zero.
+#[derive(Debug)]
+pub struct PhaseClock {
+    last: Option<Instant>,
+}
+
+impl PhaseClock {
+    /// Starts the clock (inert when observability is off).
+    #[must_use]
+    pub fn start() -> Self {
+        Self {
+            last: crate::enabled().then(Instant::now),
+        }
+    }
+
+    /// Nanoseconds since the previous lap (or since `start`), advancing
+    /// the lap marker. Zero when observability is off.
+    #[must_use]
+    pub fn lap(&mut self) -> u64 {
+        match self.last {
+            None => 0,
+            Some(prev) => {
+                let now = Instant::now();
+                self.last = Some(now);
+                u64::try_from((now - prev).as_nanos()).unwrap_or(u64::MAX)
+            }
+        }
+    }
+
+    /// Laps the clock and records the interval against `phase` in `acc`.
+    pub fn lap_into(&mut self, acc: &PhaseAcc, phase: Phase) {
+        let n = self.lap();
+        if n > 0 {
+            acc.record(phase, n);
+        }
+    }
+}
+
+/// A drop-guard span: charges the time between construction and drop to
+/// one phase of a [`PhaseAcc`]. For call sites where a scope, not a lap
+/// boundary, is the natural shape.
+#[derive(Debug)]
+pub struct PhaseTimer<'a> {
+    acc: &'a PhaseAcc,
+    phase: Phase,
+    start: Option<Instant>,
+}
+
+impl<'a> PhaseTimer<'a> {
+    /// Starts a span over `phase` (inert when observability is off).
+    #[must_use]
+    pub fn new(acc: &'a PhaseAcc, phase: Phase) -> Self {
+        Self {
+            acc,
+            phase,
+            start: crate::enabled().then(Instant::now),
+        }
+    }
+}
+
+impl Drop for PhaseTimer<'_> {
+    fn drop(&mut self) {
+        if let Some(start) = self.start {
+            let nanos = u64::try_from(start.elapsed().as_nanos()).unwrap_or(u64::MAX);
+            self.acc.record(self.phase, nanos);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn breakdown_records_and_merges_per_phase() {
+        let mut a = PhaseBreakdown::new();
+        a.record(Phase::Seed, 10);
+        a.record(Phase::Seed, 5);
+        a.record(Phase::Verify, 7);
+        let mut b = PhaseBreakdown::new();
+        b.record(Phase::Verify, 3);
+        b.record(Phase::Prepare, 1);
+        let m = a.merged(&b);
+        assert_eq!(m.nanos(Phase::Seed), 15);
+        assert_eq!(m.nanos(Phase::Verify), 10);
+        assert_eq!(m.nanos(Phase::Prepare), 1);
+        assert_eq!(m.total_nanos(), 26);
+        assert!(!m.is_zero());
+        assert!(PhaseBreakdown::default().is_zero());
+    }
+
+    #[test]
+    fn phase_names_are_unique_and_stable() {
+        let names: Vec<&str> = Phase::ALL.iter().map(|p| p.name()).collect();
+        assert_eq!(
+            names,
+            vec![
+                "prepare",
+                "seed",
+                "sax_scan",
+                "collect",
+                "verify",
+                "traversal",
+                "dtw_cascade"
+            ]
+        );
+        let mut dedup = names.clone();
+        dedup.sort_unstable();
+        dedup.dedup();
+        assert_eq!(dedup.len(), Phase::COUNT);
+    }
+
+    #[test]
+    fn clock_laps_are_contiguous_and_cover_elapsed_time() {
+        crate::set_enabled(true);
+        let t0 = Instant::now();
+        let mut clock = PhaseClock::start();
+        std::thread::sleep(std::time::Duration::from_millis(2));
+        let acc = PhaseAcc::new();
+        clock.lap_into(&acc, Phase::Seed);
+        std::thread::sleep(std::time::Duration::from_millis(2));
+        clock.lap_into(&acc, Phase::Traversal);
+        let wall = u64::try_from(t0.elapsed().as_nanos()).unwrap();
+        let got = acc.snapshot();
+        assert!(got.nanos(Phase::Seed) >= 1_000_000);
+        assert!(got.nanos(Phase::Traversal) >= 1_000_000);
+        // Laps are contiguous: their sum can't exceed the enclosing wall
+        // time measured from before the clock started.
+        assert!(got.total_nanos() <= wall);
+    }
+
+    #[test]
+    fn timer_guard_records_on_drop() {
+        crate::set_enabled(true);
+        let acc = PhaseAcc::new();
+        {
+            let _t = PhaseTimer::new(&acc, Phase::DtwCascade);
+            std::thread::sleep(std::time::Duration::from_millis(1));
+        }
+        assert!(acc.snapshot().nanos(Phase::DtwCascade) >= 500_000);
+    }
+}

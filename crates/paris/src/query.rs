@@ -16,6 +16,7 @@
 //! exactly that difference, which the `abl-queues` ablation measures.
 
 use crate::build::ParisIndex;
+use dsidx_obs::phase::{Phase, PhaseBreakdown, PhaseClock};
 use dsidx_query::{
     approx_leaf, batch_collect_candidates, batch_seed_positions, batch_seed_prefix,
     batch_verify_candidates, collect_candidates, finish_knn, seed_from_entries, verify_candidates,
@@ -82,7 +83,10 @@ fn run_exact<P: Pruner>(
     if paris.index.is_empty() {
         return Ok(None);
     }
+    let mut clock = PhaseClock::start();
+    let mut phase = PhaseBreakdown::new();
     let prep = PreparedQuery::new(config.quantizer(), query);
+    phase.record(Phase::Prepare, clock.lap());
 
     // Step 1: approximate answer — descend to the query's leaf, compute
     // real distances for its entries. In on-disk mode the leaf was
@@ -92,6 +96,7 @@ fn run_exact<P: Pruner>(
     let mut fetcher = SeriesFetcher::new(source);
     let entries = leaf.entries().expect("leaves are resident");
     let approx_real = seed_from_entries(entries, &mut fetcher, query, pruner)?;
+    phase.record(Phase::Seed, clock.lap());
 
     // Step 2: parallel lower-bound pruning over the SAX array.
     let pool = dsidx_sync::pool::global(threads);
@@ -108,11 +113,12 @@ fn run_exact<P: Pruner>(
         }
     });
     let candidates = candidates.into_inner();
+    phase.record(Phase::Collect, clock.lap());
 
     // Step 3: parallel real distances over the candidate list.
     let real_queue = WorkQueue::new(candidates.len());
     let shared = AtomicQueryStats::new();
-    let errors = ErrorSlot::new();
+    let errors = ErrorSlot::for_phase(Phase::Verify);
     pool.broadcast(&|_worker| {
         let mut fetcher = SeriesFetcher::new(source);
         let mut reals = 0u64;
@@ -131,11 +137,13 @@ fn run_exact<P: Pruner>(
         shared.add_real_computed(reals);
     });
     errors.take()?;
+    phase.record(Phase::Verify, clock.lap());
 
     let mut stats = shared.snapshot();
     stats.lb_computed = words.len() as u64;
     stats.candidates = candidates.len() as u64;
     stats.real_computed += approx_real;
+    stats.phase = stats.phase.merged(&phase);
     Ok(Some(stats))
 }
 
@@ -230,10 +238,13 @@ pub fn exact_knn_batch(
         assert_eq!(q.len(), config.series_len(), "query length mismatch");
     }
     assert!(threads > 0, "thread count must be non-zero");
+    let mut clock = PhaseClock::start();
     let batch = QueryBatch::new(config.quantizer(), queries, k);
+    let prepare_nanos = clock.lap();
     if paris.index.is_empty() || batch.is_empty() {
         return Ok(batch.finish(0, QueryStats::default()));
     }
+    batch.phases().record(Phase::Prepare, prepare_nanos);
 
     // Step 1: approximate answers — the union of the batch's leaves
     // (distinct leaves charged once), cross-seeded into every pruner, then
@@ -262,6 +273,7 @@ pub fn exact_knn_batch(
     batch_seed_positions(&positions, &mut fetcher, &batch)?;
     let warm = k.saturating_mul(KNN_WARM_PER_NEIGHBOR).min(source.count());
     batch_seed_prefix(warm, &mut fetcher, &batch)?;
+    clock.lap_into(batch.phases(), Phase::Seed);
 
     // Step 2: one parallel lower-bound broadcast for the whole batch.
     let pool = dsidx_sync::pool::global(threads);
@@ -280,10 +292,11 @@ pub fn exact_knn_batch(
         }
     });
     let candidates = candidates.into_inner();
+    clock.lap_into(batch.phases(), Phase::Collect);
 
     // Step 3: one parallel verify broadcast over the shared triple list.
     let real_queue = WorkQueue::new(candidates.len());
-    let errors = ErrorSlot::new();
+    let errors = ErrorSlot::for_phase(Phase::Verify);
     pool.broadcast(&|_worker| {
         let mut fetcher = SeriesFetcher::new(source);
         let mut locals = vec![QueryStats::default(); batch.len()];
@@ -301,6 +314,7 @@ pub fn exact_knn_batch(
         batch.merge_locals(&locals);
     });
     errors.take()?;
+    clock.lap_into(batch.phases(), Phase::Verify);
 
     // Every query paid one bound per SAX-array position.
     let bounds = QueryStats {
@@ -413,6 +427,7 @@ fn sketch_nearest(
     if paris.index.is_empty() {
         return Ok(finish_knn(&topk, None));
     }
+    let mut clock = PhaseClock::start();
     let words = paris.sax.words();
     let mut stats = QueryStats {
         lb_computed: words.len() as u64,
@@ -434,6 +449,7 @@ fn sketch_nearest(
         sketched.truncate(probe);
     }
     stats.candidates = sketched.len() as u64;
+    stats.phase.record(Phase::SaxScan, clock.lap());
     // Fetch in position order (sequential-friendly for on-disk sources).
     sketched.sort_unstable_by_key(|&(_, pos)| pos);
     let mut fetcher = SeriesFetcher::new(source);
@@ -444,6 +460,7 @@ fn sketch_nearest(
             topk.insert(d, pos);
         }
     }
+    stats.phase.record(Phase::Verify, clock.lap());
     Ok(finish_knn(&topk, Some(stats)))
 }
 

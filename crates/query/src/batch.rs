@@ -26,6 +26,7 @@ use crate::fetch::SeriesFetcher;
 use crate::prepare::PreparedQuery;
 use crate::stats::{AtomicQueryStats, QueryStats};
 use dsidx_isax::{Quantizer, Word};
+use dsidx_obs::phase::PhaseAcc;
 use dsidx_series::distance::euclidean_sq_bounded;
 use dsidx_series::Match;
 use dsidx_storage::{RawSource, StorageError};
@@ -54,6 +55,7 @@ pub struct QueryBatch<'q> {
     slots: Vec<BatchSlot<'q>>,
     fetches: AtomicU64,
     requests: AtomicU64,
+    phases: PhaseAcc,
 }
 
 impl<'q> QueryBatch<'q> {
@@ -78,6 +80,7 @@ impl<'q> QueryBatch<'q> {
             slots,
             fetches: AtomicU64::new(0),
             requests: AtomicU64::new(0),
+            phases: PhaseAcc::new(),
         }
     }
 
@@ -97,6 +100,15 @@ impl<'q> QueryBatch<'q> {
     #[must_use]
     pub fn slots(&self) -> &[BatchSlot<'q>] {
         &self.slots
+    }
+
+    /// The batch-level phase-time accumulator. The engine's coordinating
+    /// thread laps its [`PhaseClock`](dsidx_obs::phase::PhaseClock) into
+    /// this at each schedule boundary; [`finish`](Self::finish) folds it
+    /// into the batch's shared stats.
+    #[must_use]
+    pub fn phases(&self) -> &PhaseAcc {
+        &self.phases
     }
 
     /// The loosest pruning threshold across the batch. A candidate whose
@@ -134,9 +146,12 @@ impl<'q> QueryBatch<'q> {
     /// Finishes the batch: per-query answers (sorted ascending by
     /// `(distance, position)`) plus the [`BatchStats`]. `shared` carries
     /// counters for work done once for the whole batch (a tree engine's
-    /// traversal); scan engines pass [`QueryStats::default()`].
+    /// traversal); scan engines pass [`QueryStats::default()`]. Phase
+    /// times lapped into [`phases`](Self::phases) are folded into the
+    /// shared stats here (the schedule ran once for the whole batch).
     #[must_use]
-    pub fn finish(self, broadcasts: u64, shared: QueryStats) -> (Vec<Vec<Match>>, BatchStats) {
+    pub fn finish(self, broadcasts: u64, mut shared: QueryStats) -> (Vec<Vec<Match>>, BatchStats) {
+        shared.phase = shared.phase.merged(&self.phases.snapshot());
         let mut matches = Vec::with_capacity(self.slots.len());
         let mut per_query = Vec::with_capacity(self.slots.len());
         for slot in &self.slots {

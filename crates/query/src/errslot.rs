@@ -7,7 +7,17 @@
 //! pile of cascading ones), peers poll `is_set` to stop claiming work
 //! early, and the coordinating thread `take`s the outcome after the
 //! broadcast joins.
+//!
+//! A slot created with [`ErrorSlot::for_phase`] knows which query phase it
+//! guards: recorded errors are annotated with that phase (and whichever
+//! batch query index the call site attributes via
+//! [`record_for_query`](ErrorSlot::record_for_query)), so the error an
+//! operator finally sees reads "during verify (query 3): I/O error: ...".
+//! Every recorded trip also emits an `error_slot` trace event when the
+//! [trace stream](dsidx_obs::trace) is on.
 
+use dsidx_obs::phase::Phase;
+use dsidx_obs::trace;
 use dsidx_storage::StorageError;
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Mutex;
@@ -17,23 +27,57 @@ use std::sync::Mutex;
 pub struct ErrorSlot {
     set: AtomicBool,
     slot: Mutex<Option<StorageError>>,
+    phase: Option<Phase>,
 }
 
 impl ErrorSlot {
-    /// An empty slot.
+    /// An empty slot with no phase context.
     #[must_use]
     pub fn new() -> Self {
         Self::default()
     }
 
+    /// An empty slot guarding one query phase: every recorded error is
+    /// annotated with `phase` (unless the call site already attached one).
+    #[must_use]
+    pub fn for_phase(phase: Phase) -> Self {
+        Self {
+            phase: Some(phase),
+            ..Self::default()
+        }
+    }
+
     /// Records `e` if no error has been recorded yet; later errors are
     /// dropped (the first failure is the actionable one).
     pub fn record(&self, e: StorageError) {
+        let e = match self.phase {
+            Some(p) => e.in_phase(p.name()),
+            None => e,
+        };
+        if trace::enabled() {
+            trace::emit(
+                "error_slot",
+                &[
+                    (
+                        "phase",
+                        trace::Value::Str(self.phase.map_or("unknown", Phase::name)),
+                    ),
+                    ("error", trace::Value::Str(&e.to_string())),
+                    ("first", trace::Value::Bool(!self.is_set())),
+                ],
+            );
+        }
         let mut slot = self.slot.lock().expect("error slot poisoned");
         if slot.is_none() {
             *slot = Some(e);
             self.set.store(true, Ordering::Release);
         }
+    }
+
+    /// Records `e` attributed to batch query `query` (on top of the
+    /// slot's phase context).
+    pub fn record_for_query(&self, e: StorageError, query: usize) {
+        self.record(e.for_query(query as u64));
     }
 
     /// `true` once any worker recorded an error — the cheap signal for
@@ -77,8 +121,20 @@ mod tests {
     }
 
     #[test]
+    fn phase_slot_annotates_recorded_errors() {
+        let slot = ErrorSlot::for_phase(Phase::Verify);
+        slot.record_for_query(StorageError::BadMagic, 3);
+        let err = slot.take().unwrap_err();
+        assert_eq!(
+            err.to_string(),
+            "during verify (query 3): not a dsidx dataset file (bad magic)"
+        );
+        assert!(matches!(err.root_cause(), StorageError::BadMagic));
+    }
+
+    #[test]
     fn concurrent_records_keep_exactly_one() {
-        let slot = ErrorSlot::new();
+        let slot = ErrorSlot::for_phase(Phase::Collect);
         std::thread::scope(|s| {
             for _ in 0..8 {
                 let slot = &slot;
@@ -90,6 +146,7 @@ mod tests {
             }
         });
         assert!(slot.is_set());
-        assert!(slot.take().is_err());
+        let err = slot.take().unwrap_err();
+        assert!(err.to_string().starts_with("during collect:"));
     }
 }

@@ -1,5 +1,6 @@
 //! The unified per-query counter set shared by every engine.
 
+use dsidx_obs::phase::{PhaseAcc, PhaseBreakdown};
 use std::sync::atomic::{AtomicU64, Ordering};
 
 /// Counters from one exact query, uniform across engines.
@@ -10,6 +11,13 @@ use std::sync::atomic::{AtomicU64, Ordering};
 /// LB_Keogh/DTW counters on top of whichever family answered.
 /// `real_computed` is meaningful everywhere, so cross-engine comparisons
 /// (Fig. 12) read one type.
+///
+/// Alongside the work counters rides the [`PhaseBreakdown`]: wall-clock
+/// nanoseconds per query phase, recorded by the coordinating thread as
+/// contiguous intervals. Counters are deterministic across runs at exact
+/// fidelity; the phase times are not (they are wall time), so equality
+/// between two *live* runs is generally false — determinism tests compare
+/// matches, and empty/early-return paths report the all-zero default.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct QueryStats {
     /// Lower bounds evaluated over the SAX array (scan-based engines).
@@ -36,6 +44,10 @@ pub struct QueryStats {
     /// Real distances fully evaluated (not early-abandoned) — Euclidean or
     /// DTW, per the query.
     pub real_computed: u64,
+    /// Wall-clock nanoseconds per query phase (prepare, seed, scan /
+    /// collect / verify / traversal, DTW cascade), measured on the
+    /// coordinating thread.
+    pub phase: PhaseBreakdown,
 }
 
 impl QueryStats {
@@ -56,18 +68,35 @@ impl QueryStats {
     /// Field-wise sum (aggregating a query batch into one report row).
     #[must_use]
     pub fn merged(&self, other: &QueryStats) -> QueryStats {
+        // Destructure exhaustively: adding a counter without deciding how
+        // it merges is a compile error here, not a silently dropped stat.
+        let QueryStats {
+            lb_computed,
+            candidates,
+            nodes_pruned,
+            leaves_enqueued,
+            leaves_processed,
+            leaves_discarded,
+            lb_entry_computed,
+            lb_keogh_computed,
+            lb_keogh_pruned,
+            dtw_abandoned,
+            real_computed,
+            phase,
+        } = *other;
         QueryStats {
-            lb_computed: self.lb_computed + other.lb_computed,
-            candidates: self.candidates + other.candidates,
-            nodes_pruned: self.nodes_pruned + other.nodes_pruned,
-            leaves_enqueued: self.leaves_enqueued + other.leaves_enqueued,
-            leaves_processed: self.leaves_processed + other.leaves_processed,
-            leaves_discarded: self.leaves_discarded + other.leaves_discarded,
-            lb_entry_computed: self.lb_entry_computed + other.lb_entry_computed,
-            lb_keogh_computed: self.lb_keogh_computed + other.lb_keogh_computed,
-            lb_keogh_pruned: self.lb_keogh_pruned + other.lb_keogh_pruned,
-            dtw_abandoned: self.dtw_abandoned + other.dtw_abandoned,
-            real_computed: self.real_computed + other.real_computed,
+            lb_computed: self.lb_computed + lb_computed,
+            candidates: self.candidates + candidates,
+            nodes_pruned: self.nodes_pruned + nodes_pruned,
+            leaves_enqueued: self.leaves_enqueued + leaves_enqueued,
+            leaves_processed: self.leaves_processed + leaves_processed,
+            leaves_discarded: self.leaves_discarded + leaves_discarded,
+            lb_entry_computed: self.lb_entry_computed + lb_entry_computed,
+            lb_keogh_computed: self.lb_keogh_computed + lb_keogh_computed,
+            lb_keogh_pruned: self.lb_keogh_pruned + lb_keogh_pruned,
+            dtw_abandoned: self.dtw_abandoned + dtw_abandoned,
+            real_computed: self.real_computed + real_computed,
+            phase: self.phase.merged(&phase),
         }
     }
 }
@@ -90,6 +119,7 @@ pub struct AtomicQueryStats {
     lb_keogh_pruned: AtomicU64,
     dtw_abandoned: AtomicU64,
     real_computed: AtomicU64,
+    phase: PhaseAcc,
 }
 
 impl AtomicQueryStats {
@@ -101,30 +131,43 @@ impl AtomicQueryStats {
 
     /// Adds a worker's local tally.
     pub fn merge(&self, local: &QueryStats) {
+        // Destructure exhaustively — see `QueryStats::merged`.
+        let QueryStats {
+            lb_computed,
+            candidates,
+            nodes_pruned,
+            leaves_enqueued,
+            leaves_processed,
+            leaves_discarded,
+            lb_entry_computed,
+            lb_keogh_computed,
+            lb_keogh_pruned,
+            dtw_abandoned,
+            real_computed,
+            phase,
+        } = *local;
         // Relaxed: counters are only read after the pool broadcast joins,
         // which is already a synchronization point.
-        self.lb_computed
-            .fetch_add(local.lb_computed, Ordering::Relaxed);
-        self.candidates
-            .fetch_add(local.candidates, Ordering::Relaxed);
-        self.nodes_pruned
-            .fetch_add(local.nodes_pruned, Ordering::Relaxed);
+        self.lb_computed.fetch_add(lb_computed, Ordering::Relaxed);
+        self.candidates.fetch_add(candidates, Ordering::Relaxed);
+        self.nodes_pruned.fetch_add(nodes_pruned, Ordering::Relaxed);
         self.leaves_enqueued
-            .fetch_add(local.leaves_enqueued, Ordering::Relaxed);
+            .fetch_add(leaves_enqueued, Ordering::Relaxed);
         self.leaves_processed
-            .fetch_add(local.leaves_processed, Ordering::Relaxed);
+            .fetch_add(leaves_processed, Ordering::Relaxed);
         self.leaves_discarded
-            .fetch_add(local.leaves_discarded, Ordering::Relaxed);
+            .fetch_add(leaves_discarded, Ordering::Relaxed);
         self.lb_entry_computed
-            .fetch_add(local.lb_entry_computed, Ordering::Relaxed);
+            .fetch_add(lb_entry_computed, Ordering::Relaxed);
         self.lb_keogh_computed
-            .fetch_add(local.lb_keogh_computed, Ordering::Relaxed);
+            .fetch_add(lb_keogh_computed, Ordering::Relaxed);
         self.lb_keogh_pruned
-            .fetch_add(local.lb_keogh_pruned, Ordering::Relaxed);
+            .fetch_add(lb_keogh_pruned, Ordering::Relaxed);
         self.dtw_abandoned
-            .fetch_add(local.dtw_abandoned, Ordering::Relaxed);
+            .fetch_add(dtw_abandoned, Ordering::Relaxed);
         self.real_computed
-            .fetch_add(local.real_computed, Ordering::Relaxed);
+            .fetch_add(real_computed, Ordering::Relaxed);
+        self.phase.add(&phase);
     }
 
     /// Adds to `real_computed` alone (the only counter some phases touch).
@@ -147,6 +190,7 @@ impl AtomicQueryStats {
             lb_keogh_pruned: self.lb_keogh_pruned.load(Ordering::Relaxed),
             dtw_abandoned: self.dtw_abandoned.load(Ordering::Relaxed),
             real_computed: self.real_computed.load(Ordering::Relaxed),
+            phase: self.phase.snapshot(),
         }
     }
 }
@@ -154,8 +198,12 @@ impl AtomicQueryStats {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use dsidx_obs::phase::Phase;
 
     fn sample(k: u64) -> QueryStats {
+        let mut phase = PhaseBreakdown::new();
+        phase.record(Phase::Seed, 12 * k);
+        phase.record(Phase::Verify, 13 * k);
         QueryStats {
             lb_computed: k,
             candidates: 2 * k,
@@ -168,6 +216,7 @@ mod tests {
             lb_keogh_pruned: 9 * k,
             dtw_abandoned: 10 * k,
             real_computed: 11 * k,
+            phase,
         }
     }
 
@@ -175,6 +224,14 @@ mod tests {
     fn merged_sums_every_field() {
         let m = sample(1).merged(&sample(10));
         assert_eq!(m, sample(11));
+    }
+
+    #[test]
+    fn merged_sums_phase_times() {
+        let m = sample(1).merged(&sample(10));
+        assert_eq!(m.phase.nanos(Phase::Seed), 12 * 11);
+        assert_eq!(m.phase.nanos(Phase::Verify), 13 * 11);
+        assert_eq!(m.phase.nanos(Phase::Traversal), 0);
     }
 
     #[test]

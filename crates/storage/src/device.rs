@@ -7,9 +7,58 @@
 //! matching the paper's testbed era) are provided, plus an unthrottled
 //! profile that disables the model.
 
+use dsidx_obs::registry::{exponential_bounds, labeled_histogram, Histogram};
 use parking_lot::Mutex;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::time::Duration;
+
+/// Per-profile I/O histograms, shared by every device with the same
+/// profile name (the registry dedups on the `profile` label).
+#[derive(Debug, Clone, Copy)]
+struct DeviceMetrics {
+    read_nanos: &'static Histogram,
+    write_nanos: &'static Histogram,
+    read_bytes: &'static Histogram,
+    write_bytes: &'static Histogram,
+}
+
+impl DeviceMetrics {
+    fn for_profile(name: &'static str) -> Self {
+        // 1us .. ~4s modeled latency, 64B .. ~256MB transfers.
+        let latency = exponential_bounds(1_000, 4, 12);
+        let bytes = exponential_bounds(64, 4, 12);
+        Self {
+            read_nanos: labeled_histogram(
+                crate::metrics::DEVICE_READ_NANOS,
+                "Modeled nanoseconds charged per device read",
+                "profile",
+                name,
+                &latency,
+            ),
+            write_nanos: labeled_histogram(
+                crate::metrics::DEVICE_WRITE_NANOS,
+                "Modeled nanoseconds charged per device write",
+                "profile",
+                name,
+                &latency,
+            ),
+            read_bytes: labeled_histogram(
+                crate::metrics::DEVICE_READ_BYTES,
+                "Bytes transferred per device read",
+                "profile",
+                name,
+                &bytes,
+            ),
+            write_bytes: labeled_histogram(
+                crate::metrics::DEVICE_WRITE_BYTES,
+                "Bytes transferred per device write",
+                "profile",
+                name,
+                &bytes,
+            ),
+        }
+    }
+}
 
 /// Static characteristics of a modeled device.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -89,6 +138,7 @@ pub struct Device {
     bytes_written: AtomicU64,
     seeks: AtomicU64,
     charged_nanos: AtomicU64,
+    metrics: DeviceMetrics,
 }
 
 /// Delays shorter than this accumulate instead of sleeping (sleep syscalls
@@ -107,6 +157,7 @@ impl Device {
             bytes_written: AtomicU64::new(0),
             seeks: AtomicU64::new(0),
             charged_nanos: AtomicU64::new(0),
+            metrics: DeviceMetrics::for_profile(profile.name),
         }
     }
 
@@ -127,6 +178,7 @@ impl Device {
     pub fn charge_read(&self, offset: u64, bytes: u64) {
         self.bytes_read.fetch_add(bytes, Ordering::Relaxed);
         if self.profile.is_unthrottled() {
+            self.observe(self.metrics.read_bytes, bytes, self.metrics.read_nanos, 0);
             return;
         }
         let sequential = self.expected_offset.swap(offset + bytes, Ordering::Relaxed) == offset;
@@ -135,6 +187,12 @@ impl Device {
             self.seeks.fetch_add(1, Ordering::Relaxed);
             nanos += self.profile.seek_latency.as_nanos() as u64;
         }
+        self.observe(
+            self.metrics.read_bytes,
+            bytes,
+            self.metrics.read_nanos,
+            nanos,
+        );
         self.pay(nanos);
     }
 
@@ -143,11 +201,18 @@ impl Device {
     pub fn charge_write(&self, bytes: u64) {
         self.bytes_written.fetch_add(bytes, Ordering::Relaxed);
         if self.profile.is_unthrottled() {
+            self.observe(self.metrics.write_bytes, bytes, self.metrics.write_nanos, 0);
             return;
         }
         self.seeks.fetch_add(1, Ordering::Relaxed);
         let nanos = bandwidth_nanos(bytes, self.profile.write_bandwidth)
             + self.profile.seek_latency.as_nanos() as u64;
+        self.observe(
+            self.metrics.write_bytes,
+            bytes,
+            self.metrics.write_nanos,
+            nanos,
+        );
         self.pay(nanos);
     }
 
@@ -155,9 +220,27 @@ impl Device {
     pub fn charge_append(&self, bytes: u64) {
         self.bytes_written.fetch_add(bytes, Ordering::Relaxed);
         if self.profile.is_unthrottled() {
+            self.observe(self.metrics.write_bytes, bytes, self.metrics.write_nanos, 0);
             return;
         }
-        self.pay(bandwidth_nanos(bytes, self.profile.write_bandwidth));
+        let nanos = bandwidth_nanos(bytes, self.profile.write_bandwidth);
+        self.observe(
+            self.metrics.write_bytes,
+            bytes,
+            self.metrics.write_nanos,
+            nanos,
+        );
+        self.pay(nanos);
+    }
+
+    /// Records one I/O in the per-profile histograms when observability is
+    /// on (one relaxed atomic load when it is off).
+    #[inline]
+    fn observe(&self, bytes_h: &Histogram, bytes: u64, nanos_h: &Histogram, nanos: u64) {
+        if dsidx_obs::enabled() {
+            bytes_h.observe(bytes);
+            nanos_h.observe(nanos);
+        }
     }
 
     fn pay(&self, nanos: u64) {

@@ -22,6 +22,82 @@ pub enum StorageError {
     },
     /// A series-level validation error.
     Series(dsidx_series::SeriesError),
+    /// An error annotated with where in a query schedule it tripped:
+    /// which phase, and (for batches) which query. Attached by
+    /// `ErrorSlot` and the batch kernels; unwrap with
+    /// [`root_cause`](StorageError::root_cause) to match on the
+    /// underlying failure.
+    Context {
+        /// The query phase that was executing (`"seed"`, `"verify"`,
+        /// `"traversal"`, ...), when known.
+        phase: Option<&'static str>,
+        /// The batch query index whose work tripped the error, when the
+        /// failing operation served exactly one query.
+        query: Option<u64>,
+        /// The underlying error.
+        source: Box<StorageError>,
+    },
+}
+
+impl StorageError {
+    /// Annotates this error with the query phase it tripped in. A `None`
+    /// phase on an existing [`Context`](StorageError::Context) is filled
+    /// in; an already-attributed phase is kept (the innermost call site
+    /// knows best).
+    #[must_use]
+    pub fn in_phase(self, phase: &'static str) -> StorageError {
+        match self {
+            StorageError::Context {
+                phase: None,
+                query,
+                source,
+            } => StorageError::Context {
+                phase: Some(phase),
+                query,
+                source,
+            },
+            e @ StorageError::Context { .. } => e,
+            e => StorageError::Context {
+                phase: Some(phase),
+                query: None,
+                source: Box::new(e),
+            },
+        }
+    }
+
+    /// Annotates this error with the batch query index it tripped for
+    /// (same first-annotation-wins rule as
+    /// [`in_phase`](StorageError::in_phase)).
+    #[must_use]
+    pub fn for_query(self, query: u64) -> StorageError {
+        match self {
+            StorageError::Context {
+                phase,
+                query: None,
+                source,
+            } => StorageError::Context {
+                phase,
+                query: Some(query),
+                source,
+            },
+            e @ StorageError::Context { .. } => e,
+            e => StorageError::Context {
+                phase: None,
+                query: Some(query),
+                source: Box::new(e),
+            },
+        }
+    }
+
+    /// The innermost error, with any [`Context`](StorageError::Context)
+    /// layers stripped — what error-kind matches should inspect.
+    #[must_use]
+    pub fn root_cause(&self) -> &StorageError {
+        match self {
+            StorageError::Context { source, .. } => source.root_cause(),
+            e => e,
+        }
+    }
 }
 
 impl fmt::Display for StorageError {
@@ -35,6 +111,19 @@ impl fmt::Display for StorageError {
                 write!(f, "series {index} out of bounds for file of {len}")
             }
             StorageError::Series(e) => write!(f, "series error: {e}"),
+            StorageError::Context {
+                phase,
+                query,
+                source,
+            } => {
+                match (phase, query) {
+                    (Some(p), Some(q)) => write!(f, "during {p} (query {q}): ")?,
+                    (Some(p), None) => write!(f, "during {p}: ")?,
+                    (None, Some(q)) => write!(f, "for query {q}: ")?,
+                    (None, None) => {}
+                }
+                write!(f, "{source}")
+            }
         }
     }
 }
@@ -44,6 +133,7 @@ impl std::error::Error for StorageError {
         match self {
             StorageError::Io(e) => Some(e),
             StorageError::Series(e) => Some(e),
+            StorageError::Context { source, .. } => Some(source),
             _ => None,
         }
     }
@@ -82,5 +172,29 @@ mod tests {
         let e: StorageError = std::io::Error::other("inner").into();
         assert!(e.source().is_some());
         assert!(StorageError::BadMagic.source().is_none());
+        let wrapped = StorageError::BadMagic.in_phase("verify");
+        assert!(wrapped.source().is_some());
+    }
+
+    #[test]
+    fn context_display_names_phase_and_query() {
+        let e: StorageError = std::io::Error::other("disk gone").into();
+        let e = e.in_phase("verify").for_query(3);
+        let msg = e.to_string();
+        assert_eq!(msg, "during verify (query 3): I/O error: disk gone");
+        assert!(matches!(e.root_cause(), StorageError::Io(_)));
+    }
+
+    #[test]
+    fn first_context_annotation_wins() {
+        let e = StorageError::BadMagic.in_phase("seed").in_phase("verify");
+        assert!(e.to_string().starts_with("during seed:"));
+        // A query index still attaches to a phase-only context...
+        let e = e.for_query(7);
+        assert!(e.to_string().contains("(query 7)"));
+        // ...but never overwrites an existing one.
+        let e = e.for_query(9);
+        assert!(e.to_string().contains("(query 7)"));
+        assert!(matches!(e.root_cause(), StorageError::BadMagic));
     }
 }

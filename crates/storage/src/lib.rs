@@ -18,6 +18,7 @@ pub mod device;
 pub mod error;
 pub mod format;
 pub mod leafstore;
+pub mod metrics;
 pub mod raw;
 
 pub use device::{Device, DeviceProfile};

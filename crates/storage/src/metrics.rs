@@ -1,0 +1,28 @@
+//! Metric names exported by the storage substrate.
+//!
+//! Device histograms carry a `profile` label (`hdd`, `ssd`,
+//! `unthrottled`), so one scrape separates the modeled hardware tiers.
+//! All are registered in the process-wide [`dsidx_obs::registry`] on
+//! first device use; scrape them via
+//! [`dsidx_obs::registry::prometheus_text`] or
+//! [`dsidx_obs::registry::json_snapshot`].
+
+/// Histogram (per `profile` label): modeled nanoseconds charged to a
+/// single read, bandwidth plus any seek.
+pub const DEVICE_READ_NANOS: &str = "dsidx_device_read_nanos";
+
+/// Histogram (per `profile` label): modeled nanoseconds charged to a
+/// single write or append.
+pub const DEVICE_WRITE_NANOS: &str = "dsidx_device_write_nanos";
+
+/// Histogram (per `profile` label): bytes transferred by a single read.
+pub const DEVICE_READ_BYTES: &str = "dsidx_device_read_bytes";
+
+/// Histogram (per `profile` label): bytes transferred by a single write
+/// or append.
+pub const DEVICE_WRITE_BYTES: &str = "dsidx_device_write_bytes";
+
+/// Counter: fault-injection budgets exhausted by a
+/// [`FlakySource`](crate::FlakySource) — each trip is the start of an
+/// injected mid-query device failure.
+pub const FLAKY_TRIPS_TOTAL: &str = "dsidx_flaky_trips_total";

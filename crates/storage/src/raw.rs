@@ -80,6 +80,10 @@ impl<S: RawSource> RawSource for &S {
 pub struct FlakySource {
     data: Dataset,
     reads_left: std::sync::atomic::AtomicU64,
+    /// Set by the first failing read, which also bumps
+    /// [`FLAKY_TRIPS_TOTAL`](crate::metrics::FLAKY_TRIPS_TOTAL) and emits a
+    /// `flaky_trip` trace event.
+    trip_noted: std::sync::atomic::AtomicBool,
 }
 
 impl FlakySource {
@@ -90,6 +94,40 @@ impl FlakySource {
         Self {
             data,
             reads_left: std::sync::atomic::AtomicU64::new(reads_before_failure),
+            trip_noted: std::sync::atomic::AtomicBool::new(false),
+        }
+    }
+
+    /// Records the first budget exhaustion in the obs registry and the
+    /// trace stream.
+    #[cold]
+    fn note_trip(&self) {
+        if self
+            .trip_noted
+            .swap(true, std::sync::atomic::Ordering::Relaxed)
+        {
+            return;
+        }
+        if dsidx_obs::enabled() {
+            static TRIPS: std::sync::OnceLock<&'static dsidx_obs::registry::Counter> =
+                std::sync::OnceLock::new();
+            TRIPS
+                .get_or_init(|| {
+                    dsidx_obs::registry::counter(
+                        crate::metrics::FLAKY_TRIPS_TOTAL,
+                        "Fault-injection read budgets exhausted",
+                    )
+                })
+                .inc();
+        }
+        if dsidx_obs::trace::enabled() {
+            dsidx_obs::trace::emit(
+                "flaky_trip",
+                &[(
+                    "series",
+                    dsidx_obs::trace::Value::U64(self.data.len() as u64),
+                )],
+            );
         }
     }
 
@@ -115,6 +153,7 @@ impl RawSource for FlakySource {
         let mut left = self.reads_left.load(std::sync::atomic::Ordering::Relaxed);
         loop {
             if left == 0 {
+                self.note_trip();
                 return Err(StorageError::Io(std::io::Error::other(
                     "injected fault: read budget exhausted",
                 )));

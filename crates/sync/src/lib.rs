@@ -19,6 +19,7 @@
 
 pub mod barrier;
 pub mod best;
+pub mod metrics;
 pub mod pool;
 pub mod queue;
 pub mod slice;

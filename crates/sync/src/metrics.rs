@@ -1,0 +1,29 @@
+//! Metric names exported by the concurrency substrate.
+//!
+//! All are registered in the process-wide [`dsidx_obs::registry`] on
+//! first pool/queue use; scrape them via
+//! [`dsidx_obs::registry::prometheus_text`] or
+//! [`dsidx_obs::registry::json_snapshot`].
+
+/// Counter: pool broadcasts issued (every engine schedule step that woke
+/// the pool), summed across all pools in the process.
+pub const POOL_BROADCASTS_TOTAL: &str = "dsidx_pool_broadcasts_total";
+
+/// Histogram: wall nanoseconds per pool broadcast, publish to join, as
+/// seen by the coordinating thread.
+pub const POOL_BROADCAST_NANOS: &str = "dsidx_pool_broadcast_nanos";
+
+/// Counter: nanoseconds workers spent executing broadcast tasks.
+pub const POOL_WORKER_BUSY_NANOS_TOTAL: &str = "dsidx_pool_worker_busy_nanos_total";
+
+/// Counter: nanoseconds workers spent in the post-job spin window,
+/// polling for the next broadcast without parking.
+pub const POOL_WORKER_IDLE_NANOS_TOTAL: &str = "dsidx_pool_worker_idle_nanos_total";
+
+/// Counter: nanoseconds workers spent parked on the pool condvar (spin
+/// window expired, no work published).
+pub const POOL_WORKER_PARKED_NANOS_TOTAL: &str = "dsidx_pool_worker_parked_nanos_total";
+
+/// Histogram: items a [`WorkQueue`](crate::WorkQueue) held when it was
+/// drained to exhaustion (the Fetch&Inc queue-drain depth).
+pub const QUEUE_DRAIN_DEPTH: &str = "dsidx_queue_drain_depth";

@@ -15,9 +15,83 @@
 //! whole pool starts on one notification, and the batched query schedules
 //! (`dsidx-query::batch`) amortize even that single wake over B queries.
 
+use dsidx_obs::registry::{Counter, Histogram};
+use dsidx_obs::trace;
 use parking_lot::{Condvar, Mutex};
 use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::sync::{Arc, OnceLock};
+use std::time::Instant;
+
+/// Process-wide pool metrics, registered once in the obs registry.
+struct PoolMetrics {
+    broadcasts: &'static Counter,
+    broadcast_nanos: &'static Histogram,
+    busy: &'static Counter,
+    idle: &'static Counter,
+    parked: &'static Counter,
+}
+
+fn pool_metrics() -> &'static PoolMetrics {
+    static METRICS: OnceLock<PoolMetrics> = OnceLock::new();
+    METRICS.get_or_init(|| {
+        use dsidx_obs::registry::{counter, exponential_bounds, histogram};
+        PoolMetrics {
+            broadcasts: counter(
+                crate::metrics::POOL_BROADCASTS_TOTAL,
+                "Pool broadcasts issued across all pools",
+            ),
+            broadcast_nanos: histogram(
+                crate::metrics::POOL_BROADCAST_NANOS,
+                "Wall nanoseconds per pool broadcast, publish to join",
+                // 1us .. ~4s in 4x steps.
+                &exponential_bounds(1_000, 4, 12),
+            ),
+            busy: counter(
+                crate::metrics::POOL_WORKER_BUSY_NANOS_TOTAL,
+                "Nanoseconds workers spent executing broadcast tasks",
+            ),
+            idle: counter(
+                crate::metrics::POOL_WORKER_IDLE_NANOS_TOTAL,
+                "Nanoseconds workers spent spinning for the next broadcast",
+            ),
+            parked: counter(
+                crate::metrics::POOL_WORKER_PARKED_NANOS_TOTAL,
+                "Nanoseconds workers spent parked on the pool condvar",
+            ),
+        }
+    })
+}
+
+fn nanos(d: std::time::Duration) -> u64 {
+    u64::try_from(d.as_nanos()).unwrap_or(u64::MAX)
+}
+
+/// Per-worker running utilization totals, written by the worker itself at
+/// each state transition (spin → park → run). Whole nanosecond intervals,
+/// disjoint by construction, so `busy + idle + parked` tracks the
+/// worker's lifetime.
+#[derive(Debug, Default)]
+struct WorkerAccounting {
+    busy: AtomicU64,
+    idle: AtomicU64,
+    parked: AtomicU64,
+    broadcasts: AtomicU64,
+}
+
+/// A point-in-time snapshot of one worker's utilization counters (see
+/// [`WorkerPool::worker_stats`]).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct WorkerStats {
+    /// Nanoseconds spent executing broadcast tasks.
+    pub busy_nanos: u64,
+    /// Nanoseconds spent in the post-job spin window (polling, not
+    /// parked).
+    pub idle_nanos: u64,
+    /// Nanoseconds spent parked on the pool condvar.
+    pub parked_nanos: u64,
+    /// Broadcast tasks this worker has completed.
+    pub broadcasts_served: u64,
+}
 
 /// A lifetime-erased `Fn(usize worker_id)` pointer plus completion state.
 struct Job {
@@ -58,12 +132,15 @@ struct PoolShared {
     /// Workers park here; one `notify_all` per broadcast wakes all of them.
     cv: Condvar,
     shutdown: AtomicBool,
+    /// One accounting slot per worker, index-aligned with worker ids.
+    workers: Vec<WorkerAccounting>,
 }
 
 /// A fixed-size pool of persistent worker threads.
 pub struct WorkerPool {
     shared: Arc<PoolShared>,
     handles: Vec<std::thread::JoinHandle<()>>,
+    created: Instant,
     /// Serializes broadcasts: tasks may contain cross-worker phase barriers
     /// (see `SpinBarrier`), and two interleaved broadcasts would then each
     /// hold some workers at their own barrier — a deadlock. One broadcast
@@ -81,17 +158,25 @@ impl WorkerPool {
             slot: Mutex::new(Slot { seq: 0, job: None }),
             cv: Condvar::new(),
             shutdown: AtomicBool::new(false),
+            workers: (0..threads).map(|_| WorkerAccounting::default()).collect(),
         });
         let mut handles = Vec::with_capacity(threads);
         for worker_id in 0..threads {
             let shared = Arc::clone(&shared);
             handles.push(std::thread::spawn(move || {
                 let mut last_seq = 0u64;
+                let me = &shared.workers[worker_id];
                 loop {
                     // Fast path: after finishing a job, poll the published
                     // generation briefly before parking. Re-waking a parked
                     // thread costs tens of microseconds, which would
                     // dominate back-to-back sub-millisecond queries.
+                    // Utilization accounting: the spin window is *idle*
+                    // time, the condvar wait below is *parked* time, the
+                    // task run is *busy* time — disjoint intervals flushed
+                    // at each transition, so their sum tracks the worker's
+                    // wall-clock lifetime.
+                    let spin_start = Instant::now();
                     for spin in 0..4096u32 {
                         if shared.seq.load(Ordering::Acquire) != last_seq
                             || shared.shutdown.load(Ordering::Acquire)
@@ -104,8 +189,11 @@ impl WorkerPool {
                             std::hint::spin_loop();
                         }
                     }
+                    let idle = nanos(spin_start.elapsed());
+                    me.idle.fetch_add(idle, Ordering::Relaxed);
                     // Slow path: park on the shared condvar until a new
                     // generation is published (or shutdown).
+                    let park_start = Instant::now();
                     let job = {
                         let mut slot = shared.slot.lock();
                         while slot.seq == last_seq && !shared.shutdown.load(Ordering::Acquire) {
@@ -117,11 +205,23 @@ impl WorkerPool {
                         last_seq = slot.seq;
                         Arc::clone(slot.job.as_ref().expect("published generation has a job"))
                     };
+                    let parked = nanos(park_start.elapsed());
+                    me.parked.fetch_add(parked, Ordering::Relaxed);
                     // SAFETY: see `Job.task` — the broadcaster keeps the
                     // closure alive until every worker is done.
                     let task = unsafe { &*job.task };
+                    let busy_start = Instant::now();
                     let result =
                         std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| task(worker_id)));
+                    let busy = nanos(busy_start.elapsed());
+                    me.busy.fetch_add(busy, Ordering::Relaxed);
+                    me.broadcasts.fetch_add(1, Ordering::Relaxed);
+                    if dsidx_obs::enabled() {
+                        let m = pool_metrics();
+                        m.busy.add(busy);
+                        m.idle.add(idle);
+                        m.parked.add(parked);
+                    }
                     if result.is_err() {
                         job.panicked.store(true, Ordering::Release);
                     }
@@ -135,6 +235,7 @@ impl WorkerPool {
         Self {
             shared,
             handles,
+            created: Instant::now(),
             run_lock: Mutex::new(()),
         }
     }
@@ -143,6 +244,33 @@ impl WorkerPool {
     #[must_use]
     pub fn size(&self) -> usize {
         self.handles.len()
+    }
+
+    /// Nanoseconds since the pool's threads were spawned.
+    #[must_use]
+    pub fn uptime_nanos(&self) -> u64 {
+        nanos(self.created.elapsed())
+    }
+
+    /// Per-worker utilization snapshots, index-aligned with worker ids.
+    ///
+    /// Each worker's `busy + idle + parked` covers its completed
+    /// state intervals; immediately after a broadcast joins, that sum
+    /// approximates the pool's [`uptime_nanos`](Self::uptime_nanos) (the
+    /// in-progress interval — the spin window or condvar wait the worker
+    /// is currently inside — is not yet flushed).
+    #[must_use]
+    pub fn worker_stats(&self) -> Vec<WorkerStats> {
+        self.shared
+            .workers
+            .iter()
+            .map(|w| WorkerStats {
+                busy_nanos: w.busy.load(Ordering::Relaxed),
+                idle_nanos: w.idle.load(Ordering::Relaxed),
+                parked_nanos: w.parked.load(Ordering::Relaxed),
+                broadcasts_served: w.broadcasts.load(Ordering::Relaxed),
+            })
+            .collect()
     }
 
     /// Runs `task(worker_id)` on every worker and returns when all have
@@ -156,6 +284,7 @@ impl WorkerPool {
     /// Panics if any worker's task panicked (after all workers finished).
     pub fn broadcast(&self, task: &(dyn Fn(usize) + Sync)) {
         let _serial = self.run_lock.lock();
+        let t0 = dsidx_obs::enabled().then(Instant::now);
         let n = self.handles.len();
         // SAFETY: lifetime erasure is sound because this call blocks below
         // until every worker has dropped its use of the pointer.
@@ -188,6 +317,21 @@ impl WorkerPool {
         // Drop the slot's reference so the erased closure pointer does not
         // outlive this call.
         self.shared.slot.lock().job = None;
+        if let Some(t0) = t0 {
+            let elapsed = nanos(t0.elapsed());
+            let m = pool_metrics();
+            m.broadcasts.inc();
+            m.broadcast_nanos.observe(elapsed);
+            if trace::enabled() {
+                trace::emit(
+                    "broadcast",
+                    &[
+                        ("workers", trace::Value::U64(n as u64)),
+                        ("nanos", trace::Value::U64(elapsed)),
+                    ],
+                );
+            }
+        }
         assert!(
             !job.panicked.load(Ordering::Acquire),
             "a worker task panicked during broadcast"
@@ -360,6 +504,51 @@ mod tests {
             counter.fetch_add(1, Ordering::Relaxed);
         });
         assert_eq!(counter.load(Ordering::Relaxed), 4);
+    }
+
+    #[test]
+    fn worker_time_accounting_covers_pool_lifetime() {
+        let pool = WorkerPool::new(4);
+        // A few broadcasts with measurable busy time...
+        for _ in 0..3 {
+            pool.broadcast(&|_| {
+                std::thread::sleep(std::time::Duration::from_millis(5));
+            });
+        }
+        // ...then let every worker fall past the spin window and park...
+        std::thread::sleep(std::time::Duration::from_millis(60));
+        // ...and flush the parked intervals with one final broadcast.
+        pool.broadcast(&|_| {});
+        let uptime = pool.uptime_nanos();
+        let stats = pool.worker_stats();
+        assert_eq!(stats.len(), 4);
+        for (id, w) in stats.iter().enumerate() {
+            assert_eq!(w.broadcasts_served, 4, "worker {id} missed a broadcast");
+            // 3 broadcasts slept 5 ms each; allow for coarse clocks.
+            assert!(
+                w.busy_nanos >= 10_000_000,
+                "worker {id} busy time implausibly low: {} ns",
+                w.busy_nanos
+            );
+            assert!(
+                w.parked_nanos >= 30_000_000,
+                "worker {id} never parked through the 60 ms gap: {} ns",
+                w.parked_nanos
+            );
+            // The three states are disjoint intervals of the worker's
+            // lifetime; right after a broadcast joins, their sum must
+            // approximate the pool's wall-clock uptime. Slack covers the
+            // unflushed in-progress spin window and spawn stagger.
+            let sum = w.busy_nanos + w.idle_nanos + w.parked_nanos;
+            assert!(
+                sum <= uptime + uptime / 4,
+                "worker {id} accounted more time than the pool lived: {sum} > {uptime} ns"
+            );
+            assert!(
+                sum >= uptime * 7 / 10,
+                "worker {id} accounting leaks time: {sum} < 70% of {uptime} ns"
+            );
+        }
     }
 
     #[test]

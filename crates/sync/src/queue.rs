@@ -1,7 +1,20 @@
 //! Fetch&Inc work claiming.
 
 use std::ops::Range;
-use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::OnceLock;
+
+fn drain_depth_histogram() -> &'static dsidx_obs::registry::Histogram {
+    static HIST: OnceLock<&'static dsidx_obs::registry::Histogram> = OnceLock::new();
+    HIST.get_or_init(|| {
+        dsidx_obs::registry::histogram(
+            crate::metrics::QUEUE_DRAIN_DEPTH,
+            "Items a Fetch&Inc work queue held when drained to exhaustion",
+            // 16 .. ~268M items in 4x steps.
+            &dsidx_obs::registry::exponential_bounds(16, 4, 13),
+        )
+    })
+}
 
 /// A counter over `0..total` from which workers claim items or chunks with
 /// a single atomic `fetch_add` — the paper's Fetch&Inc idiom for assigning
@@ -10,6 +23,10 @@ use std::sync::atomic::{AtomicUsize, Ordering};
 pub struct WorkQueue {
     next: AtomicUsize,
     total: usize,
+    /// Set by the first claim that finds the queue exhausted, which is
+    /// when the drain-depth histogram records `total` — off the claiming
+    /// fast path (each worker hits exhaustion at most once per drain).
+    drained: AtomicBool,
 }
 
 impl WorkQueue {
@@ -19,6 +36,7 @@ impl WorkQueue {
         Self {
             next: AtomicUsize::new(0),
             total,
+            drained: AtomicBool::new(false),
         }
     }
 
@@ -32,7 +50,12 @@ impl WorkQueue {
     #[inline]
     pub fn claim(&self) -> Option<usize> {
         let i = self.next.fetch_add(1, Ordering::Relaxed);
-        (i < self.total).then_some(i)
+        if i < self.total {
+            Some(i)
+        } else {
+            self.observe_drained();
+            None
+        }
     }
 
     /// Claims the next chunk of up to `chunk` items, or `None` when
@@ -42,13 +65,23 @@ impl WorkQueue {
         assert!(chunk > 0, "chunk size must be non-zero");
         let start = self.next.fetch_add(chunk, Ordering::Relaxed);
         if start >= self.total {
+            self.observe_drained();
             return None;
         }
         Some(start..(start + chunk).min(self.total))
     }
 
+    /// Records the completed drain in the depth histogram, once per drain.
+    #[cold]
+    fn observe_drained(&self) {
+        if dsidx_obs::enabled() && !self.drained.swap(true, Ordering::Relaxed) {
+            drain_depth_histogram().observe(self.total as u64);
+        }
+    }
+
     /// Resets the queue for reuse (callers must ensure no concurrent claims).
     pub fn reset(&self) {
+        self.drained.store(false, Ordering::Relaxed);
         self.next.store(0, Ordering::Release);
     }
 }

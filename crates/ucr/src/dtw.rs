@@ -1,5 +1,6 @@
 //! UCR-style scans under Dynamic Time Warping (the paper's §V extension).
 
+use dsidx_obs::phase::{Phase, PhaseBreakdown, PhaseClock};
 use dsidx_query::{
     finish_knn, AtomicQueryStats, BatchStats, ErrorSlot, QueryStats, SeriesFetcher, SharedTopK,
 };
@@ -133,9 +134,11 @@ fn scan_dtw_parallel_pruner<P: Pruner>(
     best: &P,
 ) -> QueryStats {
     assert!(threads > 0, "thread count must be non-zero");
+    let mut clock = PhaseClock::start();
     let mut lower = Vec::new();
     let mut upper = Vec::new();
     envelope(query, band, &mut lower, &mut upper);
+    let prepare_nanos = clock.lap();
     let queue = WorkQueue::new(data.len());
     let shared = AtomicQueryStats::new();
     let pool = dsidx_sync::pool::global(threads);
@@ -162,6 +165,8 @@ fn scan_dtw_parallel_pruner<P: Pruner>(
         shared.merge(&local);
     });
     let mut stats = shared.snapshot();
+    stats.phase.record(Phase::Prepare, prepare_nanos);
+    stats.phase.record(Phase::DtwCascade, clock.lap());
     // Position 0 paid one unconditional full DTW for the initial seed.
     stats.real_computed += 1;
     stats
@@ -199,6 +204,7 @@ pub fn knn_dtw_batch_parallel_with_stats(
     for q in queries {
         assert_eq!(q.len(), source.series_len(), "query length mismatch");
     }
+    let mut clock = PhaseClock::start();
     struct Slot<'q> {
         query: &'q [f32],
         lower: Vec<f32>,
@@ -221,6 +227,7 @@ pub fn knn_dtw_batch_parallel_with_stats(
             }
         })
         .collect();
+    let prepare_nanos = clock.lap();
     if source.count() == 0 || slots.is_empty() {
         let per_query = vec![QueryStats::default(); slots.len()];
         return Ok((
@@ -232,19 +239,25 @@ pub fn knn_dtw_batch_parallel_with_stats(
         ));
     }
 
+    let mut phase = PhaseBreakdown::new();
+    phase.record(Phase::Prepare, prepare_nanos);
+
     // Position 0 seeds every query with one unconditional full DTW, like
     // the single-query scan.
     {
         let mut fetcher = SeriesFetcher::new(source);
-        let first_series = fetcher.fetch(0)?;
+        let first_series = fetcher
+            .fetch(0)
+            .map_err(|e| e.in_phase(Phase::Seed.name()))?;
         for slot in &slots {
             let first = dsidx_series::distance::dtw::dtw_sq(slot.query, first_series, band);
             slot.topk.insert(first, 0);
         }
     }
+    phase.record(Phase::Seed, clock.lap());
 
     let queue = WorkQueue::new(source.count());
-    let errors = ErrorSlot::new();
+    let errors = ErrorSlot::for_phase(Phase::DtwCascade);
     let pool = dsidx_sync::pool::global(threads);
     pool.broadcast(&|_worker| {
         // Accumulate locally, merge once per worker (see `AtomicQueryStats`).
@@ -283,6 +296,7 @@ pub fn knn_dtw_batch_parallel_with_stats(
         }
     });
     errors.take()?;
+    phase.record(Phase::DtwCascade, clock.lap());
 
     let mut matches = Vec::with_capacity(slots.len());
     let mut per_query = Vec::with_capacity(slots.len());
@@ -305,7 +319,10 @@ pub fn knn_dtw_batch_parallel_with_stats(
             // Every fetched series is examined (LB_Keogh reads the raw
             // values, the seed pays full DTWs) by every query.
             series_requests: fetched * queries.len() as u64,
-            shared: QueryStats::default(),
+            shared: QueryStats {
+                phase,
+                ..QueryStats::default()
+            },
             per_query,
         },
     ))

@@ -1,0 +1,114 @@
+//! The observability plane end to end, through the public facade: a real
+//! search must (a) emit schema-valid JSON-lines trace events when the
+//! stream is routed at a file, (b) surface a wall-time phase breakdown
+//! through `Answers`, (c) publish metrics that round-trip both exporters,
+//! and (d) degrade to all-zero breakdowns (not errors) when the plane is
+//! switched off.
+//!
+//! The trace stream and the enablement flag are process-global, so every
+//! section lives in this one serialized test (the test binary runs tests
+//! in threads; two tests flipping global observability state would race).
+
+use dsidx::obs;
+use dsidx::obs::phase::Phase;
+use dsidx::prelude::*;
+
+/// Minimal JSON-lines schema check for one trace event: a flat object,
+/// `ts_us` first (a number), `event` second (a string), then any number
+/// of `"key":value` fields with balanced quoting.
+fn assert_trace_line_schema(line: &str) {
+    let rest = line
+        .strip_prefix("{\"ts_us\":")
+        .unwrap_or_else(|| panic!("no ts_us prefix: {line}"));
+    let (ts, rest) = rest.split_once(',').expect("fields after ts_us");
+    assert!(
+        !ts.is_empty() && ts.bytes().all(|b| b.is_ascii_digit()),
+        "ts_us is not a number: {line}"
+    );
+    assert!(
+        rest.starts_with("\"event\":\""),
+        "second field is not the event kind: {line}"
+    );
+    assert!(rest.ends_with('}'), "unterminated object: {line}");
+    // Quotes come in pairs in every emitted line (keys and string values
+    // are escaped, so a raw `"` never appears inside one).
+    let quotes = line.matches('"').count();
+    assert_eq!(quotes % 2, 0, "unbalanced quoting: {line}");
+}
+
+#[test]
+fn observability_plane_end_to_end() {
+    let data = DatasetKind::Synthetic.generate(400, 64, 17);
+    let queries = DatasetKind::Synthetic.queries(3, 64, 17);
+    let qrefs: Vec<&[f32]> = queries.iter().collect();
+    let opts = Options::default().with_threads(2).with_leaf_capacity(16);
+    let spec = QuerySpec::knn(3).with_stats();
+
+    // (a) Trace: route the stream at a file, search every engine, and
+    // validate each emitted line against the JSON-lines schema.
+    let dir = std::env::temp_dir().join(format!("dsidx-obs-it-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    let trace_path = dir.join("trace.jsonl");
+    let _ = std::fs::remove_file(&trace_path);
+    obs::set_enabled(true);
+    obs::trace::route_to_file(&trace_path).unwrap();
+    for engine in Engine::ALL {
+        let idx = MemoryIndex::build(data.clone(), engine, &opts).unwrap();
+        let answers = idx.search(&qrefs, &spec).unwrap();
+        assert_eq!(answers.len(), qrefs.len());
+    }
+    obs::trace::disable();
+    let text = std::fs::read_to_string(&trace_path).unwrap();
+    let lines: Vec<&str> = text.lines().collect();
+    assert!(!lines.is_empty(), "no trace events from four searches");
+    for line in &lines {
+        assert_trace_line_schema(line);
+    }
+    // One `search` event per engine, each carrying the request shape.
+    let searches: Vec<&&str> = lines
+        .iter()
+        .filter(|l| l.contains("\"event\":\"search\""))
+        .collect();
+    assert_eq!(searches.len(), Engine::ALL.len());
+    for l in &searches {
+        assert!(l.contains("\"queries\":3") && l.contains("\"k\":3"), "{l}");
+        assert!(l.contains("\"measure\":\"euclidean\""), "{l}");
+    }
+    // The parallel engines broadcast under tracing, so pool events appear.
+    assert!(
+        lines.iter().any(|l| l.contains("\"event\":\"broadcast\"")),
+        "no broadcast events from the pool engines"
+    );
+
+    // (b) Phases: the breakdown comes back through `Answers` and lands in
+    // the engine's own phases.
+    let messi = MemoryIndex::build(data.clone(), Engine::Messi, &opts).unwrap();
+    let answers = messi.search(&qrefs, &spec).unwrap();
+    let phase = answers.phase_breakdown().expect("stats requested");
+    assert!(phase.total_nanos() > 0, "empty breakdown with obs on");
+    assert!(
+        phase.nanos(Phase::Traversal) > 0,
+        "MESSI answers through the traversal phase"
+    );
+    // The breakdown is the batch total: shared plus every query's own.
+    let stats = answers.stats().unwrap();
+    assert_eq!(phase, stats.total().phase);
+
+    // (c) Metrics: the searches above touched the pool, so the registry
+    // round-trips non-empty through both exporters.
+    let prom = obs::registry::prometheus_text();
+    let json = obs::registry::json_snapshot();
+    assert!(prom.contains("dsidx_pool_broadcasts_total"), "{prom}");
+    assert!(json.contains("\"dsidx_pool_broadcasts_total\""), "{json}");
+
+    // (d) Switched off, searching still answers and the breakdown is all
+    // zeros (the documented degraded mode, not an error).
+    obs::set_enabled(false);
+    let answers = messi.search(&qrefs, &spec).unwrap();
+    assert_eq!(answers.len(), qrefs.len());
+    let phase = answers.phase_breakdown().expect("stats requested");
+    assert!(phase.is_zero(), "phases recorded while disabled: {phase:?}");
+    obs::set_enabled(true);
+
+    let _ = std::fs::remove_dir_all(&dir);
+}
