@@ -10,7 +10,7 @@ use dsidx_obs::phase::{Phase, PhaseClock};
 use dsidx_query::{
     approx_leaf, batch_scan_sax_serial, batch_seed_positions, finish_knn, scan_sax_serial,
     seed_from_entries, seed_from_entries_dtw, BatchStats, PreparedQuery, Pruner, QueryBatch,
-    QueryStats, SeriesFetcher, SharedTopK,
+    QueryStats, SeriesFetcher, ShardView, SharedTopK,
 };
 use dsidx_series::Match;
 use dsidx_storage::{RawSource, StorageError};
@@ -40,7 +40,8 @@ fn run_exact<P: Pruner>(
     // Step 1: approximate answer from the closest leaf.
     let leaf = approx_leaf(&ads.index, &prep.word).expect("non-empty index has a non-empty leaf");
     let entries = leaf.entries().expect("serial leaves are resident");
-    stats.real_computed += seed_from_entries(entries, &mut fetcher, query, pruner)?;
+    stats.real_computed += seed_from_entries(entries, &mut fetcher, query, pruner)
+        .map_err(|e| e.in_phase(Phase::Seed.name()))?;
     stats.phase.record(Phase::Seed, clock.lap());
 
     // Step 2: SIMS — serial scan of the SAX array with lower-bound pruning.
@@ -51,7 +52,8 @@ fn run_exact<P: Pruner>(
         query,
         pruner,
         &mut stats,
-    )?;
+    )
+    .map_err(|e| e.in_phase(Phase::SaxScan.name()))?;
     stats.phase.record(Phase::SaxScan, clock.lap());
     Ok(Some(stats))
 }
@@ -128,12 +130,36 @@ pub fn exact_knn_batch(
     queries: &[&[f32]],
     k: usize,
 ) -> Result<(Vec<Vec<Match>>, BatchStats), StorageError> {
+    exact_knn_batch_shared(ads, source, queries, k, None)
+}
+
+/// [`exact_knn_batch`] with an optional cross-shard pruner view: when
+/// `shard` is `Some`, every kernel loop feeds the shared per-query
+/// collectors (recording positions rebased to global), so other shards'
+/// finds tighten this scan's thresholds mid-flight. The returned matches
+/// then reflect the *global* gather so far; the scatter-gather coordinator
+/// reads the authoritative answer from the
+/// [`SharedPruners`](dsidx_query::SharedPruners) once every shard joined,
+/// and consumes this return value for its stats only.
+///
+/// # Errors
+/// Propagates raw-source I/O failures.
+///
+/// # Panics
+/// As [`exact_knn_batch`].
+pub fn exact_knn_batch_shared(
+    ads: &AdsIndex,
+    source: &impl RawSource,
+    queries: &[&[f32]],
+    k: usize,
+    shard: Option<ShardView<'_>>,
+) -> Result<(Vec<Vec<Match>>, BatchStats), StorageError> {
     let config = ads.index.config();
     for q in queries {
         assert_eq!(q.len(), config.series_len(), "query length mismatch");
     }
     let mut clock = PhaseClock::start();
-    let batch = QueryBatch::new(config.quantizer(), queries, k);
+    let batch = QueryBatch::for_shard(config.quantizer(), queries, k, shard);
     let prepare_nanos = clock.lap();
     if ads.index.is_empty() || batch.is_empty() {
         return Ok(batch.finish(0, QueryStats::default()));
@@ -156,11 +182,13 @@ pub fn exact_knn_batch(
     }
     positions.sort_unstable();
     positions.dedup();
-    batch_seed_positions(&positions, &mut fetcher, &batch)?;
+    batch_seed_positions(&positions, &mut fetcher, &batch)
+        .map_err(|e| e.in_phase(Phase::Seed.name()))?;
     clock.lap_into(batch.phases(), Phase::Seed);
 
     // Step 2: SIMS — one serial scan of the SAX array for the whole batch.
-    batch_scan_sax_serial(ads.sax.words(), &mut fetcher, &batch)?;
+    batch_scan_sax_serial(ads.sax.words(), &mut fetcher, &batch)
+        .map_err(|e| e.in_phase(Phase::SaxScan.name()))?;
     clock.lap_into(batch.phases(), Phase::SaxScan);
     Ok(batch.finish(0, QueryStats::default()))
 }

@@ -16,6 +16,7 @@ pub mod kernels;
 pub mod knn;
 pub mod obs;
 pub mod ondisk;
+pub mod shards;
 pub mod throughput;
 
 use crate::Scale;
@@ -99,6 +100,11 @@ pub const ALL: &[Experiment] = &[
         "obs",
         "Extension: observability self-measurement (phase coverage, plane overhead, trace)",
         obs::run,
+    ),
+    (
+        "shards",
+        "Extension: scatter-gather sharding sweep (N in {1,2,4,8}) with BSF sharing A/B",
+        shards::run,
     ),
     (
         "abl-buffers",

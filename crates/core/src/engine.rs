@@ -14,9 +14,9 @@ use crate::options::Options;
 use crate::search::Search;
 use crate::spec::{Fidelity, Measure, QuerySpec};
 use dsidx_obs::phase::{Phase, PhaseClock};
-use dsidx_query::{BatchStats, QueryStats};
+use dsidx_query::{BatchStats, QueryStats, ShardView};
 use dsidx_series::{Dataset, Match};
-use dsidx_storage::{DatasetFile, Device, DeviceProfile};
+use dsidx_storage::{DatasetFile, Device, DeviceProfile, RawSource};
 use dsidx_tree::stats::{index_stats, IndexStats};
 use std::path::{Path, PathBuf};
 use std::sync::Arc;
@@ -89,7 +89,9 @@ fn approx_batch(
     let mut clock = PhaseClock::start();
     for (i, &q) in queries.iter().enumerate() {
         let (m, mut s) = answer_one(q).map_err(|e| match e {
-            Error::Storage(e) => Error::Storage(e.for_query(i as u64)),
+            // The approximate visit is one seeding pass; engines that
+            // annotated a more precise phase keep it (first wins).
+            Error::Storage(e) => Error::Storage(e.in_phase(Phase::Seed.name()).for_query(i as u64)),
             other => other,
         })?;
         // Engines that time their own approximate visit already filled
@@ -113,7 +115,12 @@ fn approx_batch(
 /// Emits one `search` trace event per [`Search::search`] call when the
 /// structured trace stream is on (`DSIDX_TRACE`); one relaxed atomic load
 /// when it is off.
-fn trace_search(residence: &'static str, engine: Engine, queries: usize, spec: &QuerySpec) {
+pub(crate) fn trace_search(
+    residence: &'static str,
+    engine: Engine,
+    queries: usize,
+    spec: &QuerySpec,
+) {
     if !dsidx_obs::trace::enabled() {
         return;
     }
@@ -204,6 +211,24 @@ impl MemoryIndex {
         queries: &[&[f32]],
         spec: &QuerySpec,
     ) -> Result<(Vec<Vec<Match>>, BatchStats), Error> {
+        self.run_spec_sharded(&*self.data, queries, spec, None)
+    }
+
+    /// [`run_spec`](Self::run_spec) parameterized for scatter-gather use
+    /// by [`ShardedIndex`](crate::ShardedIndex): raw candidate reads go to
+    /// `source` (normally the indexed dataset; a fault-injecting wrapper
+    /// in tests), and — when `shard` is set — the exact cells feed the
+    /// cross-shard pruners so a tight match in another shard raises this
+    /// index's abandon thresholds mid-flight. The approximate cells
+    /// ignore `shard` (per-shard trees probe independently; the
+    /// coordinator merges post-hoc).
+    pub(crate) fn run_spec_sharded<S: RawSource>(
+        &self,
+        source: &S,
+        queries: &[&[f32]],
+        spec: &QuerySpec,
+        shard: Option<ShardView<'_>>,
+    ) -> Result<(Vec<Vec<Match>>, BatchStats), Error> {
         let mut clock = PhaseClock::start();
         spec.validate(self.data.series_len(), queries)?;
         let k = spec.k();
@@ -212,24 +237,16 @@ impl MemoryIndex {
         let (matches, mut stats) = (match spec.fidelity_kind() {
             Fidelity::Exact => match spec.measure_kind() {
                 Measure::Euclidean => match &self.inner {
-                    MemoryInner::Ads(ads) => {
-                        Ok(dsidx_ads::exact_knn_batch(ads, &*self.data, queries, k)?)
-                    }
-                    MemoryInner::Paris(paris) => Ok(dsidx_paris::exact_knn_batch(
-                        paris,
-                        &*self.data,
-                        queries,
-                        k,
-                        threads,
+                    MemoryInner::Ads(ads) => Ok(dsidx_ads::exact_knn_batch_shared(
+                        ads, source, queries, k, shard,
+                    )?),
+                    MemoryInner::Paris(paris) => Ok(dsidx_paris::exact_knn_batch_shared(
+                        paris, source, queries, k, threads, shard,
                     )?),
                     MemoryInner::Messi(messi) => {
                         let cfg = self.options.messi_config(self.data.series_len())?;
-                        Ok(dsidx_messi::exact_knn_batch(
-                            messi,
-                            &*self.data,
-                            queries,
-                            k,
-                            &cfg,
+                        Ok(dsidx_messi::exact_knn_batch_shared(
+                            messi, source, queries, k, &cfg, shard,
                         )?)
                     }
                 },
@@ -239,43 +256,34 @@ impl MemoryIndex {
                 Measure::Dtw { band } => match &self.inner {
                     MemoryInner::Messi(messi) => {
                         let cfg = self.options.messi_config(self.data.series_len())?;
-                        Ok(dsidx_messi::exact_knn_dtw_batch(
-                            messi,
-                            &*self.data,
-                            queries,
-                            band,
-                            k,
-                            &cfg,
+                        Ok(dsidx_messi::exact_knn_dtw_batch_shared(
+                            messi, source, queries, band, k, &cfg, shard,
                         )?)
                     }
-                    _ => Ok(dsidx_ucr::knn_dtw_batch_parallel_with_stats(
-                        &*self.data,
-                        queries,
-                        band,
-                        k,
-                        threads,
+                    _ => Ok(dsidx_ucr::knn_dtw_batch_parallel_with_stats_shared(
+                        source, queries, band, k, threads, shard,
                     )?),
                 },
             },
             Fidelity::Approximate => approx_batch(queries, |q| {
                 Ok(match (&self.inner, spec.measure_kind()) {
                     (MemoryInner::Ads(ads), Measure::Euclidean) => {
-                        dsidx_ads::approx_knn(ads, &*self.data, q, k)?
+                        dsidx_ads::approx_knn(ads, source, q, k)?
                     }
                     (MemoryInner::Ads(ads), Measure::Dtw { band }) => {
-                        dsidx_ads::approx_knn_dtw(ads, &*self.data, q, band, k)?
+                        dsidx_ads::approx_knn_dtw(ads, source, q, band, k)?
                     }
                     (MemoryInner::Paris(paris), Measure::Euclidean) => {
-                        dsidx_paris::approx_knn(paris, &*self.data, q, k)?
+                        dsidx_paris::approx_knn(paris, source, q, k)?
                     }
                     (MemoryInner::Paris(paris), Measure::Dtw { band }) => {
-                        dsidx_paris::approx_knn_dtw(paris, &*self.data, q, band, k)?
+                        dsidx_paris::approx_knn_dtw(paris, source, q, band, k)?
                     }
                     (MemoryInner::Messi(messi), Measure::Euclidean) => {
-                        dsidx_messi::approx_knn(messi, &*self.data, q, k)?
+                        dsidx_messi::approx_knn(messi, source, q, k)?
                     }
                     (MemoryInner::Messi(messi), Measure::Dtw { band }) => {
-                        dsidx_messi::approx_knn_dtw(messi, &*self.data, q, band, k)?
+                        dsidx_messi::approx_knn_dtw(messi, source, q, band, k)?
                     }
                 })
             }),
@@ -594,6 +602,20 @@ impl DiskIndex {
         queries: &[&[f32]],
         spec: &QuerySpec,
     ) -> Result<(Vec<Vec<Match>>, BatchStats), Error> {
+        self.run_spec_sharded(&self.file, queries, spec, None)
+    }
+
+    /// [`run_spec`](Self::run_spec) parameterized for scatter-gather use
+    /// (see [`MemoryIndex::run_spec_sharded`]): `source` is normally the
+    /// index's own dataset file, `shard` threads the cross-shard pruners
+    /// through the exact cells.
+    pub(crate) fn run_spec_sharded<S: RawSource>(
+        &self,
+        source: &S,
+        queries: &[&[f32]],
+        spec: &QuerySpec,
+        shard: Option<ShardView<'_>>,
+    ) -> Result<(Vec<Vec<Match>>, BatchStats), Error> {
         let mut clock = PhaseClock::start();
         spec.validate(self.file.series_len(), queries)?;
         let k = spec.k();
@@ -602,50 +624,50 @@ impl DiskIndex {
         let (matches, mut stats) = (match spec.fidelity_kind() {
             Fidelity::Exact => match spec.measure_kind() {
                 Measure::Euclidean => match &self.inner {
-                    DiskInner::Ads(ads) => {
-                        Ok(dsidx_ads::exact_knn_batch(ads, &self.file, queries, k)?)
-                    }
-                    DiskInner::Paris(paris) => Ok(dsidx_paris::exact_knn_batch(
-                        paris, &self.file, queries, k, threads,
+                    DiskInner::Ads(ads) => Ok(dsidx_ads::exact_knn_batch_shared(
+                        ads, source, queries, k, shard,
+                    )?),
+                    DiskInner::Paris(paris) => Ok(dsidx_paris::exact_knn_batch_shared(
+                        paris, source, queries, k, threads, shard,
                     )?),
                     DiskInner::Messi(messi) => {
                         let cfg = self.options.messi_config(self.file.series_len())?;
-                        Ok(dsidx_messi::exact_knn_batch(
-                            messi, &self.file, queries, k, &cfg,
+                        Ok(dsidx_messi::exact_knn_batch_shared(
+                            messi, source, queries, k, &cfg, shard,
                         )?)
                     }
                 },
                 Measure::Dtw { band } => match &self.inner {
                     DiskInner::Messi(messi) => {
                         let cfg = self.options.messi_config(self.file.series_len())?;
-                        Ok(dsidx_messi::exact_knn_dtw_batch(
-                            messi, &self.file, queries, band, k, &cfg,
+                        Ok(dsidx_messi::exact_knn_dtw_batch_shared(
+                            messi, source, queries, band, k, &cfg, shard,
                         )?)
                     }
-                    _ => Ok(dsidx_ucr::knn_dtw_batch_parallel_with_stats(
-                        &self.file, queries, band, k, threads,
+                    _ => Ok(dsidx_ucr::knn_dtw_batch_parallel_with_stats_shared(
+                        source, queries, band, k, threads, shard,
                     )?),
                 },
             },
             Fidelity::Approximate => approx_batch(queries, |q| {
                 Ok(match (&self.inner, spec.measure_kind()) {
                     (DiskInner::Ads(ads), Measure::Euclidean) => {
-                        dsidx_ads::approx_knn(ads, &self.file, q, k)?
+                        dsidx_ads::approx_knn(ads, source, q, k)?
                     }
                     (DiskInner::Ads(ads), Measure::Dtw { band }) => {
-                        dsidx_ads::approx_knn_dtw(ads, &self.file, q, band, k)?
+                        dsidx_ads::approx_knn_dtw(ads, source, q, band, k)?
                     }
                     (DiskInner::Paris(paris), Measure::Euclidean) => {
-                        dsidx_paris::approx_knn(paris, &self.file, q, k)?
+                        dsidx_paris::approx_knn(paris, source, q, k)?
                     }
                     (DiskInner::Paris(paris), Measure::Dtw { band }) => {
-                        dsidx_paris::approx_knn_dtw(paris, &self.file, q, band, k)?
+                        dsidx_paris::approx_knn_dtw(paris, source, q, band, k)?
                     }
                     (DiskInner::Messi(messi), Measure::Euclidean) => {
-                        dsidx_messi::approx_knn(messi, &self.file, q, k)?
+                        dsidx_messi::approx_knn(messi, source, q, k)?
                     }
                     (DiskInner::Messi(messi), Measure::Dtw { band }) => {
-                        dsidx_messi::approx_knn_dtw(messi, &self.file, q, band, k)?
+                        dsidx_messi::approx_knn_dtw(messi, source, q, band, k)?
                     }
                 })
             }),

@@ -73,6 +73,7 @@ pub mod error;
 pub mod options;
 pub mod prelude;
 pub mod search;
+pub mod shard;
 pub mod spec;
 
 pub use answers::Answers;
@@ -80,6 +81,7 @@ pub use engine::{DiskIndex, Engine, MemoryIndex};
 pub use error::{Error, InvalidSpec};
 pub use options::Options;
 pub use search::Search;
+pub use shard::ShardedIndex;
 pub use spec::{Fidelity, Measure, QuerySpec};
 
 pub use dsidx_ads as ads;

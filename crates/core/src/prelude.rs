@@ -5,6 +5,7 @@ pub use crate::engine::{DiskIndex, Engine, MemoryIndex};
 pub use crate::error::{Error, InvalidSpec};
 pub use crate::options::Options;
 pub use crate::search::Search;
+pub use crate::shard::ShardedIndex;
 pub use crate::spec::{Fidelity, Measure, QuerySpec};
 pub use dsidx_query::{BatchStats, QueryStats};
 pub use dsidx_series::gen::DatasetKind;

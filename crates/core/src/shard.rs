@@ -1,0 +1,609 @@
+//! Sharded scatter-gather search: one logical index, N physical shards.
+//!
+//! A [`ShardedIndex`] partitions a dataset into `N` deterministic
+//! contiguous slices (see [`partition`]), builds one ordinary engine index
+//! per slice ([`MemoryIndex`] or [`DiskIndex`]), and answers every
+//! [`QuerySpec`] cell by scattering the batch to all shards and gathering
+//! one global answer — the classic first step from "one index on one
+//! machine" toward distributed data-series indexing.
+//!
+//! Two properties make the gather exact and fast:
+//!
+//! * **Global positions.** Each shard's kernels record candidate
+//!   positions rebased by the shard's first global position (an
+//!   [`OffsetTopK`](dsidx_sync::OffsetTopK) view), so the deterministic
+//!   `(distance, lowest global position)` tie-break of a monolithic index
+//!   is preserved bit-for-bit.
+//! * **Mid-flight BSF sharing.** At exact fidelity all shards feed *one*
+//!   [`SharedPruners`] collector per query: a tight match found in shard
+//!   0 immediately raises the abandon threshold shards `1..N` prune
+//!   against, so the total candidates verified shrinks below what `N`
+//!   independent searches would pay. Sharing only ever *tightens*
+//!   thresholds, so exact answers stay element-wise bit-identical to a
+//!   monolithic index over the concatenated dataset. The
+//!   [`with_bsf_sharing`](ShardedIndex::with_bsf_sharing) toggle exists
+//!   for A/B measurement (the `shards` bench experiment asserts the
+//!   candidate-count win).
+//!
+//! At approximate fidelity each shard's tree is probed independently (the
+//! per-shard trees are not the monolith's tree, so there is no shared
+//! threshold to maintain) and the coordinator keeps the `k` best
+//! `(distance, global position)` pairs — still deterministic, and still
+//! subject to the approximate contract (distances never beat exact ones
+//! at the same rank).
+//!
+//! Shards search in parallel on plain scoped threads; the engines' pool
+//! broadcasts all go through the per-size cached global
+//! [`WorkerPool`](dsidx_sync::WorkerPool), so `N` shards share one pool
+//! instead of spawning `N * threads` workers.
+
+use crate::answers::Answers;
+use crate::engine::{trace_search, DiskIndex, Engine, MemoryIndex};
+use crate::error::Error;
+use crate::options::Options;
+use crate::search::Search;
+use crate::spec::{Fidelity, QuerySpec};
+use dsidx_query::{BatchStats, QueryStats, ShardView, SharedPruners};
+use dsidx_series::{Dataset, Match};
+use dsidx_storage::{Device, DeviceProfile, FlakySource, RawSource, StorageError};
+use std::ops::Range;
+use std::path::Path;
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+/// Shard-labeled search latency histogram (nanoseconds per shard per
+/// `search` call).
+const SHARD_SEARCH_NANOS: &str = "dsidx_shard_search_nanos";
+/// Shard-labeled count of candidates verified (real distances fully
+/// computed) — the number the BSF-sharing win shrinks.
+const SHARD_VERIFIED_TOTAL: &str = "dsidx_shard_verified_total";
+
+/// Distinguishes the split dataset files of concurrent (or repeated)
+/// on-disk sharded builds in one process.
+static SHARD_SEQ: std::sync::atomic::AtomicU64 = std::sync::atomic::AtomicU64::new(0);
+
+/// The deterministic contiguous partition rule: `total` series over
+/// `shards` slices, slice `i` holding `total / shards` series plus one
+/// extra for the first `total % shards` slices, each starting where the
+/// previous one ended. Shard `i`'s first global position is
+/// `ranges[i].start`.
+///
+/// # Panics
+/// Panics if `shards == 0`.
+#[must_use]
+pub fn partition(total: usize, shards: usize) -> Vec<Range<usize>> {
+    assert!(shards > 0, "at least one shard");
+    let (each, extra) = (total / shards, total % shards);
+    let mut ranges = Vec::with_capacity(shards);
+    let mut start = 0;
+    for i in 0..shards {
+        let len = each + usize::from(i < extra);
+        ranges.push(start..start + len);
+        start += len;
+    }
+    ranges
+}
+
+/// Per-shard answer: the shard-local matches plus its merged stats.
+type ShardOutput = Result<(Vec<Vec<Match>>, BatchStats), Error>;
+
+enum ShardIndex {
+    Memory(Box<MemoryIndex>),
+    Disk(Box<DiskIndex>),
+}
+
+/// One shard: an ordinary engine index over a contiguous slice, plus the
+/// slice's global offset and an optional fault-injecting source override.
+struct Shard {
+    index: ShardIndex,
+    base: u32,
+    count: usize,
+    flaky: Option<FlakySource>,
+}
+
+impl Shard {
+    /// Runs the spec on this shard, reading raw series from the shard's
+    /// own source (or its fault-injecting override) and feeding the
+    /// cross-shard pruners when `view` is set.
+    fn run(
+        &self,
+        queries: &[&[f32]],
+        spec: &QuerySpec,
+        view: Option<ShardView<'_>>,
+    ) -> ShardOutput {
+        match (&self.index, &self.flaky) {
+            (ShardIndex::Memory(m), None) => m.run_spec_sharded(m.data(), queries, spec, view),
+            (ShardIndex::Memory(m), Some(f)) => m.run_spec_sharded(f, queries, spec, view),
+            (ShardIndex::Disk(d), None) => d.run_spec_sharded(d.file(), queries, spec, view),
+            (ShardIndex::Disk(d), Some(f)) => d.run_spec_sharded(f, queries, spec, view),
+        }
+    }
+
+    /// Materializes the shard's raw source as an in-memory dataset (used
+    /// to wrap it in a [`FlakySource`]).
+    fn materialize(&self) -> Result<Dataset, Error> {
+        match &self.index {
+            ShardIndex::Memory(m) => Ok(m.data().clone()),
+            ShardIndex::Disk(d) => {
+                let file = d.file();
+                let series_len = file.series_len();
+                let mut flat = Vec::with_capacity(file.count() * series_len);
+                let mut buf = vec![0.0f32; series_len];
+                for pos in 0..file.count() {
+                    file.read_into(pos, &mut buf)?;
+                    flat.extend_from_slice(&buf);
+                }
+                Ok(Dataset::from_flat(flat, series_len)?)
+            }
+        }
+    }
+}
+
+/// One logical index over `N` engine shards, searched scatter-gather with
+/// mid-flight BSF sharing (see the [module docs](self)).
+///
+/// Implements [`Search`], so every `QuerySpec` cell — engine × measure ×
+/// fidelity × single/batch — drops in unchanged:
+///
+/// ```
+/// use dsidx::prelude::*;
+/// use dsidx::ShardedIndex;
+///
+/// let data = DatasetKind::Synthetic.generate(1_000, 64, 9);
+/// let queries = DatasetKind::Synthetic.queries(2, 64, 9);
+/// let sharded =
+///     ShardedIndex::build_in_memory(&data, 4, Engine::Messi, &Options::default()).unwrap();
+/// let monolith = MemoryIndex::build(data, Engine::Messi, &Options::default()).unwrap();
+///
+/// let batch: Vec<&[f32]> = queries.iter().collect();
+/// let spec = QuerySpec::knn(5);
+/// // Exact answers are element-wise bit-identical to the monolith.
+/// assert_eq!(
+///     sharded.search(&batch, &spec).unwrap().matches(),
+///     monolith.search(&batch, &spec).unwrap().matches(),
+/// );
+/// ```
+pub struct ShardedIndex {
+    shards: Vec<Shard>,
+    engine: Engine,
+    series_len: usize,
+    total: usize,
+    share_bsf: bool,
+}
+
+impl ShardedIndex {
+    /// Builds `shards` in-memory engine indexes, one per [`partition`]
+    /// slice of `data`.
+    ///
+    /// # Errors
+    /// Configuration errors (series length vs segments etc.).
+    ///
+    /// # Panics
+    /// Panics if `shards == 0`.
+    pub fn build_in_memory(
+        data: &Dataset,
+        shards: usize,
+        engine: Engine,
+        options: &Options,
+    ) -> Result<Self, Error> {
+        let series_len = data.series_len();
+        let mut built = Vec::with_capacity(shards);
+        for range in partition(data.len(), shards) {
+            let mut flat = Vec::with_capacity(range.len() * series_len);
+            for pos in range.clone() {
+                flat.extend_from_slice(data.get(pos));
+            }
+            let part = Dataset::from_flat(flat, series_len)?;
+            built.push(Shard {
+                index: ShardIndex::Memory(Box::new(MemoryIndex::build(part, engine, options)?)),
+                base: u32::try_from(range.start).expect("dataset positions fit in u32"),
+                count: range.len(),
+                flaky: None,
+            });
+        }
+        Ok(Self {
+            shards: built,
+            engine,
+            series_len,
+            total: data.len(),
+            share_bsf: true,
+        })
+    }
+
+    /// Splits the dataset file at `dataset_path` into `shards` contiguous
+    /// shard files inside `workdir` (the split itself is unthrottled
+    /// preparation) and builds one on-disk engine index per shard, each
+    /// charging its build and query reads to the modeled `profile`.
+    ///
+    /// # Errors
+    /// I/O and configuration failures.
+    ///
+    /// # Panics
+    /// Panics if `shards == 0`.
+    pub fn build_on_disk(
+        dataset_path: &Path,
+        workdir: &Path,
+        shards: usize,
+        engine: Engine,
+        options: &Options,
+        profile: DeviceProfile,
+    ) -> Result<Self, Error> {
+        let device = Arc::new(Device::unthrottled());
+        let file = dsidx_storage::DatasetFile::open(dataset_path, Arc::clone(&device))?;
+        let series_len = file.series_len();
+        let total = file.count();
+        std::fs::create_dir_all(workdir).map_err(StorageError::from)?;
+        let seq = SHARD_SEQ.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+        let mut built = Vec::with_capacity(shards);
+        for (s, range) in partition(total, shards).into_iter().enumerate() {
+            let mut flat = Vec::with_capacity(range.len() * series_len);
+            let mut buf = vec![0.0f32; series_len];
+            for pos in range.clone() {
+                file.read_into(pos, &mut buf)?;
+                flat.extend_from_slice(&buf);
+            }
+            let part = Dataset::from_flat(flat, series_len)?;
+            let shard_path = workdir.join(format!(
+                "dsidx-shard-{}-{seq}-{s}.dsidx",
+                std::process::id()
+            ));
+            dsidx_storage::write_dataset(&shard_path, &part, Arc::clone(&device))?;
+            built.push(Shard {
+                index: ShardIndex::Disk(Box::new(DiskIndex::build(
+                    &shard_path,
+                    workdir,
+                    engine,
+                    options,
+                    profile,
+                )?)),
+                base: u32::try_from(range.start).expect("dataset positions fit in u32"),
+                count: range.len(),
+                flaky: None,
+            });
+        }
+        Ok(Self {
+            shards: built,
+            engine,
+            series_len,
+            total,
+            share_bsf: true,
+        })
+    }
+
+    /// The engine every shard was built with.
+    #[must_use]
+    pub fn engine(&self) -> Engine {
+        self.engine
+    }
+
+    /// Number of shards.
+    #[must_use]
+    pub fn shard_count(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// Total series indexed across all shards.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.total
+    }
+
+    /// `true` for an index over zero series.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.total == 0
+    }
+
+    /// Whether exact searches share one BSF across shards (on by
+    /// default).
+    #[must_use]
+    pub fn bsf_sharing(&self) -> bool {
+        self.share_bsf
+    }
+
+    /// Enables or disables cross-shard BSF sharing (builder style).
+    ///
+    /// With sharing off, exact searches run each shard fully
+    /// independently and merge the per-shard top-k lists afterwards —
+    /// same answers, strictly more candidates verified at `shards >= 2`.
+    /// Exists for A/B measurement; leave it on otherwise.
+    #[must_use]
+    pub fn with_bsf_sharing(mut self, share: bool) -> Self {
+        self.share_bsf = share;
+        self
+    }
+
+    /// Test support: wraps shard `shard`'s raw reads in a
+    /// [`FlakySource`] allowing `reads_before_failure` successful reads
+    /// before every read fails — the shape of one shard's device dying
+    /// mid-query. Errors surface as `during <phase> (shard <s>, ...)`.
+    ///
+    /// # Errors
+    /// I/O failures while materializing an on-disk shard.
+    ///
+    /// # Panics
+    /// Panics if `shard` is out of range.
+    pub fn fault_inject_shard(
+        &mut self,
+        shard: usize,
+        reads_before_failure: u64,
+    ) -> Result<(), Error> {
+        let data = self.shards[shard].materialize()?;
+        self.shards[shard].flaky = Some(FlakySource::new(data, reads_before_failure));
+        Ok(())
+    }
+
+    /// The scatter-gather coordinator behind [`Search::search`].
+    fn run_spec(&self, queries: &[&[f32]], spec: &QuerySpec) -> ShardOutput {
+        spec.validate(self.series_len, queries)?;
+        let sharing = self.share_bsf && matches!(spec.fidelity_kind(), Fidelity::Exact);
+        let pruners = sharing.then(|| SharedPruners::new(queries.len(), spec.k()));
+
+        // Scatter: one coordinator thread per shard. These must be plain
+        // threads, never pool tasks — the engines broadcast on the shared
+        // global pool, and broadcasting from inside a pool task
+        // self-deadlocks. Broadcasts from different shards serialize on
+        // the pool's run lock; the serial parts overlap.
+        let results: Vec<(ShardOutput, Duration)> = std::thread::scope(|scope| {
+            let handles: Vec<_> = self
+                .shards
+                .iter()
+                .enumerate()
+                .map(|(s, shard)| {
+                    let pruners = pruners.as_ref();
+                    scope.spawn(move || {
+                        let start = Instant::now();
+                        let view = pruners.map(|p| p.view(shard.base));
+                        let out = shard.run(queries, spec, view).map_err(|e| match e {
+                            Error::Storage(err) => Error::Storage(err.for_shard(s as u64)),
+                            other => other,
+                        });
+                        (out, start.elapsed())
+                    })
+                })
+                .collect();
+            handles
+                .into_iter()
+                .map(|h| h.join().expect("shard search thread panicked"))
+                .collect()
+        });
+
+        // Gather: propagate the first failure (in shard order, for a
+        // deterministic report), merge the stats, record per-shard obs.
+        let mut parts = Vec::with_capacity(results.len());
+        for (s, (result, elapsed)) in results.into_iter().enumerate() {
+            let (matches, stats) = result?;
+            record_shard_obs(s, elapsed, &stats);
+            parts.push((matches, stats));
+        }
+
+        let matches = match &pruners {
+            // BSF sharing: the collectors already hold the global answer
+            // (global positions, deduped, `(distance, position)`-ordered).
+            Some(p) => p.matches(),
+            // Independent shards: rebase local positions and keep the k
+            // smallest `(distance, global position)` pairs per query.
+            None => {
+                let mut merged: Vec<Vec<Match>> = vec![Vec::new(); queries.len()];
+                for (shard, (shard_matches, _)) in self.shards.iter().zip(&parts) {
+                    for (qi, ms) in shard_matches.iter().enumerate() {
+                        merged[qi]
+                            .extend(ms.iter().map(|m| Match::new(shard.base + m.pos, m.dist_sq)));
+                    }
+                }
+                for ms in &mut merged {
+                    ms.sort_unstable_by(|a, b| {
+                        a.dist_sq
+                            .partial_cmp(&b.dist_sq)
+                            .expect("finite distances")
+                            .then(a.pos.cmp(&b.pos))
+                    });
+                    ms.truncate(spec.k());
+                }
+                merged
+            }
+        };
+
+        if pruners.is_some() && dsidx_obs::trace::enabled() {
+            trace_bsf_wins(&self.shards, &matches);
+        }
+
+        let mut stats = BatchStats {
+            per_query: vec![QueryStats::default(); queries.len()],
+            ..BatchStats::default()
+        };
+        for (_, p) in &parts {
+            stats.broadcasts += p.broadcasts;
+            stats.series_fetched += p.series_fetched;
+            stats.series_requests += p.series_requests;
+            stats.shared = stats.shared.merged(&p.shared);
+            for (m, q) in stats.per_query.iter_mut().zip(&p.per_query) {
+                *m = m.merged(q);
+            }
+        }
+        Ok((matches, stats))
+    }
+}
+
+impl Search for ShardedIndex {
+    fn search(&self, queries: &[&[f32]], spec: &QuerySpec) -> Result<Answers, Error> {
+        trace_search("sharded", self.engine, queries.len(), spec);
+        let (matches, stats) = self.run_spec(queries, spec)?;
+        Ok(Answers::new(
+            matches,
+            spec.stats_requested().then_some(stats),
+        ))
+    }
+}
+
+/// Records one shard's contribution to the labeled registry metrics and
+/// the trace stream: search latency under `dsidx_shard_search_nanos`,
+/// candidates verified under `dsidx_shard_verified_total`, plus a
+/// `shard_search` trace event carrying both.
+fn record_shard_obs(shard: usize, elapsed: Duration, stats: &BatchStats) {
+    let verified =
+        stats.shared.real_computed + stats.per_query.iter().map(|q| q.real_computed).sum::<u64>();
+    let nanos = u64::try_from(elapsed.as_nanos()).unwrap_or(u64::MAX);
+    if dsidx_obs::enabled() {
+        let label = shard.to_string();
+        // 1us .. ~4s per shard search.
+        let bounds = dsidx_obs::registry::exponential_bounds(1_000, 4, 12);
+        dsidx_obs::registry::labeled_histogram(
+            SHARD_SEARCH_NANOS,
+            "Nanoseconds one shard spent answering its slice of a search",
+            "shard",
+            &label,
+            &bounds,
+        )
+        .observe(nanos);
+        dsidx_obs::registry::labeled_counter(
+            SHARD_VERIFIED_TOTAL,
+            "Candidates verified (real distances fully computed) per shard",
+            "shard",
+            &label,
+        )
+        .add(verified);
+    }
+    if dsidx_obs::trace::enabled() {
+        use dsidx_obs::trace::Value;
+        dsidx_obs::trace::emit(
+            "shard_search",
+            &[
+                ("shard", Value::U64(shard as u64)),
+                ("nanos", Value::U64(nanos)),
+                ("verified", Value::U64(verified)),
+            ],
+        );
+    }
+}
+
+/// Emits one `shard_bsf_win` trace event per (query, shard) whose inserts
+/// survived into the final top-k — the shards whose candidates improved
+/// the shared BSF and held their rank to the end.
+fn trace_bsf_wins(shards: &[Shard], matches: &[Vec<Match>]) {
+    use dsidx_obs::trace::Value;
+    for (qi, ms) in matches.iter().enumerate() {
+        for (s, shard) in shards.iter().enumerate() {
+            let hi = shard.base + u32::try_from(shard.count).expect("shard sizes fit in u32");
+            let entries = ms
+                .iter()
+                .filter(|m| m.pos >= shard.base && m.pos < hi)
+                .count() as u64;
+            if entries > 0 {
+                dsidx_obs::trace::emit(
+                    "shard_bsf_win",
+                    &[
+                        ("query", Value::U64(qi as u64)),
+                        ("shard", Value::U64(s as u64)),
+                        ("entries", Value::U64(entries)),
+                    ],
+                );
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::spec::Measure;
+    use dsidx_series::gen::DatasetKind;
+
+    #[test]
+    fn partition_is_contiguous_and_balanced() {
+        for total in [0usize, 1, 7, 100, 101, 103] {
+            for shards in [1usize, 2, 3, 8] {
+                let ranges = partition(total, shards);
+                assert_eq!(ranges.len(), shards);
+                assert_eq!(ranges[0].start, 0);
+                assert_eq!(ranges.last().unwrap().end, total);
+                for w in ranges.windows(2) {
+                    assert_eq!(w[0].end, w[1].start, "contiguous");
+                    assert!(
+                        w[0].len() == w[1].len() || w[0].len() == w[1].len() + 1,
+                        "larger slices come first"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn sharded_exact_matches_monolith_bit_for_bit() {
+        let data = DatasetKind::Synthetic.generate(600, 64, 17);
+        let opts = Options::default().with_threads(3).with_leaf_capacity(16);
+        let qs = DatasetKind::Synthetic.queries(3, 64, 17);
+        let qrefs: Vec<&[f32]> = qs.iter().collect();
+        for engine in Engine::ALL {
+            let monolith = MemoryIndex::build(data.clone(), engine, &opts).unwrap();
+            for shards in [1usize, 3, 4] {
+                let sharded = ShardedIndex::build_in_memory(&data, shards, engine, &opts).unwrap();
+                assert_eq!(sharded.shard_count(), shards);
+                assert_eq!(sharded.len(), 600);
+                for spec in [
+                    QuerySpec::nn(),
+                    QuerySpec::knn(7),
+                    QuerySpec::knn(4).measure(Measure::Dtw { band: 4 }),
+                ] {
+                    let want = monolith.search(&qrefs, &spec).unwrap();
+                    let got = sharded.search(&qrefs, &spec).unwrap();
+                    assert_eq!(
+                        got.matches(),
+                        want.matches(),
+                        "{} shards={shards}",
+                        engine.name()
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn sharing_disabled_gives_the_same_answers() {
+        let data = DatasetKind::Sald.generate(400, 64, 23);
+        let opts = Options::default().with_threads(2).with_leaf_capacity(16);
+        let qs = DatasetKind::Sald.queries(2, 64, 23);
+        let qrefs: Vec<&[f32]> = qs.iter().collect();
+        let shared = ShardedIndex::build_in_memory(&data, 3, Engine::Messi, &opts).unwrap();
+        let isolated = ShardedIndex::build_in_memory(&data, 3, Engine::Messi, &opts)
+            .unwrap()
+            .with_bsf_sharing(false);
+        assert!(shared.bsf_sharing());
+        assert!(!isolated.bsf_sharing());
+        let spec = QuerySpec::knn(6).with_stats();
+        let a = shared.search(&qrefs, &spec).unwrap();
+        let b = isolated.search(&qrefs, &spec).unwrap();
+        assert_eq!(a.matches(), b.matches());
+    }
+
+    #[test]
+    fn fault_injected_shard_reports_shard_and_query_context() {
+        let data = DatasetKind::Synthetic.generate(300, 64, 31);
+        let opts = Options::default().with_threads(2).with_leaf_capacity(16);
+        let qs = DatasetKind::Synthetic.queries(2, 64, 31);
+        let qrefs: Vec<&[f32]> = qs.iter().collect();
+        let mut sharded = ShardedIndex::build_in_memory(&data, 3, Engine::Messi, &opts).unwrap();
+        sharded.fault_inject_shard(1, 0).unwrap();
+        // Exact: the error names the phase and the failing shard.
+        let err = sharded
+            .search(&qrefs, &QuerySpec::knn(3))
+            .expect_err("shard 1 cannot read anything");
+        let msg = err.to_string();
+        assert!(
+            msg.contains("during") && msg.contains("(shard 1)"),
+            "unexpected message: {msg}"
+        );
+        // Approximate: the per-query loop adds the query index too.
+        let err = sharded
+            .search(&qrefs, &QuerySpec::knn(3).fidelity(Fidelity::Approximate))
+            .expect_err("shard 1 cannot read anything");
+        let msg = err.to_string();
+        assert!(
+            msg.contains("(shard 1, query 0)"),
+            "unexpected message: {msg}"
+        );
+        // The healthy shards still answer once the faulty one is benched.
+        let healthy = ShardedIndex::build_in_memory(&data, 3, Engine::Messi, &opts).unwrap();
+        assert!(healthy.search(&qrefs, &QuerySpec::knn(3)).is_ok());
+    }
+}

@@ -38,7 +38,7 @@ use dsidx_obs::phase::{Phase, PhaseBreakdown, PhaseClock};
 use dsidx_query::{
     approx_leaf_flat, batch_process_leaf_entries, batch_seed_positions, finish_knn,
     process_leaf_entries, seed_from_entries, AtomicQueryStats, BatchStats, ErrorSlot,
-    PreparedQuery, Pruner, QueryBatch, QueryStats, SeriesFetcher, SharedTopK,
+    PreparedQuery, Pruner, QueryBatch, QueryStats, SeriesFetcher, ShardView, SharedTopK,
 };
 use dsidx_series::Match;
 use dsidx_storage::{RawSource, StorageError};
@@ -222,6 +222,30 @@ pub fn exact_knn_batch(
     k: usize,
     cfg: &MessiConfig,
 ) -> Result<(Vec<Vec<Match>>, BatchStats), StorageError> {
+    exact_knn_batch_shared(messi, source, queries, k, cfg, None)
+}
+
+/// [`exact_knn_batch`] with an optional cross-shard pruner view (see
+/// [`SharedPruners`](dsidx_query::SharedPruners)): with `shard` set, the
+/// traversal and queue-processing phases prune against thresholds that
+/// other shards tighten mid-flight, and recorded positions are rebased to
+/// global. The returned matches then reflect the whole gather so far; the
+/// coordinator uses this return value for stats and reads the final answer
+/// from the shared pruners after every shard joined.
+///
+/// # Errors
+/// Propagates raw-source I/O failures.
+///
+/// # Panics
+/// As [`exact_knn_batch`].
+pub fn exact_knn_batch_shared(
+    messi: &MessiIndex,
+    source: &impl RawSource,
+    queries: &[&[f32]],
+    k: usize,
+    cfg: &MessiConfig,
+    shard: Option<ShardView<'_>>,
+) -> Result<(Vec<Vec<Match>>, BatchStats), StorageError> {
     let config = messi.index.config();
     for q in queries {
         assert_eq!(q.len(), config.series_len(), "query length mismatch");
@@ -230,7 +254,7 @@ pub fn exact_knn_batch(
     let flat = &messi.flat;
     let quantizer = config.quantizer();
     let mut clock = PhaseClock::start();
-    let batch = QueryBatch::new(quantizer, queries, k);
+    let batch = QueryBatch::for_shard(quantizer, queries, k, shard);
     let prepare_nanos = clock.lap();
     if flat.entry_count() == 0 || batch.is_empty() {
         return Ok(batch.finish(0, QueryStats::default()));

@@ -21,7 +21,7 @@ use dsidx_query::{
     approx_leaf, batch_collect_candidates, batch_seed_positions, batch_seed_prefix,
     batch_verify_candidates, collect_candidates, finish_knn, seed_from_entries, verify_candidates,
     AtomicQueryStats, BatchCandidate, BatchStats, DtwPrepared, ErrorSlot, PreparedQuery, Pruner,
-    QueryBatch, QueryStats, SeriesFetcher, SharedTopK,
+    QueryBatch, QueryStats, SeriesFetcher, ShardView, SharedTopK,
 };
 use dsidx_series::distance::dtw::{dtw_sq_bounded, lb_keogh_sq_bounded};
 use dsidx_series::distance::euclidean_sq_bounded;
@@ -92,10 +92,11 @@ fn run_exact<P: Pruner>(
     // real distances for its entries. In on-disk mode the leaf was
     // materialized, so charge its read-back from the leaf store.
     let leaf = approx_leaf(&paris.index, &prep.word).expect("non-empty index has a non-empty leaf");
-    charge_leaf_read(paris, leaf)?;
+    charge_leaf_read(paris, leaf).map_err(|e| e.in_phase(Phase::Seed.name()))?;
     let mut fetcher = SeriesFetcher::new(source);
     let entries = leaf.entries().expect("leaves are resident");
-    let approx_real = seed_from_entries(entries, &mut fetcher, query, pruner)?;
+    let approx_real = seed_from_entries(entries, &mut fetcher, query, pruner)
+        .map_err(|e| e.in_phase(Phase::Seed.name()))?;
     phase.record(Phase::Seed, clock.lap());
 
     // Step 2: parallel lower-bound pruning over the SAX array.
@@ -233,13 +234,37 @@ pub fn exact_knn_batch(
     k: usize,
     threads: usize,
 ) -> Result<(Vec<Vec<Match>>, BatchStats), StorageError> {
+    exact_knn_batch_shared(paris, source, queries, k, threads, None)
+}
+
+/// [`exact_knn_batch`] with an optional cross-shard pruner view (see
+/// [`SharedPruners`](dsidx_query::SharedPruners)): with `shard` set, both
+/// pool phases prune against thresholds that other shards tighten
+/// mid-flight, and recorded positions are rebased to global. The returned
+/// matches then reflect the whole gather so far; the coordinator uses this
+/// return value for stats and reads the final answer from the shared
+/// pruners after every shard joined.
+///
+/// # Errors
+/// Propagates raw-source and leaf-store I/O failures.
+///
+/// # Panics
+/// As [`exact_knn_batch`].
+pub fn exact_knn_batch_shared(
+    paris: &ParisIndex,
+    source: &impl RawSource,
+    queries: &[&[f32]],
+    k: usize,
+    threads: usize,
+    shard: Option<ShardView<'_>>,
+) -> Result<(Vec<Vec<Match>>, BatchStats), StorageError> {
     let config = paris.index.config();
     for q in queries {
         assert_eq!(q.len(), config.series_len(), "query length mismatch");
     }
     assert!(threads > 0, "thread count must be non-zero");
     let mut clock = PhaseClock::start();
-    let batch = QueryBatch::new(config.quantizer(), queries, k);
+    let batch = QueryBatch::for_shard(config.quantizer(), queries, k, shard);
     let prepare_nanos = clock.lap();
     if paris.index.is_empty() || batch.is_empty() {
         return Ok(batch.finish(0, QueryStats::default()));
@@ -259,7 +284,7 @@ pub fn exact_knn_batch(
     }
     let mut positions: Vec<u32> = Vec::new();
     for leaf in &leaves {
-        charge_leaf_read(paris, leaf)?;
+        charge_leaf_read(paris, leaf).map_err(|e| e.in_phase(Phase::Seed.name()))?;
         positions.extend(
             leaf.entries()
                 .expect("leaves are resident")
@@ -270,9 +295,10 @@ pub fn exact_knn_batch(
     positions.sort_unstable();
     positions.dedup();
     let mut fetcher = SeriesFetcher::new(source);
-    batch_seed_positions(&positions, &mut fetcher, &batch)?;
+    batch_seed_positions(&positions, &mut fetcher, &batch)
+        .map_err(|e| e.in_phase(Phase::Seed.name()))?;
     let warm = k.saturating_mul(KNN_WARM_PER_NEIGHBOR).min(source.count());
-    batch_seed_prefix(warm, &mut fetcher, &batch)?;
+    batch_seed_prefix(warm, &mut fetcher, &batch).map_err(|e| e.in_phase(Phase::Seed.name()))?;
     clock.lap_into(batch.phases(), Phase::Seed);
 
     // Step 2: one parallel lower-bound broadcast for the whole batch.

@@ -30,10 +30,11 @@ use dsidx_obs::phase::PhaseAcc;
 use dsidx_series::distance::euclidean_sq_bounded;
 use dsidx_series::Match;
 use dsidx_storage::{RawSource, StorageError};
-use dsidx_sync::{Pruner, SharedTopK};
+use dsidx_sync::{OffsetTopK, SharedTopK};
 use dsidx_tree::LeafEntry;
 use std::ops::Range;
 use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
 
 /// Per-query state inside a [`QueryBatch`]: the query's raw values, its
 /// prepared summaries, its own pruner and its own work counters.
@@ -43,11 +44,96 @@ pub struct BatchSlot<'q> {
     /// PAA summary, iSAX word and MINDIST table for this query.
     pub prep: PreparedQuery,
     /// This query's top-k collector — its threshold prunes only for this
-    /// query, never for its batch-mates.
-    pub topk: SharedTopK,
+    /// query, never for its batch-mates. An [`OffsetTopK`] view: a plain
+    /// per-batch collector for an ordinary batch, or a rebasing view into
+    /// one cross-shard [`SharedPruners`] collector for a sharded search.
+    pub topk: OffsetTopK,
     /// This query's work counters (shared-counter form, so parallel phases
     /// merge worker-local tallies without locks).
     pub stats: AtomicQueryStats,
+}
+
+/// One cross-shard pruner per query: the mid-flight BSF-sharing channel of
+/// a scatter-gather search.
+///
+/// Each shard builds its [`QueryBatch`] with
+/// [`QueryBatch::with_shared`], so all shards' kernel loops for query `i`
+/// feed `topks[i]` — a tight match found in one shard immediately raises
+/// the threshold every other shard prunes against. Positions inside the
+/// collectors are **global** (each shard's view rebases by its first
+/// global position), so the position-dedup and lowest-position tie-break
+/// operate on the concatenated dataset exactly as a monolithic index
+/// would.
+#[derive(Debug)]
+pub struct SharedPruners {
+    topks: Vec<Arc<SharedTopK>>,
+}
+
+impl SharedPruners {
+    /// One fresh k-collector per query.
+    ///
+    /// # Panics
+    /// Panics if `k == 0`.
+    #[must_use]
+    pub fn new(queries: usize, k: usize) -> Self {
+        Self {
+            topks: (0..queries).map(|_| Arc::new(SharedTopK::new(k))).collect(),
+        }
+    }
+
+    /// Number of queries.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.topks.len()
+    }
+
+    /// `true` for zero queries.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.topks.is_empty()
+    }
+
+    /// The per-query collectors, index-aligned with the queries.
+    #[must_use]
+    pub fn topks(&self) -> &[Arc<SharedTopK>] {
+        &self.topks
+    }
+
+    /// Per-query answers so far (sorted ascending by `(distance, global
+    /// position)`) — the gather step, read once after every shard joins.
+    #[must_use]
+    pub fn matches(&self) -> Vec<Vec<Match>> {
+        self.topks
+            .iter()
+            .map(|t| {
+                t.matches()
+                    .into_iter()
+                    .map(|(dist_sq, pos)| Match::new(pos, dist_sq))
+                    .collect()
+            })
+            .collect()
+    }
+
+    /// A shard's rebasing view: pass to an engine's batch entry point so
+    /// its kernels record positions as `base + local`.
+    #[must_use]
+    pub fn view(&self, base: u32) -> ShardView<'_> {
+        ShardView {
+            pruners: self,
+            base,
+        }
+    }
+}
+
+/// One shard's handle on the cross-shard [`SharedPruners`]: the pruners
+/// plus this shard's first global position. Engines' batch entry points
+/// take `Option<ShardView>` — `None` is the ordinary standalone batch.
+#[derive(Debug, Clone, Copy)]
+pub struct ShardView<'a> {
+    /// The per-query cross-shard collectors.
+    pub pruners: &'a SharedPruners,
+    /// Global position of this shard's local position 0.
+    pub base: u32,
 }
 
 /// A batch of exact k-NN queries answered by one shared schedule.
@@ -67,12 +153,61 @@ impl<'q> QueryBatch<'q> {
     /// series length (engines also assert this at their API boundary).
     #[must_use]
     pub fn new(quantizer: &Quantizer, queries: &[&'q [f32]], k: usize) -> Self {
+        Self::build(quantizer, queries, |_| OffsetTopK::fresh(k))
+    }
+
+    /// Prepares a batch whose per-query pruners are rebasing views into
+    /// `shared` (see [`SharedPruners`]): this batch's local position `p`
+    /// is recorded as global `base + p`. Used once per shard of a
+    /// scatter-gather search, with `base` the shard's first global
+    /// position.
+    ///
+    /// # Panics
+    /// Panics if `shared` does not hold exactly one pruner per query.
+    #[must_use]
+    pub fn with_shared(
+        quantizer: &Quantizer,
+        queries: &[&'q [f32]],
+        shared: &SharedPruners,
+        base: u32,
+    ) -> Self {
+        assert_eq!(shared.len(), queries.len(), "one shared pruner per query");
+        Self::build(quantizer, queries, |qi| {
+            OffsetTopK::shared(Arc::clone(&shared.topks()[qi]), base)
+        })
+    }
+
+    /// [`new`](Self::new) or [`with_shared`](Self::with_shared), chosen by
+    /// whether a shard view is present — the one-line dispatch every
+    /// engine's batch entry point uses.
+    ///
+    /// # Panics
+    /// As [`new`](Self::new) / [`with_shared`](Self::with_shared).
+    #[must_use]
+    pub fn for_shard(
+        quantizer: &Quantizer,
+        queries: &[&'q [f32]],
+        k: usize,
+        shard: Option<ShardView<'_>>,
+    ) -> Self {
+        match shard {
+            Some(v) => Self::with_shared(quantizer, queries, v.pruners, v.base),
+            None => Self::new(quantizer, queries, k),
+        }
+    }
+
+    fn build(
+        quantizer: &Quantizer,
+        queries: &[&'q [f32]],
+        mut topk: impl FnMut(usize) -> OffsetTopK,
+    ) -> Self {
         let slots = queries
             .iter()
-            .map(|&values| BatchSlot {
+            .enumerate()
+            .map(|(qi, &values)| BatchSlot {
                 values,
                 prep: PreparedQuery::new(quantizer, values),
-                topk: SharedTopK::new(k),
+                topk: topk(qi),
                 stats: AtomicQueryStats::new(),
             })
             .collect();
@@ -348,7 +483,9 @@ pub fn batch_scan_sax_serial(
             let slot = &batch.slots()[qi];
             // No stale-bound re-check needed: this loop is serial, each
             // query appears at most once per position, and verifications
-            // for other queries never touch this query's threshold.
+            // for other queries never touch this query's threshold. (A
+            // cross-shard sharer may tighten it concurrently — that only
+            // prunes more; the insert-time comparison stays authoritative.)
             let limit = slot.topk.threshold_sq();
             requests += 1;
             if let Some(d) = euclidean_sq_bounded(slot.values, series, limit) {

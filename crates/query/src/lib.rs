@@ -45,7 +45,7 @@ pub mod stats;
 pub use batch::{
     batch_collect_candidates, batch_process_leaf_entries, batch_scan_sax_serial,
     batch_seed_positions, batch_seed_prefix, batch_verify_candidates, BatchCandidate, BatchSlot,
-    BatchStats, QueryBatch,
+    BatchStats, QueryBatch, ShardView, SharedPruners,
 };
 pub use dtw::{
     batch_process_leaf_entries_dtw, batch_seed_positions_dtw, process_leaf_entries_dtw,
@@ -61,4 +61,4 @@ pub use scan::{
 pub use seed::{approx_leaf, approx_leaf_flat, seed_from_entries, seed_prefix};
 pub use stats::{AtomicQueryStats, QueryStats};
 
-pub use dsidx_sync::{Pruner, SharedTopK};
+pub use dsidx_sync::{OffsetTopK, Pruner, SharedTopK};

@@ -31,6 +31,9 @@ pub enum StorageError {
         /// The query phase that was executing (`"seed"`, `"verify"`,
         /// `"traversal"`, ...), when known.
         phase: Option<&'static str>,
+        /// The shard whose search tripped the error, when the index is
+        /// sharded.
+        shard: Option<u64>,
         /// The batch query index whose work tripped the error, when the
         /// failing operation served exactly one query.
         query: Option<u64>,
@@ -49,16 +52,19 @@ impl StorageError {
         match self {
             StorageError::Context {
                 phase: None,
+                shard,
                 query,
                 source,
             } => StorageError::Context {
                 phase: Some(phase),
+                shard,
                 query,
                 source,
             },
             e @ StorageError::Context { .. } => e,
             e => StorageError::Context {
                 phase: Some(phase),
+                shard: None,
                 query: None,
                 source: Box::new(e),
             },
@@ -73,17 +79,48 @@ impl StorageError {
         match self {
             StorageError::Context {
                 phase,
+                shard,
                 query: None,
                 source,
             } => StorageError::Context {
                 phase,
+                shard,
                 query: Some(query),
                 source,
             },
             e @ StorageError::Context { .. } => e,
             e => StorageError::Context {
                 phase: None,
+                shard: None,
                 query: Some(query),
+                source: Box::new(e),
+            },
+        }
+    }
+
+    /// Annotates this error with the shard whose search tripped it (same
+    /// first-annotation-wins rule as
+    /// [`in_phase`](StorageError::in_phase) — the shard coordinator is
+    /// the innermost site that knows the shard number).
+    #[must_use]
+    pub fn for_shard(self, shard: u64) -> StorageError {
+        match self {
+            StorageError::Context {
+                phase,
+                shard: None,
+                query,
+                source,
+            } => StorageError::Context {
+                phase,
+                shard: Some(shard),
+                query,
+                source,
+            },
+            e @ StorageError::Context { .. } => e,
+            e => StorageError::Context {
+                phase: None,
+                shard: Some(shard),
+                query: None,
                 source: Box::new(e),
             },
         }
@@ -113,14 +150,25 @@ impl fmt::Display for StorageError {
             StorageError::Series(e) => write!(f, "series error: {e}"),
             StorageError::Context {
                 phase,
+                shard,
                 query,
                 source,
             } => {
-                match (phase, query) {
-                    (Some(p), Some(q)) => write!(f, "during {p} (query {q}): ")?,
-                    (Some(p), None) => write!(f, "during {p}: ")?,
-                    (None, Some(q)) => write!(f, "for query {q}: ")?,
-                    (None, None) => {}
+                let mut tags = String::new();
+                if let Some(s) = shard {
+                    tags.push_str(&format!("shard {s}"));
+                }
+                if let Some(q) = query {
+                    if !tags.is_empty() {
+                        tags.push_str(", ");
+                    }
+                    tags.push_str(&format!("query {q}"));
+                }
+                match (phase, tags.is_empty()) {
+                    (Some(p), true) => write!(f, "during {p}: ")?,
+                    (Some(p), false) => write!(f, "during {p} ({tags}): ")?,
+                    (None, false) => write!(f, "for {tags}: ")?,
+                    (None, true) => {}
                 }
                 write!(f, "{source}")
             }
@@ -183,6 +231,28 @@ mod tests {
         let msg = e.to_string();
         assert_eq!(msg, "during verify (query 3): I/O error: disk gone");
         assert!(matches!(e.root_cause(), StorageError::Io(_)));
+    }
+
+    #[test]
+    fn context_display_names_shard_between_phase_and_query() {
+        let e: StorageError = std::io::Error::other("read fault").into();
+        let e = e.in_phase("verify").for_shard(2).for_query(5);
+        assert_eq!(
+            e.to_string(),
+            "during verify (shard 2, query 5): I/O error: read fault"
+        );
+        // Shard-only and shard-without-phase renderings.
+        let e = StorageError::BadMagic.in_phase("seed").for_shard(1);
+        assert_eq!(
+            e.to_string(),
+            "during seed (shard 1): not a dsidx dataset file (bad magic)"
+        );
+        let e = StorageError::BadMagic.for_shard(3).for_query(0);
+        assert!(e.to_string().starts_with("for shard 3, query 0: "));
+        // First annotation wins, like phase and query.
+        let e = StorageError::BadMagic.for_shard(4).for_shard(9);
+        assert!(e.to_string().contains("shard 4"));
+        assert!(!e.to_string().contains('9'));
     }
 
     #[test]

@@ -30,4 +30,4 @@ pub use best::AtomicBest;
 pub use pool::WorkerPool;
 pub use queue::WorkQueue;
 pub use slice::SyncSlice;
-pub use topk::{Pruner, SharedTopK};
+pub use topk::{OffsetTopK, Pruner, SharedTopK};

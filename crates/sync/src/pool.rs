@@ -357,16 +357,31 @@ impl Drop for WorkerPool {
 /// counts, as in the paper's figures, reuse them).
 #[must_use]
 pub fn global(threads: usize) -> Arc<WorkerPool> {
-    type PoolCache = Mutex<Vec<(usize, Arc<WorkerPool>)>>;
-    static POOLS: OnceLock<PoolCache> = OnceLock::new();
-    let pools = POOLS.get_or_init(|| Mutex::new(Vec::new()));
-    let mut pools = pools.lock();
+    let mut pools = pool_cache().lock();
     if let Some((_, pool)) = pools.iter().find(|(n, _)| *n == threads) {
         return Arc::clone(pool);
     }
     let pool = Arc::new(WorkerPool::new(threads));
     pools.push((threads, Arc::clone(&pool)));
     pool
+}
+
+type PoolCache = Mutex<Vec<(usize, Arc<WorkerPool>)>>;
+
+fn pool_cache() -> &'static PoolCache {
+    static POOLS: OnceLock<PoolCache> = OnceLock::new();
+    POOLS.get_or_init(|| Mutex::new(Vec::new()))
+}
+
+/// Total worker threads alive across every cached [`global`] pool.
+///
+/// The oversubscription guard for sharded indexes: N shards built or
+/// searched at the same thread count must route through *one* cached pool,
+/// so this total stays flat as shards multiply (rather than growing by
+/// `N × available_parallelism()`).
+#[must_use]
+pub fn cached_worker_total() -> usize {
+    pool_cache().lock().iter().map(|(n, _)| *n).sum()
 }
 
 #[cfg(test)]
@@ -480,6 +495,14 @@ mod tests {
         let c = global(5);
         assert_eq!(c.size(), 5);
         assert!(!Arc::ptr_eq(&a, &c));
+        // Repeated lookups at cached sizes never grow the worker census.
+        let before = cached_worker_total();
+        assert!(before >= 8, "3- and 5-worker pools are cached: {before}");
+        for _ in 0..16 {
+            let _ = global(3);
+            let _ = global(5);
+        }
+        assert_eq!(cached_worker_total(), before);
     }
 
     #[test]

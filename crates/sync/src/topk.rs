@@ -12,6 +12,7 @@ use crate::best::{pack, AtomicBest};
 use parking_lot::Mutex;
 use std::collections::BinaryHeap;
 use std::sync::atomic::{AtomicU32, Ordering};
+use std::sync::Arc;
 
 /// A shared, concurrently updatable pruning target for exact NN queries.
 ///
@@ -188,6 +189,112 @@ impl Pruner for SharedTopK {
     }
 }
 
+/// A position-offsetting view over a shared [`SharedTopK`].
+///
+/// Scatter-gather search partitions one dataset across shards, each of
+/// which runs the ordinary query kernels over *local* positions
+/// `0..shard_len`. To share one best-so-far across shards mid-flight, every
+/// shard's kernel must feed the *same* collector — but with **global**
+/// positions, or the collector's position-dedup and lowest-position
+/// tie-break would conflate series from different shards. `OffsetTopK`
+/// wraps an `Arc<SharedTopK>` plus the shard's global base offset: inserts
+/// rebase `pos → base + pos` on the way in, threshold reads pass straight
+/// through. A standalone (non-sharded) query uses [`OffsetTopK::fresh`],
+/// which is a plain `SharedTopK` at base 0.
+#[derive(Debug, Clone)]
+pub struct OffsetTopK {
+    inner: Arc<SharedTopK>,
+    base: u32,
+}
+
+impl OffsetTopK {
+    /// A fresh, unshared collector at base 0 — behaviorally identical to
+    /// `SharedTopK::new(k)`.
+    ///
+    /// # Panics
+    /// Panics if `k == 0`.
+    #[must_use]
+    pub fn fresh(k: usize) -> Self {
+        Self::shared(Arc::new(SharedTopK::new(k)), 0)
+    }
+
+    /// A view over `inner` that rebases inserted positions by `base`
+    /// (the owning shard's first global position).
+    #[must_use]
+    pub fn shared(inner: Arc<SharedTopK>, base: u32) -> Self {
+        Self { inner, base }
+    }
+
+    /// The underlying shared collector (positions in it are global).
+    #[must_use]
+    pub fn inner(&self) -> &SharedTopK {
+        &self.inner
+    }
+
+    /// The global position this view's local position 0 maps to.
+    #[must_use]
+    pub fn base(&self) -> u32 {
+        self.base
+    }
+
+    /// See [`Pruner::threshold_sq`].
+    #[inline]
+    #[must_use]
+    pub fn threshold_sq(&self) -> f32 {
+        Pruner::threshold_sq(self.inner.as_ref())
+    }
+
+    /// Records a candidate at *local* position `pos`; see
+    /// [`Pruner::insert`].
+    #[inline]
+    pub fn insert(&self, dist_sq: f32, pos: u32) -> bool {
+        Pruner::insert(self.inner.as_ref(), dist_sq, self.base + pos)
+    }
+
+    /// See [`SharedTopK::k`].
+    #[must_use]
+    pub fn k(&self) -> usize {
+        self.inner.k()
+    }
+
+    /// See [`SharedTopK::len`].
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.inner.len()
+    }
+
+    /// See [`SharedTopK::is_empty`].
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.inner.is_empty()
+    }
+
+    /// See [`SharedTopK::kth_dist_sq`].
+    #[must_use]
+    pub fn kth_dist_sq(&self) -> f32 {
+        self.inner.kth_dist_sq()
+    }
+
+    /// The held pairs with **global** positions; see
+    /// [`SharedTopK::matches`].
+    #[must_use]
+    pub fn matches(&self) -> Vec<(f32, u32)> {
+        self.inner.matches()
+    }
+}
+
+impl Pruner for OffsetTopK {
+    #[inline]
+    fn threshold_sq(&self) -> f32 {
+        OffsetTopK::threshold_sq(self)
+    }
+
+    #[inline]
+    fn insert(&self, dist_sq: f32, pos: u32) -> bool {
+        OffsetTopK::insert(self, dist_sq, pos)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -307,5 +414,56 @@ mod tests {
         reference.sort_unstable_by(|a, b| a.0.partial_cmp(&b.0).unwrap().then(a.1.cmp(&b.1)));
         reference.truncate(k);
         assert_eq!(collect(&t), reference);
+    }
+
+    #[test]
+    fn offset_views_rebase_positions_into_one_collector() {
+        // Two "shards" of 10 series each share one collector; local
+        // position 3 in the second shard is global 13.
+        let shared = Arc::new(SharedTopK::new(2));
+        let s0 = OffsetTopK::shared(Arc::clone(&shared), 0);
+        let s1 = OffsetTopK::shared(Arc::clone(&shared), 10);
+        assert!(s0.insert(4.0, 3));
+        assert!(s1.insert(1.0, 3));
+        assert_eq!(shared.matches(), vec![(1.0, 13), (4.0, 3)]);
+        assert_eq!(s0.matches(), s1.matches());
+        // A find in one shard tightens the threshold the other reads.
+        assert!(s1.insert(2.0, 0));
+        assert!(s0.threshold_sq() < 4.0);
+        assert_eq!(s0.kth_dist_sq(), 2.0);
+        assert_eq!(s1.base(), 10);
+        assert_eq!(s0.k(), 2);
+        assert_eq!(s0.len(), 2);
+        assert!(!s0.is_empty());
+    }
+
+    #[test]
+    fn offset_dedup_is_global_not_local() {
+        // The same *local* position in two different shards is two
+        // different series — both must be admissible.
+        let shared = Arc::new(SharedTopK::new(3));
+        let s0 = OffsetTopK::shared(Arc::clone(&shared), 0);
+        let s1 = OffsetTopK::shared(Arc::clone(&shared), 100);
+        assert!(s0.insert(1.0, 7));
+        assert!(s1.insert(2.0, 7));
+        assert_eq!(shared.matches(), vec![(1.0, 7), (2.0, 107)]);
+        // Re-inserting the same global series is still a no-op.
+        assert!(!s1.insert(2.5, 7));
+        assert_eq!(shared.len(), 2);
+    }
+
+    #[test]
+    fn fresh_offset_topk_matches_plain_shared_topk() {
+        let plain = SharedTopK::new(2);
+        let fresh = OffsetTopK::fresh(2);
+        for &(d, p) in &[(4.0f32, 9u32), (4.0, 3), (2.0, 8), (2.0, 1)] {
+            assert_eq!(plain.insert(d, p), fresh.insert(d, p));
+        }
+        assert_eq!(plain.matches(), fresh.matches());
+        assert_eq!(
+            Pruner::threshold_sq(&plain),
+            Pruner::threshold_sq(&fresh.clone())
+        );
+        assert_eq!(fresh.inner().matches(), plain.matches());
     }
 }

@@ -1,13 +1,16 @@
 //! UCR-style scans under Dynamic Time Warping (the paper's §V extension).
 
+use std::sync::Arc;
+
 use dsidx_obs::phase::{Phase, PhaseBreakdown, PhaseClock};
 use dsidx_query::{
-    finish_knn, AtomicQueryStats, BatchStats, ErrorSlot, QueryStats, SeriesFetcher, SharedTopK,
+    finish_knn, AtomicQueryStats, BatchStats, ErrorSlot, QueryStats, SeriesFetcher, ShardView,
+    SharedTopK,
 };
 use dsidx_series::distance::dtw::{dtw_sq_bounded, envelope, lb_keogh_sq_bounded};
 use dsidx_series::{Dataset, Match};
 use dsidx_storage::{RawSource, StorageError};
-use dsidx_sync::{AtomicBest, Pruner, WorkQueue};
+use dsidx_sync::{AtomicBest, OffsetTopK, Pruner, WorkQueue};
 
 /// Exact 1-NN under banded DTW by serial scan with the LB_Keogh cascade.
 ///
@@ -200,6 +203,30 @@ pub fn knn_dtw_batch_parallel_with_stats(
     k: usize,
     threads: usize,
 ) -> Result<(Vec<Vec<Match>>, BatchStats), StorageError> {
+    knn_dtw_batch_parallel_with_stats_shared(source, queries, band, k, threads, None)
+}
+
+/// [`knn_dtw_batch_parallel_with_stats`] with optional cross-shard pruner
+/// sharing: when `shard` is set, every query prunes against (and inserts
+/// into) the shared [`SharedPruners`](dsidx_query::SharedPruners)
+/// collectors with positions rebased by the shard's global offset, so a
+/// tight match found by another shard raises this scan's abandon
+/// thresholds mid-flight.
+///
+/// # Errors
+/// Propagates raw-source I/O failures (the in-memory path is infallible).
+///
+/// # Panics
+/// Panics if any query length differs from the source's series length,
+/// `threads == 0`, or `k == 0`.
+pub fn knn_dtw_batch_parallel_with_stats_shared(
+    source: &impl RawSource,
+    queries: &[&[f32]],
+    band: usize,
+    k: usize,
+    threads: usize,
+    shard: Option<ShardView<'_>>,
+) -> Result<(Vec<Vec<Match>>, BatchStats), StorageError> {
     assert!(threads > 0, "thread count must be non-zero");
     for q in queries {
         assert_eq!(q.len(), source.series_len(), "query length mismatch");
@@ -209,20 +236,25 @@ pub fn knn_dtw_batch_parallel_with_stats(
         query: &'q [f32],
         lower: Vec<f32>,
         upper: Vec<f32>,
-        topk: SharedTopK,
+        topk: OffsetTopK,
         stats: AtomicQueryStats,
     }
     let slots: Vec<Slot<'_>> = queries
         .iter()
-        .map(|&query| {
+        .enumerate()
+        .map(|(qi, &query)| {
             let mut lower = Vec::new();
             let mut upper = Vec::new();
             envelope(query, band, &mut lower, &mut upper);
+            let topk = match shard {
+                Some(view) => OffsetTopK::shared(Arc::clone(&view.pruners.topks()[qi]), view.base),
+                None => OffsetTopK::fresh(k),
+            };
             Slot {
                 query,
                 lower,
                 upper,
-                topk: SharedTopK::new(k),
+                topk,
                 stats: AtomicQueryStats::new(),
             }
         })
@@ -301,7 +333,7 @@ pub fn knn_dtw_batch_parallel_with_stats(
     let mut matches = Vec::with_capacity(slots.len());
     let mut per_query = Vec::with_capacity(slots.len());
     for slot in &slots {
-        let (m, mut s) = finish_knn(&slot.topk, Some(slot.stats.snapshot()));
+        let (m, mut s) = finish_knn(slot.topk.inner(), Some(slot.stats.snapshot()));
         // Position 0 paid one unconditional full DTW for the seed.
         s.real_computed += 1;
         matches.push(m);

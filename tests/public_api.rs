@@ -80,6 +80,7 @@ fn facade_public_surface_matches_snapshot() {
         "error.rs",
         "options.rs",
         "search.rs",
+        "shard.rs",
         "spec.rs",
     ] {
         let source = std::fs::read_to_string(core.join(file))
