@@ -540,6 +540,8 @@ impl DiskIndex {
                 } else {
                     dsidx_paris::Overlap::ParisPlus
                 };
+                // ORDERING: relaxed — the counter only mints a unique
+                // filename suffix; nothing is published through it.
                 let store_path = workdir.join(format!(
                     "dsidx-leaves-{}-{}.store",
                     std::process::id(),

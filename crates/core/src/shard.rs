@@ -233,6 +233,8 @@ impl ShardedIndex {
         let series_len = file.series_len();
         let total = file.count();
         std::fs::create_dir_all(workdir).map_err(StorageError::from)?;
+        // ORDERING: relaxed — the counter only mints unique workdir names;
+        // nothing is published through it.
         let seq = SHARD_SEQ.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
         let mut built = Vec::with_capacity(shards);
         for (s, range) in partition(total, shards).into_iter().enumerate() {

@@ -17,6 +17,8 @@
 //! is exactly the bit-prefix of the symbol at any finer cardinality. That
 //! prefix property is what lets the index split nodes by "adding one bit".
 
+#![deny(unsafe_op_in_unsafe_fn)]
+
 pub mod breakpoints;
 pub mod error;
 pub mod mindist;

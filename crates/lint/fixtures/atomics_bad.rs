@@ -1,0 +1,10 @@
+//! Fixture: a relaxed publish point with no rationale (expect a finding on
+//! line 9). The blank line cuts it off from the unrelated comment above.
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Publishes a value.
+pub fn publish(c: &AtomicU64) {
+    // A comment that says nothing about ordering.
+
+    c.store(7, Ordering::Relaxed);
+}

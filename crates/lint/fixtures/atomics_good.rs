@@ -1,0 +1,9 @@
+//! Fixture: annotated relaxed atomics.
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Bumps a counter.
+pub fn bump(c: &AtomicU64) {
+    // ORDERING: relaxed — monotonic counter, read only after join.
+    c.fetch_add(1, Ordering::Relaxed);
+    c.fetch_add(2, Ordering::Relaxed);
+}

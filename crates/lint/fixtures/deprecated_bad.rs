@@ -1,0 +1,12 @@
+//! Fixture: a deprecated wrapper that grew logic (expect a finding on
+//! line 6: it loops instead of delegating).
+
+/// Old entry point.
+#[deprecated(since = "0.1.0", note = "use search")]
+pub fn nn_scan(&self, queries: &[Vec<f32>]) -> Vec<Match> {
+    let mut out = Vec::new();
+    for q in queries {
+        out.push(self.scan_one(q));
+    }
+    out
+}

@@ -1,0 +1,10 @@
+//! Fixture: a deprecated wrapper that stays a thin delegation.
+
+/// Old entry point.
+#[deprecated(since = "0.1.0", note = "use search")]
+pub fn nn(&self, queries: &[Vec<f32>], k: usize) -> Vec<Match> {
+    if queries.is_empty() {
+        return Vec::new();
+    }
+    self.search(&QuerySpec::knn(queries, k))
+}

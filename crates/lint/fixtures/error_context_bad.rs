@@ -1,0 +1,11 @@
+//! Fixture: storage reads unwrapped in an engine crate (expect findings on
+//! lines 6 and 8, including the chained multi-line form).
+
+/// Verifies one candidate.
+pub fn verify(fetcher: &dyn SeriesFetcher, pos: usize) -> f32 {
+    let series = fetcher.fetch(pos).unwrap();
+    let other = fetcher
+        .fetch(pos + 1)
+        .expect("mid-query read");
+    series[0] + other[0]
+}

@@ -1,0 +1,7 @@
+//! Fixture: storage reads propagate with `?`.
+
+/// Verifies one candidate.
+pub fn verify(fetcher: &dyn SeriesFetcher, pos: usize) -> Result<f32, StorageError> {
+    let series = fetcher.fetch(pos)?;
+    Ok(series[0])
+}

@@ -1,0 +1,16 @@
+//! Fixture: defines one cataloged metric, one rogue metric, and two trace
+//! events (one cataloged, one rogue) against the fixture README.
+
+/// Cataloged.
+pub const GOOD_TOTAL: &str = "dsidx_fixture_good_total";
+/// Not in the README (expect an obs-catalog finding on line 7).
+pub const ROGUE_TOTAL: &str = "dsidx_fixture_rogue_total";
+
+/// Emits both events.
+pub fn emit_all() {
+    trace::emit("fixture_event", &[]);
+    trace::emit(
+        "rogue_event",
+        &[("k", Value::U64(1))],
+    );
+}

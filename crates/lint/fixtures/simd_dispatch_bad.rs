@@ -1,0 +1,8 @@
+//! Fixture: a #[target_feature] kernel that is not `unsafe fn` (expect a
+//! finding on line 5), called from a non-dispatcher file in the same
+//! workspace fixture (the caller lives in the test's second file).
+
+#[target_feature(enable = "avx2")]
+pub fn kernel_fixture(x: f32) -> f32 {
+    x * 2.0
+}

@@ -1,0 +1,7 @@
+//! Fixture: calls a #[target_feature] kernel from outside the dispatcher
+//! set (expect a finding on line 6).
+
+/// Ungated call.
+pub fn fast_path(x: f32) -> f32 {
+    unsafe { kernel_fixture(x) }
+}

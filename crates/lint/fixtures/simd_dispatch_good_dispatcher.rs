@@ -1,0 +1,11 @@
+//! Fixture: a gated dispatcher (placed at a dispatcher path by the test).
+
+/// Gated entry point.
+pub fn fast(x: f32) -> f32 {
+    if simd_enabled() {
+        // SAFETY: the gate above proved AVX2 support.
+        unsafe { kernel_fixture(x) }
+    } else {
+        x * 2.0
+    }
+}

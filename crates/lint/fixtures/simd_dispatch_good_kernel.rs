@@ -1,0 +1,10 @@
+//! Fixture: a well-formed #[target_feature] kernel.
+
+/// Doubles a lane.
+///
+/// # Safety
+/// Caller must ensure the CPU supports AVX2.
+#[target_feature(enable = "avx2")]
+pub unsafe fn kernel_fixture(x: f32) -> f32 {
+    x * 2.0
+}

@@ -1,0 +1,7 @@
+//! Fixture: an unsafe block with no SAFETY comment (expect a finding on
+//! line 6) in a crate whose lib.rs lacks the deny attribute.
+
+/// Reads one byte.
+pub fn read(p: *const u8) -> u8 {
+    unsafe { *p }
+}

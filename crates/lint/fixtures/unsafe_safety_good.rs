@@ -1,0 +1,17 @@
+//! Fixture: every unsafe site is justified.
+#![deny(unsafe_op_in_unsafe_fn)]
+
+/// Reads one byte.
+pub fn read(p: *const u8) -> u8 {
+    // SAFETY: the caller hands over a valid, readable pointer.
+    unsafe { *p }
+}
+
+/// Reads one byte without checking.
+///
+/// # Safety
+/// `p` must be valid for reads.
+pub unsafe fn read_unchecked(p: *const u8) -> u8 {
+    // SAFETY: forwarded from this fn's own contract.
+    unsafe { *p }
+}

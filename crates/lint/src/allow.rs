@@ -1,0 +1,156 @@
+//! The allowlist: documented, reviewable exceptions.
+//!
+//! `lint.allow` at the workspace root holds one entry per line:
+//!
+//! ```text
+//! # comment
+//! <rule-id> <path-glob> -- <reason>
+//! ```
+//!
+//! The reason is mandatory — an exception without a recorded justification
+//! is itself a lint error. Globs use `/`-separated segments where `*`
+//! matches within a segment and `**` matches any number of segments
+//! (`crates/obs/**` covers the whole crate). A rule id of `*` matches every
+//! rule. Entries that match no violation are reported as stale so the file
+//! cannot quietly outlive the code it excused.
+
+/// One parsed allowlist entry.
+#[derive(Debug, Clone)]
+pub struct AllowEntry {
+    /// Rule id the entry applies to (`*` for all rules).
+    pub rule: String,
+    /// Path glob the entry covers.
+    pub glob: String,
+    /// Mandatory human justification.
+    pub reason: String,
+    /// 1-based line in the allowlist file (for diagnostics).
+    pub line: usize,
+}
+
+/// The parsed allowlist plus any parse errors (malformed lines).
+#[derive(Debug, Default)]
+pub struct Allowlist {
+    /// Well-formed entries in file order.
+    pub entries: Vec<AllowEntry>,
+    /// `(line, message)` for lines that could not be parsed.
+    pub errors: Vec<(usize, String)>,
+}
+
+impl Allowlist {
+    /// Parses the `lint.allow` format described at the module level.
+    #[must_use]
+    pub fn parse(text: &str) -> Self {
+        let mut out = Self::default();
+        for (idx, raw) in text.lines().enumerate() {
+            let line = idx + 1;
+            let t = raw.trim();
+            if t.is_empty() || t.starts_with('#') {
+                continue;
+            }
+            let Some((head, reason)) = t.split_once("--") else {
+                out.errors
+                    .push((line, "missing `-- <reason>` clause".to_owned()));
+                continue;
+            };
+            let reason = reason.trim();
+            let mut parts = head.split_whitespace();
+            let (Some(rule), Some(glob), None) = (parts.next(), parts.next(), parts.next()) else {
+                out.errors.push((
+                    line,
+                    "expected `<rule-id> <path-glob> -- <reason>`".to_owned(),
+                ));
+                continue;
+            };
+            if reason.is_empty() {
+                out.errors.push((line, "empty reason".to_owned()));
+                continue;
+            }
+            out.entries.push(AllowEntry {
+                rule: rule.to_owned(),
+                glob: glob.to_owned(),
+                reason: reason.to_owned(),
+                line,
+            });
+        }
+        out
+    }
+
+    /// Returns the index of the first entry covering `(rule, path)`.
+    #[must_use]
+    pub fn covering(&self, rule: &str, path: &str) -> Option<usize> {
+        self.entries
+            .iter()
+            .position(|e| (e.rule == "*" || e.rule == rule) && glob_match(&e.glob, path))
+    }
+}
+
+/// Matches a `/`-separated glob against a `/`-separated path.
+#[must_use]
+pub fn glob_match(pattern: &str, path: &str) -> bool {
+    let ps: Vec<&str> = pattern.split('/').collect();
+    let ss: Vec<&str> = path.split('/').collect();
+    segs_match(&ps, &ss)
+}
+
+fn segs_match(ps: &[&str], ss: &[&str]) -> bool {
+    match ps.first() {
+        None => ss.is_empty(),
+        Some(&"**") => segs_match(&ps[1..], ss) || (!ss.is_empty() && segs_match(ps, &ss[1..])),
+        Some(p) => !ss.is_empty() && seg_match(p, ss[0]) && segs_match(&ps[1..], &ss[1..]),
+    }
+}
+
+/// Single-segment wildcard match (`*` matches any run of characters).
+fn seg_match(p: &str, s: &str) -> bool {
+    let pb: Vec<char> = p.chars().collect();
+    let sb: Vec<char> = s.chars().collect();
+    fn rec(p: &[char], s: &[char]) -> bool {
+        match p.first() {
+            None => s.is_empty(),
+            Some('*') => rec(&p[1..], s) || (!s.is_empty() && rec(p, &s[1..])),
+            Some(c) => !s.is_empty() && s[0] == *c && rec(&p[1..], &s[1..]),
+        }
+    }
+    rec(&pb, &sb)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_entries_and_rejects_reasonless_lines() {
+        let a = Allowlist::parse(
+            "# header\n\natomics-ordering crates/obs/** -- counters\nbad-line-no-reason\n",
+        );
+        assert_eq!(a.entries.len(), 1);
+        assert_eq!(a.entries[0].rule, "atomics-ordering");
+        assert_eq!(a.entries[0].reason, "counters");
+        assert_eq!(a.errors.len(), 1);
+    }
+
+    #[test]
+    fn globs() {
+        assert!(glob_match("crates/obs/**", "crates/obs/src/lib.rs"));
+        assert!(glob_match("crates/*/src/lib.rs", "crates/obs/src/lib.rs"));
+        assert!(!glob_match("crates/obs/**", "crates/sync/src/lib.rs"));
+        assert!(glob_match("**/stats.rs", "crates/query/src/stats.rs"));
+        assert!(glob_match(
+            "crates/query/src/stats.rs",
+            "crates/query/src/stats.rs"
+        ));
+        assert!(!glob_match(
+            "crates/query/src/stats.rs",
+            "crates/query/src/batch.rs"
+        ));
+        assert!(glob_match("**", "anything/at/all.rs"));
+    }
+
+    #[test]
+    fn covering_honors_rule_and_wildcard() {
+        let a = Allowlist::parse("* crates/x/** -- blanket\nr2 crates/y/** -- scoped\n");
+        assert_eq!(a.covering("any-rule", "crates/x/src/a.rs"), Some(0));
+        assert_eq!(a.covering("r2", "crates/y/src/a.rs"), Some(1));
+        assert_eq!(a.covering("other", "crates/y/src/a.rs"), None);
+    }
+}

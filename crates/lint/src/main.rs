@@ -1,0 +1,111 @@
+//! CLI entry point: `dsidx-lint [--root PATH] [--json PATH] [--explain RULE]`.
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+use dsidx_lint::rules::{rule_by_id, RULES};
+use dsidx_lint::Workspace;
+
+fn main() -> ExitCode {
+    let mut root: Option<PathBuf> = None;
+    let mut json: Option<PathBuf> = None;
+    let mut explain: Option<String> = None;
+    let mut args = std::env::args().skip(1);
+    while let Some(a) = args.next() {
+        match a.as_str() {
+            "--root" => root = args.next().map(PathBuf::from),
+            "--json" => json = args.next().map(PathBuf::from),
+            "--explain" => explain = args.next(),
+            "--help" | "-h" => {
+                print_help();
+                return ExitCode::SUCCESS;
+            }
+            other => {
+                eprintln!("dsidx-lint: unknown argument `{other}` (try --help)");
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+
+    if let Some(id) = explain {
+        return match rule_by_id(&id) {
+            Some(rule) => {
+                println!("{}: {}\n\n{}", rule.id, rule.summary, rule.explain);
+                ExitCode::SUCCESS
+            }
+            None => {
+                eprintln!(
+                    "dsidx-lint: unknown rule `{id}`; known rules: {}",
+                    RULES.iter().map(|r| r.id).collect::<Vec<_>>().join(", ")
+                );
+                ExitCode::FAILURE
+            }
+        };
+    }
+
+    let root = root.unwrap_or_else(default_root);
+    let ws = Workspace::load(&root);
+    if ws.files.is_empty() {
+        eprintln!(
+            "dsidx-lint: no sources found under {} (wrong --root?)",
+            root.display()
+        );
+        return ExitCode::FAILURE;
+    }
+    let report = ws.check();
+
+    let json_path = json.unwrap_or_else(|| root.join("results").join("LINT.json"));
+    if let Some(dir) = json_path.parent() {
+        let _ = std::fs::create_dir_all(dir);
+    }
+    if let Err(e) = std::fs::write(&json_path, report.to_json()) {
+        eprintln!("dsidx-lint: cannot write {}: {e}", json_path.display());
+    }
+
+    print!("{}", report.diagnostics());
+    for line in &report.stale_allows {
+        eprintln!("lint.allow:{line}: warning: stale entry — matches no current finding");
+    }
+    eprintln!(
+        "dsidx-lint: {} files, {} violation(s), {} allowed, report at {}",
+        report.files_scanned,
+        report.violations.len(),
+        report.allowed.len(),
+        json_path.display()
+    );
+    if report.clean() {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::FAILURE
+    }
+}
+
+/// Workspace root when `--root` is absent: the manifest dir's grandparent
+/// (`crates/lint` -> repo root), falling back to the current directory.
+fn default_root() -> PathBuf {
+    if let Ok(md) = std::env::var("CARGO_MANIFEST_DIR") {
+        let p = PathBuf::from(md);
+        if let Some(root) = p.parent().and_then(|p| p.parent()) {
+            return root.to_owned();
+        }
+    }
+    PathBuf::from(".")
+}
+
+fn print_help() {
+    println!(
+        "dsidx-lint: workspace invariant checker\n\n\
+         USAGE: dsidx-lint [--root PATH] [--json PATH] [--explain RULE]\n\n\
+         Scans the workspace sources and enforces the invariants below,\n\
+         writing a machine-readable report to results/LINT.json and exiting\n\
+         non-zero when violations remain after applying lint.allow.\n\n\
+         RULES:"
+    );
+    for r in RULES {
+        println!(
+            "  {:<24} {}",
+            r.id,
+            r.summary.split_whitespace().collect::<Vec<_>>().join(" ")
+        );
+    }
+}

@@ -1,0 +1,165 @@
+//! Report assembly and JSON serialization (hand-rolled — the crate is
+//! dependency-free by design so it can run in the offline CI container).
+
+use crate::rules::{Violation, RULES};
+use crate::Workspace;
+
+/// The outcome of a full lint run.
+#[derive(Debug)]
+pub struct Report {
+    /// Violations not covered by the allowlist, in (file, line) order.
+    pub violations: Vec<Violation>,
+    /// Violations suppressed by an allowlist entry: `(violation, entry line)`.
+    pub allowed: Vec<(Violation, usize)>,
+    /// Allowlist entries (1-based lines) that suppressed nothing.
+    pub stale_allows: Vec<usize>,
+    /// Malformed allowlist lines: `(line, message)`.
+    pub allow_errors: Vec<(usize, String)>,
+    /// Number of files scanned.
+    pub files_scanned: usize,
+}
+
+impl Report {
+    /// `true` when CI should pass.
+    #[must_use]
+    pub fn clean(&self) -> bool {
+        self.violations.is_empty() && self.allow_errors.is_empty()
+    }
+
+    /// Renders the `file:line: rule-id: message` diagnostics, one per line.
+    #[must_use]
+    pub fn diagnostics(&self) -> String {
+        let mut out = String::new();
+        for v in &self.violations {
+            out.push_str(&format!(
+                "{}:{}: {}: {}\n",
+                v.file, v.line, v.rule, v.message
+            ));
+        }
+        for (line, msg) in &self.allow_errors {
+            out.push_str(&format!("lint.allow:{line}: allowlist: {msg}\n"));
+        }
+        out
+    }
+
+    /// Renders the machine-readable report for `results/LINT.json`.
+    #[must_use]
+    pub fn to_json(&self) -> String {
+        let mut s = String::from("{\n");
+        s.push_str(&format!("  \"clean\": {},\n", self.clean()));
+        s.push_str(&format!("  \"files_scanned\": {},\n", self.files_scanned));
+        s.push_str("  \"rules\": [\n");
+        for (i, r) in RULES.iter().enumerate() {
+            let count = self.violations.iter().filter(|v| v.rule == r.id).count();
+            let allowed = self.allowed.iter().filter(|(v, _)| v.rule == r.id).count();
+            s.push_str(&format!(
+                "    {{\"id\": {}, \"summary\": {}, \"violations\": {count}, \
+                 \"allowed\": {allowed}}}{}\n",
+                json_str(r.id),
+                json_str(r.summary),
+                if i + 1 == RULES.len() { "" } else { "," }
+            ));
+        }
+        s.push_str("  ],\n");
+        s.push_str("  \"violations\": [\n");
+        for (i, v) in self.violations.iter().enumerate() {
+            s.push_str(&format!(
+                "    {{\"file\": {}, \"line\": {}, \"rule\": {}, \"message\": {}}}{}\n",
+                json_str(&v.file),
+                v.line,
+                json_str(v.rule),
+                json_str(&v.message),
+                if i + 1 == self.violations.len() {
+                    ""
+                } else {
+                    ","
+                }
+            ));
+        }
+        s.push_str("  ],\n");
+        s.push_str(&format!(
+            "  \"stale_allowlist_lines\": [{}],\n",
+            self.stale_allows
+                .iter()
+                .map(ToString::to_string)
+                .collect::<Vec<_>>()
+                .join(", ")
+        ));
+        s.push_str("  \"allowlist_errors\": [\n");
+        for (i, (line, msg)) in self.allow_errors.iter().enumerate() {
+            s.push_str(&format!(
+                "    {{\"line\": {line}, \"message\": {}}}{}\n",
+                json_str(msg),
+                if i + 1 == self.allow_errors.len() {
+                    ""
+                } else {
+                    ","
+                }
+            ));
+        }
+        s.push_str("  ]\n}\n");
+        s
+    }
+}
+
+/// Builds the report from raw rule output by applying the allowlist.
+#[must_use]
+pub fn assemble(ws: &Workspace, raw: Vec<Violation>) -> Report {
+    let mut violations = Vec::new();
+    let mut allowed = Vec::new();
+    let mut used = vec![false; ws.allow.entries.len()];
+    for v in raw {
+        if let Some(i) = ws.allow.covering(v.rule, &v.file) {
+            used[i] = true;
+            allowed.push((v, ws.allow.entries[i].line));
+        } else {
+            violations.push(v);
+        }
+    }
+    // simd-dispatch entries act as dispatcher registrations, not
+    // suppressions, so they are never stale.
+    let stale_allows = ws
+        .allow
+        .entries
+        .iter()
+        .zip(&used)
+        .filter(|(e, u)| !**u && e.rule != "simd-dispatch")
+        .map(|(e, _)| e.line)
+        .collect();
+    violations.sort_by(|a, b| (&a.file, a.line, a.rule).cmp(&(&b.file, b.line, b.rule)));
+    Report {
+        violations,
+        allowed,
+        stale_allows,
+        allow_errors: ws.allow.errors.clone(),
+        files_scanned: ws.files.len(),
+    }
+}
+
+/// Minimal JSON string escaping.
+fn json_str(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::json_str;
+
+    #[test]
+    fn escapes() {
+        assert_eq!(json_str("a\"b\\c\nd"), "\"a\\\"b\\\\c\\nd\"");
+    }
+}

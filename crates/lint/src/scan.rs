@@ -1,0 +1,382 @@
+//! Source discovery and decomposition.
+//!
+//! Every rule in this crate reasons about Rust source at the line/token
+//! level, so the scanner splits each line into three channels — *code*
+//! (with comment text and string/char literal contents blanked), *comment*
+//! text, and the *string literals* that start on the line — via a small
+//! line-preserving state machine. Rules never see a comment as code or a
+//! string as a token, which is what makes grep-style checks trustworthy.
+
+use std::fs;
+use std::path::Path;
+
+/// One source line, decomposed into channels.
+#[derive(Debug, Default)]
+pub struct Line {
+    /// Code text: comments removed, string/char literal contents blanked
+    /// (delimiters kept, so `emit("x")` reads as `emit("")`).
+    pub code: String,
+    /// Comment text from `//`, `///`, `//!` and `/* .. */` bodies.
+    pub comment: String,
+    /// String literals that *start* on this line, in source order.
+    pub strings: Vec<String>,
+}
+
+/// A scanned source file.
+#[derive(Debug)]
+pub struct SourceFile {
+    /// Workspace-relative path, `/`-separated.
+    pub path: String,
+    /// Decomposed lines (index 0 is line 1).
+    pub lines: Vec<Line>,
+    /// `true` where the line sits inside a `#[cfg(test)]` item or a
+    /// `#[test]` fn, or when the whole file is a `tests/` target.
+    pub test_mask: Vec<bool>,
+}
+
+impl SourceFile {
+    /// Decomposes `src` (the contents of `path`) into lines.
+    #[must_use]
+    pub fn parse(path: &str, src: &str) -> Self {
+        let (lines, strings) = strip(src);
+        let mut lines = lines;
+        for (line_idx, text) in strings {
+            if let Some(l) = lines.get_mut(line_idx) {
+                l.strings.push(text);
+            }
+        }
+        let code: Vec<&str> = lines.iter().map(|l| l.code.as_str()).collect();
+        let test_mask = test_mask(path, &code);
+        Self {
+            path: path.to_owned(),
+            lines,
+            test_mask,
+        }
+    }
+
+    /// `true` when line `idx` (0-based) is test-only code.
+    #[must_use]
+    pub fn is_test_line(&self, idx: usize) -> bool {
+        self.test_mask.get(idx).copied().unwrap_or(false)
+    }
+}
+
+/// Lexer state for [`strip`].
+enum St {
+    Code,
+    LineComment,
+    BlockComment(u32),
+    Str,
+    RawStr(u32),
+    CharLit,
+}
+
+/// Splits source text into per-line code/comment channels and a list of
+/// `(start line, contents)` string literals.
+fn strip(src: &str) -> (Vec<Line>, Vec<(usize, String)>) {
+    let b: Vec<char> = src.chars().collect();
+    let mut lines: Vec<Line> = vec![Line::default()];
+    let mut strings: Vec<(usize, String)> = Vec::new();
+    let mut cur_str = String::new();
+    let mut cur_str_start = 0usize;
+    let mut st = St::Code;
+    let mut i = 0usize;
+    let at = |j: usize| b.get(j).copied();
+    while i < b.len() {
+        let c = b[i];
+        if c == '\n' {
+            lines.push(Line::default());
+            if matches!(st, St::LineComment) {
+                st = St::Code;
+            }
+            i += 1;
+            continue;
+        }
+        let line_idx = lines.len() - 1;
+        match st {
+            St::Code => {
+                if c == '/' && at(i + 1) == Some('/') {
+                    st = St::LineComment;
+                    i += 2;
+                } else if c == '/' && at(i + 1) == Some('*') {
+                    st = St::BlockComment(1);
+                    i += 2;
+                } else if c == '"' {
+                    st = St::Str;
+                    cur_str.clear();
+                    cur_str_start = line_idx;
+                    lines[line_idx].code.push('"');
+                    i += 1;
+                } else if (c == 'r' || c == 'b') && raw_str_hashes(&b, i).is_some() {
+                    let (hashes, skip) = raw_str_hashes(&b, i).expect("checked");
+                    st = St::RawStr(hashes);
+                    cur_str.clear();
+                    cur_str_start = line_idx;
+                    lines[line_idx].code.push('"');
+                    i += skip;
+                } else if c == 'b' && at(i + 1) == Some('"') {
+                    st = St::Str;
+                    cur_str.clear();
+                    cur_str_start = line_idx;
+                    lines[line_idx].code.push('"');
+                    i += 2;
+                } else if c == '\'' && is_char_literal(&b, i) {
+                    st = St::CharLit;
+                    lines[line_idx].code.push_str("' '");
+                    i += 1;
+                } else {
+                    lines[line_idx].code.push(c);
+                    i += 1;
+                }
+            }
+            St::LineComment => {
+                lines[line_idx].comment.push(c);
+                i += 1;
+            }
+            St::BlockComment(depth) => {
+                if c == '*' && at(i + 1) == Some('/') {
+                    st = if depth == 1 {
+                        St::Code
+                    } else {
+                        St::BlockComment(depth - 1)
+                    };
+                    i += 2;
+                } else if c == '/' && at(i + 1) == Some('*') {
+                    st = St::BlockComment(depth + 1);
+                    i += 2;
+                } else {
+                    lines[line_idx].comment.push(c);
+                    i += 1;
+                }
+            }
+            St::Str => {
+                if c == '\\' {
+                    cur_str.push(c);
+                    if let Some(n) = at(i + 1) {
+                        cur_str.push(n);
+                    }
+                    i += 2;
+                } else if c == '"' {
+                    lines[line_idx].code.push('"');
+                    strings.push((cur_str_start, std::mem::take(&mut cur_str)));
+                    st = St::Code;
+                    i += 1;
+                } else {
+                    cur_str.push(c);
+                    i += 1;
+                }
+            }
+            St::RawStr(hashes) => {
+                let closes = c == '"' && (0..hashes as usize).all(|k| at(i + 1 + k) == Some('#'));
+                if closes {
+                    lines[line_idx].code.push('"');
+                    strings.push((cur_str_start, std::mem::take(&mut cur_str)));
+                    st = St::Code;
+                    i += 1 + hashes as usize;
+                } else {
+                    cur_str.push(c);
+                    i += 1;
+                }
+            }
+            St::CharLit => {
+                if c == '\\' {
+                    i += 2;
+                } else if c == '\'' {
+                    st = St::Code;
+                    i += 1;
+                } else {
+                    i += 1;
+                }
+            }
+        }
+    }
+    // A string left open at EOF still lands in the list (malformed input).
+    if !cur_str.is_empty() {
+        strings.push((cur_str_start, cur_str));
+    }
+    (lines, strings)
+}
+
+/// Detects `r"`, `r#"`, `br"`, `br##"` … at position `i`; returns
+/// `(hash count, chars to skip past the opening quote)`.
+fn raw_str_hashes(b: &[char], i: usize) -> Option<(u32, usize)> {
+    let mut j = i;
+    if b.get(j) == Some(&'b') {
+        j += 1;
+    }
+    if b.get(j) != Some(&'r') {
+        return None;
+    }
+    j += 1;
+    let mut hashes = 0u32;
+    while b.get(j) == Some(&'#') {
+        hashes += 1;
+        j += 1;
+    }
+    if b.get(j) == Some(&'"') {
+        Some((hashes, j + 1 - i))
+    } else {
+        None
+    }
+}
+
+/// Distinguishes a char literal (`'a'`, `'\n'`, `b'x'`) from a lifetime
+/// (`'a`, `'static`): it is a literal when the quote is followed by an
+/// escape, or when the char after next closes the quote.
+fn is_char_literal(b: &[char], i: usize) -> bool {
+    match b.get(i + 1) {
+        Some('\\') => true,
+        Some(_) => b.get(i + 2) == Some(&'\''),
+        None => false,
+    }
+}
+
+/// Marks the lines belonging to `#[cfg(test)]` items and `#[test]` fns.
+///
+/// The walk is structural: from the attribute, brace-match the attributed
+/// item on stripped code (strings and comments can no longer confuse the
+/// counter) and mark every line through the item's closing brace.
+fn test_mask(path: &str, code: &[&str]) -> Vec<bool> {
+    let n = code.len();
+    if path.starts_with("tests/") || path.contains("/tests/") {
+        return vec![true; n];
+    }
+    let mut mask = vec![false; n];
+    let mut i = 0usize;
+    while i < n {
+        let t = code[i].trim();
+        let is_test_attr = t.contains("#[cfg(test)")
+            || t.contains("#[cfg(all(test")
+            || t.contains("#[cfg(any(test")
+            || t.contains("#[test]");
+        if is_test_attr && !mask[i] {
+            let mut depth = 0i64;
+            let mut started = false;
+            let mut j = i;
+            'scan: while j < n {
+                for ch in code[j].chars() {
+                    match ch {
+                        '{' => {
+                            depth += 1;
+                            started = true;
+                        }
+                        '}' => depth -= 1,
+                        ';' if !started && depth == 0 && j > i => break 'scan,
+                        _ => {}
+                    }
+                    if started && depth == 0 {
+                        break 'scan;
+                    }
+                }
+                j += 1;
+            }
+            let end = j.min(n.saturating_sub(1));
+            for m in mask.iter_mut().take(end + 1).skip(i) {
+                *m = true;
+            }
+            i = end + 1;
+        } else {
+            i += 1;
+        }
+    }
+    mask
+}
+
+/// Recursively collects `.rs` files under `root`'s scanned directories
+/// (`crates/`, `src/`, `tests/`, `examples/`, `shims/`), skipping build
+/// output and this crate's deliberately-violating lint fixtures.
+#[must_use]
+pub fn discover(root: &Path) -> Vec<SourceFile> {
+    let mut out = Vec::new();
+    for top in ["crates", "src", "tests", "examples", "shims"] {
+        walk(root, &root.join(top), &mut out);
+    }
+    out.sort_by(|a, b| a.path.cmp(&b.path));
+    out
+}
+
+fn walk(root: &Path, dir: &Path, out: &mut Vec<SourceFile>) {
+    let Ok(entries) = fs::read_dir(dir) else {
+        return;
+    };
+    for entry in entries.flatten() {
+        let path = entry.path();
+        let name = entry.file_name();
+        let name = name.to_string_lossy();
+        if path.is_dir() {
+            if name == "target" || name == ".git" || name == "fixtures" {
+                continue;
+            }
+            walk(root, &path, out);
+        } else if name.ends_with(".rs") {
+            let rel = path
+                .strip_prefix(root)
+                .unwrap_or(&path)
+                .to_string_lossy()
+                .replace('\\', "/");
+            if let Ok(src) = fs::read_to_string(&path) {
+                out.push(SourceFile::parse(&rel, &src));
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn comments_and_strings_are_separated() {
+        let f = SourceFile::parse(
+            "x.rs",
+            "let a = \"unsafe { }\"; // SAFETY: not really code\nunsafe { go() }\n",
+        );
+        assert!(!f.lines[0].code.contains("unsafe"));
+        assert!(f.lines[0].comment.contains("SAFETY:"));
+        assert_eq!(f.lines[0].strings, vec!["unsafe { }".to_owned()]);
+        assert!(f.lines[1].code.contains("unsafe"));
+    }
+
+    #[test]
+    fn block_comments_span_lines() {
+        let f = SourceFile::parse("x.rs", "/* one\ntwo */ code()\n");
+        assert!(f.lines[0].comment.contains("one"));
+        assert!(f.lines[1].comment.contains("two"));
+        assert!(f.lines[1].code.contains("code()"));
+    }
+
+    #[test]
+    fn char_literals_and_lifetimes() {
+        let f = SourceFile::parse("x.rs", "fn f<'a>(x: &'a str) -> char { '{' }\n");
+        // The brace inside the char literal must not reach the code channel.
+        let braces = f.lines[0].code.matches('{').count();
+        assert_eq!(braces, 1, "code: {}", f.lines[0].code);
+        assert!(f.lines[0].code.contains("<'a>"));
+    }
+
+    #[test]
+    fn raw_strings_are_blanked() {
+        let f = SourceFile::parse("x.rs", "let j = r#\"{\"k\": 1}\"#;\nnext()\n");
+        assert!(!f.lines[0].code.contains('{'));
+        assert_eq!(f.lines[0].strings.len(), 1);
+        assert!(f.lines[1].code.contains("next()"));
+    }
+
+    #[test]
+    fn test_regions_are_masked() {
+        let src = "fn live() {}\n#[cfg(test)]\nmod tests {\n    fn t() {}\n}\nfn tail() {}\n";
+        let f = SourceFile::parse("x.rs", src);
+        assert!(!f.is_test_line(0));
+        assert!(f.is_test_line(1));
+        assert!(f.is_test_line(2));
+        assert!(f.is_test_line(3));
+        assert!(f.is_test_line(4));
+        assert!(!f.is_test_line(5));
+    }
+
+    #[test]
+    fn files_under_tests_are_all_test() {
+        let f = SourceFile::parse("tests/foo.rs", "fn x() {}\n");
+        assert!(f.is_test_line(0));
+    }
+}

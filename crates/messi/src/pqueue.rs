@@ -89,6 +89,9 @@ impl<T> MinQueues<T> {
     /// Panics if `key` is negative (lower bounds are non-negative).
     pub fn push_rr(&self, key: f32, payload: T) {
         assert!(key >= 0.0, "queue keys are non-negative lower bounds");
+        // ORDERING: relaxed — the round-robin cursor only spreads load;
+        // any interleaving is correct and the payload travels under the
+        // shard's mutex.
         let shard = self.rr.fetch_add(1, Ordering::Relaxed) % self.shards.len();
         self.shards[shard].lock().push(Reverse(Item {
             key_bits: key.to_bits(),

@@ -317,6 +317,8 @@ fn run_pipeline(
                                 }
                             }
                             let grow_local = tg.elapsed().saturating_sub(flush_local);
+                            // ORDERING: relaxed — phase-time accumulators,
+                            // read only after the scope joins all workers.
                             grow_nanos.fetch_add(grow_local.as_nanos() as u64, Ordering::Relaxed);
                             flush_nanos.fetch_add(flush_local.as_nanos() as u64, Ordering::Relaxed);
                             // B2: all subtrees of this generation grown.
@@ -355,6 +357,8 @@ fn run_pipeline(
                         if let Some(node) = slot.as_mut() {
                             flush_subtree(node, store.expect("flushers imply a store"), errors);
                         }
+                        // ORDERING: relaxed — phase-time accumulator, read
+                        // only after the scope joins all workers.
                         flush_nanos.fetch_add(tf.elapsed().as_nanos() as u64, Ordering::Relaxed);
                         flush_tracker.done();
                     }
@@ -420,6 +424,8 @@ fn run_pipeline(
         total: total_time,
         read: read_time,
         stall: stall_waits + total_time.saturating_sub(t_read_done - t0),
+        // ORDERING: relaxed — every writer joined when the worker scope
+        // ended above; the join is the happens-before edge.
         grow_cpu: Duration::from_nanos(grow_nanos.load(Ordering::Relaxed)),
         flush_io: Duration::from_nanos(flush_nanos.load(Ordering::Relaxed)),
         generations,

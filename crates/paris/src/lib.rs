@@ -22,6 +22,8 @@
 //! cost" (§I). The visible difference is exactly what Fig. 4 plots, and
 //! [`BuildReport`] captures it.
 
+#![deny(unsafe_op_in_unsafe_fn)]
+
 pub mod build;
 pub mod config;
 pub mod query;

@@ -52,6 +52,8 @@ impl RecBufs {
     /// pushes for the generation have finished).
     pub fn claim_dirty(&self) -> Option<u16> {
         let keys = self.dirty_keys.lock();
+        // ORDERING: relaxed — Fetch&Inc claim: the index is the whole
+        // payload, and the keys themselves are read under the mutex.
         let i = self.cursor.fetch_add(1, Ordering::Relaxed);
         keys.get(i).copied()
     }

@@ -261,7 +261,8 @@ impl<'q> QueryBatch<'q> {
     /// Adds raw-fetch accounting: `fetches` series actually read, serving
     /// `requests` per-query distance attempts.
     pub fn count_io(&self, fetches: u64, requests: u64) {
-        // Relaxed: read only after the schedule completes (a join point).
+        // ORDERING: relaxed — read only in `finish`, after the schedule's
+        // join point; the join is the happens-before edge.
         self.fetches.fetch_add(fetches, Ordering::Relaxed);
         self.requests.fetch_add(requests, Ordering::Relaxed);
     }
@@ -301,6 +302,8 @@ impl<'q> QueryBatch<'q> {
         }
         let stats = BatchStats {
             broadcasts,
+            // ORDERING: relaxed — `finish` consumes `self` after the
+            // schedule joined every worker, so all counts are visible.
             series_fetched: self.fetches.load(Ordering::Relaxed),
             series_requests: self.requests.load(Ordering::Relaxed),
             shared,

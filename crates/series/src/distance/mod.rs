@@ -48,6 +48,9 @@ pub fn hardware_simd_available() -> bool {
 #[inline]
 #[must_use]
 pub fn simd_enabled() -> bool {
+    // ORDERING: relaxed — the cached decision is a self-contained value
+    // (no data is published through it) and every racing initializer
+    // computes the same answer.
     match SIMD_STATE.load(Ordering::Relaxed) {
         1 => true,
         2 => false,
@@ -58,7 +61,8 @@ pub fn simd_enabled() -> bool {
 #[cold]
 fn init_simd_state() -> bool {
     let enabled = hardware_simd_available() && !simd_kill_switch_active();
-    // Racing initializers compute the same value; the store is idempotent.
+    // ORDERING: relaxed — racing initializers compute the same value; the
+    // store is idempotent and publishes nothing beyond itself.
     SIMD_STATE.store(if enabled { 1 } else { 2 }, Ordering::Relaxed);
     enabled
 }
@@ -79,6 +83,8 @@ pub fn simd_kill_switch_active() -> bool {
 /// Returns the effective state.
 pub fn set_simd_enabled(on: bool) -> bool {
     let effective = on && hardware_simd_available() && !simd_kill_switch_active();
+    // ORDERING: relaxed — same contract as the initializer: the flag is a
+    // self-contained dispatch decision, not a publication point.
     SIMD_STATE.store(if effective { 1 } else { 2 }, Ordering::Relaxed);
     effective
 }

@@ -16,6 +16,8 @@
 //! All distances in hot paths are *squared* Euclidean distances; take a
 //! square root only at API boundaries.
 
+#![deny(unsafe_op_in_unsafe_fn)]
+
 pub mod dataset;
 pub mod distance;
 pub mod error;

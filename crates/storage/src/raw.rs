@@ -102,6 +102,8 @@ impl FlakySource {
     /// trace stream.
     #[cold]
     fn note_trip(&self) {
+        // ORDERING: relaxed — once-only latch for metric/trace emission;
+        // double emission is the only thing at stake, no data rides on it.
         if self
             .trip_noted
             .swap(true, std::sync::atomic::Ordering::Relaxed)
@@ -134,6 +136,8 @@ impl FlakySource {
     /// `true` once the read budget is exhausted (any further read fails).
     #[must_use]
     pub fn tripped(&self) -> bool {
+        // ORDERING: relaxed — diagnostic read of a self-contained budget
+        // counter; callers tolerate a momentarily stale answer.
         self.reads_left.load(std::sync::atomic::Ordering::Relaxed) == 0
     }
 }
@@ -150,6 +154,8 @@ impl RawSource for FlakySource {
     fn read_into(&self, pos: usize, out: &mut [f32]) -> Result<(), StorageError> {
         // Budget check via a CAS loop: decrement only while non-zero, so
         // concurrent readers never wrap the counter.
+        // ORDERING: relaxed — the budget counter is the entire shared
+        // state; the CAS only has to be atomic, it publishes no payload.
         let mut left = self.reads_left.load(std::sync::atomic::Ordering::Relaxed);
         loop {
             if left == 0 {
@@ -161,6 +167,8 @@ impl RawSource for FlakySource {
             match self.reads_left.compare_exchange_weak(
                 left,
                 left - 1,
+                // ORDERING: relaxed on success and failure — the budget
+                // counter is self-contained (see comment on the load).
                 std::sync::atomic::Ordering::Relaxed,
                 std::sync::atomic::Ordering::Relaxed,
             ) {

@@ -37,6 +37,10 @@ impl SpinBarrier {
         let generation = self.generation.load(Ordering::Acquire);
         if self.arrived.fetch_add(1, Ordering::AcqRel) + 1 == self.size {
             // Last to arrive: reset and release the others.
+            // ORDERING: relaxed reset is safe — waiters cannot touch
+            // `arrived` again until they observe the generation bump, and
+            // that Release store (with their Acquire load) orders the
+            // reset before any next-cycle arrival.
             self.arrived.store(0, Ordering::Relaxed);
             self.generation.fetch_add(1, Ordering::Release);
             true

@@ -63,6 +63,9 @@ impl AtomicBest {
     /// converge to a deterministic answer.
     pub fn update(&self, dist_sq: f32, pos: u32) -> bool {
         let new = pack(dist_sq, pos);
+        // ORDERING: the relaxed load and relaxed CAS-failure read are only
+        // hints that seed/refresh the next CAS attempt; the successful
+        // exchange is AcqRel, which is what publishes the new BSF.
         let mut cur = self.packed.load(Ordering::Relaxed);
         loop {
             if new >= cur {

@@ -17,6 +17,8 @@
 //! [`AtomicBest`] and [`SharedTopK`] implement it), so the query kernels
 //! answer 1-NN and k-NN with the same code.
 
+#![deny(unsafe_op_in_unsafe_fn)]
+
 pub mod barrier;
 pub mod best;
 pub mod metrics;

@@ -190,6 +190,9 @@ impl WorkerPool {
                         }
                     }
                     let idle = nanos(spin_start.elapsed());
+                    // ORDERING: relaxed — per-worker stat cell written only
+                    // by its owner thread; readers accept lag (see
+                    // `worker_stats`).
                     me.idle.fetch_add(idle, Ordering::Relaxed);
                     // Slow path: park on the shared condvar until a new
                     // generation is published (or shutdown).
@@ -206,6 +209,7 @@ impl WorkerPool {
                         Arc::clone(slot.job.as_ref().expect("published generation has a job"))
                     };
                     let parked = nanos(park_start.elapsed());
+                    // ORDERING: relaxed — owner-thread stat cell, as above.
                     me.parked.fetch_add(parked, Ordering::Relaxed);
                     // SAFETY: see `Job.task` — the broadcaster keeps the
                     // closure alive until every worker is done.
@@ -214,6 +218,7 @@ impl WorkerPool {
                     let result =
                         std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| task(worker_id)));
                     let busy = nanos(busy_start.elapsed());
+                    // ORDERING: relaxed — owner-thread stat cells, as above.
                     me.busy.fetch_add(busy, Ordering::Relaxed);
                     me.broadcasts.fetch_add(1, Ordering::Relaxed);
                     if dsidx_obs::enabled() {
@@ -265,6 +270,8 @@ impl WorkerPool {
             .workers
             .iter()
             .map(|w| WorkerStats {
+                // ORDERING: relaxed — monotone stat reads; the docs above
+                // already promise snapshots may trail in-progress work.
                 busy_nanos: w.busy.load(Ordering::Relaxed),
                 idle_nanos: w.idle.load(Ordering::Relaxed),
                 parked_nanos: w.parked.load(Ordering::Relaxed),

@@ -49,6 +49,9 @@ impl WorkQueue {
     /// Claims the next single item, or `None` when exhausted.
     #[inline]
     pub fn claim(&self) -> Option<usize> {
+        // ORDERING: relaxed — Fetch&Inc claim: the index is the entire
+        // payload; the data it indexes was published before the workers
+        // started (pool broadcast / scope spawn).
         let i = self.next.fetch_add(1, Ordering::Relaxed);
         if i < self.total {
             Some(i)
@@ -63,6 +66,7 @@ impl WorkQueue {
     #[inline]
     pub fn claim_chunk(&self, chunk: usize) -> Option<Range<usize>> {
         assert!(chunk > 0, "chunk size must be non-zero");
+        // ORDERING: relaxed — same Fetch&Inc contract as `claim`.
         let start = self.next.fetch_add(chunk, Ordering::Relaxed);
         if start >= self.total {
             self.observe_drained();
@@ -74,6 +78,8 @@ impl WorkQueue {
     /// Records the completed drain in the depth histogram, once per drain.
     #[cold]
     fn observe_drained(&self) {
+        // ORDERING: relaxed — once-only latch for the depth histogram; a
+        // lost race costs at most a duplicate observation attempt.
         if dsidx_obs::enabled() && !self.drained.swap(true, Ordering::Relaxed) {
             drain_depth_histogram().observe(self.total as u64);
         }
@@ -81,6 +87,8 @@ impl WorkQueue {
 
     /// Resets the queue for reuse (callers must ensure no concurrent claims).
     pub fn reset(&self) {
+        // ORDERING: relaxed — the caller guarantees quiescence; the
+        // Release store on `next` below is what re-publishes the queue.
         self.drained.store(false, Ordering::Relaxed);
         self.next.store(0, Ordering::Release);
     }
