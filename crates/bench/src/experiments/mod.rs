@@ -2,6 +2,7 @@
 
 pub mod abl_buffers;
 pub mod abl_queues;
+pub mod coldstart;
 pub mod ext_dtw;
 pub mod fig10;
 pub mod fig11;
@@ -100,6 +101,11 @@ pub const ALL: &[Experiment] = &[
         "obs",
         "Extension: observability self-measurement (phase coverage, plane overhead, trace)",
         obs::run,
+    ),
+    (
+        "coldstart",
+        "Extension: build-from-raw vs snapshot open (wall time + device bytes, >=10x asserted)",
+        coldstart::run,
     ),
     (
         "shards",

@@ -12,12 +12,14 @@ use crate::answers::Answers;
 use crate::error::Error;
 use crate::options::Options;
 use crate::search::Search;
+use crate::snapshot::{open_snapshot, save_snapshot, SnapshotContents};
 use crate::spec::{Fidelity, Measure, QuerySpec};
 use dsidx_obs::phase::{Phase, PhaseClock};
 use dsidx_query::{BatchStats, QueryStats, ShardView};
 use dsidx_series::{Dataset, Match};
-use dsidx_storage::{DatasetFile, Device, DeviceProfile, RawSource};
+use dsidx_storage::{DatasetFile, Device, DeviceProfile, LeafStoreReader, RawSource};
 use dsidx_tree::stats::{index_stats, IndexStats};
+use dsidx_tree::FlatTree;
 use std::path::{Path, PathBuf};
 use std::sync::Arc;
 
@@ -187,6 +189,80 @@ impl MemoryIndex {
             data,
             engine,
             options: options.clone(),
+            inner,
+        })
+    }
+
+    /// Saves the built index as a snapshot file at `path`: the tree
+    /// topology and leaf entries in the versioned container format (see
+    /// the `snapshot` section of the README) — the SAX words live inside
+    /// the entry records, so they are not stored separately. The dataset
+    /// itself is *not* embedded — [`open`](Self::open) re-pairs the
+    /// snapshot with the caller's dataset and cross-checks the
+    /// fingerprint. Returns the snapshot size in bytes.
+    ///
+    /// # Errors
+    /// I/O failures writing the file.
+    pub fn save(&self, path: &Path) -> Result<u64, Error> {
+        let device = Arc::new(Device::unthrottled());
+        let index = match &self.inner {
+            MemoryInner::Ads(ads) => &ads.index,
+            MemoryInner::Paris(paris) => &paris.index,
+            MemoryInner::Messi(messi) => &messi.index,
+        };
+        save_snapshot(path, self.engine, index, None, &device)
+    }
+
+    /// Opens a snapshot saved by [`save`](Self::save) over `data` — the
+    /// same dataset the snapshot was built from. No tree construction
+    /// happens: the node records are decoded back into the tree in one
+    /// pass, so opening costs milliseconds where building costs seconds.
+    ///
+    /// The engine and tree geometry (segments, leaf capacity) come from
+    /// the snapshot; the corresponding fields of `options` are
+    /// overridden so queries run with the geometry the tree was actually
+    /// built with. The opened index answers [`Search::search`]
+    /// bit-identically to the index that was saved.
+    ///
+    /// # Errors
+    /// [`Error::Storage`] for missing/truncated/corrupt snapshots and for
+    /// a fingerprint that does not match `data` (wrong dataset).
+    pub fn open(
+        path: &Path,
+        data: impl Into<Arc<Dataset>>,
+        options: &Options,
+    ) -> Result<Self, Error> {
+        let data = data.into();
+        let device = Arc::new(Device::unthrottled());
+        let contents = open_snapshot(path, &device, data.series_len(), data.len())?;
+        let SnapshotContents {
+            engine,
+            index,
+            sax,
+            segments,
+            leaf_capacity,
+            ..
+        } = contents;
+        let options = options
+            .clone()
+            .with_segments(segments)
+            .with_leaf_capacity(leaf_capacity);
+        let inner = match engine {
+            Engine::Ads => MemoryInner::Ads(dsidx_ads::AdsIndex { index, sax }),
+            Engine::Paris | Engine::ParisPlus => MemoryInner::Paris(dsidx_paris::ParisIndex {
+                index,
+                sax,
+                leaves: None,
+            }),
+            Engine::Messi => {
+                let flat = FlatTree::from_index(&index);
+                MemoryInner::Messi(dsidx_messi::MessiIndex { index, flat, sax })
+            }
+        };
+        Ok(Self {
+            data,
+            engine,
+            options,
             inner,
         })
     }
@@ -490,6 +566,15 @@ enum DiskInner {
 /// into the same workdir.
 static BUILD_SEQ: std::sync::atomic::AtomicU64 = std::sync::atomic::AtomicU64::new(0);
 
+/// Where a ParIS leaf store lives: a standalone scratch file from a
+/// build (`offset` 0, `len` `None` = the whole file), or a section of a
+/// snapshot file after [`DiskIndex::open`].
+struct StoreLocation {
+    path: PathBuf,
+    offset: u64,
+    len: Option<u64>,
+}
+
 /// An index over an on-disk dataset file; raw values are fetched (and
 /// charged to the device) at query time.
 pub struct DiskIndex {
@@ -498,8 +583,7 @@ pub struct DiskIndex {
     options: Options,
     inner: DiskInner,
     build_report: Option<dsidx_paris::BuildReport>,
-    #[allow(dead_code)] // held so the leaf store file outlives the index
-    store_path: Option<PathBuf>,
+    store: Option<StoreLocation>,
 }
 
 impl DiskIndex {
@@ -525,7 +609,7 @@ impl DiskIndex {
         let series_len = file.series_len();
         // One workdir setup for every engine (scratch files land here).
         std::fs::create_dir_all(workdir).map_err(dsidx_storage::StorageError::from)?;
-        let (inner, build_report, store_path) = match engine {
+        let (inner, build_report, store) = match engine {
             Engine::Ads => {
                 let (ads, _) = dsidx_ads::build_from_file(
                     &file,
@@ -553,7 +637,15 @@ impl DiskIndex {
                     &options.paris_config(series_len)?,
                     mode,
                 )?;
-                (DiskInner::Paris(paris), Some(report), Some(store_path))
+                (
+                    DiskInner::Paris(paris),
+                    Some(report),
+                    Some(StoreLocation {
+                        path: store_path,
+                        offset: 0,
+                        len: None,
+                    }),
+                )
             }
             Engine::Messi => {
                 let (messi, _) = dsidx_messi::build_from_file(
@@ -570,7 +662,135 @@ impl DiskIndex {
             options: options.clone(),
             inner,
             build_report,
-            store_path,
+            store,
+        })
+    }
+
+    /// Saves the built index as a snapshot file at `path`: tree topology,
+    /// leaf entries, SAX words, and — for ParIS/ParIS+ — the materialized
+    /// leaf store, embedded verbatim as a section. The dataset file is
+    /// *not* embedded; [`open`](Self::open) re-pairs the snapshot with it
+    /// and cross-checks the fingerprint. All reads and the write are
+    /// charged to this index's modeled device. Returns the snapshot size
+    /// in bytes.
+    ///
+    /// # Errors
+    /// I/O failures reading the leaf store or writing the snapshot.
+    pub fn save(&self, path: &Path) -> Result<u64, Error> {
+        let leaf_store = self.read_store_bytes()?;
+        let index = match &self.inner {
+            DiskInner::Ads(ads) => &ads.index,
+            DiskInner::Paris(paris) => &paris.index,
+            DiskInner::Messi(messi) => &messi.index,
+        };
+        save_snapshot(path, self.engine, index, leaf_store, self.file.device())
+    }
+
+    /// The raw bytes of the leaf store this index answers from, charged
+    /// to the device as one sequential read. `None` for engines without a
+    /// store.
+    fn read_store_bytes(&self) -> Result<Option<Vec<u8>>, Error> {
+        use std::os::unix::fs::FileExt;
+        let Some(loc) = &self.store else {
+            return Ok(None);
+        };
+        let file = std::fs::File::open(&loc.path).map_err(dsidx_storage::StorageError::from)?;
+        let len = match loc.len {
+            Some(len) => len,
+            None => {
+                let total = file
+                    .metadata()
+                    .map_err(dsidx_storage::StorageError::from)?
+                    .len();
+                total - loc.offset
+            }
+        };
+        let mut bytes = vec![0u8; usize::try_from(len).expect("store fits memory")];
+        file.read_exact_at(&mut bytes, loc.offset)
+            .map_err(dsidx_storage::StorageError::from)?;
+        self.file.device().charge_read(loc.offset, len);
+        Ok(Some(bytes))
+    }
+
+    /// Opens a snapshot saved by [`save`](Self::save), re-pairing it with
+    /// the dataset file at `dataset_path` on a device with the given
+    /// profile. No tree construction happens — decode is one positioned
+    /// read per section, all charged to the device — so opening costs
+    /// milliseconds where building costs seconds of modeled I/O.
+    ///
+    /// ParIS/ParIS+ leaf reads are served straight from the leaf-store
+    /// section *inside* the snapshot file; no scratch files are written.
+    /// The engine and tree geometry come from the snapshot (the
+    /// corresponding `options` fields are overridden), and the opened
+    /// index answers [`Search::search`] bit-identically to the one that
+    /// was saved.
+    ///
+    /// # Errors
+    /// [`Error::Storage`] for missing/truncated/corrupt snapshots and for
+    /// a fingerprint that does not match the dataset file.
+    pub fn open(
+        snapshot_path: &Path,
+        dataset_path: &Path,
+        options: &Options,
+        profile: DeviceProfile,
+    ) -> Result<Self, Error> {
+        let device = Arc::new(Device::new(profile));
+        let file = DatasetFile::open(dataset_path, Arc::clone(&device))?;
+        let contents = open_snapshot(snapshot_path, &device, file.series_len(), file.count())?;
+        let SnapshotContents {
+            engine,
+            index,
+            sax,
+            leaf_store,
+            segments,
+            leaf_capacity,
+        } = contents;
+        let options = options
+            .clone()
+            .with_segments(segments)
+            .with_leaf_capacity(leaf_capacity);
+        let (inner, store) = match engine {
+            Engine::Ads => (DiskInner::Ads(dsidx_ads::AdsIndex { index, sax }), None),
+            Engine::Paris | Engine::ParisPlus => {
+                let (leaves, store) = match leaf_store {
+                    Some((offset, len, bytes)) => {
+                        let reader = LeafStoreReader::from_verified_bytes(
+                            snapshot_path,
+                            offset,
+                            &bytes,
+                            Arc::clone(&device),
+                        )?;
+                        (
+                            Some(reader),
+                            Some(StoreLocation {
+                                path: snapshot_path.to_path_buf(),
+                                offset,
+                                len: Some(len),
+                            }),
+                        )
+                    }
+                    None => (None, None),
+                };
+                (
+                    DiskInner::Paris(dsidx_paris::ParisIndex { index, sax, leaves }),
+                    store,
+                )
+            }
+            Engine::Messi => {
+                let flat = FlatTree::from_index(&index);
+                (
+                    DiskInner::Messi(dsidx_messi::MessiIndex { index, flat, sax }),
+                    None,
+                )
+            }
+        };
+        Ok(Self {
+            file,
+            engine,
+            options,
+            inner,
+            build_report: None,
+            store,
         })
     }
 
@@ -1146,7 +1366,10 @@ mod tests {
             DeviceProfile::UNTHROTTLED,
         )
         .unwrap();
-        assert_ne!(a.store_path, b.store_path);
+        assert_ne!(
+            a.store.as_ref().map(|s| &s.path),
+            b.store.as_ref().map(|s| &s.path)
+        );
         let q = DatasetKind::Synthetic.queries(1, 64, 3);
         // Both indexes still answer (neither's store was truncated by the
         // other's build).
@@ -1169,6 +1392,103 @@ mod tests {
             assert!(stats.real_computed > 0, "{}", engine.name());
             assert!(stats.lb_total() > 0, "{}", engine.name());
         }
+    }
+
+    fn memory_tree(idx: &MemoryIndex) -> &dsidx_tree::Index {
+        match &idx.inner {
+            MemoryInner::Ads(x) => &x.index,
+            MemoryInner::Paris(x) => &x.index,
+            MemoryInner::Messi(x) => &x.index,
+        }
+    }
+
+    fn disk_tree(idx: &DiskIndex) -> &dsidx_tree::Index {
+        match &idx.inner {
+            DiskInner::Ads(x) => &x.index,
+            DiskInner::Paris(x) => &x.index,
+            DiskInner::Messi(x) => &x.index,
+        }
+    }
+
+    #[test]
+    fn memory_snapshot_round_trips_structurally_identical_trees() {
+        let dir = std::env::temp_dir().join(format!("dsidx-snap-mem-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let data = DatasetKind::Synthetic.generate(300, 64, 11);
+        let opts = Options::default().with_threads(3).with_leaf_capacity(16);
+        for engine in Engine::ALL {
+            let built = MemoryIndex::build(data.clone(), engine, &opts).unwrap();
+            let path = dir.join(format!("m-{}.snap", engine.name().replace('+', "p")));
+            let bytes = built.save(&path).unwrap();
+            assert_eq!(bytes, std::fs::metadata(&path).unwrap().len());
+            // Opening with *different* defaults must still reproduce the
+            // saved geometry — the snapshot's fingerprint wins.
+            let opened = MemoryIndex::open(&path, data.clone(), &Options::default()).unwrap();
+            assert_eq!(opened.engine(), engine);
+            // The decoded tree is structurally *equal* to the built one,
+            // node for node (Index derives PartialEq) — the strongest
+            // form of "no reconstruction drift".
+            assert_eq!(
+                memory_tree(&built),
+                memory_tree(&opened),
+                "{}",
+                engine.name()
+            );
+        }
+    }
+
+    #[test]
+    fn disk_snapshot_round_trips_structurally_identical_trees() {
+        let dir = std::env::temp_dir().join(format!("dsidx-snap-disk-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("d.dsidx");
+        let data = DatasetKind::Synthetic.generate(250, 64, 13);
+        dsidx_storage::write_dataset(&path, &data, Arc::new(Device::unthrottled())).unwrap();
+        let opts = Options::default().with_threads(3).with_leaf_capacity(16);
+        let q = DatasetKind::Synthetic.queries(2, 64, 13);
+        let qs: Vec<&[f32]> = q.iter().collect();
+        for engine in Engine::ALL {
+            let built =
+                DiskIndex::build(&path, &dir, engine, &opts, DeviceProfile::UNTHROTTLED).unwrap();
+            let snap = dir.join(format!("d-{}.snap", engine.name().replace('+', "p")));
+            built.save(&snap).unwrap();
+            let opened = DiskIndex::open(
+                &snap,
+                &path,
+                &Options::default(),
+                DeviceProfile::UNTHROTTLED,
+            )
+            .unwrap();
+            assert_eq!(opened.engine(), engine);
+            assert_eq!(disk_tree(&built), disk_tree(&opened), "{}", engine.name());
+            // ParIS answers exact queries through the leaf store embedded
+            // in the snapshot file — same answers as the scratch-file one.
+            let a = built.search(&qs, &QuerySpec::knn(5)).unwrap();
+            let b = opened.search(&qs, &QuerySpec::knn(5)).unwrap();
+            assert_eq!(a.matches(), b.matches(), "{}", engine.name());
+        }
+    }
+
+    #[test]
+    fn snapshot_open_rejects_the_wrong_dataset() {
+        let dir = std::env::temp_dir().join(format!("dsidx-snap-wrong-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let data = DatasetKind::Synthetic.generate(120, 64, 17);
+        let idx = MemoryIndex::build(data, Engine::Ads, &Options::default()).unwrap();
+        let path = dir.join("a.snap");
+        idx.save(&path).unwrap();
+        // Wrong count.
+        let other = DatasetKind::Synthetic.generate(121, 64, 17);
+        let Err(err) = MemoryIndex::open(&path, other, &Options::default()) else {
+            panic!("wrong count accepted");
+        };
+        assert!(err.to_string().contains("fingerprint"), "{err}");
+        // Wrong series length.
+        let other = DatasetKind::Synthetic.generate(120, 32, 17);
+        let Err(err) = MemoryIndex::open(&path, other, &Options::default()) else {
+            panic!("wrong series length accepted");
+        };
+        assert!(err.to_string().contains("fingerprint"), "{err}");
     }
 
     #[test]

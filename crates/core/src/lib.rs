@@ -74,6 +74,7 @@ pub mod options;
 pub mod prelude;
 pub mod search;
 pub mod shard;
+mod snapshot;
 pub mod spec;
 
 pub use answers::Answers;

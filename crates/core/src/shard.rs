@@ -272,6 +272,163 @@ impl ShardedIndex {
         })
     }
 
+    /// Saves the sharded index as one snapshot artifact per shard inside
+    /// `dir` (`shard-<i>.snap`), described by a plain-text `MANIFEST`
+    /// file. [`open_in_memory`](Self::open_in_memory) and
+    /// [`open_on_disk`](Self::open_on_disk) reopen the whole thing from
+    /// the manifest. Returns the total bytes written across all
+    /// artifacts.
+    ///
+    /// The manifest records each shard's residence, slice (`base`,
+    /// `count`), snapshot file name, and — for on-disk shards — the
+    /// absolute path of its shard dataset file, so a disk reopen needs
+    /// only the directory.
+    ///
+    /// # Errors
+    /// I/O failures creating `dir` or writing any artifact.
+    pub fn save(&self, dir: &Path) -> Result<u64, Error> {
+        std::fs::create_dir_all(dir).map_err(StorageError::from)?;
+        let mut total_bytes = 0u64;
+        let mut manifest = String::new();
+        manifest.push_str("dsidx-snapshot-manifest v1\n");
+        manifest.push_str(&format!("engine {}\n", self.engine.name()));
+        manifest.push_str(&format!("series_len {}\n", self.series_len));
+        manifest.push_str(&format!("total {}\n", self.total));
+        manifest.push_str(&format!("shards {}\n", self.shards.len()));
+        for (s, shard) in self.shards.iter().enumerate() {
+            let file = format!("shard-{s}.snap");
+            let (kind, dataset) = match &shard.index {
+                ShardIndex::Memory(m) => {
+                    total_bytes += m.save(&dir.join(&file))?;
+                    ("memory", "-".to_string())
+                }
+                ShardIndex::Disk(d) => {
+                    total_bytes += d.save(&dir.join(&file))?;
+                    ("disk", d.file().path().display().to_string())
+                }
+            };
+            manifest.push_str(&format!(
+                "shard {s} {kind} {} {} {file} {dataset}\n",
+                shard.base, shard.count
+            ));
+        }
+        std::fs::write(dir.join("MANIFEST"), &manifest).map_err(StorageError::from)?;
+        total_bytes += manifest.len() as u64;
+        Ok(total_bytes)
+    }
+
+    /// Reopens a saved sharded index over `data` — the same concatenated
+    /// dataset it was built from — with every shard answering in memory.
+    /// Works for snapshots saved from either residence (the per-shard
+    /// trees are identical); the manifest's slices are re-cut from `data`
+    /// and each must match the recorded `(base, count)`.
+    ///
+    /// # Errors
+    /// [`Error::Storage`] for a missing/malformed manifest, a manifest
+    /// that does not match `data`, or any per-shard snapshot failure.
+    pub fn open_in_memory(dir: &Path, data: &Dataset, options: &Options) -> Result<Self, Error> {
+        let m = Manifest::read(dir)?;
+        if m.series_len != data.series_len() || m.total != data.len() {
+            return Err(manifest_corrupt(format!(
+                "manifest describes {} series of length {}, dataset has {} of length {} — is \
+                 this the right dataset?",
+                m.total,
+                m.series_len,
+                data.len(),
+                data.series_len()
+            )));
+        }
+        let mut built = Vec::with_capacity(m.shards.len());
+        for (entry, range) in m.shards.iter().zip(partition(m.total, m.shards.len())) {
+            entry.check_slice(&range)?;
+            let mut flat = Vec::with_capacity(range.len() * m.series_len);
+            for pos in range.clone() {
+                flat.extend_from_slice(data.get(pos));
+            }
+            let part = Dataset::from_flat(flat, m.series_len)?;
+            let index =
+                MemoryIndex::open(&dir.join(&entry.file), part, options).map_err(|e| match e {
+                    Error::Storage(err) => Error::Storage(err.for_shard(entry.index)),
+                    other => other,
+                })?;
+            if index.engine() != m.engine {
+                return Err(manifest_corrupt(format!(
+                    "shard {} snapshot was saved with engine {}, manifest says {}",
+                    entry.index,
+                    index.engine().name(),
+                    m.engine.name()
+                )));
+            }
+            built.push(Shard {
+                index: ShardIndex::Memory(Box::new(index)),
+                base: u32::try_from(range.start).expect("dataset positions fit in u32"),
+                count: range.len(),
+                flaky: None,
+            });
+        }
+        Ok(Self {
+            shards: built,
+            engine: m.engine,
+            series_len: m.series_len,
+            total: m.total,
+            share_bsf: true,
+        })
+    }
+
+    /// Reopens a saved on-disk sharded index from `dir` alone: each
+    /// shard's snapshot is re-paired with the shard dataset file the
+    /// manifest recorded, on a fresh device with the given profile.
+    ///
+    /// # Errors
+    /// [`Error::Storage`] for a missing/malformed manifest, manifests
+    /// whose shards were not saved from disk, a moved/deleted shard
+    /// dataset file, or any per-shard snapshot failure.
+    pub fn open_on_disk(
+        dir: &Path,
+        options: &Options,
+        profile: DeviceProfile,
+    ) -> Result<Self, Error> {
+        let m = Manifest::read(dir)?;
+        let mut built = Vec::with_capacity(m.shards.len());
+        for (entry, range) in m.shards.iter().zip(partition(m.total, m.shards.len())) {
+            entry.check_slice(&range)?;
+            let (true, Some(dataset)) = (entry.on_disk, &entry.dataset) else {
+                return Err(manifest_corrupt(format!(
+                    "shard {} was saved from memory; open_on_disk needs shards saved from disk \
+                     (use open_in_memory)",
+                    entry.index
+                )));
+            };
+            let index =
+                DiskIndex::open(&dir.join(&entry.file), Path::new(dataset), options, profile)
+                    .map_err(|e| match e {
+                        Error::Storage(err) => Error::Storage(err.for_shard(entry.index)),
+                        other => other,
+                    })?;
+            if index.engine() != m.engine {
+                return Err(manifest_corrupt(format!(
+                    "shard {} snapshot was saved with engine {}, manifest says {}",
+                    entry.index,
+                    index.engine().name(),
+                    m.engine.name()
+                )));
+            }
+            built.push(Shard {
+                index: ShardIndex::Disk(Box::new(index)),
+                base: u32::try_from(range.start).expect("dataset positions fit in u32"),
+                count: range.len(),
+                flaky: None,
+            });
+        }
+        Ok(Self {
+            shards: built,
+            engine: m.engine,
+            series_len: m.series_len,
+            total: m.total,
+            share_bsf: true,
+        })
+    }
+
     /// The engine every shard was built with.
     #[must_use]
     pub fn engine(&self) -> Engine {
@@ -427,6 +584,140 @@ impl ShardedIndex {
     }
 }
 
+fn manifest_corrupt(msg: String) -> Error {
+    Error::Storage(StorageError::Corrupt(msg))
+}
+
+/// One `shard ...` line of a sharded-snapshot `MANIFEST`.
+struct ManifestShard {
+    index: u64,
+    on_disk: bool,
+    base: u32,
+    count: usize,
+    file: String,
+    /// Absolute path of the shard's dataset file (`None` when the shard
+    /// was saved from memory — the manifest records `-`).
+    dataset: Option<String>,
+}
+
+impl ManifestShard {
+    /// The recorded slice must be the one [`partition`] re-derives —
+    /// otherwise global positions would silently shift.
+    fn check_slice(&self, range: &Range<usize>) -> Result<(), Error> {
+        if self.base as usize != range.start || self.count != range.len() {
+            return Err(manifest_corrupt(format!(
+                "shard {} records slice ({}, {}) but the partition rule gives ({}, {}) — the \
+                 manifest was edited or truncated",
+                self.index,
+                self.base,
+                self.count,
+                range.start,
+                range.len()
+            )));
+        }
+        Ok(())
+    }
+}
+
+/// The parsed `MANIFEST` of a sharded snapshot directory.
+struct Manifest {
+    engine: Engine,
+    series_len: usize,
+    total: usize,
+    shards: Vec<ManifestShard>,
+}
+
+impl Manifest {
+    fn read(dir: &Path) -> Result<Self, Error> {
+        let path = dir.join("MANIFEST");
+        let text = std::fs::read_to_string(&path).map_err(StorageError::from)?;
+        let mut lines = text.lines();
+        if lines.next() != Some("dsidx-snapshot-manifest v1") {
+            return Err(manifest_corrupt(format!(
+                "{} is not a dsidx sharded-snapshot manifest (bad first line)",
+                path.display()
+            )));
+        }
+        let mut engine = None;
+        let mut series_len = None;
+        let mut total = None;
+        let mut declared = None;
+        let mut shards: Vec<ManifestShard> = Vec::new();
+        for line in lines {
+            if line.is_empty() {
+                continue;
+            }
+            let bad = |what: &str| {
+                manifest_corrupt(format!("manifest line `{line}` has a malformed {what}"))
+            };
+            match line.split_once(' ') {
+                Some(("engine", name)) => {
+                    engine = Some(name.parse::<Engine>().map_err(|_| bad("engine name"))?);
+                }
+                Some(("series_len", v)) => {
+                    series_len = Some(v.parse::<usize>().map_err(|_| bad("series length"))?);
+                }
+                Some(("total", v)) => {
+                    total = Some(v.parse::<usize>().map_err(|_| bad("total"))?);
+                }
+                Some(("shards", v)) => {
+                    declared = Some(v.parse::<usize>().map_err(|_| bad("shard count"))?);
+                }
+                Some(("shard", rest)) => {
+                    // `<i> <kind> <base> <count> <file> <dataset>` — the
+                    // dataset path comes last and may itself contain
+                    // spaces, hence the bounded split.
+                    let fields: Vec<&str> = rest.splitn(6, ' ').collect();
+                    let [i, kind, base, count, file, dataset] = fields[..] else {
+                        return Err(bad("shard record"));
+                    };
+                    let on_disk = match kind {
+                        "disk" => true,
+                        "memory" => false,
+                        _ => return Err(bad("residence")),
+                    };
+                    let index = i.parse::<u64>().map_err(|_| bad("shard number"))?;
+                    if index != shards.len() as u64 {
+                        return Err(manifest_corrupt(format!(
+                            "manifest shard records are out of order at shard {index}"
+                        )));
+                    }
+                    shards.push(ManifestShard {
+                        index,
+                        on_disk,
+                        base: base.parse().map_err(|_| bad("base"))?,
+                        count: count.parse().map_err(|_| bad("count"))?,
+                        file: file.to_string(),
+                        dataset: (dataset != "-").then(|| dataset.to_string()),
+                    });
+                }
+                _ => {
+                    return Err(manifest_corrupt(format!(
+                        "manifest has an unrecognized line `{line}`"
+                    )))
+                }
+            }
+        }
+        let missing = |what: &str| manifest_corrupt(format!("manifest is missing its {what} line"));
+        let engine = engine.ok_or_else(|| missing("engine"))?;
+        let series_len = series_len.ok_or_else(|| missing("series_len"))?;
+        let total = total.ok_or_else(|| missing("total"))?;
+        let declared = declared.ok_or_else(|| missing("shards"))?;
+        if declared != shards.len() || shards.is_empty() {
+            return Err(manifest_corrupt(format!(
+                "manifest declares {declared} shards but records {} (truncated?)",
+                shards.len()
+            )));
+        }
+        Ok(Self {
+            engine,
+            series_len,
+            total,
+            shards,
+        })
+    }
+}
+
 impl Search for ShardedIndex {
     fn search(&self, queries: &[&[f32]], spec: &QuerySpec) -> Result<Answers, Error> {
         trace_search("sharded", self.engine, queries.len(), spec);
@@ -576,6 +867,87 @@ mod tests {
         let a = shared.search(&qrefs, &spec).unwrap();
         let b = isolated.search(&qrefs, &spec).unwrap();
         assert_eq!(a.matches(), b.matches());
+    }
+
+    #[test]
+    fn sharded_snapshot_round_trips_in_memory() {
+        let dir = std::env::temp_dir().join(format!("dsidx-shardsnap-{}", std::process::id()));
+        let data = DatasetKind::Synthetic.generate(500, 64, 41);
+        let opts = Options::default().with_threads(2).with_leaf_capacity(16);
+        let qs = DatasetKind::Synthetic.queries(3, 64, 41);
+        let qrefs: Vec<&[f32]> = qs.iter().collect();
+        let built = ShardedIndex::build_in_memory(&data, 3, Engine::Messi, &opts).unwrap();
+        built.save(&dir).unwrap();
+        let opened = ShardedIndex::open_in_memory(&dir, &data, &Options::default()).unwrap();
+        assert_eq!(opened.shard_count(), 3);
+        assert_eq!(opened.engine(), Engine::Messi);
+        assert_eq!(opened.len(), 500);
+        for spec in [QuerySpec::nn(), QuerySpec::knn(7)] {
+            assert_eq!(
+                opened.search(&qrefs, &spec).unwrap().matches(),
+                built.search(&qrefs, &spec).unwrap().matches(),
+            );
+        }
+        // The wrong dataset is refused up front, not answered wrongly.
+        let other = DatasetKind::Synthetic.generate(499, 64, 41);
+        let err = match ShardedIndex::open_in_memory(&dir, &other, &Options::default()) {
+            Err(e) => e.to_string(),
+            Ok(_) => panic!("wrong dataset accepted"),
+        };
+        assert!(err.contains("right dataset"), "{err}");
+    }
+
+    #[test]
+    fn sharded_snapshot_round_trips_on_disk() {
+        let dir = std::env::temp_dir().join(format!("dsidx-shardsnap-d-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("full.dsidx");
+        let data = DatasetKind::Synthetic.generate(400, 64, 43);
+        dsidx_storage::write_dataset(&path, &data, Arc::new(Device::unthrottled())).unwrap();
+        let opts = Options::default().with_threads(2).with_leaf_capacity(16);
+        let built = ShardedIndex::build_on_disk(
+            &path,
+            &dir,
+            3,
+            Engine::ParisPlus,
+            &opts,
+            DeviceProfile::UNTHROTTLED,
+        )
+        .unwrap();
+        let snapdir = dir.join("snap");
+        built.save(&snapdir).unwrap();
+        // Disk reopen: the manifest alone locates every shard artifact
+        // and dataset file.
+        let opened =
+            ShardedIndex::open_on_disk(&snapdir, &Options::default(), DeviceProfile::UNTHROTTLED)
+                .unwrap();
+        assert_eq!(opened.engine(), Engine::ParisPlus);
+        let qs = DatasetKind::Synthetic.queries(2, 64, 43);
+        let qrefs: Vec<&[f32]> = qs.iter().collect();
+        let spec = QuerySpec::knn(5);
+        assert_eq!(
+            opened.search(&qrefs, &spec).unwrap().matches(),
+            built.search(&qrefs, &spec).unwrap().matches(),
+        );
+        // The same artifacts also open in memory over the full dataset.
+        let mem = ShardedIndex::open_in_memory(&snapdir, &data, &Options::default()).unwrap();
+        assert_eq!(
+            mem.search(&qrefs, &spec).unwrap().matches(),
+            built.search(&qrefs, &spec).unwrap().matches(),
+        );
+        // A tampered manifest is a structured error naming the problem.
+        let manifest = snapdir.join("MANIFEST");
+        let text = std::fs::read_to_string(&manifest).unwrap();
+        std::fs::write(&manifest, text.replace("shard 2 disk", "shard 2 memory")).unwrap();
+        let err = match ShardedIndex::open_on_disk(
+            &snapdir,
+            &Options::default(),
+            DeviceProfile::UNTHROTTLED,
+        ) {
+            Err(e) => e.to_string(),
+            Ok(_) => panic!("tampered manifest accepted"),
+        };
+        assert!(err.contains("shard 2"), "{err}");
     }
 
     #[test]

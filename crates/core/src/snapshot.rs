@@ -1,0 +1,253 @@
+//! Shared save/open plumbing behind [`MemoryIndex::save`],
+//! [`DiskIndex::open`] and friends: engine ids, section naming, fingerprint
+//! validation, tree/SAX codec invocation, and the snapshot observability
+//! hooks.
+//!
+//! The division of labor: `dsidx-storage::snapshot` owns the *container*
+//! (header, checksums, section table), `dsidx-tree::snapshot` owns the
+//! *record layouts* (node/entry/SAX arrays), and this module is the glue
+//! that knows which sections an engine's index turns into and how to
+//! validate a snapshot against the dataset it is being opened over.
+//!
+//! [`MemoryIndex::save`]: crate::MemoryIndex::save
+//! [`DiskIndex::open`]: crate::DiskIndex::open
+
+use crate::engine::Engine;
+use crate::error::Error;
+use dsidx_storage::snapshot::SnapshotFingerprint;
+use dsidx_storage::{Device, SnapshotReader, SnapshotWriter, StorageError};
+use dsidx_tree::snapshot::{decode_tree, encode_tree, CodecError, TreeSections};
+use dsidx_tree::{Index, SaxArray, TreeConfig};
+use std::path::Path;
+use std::sync::Arc;
+use std::time::Instant;
+
+/// Histogram of wall nanoseconds per snapshot save.
+const SNAPSHOT_SAVE_NANOS: &str = "dsidx_snapshot_save_nanos";
+/// Histogram of bytes written per snapshot save.
+const SNAPSHOT_SAVE_BYTES: &str = "dsidx_snapshot_save_bytes";
+/// Histogram of wall nanoseconds per snapshot open (the cold-start cost a
+/// snapshot exists to shrink).
+const SNAPSHOT_OPEN_NANOS: &str = "dsidx_snapshot_open_nanos";
+/// Histogram of bytes read per snapshot open.
+const SNAPSHOT_OPEN_BYTES: &str = "dsidx_snapshot_open_bytes";
+
+// Section ids (1..=8 printable ASCII bytes, see the container docs).
+// There is deliberately no SAX section: the entry records already carry
+// every (position, word) pair, so the SAX array is reconstructed from the
+// decoded tree — storing it twice would cost ~`segments` bytes per series
+// of open-path bandwidth to verify a duplicate.
+const SEC_NODES: &str = "NODES";
+const SEC_ROOTS: &str = "ROOTS";
+const SEC_CHUNKS: &str = "CHUNKS";
+const SEC_ENTRIES: &str = "ENTRIES";
+const SEC_LEAFSTORE: &str = "LEAFSTOR";
+
+/// The engine discriminant stored in a snapshot header. Append-only: these
+/// values are on disk, so renumbering is a format-version bump.
+fn engine_id(engine: Engine) -> u8 {
+    match engine {
+        Engine::Ads => 0,
+        Engine::Paris => 1,
+        Engine::ParisPlus => 2,
+        Engine::Messi => 3,
+    }
+}
+
+fn engine_from_id(id: u8) -> Result<Engine, Error> {
+    match id {
+        0 => Ok(Engine::Ads),
+        1 => Ok(Engine::Paris),
+        2 => Ok(Engine::ParisPlus),
+        3 => Ok(Engine::Messi),
+        other => Err(corrupt(format!(
+            "snapshot names unknown engine id {other} (file from a newer build?)"
+        ))),
+    }
+}
+
+fn corrupt(msg: String) -> Error {
+    Error::Storage(StorageError::Corrupt(msg))
+}
+
+fn codec(e: CodecError) -> Error {
+    corrupt(e.to_string())
+}
+
+/// Writes one engine index as a snapshot file. `leaf_store` is the raw
+/// bytes of a materialized ParIS leaf store to embed, when there is one.
+/// Returns the file size; charging goes to `device` as one sequential
+/// append.
+pub(crate) fn save_snapshot(
+    path: &Path,
+    engine: Engine,
+    index: &Index,
+    leaf_store: Option<Vec<u8>>,
+    device: &Arc<Device>,
+) -> Result<u64, Error> {
+    let start = Instant::now();
+    let config = index.config();
+    let fingerprint = SnapshotFingerprint {
+        engine: engine_id(engine),
+        segments: config.segments() as u8,
+        series_len: u32::try_from(config.series_len()).expect("series_len fits u32"),
+        count: index.len() as u64,
+        leaf_capacity: config.leaf_capacity() as u64,
+    };
+    let mut writer = SnapshotWriter::new(path, fingerprint, Arc::clone(device));
+    let tree = encode_tree(index);
+    writer.section(SEC_NODES, tree.nodes);
+    writer.section(SEC_ROOTS, tree.roots);
+    writer.section(SEC_CHUNKS, tree.chunks);
+    writer.section(SEC_ENTRIES, tree.entries);
+    if let Some(bytes) = leaf_store {
+        writer.section(SEC_LEAFSTORE, bytes);
+    }
+    let total = writer.finish()?;
+    record_snapshot_obs(
+        SNAPSHOT_SAVE_NANOS,
+        "Wall nanoseconds per index snapshot save",
+        SNAPSHOT_SAVE_BYTES,
+        "Bytes written per index snapshot save",
+        start.elapsed(),
+        total,
+    );
+    Ok(total)
+}
+
+/// Everything an opened snapshot reconstitutes, before engine-specific
+/// assembly (ParIS leaf-store reader, MESSI flat tree).
+pub(crate) struct SnapshotContents {
+    pub engine: Engine,
+    pub index: Index,
+    pub sax: SaxArray,
+    /// `(offset, len, bytes)` of the embedded leaf store within the
+    /// snapshot file, when one was saved. The bytes are the verified
+    /// section payload — handing them to the leaf-store reader lets it
+    /// parse its header without a second (seek-priced) read of the file.
+    pub leaf_store: Option<(u64, u64, Vec<u8>)>,
+    /// Tree geometry from the fingerprint — the opener overrides its
+    /// [`Options`](crate::Options) with these so query-time configs match
+    /// the snapshot, not the caller's (possibly different) defaults.
+    pub segments: usize,
+    pub leaf_capacity: usize,
+}
+
+/// Opens, validates and decodes a snapshot against the dataset it will
+/// answer for. No tree construction happens: the node records *are* the
+/// tree, read back in one pass per section and re-linked.
+///
+/// All reads are charged to `device`; the open is recorded under the
+/// `dsidx_snapshot_open_*` metrics and a `snapshot_open` trace event.
+pub(crate) fn open_snapshot(
+    path: &Path,
+    device: &Arc<Device>,
+    expect_series_len: usize,
+    expect_count: usize,
+) -> Result<SnapshotContents, Error> {
+    let start = Instant::now();
+    let read_before = device.stats().bytes_read;
+    let reader = SnapshotReader::open(path, Arc::clone(device))?;
+    let fp = *reader.fingerprint();
+    let engine = engine_from_id(fp.engine)?;
+    if fp.series_len as usize != expect_series_len || fp.count != expect_count as u64 {
+        return Err(corrupt(format!(
+            "snapshot fingerprint mismatch: saved over {} series of length {}, opened against \
+             {expect_count} of length {expect_series_len} — is this the right dataset?",
+            fp.count, fp.series_len,
+        )));
+    }
+    let segments = usize::from(fp.segments);
+    let leaf_capacity = usize::try_from(fp.leaf_capacity).expect("leaf capacity fits usize");
+    // TreeConfig re-validates the geometry (segment bounds, series_len vs
+    // segments, nonzero capacity), so corrupt fingerprint fields surface
+    // as configuration errors here rather than panics later.
+    let config = TreeConfig::new(expect_series_len, segments, leaf_capacity)?;
+    let sections = TreeSections {
+        nodes: reader.read_section(SEC_NODES)?,
+        roots: reader.read_section(SEC_ROOTS)?,
+        chunks: reader.read_section(SEC_CHUNKS)?,
+        entries: reader.read_section(SEC_ENTRIES)?,
+    };
+    let index = decode_tree(config, expect_count, &sections).map_err(codec)?;
+    // The SAX array is reconstructed from the leaf entries — the decoder
+    // proved their positions form a permutation of `0..count`, so every
+    // slot is filled exactly once and the two structures agree by
+    // construction (no cross-check needed, no duplicate section read).
+    let mut words = vec![None; expect_count];
+    index.for_each_leaf(&mut |leaf| {
+        for entry in leaf.entries().expect("leaf has entries") {
+            words[entry.pos as usize] = Some(entry.word);
+        }
+    });
+    let sax = SaxArray::new(
+        words
+            .into_iter()
+            .map(|w| w.expect("decoded positions cover 0..count"))
+            .collect(),
+    );
+    let leaf_store = if reader.has_section(SEC_LEAFSTORE) {
+        // Verify the embedded store's checksum now — query-time leaf reads
+        // go straight to file offsets and would not notice corruption. The
+        // verified bytes ride along so the reader can parse its header
+        // without re-reading the file.
+        let bytes = reader.read_section(SEC_LEAFSTORE)?;
+        let (offset, len) = reader
+            .section_range(SEC_LEAFSTORE)
+            .expect("section exists: has_section was just checked");
+        Some((offset, len, bytes))
+    } else {
+        None
+    };
+    let elapsed = start.elapsed();
+    let bytes = device.stats().bytes_read - read_before;
+    record_snapshot_obs(
+        SNAPSHOT_OPEN_NANOS,
+        "Wall nanoseconds per index snapshot open",
+        SNAPSHOT_OPEN_BYTES,
+        "Bytes read per index snapshot open",
+        elapsed,
+        bytes,
+    );
+    if dsidx_obs::trace::enabled() {
+        use dsidx_obs::trace::Value;
+        dsidx_obs::trace::emit(
+            "snapshot_open",
+            &[
+                ("engine", Value::Str(engine.name())),
+                ("bytes", Value::U64(bytes)),
+                (
+                    "nanos",
+                    Value::U64(u64::try_from(elapsed.as_nanos()).unwrap_or(u64::MAX)),
+                ),
+            ],
+        );
+    }
+    Ok(SnapshotContents {
+        engine,
+        index,
+        sax,
+        leaf_store,
+        segments,
+        leaf_capacity,
+    })
+}
+
+fn record_snapshot_obs(
+    nanos_metric: &'static str,
+    nanos_help: &'static str,
+    bytes_metric: &'static str,
+    bytes_help: &'static str,
+    elapsed: std::time::Duration,
+    bytes: u64,
+) {
+    if !dsidx_obs::enabled() {
+        return;
+    }
+    // 1us .. ~4s saves/opens; 1KiB .. ~4GiB files.
+    let nanos_bounds = dsidx_obs::registry::exponential_bounds(1_000, 4, 12);
+    let bytes_bounds = dsidx_obs::registry::exponential_bounds(1_024, 4, 12);
+    dsidx_obs::registry::histogram(nanos_metric, nanos_help, &nanos_bounds)
+        .observe(u64::try_from(elapsed.as_nanos()).unwrap_or(u64::MAX));
+    dsidx_obs::registry::histogram(bytes_metric, bytes_help, &bytes_bounds).observe(bytes);
+}

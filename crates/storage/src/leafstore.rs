@@ -13,7 +13,7 @@ use crate::error::StorageError;
 use dsidx_isax::Word;
 use parking_lot::Mutex;
 use std::fs::File;
-use std::io::{BufWriter, Read, Write};
+use std::io::{BufWriter, Write};
 use std::os::unix::fs::FileExt;
 use std::path::Path;
 use std::sync::Arc;
@@ -114,28 +114,78 @@ impl LeafStoreWriter {
 }
 
 /// Read side of the leaf store (used by query answering).
+///
+/// The store may live in its own file (`base == 0`) or be embedded inside
+/// a larger one — an index snapshot carries the whole store as one section
+/// — in which case every stored offset is relative to `base`.
 #[derive(Debug)]
 pub struct LeafStoreReader {
     file: File,
     device: Arc<Device>,
     segments: usize,
+    /// Byte position of the store's header within `file`.
+    base: u64,
 }
 
 impl LeafStoreReader {
-    /// Opens an existing leaf store.
+    /// Opens an existing leaf store file.
     ///
     /// # Errors
     /// Format violations and I/O failures.
     pub fn open(path: &Path, device: Arc<Device>) -> Result<Self, StorageError> {
-        let mut file = File::open(path)?;
+        Self::open_within(path, 0, device)
+    }
+
+    /// Opens a leaf store embedded at byte `base` of a larger file (an
+    /// index snapshot). [`LeafHandle`] offsets stay store-relative; reads
+    /// add `base`.
+    ///
+    /// # Errors
+    /// Format violations and I/O failures.
+    pub fn open_within(path: &Path, base: u64, device: Arc<Device>) -> Result<Self, StorageError> {
+        let file = File::open(path)?;
         let mut header = [0u8; HEADER_LEN as usize];
-        file.read_exact(&mut header).map_err(|e| {
+        device.charge_read(base, HEADER_LEN);
+        file.read_exact_at(&mut header, base).map_err(|e| {
             if e.kind() == std::io::ErrorKind::UnexpectedEof {
                 StorageError::Corrupt("leaf store shorter than header".into())
             } else {
                 StorageError::Io(e)
             }
         })?;
+        Self::from_parts(file, &header, base, device)
+    }
+
+    /// Opens a leaf store embedded at byte `base` of `path` whose bytes
+    /// the caller has already read (and checksum-verified) — e.g. a
+    /// snapshot section. Parses the header from `bytes` without touching
+    /// the file again, so a sequential snapshot open stays sequential:
+    /// no re-read, no modeled seek back to `base`. Query-time leaf reads
+    /// are still charged through `device` as they happen.
+    ///
+    /// # Errors
+    /// Format violations and I/O failures.
+    pub fn from_verified_bytes(
+        path: &Path,
+        base: u64,
+        bytes: &[u8],
+        device: Arc<Device>,
+    ) -> Result<Self, StorageError> {
+        if (bytes.len() as u64) < HEADER_LEN {
+            return Err(StorageError::Corrupt(
+                "leaf store shorter than header".into(),
+            ));
+        }
+        let file = File::open(path)?;
+        Self::from_parts(file, &bytes[..HEADER_LEN as usize], base, device)
+    }
+
+    fn from_parts(
+        file: File,
+        header: &[u8],
+        base: u64,
+        device: Arc<Device>,
+    ) -> Result<Self, StorageError> {
         if header[0..8] != MAGIC {
             return Err(StorageError::BadMagic);
         }
@@ -149,6 +199,7 @@ impl LeafStoreReader {
             file,
             device,
             segments,
+            base,
         })
     }
 
@@ -166,8 +217,10 @@ impl LeafStoreReader {
         let record = self.segments + 4;
         let bytes = handle.count as usize * record;
         let mut buf = vec![0u8; bytes];
-        self.device.charge_read(handle.offset, bytes as u64);
-        self.file.read_exact_at(&mut buf, handle.offset)?;
+        self.device
+            .charge_read(self.base + handle.offset, bytes as u64);
+        self.file
+            .read_exact_at(&mut buf, self.base + handle.offset)?;
         out.clear();
         out.reserve(handle.count as usize);
         for rec in buf.chunks_exact(record) {
@@ -284,6 +337,33 @@ mod tests {
         let r = LeafStoreReader::open(&path, dev()).unwrap();
         let mut out = Vec::new();
         assert!(r.read(h, &mut out).is_err());
+    }
+
+    #[test]
+    fn embedded_store_reads_relative_to_base() {
+        // Build a normal store, then splice its bytes into the middle of a
+        // container file — the snapshot embedding case.
+        let path = tmp("embed-src.leaf");
+        let w = LeafStoreWriter::create(&path, 8, dev()).unwrap();
+        let entries: Vec<(Word, u32)> = (0..15).map(|i| (word(i as u8, 8), i * 7)).collect();
+        let h = w.append(&entries).unwrap();
+        let _ = w.finish().unwrap();
+        let store_bytes = std::fs::read(&path).unwrap();
+        let container = tmp("embed-dst.bin");
+        let mut bytes = vec![0xABu8; 100];
+        bytes.extend_from_slice(&store_bytes);
+        bytes.extend_from_slice(&[0xCD; 37]);
+        std::fs::write(&container, &bytes).unwrap();
+        let device = dev();
+        let r = LeafStoreReader::open_within(&container, 100, Arc::clone(&device)).unwrap();
+        assert_eq!(r.segments(), 8);
+        let mut out = Vec::new();
+        r.read(h, &mut out).unwrap();
+        assert_eq!(out, entries);
+        // Charging sees the absolute position, so seek modeling stays honest.
+        assert_eq!(device.stats().bytes_read, 16 + 15 * 12);
+        // A wrong base lands on garbage and is rejected, not misread.
+        assert!(LeafStoreReader::open_within(&container, 0, dev()).is_err());
     }
 
     #[test]

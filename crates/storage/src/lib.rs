@@ -20,9 +20,11 @@ pub mod format;
 pub mod leafstore;
 pub mod metrics;
 pub mod raw;
+pub mod snapshot;
 
 pub use device::{Device, DeviceProfile};
 pub use error::StorageError;
 pub use format::{read_dataset, write_dataset, DatasetFile, DatasetWriter};
 pub use leafstore::{LeafHandle, LeafStoreReader, LeafStoreWriter};
 pub use raw::{FlakySource, RawSource};
+pub use snapshot::{SnapshotFingerprint, SnapshotReader, SnapshotWriter};

@@ -21,6 +21,7 @@ pub mod flat;
 pub mod index;
 pub mod node;
 pub mod sax;
+pub mod snapshot;
 pub mod stats;
 
 pub use config::TreeConfig;

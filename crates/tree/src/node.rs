@@ -62,6 +62,44 @@ impl Node {
         }
     }
 
+    /// Rebuilds a leaf from a persisted payload (snapshot decode path).
+    ///
+    /// The payload is taken as-is; the caller is responsible for its
+    /// invariants (`flushed <= entries.len()`, chunk counts summing to
+    /// `flushed`, every entry word under `word`) — the snapshot decoder
+    /// validates them against the file before calling this.
+    #[must_use]
+    pub fn from_payload(word: NodeWord, payload: LeafPayload) -> Self {
+        Self {
+            word,
+            kind: NodeKind::Leaf(payload),
+        }
+    }
+
+    /// Rebuilds an inner node from its persisted children (snapshot decode
+    /// path).
+    ///
+    /// # Panics
+    /// Panics if the children's words are not the split of `word` on
+    /// `split_seg` — a structurally impossible tree must never come into
+    /// existence, whatever the bytes said.
+    #[must_use]
+    pub fn from_children(word: NodeWord, split_seg: u8, zero: Box<Node>, one: Box<Node>) -> Self {
+        let (zero_word, one_word) = word.split(split_seg as usize);
+        assert!(
+            *zero.word() == zero_word && *one.word() == one_word,
+            "children do not partition the parent word on segment {split_seg}"
+        );
+        Self {
+            word,
+            kind: NodeKind::Inner {
+                split_seg,
+                zero,
+                one,
+            },
+        }
+    }
+
     /// The node's variable-cardinality word.
     #[inline]
     #[must_use]

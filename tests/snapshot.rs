@@ -1,0 +1,273 @@
+//! Persistent index snapshots end to end: save → open round-trips answer
+//! the full query plane bit-identically to the freshly built index, on
+//! every residence (memory, disk, sharded); damaged artifacts fail with
+//! structured, actionable errors — never a panic or a silently wrong
+//! index.
+
+use dsidx::prelude::*;
+use dsidx::storage::{write_dataset, StorageError};
+use dsidx::{Error, ShardedIndex};
+use proptest::prelude::*;
+use std::sync::Arc;
+
+fn tmpdir(name: &str) -> std::path::PathBuf {
+    let dir = std::env::temp_dir().join(format!("dsidx-snap-{}-{name}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    dir
+}
+
+fn opts() -> Options {
+    Options::default().with_threads(3).with_leaf_capacity(16)
+}
+
+/// Every (measure × fidelity) cell of the query plane, single and batch.
+fn plane_specs() -> Vec<QuerySpec> {
+    let mut specs = Vec::new();
+    for k in [1usize, 5] {
+        for measure in [Measure::Euclidean, Measure::Dtw { band: 4 }] {
+            for fidelity in [Fidelity::Exact, Fidelity::Approximate] {
+                specs.push(QuerySpec::knn(k).measure(measure).fidelity(fidelity));
+            }
+        }
+    }
+    specs
+}
+
+/// Asserts two indexes answer the whole query plane identically: batches
+/// of several queries and the single-query special case.
+fn assert_plane_identical<A: Search, B: Search>(
+    built: &A,
+    opened: &B,
+    queries: &Dataset,
+    tag: &str,
+) {
+    let qrefs: Vec<&[f32]> = queries.iter().collect();
+    let single: Vec<&[f32]> = vec![queries.get(0)];
+    for spec in plane_specs() {
+        for qs in [&qrefs, &single] {
+            let want = built.search(qs, &spec).unwrap();
+            let got = opened.search(qs, &spec).unwrap();
+            assert_eq!(got.matches(), want.matches(), "{tag} spec={spec:?}");
+        }
+    }
+}
+
+#[test]
+fn memory_open_is_bit_identical_across_the_query_plane() {
+    let dir = tmpdir("mem-plane");
+    let data = DatasetKind::Synthetic.generate(400, 64, 7);
+    let queries = DatasetKind::Synthetic.queries(3, 64, 7);
+    for engine in Engine::ALL {
+        let built = MemoryIndex::build(data.clone(), engine, &opts()).unwrap();
+        let path = dir.join(format!("{}.snap", engine.name().replace('+', "p")));
+        built.save(&path).unwrap();
+        // Deliberately different Options defaults: the snapshot's saved
+        // geometry must win, or answers would drift.
+        let opened = MemoryIndex::open(&path, data.clone(), &Options::default()).unwrap();
+        assert_plane_identical(&built, &opened, &queries, engine.name());
+    }
+}
+
+#[test]
+fn disk_open_is_bit_identical_across_the_query_plane() {
+    let dir = tmpdir("disk-plane");
+    let data = DatasetKind::Seismic.generate(350, 64, 9);
+    let path = dir.join("data.dsidx");
+    write_dataset(&path, &data, Arc::new(Device::unthrottled())).unwrap();
+    let queries = DatasetKind::Seismic.queries(3, 64, 9);
+    for engine in Engine::ALL {
+        let built =
+            DiskIndex::build(&path, &dir, engine, &opts(), DeviceProfile::UNTHROTTLED).unwrap();
+        let snap = dir.join(format!("{}.snap", engine.name().replace('+', "p")));
+        built.save(&snap).unwrap();
+        let opened = DiskIndex::open(
+            &snap,
+            &path,
+            &Options::default(),
+            DeviceProfile::UNTHROTTLED,
+        )
+        .unwrap();
+        assert_plane_identical(&built, &opened, &queries, engine.name());
+    }
+}
+
+#[test]
+fn opened_disk_index_charges_reads_to_the_modeled_device() {
+    // The open is not free I/O: header, table, every tree section and the
+    // embedded leaf store are all charged through the device model.
+    let dir = tmpdir("disk-charge");
+    let data = DatasetKind::Synthetic.generate(300, 64, 11);
+    let path = dir.join("data.dsidx");
+    write_dataset(&path, &data, Arc::new(Device::unthrottled())).unwrap();
+    let built = DiskIndex::build(
+        &path,
+        &dir,
+        Engine::Paris,
+        &opts(),
+        DeviceProfile::UNTHROTTLED,
+    )
+    .unwrap();
+    let snap = dir.join("p.snap");
+    let saved_bytes = built.save(&snap).unwrap();
+    let opened = DiskIndex::open(
+        &snap,
+        &path,
+        &Options::default(),
+        DeviceProfile::UNTHROTTLED,
+    )
+    .unwrap();
+    let read = opened.file().device().stats().bytes_read;
+    // Every payload byte is charged; only inter-section alignment padding
+    // (< 64 bytes per section, 8 sections max) goes unread.
+    assert!(
+        read + 64 * 8 >= saved_bytes && read > 0,
+        "open read {read} bytes but the snapshot holds {saved_bytes}"
+    );
+}
+
+#[test]
+fn sharded_open_is_bit_identical_across_the_query_plane() {
+    let dir = tmpdir("shard-plane");
+    let data = DatasetKind::Sald.generate(450, 64, 13);
+    let queries = DatasetKind::Sald.queries(3, 64, 13);
+    let built = ShardedIndex::build_in_memory(&data, 3, Engine::Messi, &opts()).unwrap();
+    let snapdir = dir.join("snap");
+    built.save(&snapdir).unwrap();
+    let opened = ShardedIndex::open_in_memory(&snapdir, &data, &Options::default()).unwrap();
+    assert_plane_identical(&built, &opened, &queries, "sharded");
+}
+
+#[test]
+fn truncated_snapshot_is_a_structured_error() {
+    let dir = tmpdir("truncate");
+    let data = DatasetKind::Synthetic.generate(200, 64, 17);
+    let built = MemoryIndex::build(data.clone(), Engine::Messi, &opts()).unwrap();
+    let path = dir.join("full.snap");
+    built.save(&path).unwrap();
+    let bytes = std::fs::read(&path).unwrap();
+    // Cut at several depths: inside the header, the section table, and a
+    // section payload. Every cut must yield Err, never a panic.
+    for keep in [0, 7, 40, bytes.len() / 2, bytes.len() - 1] {
+        let cut = dir.join(format!("cut-{keep}.snap"));
+        std::fs::write(&cut, &bytes[..keep]).unwrap();
+        let err = match MemoryIndex::open(&cut, data.clone(), &Options::default()) {
+            Err(e) => e,
+            Ok(_) => panic!("truncation to {keep} bytes accepted"),
+        };
+        let msg = err.to_string();
+        assert!(!msg.is_empty(), "keep={keep}");
+    }
+}
+
+#[test]
+fn flipped_byte_is_a_checksum_mismatch() {
+    let dir = tmpdir("flip");
+    let data = DatasetKind::Synthetic.generate(200, 64, 19);
+    let built = MemoryIndex::build(data.clone(), Engine::Ads, &opts()).unwrap();
+    let path = dir.join("good.snap");
+    built.save(&path).unwrap();
+    let good = std::fs::read(&path).unwrap();
+    // Flip one byte in the middle of the file (a section payload) and
+    // near the start (the checksummed header).
+    for at in [64usize, good.len() / 2, good.len() - 1] {
+        let mut bad = good.clone();
+        bad[at] ^= 0x40;
+        let flipped = dir.join(format!("flip-{at}.snap"));
+        std::fs::write(&flipped, &bad).unwrap();
+        let err = match MemoryIndex::open(&flipped, data.clone(), &Options::default()) {
+            Err(Error::Storage(e)) => e,
+            Err(other) => panic!("non-storage error for flip at {at}: {other}"),
+            Ok(_) => panic!("flipped byte at {at} accepted"),
+        };
+        // Either the corruption is caught by a checksum, or by a decoder
+        // invariant (a flipped byte can also turn one valid field into
+        // another that a structural check rejects) — but it is always
+        // caught, with a Display that says what to do.
+        let msg = err.to_string();
+        assert!(
+            !msg.is_empty(),
+            "flip at {at} produced an empty error message"
+        );
+        if let StorageError::ChecksumMismatch { section, .. } = err.root_cause() {
+            assert!(!section.is_empty());
+            assert!(msg.contains("rebuild"), "actionable message: {msg}");
+        }
+    }
+}
+
+#[test]
+fn future_format_version_is_rejected_by_name() {
+    let dir = tmpdir("version");
+    let data = DatasetKind::Synthetic.generate(120, 64, 23);
+    let built = MemoryIndex::build(data.clone(), Engine::Paris, &opts()).unwrap();
+    let path = dir.join("v1.snap");
+    built.save(&path).unwrap();
+    let mut bytes = std::fs::read(&path).unwrap();
+    // The format version is the little-endian u32 right after the magic.
+    bytes[8..12].copy_from_slice(&99u32.to_le_bytes());
+    let future = dir.join("v99.snap");
+    std::fs::write(&future, &bytes).unwrap();
+    let err = match MemoryIndex::open(&future, data, &Options::default()) {
+        Err(Error::Storage(e)) => e,
+        Err(other) => panic!("non-storage error: {other}"),
+        Ok(_) => panic!("future version accepted"),
+    };
+    assert!(
+        matches!(err.root_cause(), StorageError::BadVersion(99)),
+        "{err}"
+    );
+}
+
+#[test]
+fn not_a_snapshot_is_bad_magic() {
+    let dir = tmpdir("magic");
+    let data = DatasetKind::Synthetic.generate(60, 64, 27);
+    let path = dir.join("notes.txt");
+    // Long enough to pass the length precheck, so the magic itself is
+    // what gets rejected.
+    std::fs::write(&path, vec![b'x'; 256]).unwrap();
+    let err = match MemoryIndex::open(&path, data, &Options::default()) {
+        Err(Error::Storage(e)) => e,
+        Err(other) => panic!("non-storage error: {other}"),
+        Ok(_) => panic!("text file accepted"),
+    };
+    assert!(matches!(err.root_cause(), StorageError::BadMagic), "{err}");
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// For arbitrary small collections, save → open round-trips every
+    /// engine and answers 1-NN identically to the index it was saved
+    /// from.
+    #[test]
+    fn snapshot_round_trip_preserves_answers(
+        len in 8usize..48,
+        count in 1usize..50,
+        seed in 0u64..1_000,
+        leaf in 1usize..24,
+    ) {
+        let dir = tmpdir("prop");
+        let data = DatasetKind::Synthetic.generate(count, len, seed);
+        let queries = DatasetKind::Synthetic.queries(2, len, seed.wrapping_add(1));
+        let opts = Options::default()
+            .with_threads(2)
+            .with_leaf_capacity(leaf)
+            .with_segments(8.min(len));
+        for engine in Engine::ALL {
+            let built = MemoryIndex::build(data.clone(), engine, &opts).unwrap();
+            let path = dir.join(format!(
+                "prop-{count}-{seed}-{leaf}-{}.snap",
+                engine.name().replace('+', "p")
+            ));
+            built.save(&path).unwrap();
+            let opened = MemoryIndex::open(&path, data.clone(), &Options::default()).unwrap();
+            for q in queries.iter() {
+                let want = built.search(&[q], &QuerySpec::nn()).unwrap().into_nn();
+                let got = opened.search(&[q], &QuerySpec::nn()).unwrap().into_nn();
+                prop_assert_eq!(got, want, "{}", engine.name());
+            }
+            std::fs::remove_file(&path).ok();
+        }
+    }
+}
